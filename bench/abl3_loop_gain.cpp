@@ -1,0 +1,78 @@
+// Ablation A3 — loop-gain target and limiter level: how the two knobs of
+// the Figure-5 loop trade startup time, amplitude and frequency pulling.
+// A loop-gain target barely above 1 starts slowly; a large target starts
+// fast but drives the limiter deeper (more harmonic content). The limiter
+// level directly sets the oscillation amplitude (and thus the bridge SNR).
+#include <cmath>
+#include <iostream>
+
+#include "core/resonant_sensor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::core;
+
+struct LoopResult {
+    double first_lock_s = -1.0;  ///< end of the first gate with a sane reading
+    double f_err_hz = 0.0;       ///< steady frequency minus expected
+    double amplitude_nm = 0.0;
+};
+
+LoopResult run_loop(double gain_target, double limiter_mv) {
+    ResonantSensorConfig cfg;
+    cfg.loop_gain_target = gain_target;
+    cfg.limiter_level = Voltage{limiter_mv * 1e-3};
+    cfg.counter_gate = Time{0.05};
+    ResonantCantileverSystem s(cfg, Rng(9));
+    const auto ms = s.run(Time{0.6});
+    LoopResult r;
+    const double f_exp = s.expected_resonance().value();
+    for (const auto& m : ms) {
+        if (std::fabs(m.frequency_hz - f_exp) < 0.01 * f_exp) {
+            r.first_lock_s = m.gate_end;
+            break;
+        }
+    }
+    if (ms.size() >= 2) {
+        const double f =
+            0.5 * (ms[ms.size() - 1].frequency_hz + ms[ms.size() - 2].frequency_hz);
+        r.f_err_hz = f - f_exp;
+    }
+    r.amplitude_nm = s.oscillation_amplitude().value() * 1e9;
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    {
+        ConsoleTable t({"loop gain target", "first lock [s]", "freq pulling [Hz]",
+                        "amplitude [nm]"});
+        CsvWriter csv("abl3_gain.csv", {"gain", "lock_s", "pull_hz", "amp_nm"});
+        for (double g : {1.3, 2.0, 4.0, 8.0, 16.0}) {
+            const auto r = run_loop(g, 15.0);
+            t.add_row({ConsoleTable::num(g), ConsoleTable::num(r.first_lock_s, 3),
+                       ConsoleTable::num(r.f_err_hz, 3),
+                       ConsoleTable::num(r.amplitude_nm, 3)});
+            csv.write_row(std::vector<double>{g, r.first_lock_s, r.f_err_hz, r.amplitude_nm});
+        }
+        std::cout << t.str("A3a — loop-gain target (limiter 15 mV, air)") << '\n'
+                  << "(first lock = -1: the loop never started — near-unity gain targets\n"
+                  << " leave the startup signal below the class-AB crossover dead-zone, a\n"
+                  << " real failure mode of marginally-designed oscillator loops)\n\n";
+    }
+    {
+        ConsoleTable t({"limiter level [mV]", "amplitude [nm]", "freq pulling [Hz]"});
+        CsvWriter csv("abl3_limiter.csv", {"limit_mv", "amp_nm", "pull_hz"});
+        for (double lv : {5.0, 10.0, 15.0, 30.0, 60.0}) {
+            const auto r = run_loop(4.0, lv);
+            t.add_row({ConsoleTable::num(lv), ConsoleTable::num(r.amplitude_nm, 3),
+                       ConsoleTable::num(r.f_err_hz, 3)});
+            csv.write_row(std::vector<double>{lv, r.amplitude_nm, r.f_err_hz});
+        }
+        std::cout << t.str("A3b — limiter level sets the regulated amplitude");
+    }
+    return 0;
+}

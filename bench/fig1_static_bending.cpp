@@ -1,0 +1,103 @@
+// Figure 1 reproduction: "Bending of a static microcantilever due to
+// analyte binding."
+//
+// Regenerates the quantitative content behind the figure:
+//   (a) tip deflection / curvature / bridge output vs differential surface
+//       stress (the transduction curve),
+//   (b) the analyte dose-response: equilibrium coverage -> stress ->
+//       deflection -> bridge voltage across 1 pM .. 1 uM,
+//   (c) a binding sensorgram (deflection vs time) for a 100 nM sample.
+#include <iostream>
+
+#include "bio/assay.hpp"
+#include "circ/bridge.hpp"
+#include "mech/piezoresistance.hpp"
+#include "mech/stoney.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace cbs;
+    using namespace cbs::literals;
+
+    const auto geom = mech::static_default();
+    const mech::StoneyModel stoney(geom);
+    const mech::PiezoResistor gauge(geom.material, mech::ResistorOrientation::longitudinal,
+                                    mech::ResistorPlacement::distributed);
+    circ::DiffusedBridge bridge;
+
+    std::cout << "Device: " << geom.length.value() * 1e6 << " x " << geom.width.value() * 1e6
+              << " x " << geom.thickness.value() * 1e6 << " um static cantilever, "
+              << "responsivity " << ConsoleTable::si(stoney.responsivity().value(), 3, "m/(N/m)")
+              << "\n\n";
+
+    // (a) Transduction curve.
+    {
+        ConsoleTable t({"dSigma [mN/m]", "tip defl [nm]", "curvature [1/m]", "dR/R [ppm]",
+                        "bridge out [uV]"});
+        CsvWriter csv("fig1a_transduction.csv",
+                      {"dsigma_mN_per_m", "deflection_nm", "curvature_per_m", "drr_ppm",
+                       "bridge_uV"});
+        for (double s_mn : {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+            const SurfaceStress s{s_mn * 1e-3};
+            const double defl_nm = stoney.tip_deflection(s).value() * 1e9;
+            const double kappa = stoney.curvature(s).value();
+            const double drr = gauge.relative_change_surface_stress(stoney, s);
+            bridge.set_sense_delta(drr);
+            const double out_uv = bridge.output().value() * 1e6;
+            t.add_row({ConsoleTable::num(s_mn), ConsoleTable::num(defl_nm, 3),
+                       ConsoleTable::num(kappa, 3), ConsoleTable::num(drr * 1e6, 3),
+                       ConsoleTable::num(out_uv, 3)});
+            csv.write_row(std::vector<double>{s_mn, defl_nm, kappa, drr * 1e6, out_uv});
+        }
+        std::cout << t.str("Fig.1a — surface stress -> bending -> bridge output") << '\n';
+    }
+
+    // (b) Dose-response at equilibrium.
+    {
+        const auto coating = bio::antibody_coating(bio::library::igg_antigen());
+        const bio::LangmuirKinetics kinetics(coating.target);
+        ConsoleTable t({"conc", "theta_eq", "stress [mN/m]", "deflection [nm]",
+                        "bridge out [uV]"});
+        CsvWriter csv("fig1b_dose_response.csv",
+                      {"conc_molar", "theta_eq", "stress_mN_per_m", "deflection_nm",
+                       "bridge_uV"});
+        for (double c_nm : {0.001, 0.01, 0.1, 1.0, 3.0, 10.0, 30.0, 100.0, 1000.0}) {
+            const MolarConcentration c{c_nm * 1e-6};
+            const double theta = kinetics.equilibrium_coverage(c);
+            const auto stress = coating.surface_stress(theta);
+            const double defl_nm = stoney.tip_deflection(stress).value() * 1e9;
+            bridge.set_sense_delta(gauge.relative_change_surface_stress(stoney, stress));
+            const double out_uv = bridge.output().value() * 1e6;
+            t.add_row({ConsoleTable::si(c_nm * 1e-9, 3, "M"), ConsoleTable::num(theta, 4),
+                       ConsoleTable::num(stress.value() * 1e3, 3),
+                       ConsoleTable::num(defl_nm, 3), ConsoleTable::num(out_uv, 3)});
+            csv.write_row(std::vector<double>{c_nm * 1e-9, theta, stress.value() * 1e3,
+                                              defl_nm, out_uv});
+        }
+        std::cout << t.str("Fig.1b — dose response (IgG antigen, Kd = 10 nM)") << '\n';
+    }
+
+    // (c) Binding sensorgram at 100 nM.
+    {
+        const auto coating = bio::antibody_coating(bio::library::igg_antigen());
+        const bio::AssayRunner runner(coating, geom.plan_area());
+        const auto protocol = bio::AssayProtocol::standard(100.0_nM, 120.0_s, 900.0_s, 600.0_s);
+        const auto gram = runner.run(protocol, 10.0_s);
+        ConsoleTable t({"t [s]", "phase", "coverage", "deflection [nm]"});
+        CsvWriter csv("fig1c_sensorgram.csv", {"t_s", "coverage", "deflection_nm"});
+        for (const auto& p : gram) {
+            const auto defl =
+                stoney.tip_deflection(SurfaceStress{p.surface_stress_n_per_m}).value() * 1e9;
+            csv.write_row(std::vector<double>{p.time_s, p.coverage, defl});
+            if (static_cast<long>(p.time_s) % 180 == 0) {
+                const char* phase = p.time_s <= 120.0      ? "baseline"
+                                    : p.time_s <= 1020.0   ? "association"
+                                                           : "dissociation";
+                t.add_row({ConsoleTable::num(p.time_s, 5), phase,
+                           ConsoleTable::num(p.coverage, 4), ConsoleTable::num(defl, 4)});
+            }
+        }
+        std::cout << t.str("Fig.1c — sensorgram, 100 nM injection (full series in CSV)");
+    }
+    return 0;
+}

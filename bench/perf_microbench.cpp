@@ -1,0 +1,103 @@
+// Performance microbenchmarks (google-benchmark): throughput of the
+// simulation kernels that dominate the figure benches.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "circ/chopper.hpp"
+#include "core/resonant_sensor.hpp"
+#include "daq/counter.hpp"
+#include "fab/drc.hpp"
+#include "fab/layout_gen.hpp"
+#include "fab/ruledeck.hpp"
+#include "mech/resonator.hpp"
+#include "sim/integrator.hpp"
+#include "util/dft.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cbs;
+
+void BM_ResonatorStepExact(benchmark::State& state) {
+    mech::ResonatorParams p;
+    p.omega0 = AngularFrequency{2e6};
+    p.q = 300.0;
+    p.effective_mass = Mass{1.8e-11};
+    mech::ModalResonator r(p);
+    r.set_state(Length{1e-9}, Velocity{0.0});
+    const Time dt{1e-7};
+    for (auto _ : state) {
+        r.step_exact(Force{1e-9}, dt);
+        benchmark::DoNotOptimize(r.displacement());
+    }
+}
+BENCHMARK(BM_ResonatorStepExact);
+
+void BM_Rk4Step(benchmark::State& state) {
+    sim::Rk4Integrator integ(
+        [](double, std::span<const double> y, std::span<double> d) {
+            d[0] = y[1];
+            d[1] = -4e12 * y[0] - 6e3 * y[1];
+        },
+        {1e-9, 0.0});
+    for (auto _ : state) {
+        integ.step(1e-7);
+        benchmark::DoNotOptimize(integ.state(0));
+    }
+}
+BENCHMARK(BM_Rk4Step);
+
+void BM_ChopperSample(benchmark::State& state) {
+    circ::ChopperConfig cfg;
+    cfg.amplifier.gain = 100.0;
+    cfg.amplifier.bandwidth = Frequency{50e3};
+    cfg.amplifier.white_noise = VoltageNoiseDensity{15e-9};
+    cfg.amplifier.flicker_corner = Frequency{5e3};
+    circ::ChopperAmplifier amp(cfg, 200e3, Rng(1));
+    for (auto _ : state) benchmark::DoNotOptimize(amp.process(1e-6));
+}
+BENCHMARK(BM_ChopperSample);
+
+void BM_ResonantLoopTick(benchmark::State& state) {
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    // One tick = run for one sample period.
+    const Time dt{1.0 / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(dt);
+    }
+}
+BENCHMARK(BM_ResonantLoopTick);
+
+void BM_CounterFeed(benchmark::State& state) {
+    daq::ReciprocalCounter counter(Time{0.1});
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(counter.feed(t, std::sin(2e6 * t)));
+        t += 1e-7;
+    }
+}
+BENCHMARK(BM_CounterFeed);
+
+void BM_DrcFullCell(benchmark::State& state) {
+    const auto cell = fab::CantileverCellGenerator(mech::resonant_default()).generate();
+    const fab::DrcEngine engine(fab::default_rule_deck());
+    for (auto _ : state) benchmark::DoNotOptimize(engine.check(cell));
+}
+BENCHMARK(BM_DrcFullCell);
+
+void BM_Fft4096(benchmark::State& state) {
+    Rng rng(3);
+    std::vector<std::complex<double>> x(4096);
+    for (auto& c : x) c = {rng.normal(), 0.0};
+    for (auto _ : state) {
+        auto y = x;
+        fft(y);
+        benchmark::DoNotOptimize(y[1]);
+    }
+}
+BENCHMARK(BM_Fft4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// T1 — the abstract's claim, quantified: "The monolithic integrated
+// readout allows for a high signal-to-noise ratio, lowers the sensitivity
+// to external interference and enables autonomous device operation."
+//
+// The same bridge signal (a 10 uV dose, i.e. ~6.8 mN/m of surface stress)
+// is read by (i) the on-chip chopper chain and (ii) an off-chip discrete
+// amplifier over bond wires and a cable.
+#include <iostream>
+
+#include "baseline/comparison.hpp"
+#include "core/chip.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace cbs;
+    using namespace cbs::baseline;
+
+    Rng rng(42);
+    const auto rows = compare_readout_chains(Voltage{10e-6}, Time{1.0}, rng);
+
+    ConsoleTable t({"readout chain", "signal [mV]", "reading noise [uV]", "mains pickup [uV]",
+                    "offset [mV]", "SNR [dB]"});
+    CsvWriter csv("tab1_integration.csv",
+                  {"chain", "signal_mv", "noise_uv", "mains_uv", "offset_mv", "snr_db"});
+    for (const auto& r : rows) {
+        t.add_row({r.chain, ConsoleTable::num(r.signal_v * 1e3, 3),
+                   ConsoleTable::num(r.noise_v_rms * 1e6, 3),
+                   ConsoleTable::num(r.mains_v_rms * 1e6, 3),
+                   ConsoleTable::num(r.offset_v * 1e3, 3), ConsoleTable::num(r.snr_db, 3)});
+        csv.write_row(std::vector<std::string>{
+            r.chain, std::to_string(r.signal_v * 1e3), std::to_string(r.noise_v_rms * 1e6),
+            std::to_string(r.mains_v_rms * 1e6), std::to_string(r.offset_v * 1e3),
+            std::to_string(r.snr_db)});
+    }
+    std::cout << t.str("T1 — monolithic vs external readout (10 uV bridge dose, 1 s window)")
+              << '\n';
+
+    const double snr_gain = rows[0].snr_db - rows[1].snr_db;
+    const double pickup_ratio = rows[1].mains_v_rms / rows[0].mains_v_rms;
+    std::cout << "SNR advantage of integration: " << ConsoleTable::num(snr_gain, 3)
+              << " dB; interference suppression: " << ConsoleTable::num(pickup_ratio, 3)
+              << "x\n\n";
+
+    // "Autonomous device operation": the chip's power budget fits a battery.
+    const core::BiosensorChip chip(core::StaticSensorConfig{}, core::ResonantSensorConfig{},
+                                   Rng(7));
+    const auto b = chip.budget();
+    ConsoleTable p({"block", "power [mW]"});
+    p.add_row({"static system (bridge + chopper chain)",
+               ConsoleTable::num(b.static_system_power.value() * 1e3, 3)});
+    p.add_row({"resonant system (MOS bridge + loop + buffer)",
+               ConsoleTable::num(b.resonant_system_power.value() * 1e3, 3)});
+    p.add_row({"total", ConsoleTable::num(b.total_power.value() * 1e3, 3)});
+    std::cout << p.str("T1' — power budget (chip area "
+                       + ConsoleTable::num(b.chip_area.value() * 1e6, 3) + " mm^2)");
+    return 0;
+}

@@ -1,0 +1,57 @@
+// DNA hybridization on the resonant cantilever (Figure 5 system): a
+// thiol-immobilized 20-mer capture strand hybridizes its complement from
+// solution; the added mass pulls the oscillator frequency down, and a
+// stringency rinse (dissociation) partially reverses it.
+#include <iostream>
+
+#include "core/resonant_sensor.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace cbs;
+    using namespace cbs::literals;
+    using namespace cbs::core;
+
+    ResonantSensorConfig cfg;
+    cfg.coating = bio::dna_coating();
+    cfg.counter_gate = Time{0.1};
+    ResonantCantileverSystem sensor(cfg, Rng(12));
+
+    std::cout << "capture layer: " << cfg.coating.receptor.name << " ("
+              << cfg.coating.receptor.surface_density.value() / 1e16 << "e16 sites/m^2), "
+              << "target: " << cfg.coating.target.name << "\n"
+              << "loaded resonance " << ConsoleTable::si(sensor.expected_resonance().value(),
+                                                          4, "Hz")
+              << ", Q " << ConsoleTable::num(sensor.loaded_q(), 4) << "\n\n";
+
+    ConsoleTable t({"phase", "t [s]", "f [Hz]", "coverage", "bound mass [pg]"});
+    auto log_phase = [&](const char* phase, const std::vector<daq::FrequencyMeasurement>& ms) {
+        if (ms.empty()) return;
+        const auto& m = ms.back();
+        t.add_row({phase, ConsoleTable::num(m.gate_end, 3),
+                   ConsoleTable::num(m.frequency_hz, 8),
+                   ConsoleTable::num(sensor.coverage(), 3),
+                   ConsoleTable::num(sensor.bound_mass().value() * 1e15, 3)});
+    };
+
+    // Baseline in buffer.
+    log_phase("baseline", sensor.run(0.4_s));
+
+    // Hybridization: 1 uM complement (accelerated-time demonstration; the
+    // kinetics are the real ones, the injection is just concentrated).
+    sensor.set_concentration(1.0_uM);
+    for (int i = 0; i < 4; ++i) log_phase("hybridization", sensor.run(0.5_s));
+
+    // Stringency rinse: pure buffer, duplexes slowly dissociate.
+    sensor.set_concentration(MolarConcentration{0.0});
+    log_phase("rinse", sensor.run(0.5_s));
+
+    std::cout << t.str("DNA hybridization sensorgram (counter readout)") << '\n';
+
+    const auto dm = sensor.bound_mass();
+    std::cout << "final bound DNA: " << ConsoleTable::si(dm.value() * 1e3, 3, "g") << " ("
+              << ConsoleTable::num(dm.value() / cfg.coating.target.molecule_mass().value() / 1e6,
+                                   3)
+              << " million strands)\n";
+    return 0;
+}

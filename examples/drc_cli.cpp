@@ -1,0 +1,68 @@
+// Command-line DRC: verify a layout file against a rule deck — the
+// "physical design verification ... performed with respect to the CMOS
+// layers" workflow as a standalone tool.
+//
+//   example_drc_cli [layout.lay] [rules.deck]
+//
+// With no arguments it generates the default resonant sensor cell, writes
+// it to cantilever.lay, and checks it against the built-in combined
+// CMOS + MEMS deck. Exit code = number of violations (0 = clean).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "fab/drc.hpp"
+#include "fab/layout_gen.hpp"
+#include "fab/layout_io.hpp"
+#include "fab/ruledeck.hpp"
+#include "mech/geometry.hpp"
+
+int main(int argc, char** argv) {
+    using namespace cbs;
+    using namespace cbs::fab;
+
+    try {
+        Cell cell("pending");
+        if (argc >= 2) {
+            cell = load_cell(argv[1]);
+            std::cout << "loaded " << argv[1] << ": cell '" << cell.name() << "', "
+                      << cell.shape_count() << " shapes\n";
+        } else {
+            cell = CantileverCellGenerator(mech::resonant_default()).generate();
+            save_cell(cell, "cantilever.lay");
+            std::cout << "no layout given: generated the resonant sensor cell -> "
+                         "cantilever.lay ("
+                      << cell.shape_count() << " shapes)\n";
+        }
+
+        std::vector<DrcRule> rules;
+        if (argc >= 3) {
+            std::ifstream deck(argv[2]);
+            if (!deck) {
+                std::cerr << "cannot open rule deck " << argv[2] << '\n';
+                return 1;
+            }
+            std::ostringstream text;
+            text << deck.rdbuf();
+            rules = parse_rule_deck(text.str());
+            std::cout << "loaded " << rules.size() << " rules from " << argv[2] << '\n';
+        } else {
+            rules = default_rule_deck();
+            std::cout << "using the built-in 0.8 um CMOS + MEMS deck (" << rules.size()
+                      << " rules)\n";
+        }
+
+        const DrcEngine engine(std::move(rules));
+        const auto violations = engine.check(cell);
+        if (violations.empty()) {
+            std::cout << "DRC CLEAN\n";
+        } else {
+            for (const auto& v : violations) std::cout << "VIOLATION " << v.describe() << '\n';
+            std::cout << violations.size() << " violation(s)\n";
+        }
+        return static_cast<int>(violations.size());
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

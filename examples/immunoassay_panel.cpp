@@ -1,0 +1,54 @@
+// Immunoassay panel on the static 4-cantilever array (the paper's daily-
+// healthcare motivation): three channels functionalized for different
+// protein markers (IgG antigen, PSA, CRP), the fourth blocked as a
+// reference, all read through the multiplexed chopper chain of Figure 4
+// while a patient sample flows over the chip.
+#include <iostream>
+
+#include "core/static_sensor.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace cbs;
+    using namespace cbs::literals;
+    using namespace cbs::core;
+
+    StaticCantileverSystem array(StaticSensorConfig{}, Rng(7));
+    array.set_coating(0, bio::antibody_coating(bio::library::igg_antigen()));
+    array.set_coating(1, bio::antibody_coating(bio::library::psa()));
+    array.set_coating(2, bio::antibody_coating(bio::library::crp()));
+    // Channel 3 keeps the default blocked reference coating.
+
+    std::cout << "Calibrating channel offsets on clean buffer...\n";
+    array.calibrate_offsets();
+
+    // "Patient sample": 20 nM of each marker, 25 minutes of association.
+    std::cout << "Injecting sample (20 nM of each marker), 25 min association...\n\n";
+    array.set_concentration(20.0_nM);
+
+    ConsoleTable timeline({"t [min]", "IgG [mV]", "PSA [mV]", "CRP [mV]", "ref [mV]"});
+    for (int minute = 0; minute <= 25; minute += 5) {
+        if (minute > 0) array.advance_binding(Time{300.0});
+        std::vector<std::string> row{ConsoleTable::num(minute)};
+        for (std::size_t ch = 0; ch < 4; ++ch) {
+            row.push_back(ConsoleTable::num(array.read_channel(ch).output.value() * 1e3, 3));
+        }
+        timeline.add_row(row);
+    }
+    std::cout << timeline.str("panel sensorgrams (chain output, 10 mV ~ 0.68 mN/m)") << '\n';
+
+    ConsoleTable result({"marker", "coverage", "stress [mN/m]", "differential [mV]",
+                         "call"});
+    for (std::size_t ch = 0; ch < 3; ++ch) {
+        const auto diff = array.differential(ch, 3);
+        const auto reading = array.read_channel(ch);
+        const bool positive = diff.value() > 5e-3;  // 5 mV decision threshold
+        result.add_row({array.coating(ch).target.name,
+                        ConsoleTable::num(array.coverage(ch), 3),
+                        ConsoleTable::num(reading.stress.value() * 1e3, 3),
+                        ConsoleTable::num(diff.value() * 1e3, 3),
+                        positive ? "POSITIVE" : "negative"});
+    }
+    std::cout << result.str("panel result (active minus reference)");
+    return 0;
+}

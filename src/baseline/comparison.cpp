@@ -1,0 +1,202 @@
+#include "baseline/comparison.hpp"
+
+#include <cmath>
+
+#include "circ/chopper.hpp"
+#include "util/constants.hpp"
+#include "util/dft.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::baseline {
+
+namespace {
+
+struct ChainMetrics {
+    double signal = 0.0;
+    double noise_rms = 0.0;
+    double mains_rms = 0.0;
+    double offset = 0.0;
+};
+
+/// Runs a chain functor twice (with and without the signal). Noise is the
+/// standard deviation of 10 ms averaged *readings* — the quantity that
+/// limits an actual measurement — and interference is the correlated
+/// 50/100/150 Hz content of the raw baseline.
+template <typename ProcessFn>
+ChainMetrics measure_chain(ProcessFn&& process, double bridge_signal_v, double fs,
+                           double window_s) {
+    const auto settle = static_cast<std::size_t>(0.2 * fs);
+    const auto n = static_cast<std::size_t>(window_s * fs);
+    const auto reading_len = static_cast<std::size_t>(0.010 * fs);
+
+    // Baseline (no signal).
+    std::vector<double> base(n);
+    for (std::size_t i = 0; i < settle; ++i) (void)process(0.0);
+    for (std::size_t i = 0; i < n; ++i) base[i] = process(0.0);
+    ChainMetrics m;
+    m.offset = stats::mean(base);
+
+    // Readings: consecutive 10 ms averages.
+    std::vector<double> readings;
+    for (std::size_t start = 0; start + reading_len <= n; start += reading_len) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < reading_len; ++i) acc += base[start + i];
+        readings.push_back(acc / static_cast<double>(reading_len));
+    }
+    m.noise_rms = stats::stddev(readings);
+
+    // Mains interference: synchronous correlation at 50/100/150 Hz.
+    double mains_power = 0.0;
+    for (double f : {50.0, 100.0, 150.0}) {
+        double a = 0.0;
+        double b = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double ph = 2.0 * constants::pi * f * static_cast<double>(i) / fs;
+            a += (base[i] - m.offset) * std::sin(ph);
+            b += (base[i] - m.offset) * std::cos(ph);
+        }
+        a *= 2.0 / static_cast<double>(n);
+        b *= 2.0 / static_cast<double>(n);
+        mains_power += (a * a + b * b) / 2.0;
+    }
+    m.mains_rms = std::sqrt(mains_power);
+
+    // Response to the dose (settled mean).
+    for (std::size_t i = 0; i < settle; ++i) (void)process(bridge_signal_v);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += process(bridge_signal_v);
+    m.signal = acc / static_cast<double>(n) - m.offset;
+    return m;
+}
+
+}  // namespace
+
+std::vector<ReadoutComparisonRow> compare_readout_chains(Voltage bridge_signal,
+                                                         Time analysis_window, Rng rng) {
+    CBS_EXPECTS(bridge_signal.value() > 0.0);
+    CBS_EXPECTS(analysis_window.value() >= 0.5);
+    const double fs = 200e3;
+
+    std::vector<ReadoutComparisonRow> rows;
+
+    // Integrated chain: same amplifier non-idealities as the discrete one,
+    // but chopper-stabilized and free of cable pickup.
+    {
+        circ::ChopperConfig cfg;
+        cfg.amplifier = ExternalReadoutConfig::default_amplifier();
+        cfg.chop_frequency = Frequency{10e3};
+        cfg.output_cutoff = Frequency{500.0};
+        circ::ChopperAmplifier chopper(cfg, fs, rng.fork());
+        circ::DiffusedBridge bridge;
+        circ::WhiteNoise bridge_noise(bridge.thermal_noise_density(constants::T_room), fs,
+                                      rng.fork());
+        auto process = [&](double v) { return chopper.process(bridge_noise.process(v)); };
+        const auto m = measure_chain(process, bridge_signal.value(), fs,
+                                     analysis_window.value());
+        ReadoutComparisonRow row;
+        row.chain = "monolithic (chopper, on-chip)";
+        row.signal_v = m.signal;
+        row.noise_v_rms = m.noise_rms;
+        row.mains_v_rms = m.mains_rms;
+        row.offset_v = m.offset;
+        row.snr_db = 20.0 * std::log10(std::fabs(m.signal) / m.noise_rms);
+        rows.push_back(row);
+    }
+
+    // External chain: bond wires + cable + discrete amplifier.
+    {
+        ExternalReadout ext(ExternalReadoutConfig{}, rng.fork());
+        auto process = [&](double v) { return ext.process(v); };
+        const auto m = measure_chain(process, bridge_signal.value(), fs,
+                                     analysis_window.value());
+        ReadoutComparisonRow row;
+        row.chain = "external (discrete, cabled)";
+        row.signal_v = m.signal;
+        row.noise_v_rms = m.noise_rms;
+        row.mains_v_rms = m.mains_rms;
+        row.offset_v = m.offset;
+        row.snr_db = 20.0 * std::log10(std::fabs(m.signal) / m.noise_rms);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+namespace {
+
+/// In-band noise of a bridge: thermal density with a 1/f corner, integrated
+/// over [f_lo, f_hi].
+double integrated_noise_v(const circ::WheatstoneBridge& bridge, Temperature t, double f_lo,
+                          double f_hi) {
+    const double en = bridge.thermal_noise_density(t).value();
+    const double fc = bridge.flicker_corner().value();
+    // integral of en^2 (1 + fc/f) df = en^2 [(f_hi-f_lo) + fc ln(f_hi/f_lo)]
+    const double v2 = en * en * ((f_hi - f_lo) + fc * std::log(f_hi / f_lo));
+    return std::sqrt(v2);
+}
+
+BridgeComparisonRow bridge_row(const std::string& name, const circ::WheatstoneBridge& bridge,
+                               double gauge_delta, Frequency carrier, Frequency bandwidth,
+                               Temperature temperature) {
+    BridgeComparisonRow row;
+    row.bridge = name;
+    row.arm_resistance_ohm = bridge.nominal_arm().value();
+    row.supply_current_a = bridge.supply_current().value();
+    row.power_w = bridge.power().value();
+    row.thermal_noise_nv_rthz = bridge.thermal_noise_density(temperature).value() * 1e9;
+    row.flicker_corner_hz = bridge.flicker_corner().value();
+    row.sensitivity_v = bridge.sensitivity().value();
+    const double signal = bridge.sensitivity().value() * gauge_delta;
+    const double half_bw = bandwidth.value() / 2.0;
+    const double noise_carrier = integrated_noise_v(
+        bridge, temperature, carrier.value() - half_bw, carrier.value() + half_bw);
+    const double noise_dc = integrated_noise_v(bridge, temperature, 0.1, bandwidth.value());
+    row.snr_db_at_resonance = 20.0 * std::log10(signal / noise_carrier);
+    row.snr_db_at_dc = 20.0 * std::log10(signal / noise_dc);
+    return row;
+}
+
+}  // namespace
+
+std::vector<BridgeComparisonRow> compare_bridges(double gauge_delta, Frequency carrier,
+                                                 Frequency bandwidth, Temperature temperature) {
+    CBS_EXPECTS(gauge_delta > 0.0);
+    CBS_EXPECTS(carrier.value() > bandwidth.value());
+    const circ::DiffusedBridge diffused;
+    const circ::MosBridge mos;
+    return {
+        bridge_row("p+ diffused resistors", diffused, gauge_delta, carrier, bandwidth,
+                   temperature),
+        bridge_row("PMOS triode (sec. 3.2)", mos, gauge_delta, carrier, bandwidth, temperature),
+    };
+}
+
+std::vector<AssayComparisonRow> compare_assays(const CantileverAssayEconomics& cantilever,
+                                               MolarConcentration cantilever_lod,
+                                               const FluorescenceAssay& fluorescence) {
+    CBS_EXPECTS(cantilever_lod.value() > 0.0);
+    std::vector<AssayComparisonRow> rows;
+
+    AssayComparisonRow c;
+    c.method = "CMOS cantilever (this work)";
+    c.time_to_result_min =
+        (cantilever.flow_setup + cantilever.association + cantilever.readout).value() / 60.0;
+    c.operator_steps = cantilever.operator_steps;
+    c.cost_per_test_usd = cantilever.die_cost_usd + cantilever.cartridge_cost_usd +
+                          cantilever.reader_cost_usd / cantilever.reader_lifetime_tests;
+    c.lod_nanomolar = cantilever_lod.value() / 1e-6;
+    c.label_free = true;
+    rows.push_back(c);
+
+    AssayComparisonRow f;
+    f.method = "fluorescence assay";
+    f.time_to_result_min = fluorescence.time_to_result().value() / 60.0;
+    f.operator_steps = fluorescence.operator_steps();
+    f.cost_per_test_usd = fluorescence.cost_per_test_usd();
+    f.lod_nanomolar = fluorescence.limit_of_detection().value() / 1e-6;
+    f.label_free = false;
+    rows.push_back(f);
+    return rows;
+}
+
+}  // namespace cbs::baseline

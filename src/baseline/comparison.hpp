@@ -1,0 +1,83 @@
+// Quantified comparisons behind the paper's three prose claims:
+//   T1  monolithic vs external readout (abstract: "high signal-to-noise
+//       ratio, lowers the sensitivity to external interference")
+//   T2  MOS-triode vs diffused-resistor bridge (section 3.2)
+//   T3  CMOS cantilever assay vs fluorescence workflow (introduction)
+#pragma once
+
+#include "baseline/external_readout.hpp"
+#include "baseline/fluorescence.hpp"
+#include "circ/bridge.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace cbs::baseline {
+
+// ---------------------------------------------------------------- T1 ----
+
+struct ReadoutComparisonRow {
+    std::string chain;
+    double signal_v = 0.0;        ///< output response to the test dose
+    double noise_v_rms = 0.0;     ///< baseline output noise (in band)
+    double mains_v_rms = 0.0;     ///< interference component at 50/100/150 Hz
+    double snr_db = 0.0;
+    double offset_v = 0.0;        ///< static output offset before compensation
+};
+
+/// Simulates both readout chains on the same bridge signal (a surface-stress
+/// dose expressed as bridge differential volts) and measures signal, noise,
+/// interference pickup and SNR at the chain output.
+std::vector<ReadoutComparisonRow> compare_readout_chains(Voltage bridge_signal,
+                                                         Time analysis_window, Rng rng);
+
+// ---------------------------------------------------------------- T2 ----
+
+struct BridgeComparisonRow {
+    std::string bridge;
+    double arm_resistance_ohm = 0.0;
+    double supply_current_a = 0.0;
+    double power_w = 0.0;
+    double thermal_noise_nv_rthz = 0.0;
+    double flicker_corner_hz = 0.0;
+    double sensitivity_v = 0.0;        ///< dVout/ddelta
+    double snr_db_at_resonance = 0.0;  ///< for a fixed gauge signal in a
+                                       ///< band around the resonant carrier
+    double snr_db_at_dc = 0.0;         ///< same signal read at baseband
+};
+
+/// Compares the two bridge implementations at the same bias for a given
+/// gauge excitation, in a measurement band around the resonance carrier
+/// (where the MOS bridge operates) and at baseband (where its 1/f noise
+/// would bite).
+std::vector<BridgeComparisonRow> compare_bridges(double gauge_delta, Frequency carrier,
+                                                 Frequency bandwidth, Temperature temperature);
+
+// ---------------------------------------------------------------- T3 ----
+
+struct AssayComparisonRow {
+    std::string method;
+    double time_to_result_min = 0.0;
+    int operator_steps = 0;
+    double cost_per_test_usd = 0.0;
+    double lod_nanomolar = 0.0;
+    bool label_free = false;
+};
+
+struct CantileverAssayEconomics {
+    Time flow_setup{5.0 * 60.0};
+    Time association{20.0 * 60.0};
+    Time readout{60.0};
+    int operator_steps = 2;
+    double die_cost_usd = 2.5;       ///< from wafer yield (see fab::WaferMap)
+    double cartridge_cost_usd = 1.5;
+    double reader_cost_usd = 900.0;  ///< electronics-only reader
+    double reader_lifetime_tests = 20000.0;
+};
+
+/// Builds the T3 rows: the CMOS cantilever immunoassay (LoD supplied from a
+/// measured/simulated system) against the fluorescence workflow.
+std::vector<AssayComparisonRow> compare_assays(const CantileverAssayEconomics& cantilever,
+                                               MolarConcentration cantilever_lod,
+                                               const FluorescenceAssay& fluorescence);
+
+}  // namespace cbs::baseline

@@ -1,0 +1,64 @@
+#include "baseline/external_readout.hpp"
+
+#include <algorithm>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::baseline {
+
+circ::InterferencePickup::Config ExternalReadoutConfig::default_pickup() {
+    circ::InterferencePickup::Config p;
+    p.mains_frequency_hz = 50.0;
+    p.mains_amplitude_v = 2e-6;  // uV-scale EMI into an unshielded loop
+    p.harmonic_ratio = 0.35;
+    p.harmonics = 3;
+    p.rf_floor_v = 0.3e-6;
+    return p;
+}
+
+circ::AmplifierConfig ExternalReadoutConfig::default_amplifier() {
+    circ::AmplifierConfig a;
+    a.gain = 100.0;  // match the integrated first stage
+    a.bandwidth = Frequency{50e3};
+    a.input_offset = Voltage{0.0};
+    a.offset_sigma = Voltage{5e-3};           // untrimmed discrete amp
+    a.white_noise = VoltageNoiseDensity{15e-9};
+    a.flicker_corner = Frequency{5e3};        // no chopping: lands in-band
+    a.saturation = Voltage{2.5};
+    return a;
+}
+
+ExternalReadout::ExternalReadout(const ExternalReadoutConfig& config, Rng rng)
+    : cfg_(config),
+      bridge_model_(config.bridge),
+      bridge_noise_(bridge_model_.thermal_noise_density(constants::T_room),
+                    config.sample_rate_hz, rng.fork()),
+      pickup_(config.pickup, config.sample_rate_hz, rng.fork()),
+      // Clamp below Nyquist: a cable pole above fs/2 means "no pole in the
+      // modelled band".
+      cable_pole_(Frequency{std::min(frontend_bandwidth().value(),
+                                     0.45 * config.sample_rate_hz)},
+                  config.sample_rate_hz),
+      amp_(config.amplifier, config.sample_rate_hz, rng.fork()),
+      post_filter_(config.output_cutoff, config.sample_rate_hz) {
+    CBS_EXPECTS(config.cable_capacitance.value() > 0.0);
+    CBS_EXPECTS(config.sample_rate_hz > 0.0);
+}
+
+Frequency ExternalReadout::frontend_bandwidth() const {
+    const circ::DiffusedBridge bridge(cfg_.bridge);
+    const double rc =
+        bridge.output_resistance().value() * cfg_.cable_capacitance.value();
+    return Frequency{1.0 / (2.0 * constants::pi * rc)};
+}
+
+double ExternalReadout::process(double bridge_v) {
+    double v = bridge_noise_.process(bridge_v);
+    v = pickup_.process(v);
+    v = cable_pole_.process(v);
+    v = amp_.process(v);
+    return post_filter_.process(v);
+}
+
+}  // namespace cbs::baseline

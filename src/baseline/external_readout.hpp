@@ -1,0 +1,59 @@
+// Off-chip (hybrid) readout baseline — what the monolithic integration of
+// the paper's abstract is compared against: the same piezoresistive bridge,
+// but wired over bond wires and a cable to a discrete instrumentation
+// amplifier. The long unshielded path picks up mains interference and RF;
+// the discrete amplifier has no chopper, so its 1/f noise and offset land
+// directly in the sensor band.
+#pragma once
+
+#include "circ/amplifier.hpp"
+#include "circ/bridge.hpp"
+#include "circ/filters.hpp"
+#include "circ/noise.hpp"
+#include "util/random.hpp"
+
+namespace cbs::baseline {
+
+struct ExternalReadoutConfig {
+    circ::DiffusedBridge::Config bridge{};
+    /// Interference coupled into the bond-wire/cable loop.
+    circ::InterferencePickup::Config pickup = default_pickup();
+    /// Discrete instrumentation amplifier (no chopping).
+    circ::AmplifierConfig amplifier = default_amplifier();
+    /// Cable capacitance against the bridge output resistance limits the
+    /// front-end bandwidth.
+    Capacitance cable_capacitance{150e-12};
+    Frequency output_cutoff{500.0};  ///< same post-filter as the chain on-chip
+    double sample_rate_hz = 200e3;
+
+    static circ::InterferencePickup::Config default_pickup();
+    static circ::AmplifierConfig default_amplifier();
+};
+
+/// Sampled-data model of the external chain: bridge -> pickup -> RC -> amp
+/// -> post filter. Voltage gain matches the integrated chopper's first
+/// stage so outputs compare directly.
+class ExternalReadout {
+public:
+    ExternalReadout(const ExternalReadoutConfig& config, Rng rng);
+
+    /// Processes one sample of bridge differential output (volts).
+    double process(double bridge_v);
+
+    /// Front-end -3 dB set by R_bridge x C_cable.
+    [[nodiscard]] Frequency frontend_bandwidth() const;
+
+    [[nodiscard]] double gain() const { return cfg_.amplifier.gain; }
+    [[nodiscard]] const ExternalReadoutConfig& config() const { return cfg_; }
+
+private:
+    ExternalReadoutConfig cfg_;
+    circ::DiffusedBridge bridge_model_;
+    circ::WhiteNoise bridge_noise_;
+    circ::InterferencePickup pickup_;
+    circ::OnePoleLowPass cable_pole_;
+    circ::BehavioralAmplifier amp_;
+    circ::OnePoleLowPass post_filter_;
+};
+
+}  // namespace cbs::baseline

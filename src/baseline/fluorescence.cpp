@@ -1,0 +1,64 @@
+#include "baseline/fluorescence.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::baseline {
+
+FluorescenceAssay::FluorescenceAssay(const FluorescenceConfig& config,
+                                     const bio::Analyte& analyte, const bio::Receptor& receptor)
+    : cfg_(config), analyte_(analyte), receptor_(receptor) {
+    analyte_.validate();
+    receptor_.validate();
+    CBS_EXPECTS(config.labels_per_analyte > 0.0);
+    CBS_EXPECTS(config.photons_per_label > 0.0);
+    CBS_EXPECTS(config.collection_efficiency > 0.0 && config.collection_efficiency <= 1.0);
+    CBS_EXPECTS(config.spot_area.value() > 0.0);
+    CBS_EXPECTS(config.instrument_lifetime_tests > 0.0);
+}
+
+Time FluorescenceAssay::time_to_result() const {
+    return cfg_.sample_incubation + cfg_.label_incubation + cfg_.wash_steps + cfg_.scanner_time;
+}
+
+double FluorescenceAssay::cost_per_test_usd() const {
+    return cfg_.labeled_reagent_cost_usd + cfg_.consumables_cost_usd +
+           cfg_.instrument_cost_usd / cfg_.instrument_lifetime_tests;
+}
+
+double FluorescenceAssay::signal_at_coverage(double theta) const {
+    const double sites = receptor_.surface_density.value() * cfg_.spot_area.value();
+    return sites * theta * cfg_.labels_per_analyte * cfg_.photons_per_label *
+           cfg_.collection_efficiency;
+}
+
+FluorescenceResult FluorescenceAssay::detect(MolarConcentration c) const {
+    CBS_EXPECTS(c.value() >= 0.0);
+    const bio::LangmuirKinetics kinetics(analyte_);
+    const double theta = kinetics.equilibrium_coverage(c);
+    FluorescenceResult r;
+    r.signal_photons = signal_at_coverage(theta);
+    const double bg_var = cfg_.background_cv * cfg_.background_photons;
+    r.noise_photons =
+        std::sqrt(r.signal_photons + cfg_.background_photons + bg_var * bg_var);
+    r.snr = r.signal_photons / r.noise_photons;
+    return r;
+}
+
+MolarConcentration FluorescenceAssay::limit_of_detection() const {
+    // Smallest concentration with SNR >= 3: solve in the linear (low
+    // coverage) regime where theta ~ C/Kd and the noise is the background
+    // floor (shot + spot-to-spot variability).
+    const double bg_var = cfg_.background_cv * cfg_.background_photons;
+    const double noise_floor = std::sqrt(cfg_.background_photons + bg_var * bg_var);
+    const double required_signal = 3.0 * noise_floor;
+    const double signal_per_theta = signal_at_coverage(1.0);
+    const double theta_lod = required_signal / signal_per_theta;
+    const double kd = analyte_.dissociation_constant().value();
+    // theta = C/(C+Kd) -> C = Kd theta/(1-theta).
+    CBS_EXPECTS(theta_lod < 1.0);
+    return MolarConcentration{kd * theta_lod / (1.0 - theta_lod)};
+}
+
+}  // namespace cbs::baseline

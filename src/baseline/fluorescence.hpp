@@ -1,0 +1,81 @@
+// Fluorescence-marker assay baseline — the comparator the paper's
+// introduction argues against: "based on the use of fluorescent markers and
+// the corresponding optical analysis. This method is very time consuming
+// and needs a complex and expensive optical setup."
+//
+// Modelled as a workflow/noise budget: labeling + incubation + wash + scan
+// times, labeled-antibody reagent cost, photon shot-noise-limited detection
+// through a scanner with finite collection efficiency and autofluorescence
+// background.
+#pragma once
+
+#include "bio/langmuir.hpp"
+#include "bio/species.hpp"
+#include "util/units.hpp"
+
+namespace cbs::baseline {
+
+struct FluorescenceConfig {
+    // Workflow step durations.
+    Time sample_incubation{45.0 * 60.0};
+    Time label_incubation{30.0 * 60.0};
+    Time wash_steps{10.0 * 60.0};
+    Time scanner_time{15.0 * 60.0};
+    int operator_steps = 7;  ///< manual interventions per test
+
+    // Detection physics.
+    double labels_per_analyte = 2.5;        ///< labeled secondary antibody
+    double photons_per_label = 3000.0;      ///< emitted during one scan
+    double collection_efficiency = 0.02;    ///< optics + detector QE
+    double background_photons = 5.0e6;      ///< autofluorescence + nonspecific label
+    /// Spot-to-spot background variability (nonspecific adsorption,
+    /// substrate autofluorescence): the noise floor that dominates real
+    /// scanners far above shot noise.
+    double background_cv = 0.1;
+    Area spot_area{Q<0, 2, 0>{1e-8}};       ///< 100 um x 100 um spot
+
+    // Economics (per test).
+    double labeled_reagent_cost_usd = 18.0;
+    double consumables_cost_usd = 6.0;
+    double instrument_cost_usd = 120000.0;  ///< scanner + robotics
+    double instrument_lifetime_tests = 50000.0;
+};
+
+struct FluorescenceResult {
+    double signal_photons = 0.0;
+    double noise_photons = 0.0;  ///< shot noise of signal + background
+    double snr = 0.0;
+};
+
+class FluorescenceAssay {
+public:
+    FluorescenceAssay(const FluorescenceConfig& config, const bio::Analyte& analyte,
+                      const bio::Receptor& receptor);
+
+    /// Total bench-to-result time.
+    [[nodiscard]] Time time_to_result() const;
+    /// Operator interventions per test.
+    [[nodiscard]] int operator_steps() const { return cfg_.operator_steps; }
+    /// Fully-loaded cost per test (reagents + consumables + amortized
+    /// instrument).
+    [[nodiscard]] double cost_per_test_usd() const;
+
+    /// Detected photon budget at an analyte concentration (equilibrium
+    /// coverage of the incubation).
+    [[nodiscard]] FluorescenceResult detect(MolarConcentration c) const;
+
+    /// 3-sigma shot-noise-limited detection limit [mol/m^3].
+    [[nodiscard]] MolarConcentration limit_of_detection() const;
+
+    [[nodiscard]] const FluorescenceConfig& config() const { return cfg_; }
+
+private:
+    /// Photons collected at coverage theta.
+    [[nodiscard]] double signal_at_coverage(double theta) const;
+
+    FluorescenceConfig cfg_;
+    bio::Analyte analyte_;
+    bio::Receptor receptor_;
+};
+
+}  // namespace cbs::baseline

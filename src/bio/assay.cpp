@@ -1,0 +1,81 @@
+#include "bio/assay.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace cbs::bio {
+
+Time AssayProtocol::total_duration() const {
+    Time total{0.0};
+    for (const auto& p : phases) total += p.duration;
+    return total;
+}
+
+void AssayProtocol::validate() const {
+    CBS_EXPECTS(!phases.empty());
+    for (const auto& p : phases) {
+        CBS_EXPECTS(p.duration.value() > 0.0);
+        CBS_EXPECTS(p.concentration.value() >= 0.0);
+    }
+}
+
+AssayProtocol AssayProtocol::standard(MolarConcentration sample_concentration, Time baseline,
+                                      Time association, Time dissociation) {
+    AssayProtocol p;
+    p.phases.push_back({"baseline", baseline, MolarConcentration{0.0}});
+    p.phases.push_back({"association", association, sample_concentration});
+    p.phases.push_back({"dissociation", dissociation, MolarConcentration{0.0}});
+    p.validate();
+    return p;
+}
+
+AssayRunner::AssayRunner(const Coating& coating, Area functionalized_area)
+    : coating_(coating), area_(functionalized_area) {
+    coating_.validate();
+    CBS_EXPECTS(functionalized_area.value() > 0.0);
+}
+
+std::vector<SensorgramPoint> AssayRunner::run(const AssayProtocol& protocol,
+                                              Time sample_interval) const {
+    protocol.validate();
+    CBS_EXPECTS(sample_interval.value() > 0.0);
+    const LangmuirKinetics kinetics(coating_.target);
+
+    std::vector<SensorgramPoint> out;
+    double theta = 0.0;
+    double t = 0.0;
+    auto record = [&] {
+        SensorgramPoint p;
+        p.time_s = t;
+        p.coverage = theta;
+        p.surface_stress_n_per_m = coating_.surface_stress(theta).value();
+        p.bound_mass_kg = coating_.bound_mass(theta, area_).value();
+        out.push_back(p);
+    };
+    record();
+    for (const auto& phase : protocol.phases) {
+        double elapsed = 0.0;
+        while (elapsed < phase.duration.value() - 1e-12) {
+            const double dt =
+                std::min(sample_interval.value(), phase.duration.value() - elapsed);
+            theta = kinetics.step(theta, phase.concentration, Time{dt});
+            elapsed += dt;
+            t += dt;
+            record();
+        }
+    }
+    return out;
+}
+
+double AssayRunner::final_coverage(const AssayProtocol& protocol) const {
+    protocol.validate();
+    const LangmuirKinetics kinetics(coating_.target);
+    double theta = 0.0;
+    for (const auto& phase : protocol.phases) {
+        theta = kinetics.coverage(phase.concentration, phase.duration, theta);
+    }
+    return theta;
+}
+
+}  // namespace cbs::bio

@@ -1,0 +1,65 @@
+// Assay protocol and sensorgram generation: the standard
+// baseline -> association -> dissociation sequence of an affinity
+// measurement ("once in contact with the sample the analyte is specifically
+// captured", paper section 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/functionalization.hpp"
+#include "bio/langmuir.hpp"
+#include "util/units.hpp"
+
+namespace cbs::bio {
+
+/// One constant-concentration phase of an assay.
+struct AssayPhase {
+    std::string name;
+    Time duration{};
+    MolarConcentration concentration{};  ///< of the coating's target analyte
+};
+
+/// A full protocol (ordered phases).
+struct AssayProtocol {
+    std::vector<AssayPhase> phases;
+
+    [[nodiscard]] Time total_duration() const;
+    void validate() const;
+
+    /// Standard three-phase protocol.
+    static AssayProtocol standard(MolarConcentration sample_concentration,
+                                  Time baseline = Time{120.0}, Time association = Time{900.0},
+                                  Time dissociation = Time{600.0});
+};
+
+/// One point of a sensorgram.
+struct SensorgramPoint {
+    double time_s = 0.0;
+    double coverage = 0.0;
+    double surface_stress_n_per_m = 0.0;
+    double bound_mass_kg = 0.0;
+};
+
+/// Runs a protocol against a coating with pure Langmuir kinetics; the
+/// per-cantilever physics (mass, stress) are evaluated on the given
+/// functionalized area.
+class AssayRunner {
+public:
+    AssayRunner(const Coating& coating, Area functionalized_area);
+
+    /// Simulates the protocol, sampling every `sample_interval`.
+    [[nodiscard]] std::vector<SensorgramPoint> run(const AssayProtocol& protocol,
+                                                   Time sample_interval = Time{1.0}) const;
+
+    /// Coverage trajectory value at the end of the protocol.
+    [[nodiscard]] double final_coverage(const AssayProtocol& protocol) const;
+
+    [[nodiscard]] const Coating& coating() const { return coating_; }
+
+private:
+    Coating coating_;
+    Area area_;
+};
+
+}  // namespace cbs::bio

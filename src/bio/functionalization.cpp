@@ -1,0 +1,69 @@
+#include "bio/functionalization.hpp"
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::bio {
+
+void Coating::validate() const {
+    receptor.validate();
+    target.validate();
+    CBS_EXPECTS(capture_efficiency >= 0.0 && capture_efficiency <= 1.0);
+}
+
+ArealNumberDensity Coating::active_site_density() const {
+    return receptor.surface_density * capture_efficiency;
+}
+
+SurfaceMassDensity Coating::bound_areal_mass(double theta) const {
+    CBS_EXPECTS(theta >= 0.0 && theta <= 1.0);
+    return active_site_density() * theta * target.molecule_mass();
+}
+
+Mass Coating::bound_mass(double theta, Area functionalized_area) const {
+    CBS_EXPECTS(functionalized_area.value() > 0.0);
+    return bound_areal_mass(theta) * functionalized_area;
+}
+
+SurfaceStress Coating::surface_stress(double theta) const {
+    // theta is the occupancy of *active* sites, so both signals scale
+    // linearly in theta alone.
+    CBS_EXPECTS(theta >= 0.0 && theta <= 1.0);
+    return stress_at_full_coverage * theta;
+}
+
+Coating antibody_coating(const Analyte& target) {
+    Coating c{
+        .receptor = library::antibody_layer(),
+        .target = target,
+    };
+    c.validate();
+    return c;
+}
+
+Coating reference_coating() {
+    Coating c{
+        .receptor = library::antibody_layer(),
+        .target = library::bsa_nonspecific(),
+        // A small fraction of the blocked surface still adsorbs protein
+        // nonspecifically; this is the background the differential
+        // measurement subtracts.
+        .capture_efficiency = 0.05,
+        .stress_at_full_coverage = SurfaceStress{0.5e-3},
+    };
+    c.validate();
+    return c;
+}
+
+Coating dna_coating() {
+    Coating c{
+        .receptor = library::dna_capture_layer(),
+        .target = library::dna_20mer(),
+        .capture_efficiency = 0.85,
+        .stress_at_full_coverage = SurfaceStress{12e-3},  // hybridization stress
+    };
+    c.validate();
+    return c;
+}
+
+}  // namespace cbs::bio

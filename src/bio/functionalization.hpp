@@ -1,0 +1,50 @@
+// Cantilever functionalization: "the cantilevers are functionalized for the
+// capturing of specific analytes... the corresponding antibody is
+// immobilized on the cantilever surface prior to the actual analysis."
+//
+// A Coating maps fractional occupancy theta to the two physical signals:
+//  * areal bound mass (resonant mode), and
+//  * adsorption-induced surface stress (static mode).
+// A *blocked* coating (capture_efficiency 0 + nonspecific background only)
+// models the reference cantilever of a differential array.
+#pragma once
+
+#include "bio/species.hpp"
+#include "util/units.hpp"
+
+namespace cbs::bio {
+
+struct Coating {
+    Receptor receptor;
+    Analyte target;
+    /// Fraction of immobilized probes that remain active after coating
+    /// (orientation/denaturation losses); 0 models a blocked reference.
+    double capture_efficiency = 0.7;
+    /// Differential surface stress at full specific coverage; compressive
+    /// (positive bends the functionalized face convex) for most
+    /// protein-binding events. Literature range 1..50 mN/m.
+    SurfaceStress stress_at_full_coverage{5e-3};
+
+    void validate() const;
+
+    /// Effective capture-site density [1/m^2].
+    [[nodiscard]] ArealNumberDensity active_site_density() const;
+
+    /// Areal mass bound at coverage theta [kg/m^2].
+    [[nodiscard]] SurfaceMassDensity bound_areal_mass(double theta) const;
+
+    /// Total bound mass on a functionalized plan area.
+    [[nodiscard]] Mass bound_mass(double theta, Area functionalized_area) const;
+
+    /// Surface stress at coverage theta (linear in theta).
+    [[nodiscard]] SurfaceStress surface_stress(double theta) const;
+};
+
+/// Standard antibody coating for an analyte.
+Coating antibody_coating(const Analyte& target);
+/// Blocked (BSA-passivated) reference coating: captures nothing specific.
+Coating reference_coating();
+/// Thiol-ssDNA capture coating for hybridization assays.
+Coating dna_coating();
+
+}  // namespace cbs::bio

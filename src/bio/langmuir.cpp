@@ -1,0 +1,52 @@
+#include "bio/langmuir.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::bio {
+
+LangmuirKinetics::LangmuirKinetics(const Analyte& analyte) : analyte_(analyte) {
+    analyte_.validate();
+}
+
+double LangmuirKinetics::equilibrium_coverage(MolarConcentration c) const {
+    CBS_EXPECTS(c.value() >= 0.0);
+    const double kd = analyte_.dissociation_constant().value();
+    return c.value() / (c.value() + kd);
+}
+
+Frequency LangmuirKinetics::observed_rate(MolarConcentration c) const {
+    CBS_EXPECTS(c.value() >= 0.0);
+    return analyte_.k_on * c + analyte_.k_off;
+}
+
+double LangmuirKinetics::coverage(MolarConcentration c, Time t, double theta0) const {
+    CBS_EXPECTS(t.value() >= 0.0);
+    CBS_EXPECTS(theta0 >= 0.0 && theta0 <= 1.0);
+    const double eq = equilibrium_coverage(c);
+    const double k = observed_rate(c).value();
+    return eq + (theta0 - eq) * std::exp(-k * t.value());
+}
+
+double LangmuirKinetics::dissociation(Time t, double theta0) const {
+    CBS_EXPECTS(t.value() >= 0.0);
+    CBS_EXPECTS(theta0 >= 0.0 && theta0 <= 1.0);
+    return theta0 * std::exp(-analyte_.k_off.value() * t.value());
+}
+
+double LangmuirKinetics::step(double theta, MolarConcentration c, Time dt) const {
+    CBS_EXPECTS(theta >= 0.0 && theta <= 1.0);
+    CBS_EXPECTS(dt.value() > 0.0);
+    // Exact exponential update over dt (the ODE is linear in theta for a
+    // constant concentration), so large steps stay stable and accurate.
+    return coverage(c, dt, theta);
+}
+
+Time LangmuirKinetics::time_to_equilibrium(MolarConcentration c, double fraction) const {
+    CBS_EXPECTS(fraction > 0.0 && fraction < 1.0);
+    const double k = observed_rate(c).value();
+    return Time{-std::log(1.0 - fraction) / k};
+}
+
+}  // namespace cbs::bio

@@ -1,0 +1,42 @@
+// Langmuir 1:1 binding kinetics — the forward model linking analyte
+// concentration to fractional receptor occupancy theta(t), which in turn
+// drives surface stress (static mode, Figure 1) and bound mass (resonant
+// mode, Figure 2).
+#pragma once
+
+#include "bio/species.hpp"
+#include "util/units.hpp"
+
+namespace cbs::bio {
+
+class LangmuirKinetics {
+public:
+    explicit LangmuirKinetics(const Analyte& analyte);
+
+    /// Equilibrium coverage theta_eq = C / (C + K_d).
+    [[nodiscard]] double equilibrium_coverage(MolarConcentration c) const;
+
+    /// Observed exponential rate during association: k_obs = k_on C + k_off.
+    [[nodiscard]] Frequency observed_rate(MolarConcentration c) const;
+
+    /// Analytic coverage at time t for a constant concentration step
+    /// starting from theta0.
+    [[nodiscard]] double coverage(MolarConcentration c, Time t, double theta0 = 0.0) const;
+
+    /// Analytic dissociation from theta0 in pure buffer.
+    [[nodiscard]] double dissociation(Time t, double theta0) const;
+
+    /// One explicit integration step (for time-varying concentration):
+    /// dtheta/dt = k_on C (1 - theta) - k_off theta.
+    [[nodiscard]] double step(double theta, MolarConcentration c, Time dt) const;
+
+    /// Time to reach a fraction (default 95%) of the equilibrium coverage.
+    [[nodiscard]] Time time_to_equilibrium(MolarConcentration c, double fraction = 0.95) const;
+
+    [[nodiscard]] const Analyte& analyte() const { return analyte_; }
+
+private:
+    Analyte analyte_;
+};
+
+}  // namespace cbs::bio

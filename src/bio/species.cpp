@@ -1,0 +1,97 @@
+#include "bio/species.hpp"
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::bio {
+
+using namespace cbs::literals;
+
+Mass Analyte::molecule_mass() const { return molar_mass / constants::N_A; }
+
+void Analyte::validate() const {
+    CBS_EXPECTS(!name.empty());
+    CBS_EXPECTS(molar_mass.value() > 0.0);
+    CBS_EXPECTS(k_on.value() > 0.0);
+    CBS_EXPECTS(k_off.value() > 0.0);
+}
+
+Q<0, -2, 0, 0, 0, 1> Receptor::molar_density() const {
+    return surface_density / constants::N_A;
+}
+
+void Receptor::validate() const {
+    CBS_EXPECTS(!name.empty());
+    CBS_EXPECTS(surface_density.value() > 0.0);
+}
+
+namespace library {
+
+namespace {
+/// k_on given in the conventional 1/(M s); SI value is m^3/(mol s) = /1000.
+constexpr InverseMolarTime per_molar_second(double v) { return InverseMolarTime{v * 1e-3}; }
+}  // namespace
+
+const Analyte& igg_antigen() {
+    static const Analyte a{
+        .name = "IgG-antigen",
+        .molar_mass = 150.0_kDa,
+        .k_on = per_molar_second(1e5),
+        .k_off = Frequency{1e-3},
+    };
+    return a;
+}
+
+const Analyte& psa() {
+    static const Analyte a{
+        .name = "PSA",
+        .molar_mass = 30.0_kDa,
+        .k_on = per_molar_second(2.4e5),
+        .k_off = Frequency{5e-4},
+    };
+    return a;
+}
+
+const Analyte& crp() {
+    static const Analyte a{
+        .name = "CRP",
+        .molar_mass = 115.0_kDa,
+        .k_on = per_molar_second(3e5),
+        .k_off = Frequency{2e-3},
+    };
+    return a;
+}
+
+const Analyte& dna_20mer() {
+    static const Analyte a{
+        .name = "DNA-20mer",
+        .molar_mass = 6.6_kDa,  // ~330 Da per nucleotide
+        .k_on = per_molar_second(5e4),
+        .k_off = Frequency{2e-4},
+    };
+    return a;
+}
+
+const Analyte& bsa_nonspecific() {
+    static const Analyte a{
+        .name = "BSA-nonspecific",
+        .molar_mass = 66.0_kDa,
+        .k_on = per_molar_second(1e3),
+        .k_off = Frequency{5e-2},
+    };
+    return a;
+}
+
+const Receptor& antibody_layer() {
+    static const Receptor r{.name = "antibody", .surface_density = ArealNumberDensity{1e16}};
+    return r;
+}
+
+const Receptor& dna_capture_layer() {
+    static const Receptor r{.name = "ssDNA-capture", .surface_density = ArealNumberDensity{3e16}};
+    return r;
+}
+
+}  // namespace library
+
+}  // namespace cbs::bio

@@ -1,0 +1,64 @@
+// Bio-affinity species: "specific analyte detection is achieved by taking
+// advantage of bio-affinity recognition between the analyte and a suitable
+// probe molecule, e.g. immunoassay" (paper section 1).
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace cbs::bio {
+
+/// Analyte in solution and its binding kinetics to its immobilized probe.
+struct Analyte {
+    std::string name;
+    MolarMass molar_mass{};      ///< kg/mol
+    InverseMolarTime k_on{};     ///< association rate, 1/(M s) in SI m^3/(mol s)
+    Frequency k_off{};           ///< dissociation rate, 1/s
+
+    /// Equilibrium dissociation constant K_d = k_off / k_on.
+    [[nodiscard]] MolarConcentration dissociation_constant() const {
+        return k_off / k_on;
+    }
+
+    /// Mass of a single molecule.
+    [[nodiscard]] Mass molecule_mass() const;
+
+    void validate() const;
+};
+
+/// Immobilized probe layer (antibody, ssDNA strand, ...).
+struct Receptor {
+    std::string name;
+    ArealNumberDensity surface_density{};  ///< probe sites per m^2
+
+    /// Molar surface density Gamma_max [mol/m^2].
+    [[nodiscard]] Q<0, -2, 0, 0, 0, 1> molar_density() const;
+
+    void validate() const;
+};
+
+/// Built-in species used by the examples and benches.
+namespace library {
+
+/// IgG-class antibody/antigen pair (the paper's immunoassay motivation):
+/// 150 kDa, k_on 1e5 1/(M s), k_off 1e-3 1/s, K_d 10 nM.
+const Analyte& igg_antigen();
+/// Prostate-specific antigen: 30 kDa, higher-affinity antibody pair.
+const Analyte& psa();
+/// C-reactive protein (pentamer), 115 kDa.
+const Analyte& crp();
+/// 20-mer single-stranded DNA hybridizing to its immobilized complement.
+const Analyte& dna_20mer();
+/// Bovine serum albumin binding non-specifically (weak, fast-off):
+/// the background a blocked reference cantilever subtracts.
+const Analyte& bsa_nonspecific();
+
+/// Typical immobilized antibody layer (~1e16 sites/m^2).
+const Receptor& antibody_layer();
+/// Thiolated ssDNA capture layer (denser, ~3e16 sites/m^2).
+const Receptor& dna_capture_layer();
+
+}  // namespace library
+
+}  // namespace cbs::bio

@@ -1,0 +1,69 @@
+#include "bio/transport.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace cbs::bio {
+
+TransportLimitedBinding::TransportLimitedBinding(const Analyte& analyte, const Receptor& receptor,
+                                                 const FlowCellConfig& cell)
+    : analyte_(analyte), receptor_(receptor), cell_(cell) {
+    analyte_.validate();
+    receptor_.validate();
+    CBS_EXPECTS(cell.transport_coefficient.value() > 0.0);
+}
+
+double TransportLimitedBinding::damkoehler() const {
+    // k_on [m^3/(mol s)] * Gamma_molar [mol/m^2] / k_M [m/s].
+    return analyte_.k_on * receptor_.molar_density() / cell_.transport_coefficient;
+}
+
+MolarConcentration TransportLimitedBinding::surface_concentration(MolarConcentration bulk,
+                                                                  double theta) const {
+    CBS_EXPECTS(bulk.value() >= 0.0);
+    CBS_EXPECTS(theta >= 0.0 && theta <= 1.0);
+    // Flux balance: k_M (C_b - C_s) = Gamma [k_on C_s (1-theta) - k_off theta]
+    const auto km = cell_.transport_coefficient;
+    const auto gamma = receptor_.molar_density();
+    const auto numerator = km * bulk + gamma * analyte_.k_off * theta;
+    const auto denominator = km + gamma * analyte_.k_on * (1.0 - theta);
+    return numerator / denominator;
+}
+
+Frequency TransportLimitedBinding::coverage_rate(MolarConcentration bulk, double theta) const {
+    const auto cs = surface_concentration(bulk, theta);
+    return analyte_.k_on * cs * (1.0 - theta) - analyte_.k_off * theta;
+}
+
+double TransportLimitedBinding::integrate(MolarConcentration bulk, Time duration, double theta0,
+                                          Time dt) const {
+    CBS_EXPECTS(duration.value() >= 0.0);
+    CBS_EXPECTS(dt.value() > 0.0);
+    CBS_EXPECTS(theta0 >= 0.0 && theta0 <= 1.0);
+    double theta = theta0;
+    double t = 0.0;
+    const double h = dt.value();
+    auto f = [&](double th) {
+        th = std::min(std::max(th, 0.0), 1.0);
+        return coverage_rate(bulk, th).value();
+    };
+    while (t < duration.value()) {
+        const double k1 = f(theta);
+        const double k2 = f(theta + 0.5 * h * k1);
+        const double k3 = f(theta + 0.5 * h * k2);
+        const double k4 = f(theta + h * k3);
+        theta += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        theta = std::min(std::max(theta, 0.0), 1.0);
+        t += h;
+    }
+    return theta;
+}
+
+double TransportLimitedBinding::initial_rate_ratio() const {
+    // At theta=0: dtheta/dt = k_on C_s with C_s = C_b k_M/(k_M + Gamma k_on)
+    // = C_b / (1 + Da).
+    return 1.0 / (1.0 + damkoehler());
+}
+
+}  // namespace cbs::bio

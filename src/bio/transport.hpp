@@ -1,0 +1,53 @@
+// Two-compartment transport-limited binding: at low concentration or dense
+// receptor layers, diffusion through the depletion layer above the
+// cantilever (not reaction kinetics) limits the observed binding rate. The
+// bulk feeds a thin surface compartment through a mass-transport
+// coefficient k_M; the quasi-steady surface concentration then drives the
+// Langmuir reaction.
+#pragma once
+
+#include "bio/langmuir.hpp"
+#include "bio/species.hpp"
+#include "util/units.hpp"
+
+namespace cbs::bio {
+
+struct FlowCellConfig {
+    /// Mass-transport coefficient k_M [m/s]; for a typical microfluidic
+    /// flow cell over a cantilever, 1e-6..1e-4 m/s depending on flow rate.
+    Velocity transport_coefficient{2e-6};
+};
+
+class TransportLimitedBinding {
+public:
+    TransportLimitedBinding(const Analyte& analyte, const Receptor& receptor,
+                            const FlowCellConfig& cell = FlowCellConfig{});
+
+    /// Damkoehler number Da = k_on Gamma_max / k_M: Da >> 1 means transport
+    /// limited, Da << 1 reaction limited.
+    [[nodiscard]] double damkoehler() const;
+
+    /// Quasi-steady surface concentration given bulk concentration and
+    /// current coverage.
+    [[nodiscard]] MolarConcentration surface_concentration(MolarConcentration bulk,
+                                                           double theta) const;
+
+    /// dtheta/dt under transport limitation.
+    [[nodiscard]] Frequency coverage_rate(MolarConcentration bulk, double theta) const;
+
+    /// Integrates theta over `duration` with steps `dt` (RK4); returns the
+    /// final coverage.
+    [[nodiscard]] double integrate(MolarConcentration bulk, Time duration, double theta0,
+                                   Time dt) const;
+
+    /// Initial-slope ratio vs pure reaction kinetics (1 = unaffected,
+    /// -> 1/(1+Da) when transport limits).
+    [[nodiscard]] double initial_rate_ratio() const;
+
+private:
+    Analyte analyte_;
+    Receptor receptor_;
+    FlowCellConfig cell_;
+};
+
+}  // namespace cbs::bio

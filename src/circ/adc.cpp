@@ -1,0 +1,26 @@
+#include "circ/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+SarAdc::SarAdc(int bits, Voltage full_scale) : bits_(bits), full_scale_(full_scale.value()) {
+    CBS_EXPECTS(bits >= 4 && bits <= 24);
+    CBS_EXPECTS(full_scale.value() > 0.0);
+    lsb_ = 2.0 * full_scale_ / std::pow(2.0, bits_);
+}
+
+std::int32_t SarAdc::convert(double volts) const {
+    const double clamped = std::clamp(volts, -full_scale_, full_scale_);
+    const auto max_code = static_cast<std::int32_t>(std::pow(2.0, bits_ - 1)) - 1;
+    const auto min_code = -static_cast<std::int32_t>(std::pow(2.0, bits_ - 1));
+    const auto code = static_cast<std::int32_t>(std::llround(clamped / lsb_));
+    return std::clamp(code, min_code, max_code);
+}
+
+double SarAdc::to_volts(std::int32_t code) const { return code * lsb_; }
+
+}  // namespace cbs::circ

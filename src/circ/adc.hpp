@@ -1,0 +1,33 @@
+// Successive-approximation ADC closing the static channel: quantization to
+// n bits over a bipolar full scale.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+class SarAdc {
+public:
+    SarAdc(int bits, Voltage full_scale);
+
+    /// Converts a voltage to a signed code (clamped to range).
+    [[nodiscard]] std::int32_t convert(double volts) const;
+
+    /// Reconstructs the voltage a code represents.
+    [[nodiscard]] double to_volts(std::int32_t code) const;
+
+    /// Quantize-and-reconstruct in one step.
+    [[nodiscard]] double quantize(double volts) const { return to_volts(convert(volts)); }
+
+    [[nodiscard]] Voltage lsb() const { return Voltage{lsb_}; }
+    [[nodiscard]] int bits() const { return bits_; }
+
+private:
+    int bits_;
+    double full_scale_;
+    double lsb_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,68 @@
+#include "circ/amplifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+BehavioralAmplifier::BehavioralAmplifier(const AmplifierConfig& config, double sample_rate_hz,
+                                         Rng rng)
+    : cfg_(config),
+      dt_(1.0 / sample_rate_hz),
+      offset_(config.input_offset.value()),
+      // A bandwidth at or above Nyquist means "no pole in the modelled
+      // band"; clamp so over-sampled wideband stages stay representable.
+      pole_(Frequency{std::min(config.bandwidth.value(), 0.45 * sample_rate_hz)},
+            sample_rate_hz) {
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+    CBS_EXPECTS(config.gain != 0.0);
+    CBS_EXPECTS(config.saturation.value() > 0.0);
+    CBS_EXPECTS(config.slew_rate_v_per_s > 0.0);
+    Rng local = rng;
+    if (config.offset_sigma.value() > 0.0) {
+        offset_ += local.normal(0.0, config.offset_sigma.value());
+    }
+    if (config.white_noise.value() > 0.0) {
+        white_.emplace(config.white_noise, sample_rate_hz, local.fork());
+    }
+    if (config.flicker_corner.value() > 0.0) {
+        CBS_EXPECTS(config.white_noise.value() > 0.0);  // corner is relative to white
+        const double k = config.white_noise.value() * config.white_noise.value() *
+                         config.flicker_corner.value();
+        flicker_.emplace(k, sample_rate_hz, local.fork());
+    }
+}
+
+double BehavioralAmplifier::corrupt_input(double in) {
+    double v = in + offset_;
+    if (white_) v = white_->process(v);
+    if (flicker_) v = flicker_->process(v);
+    return v;
+}
+
+double BehavioralAmplifier::shape_output(double v) {
+    // Closed-loop single pole.
+    v = pole_.process(v);
+    // Slew limiting.
+    const double max_step = cfg_.slew_rate_v_per_s * dt_;
+    const double step = std::clamp(v - out_state_, -max_step, max_step);
+    out_state_ += step;
+    // Rail clipping.
+    out_state_ = std::clamp(out_state_, -cfg_.saturation.value(), cfg_.saturation.value());
+    return out_state_;
+}
+
+double BehavioralAmplifier::process(double in) {
+    return shape_output(cfg_.gain * corrupt_input(in));
+}
+
+void BehavioralAmplifier::reset() {
+    if (white_) white_->reset();
+    if (flicker_) flicker_->reset();
+    pole_.reset();
+    out_state_ = 0.0;
+}
+
+}  // namespace cbs::circ

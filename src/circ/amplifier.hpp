@@ -1,0 +1,57 @@
+// Behavioural amplifier: the non-idealities that motivate the paper's
+// circuit choices live here — input-referred offset, white and 1/f noise,
+// finite gain-bandwidth, slew limiting and supply-rail saturation.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "circ/block.hpp"
+#include "circ/filters.hpp"
+#include "circ/noise.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+struct AmplifierConfig {
+    double gain = 100.0;                       ///< closed-loop gain
+    Frequency bandwidth{1e6};                  ///< closed-loop -3 dB
+    Voltage input_offset{0.0};                 ///< systematic input offset
+    Voltage offset_sigma{0.0};                 ///< random device-to-device offset
+    VoltageNoiseDensity white_noise{0.0};      ///< input-referred white density
+    Frequency flicker_corner{0.0};             ///< 1/f corner (0 = no flicker)
+    Voltage saturation{2.5};                   ///< output clamps at +-this
+    double slew_rate_v_per_s = 1e9;            ///< output slew limit
+};
+
+class BehavioralAmplifier : public Block {
+public:
+    BehavioralAmplifier(const AmplifierConfig& config, double sample_rate_hz, Rng rng);
+
+    double process(double in) override;
+    void reset() override;
+
+    /// The realized (systematic + sampled random) input offset of this
+    /// instance — what an offset-compensation DAC has to cancel.
+    [[nodiscard]] Voltage realized_offset() const { return Voltage{offset_}; }
+
+    [[nodiscard]] const AmplifierConfig& config() const { return cfg_; }
+
+protected:
+    /// Input-referred non-idealities (offset + noise), before gain.
+    double corrupt_input(double in);
+    /// Output stage: bandwidth, slew and saturation.
+    double shape_output(double v);
+
+private:
+    AmplifierConfig cfg_;
+    double dt_;
+    double offset_;
+    std::optional<WhiteNoise> white_;
+    std::optional<FlickerNoise> flicker_;
+    OnePoleLowPass pole_;
+    double out_state_ = 0.0;
+};
+
+}  // namespace cbs::circ

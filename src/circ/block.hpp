@@ -1,0 +1,76 @@
+// Sampled-data behavioural circuit blocks.
+//
+// The readout chains of Figures 4 and 5 are modelled as chains of blocks
+// processing one voltage sample per tick at a fixed sample rate. Inner-loop
+// samples are raw doubles (volts); typed quantities appear at configuration
+// boundaries.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+/// One-input one-output sample processor.
+class Block {
+public:
+    virtual ~Block() = default;
+
+    /// Processes one sample (volts in, volts out) at the block's sample rate.
+    virtual double process(double in) = 0;
+
+    /// Returns internal state to power-up conditions.
+    virtual void reset() {}
+};
+
+/// Serial composition of blocks (the "chain" of a readout channel).
+class Chain final : public Block {
+public:
+    Chain() = default;
+
+    /// Appends a block; returns a reference for later configuration.
+    template <typename T, typename... Args>
+    T& emplace(Args&&... args) {
+        auto block = std::make_unique<T>(std::forward<Args>(args)...);
+        T& ref = *block;
+        blocks_.push_back(std::move(block));
+        return ref;
+    }
+
+    void append(std::unique_ptr<Block> block) {
+        CBS_EXPECTS(block != nullptr);
+        blocks_.push_back(std::move(block));
+    }
+
+    [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+    double process(double in) override {
+        double v = in;
+        for (auto& b : blocks_) v = b->process(v);
+        return v;
+    }
+
+    void reset() override {
+        for (auto& b : blocks_) b->reset();
+    }
+
+private:
+    std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+/// Fixed multiplicative gain (ideal).
+class GainBlock final : public Block {
+public:
+    explicit GainBlock(double gain) : gain_(gain) {}
+    double process(double in) override { return gain_ * in; }
+    void set_gain(double g) { gain_ = g; }
+    [[nodiscard]] double gain() const { return gain_; }
+
+private:
+    double gain_;
+};
+
+}  // namespace cbs::circ

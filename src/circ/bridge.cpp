@@ -1,0 +1,107 @@
+#include "circ/bridge.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+WheatstoneBridge::WheatstoneBridge(Resistance nominal_arm, Voltage bias, double tcr)
+    : r_nominal_(nominal_arm.value()), vb_(bias.value()), tcr_(tcr) {
+    CBS_EXPECTS(nominal_arm.value() > 0.0);
+    CBS_EXPECTS(bias.value() > 0.0);
+}
+
+void WheatstoneBridge::set_sense_delta(double delta) {
+    CBS_EXPECTS(delta > -1.0);
+    delta_ = delta;
+}
+
+void WheatstoneBridge::set_mismatch(const std::array<double, 4>& mismatch) {
+    for (double m : mismatch) CBS_EXPECTS(m > -1.0);
+    mismatch_ = mismatch;
+}
+
+void WheatstoneBridge::set_temperature_offset(Temperature dt) { temp_offset_k_ = dt.value(); }
+
+std::array<double, 4> WheatstoneBridge::arm_resistances() const {
+    const double temp_scale = 1.0 + tcr_ * temp_offset_k_;
+    std::array<double, 4> r{};
+    // Arms: [0]=R1 top-left, [1]=R2 bottom-left (active), [2]=R3 top-right
+    // (active), [3]=R4 bottom-right.
+    r[0] = r_nominal_ * (1.0 + mismatch_[0]) * temp_scale;
+    r[1] = r_nominal_ * (1.0 + mismatch_[1]) * (1.0 + delta_) * temp_scale;
+    r[2] = r_nominal_ * (1.0 + mismatch_[2]) * (1.0 + delta_) * temp_scale;
+    r[3] = r_nominal_ * (1.0 + mismatch_[3]) * temp_scale;
+    return r;
+}
+
+Voltage WheatstoneBridge::output() const {
+    const auto r = arm_resistances();
+    const double v_plus = vb_ * r[1] / (r[0] + r[1]);
+    const double v_minus = vb_ * r[3] / (r[2] + r[3]);
+    return Voltage{v_plus - v_minus};
+}
+
+Voltage WheatstoneBridge::common_mode() const {
+    const auto r = arm_resistances();
+    const double v_plus = vb_ * r[1] / (r[0] + r[1]);
+    const double v_minus = vb_ * r[3] / (r[2] + r[3]);
+    return Voltage{0.5 * (v_plus + v_minus)};
+}
+
+Voltage WheatstoneBridge::output_via_mna() const {
+    const auto r = arm_resistances();
+    Netlist net;
+    const auto top = net.add_node();
+    const auto out_p = net.add_node();
+    const auto out_m = net.add_node();
+    net.add_voltage_source(top, 0, Voltage{vb_});
+    net.add_resistor(top, out_p, Resistance{r[0]});
+    net.add_resistor(out_p, 0, Resistance{r[1]});
+    net.add_resistor(top, out_m, Resistance{r[2]});
+    net.add_resistor(out_m, 0, Resistance{r[3]});
+    const auto sol = net.solve();
+    return sol.across(out_p, out_m);
+}
+
+Voltage WheatstoneBridge::sensitivity() const {
+    // Vout(d) = Vb * d / (2 + d) for the two-active-arm configuration;
+    // the derivative at d = 0 is Vb/2.
+    return Voltage{vb_ / 2.0};
+}
+
+Current WheatstoneBridge::supply_current() const {
+    const auto r = arm_resistances();
+    return Current{vb_ / (r[0] + r[1]) + vb_ / (r[2] + r[3])};
+}
+
+Power WheatstoneBridge::power() const { return Voltage{vb_} * supply_current(); }
+
+Resistance WheatstoneBridge::output_resistance() const {
+    const auto r = arm_resistances();
+    const double left = r[0] * r[1] / (r[0] + r[1]);
+    const double right = r[2] * r[3] / (r[2] + r[3]);
+    return Resistance{left + right};
+}
+
+VoltageNoiseDensity WheatstoneBridge::thermal_noise_density(Temperature t) const {
+    return sqrt(4.0 * constants::k_B * t * output_resistance());
+}
+
+DiffusedBridge::DiffusedBridge(const Config& config)
+    : WheatstoneBridge(config.arm, config.bias, config.tcr), fc_(config.flicker_corner) {}
+
+Resistance MosBridge::triode_resistance_for(const Config& config) {
+    CBS_EXPECTS(config.beta_a_per_v2 > 0.0);
+    CBS_EXPECTS(config.overdrive.value() > 0.0);
+    // Deep-triode channel resistance: R = 1 / (beta * Vov).
+    return Resistance{1.0 / (config.beta_a_per_v2 * config.overdrive.value())};
+}
+
+MosBridge::MosBridge(const Config& config)
+    : WheatstoneBridge(triode_resistance_for(config), config.bias, config.tcr),
+      fc_(config.flicker_corner) {}
+
+}  // namespace cbs::circ

@@ -1,0 +1,127 @@
+// Piezoresistive Wheatstone bridges.
+//
+// Topology (both variants): bias Vb across the bridge; left divider arms
+// R1 (top) / R2 (bottom) produce OUT+, right divider R3 (top) / R4 (bottom)
+// produce OUT-. The sensing configuration puts the two *active* gauges on
+// the cantilever as R2 and R3 so that a positive gauge change raises OUT+
+// and lowers OUT-: Vout ~ Vb * delta / 2.
+//
+// Two implementations, per the paper:
+//  * DiffusedBridge — p+ diffusion resistors (the static system);
+//  * MosBridge     — "p-channel MOS transistors biased in the linear
+//    region, which has the advantage of a higher resistivity and lower
+//    power consumption compared to diffusion-type silicon resistors"
+//    (section 3.2) — at the cost of a much higher 1/f corner, which is why
+//    the loop needs high-pass filters.
+#pragma once
+
+#include <array>
+
+#include "circ/mna.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+/// Common bridge behaviour over four arm resistances.
+class WheatstoneBridge {
+public:
+    virtual ~WheatstoneBridge() = default;
+
+    /// Relative gauge change applied to the active arms (R2, R3).
+    void set_sense_delta(double delta);
+    /// Per-arm fabrication mismatch, applied multiplicatively.
+    void set_mismatch(const std::array<double, 4>& mismatch);
+    /// Temperature excursion from nominal; scales all arms by (1 + tcr*dT).
+    void set_temperature_offset(Temperature dt);
+
+    [[nodiscard]] double sense_delta() const { return delta_; }
+
+    /// Differential output voltage (exact divider solution).
+    [[nodiscard]] Voltage output() const;
+    /// Common-mode output voltage.
+    [[nodiscard]] Voltage common_mode() const;
+    /// Output voltage computed through the MNA solver (cross-check path).
+    [[nodiscard]] Voltage output_via_mna() const;
+
+    /// Small-signal sensitivity dVout/ddelta at delta = 0 ~ Vb/2.
+    [[nodiscard]] Voltage sensitivity() const;
+
+    /// Static supply current and power.
+    [[nodiscard]] Current supply_current() const;
+    [[nodiscard]] Power power() const;
+
+    /// Differential output resistance (R1||R2 + R3||R4).
+    [[nodiscard]] Resistance output_resistance() const;
+
+    /// Thermal (Johnson) noise density of the output resistance.
+    [[nodiscard]] VoltageNoiseDensity thermal_noise_density(Temperature t) const;
+
+    /// 1/f corner frequency of the bridge's own noise, referred to the
+    /// bridge output at nominal bias.
+    [[nodiscard]] virtual Frequency flicker_corner() const = 0;
+
+    [[nodiscard]] Voltage bias() const { return Voltage{vb_}; }
+    [[nodiscard]] Resistance nominal_arm() const { return Resistance{r_nominal_}; }
+    [[nodiscard]] double arm_tcr() const { return tcr_; }
+
+protected:
+    WheatstoneBridge(Resistance nominal_arm, Voltage bias, double tcr);
+
+    /// Current arm resistances including delta, mismatch and temperature.
+    [[nodiscard]] std::array<double, 4> arm_resistances() const;
+
+private:
+    double r_nominal_;
+    double vb_;
+    double tcr_;
+    double delta_ = 0.0;
+    std::array<double, 4> mismatch_{0.0, 0.0, 0.0, 0.0};
+    double temp_offset_k_ = 0.0;
+};
+
+/// p+ diffusion resistor bridge (static cantilever system).
+class DiffusedBridge final : public WheatstoneBridge {
+public:
+    struct Config {
+        Resistance arm{10e3};
+        Voltage bias{5.0};
+        double tcr = 1.5e-3;
+        Frequency flicker_corner{100.0};  ///< diffusion resistors: low 1/f
+    };
+
+    DiffusedBridge() : DiffusedBridge(Config{}) {}
+    explicit DiffusedBridge(const Config& config);
+    [[nodiscard]] Frequency flicker_corner() const override { return fc_; }
+
+private:
+    Frequency fc_;
+};
+
+/// PMOS-triode bridge (resonant cantilever system, section 3.2).
+class MosBridge final : public WheatstoneBridge {
+public:
+    struct Config {
+        /// Transconductance factor beta = mu_p Cox W/L.
+        double beta_a_per_v2 = 1.6e-6;
+        Voltage overdrive{1.0};  ///< |Vgs| - |Vt|
+        Voltage bias{5.0};
+        double tcr = -2.0e-3;             ///< mobility falls with temperature
+        Frequency flicker_corner{10e3};   ///< MOS: high 1/f corner
+    };
+
+    MosBridge() : MosBridge(Config{}) {}
+    explicit MosBridge(const Config& config);
+
+    [[nodiscard]] Frequency flicker_corner() const override { return fc_; }
+    /// Triode on-resistance realized by each arm.
+    [[nodiscard]] Resistance triode_resistance() const { return nominal_arm(); }
+
+    /// The triode channel responds to stress through the mobility
+    /// piezo-effect; same gauge sign convention as the resistor bridge.
+    static Resistance triode_resistance_for(const Config& config);
+
+private:
+    Frequency fc_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,60 @@
+#include "circ/chopper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+ChopperAmplifier::ChopperAmplifier(const ChopperConfig& config, double sample_rate_hz, Rng rng)
+    : cfg_(config),
+      dt_(1.0 / sample_rate_hz),
+      core_(config.amplifier, sample_rate_hz, rng),
+      boxcar_(static_cast<std::size_t>(std::lround(sample_rate_hz /
+                                                   config.chop_frequency.value())),
+              0.0),
+      post_filter_(config.output_cutoff, sample_rate_hz) {
+    CBS_EXPECTS(config.chop_frequency.value() > 0.0);
+    // The chopping square wave must be well oversampled and the amplifier
+    // must pass it: fs >= 10 f_chop and BW >= 2 f_chop.
+    CBS_EXPECTS(sample_rate_hz >= 10.0 * config.chop_frequency.value());
+    CBS_EXPECTS(!config.enabled ||
+                config.amplifier.bandwidth.value() >= 2.0 * config.chop_frequency.value());
+    CBS_EXPECTS(config.output_cutoff.value() < config.chop_frequency.value() / 2.0);
+}
+
+double ChopperAmplifier::carrier() const {
+    const double phase = t_ * cfg_.chop_frequency.value();
+    return (phase - std::floor(phase)) < 0.5 ? 1.0 : -1.0;
+}
+
+double ChopperAmplifier::process(double in) {
+    double out;
+    if (cfg_.enabled) {
+        const double m = carrier();
+        out = core_.process(in * m) * m;
+        // One-chop-period moving average: nulls at k * f_chop remove the
+        // demodulated offset/flicker ripple.
+        boxcar_sum_ += out - boxcar_[boxcar_pos_];
+        boxcar_[boxcar_pos_] = out;
+        boxcar_pos_ = (boxcar_pos_ + 1) % boxcar_.size();
+        out = boxcar_sum_ / static_cast<double>(boxcar_.size());
+    } else {
+        out = core_.process(in);
+    }
+    t_ += dt_;
+    return post_filter_.process(out);
+}
+
+void ChopperAmplifier::reset() {
+    t_ = 0.0;
+    core_.reset();
+    std::fill(boxcar_.begin(), boxcar_.end(), 0.0);
+    boxcar_sum_ = 0.0;
+    boxcar_pos_ = 0;
+    post_filter_.reset();
+}
+
+}  // namespace cbs::circ

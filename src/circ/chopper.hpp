@@ -1,0 +1,53 @@
+// Chopper-stabilized amplifier — the first stage of the static readout
+// chain (Figure 4): "a chopper-stabilized amplifier as first stage performs
+// a low-noise, low-offset amplification of the weak sensor signal."
+//
+// The input is modulated to f_chop before amplification, so the amplifier's
+// offset and 1/f noise (added at baseband inside the amplifier) are
+// translated to f_chop by the output demodulator and removed by the
+// post-filter, while the signal returns to DC. Disabling the chopper
+// (`enabled = false`) exposes the raw offset and flicker — the ablation of
+// bench A1.
+#pragma once
+
+#include <vector>
+
+#include "circ/amplifier.hpp"
+#include "circ/filters.hpp"
+
+namespace cbs::circ {
+
+struct ChopperConfig {
+    AmplifierConfig amplifier;        ///< the stabilized core amplifier
+    Frequency chop_frequency{20e3};   ///< modulation frequency
+    Frequency output_cutoff{1e3};     ///< post-demodulation low-pass
+    bool enabled = true;              ///< false = plain amplifier (ablation)
+};
+
+class ChopperAmplifier final : public Block {
+public:
+    ChopperAmplifier(const ChopperConfig& config, double sample_rate_hz, Rng rng);
+
+    double process(double in) override;
+    void reset() override;
+
+    [[nodiscard]] const ChopperConfig& config() const { return cfg_; }
+    [[nodiscard]] Voltage core_offset() const { return core_.realized_offset(); }
+
+private:
+    [[nodiscard]] double carrier() const;
+
+    ChopperConfig cfg_;
+    double dt_;
+    double t_ = 0.0;
+    BehavioralAmplifier core_;
+    // Ripple-rejection boxcar: a moving average over exactly one chop
+    // period is a sinc filter with nulls at every multiple of f_chop — the
+    // standard way chopper outputs suppress the up-modulated offset ripple.
+    std::vector<double> boxcar_;
+    std::size_t boxcar_pos_ = 0;
+    double boxcar_sum_ = 0.0;
+    OnePoleLowPass post_filter_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,40 @@
+#include "circ/classab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+ClassAbBuffer::ClassAbBuffer(const ClassAbConfig& config, Resistance load)
+    : cfg_(config), load_(load.value()) {
+    CBS_EXPECTS(config.supply.value() > 0.0);
+    CBS_EXPECTS(config.output_resistance.value() >= 0.0);
+    CBS_EXPECTS(config.current_limit.value() > 0.0);
+    CBS_EXPECTS(load.value() > 0.0);
+}
+
+double ClassAbBuffer::process(double in) {
+    // Crossover deadband around zero.
+    double v = in;
+    const double dz = cfg_.crossover_deadband.value();
+    if (std::fabs(v) < dz) {
+        v = 0.0;
+    } else {
+        v -= std::copysign(dz, v);
+    }
+    // Rail clipping at the source.
+    v = std::clamp(v, -cfg_.supply.value(), cfg_.supply.value());
+    // Resistive divider into the load with current limiting.
+    double i = v / (cfg_.output_resistance.value() + load_);
+    i = std::clamp(i, -cfg_.current_limit.value(), cfg_.current_limit.value());
+    last_current_ = i;
+    return i * load_;
+}
+
+Power ClassAbBuffer::supply_power(Current quiescent) const {
+    return cfg_.supply * (Current{std::fabs(last_current_)} + quiescent);
+}
+
+}  // namespace cbs::circ

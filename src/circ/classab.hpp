@@ -1,0 +1,41 @@
+// Class-AB output buffer (Figure 5): "drives the low-resistance coil via a
+// class AB output buffer." Unity-gain voltage buffer with crossover
+// deadband, output resistance, current limit and rail clipping; exposes the
+// current it delivers into a resistive coil load.
+#pragma once
+
+#include "circ/block.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+struct ClassAbConfig {
+    Voltage supply{2.5};             ///< output clips at +-supply
+    Resistance output_resistance{5.0};
+    Current current_limit{10e-3};
+    Voltage crossover_deadband{0.1e-3};  ///< residual class-AB crossover step
+};
+
+class ClassAbBuffer final : public Block {
+public:
+    ClassAbBuffer(const ClassAbConfig& config, Resistance load);
+
+    /// Returns the voltage across the load; `load_current()` gives the
+    /// resulting coil current for the Lorentz actuator.
+    double process(double in) override;
+    void reset() override { last_current_ = 0.0; }
+
+    [[nodiscard]] Current load_current() const { return Current{last_current_}; }
+    [[nodiscard]] Resistance load() const { return Resistance{load_}; }
+
+    /// Static power drawn from the supply at the present drive level plus
+    /// quiescent bias.
+    [[nodiscard]] Power supply_power(Current quiescent = Current{200e-6}) const;
+
+private:
+    ClassAbConfig cfg_;
+    double load_;
+    double last_current_ = 0.0;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,25 @@
+#include "circ/dda.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+DifferentialDifferenceAmplifier::DifferentialDifferenceAmplifier(const DdaConfig& config,
+                                                                 double sample_rate_hz, Rng rng)
+    : cfg_(config), core_(config.amplifier, sample_rate_hz, rng) {
+    CBS_EXPECTS(config.cmrr_db > 0.0);
+}
+
+double DifferentialDifferenceAmplifier::common_mode_gain() const {
+    return cfg_.amplifier.gain / std::pow(10.0, cfg_.cmrr_db / 20.0);
+}
+
+double DifferentialDifferenceAmplifier::process_pair(double differential, double common_mode) {
+    // Common mode leaks in as an equivalent differential input error.
+    const double cm_leak = common_mode / std::pow(10.0, cfg_.cmrr_db / 20.0);
+    return core_.process(differential + cm_leak);
+}
+
+}  // namespace cbs::circ

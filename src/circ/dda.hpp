@@ -1,0 +1,41 @@
+// Fully-differential difference amplifier (DDA) instrumentation stage: the
+// first amplifier of the resonant feedback loop (Figure 5) — "a low-noise,
+// fully differential instrumentation amplifier using a fully
+// differential-difference amplifier in a non-inverting feedback
+// configuration."
+//
+// Behaviourally: differential gain set by a feedback ratio, high input
+// impedance (no bridge loading), finite CMRR leaking common-mode into the
+// output, plus the usual amplifier non-idealities.
+#pragma once
+
+#include "circ/amplifier.hpp"
+
+namespace cbs::circ {
+
+struct DdaConfig {
+    AmplifierConfig amplifier;   ///< gain = closed-loop differential gain
+    double cmrr_db = 90.0;       ///< common-mode rejection ratio
+};
+
+class DifferentialDifferenceAmplifier final : public Block {
+public:
+    DifferentialDifferenceAmplifier(const DdaConfig& config, double sample_rate_hz, Rng rng);
+
+    /// Differential-input convenience used by Block chains: input sample is
+    /// the differential voltage, common mode assumed zero.
+    double process(double in) override { return process_pair(in, 0.0); }
+
+    /// Full interface: differential and common-mode inputs.
+    double process_pair(double differential, double common_mode);
+
+    void reset() override { core_.reset(); }
+
+    [[nodiscard]] double common_mode_gain() const;
+
+private:
+    DdaConfig cfg_;
+    BehavioralAmplifier core_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,84 @@
+#include "circ/filters.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+OnePoleLowPass::OnePoleLowPass(Frequency cutoff, double sample_rate_hz)
+    : fc_(cutoff.value()) {
+    CBS_EXPECTS(cutoff.value() > 0.0);
+    CBS_EXPECTS(cutoff.value() < sample_rate_hz / 2.0);
+    alpha_ = 1.0 - std::exp(-2.0 * constants::pi * fc_ / sample_rate_hz);
+}
+
+double OnePoleLowPass::process(double in) {
+    state_ += alpha_ * (in - state_);
+    return state_;
+}
+
+OnePoleHighPass::OnePoleHighPass(Frequency cutoff, double sample_rate_hz) {
+    CBS_EXPECTS(cutoff.value() > 0.0);
+    CBS_EXPECTS(cutoff.value() < sample_rate_hz / 2.0);
+    const double rc = 1.0 / (2.0 * constants::pi * cutoff.value());
+    const double dt = 1.0 / sample_rate_hz;
+    alpha_ = rc / (rc + dt);
+}
+
+double OnePoleHighPass::process(double in) {
+    state_ = alpha_ * (state_ + in - prev_in_);
+    prev_in_ = in;
+    return state_;
+}
+
+Biquad::Biquad(Type type, Frequency corner, double q, double sample_rate_hz) {
+    CBS_EXPECTS(corner.value() > 0.0);
+    CBS_EXPECTS(corner.value() < sample_rate_hz / 2.0);
+    CBS_EXPECTS(q > 0.0);
+    const double w0 = 2.0 * constants::pi * corner.value() / sample_rate_hz;
+    const double cw = std::cos(w0);
+    const double sw = std::sin(w0);
+    const double alpha = sw / (2.0 * q);
+    const double a0 = 1.0 + alpha;
+    switch (type) {
+        case Type::lowpass:
+            b0_ = (1.0 - cw) / 2.0 / a0;
+            b1_ = (1.0 - cw) / a0;
+            b2_ = b0_;
+            break;
+        case Type::highpass:
+            b0_ = (1.0 + cw) / 2.0 / a0;
+            b1_ = -(1.0 + cw) / a0;
+            b2_ = b0_;
+            break;
+        case Type::bandpass:  // constant 0 dB peak gain
+            b0_ = alpha / a0;
+            b1_ = 0.0;
+            b2_ = -alpha / a0;
+            break;
+    }
+    a1_ = -2.0 * cw / a0;
+    a2_ = (1.0 - alpha) / a0;
+}
+
+double Biquad::process(double in) {
+    // Transposed direct form II.
+    const double out = b0_ * in + z1_;
+    z1_ = b1_ * in - a1_ * out + z2_;
+    z2_ = b2_ * in - a2_ * out;
+    return out;
+}
+
+double Biquad::magnitude(Frequency f, double sample_rate_hz) const {
+    const double w = 2.0 * constants::pi * f.value() / sample_rate_hz;
+    const std::complex<double> z = std::polar(1.0, w);
+    const std::complex<double> zi = 1.0 / z;
+    const auto num = b0_ + b1_ * zi + b2_ * zi * zi;
+    const auto den = 1.0 + a1_ * zi + a2_ * zi * zi;
+    return std::abs(num / den);
+}
+
+}  // namespace cbs::circ

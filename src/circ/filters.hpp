@@ -1,0 +1,64 @@
+// Discrete-time filters: first-order RC equivalents and RBJ biquads,
+// designed by bilinear transform. The static chain (Figure 4) uses low-pass
+// filtering after the chopper; the resonant loop (Figure 5) uses high-pass
+// filters "to damp the low-frequency noise originating in the MOS-based
+// Wheatstone bridge".
+#pragma once
+
+#include "circ/block.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+/// One-pole low-pass (discretized RC).
+class OnePoleLowPass final : public Block {
+public:
+    OnePoleLowPass(Frequency cutoff, double sample_rate_hz);
+
+    double process(double in) override;
+    void reset() override { state_ = 0.0; }
+
+    [[nodiscard]] double cutoff_hz() const { return fc_; }
+
+private:
+    double fc_;
+    double alpha_;
+    double state_ = 0.0;
+};
+
+/// One-pole high-pass (complement of the RC low-pass).
+class OnePoleHighPass final : public Block {
+public:
+    OnePoleHighPass(Frequency cutoff, double sample_rate_hz);
+
+    double process(double in) override;
+    void reset() override {
+        state_ = 0.0;
+        prev_in_ = 0.0;
+    }
+
+private:
+    double alpha_;
+    double state_ = 0.0;
+    double prev_in_ = 0.0;
+};
+
+/// RBJ-cookbook biquad.
+class Biquad final : public Block {
+public:
+    enum class Type { lowpass, highpass, bandpass };
+
+    Biquad(Type type, Frequency corner, double q, double sample_rate_hz);
+
+    double process(double in) override;
+    void reset() override { z1_ = z2_ = 0.0; }
+
+    /// Magnitude response at a test frequency (analysis helper).
+    [[nodiscard]] double magnitude(Frequency f, double sample_rate_hz) const;
+
+private:
+    double b0_, b1_, b2_, a1_, a2_;
+    double z1_ = 0.0, z2_ = 0.0;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,36 @@
+#include "circ/limiter.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+NonlinearLimiter::NonlinearLimiter(double small_signal_gain, Voltage limit_level)
+    : gain_(small_signal_gain), limit_(limit_level.value()) {
+    CBS_EXPECTS(small_signal_gain > 0.0);
+    CBS_EXPECTS(limit_level.value() > 0.0);
+}
+
+double NonlinearLimiter::process(double in) {
+    return limit_ * std::tanh(gain_ * in / limit_);
+}
+
+double NonlinearLimiter::describing_gain(double input_amplitude) const {
+    CBS_EXPECTS(input_amplitude >= 0.0);
+    if (input_amplitude == 0.0) return gain_;
+    // First-harmonic coefficient of limit*tanh(g*A*sin(t)/limit) via
+    // numerical quadrature: N(A) = (2/(pi A)) \int_0^pi f(A sin t) sin t dt.
+    constexpr int n = 256;
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double t = constants::pi * (i + 0.5) / n;
+        const double s = std::sin(t);
+        acc += limit_ * std::tanh(gain_ * input_amplitude * s / limit_) * s;
+    }
+    acc *= constants::pi / n;
+    return 2.0 / (constants::pi * input_amplitude) * acc;
+}
+
+}  // namespace cbs::circ

@@ -1,0 +1,33 @@
+// Non-linear limiting amplifier (Figure 5): "a non-linear amplifier limits
+// the amplitude of the feedback loop for stable operation." Smooth tanh
+// saturation: linear gain for small signals, output asymptoting to the
+// limit level — the element that turns the loop from an unstable linear
+// amplifier into an amplitude-regulated oscillator.
+#pragma once
+
+#include "circ/block.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+class NonlinearLimiter final : public Block {
+public:
+    NonlinearLimiter(double small_signal_gain, Voltage limit_level);
+
+    double process(double in) override;
+
+    [[nodiscard]] double small_signal_gain() const { return gain_; }
+    [[nodiscard]] Voltage limit_level() const { return Voltage{limit_}; }
+
+    /// Describing function: effective gain experienced by a sinusoid of the
+    /// given input amplitude (first-harmonic balance). Monotonically falls
+    /// from the small-signal gain toward 0 — this is what fixes the
+    /// oscillation amplitude where loop gain crosses unity.
+    [[nodiscard]] double describing_gain(double input_amplitude) const;
+
+private:
+    double gain_;
+    double limit_;
+};
+
+}  // namespace cbs::circ

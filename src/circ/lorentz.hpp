@@ -1,0 +1,47 @@
+// Lorentz-force actuator (Figure 5 / reference [3]): "the actuation of the
+// cantilever is performed by a coil along the cantilever edges, driven by a
+// periodic electric current ... together with a permanent magnet, integrated
+// in the package."
+//
+// Force on the tip-side coil segments: F = N * I * B * w_eff. The coil is a
+// resistive load on the class-AB buffer; its resistance follows from the
+// trace geometry and the aluminum sheet resistance.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+struct LorentzCoilConfig {
+    int turns = 2;
+    Length effective_width{40e-6};        ///< tip-edge segment length in B
+    MagneticFluxDensity field{0.25};      ///< package magnet at the chip
+    Length trace_length_per_turn{340e-6}; ///< full loop around the cantilever
+    Length trace_width{4e-6};
+    Resistance sheet_resistance{0.04};    ///< Al metal-2, Ohm/sq
+};
+
+class LorentzActuator {
+public:
+    LorentzActuator() : LorentzActuator(LorentzCoilConfig{}) {}
+    explicit LorentzActuator(const LorentzCoilConfig& config);
+
+    /// Tip force for a coil current.
+    [[nodiscard]] Force force(Current i) const;
+
+    /// Force responsivity N*B*w_eff [N/A].
+    [[nodiscard]] Q<1, 1, -2, -1> force_per_current() const;
+
+    /// DC resistance of the full coil.
+    [[nodiscard]] Resistance coil_resistance() const;
+
+    /// Ohmic power dissipated in the coil at a given current.
+    [[nodiscard]] Power coil_power(Current i) const;
+
+    [[nodiscard]] const LorentzCoilConfig& config() const { return cfg_; }
+
+private:
+    LorentzCoilConfig cfg_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,123 @@
+#include "circ/mna.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+Voltage DcSolution::voltage(std::size_t node) const {
+    CBS_EXPECTS(node < node_voltages.size());
+    return Voltage{node_voltages[node]};
+}
+
+Voltage DcSolution::across(std::size_t plus, std::size_t minus) const {
+    CBS_EXPECTS(plus < node_voltages.size() && minus < node_voltages.size());
+    return Voltage{node_voltages[plus] - node_voltages[minus]};
+}
+
+std::size_t Netlist::add_node() { return node_count_++; }
+
+void Netlist::check_node(std::size_t n) const { CBS_EXPECTS(n < node_count_); }
+
+void Netlist::add_resistor(std::size_t n1, std::size_t n2, Resistance r) {
+    check_node(n1);
+    check_node(n2);
+    CBS_EXPECTS(n1 != n2);
+    CBS_EXPECTS(r.value() > 0.0);
+    resistors_.push_back({n1, n2, 1.0 / r.value()});
+}
+
+void Netlist::add_current_source(std::size_t from, std::size_t to, Current i) {
+    check_node(from);
+    check_node(to);
+    isources_.push_back({from, to, i.value()});
+}
+
+std::size_t Netlist::add_voltage_source(std::size_t plus, std::size_t minus, Voltage v) {
+    check_node(plus);
+    check_node(minus);
+    CBS_EXPECTS(plus != minus);
+    vsources_.push_back({plus, minus, v.value()});
+    return vsources_.size() - 1;
+}
+
+DcSolution Netlist::solve() const {
+    // Unknowns: node voltages 1..N-1 plus one branch current per vsource.
+    const std::size_t n_nodes = node_count_ - 1;
+    const std::size_t n = n_nodes + vsources_.size();
+    CBS_EXPECTS(n > 0);
+    std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+
+    auto idx = [](std::size_t node) { return node - 1; };  // skip ground
+
+    for (const auto& r : resistors_) {
+        if (r.n1 != 0) a[idx(r.n1)][idx(r.n1)] += r.conductance;
+        if (r.n2 != 0) a[idx(r.n2)][idx(r.n2)] += r.conductance;
+        if (r.n1 != 0 && r.n2 != 0) {
+            a[idx(r.n1)][idx(r.n2)] -= r.conductance;
+            a[idx(r.n2)][idx(r.n1)] -= r.conductance;
+        }
+    }
+    for (const auto& s : isources_) {
+        if (s.from != 0) a[idx(s.from)][n] -= s.current;
+        if (s.to != 0) a[idx(s.to)][n] += s.current;
+    }
+    for (std::size_t k = 0; k < vsources_.size(); ++k) {
+        const auto& s = vsources_[k];
+        const std::size_t row = n_nodes + k;
+        if (s.plus != 0) {
+            a[idx(s.plus)][row] += 1.0;
+            a[row][idx(s.plus)] += 1.0;
+        }
+        if (s.minus != 0) {
+            a[idx(s.minus)][row] -= 1.0;
+            a[row][idx(s.minus)] -= 1.0;
+        }
+        a[row][n] = s.voltage;
+    }
+
+    // Gaussian elimination with partial pivoting.
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-18) {
+            throw ContractViolation("Netlist::solve: singular system (floating node?)");
+        }
+        std::swap(a[col], a[pivot]);
+        for (std::size_t row = 0; row < n; ++row) {
+            if (row == col) continue;
+            const double f = a[row][col] / a[col][col];
+            if (f == 0.0) continue;
+            for (std::size_t c = col; c <= n; ++c) a[row][c] -= f * a[col][c];
+        }
+    }
+
+    DcSolution sol;
+    sol.node_voltages.assign(node_count_, 0.0);
+    for (std::size_t i = 1; i < node_count_; ++i) {
+        sol.node_voltages[i] = a[idx(i)][n] / a[idx(i)][idx(i)];
+    }
+    sol.source_currents.resize(vsources_.size());
+    for (std::size_t k = 0; k < vsources_.size(); ++k) {
+        const std::size_t row = n_nodes + k;
+        // MNA convention here: unknown is the current flowing from + to -
+        // through the source, i.e. the current the source *sinks* at +;
+        // the current delivered out of the + terminal is its negative.
+        sol.source_currents[k] = -a[row][n] / a[row][row];
+    }
+    return sol;
+}
+
+Power Netlist::resistor_power(const DcSolution& sol) const {
+    double p = 0.0;
+    for (const auto& r : resistors_) {
+        const double v = sol.node_voltages[r.n1] - sol.node_voltages[r.n2];
+        p += v * v * r.conductance;
+    }
+    return Power{p};
+}
+
+}  // namespace cbs::circ

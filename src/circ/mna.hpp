@@ -1,0 +1,65 @@
+// Small dense modified-nodal-analysis DC solver. Used to solve the
+// Wheatstone bridge networks exactly (including loading and mismatch)
+// instead of trusting a divider formula, and to cross-check the closed
+// forms in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+struct DcSolution {
+    std::vector<double> node_voltages;    ///< [node], node 0 = ground = 0 V
+    std::vector<double> source_currents;  ///< [vsource], current out of + terminal
+
+    [[nodiscard]] Voltage voltage(std::size_t node) const;
+    [[nodiscard]] Voltage across(std::size_t plus, std::size_t minus) const;
+};
+
+class Netlist {
+public:
+    Netlist() = default;
+
+    /// Creates a new node and returns its index (>= 1; 0 is ground).
+    std::size_t add_node();
+    [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+    void add_resistor(std::size_t n1, std::size_t n2, Resistance r);
+    /// DC current source pushing `i` from `from` into `to`.
+    void add_current_source(std::size_t from, std::size_t to, Current i);
+    /// Ideal DC voltage source; returns its index for current readback.
+    std::size_t add_voltage_source(std::size_t plus, std::size_t minus, Voltage v);
+
+    /// Solves the DC operating point (Gaussian elimination, partial pivot).
+    /// Throws cbs::ContractViolation on a singular system (floating nodes).
+    [[nodiscard]] DcSolution solve() const;
+
+    /// Total power dissipated in all resistors at the solution.
+    [[nodiscard]] Power resistor_power(const DcSolution& sol) const;
+
+private:
+    struct Resistor {
+        std::size_t n1, n2;
+        double conductance;
+    };
+    struct CurrentSource {
+        std::size_t from, to;
+        double current;
+    };
+    struct VoltageSource {
+        std::size_t plus, minus;
+        double voltage;
+    };
+
+    void check_node(std::size_t n) const;
+
+    std::size_t node_count_ = 1;  // ground
+    std::vector<Resistor> resistors_;
+    std::vector<CurrentSource> isources_;
+    std::vector<VoltageSource> vsources_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,53 @@
+#include "circ/mux.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+AnalogMux::AnalogMux(const MuxConfig& config, double sample_rate_hz) : cfg_(config) {
+    CBS_EXPECTS(config.channels >= 1);
+    CBS_EXPECTS(config.on_resistance.value() > 0.0);
+    CBS_EXPECTS(config.load_capacitance.value() > 0.0);
+    CBS_EXPECTS(config.crosstalk >= 0.0 && config.crosstalk < 1.0);
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+    const double tau = cfg_.on_resistance.value() * cfg_.load_capacitance.value();
+    alpha_ = 1.0 - std::exp(-1.0 / (sample_rate_hz * tau));
+}
+
+void AnalogMux::select(std::size_t channel) {
+    CBS_EXPECTS(channel < cfg_.channels);
+    if (channel != selected_) {
+        selected_ = channel;
+        glitch_ = cfg_.charge_injection.value();
+    }
+}
+
+double AnalogMux::process(std::span<const double> channel_inputs) {
+    CBS_EXPECTS(channel_inputs.size() == cfg_.channels);
+    double target = channel_inputs[selected_];
+    if (cfg_.crosstalk > 0.0) {
+        double others = 0.0;
+        for (std::size_t i = 0; i < channel_inputs.size(); ++i) {
+            if (i != selected_) others += channel_inputs[i];
+        }
+        target += cfg_.crosstalk * others;
+    }
+    state_ += alpha_ * (target - state_);
+    const double out = state_ + glitch_;
+    glitch_ *= 0.5;  // glitch decays over a few samples
+    return out;
+}
+
+Time AnalogMux::settling_tau() const {
+    return Time{cfg_.on_resistance.value() * cfg_.load_capacitance.value()};
+}
+
+void AnalogMux::reset() {
+    state_ = 0.0;
+    glitch_ = 0.0;
+    selected_ = 0;
+}
+
+}  // namespace cbs::circ

@@ -1,0 +1,50 @@
+// Analog multiplexer (Figure 4): "an array of four cantilevers is connected
+// to the readout amplifiers by an analog multiplexer." Models switch
+// settling (RC into the amplifier input capacitance), inter-channel
+// crosstalk and charge-injection glitches at switch events.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+struct MuxConfig {
+    std::size_t channels = 4;
+    Resistance on_resistance{1e3};
+    Capacitance load_capacitance{2e-12};
+    double crosstalk = 1e-4;             ///< fraction of unselected channels' sum
+    Voltage charge_injection{50e-6};     ///< glitch amplitude at switching
+};
+
+class AnalogMux {
+public:
+    MuxConfig config() const { return cfg_; }
+
+    AnalogMux(const MuxConfig& config, double sample_rate_hz);
+
+    /// Selects a channel; injects a charge-injection glitch.
+    void select(std::size_t channel);
+    [[nodiscard]] std::size_t selected() const { return selected_; }
+
+    /// Processes one sample given all channel input voltages; returns the
+    /// mux output (selected channel after settling + crosstalk).
+    double process(std::span<const double> channel_inputs);
+
+    /// Time constant of the switch RC; settling to 0.1% takes ~7 tau.
+    [[nodiscard]] Time settling_tau() const;
+
+    void reset();
+
+private:
+    MuxConfig cfg_;
+    double alpha_;
+    std::size_t selected_ = 0;
+    double state_ = 0.0;
+    double glitch_ = 0.0;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,71 @@
+#include "circ/noise.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+WhiteNoise::WhiteNoise(VoltageNoiseDensity density, double sample_rate_hz, Rng rng)
+    : sigma_(density.value() * std::sqrt(sample_rate_hz / 2.0)), rng_(rng) {
+    CBS_EXPECTS(density.value() >= 0.0);
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+}
+
+double WhiteNoise::process(double in) { return in + rng_.normal(0.0, sigma_); }
+
+FlickerNoise::FlickerNoise(double k_flicker, double sample_rate_hz, Rng rng, double f_min_hz)
+    : rng_(rng) {
+    CBS_EXPECTS(k_flicker >= 0.0);
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+    CBS_EXPECTS(f_min_hz > 0.0 && f_min_hz < sample_rate_hz / 8.0);
+    const double dt = 1.0 / sample_rate_hz;
+    // Octave-spaced Lorentzians: each stage k has pole f_k and input PSD
+    // C/f_k. The continuum limit of the octave sum gives
+    // S(f) = C * pi / (2 ln2 f), so C = k_flicker * 2 ln2 / pi yields
+    // S(f) = k_flicker / f.
+    const double c = k_flicker * 2.0 * std::log(2.0) / constants::pi;
+    for (double fk = f_min_hz; fk < sample_rate_hz / 8.0; fk *= 2.0) {
+        Stage s;
+        s.alpha = 1.0 - std::exp(-2.0 * constants::pi * fk * dt);
+        // Input white PSD C/fk -> per-sample sigma.
+        s.sigma = std::sqrt(c / fk * sample_rate_hz / 2.0);
+        stage_params_.push_back(s);
+    }
+    state_.assign(stage_params_.size(), 0.0);
+}
+
+double FlickerNoise::process(double in) {
+    double acc = in;
+    for (std::size_t i = 0; i < stage_params_.size(); ++i) {
+        const auto& s = stage_params_[i];
+        const double w = rng_.normal(0.0, s.sigma);
+        state_[i] += s.alpha * (w - state_[i]);
+        acc += state_[i];
+    }
+    return acc;
+}
+
+void FlickerNoise::reset() { state_.assign(state_.size(), 0.0); }
+
+InterferencePickup::InterferencePickup(const Config& config, double sample_rate_hz, Rng rng)
+    : cfg_(config), dt_(1.0 / sample_rate_hz), rng_(rng) {
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+    CBS_EXPECTS(config.mains_frequency_hz > 0.0);
+    CBS_EXPECTS(config.harmonics >= 0);
+}
+
+double InterferencePickup::process(double in) {
+    double v = in;
+    double amp = cfg_.mains_amplitude_v;
+    for (int h = 1; h <= 1 + cfg_.harmonics; ++h) {
+        v += amp * std::sin(2.0 * constants::pi * cfg_.mains_frequency_hz * h * phase_);
+        amp *= cfg_.harmonic_ratio;
+    }
+    if (cfg_.rf_floor_v > 0.0) v += rng_.normal(0.0, cfg_.rf_floor_v);
+    phase_ += dt_;
+    return v;
+}
+
+}  // namespace cbs::circ

@@ -1,0 +1,80 @@
+// Noise generators: white (thermal/shot), flicker (1/f, the enemy the
+// chopper amplifier exists to defeat) and mains/RF interference pickup (the
+// "external interference" that monolithic integration suppresses).
+#pragma once
+
+#include <vector>
+
+#include "circ/block.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+/// Gaussian white noise with a specified one-sided voltage spectral density.
+/// Per-sample sigma = density * sqrt(fs/2).
+class WhiteNoise final : public Block {
+public:
+    WhiteNoise(VoltageNoiseDensity density, double sample_rate_hz, Rng rng);
+
+    /// Adds noise to the input sample.
+    double process(double in) override;
+    void reset() override {}
+
+    [[nodiscard]] double sigma_per_sample() const { return sigma_; }
+
+private:
+    double sigma_;
+    Rng rng_;
+};
+
+/// Streaming 1/f noise: a sum of octave-spaced one-pole-filtered white
+/// sources whose Lorentzian plateaus tile a 1/f power spectral density
+/// S(f) ~ k_flicker / f [V^2/Hz] between f_min and ~fs/8.
+class FlickerNoise final : public Block {
+public:
+    /// `k_flicker` in V^2 (i.e. S(f) = k_flicker / f). For an amplifier with
+    /// white density en and 1/f corner fc, k_flicker = en^2 * fc.
+    FlickerNoise(double k_flicker, double sample_rate_hz, Rng rng, double f_min_hz = 0.05);
+
+    double process(double in) override;
+    void reset() override;
+
+    [[nodiscard]] std::size_t stages() const { return state_.size(); }
+
+private:
+    struct Stage {
+        double alpha = 0.0;  // one-pole coefficient
+        double sigma = 0.0;  // per-sample input noise
+    };
+    std::vector<Stage> stage_params_;
+    std::vector<double> state_;
+    Rng rng_;
+};
+
+/// Deterministic interference pickup: mains fundamental + harmonics plus an
+/// RF-demodulation floor, as coupled into an *external* (off-chip) readout
+/// path via bond wires and cables. Amplitudes are peak volts.
+class InterferencePickup final : public Block {
+public:
+    struct Config {
+        double mains_frequency_hz = 50.0;
+        double mains_amplitude_v = 0.0;       ///< fundamental peak
+        double harmonic_ratio = 0.3;          ///< each harmonic vs the previous
+        int harmonics = 3;
+        double rf_floor_v = 0.0;              ///< broadband demodulated floor (rms)
+    };
+
+    InterferencePickup(const Config& config, double sample_rate_hz, Rng rng);
+
+    double process(double in) override;
+    void reset() override { phase_ = 0.0; }
+
+private:
+    Config cfg_;
+    double dt_;
+    double phase_ = 0.0;
+    Rng rng_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,34 @@
+#include "circ/offset_comp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+OffsetCompensator::OffsetCompensator(Voltage range, int bits)
+    : range_(range.value()), bits_(bits) {
+    CBS_EXPECTS(range.value() > 0.0);
+    CBS_EXPECTS(bits >= 2 && bits <= 24);
+    step_ = range_ / std::pow(2.0, bits_ - 1);
+}
+
+void OffsetCompensator::set_code(std::int32_t code) {
+    const auto lo = static_cast<std::int32_t>(-std::pow(2.0, bits_ - 1));
+    const auto hi = static_cast<std::int32_t>(std::pow(2.0, bits_ - 1) - 1);
+    CBS_EXPECTS(code >= lo && code <= hi);
+    code_ = code;
+}
+
+Voltage OffsetCompensator::calibrate(Voltage measured_offset) {
+    const auto lo = static_cast<std::int32_t>(-std::pow(2.0, bits_ - 1));
+    const auto hi = static_cast<std::int32_t>(std::pow(2.0, bits_ - 1) - 1);
+    const double ideal = measured_offset.value() / step_;
+    const auto code = static_cast<std::int32_t>(
+        std::clamp(std::llround(ideal), static_cast<long long>(lo), static_cast<long long>(hi)));
+    code_ = code;
+    return Voltage{measured_offset.value() - dac_voltage()};
+}
+
+}  // namespace cbs::circ

@@ -1,0 +1,40 @@
+// Programmable offset-compensation stage (Figure 4, after the low-pass
+// filter): a DAC-controlled subtraction that recenters the chain before the
+// final gain stages so that the large static component (bridge mismatch +
+// amplifier offset) does not saturate them.
+#pragma once
+
+#include <cstdint>
+
+#include "circ/block.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+class OffsetCompensator final : public Block {
+public:
+    /// `range` is the full-scale +- compensation span; `bits` the DAC width.
+    OffsetCompensator(Voltage range, int bits);
+
+    double process(double in) override { return in - dac_voltage(); }
+
+    /// Programs a raw DAC code in [-(2^(bits-1)), 2^(bits-1)-1].
+    void set_code(std::int32_t code);
+    [[nodiscard]] std::int32_t code() const { return code_; }
+
+    /// Picks the code that best cancels `measured_offset`; returns the
+    /// residual after compensation.
+    Voltage calibrate(Voltage measured_offset);
+
+    [[nodiscard]] Voltage dac_step() const { return Voltage{step_}; }
+    [[nodiscard]] double dac_voltage() const { return step_ * code_; }
+    [[nodiscard]] Voltage range() const { return Voltage{range_}; }
+
+private:
+    double range_;
+    int bits_;
+    double step_;
+    std::int32_t code_ = 0;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,32 @@
+#include "circ/pga.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+ProgrammableGainStage::ProgrammableGainStage(Voltage saturation)
+    : saturation_(saturation.value()) {
+    CBS_EXPECTS(saturation.value() > 0.0);
+}
+
+double ProgrammableGainStage::process(double in) {
+    return std::clamp(gain() * in, -saturation_, saturation_);
+}
+
+void ProgrammableGainStage::set_setting(std::size_t index) {
+    CBS_EXPECTS(index < gain_settings.size());
+    setting_ = index;
+}
+
+std::size_t ProgrammableGainStage::best_setting_for(Voltage max_input) const {
+    CBS_EXPECTS(max_input.value() > 0.0);
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < gain_settings.size(); ++i) {
+        if (gain_settings[i] * max_input.value() <= saturation_) best = i;
+    }
+    return best;
+}
+
+}  // namespace cbs::circ

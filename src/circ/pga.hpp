@@ -1,0 +1,35 @@
+// Programmable gain stage: the "two additional gain stages" closing the
+// static readout chain (Figure 4). Discrete gain settings with output
+// saturation; two in series span x1 .. x10^4.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "circ/block.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+class ProgrammableGainStage final : public Block {
+public:
+    static constexpr std::array<double, 7> gain_settings{1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+
+    explicit ProgrammableGainStage(Voltage saturation = Voltage{2.5});
+
+    double process(double in) override;
+
+    void set_setting(std::size_t index);
+    [[nodiscard]] std::size_t setting() const { return setting_; }
+    [[nodiscard]] double gain() const { return gain_settings[setting_]; }
+
+    /// Largest setting whose output stays within the rails for the given
+    /// worst-case input amplitude.
+    [[nodiscard]] std::size_t best_setting_for(Voltage max_input) const;
+
+private:
+    double saturation_;
+    std::size_t setting_ = 0;
+};
+
+}  // namespace cbs::circ

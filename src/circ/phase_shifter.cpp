@@ -1,0 +1,27 @@
+#include "circ/phase_shifter.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+PhaseShifter::PhaseShifter(Frequency center, double sample_rate_hz) : fs_(sample_rate_hz) {
+    CBS_EXPECTS(center.value() > 0.0);
+    CBS_EXPECTS(center.value() < sample_rate_hz / 4.0);
+    // First difference has |H(f)| = 2 sin(pi f / fs); normalize at center.
+    scale_ = 1.0 / (2.0 * std::sin(constants::pi * center.value() / sample_rate_hz));
+}
+
+double PhaseShifter::process(double in) {
+    const double out = scale_ * (in - prev_);
+    prev_ = in;
+    return out;
+}
+
+double PhaseShifter::magnitude(Frequency f) const {
+    return scale_ * 2.0 * std::sin(constants::pi * f.value() / fs_);
+}
+
+}  // namespace cbs::circ

@@ -1,0 +1,34 @@
+// +90-degree phase shifter for the oscillator loop.
+//
+// The piezoresistive bridge senses *displacement*, but sustaining an
+// oscillation requires the Lorentz force to track *velocity* (energy per
+// cycle = integral F dx > 0). A normalized discrete differentiator provides
+// the +90 degrees with unity gain at the design frequency — the behavioural
+// equivalent of the RC/allpass phase shifter in CMOS resonator loops
+// (Lange et al., Sens. Act. A 103, 2003).
+#pragma once
+
+#include "circ/block.hpp"
+#include "util/units.hpp"
+
+namespace cbs::circ {
+
+class PhaseShifter final : public Block {
+public:
+    /// `center` is the frequency at which the magnitude is ~1.
+    PhaseShifter(Frequency center, double sample_rate_hz);
+
+    double process(double in) override;
+    void reset() override { prev_ = 0.0; }
+
+    /// Magnitude response at f: |H| = sin(pi f / fs) / sin(pi fc / fs)
+    /// (~ f/fc well below Nyquist).
+    [[nodiscard]] double magnitude(Frequency f) const;
+
+private:
+    double scale_;
+    double fs_;
+    double prev_ = 0.0;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,32 @@
+#include "circ/vga.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::circ {
+
+VariableGainAmplifier::VariableGainAmplifier(double min_gain_db, double max_gain_db)
+    : min_db_(min_gain_db), max_db_(max_gain_db) {
+    CBS_EXPECTS(max_gain_db > min_gain_db);
+    gain_linear_ = std::pow(10.0, min_db_ / 20.0);
+}
+
+void VariableGainAmplifier::set_control(double control) {
+    CBS_EXPECTS(control >= 0.0 && control <= 1.0);
+    control_ = control;
+    gain_linear_ = std::pow(10.0, gain_db() / 20.0);
+}
+
+double VariableGainAmplifier::gain_db() const {
+    return min_db_ + control_ * (max_db_ - min_db_);
+}
+
+double VariableGainAmplifier::control_for_gain(double linear_gain) const {
+    CBS_EXPECTS(linear_gain > 0.0);
+    const double db = 20.0 * std::log10(linear_gain);
+    return std::clamp((db - min_db_) / (max_db_ - min_db_), 0.0, 1.0);
+}
+
+}  // namespace cbs::circ

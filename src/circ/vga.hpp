@@ -1,0 +1,33 @@
+// Variable-gain amplifier of the resonant loop (Figure 5): "allows to
+// adjust to different mechanical damping of the cantilever, due to
+// different liquids presented to the biosensor." Gain is exponentially
+// interpolated over a dB range by a control in [0, 1].
+#pragma once
+
+#include "circ/block.hpp"
+
+namespace cbs::circ {
+
+class VariableGainAmplifier final : public Block {
+public:
+    VariableGainAmplifier(double min_gain_db, double max_gain_db);
+
+    double process(double in) override { return gain_linear_ * in; }
+
+    /// control in [0,1] maps linearly in dB between min and max.
+    void set_control(double control);
+    [[nodiscard]] double control() const { return control_; }
+    [[nodiscard]] double gain_db() const;
+    [[nodiscard]] double gain_linear() const { return gain_linear_; }
+
+    /// Control value that realizes (clamps to range) a requested linear gain.
+    [[nodiscard]] double control_for_gain(double linear_gain) const;
+
+private:
+    double min_db_;
+    double max_db_;
+    double control_ = 0.0;
+    double gain_linear_;
+};
+
+}  // namespace cbs::circ

@@ -1,0 +1,134 @@
+#include "core/characterization.hpp"
+
+#include <cmath>
+
+#include "mech/piezoresistance.hpp"
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::core {
+
+OpenLoopAnalyzer::OpenLoopAnalyzer(const Config& config, Rng rng)
+    : cfg_(config),
+      beam_(config.geometry),
+      loading_(mech::HydrodynamicModel(beam_, config.fluid).solve()),
+      bridge_(config.bridge),
+      actuator_(config.coil),
+      rng_(rng) {
+    CBS_EXPECTS(config.drive_amplitude.value() > 0.0);
+    CBS_EXPECTS(config.oversample >= 16.0);
+    CBS_EXPECTS(config.settle_taus >= 2.0);
+    const mech::PiezoResistor gauge(config.geometry.material,
+                                    mech::ResistorOrientation::longitudinal,
+                                    mech::ResistorPlacement::clamped_edge);
+    drr_per_metre_ = gauge.relative_change_tip_deflection(beam_, Length{1.0});
+}
+
+double OpenLoopAnalyzer::expected_q() const {
+    return mech::HydrodynamicModel::combined_q(loading_.quality_factor, cfg_.intrinsic_q);
+}
+
+SweepPoint OpenLoopAnalyzer::measure(Frequency drive) {
+    CBS_EXPECTS(drive.value() > 0.0);
+    const double q = expected_q();
+    auto params = mech::make_resonator_params(beam_, loading_.resonance, q,
+                                              loading_.added_modal_mass);
+    mech::ModalResonator resonator(params);
+
+    const double fs = cfg_.oversample * loading_.resonance.value();
+    const double dt = 1.0 / fs;
+    // Settle several ring-up constants, then measure over many cycles.
+    const double tau = 2.0 * q / params.omega0.value();
+    const auto settle_steps = static_cast<std::size_t>(cfg_.settle_taus * tau * fs);
+    const auto measure_steps =
+        static_cast<std::size_t>(std::max(200.0 * fs / drive.value(), 4.0 * tau * fs));
+
+    daq::LockInAmplifier lockin(drive, Frequency{drive.value() / 100.0}, fs);
+    const double i0 = cfg_.drive_amplitude.value();
+    const double f_per_a = actuator_.force_per_current().value();
+    double t = 0.0;
+    for (std::size_t i = 0; i < settle_steps + measure_steps; ++i) {
+        const double current = i0 * std::sin(2.0 * constants::pi * drive.value() * t);
+        resonator.step_exact(Force{f_per_a * current}, Time{dt});
+        bridge_.set_sense_delta(
+            std::max(drr_per_metre_ * resonator.displacement().value(), -0.99));
+        lockin.feed(t, bridge_.output().value());
+        t += dt;
+    }
+    SweepPoint p;
+    p.frequency_hz = drive.value();
+    p.amplitude_v = lockin.magnitude();
+    p.phase_rad = lockin.phase();
+    return p;
+}
+
+std::vector<SweepPoint> OpenLoopAnalyzer::sweep(Frequency f_lo, Frequency f_hi,
+                                                std::size_t points) {
+    CBS_EXPECTS(f_hi.value() > f_lo.value());
+    CBS_EXPECTS(points >= 3);
+    std::vector<SweepPoint> out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f = f_lo.value() + (f_hi.value() - f_lo.value()) *
+                                            static_cast<double>(i) /
+                                            static_cast<double>(points - 1);
+        out.push_back(measure(Frequency{f}));
+    }
+    return out;
+}
+
+ResonanceFit OpenLoopAnalyzer::fit(const std::vector<SweepPoint>& sweep) {
+    CBS_EXPECTS(sweep.size() >= 3);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].amplitude_v > sweep[peak].amplitude_v) peak = i;
+    }
+    ResonanceFit fit;
+    fit.resonance = Frequency{sweep[peak].frequency_hz};
+    fit.peak_amplitude_v = sweep[peak].amplitude_v;
+
+    // Half-power (-3 dB) width by linear interpolation on both skirts.
+    const double target = fit.peak_amplitude_v / std::sqrt(2.0);
+    auto crossing = [&](bool left) -> double {
+        if (left) {
+            for (std::size_t i = peak; i-- > 0;) {
+                if (sweep[i].amplitude_v < target) {
+                    const double f0 = sweep[i].frequency_hz;
+                    const double f1 = sweep[i + 1].frequency_hz;
+                    const double a0 = sweep[i].amplitude_v;
+                    const double a1 = sweep[i + 1].amplitude_v;
+                    return f0 + (target - a0) / (a1 - a0) * (f1 - f0);
+                }
+            }
+        } else {
+            for (std::size_t i = peak + 1; i < sweep.size(); ++i) {
+                if (sweep[i].amplitude_v < target) {
+                    const double f0 = sweep[i - 1].frequency_hz;
+                    const double f1 = sweep[i].frequency_hz;
+                    const double a0 = sweep[i - 1].amplitude_v;
+                    const double a1 = sweep[i].amplitude_v;
+                    return f0 + (target - a0) / (a1 - a0) * (f1 - f0);
+                }
+            }
+        }
+        return -1.0;
+    };
+    const double f_left = crossing(true);
+    const double f_right = crossing(false);
+    if (f_left > 0.0 && f_right > 0.0 && f_right > f_left) {
+        fit.quality_factor = fit.resonance.value() / (f_right - f_left);
+    }
+    return fit;
+}
+
+ResonanceFit OpenLoopAnalyzer::characterize(std::size_t points) {
+    const double f0 = loading_.resonance.value();
+    const double q = expected_q();
+    // Sweep +-4 half-widths around the expected peak.
+    const double half_width = f0 / q / 2.0;
+    const auto pts = sweep(Frequency{f0 - 4.0 * half_width}, Frequency{f0 + 4.0 * half_width},
+                           points);
+    return fit(pts);
+}
+
+}  // namespace cbs::core

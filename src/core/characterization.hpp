@@ -1,0 +1,77 @@
+// Open-loop resonance characterization: before closing the Figure-5 loop,
+// a real bring-up drives the coil from an external source, sweeps the drive
+// frequency across the expected resonance and demodulates the bridge output
+// with a lock-in — yielding the measured transfer peak, resonance frequency
+// and quality factor that the loop (VGA setting, counter centre) is then
+// configured from.
+#pragma once
+
+#include <vector>
+
+#include "circ/bridge.hpp"
+#include "circ/lorentz.hpp"
+#include "daq/lockin.hpp"
+#include "mech/hydrodynamics.hpp"
+#include "mech/resonator.hpp"
+#include "phys/fluid.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace cbs::core {
+
+struct SweepPoint {
+    double frequency_hz = 0.0;
+    double amplitude_v = 0.0;  ///< lock-in magnitude at the bridge output
+    double phase_rad = 0.0;
+};
+
+struct ResonanceFit {
+    Frequency resonance{};       ///< frequency of the amplitude peak
+    double quality_factor = 0.0; ///< from the half-power width
+    double peak_amplitude_v = 0.0;
+};
+
+class OpenLoopAnalyzer {
+public:
+    struct Config {
+        mech::CantileverGeometry geometry = mech::resonant_default();
+        phys::Fluid fluid = phys::fluids::air();
+        double intrinsic_q = 3000.0;
+        circ::MosBridge::Config bridge{};
+        circ::LorentzCoilConfig coil{};
+        Current drive_amplitude{1e-3};
+        double oversample = 32.0;
+        /// Settling + measurement window per point, in units of ring-up
+        /// time constants (2Q/omega0).
+        double settle_taus = 6.0;
+    };
+
+    OpenLoopAnalyzer(const Config& config, Rng rng);
+
+    /// Measures the bridge response at one drive frequency.
+    [[nodiscard]] SweepPoint measure(Frequency drive);
+
+    /// Sweeps [f_lo, f_hi] in `points` logarithmically-linear steps.
+    [[nodiscard]] std::vector<SweepPoint> sweep(Frequency f_lo, Frequency f_hi,
+                                                std::size_t points);
+
+    /// Peak + half-power fit of a measured sweep.
+    [[nodiscard]] static ResonanceFit fit(const std::vector<SweepPoint>& sweep);
+
+    /// Convenience: sweep around the expected resonance and fit.
+    [[nodiscard]] ResonanceFit characterize(std::size_t points = 41);
+
+    [[nodiscard]] Frequency expected_resonance() const { return loading_.resonance; }
+    [[nodiscard]] double expected_q() const;
+
+private:
+    Config cfg_;
+    mech::EulerBernoulliBeam beam_;
+    mech::FluidLoading loading_;
+    double drr_per_metre_;
+    circ::MosBridge bridge_;
+    circ::LorentzActuator actuator_;
+    Rng rng_;
+};
+
+}  // namespace cbs::core

@@ -1,0 +1,56 @@
+#include "core/chip.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbs::core {
+
+BiosensorChip::BiosensorChip(const StaticSensorConfig& static_cfg,
+                             const ResonantSensorConfig& resonant_cfg, Rng rng)
+    : static_cfg_(static_cfg),
+      resonant_cfg_(resonant_cfg),
+      static_system_(static_cfg, rng.fork()),
+      resonant_system_(resonant_cfg, rng.fork()) {}
+
+ChipBudget BiosensorChip::budget() const {
+    ChipBudget b;
+
+    // Cell areas from the generated layouts.
+    fab::CantileverCellOptions static_opt;
+    static_opt.coil_turns = 0;
+    const auto static_cell =
+        fab::CantileverCellGenerator(static_cfg_.geometry, static_opt).generate("static");
+    const auto resonant_cell =
+        fab::CantileverCellGenerator(resonant_cfg_.geometry).generate("resonant");
+    auto bb_area = [](const fab::Cell& cell) {
+        const auto bb = cell.bounding_box();
+        return Area{(bb.x2 - bb.x1) * 1e-9 * (bb.y2 - bb.y1) * 1e-9};
+    };
+    const Area static_cell_area = bb_area(static_cell);
+    const Area resonant_cell_area = bb_area(resonant_cell);
+    b.sensor_cell_area = cbs::max(static_cell_area, resonant_cell_area);
+    // 4 static cells + 1 resonant cell + readout estimated as 2x the MEMS
+    // area (typical for this class of chip).
+    const Area mems = 4.0 * static_cell_area + resonant_cell_area;
+    b.chip_area = mems * 3.0;
+
+    // Power: four diffused bridges share the mux (one biased at a time in
+    // scanning operation) + chopper chain estimate; resonant: MOS bridge +
+    // buffer (dominant) + small-signal stages.
+    const circ::DiffusedBridge diffused(static_cfg_.bridge);
+    const Power chopper_chain{1.2e-3};  // chopper + filters + PGAs bias
+    b.static_system_power = diffused.power() + chopper_chain;
+    const Power loop_small_signal{0.8e-3};  // DDA + HPF + VGA + limiter bias
+    b.resonant_system_power = resonant_system_.static_power() + loop_small_signal;
+    b.total_power = b.static_system_power + b.resonant_system_power;
+    return b;
+}
+
+std::optional<ResonantCantileverSystem> BiosensorChip::from_fabricated(
+    const ResonantSensorConfig& base, const fab::DeviceSample& sample, Rng rng) {
+    if (!sample.functional) return std::nullopt;
+    ResonantSensorConfig cfg = base;
+    cfg.geometry = sample.geometry;
+    return ResonantCantileverSystem(cfg, rng);
+}
+
+}  // namespace cbs::core

@@ -1,0 +1,46 @@
+// Chip-level view: ties fabrication (layout area, Monte-Carlo geometry) to
+// the two sensor systems and their power budget — the numbers behind the
+// paper's "autonomous device operation" and "cost-efficient
+// mass-production" claims.
+#pragma once
+
+#include "core/resonant_sensor.hpp"
+#include "core/static_sensor.hpp"
+#include "fab/layout_gen.hpp"
+#include "fab/montecarlo.hpp"
+
+namespace cbs::core {
+
+struct ChipBudget {
+    Area sensor_cell_area{};       ///< layout bounding box of one cell
+    Area chip_area{};              ///< cells + readout estimate
+    Power static_system_power{};   ///< 4 bridges + chopper chain
+    Power resonant_system_power{}; ///< MOS bridge + loop + buffer
+    Power total_power{};
+};
+
+class BiosensorChip {
+public:
+    BiosensorChip(const StaticSensorConfig& static_cfg, const ResonantSensorConfig& resonant_cfg,
+                  Rng rng);
+
+    [[nodiscard]] StaticCantileverSystem& static_system() { return static_system_; }
+    [[nodiscard]] ResonantCantileverSystem& resonant_system() { return resonant_system_; }
+
+    /// Area/power budget from the generated layouts and bias points.
+    [[nodiscard]] ChipBudget budget() const;
+
+    /// Builds a resonant sensor from a fabricated (Monte-Carlo) device
+    /// sample instead of the nominal geometry; returns nullopt for
+    /// non-functional samples.
+    static std::optional<ResonantCantileverSystem> from_fabricated(
+        const ResonantSensorConfig& base, const fab::DeviceSample& sample, Rng rng);
+
+private:
+    StaticSensorConfig static_cfg_;
+    ResonantSensorConfig resonant_cfg_;
+    StaticCantileverSystem static_system_;
+    ResonantCantileverSystem resonant_system_;
+};
+
+}  // namespace cbs::core

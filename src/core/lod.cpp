@@ -1,0 +1,25 @@
+#include "core/lod.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::core {
+
+LodEstimate limit_of_detection(std::span<const double> blank_signals,
+                               std::span<const double> concentrations,
+                               std::span<const double> signals) {
+    CBS_EXPECTS(blank_signals.size() >= 3);
+    CBS_EXPECTS(concentrations.size() == signals.size());
+    CBS_EXPECTS(concentrations.size() >= 2);
+    LodEstimate e;
+    e.baseline_sigma = stats::stddev(blank_signals);
+    const auto fit = stats::linear_fit(concentrations, signals);
+    CBS_EXPECTS(fit.slope != 0.0);
+    e.slope = fit.slope;
+    e.lod_molar = 3.0 * e.baseline_sigma / std::fabs(fit.slope);
+    return e;
+}
+
+}  // namespace cbs::core

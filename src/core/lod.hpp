@@ -1,0 +1,27 @@
+// Limit-of-detection estimation: the IUPAC 3-sigma criterion applied to a
+// measured baseline and a calibration slope.
+#pragma once
+
+#include <span>
+
+#include "util/units.hpp"
+
+namespace cbs::core {
+
+struct LodEstimate {
+    double baseline_sigma = 0.0;   ///< noise of the blank, signal units
+    double slope = 0.0;            ///< signal per concentration (SI)
+    double lod_molar = 0.0;        ///< 3 sigma / slope, in mol/m^3 (SI)
+
+    /// LoD expressed in conventional molar units.
+    [[nodiscard]] double lod_nanomolar() const { return lod_molar / 1e-6; }
+    [[nodiscard]] double lod_picomolar() const { return lod_molar / 1e-9; }
+};
+
+/// Computes the 3-sigma LoD from blank readings and a calibration series
+/// (concentrations in SI mol/m^3, signals in any consistent unit).
+LodEstimate limit_of_detection(std::span<const double> blank_signals,
+                               std::span<const double> concentrations,
+                               std::span<const double> signals);
+
+}  // namespace cbs::core

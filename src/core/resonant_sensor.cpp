@@ -1,0 +1,223 @@
+#include "core/resonant_sensor.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::core {
+
+namespace {
+
+mech::FluidLoading solve_fluid(const mech::EulerBernoulliBeam& beam, const phys::Fluid& fluid) {
+    return mech::HydrodynamicModel(beam, fluid).solve();
+}
+
+}  // namespace
+
+circ::DdaConfig ResonantSensorConfig::default_dda() {
+    circ::DdaConfig d;
+    d.amplifier.gain = 20.0;
+    d.amplifier.bandwidth = Frequency{2e6};
+    d.amplifier.white_noise = VoltageNoiseDensity{12e-9};
+    d.amplifier.saturation = Voltage{2.5};
+    d.cmrr_db = 90.0;
+    return d;
+}
+
+ResonantCantileverSystem::ResonantCantileverSystem(const ResonantSensorConfig& config, Rng rng)
+    : cfg_(config),
+      beam_(config.geometry),
+      fluid_loading_(solve_fluid(beam_, config.fluid)),
+      fs_(config.oversample * fluid_loading_.resonance.value()),
+      dt_(1.0 / fs_),
+      resonator_(mech::make_resonator_params(beam_, fluid_loading_.resonance, loaded_q(),
+                                             fluid_loading_.added_modal_mass)),
+      mass_model_(beam_),
+      force_noise_sigma_(0.0),
+      force_rng_(rng.fork()),
+      bridge_(config.bridge),
+      bridge_thermal_(circ::MosBridge(config.bridge).thermal_noise_density(config.temperature),
+                      fs_, rng.fork()),
+      bridge_flicker_(
+          [&] {
+              const circ::MosBridge b(config.bridge);
+              const double en = b.thermal_noise_density(config.temperature).value();
+              return en * en * b.flicker_corner().value();
+          }(),
+          fs_ / static_cast<double>(flicker_stride_), rng.fork(), /*f_min_hz=*/1.0),
+      dda_(config.dda, fs_, rng.fork()),
+      loop_bandpass_(circ::Biquad::Type::bandpass, fluid_loading_.resonance, 1.0, fs_),
+      hp1_(config.highpass_corner, fs_),
+      hp2_(config.highpass_corner, fs_),
+      phase_shifter_(fluid_loading_.resonance, fs_),
+      vga_(config.vga_min_db, config.vga_max_db),
+      limiter_(config.limiter_gain, config.limiter_level),
+      buffer_(config.buffer, circ::LorentzActuator(config.coil).coil_resistance()),
+      actuator_(config.coil),
+      readout_bandpass_(circ::Biquad::Type::bandpass, fluid_loading_.resonance, 5.0, fs_),
+      counter_(config.counter_gate, /*hysteresis=*/config.limiter_level.value() * 0.2),
+      displacement_trace_(/*decimation=*/16) {
+    CBS_EXPECTS(config.intrinsic_q > 0.0);
+    CBS_EXPECTS(config.oversample >= 16.0);
+    CBS_EXPECTS(config.loop_gain_target > 1.0);
+    cfg_.coating.validate();
+
+    // Thermomechanical force noise at the loaded Q.
+    const mech::ThermalNoiseModel noise(beam_, loaded_q(), config.temperature);
+    force_noise_sigma_ = noise.force_noise_density().value() * std::sqrt(fs_ / 2.0);
+
+    // Gauge slope: dR/R per metre of tip displacement (clamped-edge bridge).
+    const mech::PiezoResistor gauge(config.geometry.material,
+                                    mech::ResistorOrientation::longitudinal,
+                                    mech::ResistorPlacement::clamped_edge);
+    drr_per_metre_ = gauge.relative_change_tip_deflection(beam_, Length{1.0});
+
+    auto_gain();
+    retune();
+}
+
+Frequency ResonantCantileverSystem::expected_resonance() const {
+    return mass_model_.loaded_frequency(bound_mass(), mech::MassDistribution::uniform) *
+           (fluid_loading_.resonance.value() / mass_model_.unloaded_frequency().value());
+}
+
+double ResonantCantileverSystem::loaded_q() const {
+    return mech::HydrodynamicModel::combined_q(fluid_loading_.quality_factor, cfg_.intrinsic_q);
+}
+
+double ResonantCantileverSystem::loop_gain() const {
+    // Displacement -> bridge -> DDA -> VGA -> limiter (small-signal) ->
+    // buffer -> coil current -> force -> displacement (x Q/k at resonance).
+    const double v_per_m = drr_per_metre_ * bridge_.sensitivity().value();
+    const double electronics =
+        cfg_.dda.amplifier.gain * vga_.gain_linear() * cfg_.limiter_gain;
+    const double amps_per_volt =
+        1.0 / (cfg_.buffer.output_resistance.value() + actuator_.coil_resistance().value());
+    const double newtons_per_amp = actuator_.force_per_current().value();
+    const double metres_per_newton =
+        loaded_q() / resonator_.params().modal_stiffness().value();
+    return v_per_m * electronics * amps_per_volt * newtons_per_amp * metres_per_newton;
+}
+
+double ResonantCantileverSystem::required_vga_gain() const {
+    const double at_unity_vga = loop_gain() / vga_.gain_linear();
+    return cfg_.loop_gain_target / at_unity_vga;
+}
+
+void ResonantCantileverSystem::auto_gain() {
+    vga_.set_control(vga_.control_for_gain(required_vga_gain()));
+}
+
+void ResonantCantileverSystem::set_concentration(MolarConcentration c) {
+    CBS_EXPECTS(c.value() >= 0.0);
+    concentration_ = c;
+}
+
+void ResonantCantileverSystem::set_coverage(double theta) {
+    CBS_EXPECTS(theta >= 0.0 && theta <= 1.0);
+    theta_ = theta;
+    retune();
+}
+
+Mass ResonantCantileverSystem::bound_mass() const {
+    return cfg_.coating.bound_mass(theta_, cfg_.geometry.plan_area());
+}
+
+void ResonantCantileverSystem::retune() {
+    // Bound analyte adds distributed mass: shift the resonator target.
+    const Mass dm_modal =
+        mass_model_.modal_added_mass(bound_mass(), mech::MassDistribution::uniform);
+    auto params = resonator_.params();
+    const Mass base = beam_.effective_mass(1) + fluid_loading_.added_modal_mass;
+    params.effective_mass = base + dm_modal;
+    const double scale = std::sqrt(base.value() / params.effective_mass.value());
+    params.omega0 = 2.0 * constants::pi * fluid_loading_.resonance * scale;
+    params.q = loaded_q();
+    resonator_.set_params(params);
+}
+
+void ResonantCantileverSystem::tick(double dt) {
+    // 1. Mechanics -> bridge.
+    const double x = resonator_.displacement().value();
+    bridge_.set_sense_delta(std::max(drr_per_metre_ * x, -0.99));
+    double v = bridge_.output().value();
+    v = bridge_thermal_.process(v);
+    if (flicker_counter_++ % flicker_stride_ == 0) {
+        flicker_value_ = bridge_flicker_.process(0.0);
+    }
+    v += flicker_value_;
+    // 2. Analog loop.
+    v = dda_.process_pair(v, bridge_.common_mode().value() - cfg_.bridge.bias.value() / 2.0);
+    v = loop_bandpass_.process(v);
+    v = hp1_.process(v);
+    v = hp2_.process(v);
+    v = phase_shifter_.process(v);
+    v = vga_.process(v);
+    v = limiter_.process(v);
+    const double v_coil = buffer_.process(v);
+    (void)v_coil;
+    // 3. Actuation + thermomechanical noise -> mechanics.
+    const double f_drive = actuator_.force(buffer_.load_current()).value();
+    const double f_noise = force_rng_.normal(0.0, force_noise_sigma_);
+    resonator_.step_exact(Force{f_drive + f_noise}, Time{dt});
+    // 4. Readout.
+    if (auto m = counter_.feed(t_, readout_bandpass_.process(v))) {
+        last_ = *m;
+        if (sink_ != nullptr) sink_->push_back(*m);
+    }
+    displacement_trace_.push(t_, x);
+    t_ += dt;
+}
+
+std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time duration) {
+    CBS_EXPECTS(duration.value() > 0.0);
+    std::vector<daq::FrequencyMeasurement> out;
+    sink_ = &out;
+    const auto steps = static_cast<std::size_t>(duration.value() * fs_);
+    const bio::LangmuirKinetics kinetics(cfg_.coating.target);
+    // Binding advances in coarse sub-intervals; the loop retunes after each.
+    const std::size_t bio_stride = std::max<std::size_t>(1, static_cast<std::size_t>(fs_ * 0.01));
+    for (std::size_t i = 0; i < steps; ++i) {
+        tick(dt_);
+        if ((i + 1) % bio_stride == 0) {
+            const double theta_next =
+                kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
+            if (std::abs(theta_next - theta_) > 1e-9) {
+                theta_ = theta_next;
+                retune();
+            }
+        }
+    }
+    sink_ = nullptr;
+    return out;
+}
+
+std::optional<daq::FrequencyMeasurement> ResonantCantileverSystem::last_measurement() const {
+    return last_;
+}
+
+Length ResonantCantileverSystem::oscillation_amplitude() const {
+    const auto v = displacement_trace_.values();
+    if (v.size() < 16) return Length{0.0};
+    // RMS of the recent window * sqrt(2) for a sine.
+    const std::size_t window = std::min<std::size_t>(v.size(), 4096);
+    const auto recent = v.subspan(v.size() - window);
+    return Length{stats::rms(recent) * std::sqrt(2.0)};
+}
+
+Mass ResonantCantileverSystem::mass_from_frequency(Frequency measured) const {
+    // Remove the fluid-loading scale, then invert the mass model.
+    const double fluid_scale =
+        fluid_loading_.resonance.value() / mass_model_.unloaded_frequency().value();
+    const Frequency in_vacuum_equivalent{measured.value() / fluid_scale};
+    return mass_model_.mass_from_frequency(in_vacuum_equivalent,
+                                           mech::MassDistribution::uniform);
+}
+
+Power ResonantCantileverSystem::static_power() const {
+    return bridge_.power() + buffer_.supply_power();
+}
+
+}  // namespace cbs::core

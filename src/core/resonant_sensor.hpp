@@ -1,0 +1,178 @@
+// Resonant cantilever biosensor system (paper Figure 5):
+//
+//   cantilever --(piezoresistive MOS bridge)--> DDA instrumentation amp
+//     --> high-pass filters --> variable-gain amplifier
+//     --> non-linear limiting amplifier --> class-AB buffer --> coil
+//     --(Lorentz force, package magnet)--> cantilever   [feedback loop]
+//
+//   readout: digital counter on the loop signal.
+//
+// The loop self-starts from thermomechanical noise, grows until the
+// limiter's describing gain brings the loop gain to unity, and oscillates
+// at the (mass-dependent) loaded resonance. Analyte binding shifts the
+// oscillation frequency (Figure 2); the counter tracks it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bio/functionalization.hpp"
+#include "bio/langmuir.hpp"
+#include "circ/bridge.hpp"
+#include "circ/classab.hpp"
+#include "circ/dda.hpp"
+#include "circ/filters.hpp"
+#include "circ/limiter.hpp"
+#include "circ/lorentz.hpp"
+#include "circ/noise.hpp"
+#include "circ/phase_shifter.hpp"
+#include "circ/vga.hpp"
+#include "daq/counter.hpp"
+#include "mech/hydrodynamics.hpp"
+#include "mech/mass_loading.hpp"
+#include "mech/piezoresistance.hpp"
+#include "mech/resonator.hpp"
+#include "mech/thermal_noise.hpp"
+#include "phys/fluid.hpp"
+#include "sim/trace.hpp"
+#include "util/random.hpp"
+
+namespace cbs::core {
+
+struct ResonantSensorConfig {
+    mech::CantileverGeometry geometry = mech::resonant_default();
+    phys::Fluid fluid = phys::fluids::air();
+    double intrinsic_q = 3000.0;  ///< anchor/material losses (combined with fluid)
+    Temperature temperature{293.15};
+
+    circ::MosBridge::Config bridge{};
+    circ::DdaConfig dda = default_dda();
+    Frequency highpass_corner{20e3};
+    double vga_min_db = -40.0;
+    double vga_max_db = 26.0;
+    double limiter_gain = 5.0;
+    Voltage limiter_level{15e-3};
+    circ::ClassAbConfig buffer{};
+    circ::LorentzCoilConfig coil{};
+
+    /// Loop-gain target the auto-gain routine sets via the VGA (> 1 for
+    /// guaranteed startup; amplitude is then set by the limiter).
+    double loop_gain_target = 4.0;
+
+    /// Oversampling of the loaded resonance.
+    double oversample = 32.0;
+
+    Time counter_gate{0.1};
+    bio::Coating coating = bio::antibody_coating(bio::library::igg_antigen());
+
+    static circ::DdaConfig default_dda();
+};
+
+class ResonantCantileverSystem {
+public:
+    ResonantCantileverSystem(const ResonantSensorConfig& config, Rng rng);
+
+    /// Loaded (fluid + bound mass) resonance the loop should find.
+    [[nodiscard]] Frequency expected_resonance() const;
+    /// Total loaded quality factor.
+    [[nodiscard]] double loaded_q() const;
+    /// Small-signal loop gain at resonance at the current VGA setting.
+    [[nodiscard]] double loop_gain() const;
+    /// VGA gain needed to hit the configured loop-gain target.
+    [[nodiscard]] double required_vga_gain() const;
+    /// Programs the VGA for the loop-gain target ("adjust to different
+    /// mechanical damping ... due to different liquids").
+    void auto_gain();
+    [[nodiscard]] double vga_control() const { return vga_.control(); }
+
+    /// Sets the analyte concentration over the sensor.
+    void set_concentration(MolarConcentration c);
+    /// Presets the coverage (e.g. a pre-incubated sensor) and retunes the
+    /// mechanics accordingly.
+    void set_coverage(double theta);
+    /// Analyte coverage and the bound mass it represents.
+    [[nodiscard]] double coverage() const { return theta_; }
+    [[nodiscard]] Mass bound_mass() const;
+
+    /// Runs the closed loop for `duration`; binding advances continuously;
+    /// completed counter gates are appended to the returned vector.
+    std::vector<daq::FrequencyMeasurement> run(Time duration);
+
+    /// Last completed counter measurement, if any.
+    [[nodiscard]] std::optional<daq::FrequencyMeasurement> last_measurement() const;
+
+    /// Steady-state oscillation amplitude estimate from the recent
+    /// displacement trace.
+    [[nodiscard]] Length oscillation_amplitude() const;
+
+    /// Inverts the mass-loading model: added mass explaining a measured
+    /// frequency.
+    [[nodiscard]] Mass mass_from_frequency(Frequency measured) const;
+
+    /// Static power: bridge + buffer (the MOS bridge advantage shows here).
+    [[nodiscard]] Power static_power() const;
+
+    [[nodiscard]] const ResonantSensorConfig& config() const { return cfg_; }
+    [[nodiscard]] double sample_rate() const { return fs_; }
+
+private:
+    /// Re-solves the resonator parameters for the current bound mass.
+    void retune();
+    /// One loop tick.
+    void tick(double dt);
+
+    ResonantSensorConfig cfg_;
+    mech::EulerBernoulliBeam beam_;
+    mech::FluidLoading fluid_loading_;
+    double fs_;
+    double dt_;
+
+    // Mechanics.
+    mech::ModalResonator resonator_;
+    mech::MassLoadingModel mass_model_;
+    double force_noise_sigma_;  // per-sample thermomechanical force
+    Rng force_rng_;
+
+    // Bio.
+    double theta_ = 0.0;
+    MolarConcentration concentration_{0.0};
+    double drr_per_metre_;  // bridge gauge slope vs tip displacement
+
+    // Circuit chain.
+    circ::MosBridge bridge_;
+    circ::WhiteNoise bridge_thermal_;
+    // The MOS bridge's 1/f noise is band-limited far below f0, so it is
+    // generated at fs/flicker_stride and held between updates — a 64x
+    // saving on the dominant per-tick cost.
+    static constexpr std::size_t flicker_stride_ = 64;
+    circ::FlickerNoise bridge_flicker_;
+    std::size_t flicker_counter_ = 0;
+    double flicker_value_ = 0.0;
+    circ::DifferentialDifferenceAmplifier dda_;
+    // Mild in-loop band-pass around the mechanical resonance: without it
+    // the VGA-amplified broadband bridge noise (important in liquids,
+    // where the VGA gain is high) competes with the oscillation.
+    circ::Biquad loop_bandpass_;
+    circ::OnePoleHighPass hp1_;
+    circ::OnePoleHighPass hp2_;
+    // Displacement-to-velocity phase shift: makes the Lorentz feedback pump
+    // energy (Barkhausen phase condition at the mechanical resonance).
+    circ::PhaseShifter phase_shifter_;
+    circ::VariableGainAmplifier vga_;
+    circ::NonlinearLimiter limiter_;
+    circ::ClassAbBuffer buffer_;
+    circ::LorentzActuator actuator_;
+
+    // Readout: the counter's input conditioning — a resonance-centred
+    // band-pass that keeps out-of-band noise from producing spurious
+    // zero crossings in the comparator.
+    circ::Biquad readout_bandpass_;
+    daq::ReciprocalCounter counter_;
+    std::optional<daq::FrequencyMeasurement> last_;
+    sim::Trace displacement_trace_;
+
+    double t_ = 0.0;
+    std::vector<daq::FrequencyMeasurement>* sink_ = nullptr;
+};
+
+}  // namespace cbs::core

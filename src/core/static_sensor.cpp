@@ -1,0 +1,207 @@
+#include "core/static_sensor.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::core {
+
+circ::ChopperConfig StaticSensorConfig::default_chopper() {
+    circ::ChopperConfig c;
+    c.amplifier.gain = 100.0;
+    c.amplifier.bandwidth = Frequency{50e3};
+    c.amplifier.offset_sigma = Voltage{2e-3};
+    c.amplifier.white_noise = VoltageNoiseDensity{15e-9};
+    c.amplifier.flicker_corner = Frequency{5e3};
+    c.amplifier.saturation = Voltage{2.5};
+    c.chop_frequency = Frequency{10e3};
+    c.output_cutoff = Frequency{500.0};
+    return c;
+}
+
+StaticCantileverSystem::StaticCantileverSystem(const StaticSensorConfig& config, Rng rng)
+    : cfg_(config),
+      stoney_(config.geometry),
+      gauge_(config.geometry.material, mech::ResistorOrientation::longitudinal,
+             mech::ResistorPlacement::distributed),
+      channels_{Channel{bio::antibody_coating(bio::library::igg_antigen()), 0.0,
+                        circ::DiffusedBridge(config.bridge), 0},
+                Channel{bio::antibody_coating(bio::library::igg_antigen()), 0.0,
+                        circ::DiffusedBridge(config.bridge), 0},
+                Channel{bio::antibody_coating(bio::library::igg_antigen()), 0.0,
+                        circ::DiffusedBridge(config.bridge), 0},
+                Channel{bio::reference_coating(), 0.0, circ::DiffusedBridge(config.bridge), 0}},
+      mux_(config.mux, config.sample_rate_hz),
+      chopper_(config.chopper, config.sample_rate_hz, rng.fork()),
+      post_filter_(Frequency{200.0}, config.sample_rate_hz),
+      offset_(config.offset_range, config.offset_bits),
+      pga1_(config.adc_full_scale),
+      pga2_(config.adc_full_scale),
+      adc_(config.adc_bits, config.adc_full_scale),
+      bridge_noise_(circ::DiffusedBridge(config.bridge).thermal_noise_density(constants::T_room),
+                    config.sample_rate_hz, rng.fork()) {
+    CBS_EXPECTS(config.mux.channels == channel_count);
+    CBS_EXPECTS(config.sample_rate_hz > 0.0);
+    // Fabrication mismatch per channel.
+    for (auto& ch : channels_) {
+        std::array<double, 4> mm{};
+        for (auto& m : mm) m = rng.normal(0.0, cfg_.bridge_mismatch_sigma);
+        ch.bridge.set_mismatch(mm);
+    }
+    pga1_.set_setting(4);  // x20
+    pga2_.set_setting(2);  // x5
+}
+
+void StaticCantileverSystem::set_coating(std::size_t channel, const bio::Coating& coating) {
+    CBS_EXPECTS(channel < channel_count);
+    coating.validate();
+    channels_[channel].coating = coating;
+    channels_[channel].theta = 0.0;
+}
+
+void StaticCantileverSystem::set_concentration(MolarConcentration c) {
+    CBS_EXPECTS(c.value() >= 0.0);
+    concentration_ = c;
+}
+
+void StaticCantileverSystem::advance_binding(Time dt) {
+    CBS_EXPECTS(dt.value() > 0.0);
+    for (auto& ch : channels_) {
+        const bio::LangmuirKinetics kinetics(ch.coating.target);
+        ch.theta = kinetics.step(ch.theta, concentration_, dt);
+    }
+}
+
+double StaticCantileverSystem::bridge_output(Channel& ch) const {
+    const auto stress = ch.coating.surface_stress(ch.theta);
+    ch.bridge.set_sense_delta(gauge_.relative_change_surface_stress(stoney_, stress));
+    return ch.bridge.output().value();
+}
+
+double StaticCantileverSystem::acquire(Time settle, Time integrate) {
+    CBS_EXPECTS(settle.value() > 0.0 && integrate.value() > 0.0);
+    std::array<double, channel_count> inputs{};
+    for (std::size_t i = 0; i < channel_count; ++i) {
+        inputs[i] = bridge_output(channels_[i]);
+    }
+    const auto settle_steps =
+        static_cast<std::size_t>(settle.value() * cfg_.sample_rate_hz);
+    const auto integrate_steps =
+        static_cast<std::size_t>(integrate.value() * cfg_.sample_rate_hz);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < settle_steps + integrate_steps; ++i) {
+        double v = mux_.process(inputs);
+        v = bridge_noise_.process(v);
+        v = chopper_.process(v);
+        v = post_filter_.process(v);
+        v = offset_.process(v);
+        v = pga1_.process(v);
+        v = pga2_.process(v);
+        v = adc_.quantize(v);
+        if (i >= settle_steps) acc += v;
+        sim_time_ += 1.0 / cfg_.sample_rate_hz;
+    }
+    return acc / static_cast<double>(integrate_steps);
+}
+
+void StaticCantileverSystem::calibrate_offsets(Time settle, Time integrate) {
+    // The uncompensated offset (bridge mismatch x chopper gain, ~0.25 V at
+    // the compensation node) saturates the chain at full gain, so the
+    // measurement is taken with both PGAs at x1 — the same sequencing a
+    // real chain uses.
+    const auto g1 = pga1_.setting();
+    const auto g2 = pga2_.setting();
+    pga1_.set_setting(0);
+    pga2_.set_setting(0);
+    for (std::size_t k = 0; k < channel_count; ++k) {
+        mux_.select(k);
+        offset_.set_code(0);
+        const double out = acquire(settle, integrate);
+        offset_.calibrate(Voltage{out});
+        channels_[k].offset_code = offset_.code();
+    }
+    pga1_.set_setting(g1);
+    pga2_.set_setting(g2);
+    // Second pass at full gain: store the sub-LSB residual and remove it in
+    // software on every subsequent reading.
+    for (std::size_t k = 0; k < channel_count; ++k) {
+        mux_.select(k);
+        offset_.set_code(channels_[k].offset_code);
+        channels_[k].residual_v = acquire(settle, integrate);
+    }
+}
+
+ChannelReading StaticCantileverSystem::read_channel(std::size_t channel, Time settle,
+                                                    Time integrate) {
+    CBS_EXPECTS(channel < channel_count);
+    mux_.select(channel);
+    offset_.set_code(channels_[channel].offset_code);
+    ChannelReading r;
+    r.channel = channel;
+    r.output = Voltage{acquire(settle, integrate) - channels_[channel].residual_v};
+    r.input_referred = Voltage{r.output.value() / chain_gain()};
+    // Invert bridge + gauge + Stoney to estimate the surface stress.
+    const double drr = r.input_referred.value() /
+                       channels_[channel].bridge.sensitivity().value();
+    const double drr_per_stress =
+        gauge_.relative_change_surface_stress(stoney_, SurfaceStress{1.0});
+    r.stress = SurfaceStress{drr / drr_per_stress};
+    return r;
+}
+
+Voltage StaticCantileverSystem::differential(std::size_t active, std::size_t reference,
+                                             Time settle, Time integrate) {
+    const auto a = read_channel(active, settle, integrate);
+    const auto ref = read_channel(reference, settle, integrate);
+    return a.output - ref.output;
+}
+
+double StaticCantileverSystem::chain_gain() const {
+    return cfg_.chopper.amplifier.gain * pga1_.gain() * pga2_.gain();
+}
+
+Q<0, 2, -1, -1> StaticCantileverSystem::stress_responsivity() const {
+    const double drr_per_stress =
+        gauge_.relative_change_surface_stress(stoney_, SurfaceStress{1.0});
+    const Voltage per_unit =
+        channels_[0].bridge.sensitivity() * (drr_per_stress * chain_gain());
+    return per_unit / SurfaceStress{1.0};
+}
+
+double StaticCantileverSystem::coverage(std::size_t channel) const {
+    CBS_EXPECTS(channel < channel_count);
+    return channels_[channel].theta;
+}
+
+const bio::Coating& StaticCantileverSystem::coating(std::size_t channel) const {
+    CBS_EXPECTS(channel < channel_count);
+    return channels_[channel].coating;
+}
+
+StaticCantileverSystem::AssayRecord StaticCantileverSystem::run_assay(
+    const bio::AssayProtocol& protocol, Time reading_interval) {
+    protocol.validate();
+    CBS_EXPECTS(reading_interval.value() > 0.0);
+    AssayRecord rec;
+    double t = 0.0;
+    for (const auto& phase : protocol.phases) {
+        set_concentration(phase.concentration);
+        double elapsed = 0.0;
+        while (elapsed < phase.duration.value() - 1e-9) {
+            const double dt =
+                std::min(reading_interval.value(), phase.duration.value() - elapsed);
+            advance_binding(Time{dt});
+            elapsed += dt;
+            t += dt;
+            rec.time_s.push_back(t);
+            for (std::size_t k = 0; k < channel_count; ++k) {
+                rec.volts[k].push_back(
+                    read_channel(k, Time{5e-3}, Time{10e-3}).output.value());
+            }
+        }
+    }
+    return rec;
+}
+
+}  // namespace cbs::core

@@ -1,0 +1,142 @@
+// Static cantilever biosensor system (paper Figure 4):
+//
+//   [4-cantilever array] -> analog mux -> chopper-stabilized amplifier
+//     -> low-pass filter -> programmable offset compensation
+//     -> two programmable gain stages -> ADC
+//
+// Each channel is a functionalized static cantilever whose analyte coverage
+// produces a differential surface stress (Figure 1), read out by a
+// distributed piezoresistive Wheatstone bridge. Channel 3 is by default a
+// blocked reference whose signal subtracts common-mode drift.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "bio/assay.hpp"
+#include "bio/langmuir.hpp"
+#include "circ/adc.hpp"
+#include "circ/bridge.hpp"
+#include "circ/chopper.hpp"
+#include "circ/mux.hpp"
+#include "circ/offset_comp.hpp"
+#include "circ/pga.hpp"
+#include "mech/piezoresistance.hpp"
+#include "mech/stoney.hpp"
+#include "util/random.hpp"
+
+namespace cbs::core {
+
+struct StaticSensorConfig {
+    mech::CantileverGeometry geometry = mech::static_default();
+    circ::DiffusedBridge::Config bridge{};
+    double bridge_mismatch_sigma = 0.002;  ///< per-arm fabrication mismatch
+    circ::MuxConfig mux{};
+    circ::ChopperConfig chopper = default_chopper();
+    Voltage offset_range{1.2};  ///< at the compensation node (covers 3-sigma bridge mismatch)
+    int offset_bits = 12;
+    int adc_bits = 14;
+    Voltage adc_full_scale{2.5};
+    double sample_rate_hz = 200e3;
+
+    static circ::ChopperConfig default_chopper();
+};
+
+/// One acquired reading of a channel.
+struct ChannelReading {
+    std::size_t channel = 0;
+    Voltage output{};            ///< averaged chain output at the ADC
+    Voltage input_referred{};    ///< output / chain gain
+    SurfaceStress stress{};      ///< inverse Stoney + bridge model
+};
+
+class StaticCantileverSystem {
+public:
+    static constexpr std::size_t channel_count = 4;
+
+    StaticCantileverSystem(const StaticSensorConfig& config, Rng rng);
+
+    /// Assigns a coating to a channel (defaults: 0-2 active IgG, 3 blocked
+    /// reference).
+    void set_coating(std::size_t channel, const bio::Coating& coating);
+
+    /// Sets the analyte concentration currently flowing over the array;
+    /// each channel binds according to its own coating.
+    void set_concentration(MolarConcentration c);
+
+    /// Advances the biological state by dt (circuit state is advanced
+    /// during read_channel calls).
+    void advance_binding(Time dt);
+
+    /// Measures each channel's raw chain offset at the current state and
+    /// programs the compensation DAC codes (run this on clean baseline).
+    void calibrate_offsets(Time settle = Time{20e-3}, Time integrate = Time{20e-3});
+
+    /// Acquires one reading: selects the mux channel, lets the chain
+    /// settle, integrates the ADC output.
+    [[nodiscard]] ChannelReading read_channel(std::size_t channel, Time settle = Time{10e-3},
+                                              Time integrate = Time{20e-3});
+
+    /// Differential reading: active minus reference channel.
+    [[nodiscard]] Voltage differential(std::size_t active, std::size_t reference = 3,
+                                       Time settle = Time{10e-3},
+                                       Time integrate = Time{20e-3});
+
+    /// Total small-signal gain from bridge differential output to the ADC.
+    [[nodiscard]] double chain_gain() const;
+
+    /// dVout/dsigma_s: end-to-end responsivity to surface stress
+    /// [V per (N/m)].
+    [[nodiscard]] Q<0, 2, -1, -1> stress_responsivity() const;
+
+    /// Current analyte coverage of a channel.
+    [[nodiscard]] double coverage(std::size_t channel) const;
+    [[nodiscard]] const bio::Coating& coating(std::size_t channel) const;
+
+    /// Runs a full assay protocol, reading all four channels every
+    /// `reading_interval`; returns per-channel voltage sensorgrams.
+    struct AssayRecord {
+        std::vector<double> time_s;
+        std::array<std::vector<double>, channel_count> volts;
+    };
+    [[nodiscard]] AssayRecord run_assay(const bio::AssayProtocol& protocol,
+                                        Time reading_interval = Time{30.0});
+
+    [[nodiscard]] const StaticSensorConfig& config() const { return cfg_; }
+
+private:
+    struct Channel {
+        bio::Coating coating;
+        double theta = 0.0;
+        circ::DiffusedBridge bridge;
+        std::int32_t offset_code = 0;
+        /// Post-DAC residual measured during calibration and removed in
+        /// software (sub-LSB zeroing).
+        double residual_v = 0.0;
+    };
+
+    /// Bridge differential voltage of a channel at its current coverage
+    /// (including mismatch offset).
+    [[nodiscard]] double bridge_output(Channel& ch) const;
+    /// Runs the chain for a window and returns the average output.
+    double acquire(Time settle, Time integrate);
+
+    StaticSensorConfig cfg_;
+    mech::StoneyModel stoney_;
+    mech::PiezoResistor gauge_;
+    std::array<Channel, channel_count> channels_;
+    MolarConcentration concentration_{0.0};
+
+    circ::AnalogMux mux_;
+    circ::ChopperAmplifier chopper_;
+    circ::OnePoleLowPass post_filter_;
+    circ::OffsetCompensator offset_;
+    circ::ProgrammableGainStage pga1_;
+    circ::ProgrammableGainStage pga2_;
+    circ::SarAdc adc_;
+    circ::WhiteNoise bridge_noise_;
+    double sim_time_ = 0.0;
+};
+
+}  // namespace cbs::core

@@ -1,0 +1,113 @@
+#include "daq/counter.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbs::daq {
+
+ZeroCrossingDetector::ZeroCrossingDetector(double hysteresis) : hysteresis_(hysteresis) {
+    CBS_EXPECTS(hysteresis >= 0.0);
+}
+
+std::optional<double> ZeroCrossingDetector::feed(double t, double v) {
+    std::optional<double> crossing;
+    if (first_) {
+        first_ = false;
+        armed_ = v < -hysteresis_;
+    } else {
+        CBS_EXPECTS(t > prev_t_);
+        if (!armed_ && v < -hysteresis_) {
+            armed_ = true;
+        } else if (armed_ && v >= hysteresis_) {
+            // Interpolate where the signal crossed zero.
+            const double dv = v - prev_v_;
+            const double frac = dv != 0.0 ? (0.0 - prev_v_) / dv : 0.0;
+            double tc = prev_t_ + frac * (t - prev_t_);
+            if (tc < prev_t_) tc = prev_t_;  // guard against hysteresis skew
+            if (tc > t) tc = t;
+            crossing = tc;
+            armed_ = false;
+        }
+    }
+    prev_t_ = t;
+    prev_v_ = v;
+    return crossing;
+}
+
+void ZeroCrossingDetector::reset() {
+    armed_ = false;
+    first_ = true;
+    prev_t_ = 0.0;
+    prev_v_ = 0.0;
+}
+
+GatedCounter::GatedCounter(Time gate, double hysteresis) : gate_(gate.value()), zcd_(hysteresis) {
+    CBS_EXPECTS(gate.value() > 0.0);
+}
+
+std::optional<FrequencyMeasurement> GatedCounter::feed(double t, double v) {
+    if (!started_) {
+        started_ = true;
+        gate_open_ = t;
+    }
+    if (zcd_.feed(t, v)) ++count_;
+    if (t - gate_open_ >= gate_) {
+        FrequencyMeasurement m;
+        m.frequency_hz = static_cast<double>(count_) / (t - gate_open_);
+        m.gate_start = gate_open_;
+        m.gate_end = t;
+        m.edges = count_;
+        gate_open_ = t;
+        count_ = 0;
+        return m;
+    }
+    return std::nullopt;
+}
+
+void GatedCounter::reset() {
+    zcd_.reset();
+    started_ = false;
+    count_ = 0;
+}
+
+ReciprocalCounter::ReciprocalCounter(Time gate, double hysteresis)
+    : gate_(gate.value()), zcd_(hysteresis) {
+    CBS_EXPECTS(gate.value() > 0.0);
+}
+
+std::optional<FrequencyMeasurement> ReciprocalCounter::feed(double t, double v) {
+    if (!started_) {
+        started_ = true;
+        gate_open_ = t;
+    }
+    if (const auto edge = zcd_.feed(t, v)) {
+        if (!first_edge_) first_edge_ = *edge;
+        last_edge_ = *edge;
+        ++edges_;
+    }
+    if (t - gate_open_ >= gate_) {
+        std::optional<FrequencyMeasurement> out;
+        if (edges_ >= 2 && last_edge_ > *first_edge_) {
+            FrequencyMeasurement m;
+            m.frequency_hz =
+                static_cast<double>(edges_ - 1) / (last_edge_ - *first_edge_);
+            m.gate_start = gate_open_;
+            m.gate_end = t;
+            m.edges = edges_;
+            out = m;
+        }
+        gate_open_ = t;
+        first_edge_.reset();
+        edges_ = 0;
+        return out;
+    }
+    return std::nullopt;
+}
+
+void ReciprocalCounter::reset() {
+    zcd_.reset();
+    started_ = false;
+    first_edge_.reset();
+    edges_ = 0;
+}
+
+}  // namespace cbs::daq

@@ -1,0 +1,89 @@
+// Frequency readout: "the readout block mainly consists of a digital
+// counter to monitor the resonant frequency of the sensor system"
+// (Figure 5). Two counter architectures:
+//
+//  * GatedCounter      — counts rising edges in a fixed gate; quantization
+//                        error +-1 count => resolution 1/T_gate.
+//  * ReciprocalCounter — times N whole periods between the first and last
+//                        edge inside the gate; resolution set by edge
+//                        timing (interpolated zero crossings), orders
+//                        better at the same gate time.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace cbs::daq {
+
+/// Rising-edge detector with hysteresis and linear-interpolated timestamps.
+class ZeroCrossingDetector {
+public:
+    explicit ZeroCrossingDetector(double hysteresis = 0.0);
+
+    /// Feeds one sample; returns the interpolated crossing time if a rising
+    /// zero crossing occurred within (t_prev, t].
+    std::optional<double> feed(double t, double v);
+
+    void reset();
+
+private:
+    double hysteresis_;
+    bool armed_ = false;   // below -hysteresis, waiting to cross +hysteresis
+    bool first_ = true;
+    double prev_t_ = 0.0;
+    double prev_v_ = 0.0;
+};
+
+struct FrequencyMeasurement {
+    double frequency_hz = 0.0;
+    double gate_start = 0.0;
+    double gate_end = 0.0;
+    std::size_t edges = 0;
+};
+
+/// Classic gated counter.
+class GatedCounter {
+public:
+    GatedCounter(Time gate, double hysteresis = 0.0);
+
+    /// Feeds one sample; returns a measurement when a gate completes.
+    std::optional<FrequencyMeasurement> feed(double t, double v);
+
+    [[nodiscard]] Time gate() const { return Time{gate_}; }
+    /// Worst-case quantization resolution of this architecture.
+    [[nodiscard]] Frequency resolution() const { return Frequency{1.0 / gate_}; }
+
+    void reset();
+
+private:
+    double gate_;
+    ZeroCrossingDetector zcd_;
+    double gate_open_ = 0.0;
+    bool started_ = false;
+    std::size_t count_ = 0;
+};
+
+/// Reciprocal (period-averaging) counter.
+class ReciprocalCounter {
+public:
+    ReciprocalCounter(Time gate, double hysteresis = 0.0);
+
+    std::optional<FrequencyMeasurement> feed(double t, double v);
+
+    [[nodiscard]] Time gate() const { return Time{gate_}; }
+
+    void reset();
+
+private:
+    double gate_;
+    ZeroCrossingDetector zcd_;
+    double gate_open_ = 0.0;
+    bool started_ = false;
+    std::optional<double> first_edge_;
+    double last_edge_ = 0.0;
+    std::size_t edges_ = 0;
+};
+
+}  // namespace cbs::daq

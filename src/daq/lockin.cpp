@@ -1,0 +1,36 @@
+#include "daq/lockin.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::daq {
+
+LockInAmplifier::LockInAmplifier(Frequency reference, Frequency output_bandwidth,
+                                 double sample_rate_hz)
+    : f_ref_(reference.value()),
+      lp_i_(output_bandwidth, sample_rate_hz),
+      lp_q_(output_bandwidth, sample_rate_hz) {
+    CBS_EXPECTS(reference.value() > 0.0);
+    CBS_EXPECTS(output_bandwidth.value() < reference.value());
+}
+
+void LockInAmplifier::feed(double t, double v) {
+    const double ph = 2.0 * constants::pi * f_ref_ * t;
+    i_ = lp_i_.process(v * std::sin(ph));
+    q_ = lp_q_.process(v * std::cos(ph));
+}
+
+double LockInAmplifier::magnitude() const { return 2.0 * std::hypot(i_, q_); }
+
+double LockInAmplifier::phase() const { return std::atan2(q_, i_); }
+
+void LockInAmplifier::reset() {
+    lp_i_.reset();
+    lp_q_.reset();
+    i_ = 0.0;
+    q_ = 0.0;
+}
+
+}  // namespace cbs::daq

@@ -1,0 +1,37 @@
+// Lock-in (synchronous) demodulator: used by the characterization benches
+// to measure amplitude/phase of the cantilever response at a known drive
+// frequency, e.g. when sweeping an open-loop frequency response.
+#pragma once
+
+#include "circ/filters.hpp"
+#include "util/units.hpp"
+
+namespace cbs::daq {
+
+class LockInAmplifier {
+public:
+    LockInAmplifier(Frequency reference, Frequency output_bandwidth, double sample_rate_hz);
+
+    /// Feeds one input sample at time t (uses its own phase accumulator).
+    void feed(double t, double v);
+
+    /// In-phase and quadrature outputs (after the output filters).
+    [[nodiscard]] double i() const { return i_; }
+    [[nodiscard]] double q() const { return q_; }
+    /// RMS-calibrated magnitude of the component at the reference frequency
+    /// (peak amplitude of the input tone).
+    [[nodiscard]] double magnitude() const;
+    /// Phase of the input tone relative to sin(2 pi f t), radians.
+    [[nodiscard]] double phase() const;
+
+    void reset();
+
+private:
+    double f_ref_;
+    circ::OnePoleLowPass lp_i_;
+    circ::OnePoleLowPass lp_q_;
+    double i_ = 0.0;
+    double q_ = 0.0;
+};
+
+}  // namespace cbs::daq

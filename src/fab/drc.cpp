@@ -1,0 +1,91 @@
+#include "fab/drc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+namespace {
+std::int64_t to_nm(Length l) { return static_cast<std::int64_t>(std::llround(l.value() * 1e9)); }
+}  // namespace
+
+std::string DrcViolation::describe() const {
+    std::ostringstream os;
+    os << (rule != nullptr ? rule->name : "<unknown>") << ": actual " << actual_um
+       << " um at (" << shape.x1 / 1000.0 << "," << shape.y1 / 1000.0 << ")";
+    return os.str();
+}
+
+DrcEngine::DrcEngine(std::vector<DrcRule> rules) : rules_(std::move(rules)) {
+    CBS_EXPECTS(!rules_.empty());
+    for (const auto& r : rules_) CBS_EXPECTS(r.value.value() > 0.0);
+}
+
+std::vector<DrcViolation> DrcEngine::check(const Cell& cell) const {
+    std::vector<DrcViolation> out;
+    for (const auto& rule : rules_) {
+        switch (rule.kind) {
+            case RuleKind::min_width: check_width(cell, rule, out); break;
+            case RuleKind::min_space: check_space(cell, rule, out); break;
+            case RuleKind::min_enclosure: check_enclosure(cell, rule, out); break;
+        }
+    }
+    return out;
+}
+
+void DrcEngine::check_width(const Cell& cell, const DrcRule& rule,
+                            std::vector<DrcViolation>& out) const {
+    const auto limit = to_nm(rule.value);
+    for (const auto& r : cell.shapes(rule.layer)) {
+        if (r.min_dimension() < limit) {
+            out.push_back({&rule, r, static_cast<double>(r.min_dimension()) / 1000.0});
+        }
+    }
+}
+
+void DrcEngine::check_space(const Cell& cell, const DrcRule& rule,
+                            std::vector<DrcViolation>& out) const {
+    const double limit_um = rule.value.value() * 1e6;
+    const auto& shapes = cell.shapes(rule.layer);
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+            // Touching/overlapping shapes merge; only disjoint pairs have
+            // a spacing requirement.
+            if (shapes[i].touches_or_intersects(shapes[j])) continue;
+            const double d = shapes[i].distance_to(shapes[j]) / 1000.0;
+            if (d < limit_um) out.push_back({&rule, shapes[i], d});
+        }
+    }
+}
+
+void DrcEngine::check_enclosure(const Cell& cell, const DrcRule& rule,
+                                std::vector<DrcViolation>& out) const {
+    const auto margin = to_nm(rule.value);
+    for (const auto& inner : cell.shapes(rule.layer)) {
+        bool enclosed = false;
+        double best = -1e300;
+        for (const auto& outer : cell.shapes(rule.other)) {
+            if (outer.grown(-margin).contains(inner)) {
+                enclosed = true;
+                break;
+            }
+            if (outer.contains(inner)) {
+                // Contained but with insufficient margin: report the worst
+                // actual margin among the four sides.
+                const double m =
+                    static_cast<double>(std::min({inner.x1 - outer.x1, outer.x2 - inner.x2,
+                                                  inner.y1 - outer.y1, outer.y2 - inner.y2})) /
+                    1000.0;
+                best = std::max(best, m);
+            }
+        }
+        if (!enclosed) {
+            out.push_back({&rule, inner, best > -1e299 ? best : 0.0});
+        }
+    }
+}
+
+}  // namespace cbs::fab

@@ -1,0 +1,59 @@
+// Geometric design-rule checker for the combined CMOS + MEMS rule deck:
+// the paper's point that "physical design verification, e.g. design-rule
+// checks, can be performed with respect to the CMOS layers" because the
+// MEMS masks live in the same design flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fab/layout.hpp"
+#include "util/units.hpp"
+
+namespace cbs::fab {
+
+enum class RuleKind {
+    min_width,      ///< every shape's min dimension >= value
+    min_space,      ///< gap between disjoint same-layer shapes >= value
+    min_enclosure,  ///< outer layer must enclose inner by >= value
+};
+
+struct DrcRule {
+    RuleKind kind{};
+    Layer layer{};        ///< checked layer (inner layer for enclosure)
+    Layer other{};        ///< outer layer for enclosure rules
+    Length value{};       ///< the rule distance
+    std::string name;     ///< e.g. "OPEN.W.1"
+};
+
+struct DrcViolation {
+    const DrcRule* rule = nullptr;
+    Rect shape{};          ///< offending shape (first of the pair)
+    double actual_um = 0.0;
+    std::string describe() const;
+};
+
+class DrcEngine {
+public:
+    explicit DrcEngine(std::vector<DrcRule> rules);
+
+    [[nodiscard]] const std::vector<DrcRule>& rules() const { return rules_; }
+
+    /// Runs all rules against the cell; returns every violation found.
+    [[nodiscard]] std::vector<DrcViolation> check(const Cell& cell) const;
+
+    /// Convenience: true iff check() is empty.
+    [[nodiscard]] bool clean(const Cell& cell) const { return check(cell).empty(); }
+
+private:
+    void check_width(const Cell& cell, const DrcRule& rule,
+                     std::vector<DrcViolation>& out) const;
+    void check_space(const Cell& cell, const DrcRule& rule,
+                     std::vector<DrcViolation>& out) const;
+    void check_enclosure(const Cell& cell, const DrcRule& rule,
+                         std::vector<DrcViolation>& out) const;
+
+    std::vector<DrcRule> rules_;
+};
+
+}  // namespace cbs::fab

@@ -1,0 +1,103 @@
+#include "fab/etch.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+namespace {
+// KOH (100) etch activation energy ~0.595 eV (Seidel model).
+constexpr double activation_energy_ev = 0.595;
+constexpr double ev_to_joule = 1.602176634e-19;
+// Calibration: 1.4 um/min at 90 C, 30 wt%.
+constexpr double calib_rate = 1.4e-6 / 60.0;
+constexpr double calib_temp = 363.15;
+}  // namespace
+
+KohEtchSimulator::KohEtchSimulator(const KohEtchConfig& config) : cfg_(config) {
+    CBS_EXPECTS(config.bath_temperature.value() > 273.15);
+    CBS_EXPECTS(config.koh_weight_fraction > 0.1 && config.koh_weight_fraction < 0.6);
+    CBS_EXPECTS(config.stack.wafer_thickness.value() >
+                config.stack.nwell_junction_depth.value());
+    const double kT = constants::k_B.value() * cfg_.bath_temperature.value();
+    const double kT_cal = constants::k_B.value() * calib_temp;
+    const double ea = activation_energy_ev * ev_to_joule;
+    // Concentration dependence (Seidel: rate ~ [H2O]^4 [KOH]^(1/4)) is
+    // folded into a mild penalty away from the 30 wt% calibration point.
+    const double conc_penalty =
+        1.0 - 2.0 * std::abs(cfg_.koh_weight_fraction - 0.30);
+    nominal_rate_m_per_s_ =
+        calib_rate * std::exp(-ea / kT) / std::exp(-ea / kT_cal) * conc_penalty;
+}
+
+Velocity KohEtchSimulator::nominal_rate() const { return Velocity{nominal_rate_m_per_s_}; }
+
+Time KohEtchSimulator::nominal_stop_time() const {
+    const double depth_to_etch =
+        cfg_.stack.wafer_thickness.value() - cfg_.stack.nwell_junction_depth.value();
+    return Time{depth_to_etch / nominal_rate_m_per_s_};
+}
+
+std::vector<std::pair<double, double>> KohEtchSimulator::front_profile(Time step) const {
+    CBS_EXPECTS(step.value() > 0.0);
+    std::vector<std::pair<double, double>> out;
+    const double t_stop = nominal_stop_time().value();
+    const double target =
+        cfg_.stack.wafer_thickness.value() - cfg_.stack.nwell_junction_depth.value();
+    for (double t = 0.0;; t += step.value()) {
+        const double depth = std::min(nominal_rate_m_per_s_ * t, target);
+        out.emplace_back(t, depth);
+        if (t >= t_stop) break;
+    }
+    return out;
+}
+
+EtchResult KohEtchSimulator::run_electrochemical(Rng& rng) const {
+    EtchResult r;
+    // The pn-junction passivates the surface when reached: thickness is the
+    // junction depth with only the diffusion-driven spread.
+    const double t_final = rng.normal(cfg_.stack.nwell_junction_depth.value(),
+                                      cfg_.junction_depth_sigma.value());
+    r.final_thickness = Length{std::max(t_final, 0.0)};
+    const double rate = rng.lognormal_rel(nominal_rate_m_per_s_, cfg_.rate_rel_sigma);
+    const double wafer =
+        rng.normal(cfg_.stack.wafer_thickness.value(), cfg_.wafer_thickness_sigma.value());
+    r.duration = Time{(wafer - r.final_thickness.value()) / rate};
+    r.stopped_on_junction = true;
+    return r;
+}
+
+EtchResult KohEtchSimulator::run_timed(Time target_duration, Rng& rng) const {
+    CBS_EXPECTS(target_duration.value() > 0.0);
+    EtchResult r;
+    const double rate = rng.lognormal_rel(nominal_rate_m_per_s_, cfg_.rate_rel_sigma);
+    const double wafer =
+        rng.normal(cfg_.stack.wafer_thickness.value(), cfg_.wafer_thickness_sigma.value());
+    const double remaining = wafer - rate * target_duration.value();
+    r.duration = target_duration;
+    r.stopped_on_junction = false;
+    if (remaining <= 0.0) {
+        r.final_thickness = Length{0.0};
+        r.broke_through = true;
+    } else {
+        r.final_thickness = Length{remaining};
+    }
+    return r;
+}
+
+ReleaseResult plan_release_etch(const StackInfo& stack, Length beam_thickness,
+                                const ReleaseEtchConfig& config) {
+    CBS_EXPECTS(beam_thickness.value() > 0.0);
+    CBS_EXPECTS(config.dielectric_rate.value() > 0.0);
+    CBS_EXPECTS(config.silicon_rate.value() > 0.0);
+    ReleaseResult r;
+    const double margin = 1.0 + config.overetch_fraction;
+    r.dielectric_step =
+        Time{stack.dielectric_total().value() / config.dielectric_rate.value() * margin};
+    r.silicon_step = Time{beam_thickness.value() / config.silicon_rate.value() * margin};
+    return r;
+}
+
+}  // namespace cbs::fab

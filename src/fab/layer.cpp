@@ -1,0 +1,33 @@
+#include "fab/layer.hpp"
+
+#include <array>
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+namespace {
+constexpr std::array<const char*, layer_count> names{
+    "NWELL", "ACTIVE", "POLY1", "POLY2", "PDIFF", "NDIFF", "CONTACT",
+    "METAL1", "VIA1",  "METAL2", "PAD",  "OPEN",  "MEMBRANE",
+};
+}  // namespace
+
+std::string layer_name(Layer layer) {
+    const auto i = static_cast<std::size_t>(layer);
+    CBS_EXPECTS(i < layer_count);
+    return names[i];
+}
+
+Layer layer_from_name(const std::string& name) {
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        if (name == names[i]) return static_cast<Layer>(i);
+    }
+    throw ContractViolation("unknown layer name: " + name);
+}
+
+bool is_mems_layer(Layer layer) {
+    return layer == Layer::open || layer == Layer::membrane;
+}
+
+}  // namespace cbs::fab

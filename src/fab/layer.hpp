@@ -1,0 +1,57 @@
+// The 0.8 um double-poly double-metal CMOS layer stack plus the three
+// additional post-CMOS micromachining mask layers (paper section 2: "the
+// design of the three additional mask layers is completely integrated in
+// the physical design flow of the CMOS technology").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace cbs::fab {
+
+enum class Layer : std::uint8_t {
+    // Standard 0.8 um 2P2M CMOS front end.
+    nwell,
+    active,
+    poly1,
+    poly2,
+    pdiff,    ///< p+ implant (piezoresistors)
+    ndiff,
+    contact,
+    metal1,
+    via1,
+    metal2,
+    pad,
+    // Post-CMOS micromachining masks.
+    open,       ///< front-side dielectric/Si dry-etch window (mask 1 & 2)
+    membrane,   ///< back-side KOH cavity window (mask 3)
+    count_,     // sentinel
+};
+
+inline constexpr std::size_t layer_count = static_cast<std::size_t>(Layer::count_);
+
+/// Human-readable layer name ("NWELL", "OPEN", ...).
+std::string layer_name(Layer layer);
+/// Inverse of layer_name; throws on unknown names.
+Layer layer_from_name(const std::string& name);
+
+/// True for the three post-CMOS MEMS mask layers.
+bool is_mems_layer(Layer layer);
+
+/// Vertical stack information used by the etch simulator.
+struct StackInfo {
+    Length wafer_thickness{525e-6};
+    Length nwell_junction_depth{5.2e-6};  ///< etch-stop plane -> cantilever t
+    Length field_oxide{0.6e-6};
+    Length interlevel_oxide{1.6e-6};      ///< ILD + IMD combined
+    Length passivation{1.0e-6};
+
+    /// Total dielectric the front-side oxide etch must clear.
+    [[nodiscard]] Length dielectric_total() const {
+        return field_oxide + interlevel_oxide + passivation;
+    }
+};
+
+}  // namespace cbs::fab

@@ -1,0 +1,131 @@
+#include "fab/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+namespace {
+constexpr double nm_per_um = 1000.0;
+}
+
+Rect Rect::from_um(double x1, double y1, double x2, double y2) {
+    Rect r{static_cast<std::int64_t>(std::llround(x1 * nm_per_um)),
+           static_cast<std::int64_t>(std::llround(y1 * nm_per_um)),
+           static_cast<std::int64_t>(std::llround(x2 * nm_per_um)),
+           static_cast<std::int64_t>(std::llround(y2 * nm_per_um))};
+    r.normalize();
+    return r;
+}
+
+void Rect::normalize() {
+    if (x1 > x2) std::swap(x1, x2);
+    if (y1 > y2) std::swap(y1, y2);
+}
+
+std::int64_t Rect::min_dimension() const { return std::min(width(), height()); }
+
+double Rect::area_um2() const {
+    return static_cast<double>(width()) * static_cast<double>(height()) /
+           (nm_per_um * nm_per_um);
+}
+
+bool Rect::intersects(const Rect& o) const {
+    return x1 < o.x2 && o.x1 < x2 && y1 < o.y2 && o.y1 < y2;
+}
+
+bool Rect::touches_or_intersects(const Rect& o) const {
+    return x1 <= o.x2 && o.x1 <= x2 && y1 <= o.y2 && o.y1 <= y2;
+}
+
+bool Rect::contains(const Rect& o) const {
+    return x1 <= o.x1 && y1 <= o.y1 && x2 >= o.x2 && y2 >= o.y2;
+}
+
+Rect Rect::grown(std::int64_t margin) const {
+    Rect r{x1 - margin, y1 - margin, x2 + margin, y2 + margin};
+    return r;
+}
+
+double Rect::distance_to(const Rect& o) const {
+    if (touches_or_intersects(o)) return 0.0;
+    const std::int64_t dx = std::max<std::int64_t>({o.x1 - x2, x1 - o.x2, 0});
+    const std::int64_t dy = std::max<std::int64_t>({o.y1 - y2, y1 - o.y2, 0});
+    return std::hypot(static_cast<double>(dx), static_cast<double>(dy));
+}
+
+Cell::Cell(std::string name) : name_(std::move(name)) { CBS_EXPECTS(!name_.empty()); }
+
+void Cell::add(Layer layer, const Rect& r) {
+    CBS_EXPECTS(r.valid());
+    shapes_[static_cast<std::size_t>(layer)].push_back(r);
+}
+
+void Cell::add_um(Layer layer, double x1, double y1, double x2, double y2) {
+    add(layer, Rect::from_um(x1, y1, x2, y2));
+}
+
+const std::vector<Rect>& Cell::shapes(Layer layer) const {
+    return shapes_[static_cast<std::size_t>(layer)];
+}
+
+std::size_t Cell::shape_count() const {
+    std::size_t n = 0;
+    for (const auto& v : shapes_) n += v.size();
+    return n;
+}
+
+Rect Cell::bounding_box() const {
+    bool any = false;
+    Rect bb{};
+    for (const auto& v : shapes_) {
+        for (const auto& r : v) {
+            if (!any) {
+                bb = r;
+                any = true;
+            } else {
+                bb.x1 = std::min(bb.x1, r.x1);
+                bb.y1 = std::min(bb.y1, r.y1);
+                bb.x2 = std::max(bb.x2, r.x2);
+                bb.y2 = std::max(bb.y2, r.y2);
+            }
+        }
+    }
+    CBS_EXPECTS(any);
+    return bb;
+}
+
+double Cell::layer_area_um2(Layer layer) const {
+    // Union area by coordinate compression (shape counts are small).
+    const auto& rects = shapes(layer);
+    if (rects.empty()) return 0.0;
+    std::vector<std::int64_t> xs, ys;
+    for (const auto& r : rects) {
+        xs.push_back(r.x1);
+        xs.push_back(r.x2);
+        ys.push_back(r.y1);
+        ys.push_back(r.y2);
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+    double area_nm2 = 0.0;
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+        for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
+            const Rect probe{xs[i], ys[j], xs[i + 1], ys[j + 1]};
+            for (const auto& r : rects) {
+                if (r.contains(probe)) {
+                    area_nm2 += static_cast<double>(probe.width()) *
+                                static_cast<double>(probe.height());
+                    break;
+                }
+            }
+        }
+    }
+    return area_nm2 / (nm_per_um * nm_per_um);
+}
+
+}  // namespace cbs::fab

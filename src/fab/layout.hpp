@@ -1,0 +1,65 @@
+// Rectangle-based layout database on an integer nanometre grid (as real
+// layout databases do, so that geometric predicates are exact).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fab/layer.hpp"
+#include "util/units.hpp"
+
+namespace cbs::fab {
+
+/// Axis-aligned rectangle, coordinates in integer nanometres.
+struct Rect {
+    std::int64_t x1 = 0, y1 = 0, x2 = 0, y2 = 0;  // x1<x2, y1<y2 after normalize
+
+    static Rect from_um(double x1, double y1, double x2, double y2);
+    void normalize();
+    [[nodiscard]] bool valid() const { return x2 > x1 && y2 > y1; }
+
+    [[nodiscard]] std::int64_t width() const { return x2 - x1; }
+    [[nodiscard]] std::int64_t height() const { return y2 - y1; }
+    /// Smaller of width/height — the DRC "width" of the shape.
+    [[nodiscard]] std::int64_t min_dimension() const;
+    [[nodiscard]] double area_um2() const;
+
+    [[nodiscard]] bool intersects(const Rect& o) const;
+    [[nodiscard]] bool touches_or_intersects(const Rect& o) const;
+    [[nodiscard]] bool contains(const Rect& o) const;
+    /// Shrinks (negative grow) or expands the rect on all sides.
+    [[nodiscard]] Rect grown(std::int64_t margin) const;
+    /// Euclidean gap between two disjoint rects (0 if touching/overlapping).
+    [[nodiscard]] double distance_to(const Rect& o) const;
+
+    friend bool operator==(const Rect& a, const Rect& b) = default;
+};
+
+/// A named cell holding shapes per layer (flat — no hierarchy needed for a
+/// single sensor cell).
+class Cell {
+public:
+    explicit Cell(std::string name);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    void add(Layer layer, const Rect& r);
+    void add_um(Layer layer, double x1, double y1, double x2, double y2);
+
+    [[nodiscard]] const std::vector<Rect>& shapes(Layer layer) const;
+    [[nodiscard]] std::size_t shape_count() const;
+    [[nodiscard]] std::size_t shape_count(Layer layer) const { return shapes(layer).size(); }
+
+    /// Bounding box over all layers; throws if the cell is empty.
+    [[nodiscard]] Rect bounding_box() const;
+    /// Total drawn area on a layer (overlaps counted once via sweep).
+    [[nodiscard]] double layer_area_um2(Layer layer) const;
+
+private:
+    std::string name_;
+    std::array<std::vector<Rect>, layer_count> shapes_;
+};
+
+}  // namespace cbs::fab

@@ -1,0 +1,99 @@
+#include "fab/layout_gen.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+CantileverCellGenerator::CantileverCellGenerator(const mech::CantileverGeometry& geometry,
+                                                 const CantileverCellOptions& options)
+    : length_um_(geometry.length.value() * 1e6),
+      half_width_um_(geometry.width.value() * 1e6 / 2.0),
+      opt_(options) {
+    geometry.validate();
+    CBS_EXPECTS(options.coil_turns >= 0);
+    CBS_EXPECTS(options.slot_width_um >= 10.0);  // OPEN.W rule
+    if (options.coil_turns > 0) {
+        // The coil must fit on the half width with trace/space rules.
+        const double needed = options.coil_turns * (options.coil_trace_um +
+                                                    options.coil_space_um) + 1.0;
+        CBS_EXPECTS(half_width_um_ > needed);
+    }
+}
+
+Cell CantileverCellGenerator::generate(const std::string& cell_name) const {
+    Cell cell(cell_name);
+    add_well_and_beam(cell);
+    add_etch_windows(cell);
+    add_resistors(cell);
+    if (opt_.coil_turns > 0) add_coil(cell);
+    add_pads(cell);
+    return cell;
+}
+
+void CantileverCellGenerator::add_well_and_beam(Cell& cell) const {
+    const double l = length_um_;
+    const double hw = half_width_um_;
+    // N-well defines the etch-stop silicon: beam plus the anchor shelf.
+    cell.add_um(Layer::nwell, -12.0, -(hw + 4.0), l + 2.0, hw + 4.0);
+    if (opt_.reference_resistors) {
+        // Separate well for the substrate-side reference resistors.
+        cell.add_um(Layer::nwell, -42.0, -14.0, -22.0, 14.0);
+    }
+    // Active area of the beam (for completeness of the front-end view).
+    cell.add_um(Layer::active, 0.0, -hw, l, hw);
+}
+
+void CantileverCellGenerator::add_etch_windows(Cell& cell) const {
+    const double l = length_um_;
+    const double hw = half_width_um_;
+    const double s = opt_.slot_width_um;
+    // U-shaped release slot: the three rects touch, so they merge for DRC.
+    cell.add_um(Layer::open, 0.0, hw, l + s, hw + s);          // top slot
+    cell.add_um(Layer::open, 0.0, -(hw + s), l + s, -hw);      // bottom slot
+    cell.add_um(Layer::open, l, -(hw + s), l + s, hw + s);     // tip slot
+    // Back-side KOH cavity: generous margin for the (111) sidewall slope
+    // through the full wafer (~0.7 * 525 um on each side is handled at
+    // mask level by the wafer-scale tool; the cell carries the nominal
+    // window).
+    cell.add_um(Layer::membrane, -60.0, -(hw + s + 40.0), l + s + 40.0, hw + s + 40.0);
+}
+
+void CantileverCellGenerator::add_resistors(Cell& cell) const {
+    // Two active gauges at the clamped edge, longitudinal current.
+    cell.add_um(Layer::pdiff, 2.0, 3.0, 14.0, 7.0);
+    cell.add_um(Layer::pdiff, 2.0, -7.0, 14.0, -3.0);
+    if (opt_.reference_resistors) {
+        cell.add_um(Layer::pdiff, -40.0, 3.0, -28.0, 7.0);
+        cell.add_um(Layer::pdiff, -40.0, -7.0, -28.0, -3.0);
+    }
+    // Metal-1 bridge wiring stubs.
+    cell.add_um(Layer::metal1, 2.0, 7.0, 4.0, 18.0);
+    cell.add_um(Layer::metal1, 2.0, -18.0, 4.0, -7.0);
+}
+
+void CantileverCellGenerator::add_coil(Cell& cell) const {
+    const double l = length_um_;
+    const double hw = half_width_um_;
+    const double w = opt_.coil_trace_um;
+    const double sp = opt_.coil_space_um;
+    for (int turn = 0; turn < opt_.coil_turns; ++turn) {
+        const double inset = 1.0 + turn * (w + sp);
+        const double y_out = hw - inset;        // outer edge of this turn
+        const double y_in = y_out - w;
+        const double x_tip = l - 4.0 - inset;   // tip segment outer x
+        // Top run, bottom run and tip connector.
+        cell.add_um(Layer::metal2, -6.0, y_in, x_tip, y_out);
+        cell.add_um(Layer::metal2, -6.0, -y_out, x_tip, -y_in);
+        cell.add_um(Layer::metal2, x_tip - w, -y_out, x_tip, y_out);
+    }
+}
+
+void CantileverCellGenerator::add_pads(Cell& cell) const {
+    // Two bond pads on the anchor side (bias and output of the cell).
+    cell.add_um(Layer::metal1, -90.0, 30.0, -60.0, 60.0);
+    cell.add_um(Layer::pad, -85.0, 35.0, -65.0, 55.0);
+    cell.add_um(Layer::metal1, -90.0, -60.0, -60.0, -30.0);
+    cell.add_um(Layer::pad, -85.0, -55.0, -65.0, -35.0);
+}
+
+}  // namespace cbs::fab

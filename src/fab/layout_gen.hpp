@@ -1,0 +1,43 @@
+// Parameterized layout generator for the cantilever sensor cell: n-well
+// plate, front-side etch windows (U-shaped release slot), back-side KOH
+// membrane window, piezoresistor diffusions at the clamp (plus reference
+// resistors on the substrate side), the metal-2 actuation coil and bond
+// pads. The generated cell is DRC-clean against the default rule deck by
+// construction — the property the paper highlights ("design verification
+// can be performed with respect to the CMOS layers").
+#pragma once
+
+#include "fab/layout.hpp"
+#include "mech/geometry.hpp"
+
+namespace cbs::fab {
+
+struct CantileverCellOptions {
+    int coil_turns = 2;               ///< 0 for the static (unactuated) device
+    bool reference_resistors = true;  ///< substrate-side bridge completion
+    double slot_width_um = 12.0;      ///< front-side etch window width
+    double coil_trace_um = 3.0;
+    double coil_space_um = 2.0;
+};
+
+class CantileverCellGenerator {
+public:
+    CantileverCellGenerator(const mech::CantileverGeometry& geometry,
+                            const CantileverCellOptions& options = {});
+
+    /// Builds the full sensor cell.
+    [[nodiscard]] Cell generate(const std::string& cell_name = "cantilever") const;
+
+private:
+    void add_well_and_beam(Cell& cell) const;
+    void add_etch_windows(Cell& cell) const;
+    void add_resistors(Cell& cell) const;
+    void add_coil(Cell& cell) const;
+    void add_pads(Cell& cell) const;
+
+    double length_um_;
+    double half_width_um_;
+    CantileverCellOptions opt_;
+};
+
+}  // namespace cbs::fab

@@ -1,0 +1,92 @@
+#include "fab/layout_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+void write_cell(std::ostream& os, const Cell& cell) {
+    os << "CELL " << cell.name() << '\n';
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const auto layer = static_cast<Layer>(i);
+        for (const auto& r : cell.shapes(layer)) {
+            os << "RECT " << layer_name(layer) << ' ' << r.x1 << ' ' << r.y1 << ' ' << r.x2
+               << ' ' << r.y2 << '\n';
+        }
+    }
+    os << "ENDCELL\n";
+}
+
+std::string write_cell(const Cell& cell) {
+    std::ostringstream os;
+    write_cell(os, cell);
+    return os.str();
+}
+
+Cell read_cell(std::istream& is) {
+    std::string line;
+    int line_no = 0;
+    auto fail = [&](const std::string& why) {
+        throw ContractViolation("layout line " + std::to_string(line_no) + ": " + why);
+    };
+
+    std::string cell_name;
+    bool in_cell = false;
+    bool ended = false;
+    Cell cell("pending");
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+        std::istringstream ls(line);
+        std::string keyword;
+        if (!(ls >> keyword)) continue;
+
+        if (keyword == "CELL") {
+            if (in_cell) fail("nested CELL");
+            if (!(ls >> cell_name)) fail("CELL needs a name");
+            cell = Cell(cell_name);
+            in_cell = true;
+        } else if (keyword == "RECT") {
+            if (!in_cell) fail("RECT outside CELL");
+            std::string lname;
+            Rect r;
+            if (!(ls >> lname >> r.x1 >> r.y1 >> r.x2 >> r.y2)) {
+                fail("expected: RECT LAYER x1 y1 x2 y2");
+            }
+            r.normalize();
+            if (!r.valid()) fail("degenerate rectangle");
+            cell.add(layer_from_name(lname), r);
+        } else if (keyword == "ENDCELL") {
+            if (!in_cell) fail("ENDCELL without CELL");
+            ended = true;
+            break;
+        } else {
+            fail("unknown keyword '" + keyword + "'");
+        }
+    }
+    if (!in_cell) throw ContractViolation("layout: no CELL record found");
+    if (!ended) throw ContractViolation("layout: missing ENDCELL");
+    return cell;
+}
+
+Cell read_cell(const std::string& text) {
+    std::istringstream is(text);
+    return read_cell(is);
+}
+
+void save_cell(const Cell& cell, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw ContractViolation("save_cell: cannot open " + path);
+    write_cell(out, cell);
+}
+
+Cell load_cell(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ContractViolation("load_cell: cannot open " + path);
+    return read_cell(in);
+}
+
+}  // namespace cbs::fab

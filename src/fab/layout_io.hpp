@@ -1,0 +1,33 @@
+// Minimal text interchange format for layout cells (a GDS stand-in that
+// stays human-diffable):
+//
+//     CELL cantilever
+//     RECT NWELL -12000 -24000 152000 24000      # nm coordinates
+//     ...
+//     ENDCELL
+//
+// Round-trips exactly (integer nm grid), so layouts can be checked into a
+// repo, diffed in review and re-verified by the DRC.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fab/layout.hpp"
+
+namespace cbs::fab {
+
+/// Serializes a cell (sorted by layer, then insertion order).
+std::string write_cell(const Cell& cell);
+void write_cell(std::ostream& os, const Cell& cell);
+
+/// Parses one cell; throws cbs::ContractViolation with a line number on
+/// malformed input.
+Cell read_cell(const std::string& text);
+Cell read_cell(std::istream& is);
+
+/// Convenience file helpers.
+void save_cell(const Cell& cell, const std::string& path);
+Cell load_cell(const std::string& path);
+
+}  // namespace cbs::fab

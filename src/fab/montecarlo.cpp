@@ -1,0 +1,81 @@
+#include "fab/montecarlo.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::fab {
+
+ProcessMonteCarlo::ProcessMonteCarlo(const mech::CantileverGeometry& nominal,
+                                     const KohEtchConfig& etch, const ProcessVariation& variation,
+                                     EtchMode mode)
+    : nominal_(nominal), etcher_(etch), variation_(variation), mode_(mode) {
+    nominal_.validate();
+    CBS_EXPECTS(variation.youngs_rel_sigma >= 0.0);
+    // Consistency: the design thickness should be the etch-stop depth.
+    CBS_EXPECTS(std::abs(nominal.thickness.value() -
+                         etch.stack.nwell_junction_depth.value()) <
+                0.5 * nominal.thickness.value());
+}
+
+DeviceSample ProcessMonteCarlo::sample(Rng& rng) const {
+    DeviceSample s;
+    s.etch = mode_ == EtchMode::electrochemical_stop
+                 ? etcher_.run_electrochemical(rng)
+                 : etcher_.run_timed(etcher_.nominal_stop_time(), rng);
+
+    s.geometry = nominal_;
+    s.geometry.thickness = s.etch.final_thickness;
+    const double bias = rng.normal(0.0, variation_.litho_bias_sigma.value());
+    s.geometry.length = Length{nominal_.length.value() + bias};
+    s.geometry.width = Length{nominal_.width.value() + bias};
+    s.geometry.material.youngs_modulus =
+        Stress{rng.lognormal_rel(nominal_.material.youngs_modulus.value(),
+                                 variation_.youngs_rel_sigma)};
+
+    // A device is functional if it released with a plausible beam left:
+    // thick enough to survive handling, thin enough to have released.
+    const double t = s.geometry.thickness.value();
+    s.functional = t > 0.5e-6 && t < 3.0 * nominal_.thickness.value() &&
+                   s.geometry.length.value() >= 10.0 * t;
+    if (s.functional) {
+        s.resonance = mech::EulerBernoulliBeam(s.geometry).resonance_frequency();
+    }
+    return s;
+}
+
+MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolerance) const {
+    CBS_EXPECTS(n >= 2);
+    CBS_EXPECTS(f0_tolerance > 0.0);
+    const double f0_nom = nominal_resonance().value();
+
+    std::vector<double> f0s;
+    std::vector<double> thicknesses;
+    std::size_t good = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto s = sample(rng);
+        thicknesses.push_back(s.etch.final_thickness.value());
+        if (!s.functional) continue;
+        f0s.push_back(s.resonance.value());
+        if (std::abs(s.resonance.value() - f0_nom) <= f0_tolerance * f0_nom) ++good;
+    }
+
+    MonteCarloStats out;
+    out.samples = n;
+    if (!f0s.empty()) {
+        out.f0_mean_hz = stats::mean(f0s);
+        out.f0_sigma_hz = stats::stddev(f0s);
+    }
+    out.thickness_mean_m = stats::mean(thicknesses);
+    out.thickness_sigma_m = stats::stddev(thicknesses);
+    out.yield = static_cast<double>(good) / static_cast<double>(n);
+    return out;
+}
+
+Frequency ProcessMonteCarlo::nominal_resonance() const {
+    return mech::EulerBernoulliBeam(nominal_).resonance_frequency();
+}
+
+}  // namespace cbs::fab

@@ -1,0 +1,63 @@
+// Process-variation Monte Carlo: samples fabricated device geometry
+// (etch-stop thickness, lithography bias, material spread) and evaluates
+// the resulting resonance distribution and parametric yield — quantifying
+// why the electrochemical etch-stop enables "a well-defined thickness of
+// the crystalline silicon layer forming the cantilever".
+#pragma once
+
+#include "fab/etch.hpp"
+#include "mech/beam.hpp"
+#include "util/random.hpp"
+
+namespace cbs::fab {
+
+enum class EtchMode {
+    electrochemical_stop,
+    timed,
+};
+
+struct ProcessVariation {
+    Length litho_bias_sigma{0.15e-6};  ///< width/length edge bias
+    double youngs_rel_sigma = 0.01;
+};
+
+struct DeviceSample {
+    mech::CantileverGeometry geometry;
+    EtchResult etch;
+    Frequency resonance{};
+    bool functional = false;  ///< survived release with a usable thickness
+};
+
+struct MonteCarloStats {
+    std::size_t samples = 0;
+    double f0_mean_hz = 0.0;
+    double f0_sigma_hz = 0.0;
+    double thickness_mean_m = 0.0;
+    double thickness_sigma_m = 0.0;
+    /// Fraction functional AND with f0 inside the tolerance band.
+    double yield = 0.0;
+};
+
+class ProcessMonteCarlo {
+public:
+    ProcessMonteCarlo(const mech::CantileverGeometry& nominal, const KohEtchConfig& etch,
+                      const ProcessVariation& variation, EtchMode mode);
+
+    /// Draws one fabricated device.
+    [[nodiscard]] DeviceSample sample(Rng& rng) const;
+
+    /// Runs n samples; yield counts devices whose f0 lies within
+    /// +-f0_tolerance (relative) of the nominal design resonance.
+    [[nodiscard]] MonteCarloStats run(std::size_t n, Rng& rng,
+                                      double f0_tolerance = 0.05) const;
+
+    [[nodiscard]] Frequency nominal_resonance() const;
+
+private:
+    mech::CantileverGeometry nominal_;
+    KohEtchSimulator etcher_;
+    ProcessVariation variation_;
+    EtchMode mode_;
+};
+
+}  // namespace cbs::fab

@@ -1,0 +1,84 @@
+#include "fab/ruledeck.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+std::vector<DrcRule> parse_rule_deck(const std::string& text) {
+    std::vector<DrcRule> rules;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments.
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream ls(line);
+        std::string kind;
+        if (!(ls >> kind)) continue;  // blank line
+
+        auto fail = [&](const std::string& why) {
+            throw ContractViolation("rule deck line " + std::to_string(line_no) + ": " + why);
+        };
+
+        DrcRule rule;
+        std::string layer_a;
+        double value_um = 0.0;
+        if (kind == "width" || kind == "space") {
+            if (!(ls >> layer_a >> value_um)) fail("expected: " + kind + " LAYER value_um");
+            rule.kind = kind == "width" ? RuleKind::min_width : RuleKind::min_space;
+            rule.layer = layer_from_name(layer_a);
+            rule.name = layer_name(rule.layer) + (kind == "width" ? ".W" : ".S");
+        } else if (kind == "enclose") {
+            std::string layer_b;
+            if (!(ls >> layer_a >> layer_b >> value_um)) {
+                fail("expected: enclose INNER OUTER value_um");
+            }
+            rule.kind = RuleKind::min_enclosure;
+            rule.layer = layer_from_name(layer_a);
+            rule.other = layer_from_name(layer_b);
+            rule.name = layer_name(rule.other) + ".ENC." + layer_name(rule.layer);
+        } else {
+            fail("unknown rule kind '" + kind + "'");
+        }
+        if (value_um <= 0.0) fail("rule value must be positive");
+        rule.value = Length{value_um * 1e-6};
+        std::string trailing;
+        if (ls >> trailing) fail("trailing token '" + trailing + "'");
+        rules.push_back(rule);
+    }
+    CBS_EXPECTS(!rules.empty());
+    return rules;
+}
+
+const std::string& default_rule_deck_text() {
+    static const std::string deck = R"(# 0.8 um double-poly double-metal CMOS + post-CMOS MEMS rule deck.
+# Front-end rules (subset relevant to the sensor cell).
+width   NWELL   4.0
+space   NWELL   8.0
+width   PDIFF   2.0
+space   PDIFF   2.4
+width   POLY1   0.8
+space   POLY1   1.2
+width   METAL1  1.2
+space   METAL1  1.4
+width   METAL2  1.6
+space   METAL2  1.8
+# Micromachining masks (paper section 2: three additional mask layers).
+width   OPEN      10.0   # front-side etch window must clear the RIE aspect ratio
+space   OPEN      20.0   # window-to-window spacing protects circuits
+width   MEMBRANE  50.0   # back-side KOH opening incl. (111) sidewall slope
+# Cross-layer interactions.
+enclose PDIFF  NWELL     2.0   # resistors live in the etch-stop well
+enclose METAL2 NWELL     1.0   # coil stays on the released plate
+)";
+    return deck;
+}
+
+std::vector<DrcRule> default_rule_deck() { return parse_rule_deck(default_rule_deck_text()); }
+
+}  // namespace cbs::fab

@@ -1,0 +1,26 @@
+// Text rule-deck format and parser:
+//
+//     # comment
+//     width   OPEN      10.0     # min width, um
+//     space   OPEN      20.0
+//     enclose PDIFF NWELL 2.0    # NWELL must enclose PDIFF by 2 um
+//
+// plus the default deck for the 0.8 um CMOS-MEMS flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fab/drc.hpp"
+
+namespace cbs::fab {
+
+/// Parses a rule deck; throws cbs::ContractViolation with a line number on
+/// malformed input.
+std::vector<DrcRule> parse_rule_deck(const std::string& text);
+
+/// Default combined CMOS + micromachining rules for the 0.8 um flow.
+const std::string& default_rule_deck_text();
+std::vector<DrcRule> default_rule_deck();
+
+}  // namespace cbs::fab

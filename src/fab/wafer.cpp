@@ -1,0 +1,75 @@
+#include "fab/wafer.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::fab {
+
+WaferMap::WaferMap(const WaferConfig& wafer, const ProcessMonteCarlo& process)
+    : cfg_(wafer), process_(process) {
+    CBS_EXPECTS(wafer.diameter.value() > 0.0);
+    CBS_EXPECTS(wafer.die_width.value() > 0.0 && wafer.die_height.value() > 0.0);
+    CBS_EXPECTS(wafer.edge_exclusion.value() < wafer.diameter.value() / 2.0);
+}
+
+std::vector<std::pair<double, double>> WaferMap::die_positions() const {
+    std::vector<std::pair<double, double>> out;
+    const double r_use = cfg_.diameter.value() / 2.0 - cfg_.edge_exclusion.value();
+    const double dw = cfg_.die_width.value();
+    const double dh = cfg_.die_height.value();
+    const auto nx = static_cast<int>(std::floor(2.0 * r_use / dw));
+    const auto ny = static_cast<int>(std::floor(2.0 * r_use / dh));
+    for (int i = -nx / 2; i <= nx / 2; ++i) {
+        for (int j = -ny / 2; j <= ny / 2; ++j) {
+            const double cx = i * dw;
+            const double cy = j * dh;
+            // Whole die must fit inside the usable circle.
+            const double corner = std::hypot(std::abs(cx) + dw / 2.0, std::abs(cy) + dh / 2.0);
+            if (corner <= r_use) out.emplace_back(cx * 1e3, cy * 1e3);
+        }
+    }
+    return out;
+}
+
+std::size_t WaferMap::die_count() const { return die_positions().size(); }
+
+std::vector<DieResult> WaferMap::fabricate(Rng& rng) const {
+    std::vector<DieResult> out;
+    const double r_wafer = cfg_.diameter.value() / 2.0;
+    for (const auto& [x_mm, y_mm] : die_positions()) {
+        DieResult die;
+        die.x_mm = x_mm;
+        die.y_mm = y_mm;
+        die.device = process_.sample(rng);
+        // Radial systematic component on the etch-stop thickness.
+        const double r = std::hypot(x_mm, y_mm) * 1e-3;
+        const double bow = cfg_.junction_bow.value() * (r / r_wafer) * (r / r_wafer);
+        auto g = die.device.geometry;
+        g.thickness = Length{g.thickness.value() + bow};
+        die.device.geometry = g;
+        if (die.device.functional) {
+            die.device.resonance = mech::EulerBernoulliBeam(g).resonance_frequency();
+        }
+        out.push_back(die);
+    }
+    return out;
+}
+
+WaferYield WaferMap::summarize(const std::vector<DieResult>& dies, double f0_tolerance) const {
+    CBS_EXPECTS(!dies.empty());
+    CBS_EXPECTS(f0_tolerance > 0.0);
+    WaferYield y;
+    y.dies = dies.size();
+    const double f0_nom = process_.nominal_resonance().value();
+    for (const auto& d : dies) {
+        if (!d.device.functional) continue;
+        if (std::abs(d.device.resonance.value() - f0_nom) <= f0_tolerance * f0_nom) ++y.good;
+    }
+    y.yield = static_cast<double>(y.good) / static_cast<double>(y.dies);
+    y.cost_per_good_die_usd =
+        y.good > 0 ? cfg_.wafer_cost_usd / static_cast<double>(y.good) : 0.0;
+    return y;
+}
+
+}  // namespace cbs::fab

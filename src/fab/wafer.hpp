@@ -1,0 +1,58 @@
+// Wafer-level view: die map, radial systematic variation, per-die yield and
+// cost — quantifying "the complete post-processing can be performed on
+// wafer level, leading to a very cost-efficient mass-production".
+#pragma once
+
+#include <vector>
+
+#include "fab/montecarlo.hpp"
+#include "util/units.hpp"
+
+namespace cbs::fab {
+
+struct WaferConfig {
+    Length diameter{100e-3};     ///< 4-inch wafer (0.8 um era)
+    Length edge_exclusion{5e-3};
+    Length die_width{3e-3};
+    Length die_height{3e-3};
+    /// Radial systematic junction-depth bow: depth(r) = nominal + bow*(r/R)^2.
+    Length junction_bow{0.08e-6};
+    double wafer_cost_usd = 900.0;  ///< processed CMOS + post-CMOS cost
+};
+
+struct DieResult {
+    double x_mm = 0.0;
+    double y_mm = 0.0;
+    DeviceSample device;
+};
+
+struct WaferYield {
+    std::size_t dies = 0;
+    std::size_t good = 0;
+    double yield = 0.0;
+    double cost_per_good_die_usd = 0.0;
+};
+
+class WaferMap {
+public:
+    WaferMap(const WaferConfig& wafer, const ProcessMonteCarlo& process);
+
+    /// Number of whole dies inside the usable radius.
+    [[nodiscard]] std::size_t die_count() const;
+
+    /// Die centre positions [mm from wafer centre].
+    [[nodiscard]] std::vector<std::pair<double, double>> die_positions() const;
+
+    /// Fabricates every die (radial systematic + random variation).
+    [[nodiscard]] std::vector<DieResult> fabricate(Rng& rng) const;
+
+    /// Yield/cost summary at the given relative f0 tolerance.
+    [[nodiscard]] WaferYield summarize(const std::vector<DieResult>& dies,
+                                       double f0_tolerance = 0.05) const;
+
+private:
+    WaferConfig cfg_;
+    const ProcessMonteCarlo& process_;
+};
+
+}  // namespace cbs::fab

@@ -1,0 +1,108 @@
+#include "mech/beam.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+namespace {
+
+/// sigma_n in the clamped-free mode shape.
+double sigma_coefficient(double lambda) {
+    return (std::cosh(lambda) + std::cos(lambda)) / (std::sinh(lambda) + std::sin(lambda));
+}
+
+/// Raw (un-normalized) clamped-free mode shape evaluated at xi = x/L.
+double raw_shape(double lambda, double xi) {
+    const double s = sigma_coefficient(lambda);
+    return std::cosh(lambda * xi) - std::cos(lambda * xi) -
+           s * (std::sinh(lambda * xi) - std::sin(lambda * xi));
+}
+
+}  // namespace
+
+EulerBernoulliBeam::EulerBernoulliBeam(const CantileverGeometry& geom) : geom_(geom) {
+    geom_.validate();
+}
+
+Stiffness EulerBernoulliBeam::spring_constant() const {
+    return 3.0 * geom_.material.youngs_modulus * geom_.second_moment() / pow<3>(geom_.length);
+}
+
+double EulerBernoulliBeam::eigenvalue(std::size_t mode) {
+    CBS_EXPECTS(mode >= 1 && mode <= 3);
+    switch (mode) {
+        case 1: return constants::beam_lambda_1;
+        case 2: return constants::beam_lambda_2;
+        default: return constants::beam_lambda_3;
+    }
+}
+
+Frequency EulerBernoulliBeam::resonance_frequency(std::size_t mode) const {
+    const double lambda = eigenvalue(mode);
+    const auto stiffness_term =
+        geom_.material.youngs_modulus * geom_.second_moment();     // E*I
+    const auto mass_term = geom_.mass_per_length();                // rho*A
+    const auto omega = (lambda * lambda / pow<2>(geom_.length)) *
+                       sqrt(stiffness_term / mass_term);           // rad/s
+    return omega / (2.0 * constants::pi);
+}
+
+double EulerBernoulliBeam::mode_shape(std::size_t mode, Length x) const {
+    CBS_EXPECTS(x.value() >= 0.0 && x.value() <= geom_.length.value() * (1.0 + 1e-12));
+    const double lambda = eigenvalue(mode);
+    const double xi = x.value() / geom_.length.value();
+    return raw_shape(lambda, xi) / raw_shape(lambda, 1.0);
+}
+
+Q<0, -2, 0> EulerBernoulliBeam::mode_curvature_at_clamp(std::size_t mode) const {
+    const double lambda = eigenvalue(mode);
+    // Raw shape second derivative at xi=0 is (lambda/L)^2 * 2; normalize by
+    // the tip value.
+    const double tip = raw_shape(lambda, 1.0);
+    const double l = geom_.length.value();
+    return Q<0, -2, 0>{2.0 * lambda * lambda / (l * l) / tip};
+}
+
+Mass EulerBernoulliBeam::effective_mass(std::size_t mode) const {
+    const double lambda = eigenvalue(mode);
+    const double tip = raw_shape(lambda, 1.0);
+    // \int_0^1 phi_hat^2 dxi via composite Simpson (the integrand is smooth).
+    constexpr int n = 400;  // even
+    double acc = 0.0;
+    for (int i = 0; i <= n; ++i) {
+        const double xi = static_cast<double>(i) / n;
+        const double v = raw_shape(lambda, xi) / tip;
+        const double w = (i == 0 || i == n) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+        acc += w * v * v;
+    }
+    acc /= 3.0 * n;
+    return geom_.mass() * acc;
+}
+
+Stiffness EulerBernoulliBeam::modal_stiffness(std::size_t mode) const {
+    const auto omega = 2.0 * constants::pi * resonance_frequency(mode);
+    return effective_mass(mode) * omega * omega;
+}
+
+Length EulerBernoulliBeam::tip_deflection(Force tip_force) const {
+    return tip_force / spring_constant();
+}
+
+Stress EulerBernoulliBeam::clamp_stress_from_tip_force(Force tip_force) const {
+    return 6.0 * tip_force * geom_.length / (geom_.width * pow<2>(geom_.thickness));
+}
+
+Stress EulerBernoulliBeam::clamp_stress_from_tip_deflection_static(Length z) const {
+    return 1.5 * geom_.material.youngs_modulus * geom_.thickness * z / pow<2>(geom_.length);
+}
+
+Stress EulerBernoulliBeam::clamp_stress_from_tip_deflection_modal(Length z,
+                                                                  std::size_t mode) const {
+    return geom_.material.youngs_modulus * (geom_.thickness / 2.0) *
+           mode_curvature_at_clamp(mode) * z;
+}
+
+}  // namespace cbs::mech

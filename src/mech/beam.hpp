@@ -1,0 +1,64 @@
+// Euler-Bernoulli clamped-free beam: stiffness, flexural modes, mode shapes
+// and modal (effective) masses. This is the mechanical core behind both the
+// static (Figure 1) and resonant (Figure 2) operating principles.
+#pragma once
+
+#include <cstddef>
+
+#include "mech/geometry.hpp"
+#include "util/units.hpp"
+
+namespace cbs::mech {
+
+class EulerBernoulliBeam {
+public:
+    explicit EulerBernoulliBeam(const CantileverGeometry& geom);
+
+    [[nodiscard]] const CantileverGeometry& geometry() const { return geom_; }
+
+    /// Static tip-force spring constant k = 3 E I / L^3.
+    [[nodiscard]] Stiffness spring_constant() const;
+
+    /// Flexural eigenvalue lambda_n (n = 1,2,3 supported).
+    [[nodiscard]] static double eigenvalue(std::size_t mode);
+
+    /// Undamped vacuum resonance frequency of mode n:
+    /// f_n = lambda_n^2 / (2 pi L^2) * sqrt(E I / (rho A)).
+    [[nodiscard]] Frequency resonance_frequency(std::size_t mode = 1) const;
+
+    /// Mode-n shape phi_n(x), normalized to phi_n(L) = 1 (tip displacement).
+    /// x in [0, L].
+    [[nodiscard]] double mode_shape(std::size_t mode, Length x) const;
+
+    /// Curvature of the normalized mode shape at the clamp, phi_n''(0)
+    /// [1/m^2]; sets the clamp stress per unit tip displacement.
+    [[nodiscard]] Q<0, -2, 0> mode_curvature_at_clamp(std::size_t mode = 1) const;
+
+    /// Modal (effective) mass for a tip-normalized mode:
+    /// m_eff = rho A \int phi^2 dx  (~0.2427 m_beam for mode 1).
+    [[nodiscard]] Mass effective_mass(std::size_t mode = 1) const;
+
+    /// Modal stiffness k_n = m_eff omega_n^2.
+    [[nodiscard]] Stiffness modal_stiffness(std::size_t mode = 1) const;
+
+    /// Static tip deflection under a tip point force.
+    [[nodiscard]] Length tip_deflection(Force tip_force) const;
+
+    /// Maximum bending stress at the clamp top surface under a tip force:
+    /// sigma = 6 F L / (w t^2).
+    [[nodiscard]] Stress clamp_stress_from_tip_force(Force tip_force) const;
+
+    /// Clamp surface stress per tip displacement for the *static* deflection
+    /// shape: sigma = 1.5 E t z / L^2.
+    [[nodiscard]] Stress clamp_stress_from_tip_deflection_static(Length z) const;
+
+    /// Clamp surface stress per tip displacement for the *mode-n* shape:
+    /// sigma = E (t/2) phi_n''(0) z_tip.
+    [[nodiscard]] Stress clamp_stress_from_tip_deflection_modal(Length z,
+                                                                std::size_t mode = 1) const;
+
+private:
+    CantileverGeometry geom_;
+};
+
+}  // namespace cbs::mech

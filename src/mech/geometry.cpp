@@ -1,0 +1,29 @@
+#include "mech/geometry.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+using namespace cbs::literals;
+
+void CantileverGeometry::validate() const {
+    CBS_EXPECTS(length.value() > 0.0);
+    CBS_EXPECTS(width.value() > 0.0);
+    CBS_EXPECTS(thickness.value() > 0.0);
+    // Euler-Bernoulli thin-beam assumption: slender in length, thin in
+    // section. A 10:1 length:thickness ratio keeps shear deformation < ~1%.
+    CBS_EXPECTS(length.value() >= 10.0 * thickness.value());
+    CBS_EXPECTS(width.value() >= thickness.value());
+    CBS_EXPECTS(material.youngs_modulus.value() > 0.0);
+    CBS_EXPECTS(material.density.value() > 0.0);
+}
+
+CantileverGeometry resonant_default() {
+    return CantileverGeometry{.length = 150.0_um, .width = 40.0_um, .thickness = 5.2_um};
+}
+
+CantileverGeometry static_default() {
+    return CantileverGeometry{.length = 500.0_um, .width = 100.0_um, .thickness = 3.5_um};
+}
+
+}  // namespace cbs::mech

@@ -1,0 +1,44 @@
+// Cantilever plate geometry and derived section properties.
+#pragma once
+
+#include "phys/material.hpp"
+#include "util/units.hpp"
+
+namespace cbs::mech {
+
+/// Rectangular cantilever released from the n-well silicon layer.
+///
+/// The thickness is set by the electrochemical etch-stop at the n-well
+/// junction depth (paper section 2), which is why `fab` owns its statistical
+/// distribution and `mech` just consumes a value.
+struct CantileverGeometry {
+    Length length{};     ///< L, clamped edge to free tip
+    Length width{};      ///< w
+    Length thickness{};  ///< t, n-well silicon thickness
+    phys::Material material = phys::materials::silicon();
+
+    /// Validates physical plausibility (positive, thin-beam regime).
+    void validate() const;
+
+    [[nodiscard]] Area plan_area() const { return length * width; }
+    [[nodiscard]] Volume volume() const { return length * width * thickness; }
+    [[nodiscard]] Mass mass() const { return material.density * volume(); }
+    /// Second moment of area about the bending axis: I = w t^3 / 12.
+    [[nodiscard]] Q<0, 4, 0> second_moment() const {
+        return width * pow<3>(thickness) / 12.0;
+    }
+    /// Mass per unit length.
+    [[nodiscard]] Q<1, -1, 0> mass_per_length() const {
+        return material.density * width * thickness;
+    }
+};
+
+/// Default resonant-mode device (Lange-class 0.8um CMOS cantilever):
+/// 150 x 40 x 5.2 um, f0 ~ 318 kHz, k ~ 70 N/m.
+CantileverGeometry resonant_default();
+
+/// Default static-mode device: 500 x 100 x 3.5 um, soft for surface-stress
+/// sensitivity (~0.27 nm per mN/m).
+CantileverGeometry static_default();
+
+}  // namespace cbs::mech

@@ -1,0 +1,89 @@
+#include "mech/hydrodynamics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+namespace {
+// Maali et al. fit coefficients for a rectangular beam.
+constexpr double a1 = 1.0553;
+constexpr double a2 = 3.7997;
+constexpr double b1 = 3.8018;
+constexpr double b2 = 2.7364;
+}  // namespace
+
+HydrodynamicModel::HydrodynamicModel(const EulerBernoulliBeam& beam, const phys::Fluid& fluid,
+                                     std::size_t mode)
+    : beam_(beam), fluid_(fluid), mode_(mode) {}
+
+Length HydrodynamicModel::boundary_layer(AngularFrequency omega) const {
+    CBS_EXPECTS(omega.value() > 0.0);
+    return sqrt(2.0 * fluid_.viscosity / (fluid_.density * omega));
+}
+
+double HydrodynamicModel::gamma_real(AngularFrequency omega) const {
+    if (fluid_.density.value() <= 0.0) return 0.0;
+    const double ratio = boundary_layer(omega).value() / beam_.geometry().width.value();
+    return a1 + a2 * ratio;
+}
+
+double HydrodynamicModel::gamma_imag(AngularFrequency omega) const {
+    if (fluid_.density.value() <= 0.0) return 0.0;
+    const double ratio = boundary_layer(omega).value() / beam_.geometry().width.value();
+    return b1 * ratio + b2 * ratio * ratio;
+}
+
+FluidLoading HydrodynamicModel::solve() const {
+    FluidLoading out;
+    const Frequency f_vac = beam_.resonance_frequency(mode_);
+    if (fluid_.density.value() <= 0.0) {
+        out.resonance = f_vac;
+        out.quality_factor = std::numeric_limits<double>::infinity();
+        return out;
+    }
+
+    const auto& g = beam_.geometry();
+    // Added fluid mass per unit length: (pi/4) rho_f w^2 Gamma_r; ratio to
+    // the beam's own mass per length.
+    const double mass_ratio_scale =
+        constants::pi * fluid_.density.value() * g.width.value() /
+        (4.0 * g.material.density.value() * g.thickness.value());
+
+    // Fixed-point iteration: omega = omega_vac / sqrt(1 + T Gamma_r(omega)).
+    double omega = 2.0 * constants::pi * f_vac.value();
+    const double omega_vac = omega;
+    for (int i = 0; i < 60; ++i) {
+        const double gr = gamma_real(AngularFrequency{omega});
+        const double next = omega_vac / std::sqrt(1.0 + mass_ratio_scale * gr);
+        if (std::fabs(next - omega) < 1e-9 * omega_vac) {
+            omega = next;
+            break;
+        }
+        omega = next;
+    }
+
+    const double gr = gamma_real(AngularFrequency{omega});
+    const double gi = gamma_imag(AngularFrequency{omega});
+    out.resonance = Frequency{omega / (2.0 * constants::pi)};
+    out.gamma_real = gr;
+    out.gamma_imag = gi;
+    // Sader: Q = (4 mu / (pi rho_f w^2) + Gamma_r) / Gamma_i.
+    out.quality_factor = (1.0 / mass_ratio_scale + gr) / gi;
+    out.added_modal_mass = beam_.effective_mass(mode_) * (mass_ratio_scale * gr);
+    CBS_ENSURES(out.quality_factor > 0.0);
+    CBS_ENSURES(out.resonance.value() > 0.0 && out.resonance <= f_vac);
+    return out;
+}
+
+double HydrodynamicModel::combined_q(double q_hydro, double q_intrinsic) {
+    CBS_EXPECTS(q_intrinsic > 0.0);
+    if (!std::isfinite(q_hydro)) return q_intrinsic;
+    CBS_EXPECTS(q_hydro > 0.0);
+    return 1.0 / (1.0 / q_hydro + 1.0 / q_intrinsic);
+}
+
+}  // namespace cbs::mech

@@ -1,0 +1,48 @@
+// Hydrodynamic loading of a resonating cantilever in a viscous fluid, using
+// the Maali et al. (J. Appl. Phys. 97, 074907, 2005) closed-form fit to
+// Sader's hydrodynamic function. This is what makes "different liquids
+// presented to the biosensor" (paper section 3.2) change the damping the VGA
+// has to compensate.
+#pragma once
+
+#include "mech/beam.hpp"
+#include "phys/fluid.hpp"
+
+namespace cbs::mech {
+
+struct FluidLoading {
+    Frequency resonance{};   ///< fluid-loaded resonance frequency
+    double quality_factor = 0.0;  ///< hydrodynamic Q (excludes intrinsic losses)
+    double gamma_real = 0.0;      ///< Re(Gamma) at the loaded resonance
+    double gamma_imag = 0.0;      ///< Im(Gamma) at the loaded resonance
+    Mass added_modal_mass{};      ///< co-moving fluid mass (modal)
+};
+
+class HydrodynamicModel {
+public:
+    HydrodynamicModel(const EulerBernoulliBeam& beam, const phys::Fluid& fluid,
+                      std::size_t mode = 1);
+
+    /// Real part of the hydrodynamic function at angular frequency omega.
+    [[nodiscard]] double gamma_real(AngularFrequency omega) const;
+    /// Imaginary (dissipative) part.
+    [[nodiscard]] double gamma_imag(AngularFrequency omega) const;
+
+    /// Self-consistent fluid-loaded resonance and hydrodynamic Q.
+    /// In vacuum returns the unloaded values with infinite Q.
+    [[nodiscard]] FluidLoading solve() const;
+
+    /// Total quality factor combining the hydrodynamic Q with an intrinsic
+    /// (anchor/thermoelastic) Q: 1/Q = 1/Q_h + 1/Q_i.
+    [[nodiscard]] static double combined_q(double q_hydro, double q_intrinsic);
+
+private:
+    /// Viscous boundary-layer thickness delta = sqrt(2 eta / (rho omega)).
+    [[nodiscard]] Length boundary_layer(AngularFrequency omega) const;
+
+    EulerBernoulliBeam beam_;
+    phys::Fluid fluid_;
+    std::size_t mode_;
+};
+
+}  // namespace cbs::mech

@@ -1,0 +1,53 @@
+#include "mech/mass_loading.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+MassLoadingModel::MassLoadingModel(const EulerBernoulliBeam& beam, std::size_t mode)
+    : mode_(mode),
+      f0_(beam.resonance_frequency(mode)),
+      m_eff_(beam.effective_mass(mode)),
+      m_beam_(beam.geometry().mass()) {}
+
+double MassLoadingModel::distribution_weight(MassDistribution dist) const {
+    switch (dist) {
+        case MassDistribution::tip:
+            return 1.0;  // phi(L)^2 with tip normalization
+        case MassDistribution::uniform:
+            // A uniform layer of total mass dm contributes
+            // dm * \int phi^2 dx / L = dm * (m_eff / m_beam).
+            return m_eff_.value() / m_beam_.value();
+    }
+    return 1.0;
+}
+
+Mass MassLoadingModel::modal_added_mass(Mass dm, MassDistribution dist) const {
+    CBS_EXPECTS(dm.value() >= 0.0);
+    return dm * distribution_weight(dist);
+}
+
+Frequency MassLoadingModel::loaded_frequency(Mass dm, MassDistribution dist) const {
+    const Mass dm_modal = modal_added_mass(dm, dist);
+    return f0_ * std::sqrt(m_eff_.value() / (m_eff_.value() + dm_modal.value()));
+}
+
+Frequency MassLoadingModel::frequency_shift(Mass dm, MassDistribution dist) const {
+    return loaded_frequency(dm, dist) - f0_;
+}
+
+FrequencyPerMass MassLoadingModel::responsivity(MassDistribution dist) const {
+    return -distribution_weight(dist) * f0_ / (2.0 * m_eff_);
+}
+
+Mass MassLoadingModel::mass_from_frequency(Frequency loaded, MassDistribution dist) const {
+    CBS_EXPECTS(loaded.value() > 0.0);
+    CBS_EXPECTS(loaded.value() <= f0_.value() * (1.0 + 1e-12));
+    const double ratio = f0_.value() / loaded.value();
+    const Mass dm_modal = m_eff_ * (ratio * ratio - 1.0);
+    return dm_modal / distribution_weight(dist);
+}
+
+}  // namespace cbs::mech

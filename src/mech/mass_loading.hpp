@@ -1,0 +1,52 @@
+// Resonant-mode mass loading: the operating principle of Figure 2. Captured
+// analyte adds mass, shifting the resonance down; this module maps mass to
+// frequency and back, for both tip-concentrated and uniformly-distributed
+// adlayers (distributed loading couples into the mode with a smaller weight).
+#pragma once
+
+#include "mech/beam.hpp"
+#include "util/units.hpp"
+
+namespace cbs::mech {
+
+enum class MassDistribution {
+    tip,      ///< point mass at the free end (modal weight phi(L)^2 = 1)
+    uniform,  ///< uniform adlayer over the full plan area
+};
+
+class MassLoadingModel {
+public:
+    explicit MassLoadingModel(const EulerBernoulliBeam& beam, std::size_t mode = 1);
+
+    /// Effective modal mass added by `dm` placed with the given distribution.
+    [[nodiscard]] Mass modal_added_mass(Mass dm, MassDistribution dist) const;
+
+    /// Loaded resonance: f = f0 * sqrt(m_eff / (m_eff + dm_modal)).
+    [[nodiscard]] Frequency loaded_frequency(Mass dm, MassDistribution dist) const;
+
+    /// Frequency shift (negative for added mass): loaded - unloaded.
+    [[nodiscard]] Frequency frequency_shift(Mass dm, MassDistribution dist) const;
+
+    /// Small-signal responsivity df/dm = -f0 / (2 m_eff) for the given
+    /// distribution [Hz/kg].
+    [[nodiscard]] FrequencyPerMass responsivity(MassDistribution dist) const;
+
+    /// Inverse model (exact, not small-signal): mass that explains a
+    /// measured loaded frequency.
+    [[nodiscard]] Mass mass_from_frequency(Frequency loaded, MassDistribution dist) const;
+
+    [[nodiscard]] Frequency unloaded_frequency() const { return f0_; }
+    [[nodiscard]] Mass effective_mass() const { return m_eff_; }
+
+private:
+    /// Modal participation of the distribution:
+    /// tip -> 1; uniform -> \int phi^2 / L (= m_eff / m_beam).
+    [[nodiscard]] double distribution_weight(MassDistribution dist) const;
+
+    std::size_t mode_;
+    Frequency f0_;
+    Mass m_eff_;
+    Mass m_beam_;
+};
+
+}  // namespace cbs::mech

@@ -1,0 +1,61 @@
+#include "mech/piezoresistance.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+PiezoResistor::PiezoResistor(const phys::Material& material, ResistorOrientation orientation,
+                             ResistorPlacement placement)
+    : material_(material), orientation_(orientation), placement_(placement) {
+    CBS_EXPECTS(material.piezo_longitudinal != 0.0 || material.piezo_transverse != 0.0);
+}
+
+double PiezoResistor::relative_change(Stress sigma_longitudinal) const {
+    const double pi_coeff = orientation_ == ResistorOrientation::longitudinal
+                                ? material_.piezo_longitudinal
+                                : material_.piezo_transverse;
+    return pi_coeff * sigma_longitudinal.value();
+}
+
+double PiezoResistor::relative_change_surface_stress(const StoneyModel& stoney,
+                                                     SurfaceStress delta_sigma) const {
+    // Uniform-moment load case: bending stress is constant along the beam.
+    return relative_change(stoney.surface_bending_stress(delta_sigma));
+}
+
+double PiezoResistor::relative_change_tip_deflection(const EulerBernoulliBeam& beam, Length z,
+                                                     std::size_t mode) const {
+    if (placement_ == ResistorPlacement::clamped_edge) {
+        return relative_change(beam.clamp_stress_from_tip_deflection_modal(z, mode));
+    }
+    // Distributed resistor: average |phi''(x)| over the length relative to
+    // the clamp value. For mode 1 this integral evaluates to
+    // \int phi'' dxi / phi''(0) = -phi'(0)+phi'(L) over phi''(0)... we
+    // compute it numerically for generality.
+    const auto& g = beam.geometry();
+    constexpr int n = 200;
+    double acc = 0.0;
+    const double h = g.length.value() / n;
+    auto curvature = [&](double x) {
+        // Second derivative via central differences of the normalized shape.
+        const double xm = std::max(0.0, x - h);
+        const double xp = std::min(g.length.value(), x + h);
+        const double fm = beam.mode_shape(mode, Length{xm});
+        const double f0 = beam.mode_shape(mode, Length{x});
+        const double fp = beam.mode_shape(mode, Length{xp});
+        return (fp - 2.0 * f0 + fm) / (h * h);
+    };
+    for (int i = 0; i <= n; ++i) {
+        const double x = g.length.value() * static_cast<double>(i) / n;
+        const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+        acc += w * curvature(x);
+    }
+    acc /= n;
+    const Stress avg_sigma =
+        g.material.youngs_modulus * (g.thickness / 2.0) * Q<0, -2, 0>{acc} * z;
+    return relative_change(avg_sigma);
+}
+
+}  // namespace cbs::mech

@@ -1,0 +1,57 @@
+// Piezoresistive transduction: maps mechanical stress at the resistor
+// location to a relative resistance change dR/R. The paper places the
+// Wheatstone bridge "on the clamped edge of the cantilever, where the
+// maximum mechanical stress is induced" for the resonant system, and
+// "distributed over the cantilever length" for the static system.
+#pragma once
+
+#include "mech/beam.hpp"
+#include "mech/stoney.hpp"
+#include "phys/material.hpp"
+#include "util/units.hpp"
+
+namespace cbs::mech {
+
+/// In-plane orientation of the resistor current path w.r.t. the beam axis.
+enum class ResistorOrientation {
+    longitudinal,  ///< current along the beam: dR/R = pi_l * sigma
+    transverse,    ///< current across the beam: dR/R = pi_t * sigma
+};
+
+/// Where the sensing resistors sit on the beam.
+enum class ResistorPlacement {
+    clamped_edge,  ///< concentrated at x=0 (resonant system)
+    distributed,   ///< averaged over the full length (static system)
+};
+
+class PiezoResistor {
+public:
+    PiezoResistor(const phys::Material& material, ResistorOrientation orientation,
+                  ResistorPlacement placement);
+
+    [[nodiscard]] ResistorOrientation orientation() const { return orientation_; }
+    [[nodiscard]] ResistorPlacement placement() const { return placement_; }
+
+    /// Gauge response to a uniaxial longitudinal surface stress at the
+    /// resistor location.
+    [[nodiscard]] double relative_change(Stress sigma_longitudinal) const;
+
+    /// Static mode: dR/R for a differential surface stress via Stoney
+    /// (bending stress is uniform along the beam, so placement does not
+    /// change the average for this load case).
+    [[nodiscard]] double relative_change_surface_stress(const StoneyModel& stoney,
+                                                        SurfaceStress delta_sigma) const;
+
+    /// Resonant mode: dR/R for a tip displacement z of mode `mode`.
+    /// clamped_edge uses the clamp stress; distributed averages the modal
+    /// bending stress over the length.
+    [[nodiscard]] double relative_change_tip_deflection(const EulerBernoulliBeam& beam, Length z,
+                                                        std::size_t mode = 1) const;
+
+private:
+    phys::Material material_;
+    ResistorOrientation orientation_;
+    ResistorPlacement placement_;
+};
+
+}  // namespace cbs::mech

@@ -1,0 +1,97 @@
+#include "mech/resonator.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+ResonatorParams make_resonator_params(const EulerBernoulliBeam& beam, Frequency loaded_resonance,
+                                      double loaded_q, Mass added_modal_mass) {
+    CBS_EXPECTS(loaded_q > 0.0);
+    ResonatorParams p;
+    p.omega0 = 2.0 * constants::pi * loaded_resonance;
+    p.q = loaded_q;
+    p.effective_mass = beam.effective_mass(1) + added_modal_mass;
+    return p;
+}
+
+ModalResonator::ModalResonator(const ResonatorParams& params) : params_(params) {
+    CBS_EXPECTS(params.omega0.value() > 0.0);
+    CBS_EXPECTS(params.q > 0.0);
+    CBS_EXPECTS(params.effective_mass.value() > 0.0);
+}
+
+void ModalResonator::set_state(Length x, Velocity v) {
+    x_ = x.value();
+    v_ = v.value();
+}
+
+void ModalResonator::set_params(const ResonatorParams& params) {
+    CBS_EXPECTS(params.omega0.value() > 0.0);
+    CBS_EXPECTS(params.q > 0.0);
+    CBS_EXPECTS(params.effective_mass.value() > 0.0);
+    params_ = params;
+    cached_dt_ = -1.0;  // invalidate propagator
+}
+
+void ModalResonator::refresh_propagator(double dt) {
+    if (dt == cached_dt_) return;
+    const double w0 = params_.omega0.value();
+    const double zeta = 1.0 / (2.0 * params_.q);
+    CBS_EXPECTS(zeta < 1.0);  // underdamped resonator
+    const double alpha = zeta * w0;
+    const double wd = w0 * std::sqrt(1.0 - zeta * zeta);
+    const double e = std::exp(-alpha * dt);
+    const double c = std::cos(wd * dt);
+    const double s = std::sin(wd * dt);
+    // Homogeneous solution of u'' + 2 a u' + w0^2 u = 0:
+    // u(t)  = e[ u0 (c + (a/wd) s) + v0 (s/wd) ]
+    // u'(t) = e[ -u0 (w0^2/wd) s + v0 (c - (a/wd) s) ]
+    p11_ = e * (c + alpha / wd * s);
+    p12_ = e * (s / wd);
+    p21_ = -e * (w0 * w0 / wd) * s;
+    p22_ = e * (c - alpha / wd * s);
+    cached_dt_ = dt;
+}
+
+void ModalResonator::step_exact(Force f, Time dt) {
+    CBS_EXPECTS(dt.value() > 0.0);
+    refresh_propagator(dt.value());
+    const double w0 = params_.omega0.value();
+    const double xp = f.value() / (params_.effective_mass.value() * w0 * w0);
+    // Shift to the particular solution, propagate homogeneous, shift back.
+    const double u = x_ - xp;
+    const double nu = p11_ * u + p12_ * v_;
+    const double nv = p21_ * u + p22_ * v_;
+    x_ = nu + xp;
+    v_ = nv;
+}
+
+void ModalResonator::step_rk4(Force f, Time dt) {
+    CBS_EXPECTS(dt.value() > 0.0);
+    const double w0 = params_.omega0.value();
+    const double gamma = w0 / params_.q;
+    const double a_ext = f.value() / params_.effective_mass.value();
+    auto accel = [&](double x, double v) { return a_ext - gamma * v - w0 * w0 * x; };
+    const double h = dt.value();
+    const double k1x = v_;
+    const double k1v = accel(x_, v_);
+    const double k2x = v_ + 0.5 * h * k1v;
+    const double k2v = accel(x_ + 0.5 * h * k1x, v_ + 0.5 * h * k1v);
+    const double k3x = v_ + 0.5 * h * k2v;
+    const double k3v = accel(x_ + 0.5 * h * k2x, v_ + 0.5 * h * k2v);
+    const double k4x = v_ + h * k3v;
+    const double k4v = accel(x_ + h * k3x, v_ + h * k3v);
+    x_ += h / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x);
+    v_ += h / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
+}
+
+Energy ModalResonator::energy() const {
+    const double k = params_.modal_stiffness().value();
+    const double m = params_.effective_mass.value();
+    return Energy{0.5 * m * v_ * v_ + 0.5 * k * x_ * x_};
+}
+
+}  // namespace cbs::mech

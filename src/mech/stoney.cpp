@@ -1,0 +1,37 @@
+#include "mech/stoney.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+StoneyModel::StoneyModel(const CantileverGeometry& geom) : geom_(geom) { geom_.validate(); }
+
+Q<0, -1, 0> StoneyModel::curvature(SurfaceStress delta_sigma) const {
+    const auto plate_modulus = geom_.material.youngs_modulus / (1.0 - geom_.material.poisson_ratio);
+    return 6.0 * delta_sigma / (plate_modulus * pow<2>(geom_.thickness));
+}
+
+Length StoneyModel::deflection(SurfaceStress delta_sigma, Length x) const {
+    CBS_EXPECTS(x.value() >= 0.0 && x.value() <= geom_.length.value() * (1.0 + 1e-12));
+    return curvature(delta_sigma) * x * x / 2.0;
+}
+
+Length StoneyModel::tip_deflection(SurfaceStress delta_sigma) const {
+    return deflection(delta_sigma, geom_.length);
+}
+
+LengthPerSurfaceStress StoneyModel::responsivity() const {
+    return tip_deflection(SurfaceStress{1.0}) / SurfaceStress{1.0};
+}
+
+Stress StoneyModel::surface_bending_stress(SurfaceStress delta_sigma) const {
+    // Moment per width m' = dsigma * t/2; bending stress at surface
+    // sigma_b = E' kappa t/2 = 3 dsigma / t.
+    return 3.0 * delta_sigma / geom_.thickness;
+}
+
+SurfaceStress StoneyModel::stress_from_tip_deflection(Length z) const {
+    return z / responsivity();
+}
+
+}  // namespace cbs::mech

@@ -1,0 +1,41 @@
+// Stoney-type surface-stress bending: the static operating principle of
+// Figure 1. A differential surface stress (top minus bottom face) applies a
+// uniform bending moment; analyte binding on the functionalized top face
+// changes that stress.
+#pragma once
+
+#include "mech/geometry.hpp"
+#include "util/units.hpp"
+
+namespace cbs::mech {
+
+class StoneyModel {
+public:
+    explicit StoneyModel(const CantileverGeometry& geom);
+
+    /// Uniform curvature induced by a differential surface stress:
+    /// kappa = 6 (1 - nu) dsigma / (E t^2).
+    [[nodiscard]] Q<0, -1, 0> curvature(SurfaceStress delta_sigma) const;
+
+    /// Deflection profile z(x) = kappa x^2 / 2 (uniform moment).
+    [[nodiscard]] Length deflection(SurfaceStress delta_sigma, Length x) const;
+
+    /// Tip deflection z(L) = 3 (1 - nu) L^2 dsigma / (E t^2).
+    [[nodiscard]] Length tip_deflection(SurfaceStress delta_sigma) const;
+
+    /// Responsivity dz_tip / dsigma (the device's surface-stress gain).
+    [[nodiscard]] LengthPerSurfaceStress responsivity() const;
+
+    /// Longitudinal bending stress at the beam's top surface (uniform along
+    /// the length for this load case): sigma_b = 3 dsigma / t. This is what
+    /// the distributed piezoresistive bridge of the static system senses.
+    [[nodiscard]] Stress surface_bending_stress(SurfaceStress delta_sigma) const;
+
+    /// Inverse model: surface stress that explains a measured tip deflection.
+    [[nodiscard]] SurfaceStress stress_from_tip_deflection(Length z) const;
+
+private:
+    CantileverGeometry geom_;
+};
+
+}  // namespace cbs::mech

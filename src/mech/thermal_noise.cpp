@@ -1,0 +1,46 @@
+#include "mech/thermal_noise.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::mech {
+
+ThermalNoiseModel::ThermalNoiseModel(const EulerBernoulliBeam& beam, double q,
+                                     Temperature temperature, std::size_t mode)
+    : beam_(beam), q_(q), temperature_(temperature), mode_(mode) {
+    CBS_EXPECTS(q > 0.0);
+    CBS_EXPECTS(temperature.value() > 0.0);
+}
+
+ForceNoiseDensity ThermalNoiseModel::force_noise_density() const {
+    const auto omega0 = 2.0 * constants::pi * beam_.resonance_frequency(mode_);
+    const auto s_f = 4.0 * constants::k_B * temperature_ * beam_.effective_mass(mode_) * omega0 /
+                     q_;  // N^2/Hz
+    return sqrt(s_f);
+}
+
+Length ThermalNoiseModel::displacement_noise_at_resonance(Frequency bandwidth) const {
+    CBS_EXPECTS(bandwidth.value() > 0.0);
+    const auto k = beam_.modal_stiffness(mode_);
+    return force_noise_density() * q_ / k * sqrt(bandwidth);
+}
+
+Length ThermalNoiseModel::equipartition_displacement() const {
+    const auto k = beam_.modal_stiffness(mode_);
+    return sqrt(constants::k_B * temperature_ / k);
+}
+
+Mass ThermalNoiseModel::minimum_detectable_mass(Length drive_amplitude,
+                                                Time averaging_time) const {
+    CBS_EXPECTS(drive_amplitude.value() > 0.0);
+    CBS_EXPECTS(averaging_time.value() > 0.0);
+    const auto f0 = beam_.resonance_frequency(mode_);
+    const auto k = beam_.modal_stiffness(mode_);
+    const auto m_eff = beam_.effective_mass(mode_);
+    const auto arg = constants::k_B * temperature_ / (k * q_ * f0 * averaging_time);
+    return 2.0 * m_eff / drive_amplitude * sqrt(arg);
+}
+
+}  // namespace cbs::mech

@@ -1,0 +1,42 @@
+// Thermomechanical (Brownian) noise of the cantilever: the fluctuating force
+// that ultimately seeds the oscillation of the resonant feedback loop and
+// sets the fundamental detection limit of both operating modes.
+#pragma once
+
+#include "mech/beam.hpp"
+#include "util/units.hpp"
+
+namespace cbs::mech {
+
+class ThermalNoiseModel {
+public:
+    /// `q` is the total loaded quality factor of the mode in its operating
+    /// environment.
+    ThermalNoiseModel(const EulerBernoulliBeam& beam, double q, Temperature temperature,
+                      std::size_t mode = 1);
+
+    /// White force spectral density acting on the mode:
+    /// S_F^(1/2) = sqrt(4 k_B T m_eff omega_0 / Q)  [N/sqrt(Hz)].
+    [[nodiscard]] ForceNoiseDensity force_noise_density() const;
+
+    /// RMS displacement noise at resonance in a measurement bandwidth df:
+    /// x = sqrt(S_F) * Q / k * sqrt(df).
+    [[nodiscard]] Length displacement_noise_at_resonance(Frequency bandwidth) const;
+
+    /// Equipartition RMS tip displacement sqrt(k_B T / k) — the total
+    /// Brownian motion integrated over all frequencies.
+    [[nodiscard]] Length equipartition_displacement() const;
+
+    /// Minimum detectable mass (1 sigma) for frequency detection at the
+    /// thermomechanical limit with averaging time tau and drive amplitude x:
+    /// dm = 2 m_eff / (x) * sqrt(k_B T / (k Q f0 tau)) (Ekinci/Roukes form).
+    [[nodiscard]] Mass minimum_detectable_mass(Length drive_amplitude, Time averaging_time) const;
+
+private:
+    EulerBernoulliBeam beam_;
+    double q_;
+    Temperature temperature_;
+    std::size_t mode_;
+};
+
+}  // namespace cbs::mech

@@ -1,0 +1,47 @@
+#include "phys/fluid.hpp"
+
+namespace cbs::phys::fluids {
+
+const Fluid& vacuum() {
+    static const Fluid f{.name = "vacuum", .density = MassDensity{0.0},
+                         .viscosity = DynamicViscosity{0.0}};
+    return f;
+}
+
+const Fluid& air() {
+    static const Fluid f{.name = "air", .density = MassDensity{1.204},
+                         .viscosity = DynamicViscosity{1.82e-5}};
+    return f;
+}
+
+const Fluid& nitrogen() {
+    static const Fluid f{.name = "N2", .density = MassDensity{1.165},
+                         .viscosity = DynamicViscosity{1.76e-5}};
+    return f;
+}
+
+const Fluid& water() {
+    static const Fluid f{.name = "water", .density = MassDensity{998.2},
+                         .viscosity = DynamicViscosity{1.002e-3}};
+    return f;
+}
+
+const Fluid& pbs() {
+    static const Fluid f{.name = "PBS", .density = MassDensity{1005.0},
+                         .viscosity = DynamicViscosity{1.05e-3}};
+    return f;
+}
+
+const Fluid& serum() {
+    static const Fluid f{.name = "serum", .density = MassDensity{1024.0},
+                         .viscosity = DynamicViscosity{1.8e-3}};
+    return f;
+}
+
+const Fluid& ethanol() {
+    static const Fluid f{.name = "ethanol", .density = MassDensity{789.0},
+                         .viscosity = DynamicViscosity{1.2e-3}};
+    return f;
+}
+
+}  // namespace cbs::phys::fluids

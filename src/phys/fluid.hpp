@@ -1,0 +1,30 @@
+// Fluid environments the cantilever operates in; density and viscosity feed
+// the hydrodynamic damping model ("different liquids presented to the
+// biosensor" — paper section 3.2).
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace cbs::phys {
+
+struct Fluid {
+    std::string name;
+    MassDensity density{};         ///< rho_f
+    DynamicViscosity viscosity{};  ///< eta
+};
+
+namespace fluids {
+
+const Fluid& vacuum();  ///< idealized (no hydrodynamic load)
+const Fluid& air();     ///< 20 C, 1 atm
+const Fluid& nitrogen();
+const Fluid& water();  ///< DI water, 20 C
+const Fluid& pbs();    ///< phosphate-buffered saline
+const Fluid& serum();  ///< blood serum (higher viscosity)
+const Fluid& ethanol();
+
+}  // namespace fluids
+
+}  // namespace cbs::phys

@@ -1,0 +1,77 @@
+#include "phys/material.hpp"
+
+namespace cbs::phys::materials {
+
+using namespace cbs::literals;
+
+const Material& silicon() {
+    static const Material m{
+        .name = "Si(100)<110>",
+        .youngs_modulus = 169.0_GPa,
+        .poisson_ratio = 0.064,  // <110> in-plane on (100)
+        .density = MassDensity{2330.0},
+        // p-type diffusion along <110>: pi_l ~ +pi_44/2, pi_t ~ -pi_44/2,
+        // pi_44 = 138.1e-11 1/Pa.
+        .piezo_longitudinal = 69.0e-11,
+        .piezo_transverse = -66.0e-11,
+        .tcr = 1.5e-3,
+    };
+    return m;
+}
+
+const Material& polysilicon() {
+    static const Material m{
+        .name = "poly-Si",
+        .youngs_modulus = 160.0_GPa,
+        .poisson_ratio = 0.22,
+        .density = MassDensity{2320.0},
+        .piezo_longitudinal = 15.0e-11,  // grain-averaged, much weaker than c-Si
+        .piezo_transverse = -7.0e-11,
+        .tcr = 0.9e-3,
+    };
+    return m;
+}
+
+const Material& silicon_dioxide() {
+    static const Material m{
+        .name = "SiO2",
+        .youngs_modulus = 70.0_GPa,
+        .poisson_ratio = 0.17,
+        .density = MassDensity{2200.0},
+    };
+    return m;
+}
+
+const Material& silicon_nitride() {
+    static const Material m{
+        .name = "Si3N4",
+        .youngs_modulus = 250.0_GPa,
+        .poisson_ratio = 0.23,
+        .density = MassDensity{3100.0},
+    };
+    return m;
+}
+
+const Material& aluminum() {
+    static const Material m{
+        .name = "Al",
+        .youngs_modulus = 70.0_GPa,
+        .poisson_ratio = 0.35,
+        .density = MassDensity{2700.0},
+        .tcr = 3.9e-3,
+    };
+    return m;
+}
+
+const Material& gold() {
+    static const Material m{
+        .name = "Au",
+        .youngs_modulus = 79.0_GPa,
+        .poisson_ratio = 0.44,
+        .density = MassDensity{19300.0},
+        .tcr = 3.4e-3,
+    };
+    return m;
+}
+
+}  // namespace cbs::phys::materials

@@ -1,0 +1,51 @@
+// Structural / electronic material properties for the CMOS + MEMS stack.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace cbs::phys {
+
+/// Isotropic-equivalent elastic and electronic properties of a thin-film or
+/// bulk material as used in beam mechanics and piezoresistive transduction.
+struct Material {
+    std::string name;
+    Stress youngs_modulus{};       ///< E
+    double poisson_ratio = 0.0;    ///< nu
+    MassDensity density{};         ///< rho
+    /// Longitudinal piezoresistive coefficient along the beam axis [1/Pa]
+    /// (0 for non-piezoresistive materials). For p-type Si aligned with
+    /// <110>, pi_l ~ pi_44/2.
+    double piezo_longitudinal = 0.0;
+    /// Transverse piezoresistive coefficient [1/Pa].
+    double piezo_transverse = 0.0;
+    /// Temperature coefficient of resistance [1/K] for resistors made of it.
+    double tcr = 0.0;
+
+    /// Plate modulus E/(1-nu) used by Stoney-type surface-stress formulas.
+    [[nodiscard]] Stress biaxial_modulus() const {
+        return youngs_modulus / (1.0 - poisson_ratio);
+    }
+};
+
+/// Built-in material database (values typical of a 0.8um CMOS MEMS flow).
+namespace materials {
+
+/// Single-crystal silicon, <110> in-plane orientation (the KOH-released
+/// n-well cantilever body).
+const Material& silicon();
+/// LPCVD polysilicon (gate poly; optional piezoresistor material).
+const Material& polysilicon();
+/// Thermal/CVD silicon dioxide (dielectric stack).
+const Material& silicon_dioxide();
+/// PECVD silicon nitride (passivation).
+const Material& silicon_nitride();
+/// Sputtered aluminum (metal-1/metal-2 and the actuation coil).
+const Material& aluminum();
+/// Evaporated gold (functionalization layer for thiol chemistry).
+const Material& gold();
+
+}  // namespace materials
+
+}  // namespace cbs::phys

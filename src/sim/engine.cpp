@@ -1,0 +1,31 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::sim {
+
+Simulation::Simulation(double sample_rate_hz) : fs_(sample_rate_hz), dt_(1.0 / sample_rate_hz) {
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+}
+
+void Simulation::add_process(std::string name, std::function<void(double, double)> tick) {
+    CBS_EXPECTS(tick != nullptr);
+    processes_.push_back({std::move(name), std::move(tick)});
+}
+
+void Simulation::run(Time duration) {
+    CBS_EXPECTS(duration.value() >= 0.0);
+    run_steps(static_cast<std::size_t>(duration.value() * fs_));
+}
+
+void Simulation::run_steps(std::size_t steps) {
+    for (std::size_t i = 0; i < steps; ++i) {
+        for (auto& p : processes_) p.tick(t_, dt_);
+        ++steps_;
+        t_ = static_cast<double>(steps_) * dt_;  // avoids drift from summation
+    }
+}
+
+}  // namespace cbs::sim

@@ -1,0 +1,44 @@
+// Fixed-step co-simulation scheduler: all registered processes tick on a
+// common sample clock in registration order (mechanics first, then the
+// analog chain, then data acquisition — the order the physical signal
+// flows).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cbs::sim {
+
+class Simulation {
+public:
+    explicit Simulation(double sample_rate_hz);
+
+    /// Registers a per-tick process; called as f(t, dt) every step.
+    void add_process(std::string name, std::function<void(double t, double dt)> tick);
+
+    /// Runs for a duration (rounded down to whole steps).
+    void run(Time duration);
+    /// Runs an exact number of steps.
+    void run_steps(std::size_t steps);
+
+    [[nodiscard]] double time() const { return t_; }
+    [[nodiscard]] double sample_rate() const { return fs_; }
+    [[nodiscard]] double dt() const { return dt_; }
+    [[nodiscard]] std::size_t step_count() const { return steps_; }
+
+private:
+    double fs_;
+    double dt_;
+    double t_ = 0.0;
+    std::size_t steps_ = 0;
+    struct Process {
+        std::string name;
+        std::function<void(double, double)> tick;
+    };
+    std::vector<Process> processes_;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,56 @@
+#include "sim/integrator.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::sim {
+
+Rk4Integrator::Rk4Integrator(Derivative f, std::vector<double> y0, double t0)
+    : f_(std::move(f)), y_(std::move(y0)), t_(t0) {
+    CBS_EXPECTS(f_ != nullptr);
+    CBS_EXPECTS(!y_.empty());
+    const std::size_t n = y_.size();
+    k1_.resize(n);
+    k2_.resize(n);
+    k3_.resize(n);
+    k4_.resize(n);
+    tmp_.resize(n);
+}
+
+void Rk4Integrator::step(double dt) {
+    CBS_EXPECTS(dt > 0.0);
+    const std::size_t n = y_.size();
+    f_(t_, y_, k1_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = y_[i] + 0.5 * dt * k1_[i];
+    f_(t_ + 0.5 * dt, tmp_, k2_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = y_[i] + 0.5 * dt * k2_[i];
+    f_(t_ + 0.5 * dt, tmp_, k3_);
+    for (std::size_t i = 0; i < n; ++i) tmp_[i] = y_[i] + dt * k3_[i];
+    f_(t_ + dt, tmp_, k4_);
+    for (std::size_t i = 0; i < n; ++i) {
+        y_[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    }
+    t_ += dt;
+}
+
+void Rk4Integrator::advance(double duration, double max_dt) {
+    CBS_EXPECTS(duration >= 0.0);
+    CBS_EXPECTS(max_dt > 0.0);
+    const auto steps = static_cast<std::size_t>(std::ceil(duration / max_dt));
+    if (steps == 0) return;
+    const double dt = duration / static_cast<double>(steps);
+    for (std::size_t i = 0; i < steps; ++i) step(dt);
+}
+
+double Rk4Integrator::state(std::size_t i) const {
+    CBS_EXPECTS(i < y_.size());
+    return y_[i];
+}
+
+void Rk4Integrator::set_state(std::size_t i, double v) {
+    CBS_EXPECTS(i < y_.size());
+    y_[i] = v;
+}
+
+}  // namespace cbs::sim

@@ -1,0 +1,42 @@
+// Generic fixed-step RK4 integrator over a small ODE state. The mechanical
+// resonator uses its own exact ZOH propagator (mech/resonator.hpp); this
+// integrator serves the remaining continuous models (binding kinetics,
+// transport) and cross-checks.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cbs::sim {
+
+/// dy/dt = f(t, y) with y a small dense vector.
+using Derivative =
+    std::function<void(double t, std::span<const double> y, std::span<double> dydt)>;
+
+class Rk4Integrator {
+public:
+    Rk4Integrator(Derivative f, std::vector<double> y0, double t0 = 0.0);
+
+    /// Advances one step of size dt.
+    void step(double dt);
+
+    /// Advances through `duration` using steps of at most `max_dt`.
+    void advance(double duration, double max_dt);
+
+    [[nodiscard]] double time() const { return t_; }
+    [[nodiscard]] std::span<const double> state() const { return y_; }
+    [[nodiscard]] double state(std::size_t i) const;
+    void set_state(std::size_t i, double v);
+
+private:
+    Derivative f_;
+    std::vector<double> y_;
+    double t_;
+    // scratch buffers to avoid per-step allocation
+    std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,29 @@
+#include "sim/trace.hpp"
+
+#include "util/expect.hpp"
+
+namespace cbs::sim {
+
+Trace::Trace(std::size_t decimation, Mode mode) : decimation_(decimation), mode_(mode) {
+    CBS_EXPECTS(decimation >= 1);
+}
+
+void Trace::push(double t, double v) {
+    if (mode_ == Mode::average) acc_ += v;
+    ++count_;
+    if (count_ == decimation_) {
+        times_.push_back(t);
+        values_.push_back(mode_ == Mode::average ? acc_ / static_cast<double>(decimation_) : v);
+        count_ = 0;
+        acc_ = 0.0;
+    }
+}
+
+void Trace::clear() {
+    times_.clear();
+    values_.clear();
+    count_ = 0;
+    acc_ = 0.0;
+}
+
+}  // namespace cbs::sim

@@ -1,0 +1,40 @@
+// Decimating signal recorder: samples at the simulation rate are too dense
+// to keep for second-long runs, so the trace stores every Nth sample
+// (optionally the mean of each decimation window, which is what a real
+// decimating DAQ chain does).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cbs::sim {
+
+class Trace {
+public:
+    enum class Mode {
+        subsample,  ///< keep every Nth raw sample
+        average,    ///< store the mean of each N-sample window
+    };
+
+    explicit Trace(std::size_t decimation = 1, Mode mode = Mode::subsample);
+
+    void push(double t, double v);
+
+    [[nodiscard]] std::span<const double> times() const { return times_; }
+    [[nodiscard]] std::span<const double> values() const { return values_; }
+    [[nodiscard]] std::size_t size() const { return values_.size(); }
+    [[nodiscard]] bool empty() const { return values_.empty(); }
+
+    void clear();
+
+private:
+    std::size_t decimation_;
+    Mode mode_;
+    std::size_t count_ = 0;
+    double acc_ = 0.0;
+    std::vector<double> times_;
+    std::vector<double> values_;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,42 @@
+#include "util/allan.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs {
+
+std::vector<AllanPoint> allan_deviation(std::span<const double> y, double tau0,
+                                        std::size_t min_pairs) {
+    CBS_EXPECTS(tau0 > 0.0);
+    CBS_EXPECTS(min_pairs >= 1);
+    std::vector<AllanPoint> out;
+    if (y.size() < 2 * min_pairs) return out;
+
+    for (std::size_t m = 1; 2 * m + min_pairs <= y.size(); m *= 2) {
+        // Overlapping estimator: averages of m consecutive samples starting
+        // at every index, differenced at lag m.
+        const std::size_t n = y.size();
+        std::vector<double> prefix(n + 1, 0.0);
+        for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + y[i];
+        auto block_mean = [&](std::size_t start) {
+            return (prefix[start + m] - prefix[start]) / static_cast<double>(m);
+        };
+        double acc = 0.0;
+        std::size_t pairs = 0;
+        for (std::size_t i = 0; i + 2 * m <= n; ++i) {
+            const double d = block_mean(i + m) - block_mean(i);
+            acc += d * d;
+            ++pairs;
+        }
+        if (pairs < min_pairs) break;
+        AllanPoint p;
+        p.tau = static_cast<double>(m) * tau0;
+        p.adev = std::sqrt(acc / (2.0 * static_cast<double>(pairs)));
+        p.pairs = pairs;
+        out.push_back(p);
+    }
+    return out;
+}
+
+}  // namespace cbs

@@ -1,0 +1,24 @@
+// Allan (two-sample) deviation — the standard frequency-stability metric for
+// the resonant sensor's counter readout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cbs {
+
+struct AllanPoint {
+    double tau = 0.0;   ///< averaging time [s]
+    double adev = 0.0;  ///< Allan deviation (same units as the input samples)
+    std::size_t pairs = 0;  ///< number of (overlapping) sample pairs averaged
+};
+
+/// Overlapping Allan deviation of a uniformly-sampled series `y` (e.g.
+/// fractional-frequency or absolute-frequency readings) with base sampling
+/// interval `tau0` seconds. Returns points for tau = m*tau0 with m swept in
+/// octaves while at least `min_pairs` pairs remain.
+std::vector<AllanPoint> allan_deviation(std::span<const double> y, double tau0,
+                                        std::size_t min_pairs = 4);
+
+}  // namespace cbs

@@ -1,0 +1,40 @@
+// Physical constants used throughout the library (CODATA 2018 exact values
+// where defined by the 2019 SI redefinition).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace cbs::constants {
+
+inline constexpr double pi = 3.14159265358979323846;
+
+/// Boltzmann constant.
+inline constexpr Q<1, 2, -2, 0, -1> k_B{1.380649e-23};  // J/K
+
+/// Avogadro constant.
+inline constexpr Q<0, 0, 0, 0, 0, -1> N_A{6.02214076e23};  // 1/mol
+
+/// Elementary charge.
+inline constexpr Charge q_e{1.602176634e-19};  // C
+
+/// Standard laboratory temperature used as the default for noise budgets.
+inline constexpr Temperature T_room{293.15};  // K
+
+/// Standard gravity (used only for sanity-scale checks).
+inline constexpr Acceleration g_0{9.80665};  // m/s^2
+
+/// First flexural eigenvalue of a clamped-free uniform beam: lambda_1 with
+/// cos(l)cosh(l) = -1.
+inline constexpr double beam_lambda_1 = 1.8751040687119611;
+/// Second and third flexural eigenvalues.
+inline constexpr double beam_lambda_2 = 4.6940911329741746;
+inline constexpr double beam_lambda_3 = 7.8547574382376126;
+
+/// Modal mass fraction of the fundamental clamped-free mode with the shape
+/// normalized to unit tip displacement: m_eff = m_beam * \int phi^2 dx / L
+/// = m_beam / 4 exactly. (The other common convention, m_eff = 3/lambda_1^4
+/// = 0.2427 m_beam, pairs the *static* tip stiffness 3EI/L^3 with the modal
+/// resonance; we use the consistent modal pair m/4 and k1 = 1.030 k_static.)
+inline constexpr double beam_effective_mass_fraction = 0.25;
+
+}  // namespace cbs::constants

@@ -1,0 +1,103 @@
+#include "util/dft.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace cbs {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& x, bool inverse) {
+    const std::size_t n = x.size();
+    CBS_EXPECTS(is_power_of_two(n));
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(x[i], x[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = 2.0 * constants::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = x[i + k];
+                const std::complex<double> v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        for (auto& c : x) c /= static_cast<double>(n);
+    }
+}
+
+Psd welch_psd(std::span<const double> x, double sample_rate_hz, std::size_t nfft) {
+    CBS_EXPECTS(sample_rate_hz > 0.0);
+    CBS_EXPECTS(is_power_of_two(nfft));
+    CBS_EXPECTS(nfft <= x.size());
+
+    std::vector<double> window(nfft);
+    double window_power = 0.0;
+    for (std::size_t i = 0; i < nfft; ++i) {
+        window[i] = 0.5 * (1.0 - std::cos(2.0 * constants::pi * static_cast<double>(i) /
+                                          static_cast<double>(nfft)));
+        window_power += window[i] * window[i];
+    }
+
+    Psd out;
+    out.frequency.resize(nfft / 2 + 1);
+    out.power.assign(nfft / 2 + 1, 0.0);
+    for (std::size_t i = 0; i <= nfft / 2; ++i) {
+        out.frequency[i] = sample_rate_hz * static_cast<double>(i) / static_cast<double>(nfft);
+    }
+
+    const std::size_t hop = nfft / 2;  // 50% overlap
+    std::size_t segments = 0;
+    std::vector<std::complex<double>> buf(nfft);
+    for (std::size_t start = 0; start + nfft <= x.size(); start += hop) {
+        for (std::size_t i = 0; i < nfft; ++i) buf[i] = {x[start + i] * window[i], 0.0};
+        fft(buf);
+        for (std::size_t i = 0; i <= nfft / 2; ++i) {
+            double p = std::norm(buf[i]);
+            // One-sided: double all interior bins.
+            if (i != 0 && i != nfft / 2) p *= 2.0;
+            out.power[i] += p / (sample_rate_hz * window_power);
+        }
+        ++segments;
+    }
+    CBS_ENSURES(segments > 0);
+    for (auto& p : out.power) p /= static_cast<double>(segments);
+    return out;
+}
+
+double band_power(const Psd& psd, double f_lo, double f_hi) {
+    CBS_EXPECTS(f_hi >= f_lo);
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < psd.frequency.size(); ++i) {
+        const double f0 = psd.frequency[i];
+        const double f1 = psd.frequency[i + 1];
+        if (f1 < f_lo || f0 > f_hi) continue;
+        const double a = std::max(f0, f_lo);
+        const double b = std::min(f1, f_hi);
+        // Linear interpolation of the density across the bin.
+        auto interp = [&](double f) {
+            const double t = (f - f0) / (f1 - f0);
+            return psd.power[i] * (1.0 - t) + psd.power[i + 1] * t;
+        };
+        acc += 0.5 * (interp(a) + interp(b)) * (b - a);
+    }
+    return acc;
+}
+
+}  // namespace cbs

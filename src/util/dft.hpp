@@ -1,0 +1,31 @@
+// Radix-2 FFT and Welch power-spectral-density estimation, used to verify
+// noise-shaping claims of the readout chain (chopper, filters, 1/f).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cbs {
+
+/// In-place iterative radix-2 decimation-in-time FFT. `x.size()` must be a
+/// power of two. `inverse` applies the conjugate transform scaled by 1/N.
+void fft(std::vector<std::complex<double>>& x, bool inverse = false);
+
+/// One-sided PSD estimate.
+struct Psd {
+    std::vector<double> frequency;  ///< Hz, length nfft/2+1
+    std::vector<double> power;      ///< units^2/Hz
+};
+
+/// Welch PSD with Hann window and 50% overlap. `nfft` must be a power of two
+/// and <= x.size(). Densities are one-sided (integrate over f >= 0 to get the
+/// total variance).
+Psd welch_psd(std::span<const double> x, double sample_rate_hz, std::size_t nfft);
+
+/// Integrates a one-sided PSD between two frequencies (trapezoidal), giving
+/// band-limited variance.
+double band_power(const Psd& psd, double f_lo, double f_hi);
+
+}  // namespace cbs

@@ -1,0 +1,13 @@
+#include "util/expect.hpp"
+
+#include <sstream>
+
+namespace cbs {
+
+void contract_fail(const char* kind, const char* condition, const char* file, int line) {
+    std::ostringstream os;
+    os << kind << " failed: " << condition << " at " << file << ':' << line;
+    throw ContractViolation(os.str());
+}
+
+}  // namespace cbs

@@ -1,0 +1,35 @@
+// Contract checking for the cbs library.
+//
+// CBS_EXPECTS(cond)  — precondition at a public API boundary.
+// CBS_ENSURES(cond)  — postcondition / invariant re-established on exit.
+//
+// Violations throw cbs::ContractViolation carrying the failed expression and
+// source location; they indicate a programming error in the caller (EXPECTS)
+// or in the library (ENSURES), never a recoverable runtime condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbs {
+
+/// Thrown when a CBS_EXPECTS / CBS_ENSURES contract is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_fail(const char* kind, const char* condition, const char* file,
+                                int line);
+
+}  // namespace cbs
+
+#define CBS_EXPECTS(cond)                                                    \
+    do {                                                                     \
+        if (!(cond)) ::cbs::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define CBS_ENSURES(cond)                                                    \
+    do {                                                                     \
+        if (!(cond)) ::cbs::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+    } while (false)

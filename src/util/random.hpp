@@ -1,0 +1,63 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// Every stochastic component of the library takes an Rng (or a seed) so that
+// simulations, tests and benches are bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace cbs {
+
+/// Seeded pseudo-random generator with the distributions the library needs.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo = 0.0, double hi = 1.0) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Gaussian with the given mean and standard deviation.
+    double normal(double mean = 0.0, double sigma = 1.0) {
+        return std::normal_distribution<double>(mean, sigma)(engine_);
+    }
+
+    /// Log-normal parameterized by the mean and relative sigma of the
+    /// *underlying value* (not of its logarithm); handy for process spreads.
+    double lognormal_rel(double mean, double rel_sigma) {
+        const double cv2 = rel_sigma * rel_sigma;
+        const double s2 = std::log1p(cv2);
+        const double mu = std::log(mean) - 0.5 * s2;
+        return std::lognormal_distribution<double>(mu, std::sqrt(s2))(engine_);
+    }
+
+    /// Poisson-distributed count.
+    std::uint64_t poisson(double mean) {
+        return std::poisson_distribution<std::uint64_t>(mean)(engine_);
+    }
+
+    /// Bernoulli trial.
+    bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t integer(std::uint64_t n) {
+        return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+    }
+
+    /// Exponentially distributed waiting time with the given rate.
+    double exponential(double rate) {
+        return std::exponential_distribution<double>(rate)(engine_);
+    }
+
+    /// Derive an independent child generator (for per-component streams).
+    Rng fork() { return Rng(engine_()); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace cbs

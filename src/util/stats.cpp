@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace cbs::stats {
+
+double mean(std::span<const double> x) {
+    CBS_EXPECTS(!x.empty());
+    double s = 0.0;
+    for (double v : x) s += v;
+    return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+    if (x.size() < 2) return 0.0;
+    const double m = mean(x);
+    double s = 0.0;
+    for (double v : x) s += (v - m) * (v - m);
+    return s / static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double rms(std::span<const double> x) {
+    CBS_EXPECTS(!x.empty());
+    double s = 0.0;
+    for (double v : x) s += v * v;
+    return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+double min(std::span<const double> x) {
+    CBS_EXPECTS(!x.empty());
+    return *std::min_element(x.begin(), x.end());
+}
+
+double max(std::span<const double> x) {
+    CBS_EXPECTS(!x.empty());
+    return *std::max_element(x.begin(), x.end());
+}
+
+double median(std::span<const double> x) { return percentile(x, 50.0); }
+
+double percentile(std::span<const double> x, double p) {
+    CBS_EXPECTS(!x.empty());
+    CBS_EXPECTS(p >= 0.0 && p <= 100.0);
+    std::vector<double> v(x.begin(), x.end());
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1) return v.front();
+    const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+    CBS_EXPECTS(x.size() == y.size());
+    CBS_EXPECTS(x.size() >= 2);
+    const double n = static_cast<double>(x.size());
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxx += (x[i] - mx) * (x[i] - mx);
+        sxy += (x[i] - mx) * (y[i] - my);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    LinearFit fit;
+    CBS_EXPECTS(sxx > 0.0);
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r_squared = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+    (void)n;
+    return fit;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> x, double lo, double hi,
+                                   std::size_t bins) {
+    CBS_EXPECTS(bins > 0);
+    CBS_EXPECTS(hi > lo);
+    std::vector<std::size_t> h(bins, 0);
+    const double w = (hi - lo) / static_cast<double>(bins);
+    for (double v : x) {
+        auto idx = static_cast<std::ptrdiff_t>((v - lo) / w);
+        idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+        ++h[static_cast<std::size_t>(idx)];
+    }
+    return h;
+}
+
+}  // namespace cbs::stats

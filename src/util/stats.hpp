@@ -1,0 +1,36 @@
+// Descriptive statistics and least-squares helpers used by the measurement
+// and benchmarking layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cbs::stats {
+
+double mean(std::span<const double> x);
+/// Unbiased sample variance (N-1 denominator); 0 for fewer than 2 samples.
+double variance(std::span<const double> x);
+double stddev(std::span<const double> x);
+double rms(std::span<const double> x);
+double min(std::span<const double> x);
+double max(std::span<const double> x);
+/// Median (copies and selects).
+double median(std::span<const double> x);
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::span<const double> x, double p);
+
+/// Ordinary least squares y = slope*x + intercept.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Equal-width histogram over [lo, hi]; values outside are clamped to the
+/// edge bins.
+std::vector<std::size_t> histogram(std::span<const double> x, double lo, double hi,
+                                   std::size_t bins);
+
+}  // namespace cbs::stats

@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace cbs {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    CBS_EXPECTS(!headers_.empty());
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+    CBS_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::str(const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::ostringstream os;
+    if (!title.empty()) os << "== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "  " << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string ConsoleTable::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string ConsoleTable::si(double v, int precision, const std::string& unit) {
+    static const struct {
+        double scale;
+        const char* prefix;
+    } prefixes[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+                    {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}};
+    std::ostringstream os;
+    os << std::setprecision(precision);
+    const double a = std::fabs(v);
+    if (a == 0.0) {
+        os << 0;
+    } else {
+        bool done = false;
+        for (const auto& p : prefixes) {
+            if (a >= p.scale) {
+                os << v / p.scale << ' ' << p.prefix;
+                done = true;
+                break;
+            }
+        }
+        if (!done) os << v << ' ';
+    }
+    os << unit;
+    return os.str();
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+    CBS_EXPECTS(columns_ > 0);
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        out_ << header[i];
+        if (i + 1 < header.size()) out_ << ',';
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+    CBS_EXPECTS(values.size() == columns_);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        out_ << values[i];
+        if (i + 1 < values.size()) out_ << ',';
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    CBS_EXPECTS(cells.size() == columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out_ << cells[i];
+        if (i + 1 < cells.size()) out_ << ',';
+    }
+    out_ << '\n';
+}
+
+}  // namespace cbs

@@ -1,0 +1,45 @@
+// Console table and CSV output for the bench harnesses: every bench prints
+// the rows a paper table/figure would contain and mirrors them to a CSV file.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cbs {
+
+/// Fixed-column console table with right-aligned numeric formatting.
+class ConsoleTable {
+public:
+    explicit ConsoleTable(std::vector<std::string> headers);
+
+    /// Adds a row; the number of cells must match the header count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with a header rule, column padding and a title line.
+    [[nodiscard]] std::string str(const std::string& title = {}) const;
+
+    /// Convenience: format a double with the given precision.
+    static std::string num(double v, int precision = 4);
+    /// Engineering-style with SI prefix (e.g. 3.18e5 -> "318 k").
+    static std::string si(double v, int precision = 3, const std::string& unit = {});
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Line-buffered CSV writer.
+class CsvWriter {
+public:
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    void write_row(const std::vector<double>& values);
+    void write_row(const std::vector<std::string>& cells);
+
+private:
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+}  // namespace cbs

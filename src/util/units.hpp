@@ -1,0 +1,314 @@
+// Compile-time dimensional analysis for SI quantities.
+//
+// A cbs::Quantity carries its dimension as six template parameters — the SI
+// base-dimension exponents for mass, length, time, current, temperature and
+// amount of substance — each stored DOUBLED so that half-integer dimensions
+// (e.g. the V/sqrt(Hz) of a noise spectral density) stay representable and
+// sqrt() is closed over the type system.
+//
+// Public APIs of the physics-facing modules (phys, mech, bio, core) use these
+// types; mixing metres with volts is a compile error, and unit conversion
+// bugs (the classic microns-vs-metres failure) cannot type-check.
+//
+//     using namespace cbs::literals;
+//     Length l = 150.0_um;
+//     Frequency f0 = 0.1615 * (t / (l * l)) * sqrt(e_mod / rho);
+//
+// All values are stored as double in coherent SI units (kg, m, s, A, K, mol).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+#include <string>
+
+namespace cbs {
+
+/// Dimensioned scalar. Template parameters are the SI base-dimension
+/// exponents multiplied by two (M2 = 2 x mass exponent, ...).
+template <int M2, int L2, int T2, int I2, int K2, int N2>
+class Quantity {
+public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double v) : value_(v) {}
+
+    /// Numeric value in coherent SI units.
+    [[nodiscard]] constexpr double value() const { return value_; }
+
+    /// Dimensionless quantities convert implicitly to double.
+    constexpr operator double() const  // NOLINT(google-explicit-constructor)
+        requires(M2 == 0 && L2 == 0 && T2 == 0 && I2 == 0 && K2 == 0 && N2 == 0)
+    {
+        return value_;
+    }
+
+    constexpr Quantity operator-() const { return Quantity{-value_}; }
+    constexpr Quantity operator+() const { return *this; }
+
+    constexpr Quantity& operator+=(Quantity other) {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity& operator-=(Quantity other) {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity& operator*=(double s) {
+        value_ *= s;
+        return *this;
+    }
+    constexpr Quantity& operator/=(double s) {
+        value_ /= s;
+        return *this;
+    }
+
+    friend constexpr Quantity operator+(Quantity a, Quantity b) {
+        return Quantity{a.value_ + b.value_};
+    }
+    friend constexpr Quantity operator-(Quantity a, Quantity b) {
+        return Quantity{a.value_ - b.value_};
+    }
+    friend constexpr Quantity operator*(Quantity a, double s) { return Quantity{a.value_ * s}; }
+    friend constexpr Quantity operator*(double s, Quantity a) { return Quantity{s * a.value_}; }
+    friend constexpr Quantity operator/(Quantity a, double s) { return Quantity{a.value_ / s}; }
+
+    friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+    /// Human-readable dimension, e.g. "kg m^-1 s^-2".
+    static std::string unit_string() {
+        std::string out;
+        auto append = [&out](const char* sym, int e2) {
+            if (e2 == 0) return;
+            if (!out.empty()) out += ' ';
+            out += sym;
+            if (e2 != 2) {
+                out += '^';
+                if (e2 % 2 == 0) {
+                    out += std::to_string(e2 / 2);
+                } else {
+                    out += std::to_string(e2) + "/2";
+                }
+            }
+        };
+        append("kg", M2);
+        append("m", L2);
+        append("s", T2);
+        append("A", I2);
+        append("K", K2);
+        append("mol", N2);
+        if (out.empty()) out = "1";
+        return out;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+        os << q.value_;
+        if (auto u = unit_string(); u != "1") os << ' ' << u;
+        return os;
+    }
+
+private:
+    double value_{};
+};
+
+template <int Ma, int La, int Ta, int Ia, int Ka, int Na, int Mb, int Lb, int Tb, int Ib, int Kb,
+          int Nb>
+constexpr auto operator*(Quantity<Ma, La, Ta, Ia, Ka, Na> a, Quantity<Mb, Lb, Tb, Ib, Kb, Nb> b) {
+    return Quantity<Ma + Mb, La + Lb, Ta + Tb, Ia + Ib, Ka + Kb, Na + Nb>{a.value() * b.value()};
+}
+
+template <int Ma, int La, int Ta, int Ia, int Ka, int Na, int Mb, int Lb, int Tb, int Ib, int Kb,
+          int Nb>
+constexpr auto operator/(Quantity<Ma, La, Ta, Ia, Ka, Na> a, Quantity<Mb, Lb, Tb, Ib, Kb, Nb> b) {
+    return Quantity<Ma - Mb, La - Lb, Ta - Tb, Ia - Ib, Ka - Kb, Na - Nb>{a.value() / b.value()};
+}
+
+template <int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto operator/(double s, Quantity<M2, L2, T2, I2, K2, N2> q) {
+    return Quantity<-M2, -L2, -T2, -I2, -K2, -N2>{s / q.value()};
+}
+
+/// sqrt of a quantity; result dimension is half the operand's (always
+/// representable thanks to doubled exponent storage, as long as the operand
+/// has integer or half-integer dimensions).
+template <int M2, int L2, int T2, int I2, int K2, int N2>
+    requires(M2 % 2 == 0 && L2 % 2 == 0 && T2 % 2 == 0 && I2 % 2 == 0 && K2 % 2 == 0 && N2 % 2 == 0)
+auto sqrt(Quantity<M2, L2, T2, I2, K2, N2> q) {
+    return Quantity<M2 / 2, L2 / 2, T2 / 2, I2 / 2, K2 / 2, N2 / 2>{std::sqrt(q.value())};
+}
+
+/// Integral power with compile-time exponent: pow<3>(length) is a Volume.
+template <int P, int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto pow(Quantity<M2, L2, T2, I2, K2, N2> q) {
+    double v = 1.0;
+    for (int i = 0; i < (P >= 0 ? P : -P); ++i) v *= q.value();
+    if constexpr (P < 0) v = 1.0 / v;
+    return Quantity<M2 * P, L2 * P, T2 * P, I2 * P, K2 * P, N2 * P>{v};
+}
+
+template <int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto abs(Quantity<M2, L2, T2, I2, K2, N2> q) {
+    return Quantity<M2, L2, T2, I2, K2, N2>{q.value() < 0 ? -q.value() : q.value()};
+}
+
+template <int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto min(Quantity<M2, L2, T2, I2, K2, N2> a, Quantity<M2, L2, T2, I2, K2, N2> b) {
+    return a < b ? a : b;
+}
+
+template <int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto max(Quantity<M2, L2, T2, I2, K2, N2> a, Quantity<M2, L2, T2, I2, K2, N2> b) {
+    return a < b ? b : a;
+}
+
+// ---------------------------------------------------------------------------
+// Dimension aliases. Q<m,l,t,i,k,n> takes the *actual* SI exponents.
+// ---------------------------------------------------------------------------
+template <int M, int L, int T, int I = 0, int K = 0, int N = 0>
+using Q = Quantity<2 * M, 2 * L, 2 * T, 2 * I, 2 * K, 2 * N>;
+
+using Dimensionless = Q<0, 0, 0>;
+using Mass = Q<1, 0, 0>;
+using Length = Q<0, 1, 0>;
+using Time = Q<0, 0, 1>;
+using Current = Q<0, 0, 0, 1>;
+using Temperature = Q<0, 0, 0, 0, 1>;
+using AmountOfSubstance = Q<0, 0, 0, 0, 0, 1>;
+
+using Area = Q<0, 2, 0>;
+using Volume = Q<0, 3, 0>;
+using Velocity = Q<0, 1, -1>;
+using Acceleration = Q<0, 1, -2>;
+using Frequency = Q<0, 0, -1>;
+using AngularFrequency = Frequency;  ///< rad/s; radians are dimensionless
+using Force = Q<1, 1, -2>;
+using Stress = Q<1, -1, -2>;  ///< Pa
+using Pressure = Stress;
+using SurfaceStress = Q<1, 0, -2>;  ///< N/m (thin-film / adsorbate-induced)
+using Stiffness = Q<1, 0, -2>;      ///< N/m (spring constant; same dims as SurfaceStress)
+using Energy = Q<1, 2, -2>;
+using Power = Q<1, 2, -3>;
+using Charge = Q<0, 0, 1, 1>;
+using Voltage = Q<1, 2, -3, -1>;
+using Resistance = Q<1, 2, -3, -2>;
+using Conductance = Q<-1, -2, 3, 2>;
+using Capacitance = Q<-1, -2, 4, 2>;
+using Inductance = Q<1, 2, -2, -2>;
+using MagneticFluxDensity = Q<1, 0, -2, -1>;  ///< tesla
+using MassDensity = Q<1, -3, 0>;
+using DynamicViscosity = Q<1, -1, -1>;  ///< Pa*s
+using MolarConcentration = Q<0, -3, 0, 0, 0, 1>;
+using MolarMass = Q<1, 0, 0, 0, 0, -1>;
+using ArealNumberDensity = Q<0, -2, 0>;  ///< molecules per m^2 (count is dimensionless)
+using SurfaceMassDensity = Q<1, -2, 0>;
+using MassPerFrequency = Q<1, 0, 1>;           ///< kg/Hz (inverse mass responsivity)
+using FrequencyPerMass = Q<-1, 0, -1>;         ///< Hz/kg (mass responsivity)
+using LengthPerSurfaceStress = Q<-1, 1, 2>;    ///< m/(N/m) (Stoney responsivity)
+using InverseMolarTime = Q<0, 3, -1, 0, 0, -1>;  ///< 1/(M*s) ~ m^3/(mol*s) (k_on)
+using Compliance = Q<-1, 0, 2>;                ///< m/N
+
+/// Spectral densities (per sqrt(Hz)) — half-integer time exponents.
+using VoltageNoiseDensity = Quantity<2, 4, -5, -2, 0, 0>;  ///< V/sqrt(Hz)
+using ForceNoiseDensity = Quantity<2, 2, -3, 0, 0, 0>;     ///< N/sqrt(Hz)
+
+// ---------------------------------------------------------------------------
+// Literals. All produce coherent SI values.
+// ---------------------------------------------------------------------------
+namespace literals {
+
+#define CBS_LITERAL(suffix, type, factor)                                               \
+    constexpr type operator""_##suffix(long double v) {                                \
+        return type{static_cast<double>(v) * (factor)};                                \
+    }                                                                                  \
+    constexpr type operator""_##suffix(unsigned long long v) {                         \
+        return type{static_cast<double>(v) * (factor)};                                \
+    }
+
+CBS_LITERAL(kg, Mass, 1.0)
+CBS_LITERAL(g, Mass, 1e-3)
+CBS_LITERAL(mg, Mass, 1e-6)
+CBS_LITERAL(ug, Mass, 1e-9)
+CBS_LITERAL(ng, Mass, 1e-12)
+CBS_LITERAL(pg, Mass, 1e-15)
+CBS_LITERAL(fg, Mass, 1e-18)
+
+CBS_LITERAL(m, Length, 1.0)
+CBS_LITERAL(cm, Length, 1e-2)
+CBS_LITERAL(mm, Length, 1e-3)
+CBS_LITERAL(um, Length, 1e-6)
+CBS_LITERAL(nm, Length, 1e-9)
+
+CBS_LITERAL(s, Time, 1.0)
+CBS_LITERAL(ms, Time, 1e-3)
+CBS_LITERAL(us, Time, 1e-6)
+CBS_LITERAL(ns, Time, 1e-9)
+CBS_LITERAL(minute, Time, 60.0)
+CBS_LITERAL(hour, Time, 3600.0)
+
+CBS_LITERAL(Hz, Frequency, 1.0)
+CBS_LITERAL(kHz, Frequency, 1e3)
+CBS_LITERAL(MHz, Frequency, 1e6)
+
+CBS_LITERAL(N, Force, 1.0)
+CBS_LITERAL(mN, Force, 1e-3)
+CBS_LITERAL(uN, Force, 1e-6)
+CBS_LITERAL(nN, Force, 1e-9)
+CBS_LITERAL(pN, Force, 1e-12)
+
+CBS_LITERAL(Pa, Stress, 1.0)
+CBS_LITERAL(kPa, Stress, 1e3)
+CBS_LITERAL(MPa, Stress, 1e6)
+CBS_LITERAL(GPa, Stress, 1e9)
+
+CBS_LITERAL(N_per_m, SurfaceStress, 1.0)
+CBS_LITERAL(mN_per_m, SurfaceStress, 1e-3)
+
+CBS_LITERAL(J, Energy, 1.0)
+CBS_LITERAL(W, Power, 1.0)
+CBS_LITERAL(mW, Power, 1e-3)
+CBS_LITERAL(uW, Power, 1e-6)
+
+CBS_LITERAL(V, Voltage, 1.0)
+CBS_LITERAL(mV, Voltage, 1e-3)
+CBS_LITERAL(uV, Voltage, 1e-6)
+CBS_LITERAL(nV, Voltage, 1e-9)
+
+CBS_LITERAL(A, Current, 1.0)
+CBS_LITERAL(mA, Current, 1e-3)
+CBS_LITERAL(uA, Current, 1e-6)
+CBS_LITERAL(nA, Current, 1e-9)
+
+CBS_LITERAL(Ohm, Resistance, 1.0)
+CBS_LITERAL(kOhm, Resistance, 1e3)
+CBS_LITERAL(MOhm, Resistance, 1e6)
+
+CBS_LITERAL(F, Capacitance, 1.0)
+CBS_LITERAL(nF, Capacitance, 1e-9)
+CBS_LITERAL(pF, Capacitance, 1e-12)
+CBS_LITERAL(fF, Capacitance, 1e-15)
+
+CBS_LITERAL(T, MagneticFluxDensity, 1.0)
+CBS_LITERAL(mT, MagneticFluxDensity, 1e-3)
+
+CBS_LITERAL(K, Temperature, 1.0)
+CBS_LITERAL(mol, AmountOfSubstance, 1.0)
+
+// Molar concentration: 1 M = 1 mol/L = 1000 mol/m^3.
+CBS_LITERAL(Molar, MolarConcentration, 1e3)
+CBS_LITERAL(mM, MolarConcentration, 1.0)
+CBS_LITERAL(uM, MolarConcentration, 1e-3)
+CBS_LITERAL(nM, MolarConcentration, 1e-6)
+CBS_LITERAL(pM, MolarConcentration, 1e-9)
+CBS_LITERAL(fM, MolarConcentration, 1e-12)
+
+CBS_LITERAL(liter, Volume, 1e-3)
+CBS_LITERAL(uL, Volume, 1e-9)
+
+// Molar mass: 1 Da corresponds to 1 g/mol.
+CBS_LITERAL(Da, MolarMass, 1e-3)
+CBS_LITERAL(kDa, MolarMass, 1.0)
+
+#undef CBS_LITERAL
+
+}  // namespace literals
+
+}  // namespace cbs

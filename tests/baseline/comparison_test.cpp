@@ -1,0 +1,100 @@
+#include "baseline/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::baseline;
+using namespace cbs::literals;
+
+TEST(ExternalReadoutModel, FrontendBandwidthFromCable) {
+    const ExternalReadout ext(ExternalReadoutConfig{}, Rng(1));
+    // 10k bridge x 150 pF -> ~106 kHz.
+    EXPECT_NEAR(ext.frontend_bandwidth().value(), 106e3, 5e3);
+}
+
+TEST(ExternalReadoutModel, AmplifiesSignal) {
+    ExternalReadout ext(ExternalReadoutConfig{}, Rng(2));
+    double v = 0.0;
+    for (int i = 0; i < 100000; ++i) v = ext.process(10e-6);
+    // Gain 100 on 10 uV plus the (untrimmed) offset: response dominated by
+    // offset, so just check the output moved to the volts-of-offset scale.
+    EXPECT_GT(std::fabs(v), 1e-3);
+}
+
+TEST(CompareReadout, T1_IntegrationWinsSnr) {
+    Rng rng(42);
+    const auto rows = compare_readout_chains(Voltage{10e-6}, Time{1.0}, rng);
+    ASSERT_EQ(rows.size(), 2u);
+    const auto& mono = rows[0];
+    const auto& ext = rows[1];
+    // Both see the same 10 uV x100 = 1 mV signal.
+    EXPECT_NEAR(mono.signal_v, 1e-3, 0.2e-3);
+    EXPECT_NEAR(ext.signal_v, 1e-3, 0.2e-3);
+    // The paper's claim: integrated readout has markedly higher SNR...
+    EXPECT_GT(mono.snr_db, ext.snr_db + 10.0);
+    // ...and far lower sensitivity to external interference.
+    EXPECT_LT(mono.mains_v_rms, ext.mains_v_rms / 10.0);
+    // ...and the chopper also removes the amplifier offset.
+    EXPECT_LT(std::fabs(mono.offset_v), std::fabs(ext.offset_v) / 5.0);
+}
+
+TEST(CompareBridges, T2_MosWinsPowerAndResistance) {
+    const auto rows =
+        compare_bridges(1e-4, Frequency{318e3}, Frequency{1e3}, constants::T_room);
+    ASSERT_EQ(rows.size(), 2u);
+    const auto& diffused = rows[0];
+    const auto& mos = rows[1];
+    // Section 3.2: "higher resistivity and lower power consumption".
+    EXPECT_GT(mos.arm_resistance_ohm, 10.0 * diffused.arm_resistance_ohm);
+    EXPECT_LT(mos.power_w, diffused.power_w / 10.0);
+    // Same small-signal sensitivity at the same bias.
+    EXPECT_NEAR(mos.sensitivity_v, diffused.sensitivity_v, 1e-9);
+}
+
+TEST(CompareBridges, T2_MosUsableAtCarrierNotAtDc) {
+    const auto rows =
+        compare_bridges(1e-4, Frequency{318e3}, Frequency{1e3}, constants::T_room);
+    const auto& mos = rows[1];
+    // At the resonant carrier the 1/f corner doesn't matter; at DC it does.
+    EXPECT_GT(mos.snr_db_at_resonance, mos.snr_db_at_dc + 3.0);
+}
+
+TEST(CompareBridges, T2_DiffusedQuieterPerRootHz) {
+    const auto rows =
+        compare_bridges(1e-4, Frequency{318e3}, Frequency{1e3}, constants::T_room);
+    // The price of the high-R MOS bridge: higher thermal noise density.
+    EXPECT_LT(rows[0].thermal_noise_nv_rthz, rows[1].thermal_noise_nv_rthz);
+}
+
+TEST(CompareAssays, T3_CantileverFasterCheaperLabelFree) {
+    const FluorescenceAssay fluo(FluorescenceConfig{}, bio::library::igg_antigen(),
+                                 bio::library::antibody_layer());
+    const auto rows =
+        compare_assays(CantileverAssayEconomics{}, MolarConcentration{1e-6} /* 1 nM */, fluo);
+    ASSERT_EQ(rows.size(), 2u);
+    const auto& cant = rows[0];
+    const auto& f = rows[1];
+    EXPECT_TRUE(cant.label_free);
+    EXPECT_FALSE(f.label_free);
+    // Introduction's claims: faster, simpler, cheaper.
+    EXPECT_LT(cant.time_to_result_min, f.time_to_result_min / 2.0);
+    EXPECT_LT(cant.operator_steps, f.operator_steps);
+    EXPECT_LT(cant.cost_per_test_usd, f.cost_per_test_usd / 2.0);
+}
+
+TEST(CompareAssays, InputValidation) {
+    const FluorescenceAssay fluo(FluorescenceConfig{}, bio::library::igg_antigen(),
+                                 bio::library::antibody_layer());
+    EXPECT_THROW(
+        compare_assays(CantileverAssayEconomics{}, MolarConcentration{0.0}, fluo),
+        ContractViolation);
+    EXPECT_THROW(compare_bridges(0.0, Frequency{318e3}, Frequency{1e3}, constants::T_room),
+                 ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+#include "baseline/fluorescence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::baseline;
+using namespace cbs::literals;
+
+FluorescenceAssay make() {
+    return FluorescenceAssay(FluorescenceConfig{}, bio::library::igg_antigen(),
+                             bio::library::antibody_layer());
+}
+
+TEST(Fluorescence, TimeToResultAboutOneHundredMinutes) {
+    const auto a = make();
+    // 45 + 30 + 10 + 15 minutes.
+    EXPECT_NEAR(a.time_to_result().value() / 60.0, 100.0, 1.0);
+}
+
+TEST(Fluorescence, CostIncludesAmortizedInstrument) {
+    const auto a = make();
+    // 18 + 6 + 120000/50000 = 26.4 USD.
+    EXPECT_NEAR(a.cost_per_test_usd(), 26.4, 0.1);
+}
+
+TEST(Fluorescence, SnrGrowsWithConcentration) {
+    const auto a = make();
+    const auto lo = a.detect(0.01_nM);
+    const auto hi = a.detect(100.0_nM);
+    EXPECT_GT(hi.snr, 10.0 * lo.snr);
+}
+
+TEST(Fluorescence, SignalSaturatesAboveKd) {
+    const auto a = make();
+    const auto at_kd = a.detect(10.0_nM);
+    const auto high = a.detect(10.0_uM);
+    EXPECT_LT(high.signal_photons / at_kd.signal_photons, 2.1);
+}
+
+TEST(Fluorescence, NoiseModelCombinesShotAndBackgroundVariability) {
+    const auto a = make();
+    const auto r = a.detect(1.0_nM);
+    const double bg = a.config().background_photons;
+    const double bg_var = a.config().background_cv * bg;
+    EXPECT_NEAR(r.noise_photons, std::sqrt(r.signal_photons + bg + bg_var * bg_var), 1e-6);
+}
+
+TEST(Fluorescence, LodIsPicomolarScale) {
+    const auto a = make();
+    const double lod_nm = a.limit_of_detection().value() / 1e-6;
+    // Background-variability-limited scanner: low-picomolar, as real
+    // microarray immunoassays achieve.
+    EXPECT_LT(lod_nm, 0.1);
+    EXPECT_GT(lod_nm, 1e-4);
+}
+
+TEST(Fluorescence, SnrAtLodIsThree) {
+    const auto a = make();
+    const auto r = a.detect(a.limit_of_detection());
+    EXPECT_NEAR(r.snr, 3.0, 0.35);  // linearization tolerance
+}
+
+TEST(Fluorescence, InvalidConfigRejected) {
+    FluorescenceConfig bad;
+    bad.collection_efficiency = 0.0;
+    EXPECT_THROW(FluorescenceAssay(bad, bio::library::igg_antigen(),
+                                   bio::library::antibody_layer()),
+                 ContractViolation);
+}
+
+}  // namespace

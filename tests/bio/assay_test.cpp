@@ -1,0 +1,112 @@
+#include "bio/assay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::bio;
+using namespace cbs::literals;
+
+Coating igg_coating() { return antibody_coating(library::igg_antigen()); }
+const Area kArea = Area{150e-6 * 40e-6};  // resonant device plan area
+
+TEST(Coating, ActiveSitesScaledByEfficiency) {
+    const auto c = igg_coating();
+    EXPECT_NEAR(c.active_site_density().value(), 0.7e16, 1e13);
+}
+
+TEST(Coating, FullCoverageMassPicogramScale) {
+    const auto c = igg_coating();
+    // 0.7e16 sites/m^2 * 6e-9 m^2 * 150 kDa ~ 10.5 pg = 1.05e-14 kg.
+    const double m = c.bound_mass(1.0, kArea).value();
+    EXPECT_GT(m, 5e-15);
+    EXPECT_LT(m, 20e-15);
+}
+
+TEST(Coating, MassLinearInCoverage) {
+    const auto c = igg_coating();
+    EXPECT_NEAR(c.bound_mass(0.5, kArea).value(), 0.5 * c.bound_mass(1.0, kArea).value(),
+                1e-18);
+}
+
+TEST(Coating, StressLinearInCoverage) {
+    const auto c = igg_coating();
+    EXPECT_NEAR(c.surface_stress(0.4).value(), 0.4 * 5e-3, 1e-9);
+}
+
+TEST(Coating, ReferenceCoatingNearlyInert) {
+    const auto ref = reference_coating();
+    const auto act = igg_coating();
+    EXPECT_LT(ref.bound_mass(1.0, kArea).value(), 0.1 * act.bound_mass(1.0, kArea).value());
+    EXPECT_LT(ref.surface_stress(1.0).value(), 0.2 * act.surface_stress(1.0).value());
+}
+
+TEST(Protocol, StandardThreePhases) {
+    const auto p = AssayProtocol::standard(10.0_nM);
+    ASSERT_EQ(p.phases.size(), 3u);
+    EXPECT_EQ(p.phases[0].name, "baseline");
+    EXPECT_DOUBLE_EQ(p.phases[1].concentration.value(), (10.0_nM).value());
+    EXPECT_DOUBLE_EQ(p.total_duration().value(), 120.0 + 900.0 + 600.0);
+}
+
+TEST(Protocol, ValidationRejectsEmptyAndNegative) {
+    AssayProtocol p;
+    EXPECT_THROW(p.validate(), ContractViolation);
+    p.phases.push_back({"x", Time{-1.0}, 1.0_nM});
+    EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(AssayRunnerTest, SensorgramShape) {
+    const AssayRunner runner(igg_coating(), kArea);
+    const auto p = AssayProtocol::standard(100.0_nM, Time{60.0}, Time{600.0}, Time{600.0});
+    const auto gram = runner.run(p, Time{1.0});
+    ASSERT_EQ(gram.size(), 1261u);  // 1 + 1260 samples
+
+    // Baseline flat at zero.
+    EXPECT_DOUBLE_EQ(gram[30].coverage, 0.0);
+    // Association rises.
+    const double theta_mid = gram[400].coverage;
+    const double theta_end_assoc = gram[660].coverage;
+    EXPECT_GT(theta_mid, 0.1);
+    EXPECT_GT(theta_end_assoc, theta_mid);
+    // Dissociation falls but not to zero.
+    const double theta_final = gram.back().coverage;
+    EXPECT_LT(theta_final, theta_end_assoc);
+    EXPECT_GT(theta_final, 0.0);
+}
+
+TEST(AssayRunnerTest, SignalsTrackCoverage) {
+    const AssayRunner runner(igg_coating(), kArea);
+    const auto p = AssayProtocol::standard(100.0_nM, Time{10.0}, Time{300.0}, Time{10.0});
+    const auto gram = runner.run(p, Time{1.0});
+    for (std::size_t i = 50; i < gram.size(); i += 100) {
+        EXPECT_NEAR(gram[i].surface_stress_n_per_m, 5e-3 * gram[i].coverage, 1e-9);
+    }
+}
+
+TEST(AssayRunnerTest, FinalCoverageMatchesRunEndpoint) {
+    const AssayRunner runner(igg_coating(), kArea);
+    const auto p = AssayProtocol::standard(50.0_nM);
+    const auto gram = runner.run(p, Time{2.0});
+    EXPECT_NEAR(runner.final_coverage(p), gram.back().coverage, 1e-6);
+}
+
+TEST(AssayRunnerTest, HigherConcentrationMoreCoverage) {
+    const AssayRunner runner(igg_coating(), kArea);
+    const auto lo = runner.final_coverage(
+        AssayProtocol::standard(1.0_nM, Time{10.0}, Time{900.0}, Time{1.0}));
+    const auto hi = runner.final_coverage(
+        AssayProtocol::standard(100.0_nM, Time{10.0}, Time{900.0}, Time{1.0}));
+    EXPECT_GT(hi, 5.0 * lo);
+}
+
+TEST(AssayRunnerTest, DnaCoatingBindsDna) {
+    const AssayRunner runner(dna_coating(), kArea);
+    const auto p = AssayProtocol::standard(1.0_uM, Time{10.0}, Time{600.0}, Time{10.0});
+    EXPECT_GT(runner.final_coverage(p), 0.5);
+}
+
+}  // namespace

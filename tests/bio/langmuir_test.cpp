@@ -1,0 +1,99 @@
+#include "bio/langmuir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::bio;
+using namespace cbs::literals;
+
+const Analyte& igg() { return library::igg_antigen(); }
+
+TEST(Species, IggDissociationConstantTenNanomolar) {
+    EXPECT_NEAR(igg().dissociation_constant().value(), (10.0_nM).value(), 1e-8);
+}
+
+TEST(Species, MoleculeMassOfIgg) {
+    // 150 kDa = 150 kg/mol -> 150 / 6.022e23 kg ~ 2.49e-22 kg.
+    EXPECT_NEAR(igg().molecule_mass().value(), 150.0 / 6.02214076e23, 1e-25);
+}
+
+TEST(Species, ValidationCatchesBadSpecies) {
+    Analyte a = igg();
+    a.k_on = InverseMolarTime{0.0};
+    EXPECT_THROW(a.validate(), ContractViolation);
+}
+
+TEST(Langmuir, EquilibriumAtKdIsHalf) {
+    const LangmuirKinetics k(igg());
+    EXPECT_NEAR(k.equilibrium_coverage(10.0_nM), 0.5, 1e-9);
+}
+
+TEST(Langmuir, EquilibriumSaturatesAtHighConcentration) {
+    const LangmuirKinetics k(igg());
+    EXPECT_GT(k.equilibrium_coverage(10.0_uM), 0.999);
+    EXPECT_LT(k.equilibrium_coverage(1.0_pM), 1e-3);
+}
+
+TEST(Langmuir, EquilibriumMonotoneInConcentration) {
+    const LangmuirKinetics k(igg());
+    double prev = 0.0;
+    for (double c_nm : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+        const double eq = k.equilibrium_coverage(MolarConcentration{c_nm * 1e-6});
+        EXPECT_GT(eq, prev);
+        prev = eq;
+    }
+}
+
+TEST(Langmuir, ObservedRateIncreasesWithConcentration) {
+    const LangmuirKinetics k(igg());
+    // k_obs = k_on*C + k_off; at C = Kd, k_obs = 2 k_off.
+    EXPECT_NEAR(k.observed_rate(10.0_nM).value(), 2e-3, 1e-6);
+}
+
+TEST(Langmuir, CoverageApproachesEquilibriumExponentially) {
+    const LangmuirKinetics k(igg());
+    const auto c = 100.0_nM;
+    const double eq = k.equilibrium_coverage(c);
+    const double tau = 1.0 / k.observed_rate(c).value();
+    EXPECT_NEAR(k.coverage(c, Time{tau}), eq * (1.0 - std::exp(-1.0)), 1e-9);
+    EXPECT_NEAR(k.coverage(c, Time{20.0 * tau}), eq, 1e-6);
+}
+
+TEST(Langmuir, DissociationPureExponential) {
+    const LangmuirKinetics k(igg());
+    const double tau = 1.0 / igg().k_off.value();  // 1000 s
+    EXPECT_NEAR(k.dissociation(Time{tau}, 0.8), 0.8 * std::exp(-1.0), 1e-9);
+}
+
+TEST(Langmuir, StepMatchesAnalyticOverManySteps) {
+    const LangmuirKinetics k(igg());
+    const auto c = 50.0_nM;
+    double theta = 0.0;
+    for (int i = 0; i < 600; ++i) theta = k.step(theta, c, Time{1.0});
+    EXPECT_NEAR(theta, k.coverage(c, Time{600.0}), 1e-9);
+}
+
+TEST(Langmuir, TimeToEquilibriumShorterAtHigherConcentration) {
+    const LangmuirKinetics k(igg());
+    EXPECT_LT(k.time_to_equilibrium(1.0_uM).value(), k.time_to_equilibrium(1.0_nM).value());
+}
+
+TEST(Langmuir, LibrarySpeciesAllValid) {
+    for (const Analyte* a : {&library::igg_antigen(), &library::psa(), &library::crp(),
+                             &library::dna_20mer(), &library::bsa_nonspecific()}) {
+        EXPECT_NO_THROW(a->validate()) << a->name;
+    }
+}
+
+TEST(Langmuir, NonspecificBsaHasMillimolarScaleKd) {
+    // Weak binder: Kd = 5e-2 / 1 = 50 uM.
+    EXPECT_GT(library::bsa_nonspecific().dissociation_constant().value(), (1.0_uM).value());
+}
+
+}  // namespace

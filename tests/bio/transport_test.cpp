@@ -1,0 +1,89 @@
+#include "bio/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::bio;
+using namespace cbs::literals;
+
+TransportLimitedBinding make(Velocity km = Velocity{2e-6}) {
+    FlowCellConfig cell;
+    cell.transport_coefficient = km;
+    return TransportLimitedBinding(library::igg_antigen(), library::antibody_layer(), cell);
+}
+
+TEST(Transport, DamkoehlerOrderOfMagnitude) {
+    // k_on(SI)=100, Gamma_molar = 1e16/6.022e23 ~ 1.66e-8 mol/m^2,
+    // k_M = 2e-6 -> Da ~ 0.83.
+    EXPECT_NEAR(make().damkoehler(), 0.83, 0.05);
+}
+
+TEST(Transport, FastTransportRecoversLangmuir) {
+    const auto fast = make(Velocity{1.0});  // effectively infinite k_M
+    const LangmuirKinetics langmuir(library::igg_antigen());
+    const auto c = 100.0_nM;
+    const double theta_t = fast.integrate(c, Time{600.0}, 0.0, Time{1.0});
+    const double theta_l = langmuir.coverage(c, Time{600.0});
+    EXPECT_NEAR(theta_t, theta_l, 1e-4);
+}
+
+TEST(Transport, SlowTransportSlowsBinding) {
+    const auto slow = make(Velocity{1e-7});
+    const LangmuirKinetics langmuir(library::igg_antigen());
+    const auto c = 100.0_nM;
+    const double theta_t = slow.integrate(c, Time{300.0}, 0.0, Time{0.5});
+    const double theta_l = langmuir.coverage(c, Time{300.0});
+    EXPECT_LT(theta_t, 0.7 * theta_l);
+}
+
+TEST(Transport, InitialRateRatioMatchesDamkoehler) {
+    const auto m = make();
+    EXPECT_NEAR(m.initial_rate_ratio(), 1.0 / (1.0 + m.damkoehler()), 1e-12);
+}
+
+TEST(Transport, SurfaceConcentrationDepletedAtStart) {
+    const auto m = make(Velocity{1e-7});  // strongly transport limited
+    const auto cb = 100.0_nM;
+    const auto cs = m.surface_concentration(cb, 0.0);
+    EXPECT_LT(cs.value(), 0.1 * cb.value());
+}
+
+TEST(Transport, SurfaceConcentrationRecoversNearSaturation) {
+    const auto m = make(Velocity{1e-7});
+    const auto cb = 100.0_nM;
+    const auto cs = m.surface_concentration(cb, 0.999);
+    // Nearly no free sites -> no flux -> surface approaches bulk.
+    EXPECT_GT(cs.value(), 0.9 * cb.value());
+}
+
+TEST(Transport, EquilibriumUnchangedByTransport) {
+    // Transport changes the *rate*, not the thermodynamic endpoint.
+    const auto slow = make(Velocity{5e-7});
+    const LangmuirKinetics langmuir(library::igg_antigen());
+    const auto c = 50.0_nM;
+    const double eq_l = langmuir.equilibrium_coverage(c);
+    const double theta = slow.integrate(c, Time{40000.0}, 0.0, Time{5.0});
+    EXPECT_NEAR(theta, eq_l, 0.01);
+}
+
+TEST(Transport, RateZeroAtEquilibriumCoverage) {
+    const auto m = make();
+    const auto c = 50.0_nM;
+    const LangmuirKinetics langmuir(library::igg_antigen());
+    const double eq = langmuir.equilibrium_coverage(c);
+    EXPECT_NEAR(m.coverage_rate(c, eq).value(), 0.0, 1e-9);
+}
+
+TEST(Transport, InvalidConfigThrows) {
+    FlowCellConfig cell;
+    cell.transport_coefficient = Velocity{0.0};
+    EXPECT_THROW(
+        TransportLimitedBinding(library::igg_antigen(), library::antibody_layer(), cell),
+        ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "circ/amplifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/dft.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+AmplifierConfig ideal(double gain = 10.0) {
+    AmplifierConfig c;
+    c.gain = gain;
+    c.bandwidth = Frequency{1e6};
+    c.saturation = Voltage{2.5};
+    return c;
+}
+
+TEST(Amplifier, DcGain) {
+    BehavioralAmplifier amp(ideal(10.0), 10e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 200000; ++i) v = amp.process(0.01);
+    EXPECT_NEAR(v, 0.1, 1e-6);
+}
+
+TEST(Amplifier, SaturatesAtRails) {
+    BehavioralAmplifier amp(ideal(1000.0), 10e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 200000; ++i) v = amp.process(0.1);
+    EXPECT_NEAR(v, 2.5, 1e-9);
+}
+
+TEST(Amplifier, OffsetAmplified) {
+    auto c = ideal(100.0);
+    c.input_offset = Voltage{1e-3};
+    BehavioralAmplifier amp(c, 10e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 200000; ++i) v = amp.process(0.0);
+    EXPECT_NEAR(v, 0.1, 1e-4);
+    EXPECT_NEAR(amp.realized_offset().value(), 1e-3, 1e-12);
+}
+
+TEST(Amplifier, RandomOffsetReproducibleAndInRange) {
+    auto c = ideal();
+    c.offset_sigma = Voltage{2e-3};
+    BehavioralAmplifier a(c, 1e6, Rng(42));
+    BehavioralAmplifier b(c, 1e6, Rng(42));
+    EXPECT_DOUBLE_EQ(a.realized_offset().value(), b.realized_offset().value());
+    // 5-sigma bound.
+    EXPECT_LT(std::fabs(a.realized_offset().value()), 10e-3);
+}
+
+TEST(Amplifier, BandwidthLimitsStepResponse) {
+    auto c = ideal(1.0);
+    c.bandwidth = Frequency{1e3};
+    BehavioralAmplifier amp(c, 1e6, Rng(1));
+    // After one time constant (fs/(2 pi fc) samples) response ~63%.
+    const int tau_samples = static_cast<int>(1e6 / (2.0 * 3.14159265 * 1e3));
+    double v = 0.0;
+    for (int i = 0; i < tau_samples; ++i) v = amp.process(1.0);
+    EXPECT_NEAR(v, 0.63, 0.03);
+}
+
+TEST(Amplifier, SlewRateLimitsLargeStep) {
+    auto c = ideal(1.0);
+    c.slew_rate_v_per_s = 1e3;  // 1 mV/us
+    BehavioralAmplifier amp(c, 1e6, Rng(1));
+    amp.process(2.0);
+    const double v2 = amp.process(2.0);
+    // Two samples at 1 us each -> at most 2 mV.
+    EXPECT_LE(v2, 2.1e-3);
+}
+
+TEST(Amplifier, WhiteNoiseFloorMatchesConfig) {
+    auto c = ideal(1.0);
+    c.white_noise = VoltageNoiseDensity{100e-9};
+    c.bandwidth = Frequency{200e3};
+    const double fs = 1e6;
+    BehavioralAmplifier amp(c, fs, Rng(7));
+    std::vector<double> x(1 << 16);
+    for (auto& v : x) v = amp.process(0.0);
+    const auto psd = welch_psd(x, fs, 4096);
+    // In-band (well below the pole) output density = gain * en.
+    const double p = band_power(psd, 5e3, 20e3) / 15e3;
+    EXPECT_NEAR(std::sqrt(p), 100e-9, 20e-9);
+}
+
+TEST(Amplifier, FlickerRaisesLowFrequencyNoise) {
+    auto c = ideal(1.0);
+    c.white_noise = VoltageNoiseDensity{20e-9};
+    c.flicker_corner = Frequency{10e3};
+    const double fs = 1e6;
+    BehavioralAmplifier amp(c, fs, Rng(8));
+    std::vector<double> x(1 << 18);
+    for (auto& v : x) v = amp.process(0.0);
+    const auto psd = welch_psd(x, fs, 1 << 14);
+    const double p_low = band_power(psd, 50.0, 150.0) / 100.0;     // ~100 Hz
+    const double p_high = band_power(psd, 100e3, 150e3) / 50e3;    // >> corner
+    // At 100 Hz, 1/f density is (fc/f) = 100x the white power.
+    EXPECT_GT(p_low / p_high, 20.0);
+}
+
+TEST(Amplifier, FlickerWithoutWhiteRejected) {
+    auto c = ideal();
+    c.flicker_corner = Frequency{1e3};
+    c.white_noise = VoltageNoiseDensity{0.0};
+    EXPECT_THROW(BehavioralAmplifier(c, 1e6, Rng(1)), ContractViolation);
+}
+
+TEST(Amplifier, ResetClearsDynamics) {
+    BehavioralAmplifier amp(ideal(1.0), 1e6, Rng(1));
+    for (int i = 0; i < 1000; ++i) amp.process(1.0);
+    amp.reset();
+    // First sample after reset starts from zero state.
+    EXPECT_LT(amp.process(0.0), 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Parameterized bridge properties: for every gauge excitation and mismatch
+// pattern, the closed-form divider solution must agree with the MNA solver
+// exactly, and the physical invariants (monotonicity, ratiometric
+// temperature rejection, power scaling) must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circ/bridge.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+struct BridgeCase {
+    double delta;
+    std::array<double, 4> mismatch;
+};
+
+class BridgeProperties : public ::testing::TestWithParam<BridgeCase> {};
+
+TEST_P(BridgeProperties, ExactSolutionMatchesMna) {
+    const auto p = GetParam();
+    for (int variant = 0; variant < 2; ++variant) {
+        std::unique_ptr<WheatstoneBridge> bridge;
+        if (variant == 0) {
+            bridge = std::make_unique<DiffusedBridge>();
+        } else {
+            bridge = std::make_unique<MosBridge>();
+        }
+        bridge->set_mismatch(p.mismatch);
+        bridge->set_sense_delta(p.delta);
+        EXPECT_NEAR(bridge->output().value(), bridge->output_via_mna().value(), 1e-12)
+            << "variant " << variant;
+    }
+}
+
+TEST_P(BridgeProperties, TemperatureIsCommonMode) {
+    const auto p = GetParam();
+    DiffusedBridge bridge;
+    bridge.set_mismatch(p.mismatch);
+    bridge.set_sense_delta(p.delta);
+    const double v0 = bridge.output().value();
+    bridge.set_temperature_offset(Temperature{25.0});
+    // All arms share the TCR, so the ratiometric output is unchanged.
+    EXPECT_NEAR(bridge.output().value(), v0, 1e-12);
+    // But the absolute resistance and hence the power does change.
+    DiffusedBridge cold;
+    cold.set_mismatch(p.mismatch);
+    cold.set_sense_delta(p.delta);
+    EXPECT_NE(bridge.power().value(), cold.power().value());
+}
+
+TEST_P(BridgeProperties, PowerInverseInArmResistance) {
+    const auto p = GetParam();
+    DiffusedBridge::Config small;
+    small.arm = Resistance{5e3};
+    DiffusedBridge::Config big;
+    big.arm = Resistance{20e3};
+    DiffusedBridge b_small(small), b_big(big);
+    b_small.set_sense_delta(p.delta);
+    b_big.set_sense_delta(p.delta);
+    EXPECT_NEAR(b_small.power().value() / b_big.power().value(), 4.0, 0.01);
+}
+
+TEST_P(BridgeProperties, OutputMatchesDividerFormulaBothSigns) {
+    const auto p = GetParam();
+    if (p.delta <= 0.0 || p.delta >= 0.5) GTEST_SKIP();
+    DiffusedBridge bridge;  // no mismatch: pure gauge response
+    const double vb = bridge.bias().value();
+    bridge.set_sense_delta(p.delta);
+    EXPECT_NEAR(bridge.output().value(), vb * p.delta / (2.0 + p.delta), 1e-12);
+    bridge.set_sense_delta(-p.delta);
+    EXPECT_NEAR(bridge.output().value(), -vb * p.delta / (2.0 - p.delta), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExcitationSweep, BridgeProperties,
+    ::testing::Values(BridgeCase{0.0, {0, 0, 0, 0}},
+                      BridgeCase{1e-6, {0, 0, 0, 0}},
+                      BridgeCase{1e-3, {0.01, -0.02, 0.005, 0.015}},
+                      BridgeCase{0.05, {0.0, 0.002, -0.001, 0.0}},
+                      BridgeCase{0.3, {-0.05, 0.05, 0.05, -0.05}}),
+    [](const ::testing::TestParamInfo<BridgeCase>& info) {
+        return "delta" + std::to_string(static_cast<int>(info.param.delta * 1e6)) + "ppm_c" +
+               std::to_string(info.index);
+    });
+
+}  // namespace

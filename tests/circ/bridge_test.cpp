@@ -1,0 +1,122 @@
+#include "circ/bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+using namespace cbs::literals;
+
+TEST(Bridge, BalancedOutputIsZero) {
+    DiffusedBridge b;
+    EXPECT_DOUBLE_EQ(b.output().value(), 0.0);
+}
+
+TEST(Bridge, SmallDeltaGivesHalfBiasSensitivity) {
+    DiffusedBridge b;
+    const double delta = 1e-6;
+    b.set_sense_delta(delta);
+    // Vout = Vb * d / (2 + d) ~ Vb d / 2 = 2.5 uV.
+    EXPECT_NEAR(b.output().value(), 2.5e-6, 1e-9);
+    EXPECT_NEAR(b.sensitivity().value(), 2.5, 1e-12);
+}
+
+TEST(Bridge, ExactFormulaMatchesMna) {
+    DiffusedBridge b;
+    for (double delta : {0.0, 1e-6, 1e-3, 0.1}) {
+        b.set_sense_delta(delta);
+        EXPECT_NEAR(b.output().value(), b.output_via_mna().value(), 1e-12)
+            << "delta=" << delta;
+    }
+}
+
+TEST(Bridge, MnaMatchesWithMismatchToo) {
+    DiffusedBridge b;
+    b.set_mismatch({0.01, -0.02, 0.005, 0.015});
+    b.set_sense_delta(3e-4);
+    EXPECT_NEAR(b.output().value(), b.output_via_mna().value(), 1e-12);
+}
+
+TEST(Bridge, MismatchCreatesStaticOffset) {
+    DiffusedBridge b;
+    b.set_mismatch({0.01, 0.0, 0.0, 0.0});  // 1% on one arm
+    // Offset ~ Vb/4 * 1% = 12.5 mV: large vs uV signals, hence the
+    // programmable offset compensation of Figure 4.
+    EXPECT_NEAR(b.output().value(), -12.5e-3, 0.2e-3);
+}
+
+TEST(Bridge, CommonModeIsHalfBias) {
+    DiffusedBridge b;
+    EXPECT_NEAR(b.common_mode().value(), 2.5, 1e-9);
+}
+
+TEST(Bridge, UniformTemperatureDriftRejected) {
+    DiffusedBridge b;
+    b.set_sense_delta(1e-5);
+    const double v0 = b.output().value();
+    b.set_temperature_offset(Temperature{10.0});
+    // All four arms scale together: ratiometric output unchanged.
+    EXPECT_NEAR(b.output().value(), v0, 1e-12);
+}
+
+TEST(Bridge, PowerAndCurrent) {
+    DiffusedBridge b;  // 10k arms, 5 V
+    // Two 20k legs in parallel: I = 0.5 mA, P = 2.5 mW.
+    EXPECT_NEAR(b.supply_current().value(), 0.5e-3, 1e-8);
+    EXPECT_NEAR(b.power().value(), 2.5e-3, 1e-7);
+}
+
+TEST(Bridge, OutputResistanceEqualsArm) {
+    DiffusedBridge b;
+    EXPECT_NEAR(b.output_resistance().value(), 10e3, 1.0);
+}
+
+TEST(Bridge, ThermalNoiseDensity) {
+    DiffusedBridge b;
+    // sqrt(4kT * 10k) at 293 K ~ 12.7 nV/rtHz.
+    EXPECT_NEAR(b.thermal_noise_density(constants::T_room).value(), 12.7e-9, 0.3e-9);
+}
+
+TEST(MosBridgeTest, TriodeResistanceFromBeta) {
+    MosBridge::Config cfg;
+    cfg.beta_a_per_v2 = 1.6e-6;
+    cfg.overdrive = Voltage{1.0};
+    EXPECT_NEAR(MosBridge::triode_resistance_for(cfg).value(), 625e3, 1.0);
+}
+
+TEST(MosBridgeTest, HigherResistanceLowerPowerThanDiffused) {
+    DiffusedBridge d;
+    MosBridge m;
+    // Section 3.2's claim, quantified.
+    EXPECT_GT(m.nominal_arm().value(), 10.0 * d.nominal_arm().value());
+    EXPECT_LT(m.power().value(), d.power().value() / 10.0);
+}
+
+TEST(MosBridgeTest, HigherFlickerCornerThanDiffused) {
+    DiffusedBridge d;
+    MosBridge m;
+    // The price of the MOS bridge: 1/f corner ~100x higher, which is why
+    // Figure 5 has high-pass filters in the loop.
+    EXPECT_GT(m.flicker_corner().value(), 10.0 * d.flicker_corner().value());
+}
+
+TEST(MosBridgeTest, SameSensitivityLaw) {
+    MosBridge m;
+    m.set_sense_delta(1e-3);
+    EXPECT_NEAR(m.output().value(), 5.0 * 1e-3 / 2.001, 1e-9);  // Vb d/(2+d)
+}
+
+TEST(Bridge, InvalidInputsThrow) {
+    DiffusedBridge b;
+    EXPECT_THROW(b.set_sense_delta(-1.5), ContractViolation);
+    EXPECT_THROW(b.set_mismatch({-1.5, 0.0, 0.0, 0.0}), ContractViolation);
+    DiffusedBridge::Config bad;
+    bad.arm = Resistance{0.0};
+    EXPECT_THROW(DiffusedBridge{bad}, ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include "circ/chopper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/dft.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+ChopperConfig base_config() {
+    ChopperConfig c;
+    c.amplifier.gain = 100.0;
+    c.amplifier.bandwidth = Frequency{500e3};
+    c.amplifier.saturation = Voltage{2.5};
+    c.chop_frequency = Frequency{20e3};
+    c.output_cutoff = Frequency{1e3};
+    return c;
+}
+
+TEST(Chopper, AmplifiesDcSignal) {
+    auto cfg = base_config();
+    ChopperAmplifier amp(cfg, 1e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 100000; ++i) v = amp.process(10e-6);
+    EXPECT_NEAR(v, 1e-3, 5e-5);  // 10 uV * 100
+}
+
+TEST(Chopper, SuppressesAmplifierOffset) {
+    auto cfg = base_config();
+    cfg.amplifier.input_offset = Voltage{5e-3};  // 5 mV offset, huge vs signal
+    ChopperAmplifier amp(cfg, 1e6, Rng(1));
+    // Average the output (residual chopper ripple at 2*f_chop averages out).
+    double acc = 0.0;
+    int n = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const double v = amp.process(0.0);
+        if (i >= 100000) {
+            acc += v;
+            ++n;
+        }
+    }
+    const double mean_out = acc / n;
+    // Without chopping this would be 0.5 V; with chopping < 1 mV leaks.
+    EXPECT_LT(std::fabs(mean_out), 1e-3);
+}
+
+TEST(Chopper, DisabledAmplifierShowsOffset) {
+    auto cfg = base_config();
+    cfg.enabled = false;
+    cfg.amplifier.input_offset = Voltage{5e-3};
+    ChopperAmplifier amp(cfg, 1e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 200000; ++i) v = amp.process(0.0);
+    EXPECT_NEAR(v, 0.5, 0.01);
+}
+
+TEST(Chopper, SuppressesFlickerNoise) {
+    // Compare low-frequency output noise with chopper on vs off for the
+    // same flicker-heavy core amplifier.
+    auto make = [](bool enabled, int seed) {
+        auto cfg = base_config();
+        cfg.enabled = enabled;
+        cfg.amplifier.white_noise = VoltageNoiseDensity{20e-9};
+        cfg.amplifier.flicker_corner = Frequency{10e3};
+        return ChopperAmplifier(cfg, 1e6, Rng(seed));
+    };
+    const double fs = 1e6;
+    auto run = [&](ChopperAmplifier& amp) {
+        std::vector<double> x(1 << 18);
+        for (auto& v : x) v = amp.process(0.0);
+        const auto psd = welch_psd(x, fs, 1 << 14);
+        return band_power(psd, 2.0, 200.0);  // in the sensor band
+    };
+    auto on = make(true, 42);
+    auto off = make(false, 42);
+    const double p_on = run(on);
+    const double p_off = run(off);
+    // Chopping should reduce in-band noise power by at least 10x.
+    EXPECT_GT(p_off / p_on, 10.0);
+}
+
+TEST(Chopper, SlowSignalPassesUnattenuated) {
+    auto cfg = base_config();
+    ChopperAmplifier amp(cfg, 1e6, Rng(1));
+    // 100 Hz input well inside the 1 kHz output filter.
+    double peak = 0.0;
+    const double fs = 1e6;
+    for (int i = 0; i < 300000; ++i) {
+        const double t = i / fs;
+        const double out = amp.process(10e-6 * std::sin(2.0 * 3.14159265 * 100.0 * t));
+        if (i > 200000) peak = std::max(peak, std::fabs(out));
+    }
+    EXPECT_NEAR(peak, 1e-3, 1e-4);
+}
+
+TEST(Chopper, ConfigValidation) {
+    auto cfg = base_config();
+    cfg.chop_frequency = Frequency{300e3};  // fs/10 violated at fs=1e6
+    EXPECT_THROW(ChopperAmplifier(cfg, 1e6, Rng(1)), ContractViolation);
+
+    cfg = base_config();
+    cfg.output_cutoff = Frequency{15e3};  // not << f_chop
+    EXPECT_THROW(ChopperAmplifier(cfg, 1e6, Rng(1)), ContractViolation);
+
+    cfg = base_config();
+    cfg.amplifier.bandwidth = Frequency{10e3};  // cannot pass the carrier
+    EXPECT_THROW(ChopperAmplifier(cfg, 1e6, Rng(1)), ContractViolation);
+}
+
+TEST(Chopper, ResetRestartsCleanly) {
+    auto cfg = base_config();
+    ChopperAmplifier amp(cfg, 1e6, Rng(1));
+    for (int i = 0; i < 50000; ++i) amp.process(10e-6);
+    amp.reset();
+    EXPECT_NEAR(amp.process(0.0), 0.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Parameterized sweeps over biquad designs: the analytic z-domain magnitude
+// must match time-domain simulation, and each filter type must satisfy its
+// defining frequency-response properties at every corner/Q combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circ/filters.hpp"
+#include "circ/phase_shifter.hpp"
+#include "util/constants.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+struct BiquadCase {
+    Biquad::Type type;
+    double corner_hz;
+    double q;
+};
+
+constexpr double kFs = 1e6;
+
+class BiquadProperties : public ::testing::TestWithParam<BiquadCase> {};
+
+double simulated_gain(Block& b, double f, double fs) {
+    b.reset();
+    const int settle = static_cast<int>(30.0 * fs / f + 0.1 * fs);
+    // RMS over whole cycles (a sampled-peak detector underestimates the
+    // amplitude when few samples land per cycle).
+    const int cycles = 10;
+    const int measure = static_cast<int>(cycles * fs / f);
+    double acc = 0.0;
+    for (int i = 0; i < settle + measure; ++i) {
+        const double out = b.process(std::sin(2.0 * constants::pi * f * i / fs));
+        if (i >= settle) acc += out * out;
+    }
+    return std::sqrt(2.0 * acc / measure);
+}
+
+TEST_P(BiquadProperties, AnalyticMagnitudeMatchesSimulation) {
+    const auto p = GetParam();
+    Biquad f(p.type, Frequency{p.corner_hz}, p.q, kFs);
+    for (double probe : {p.corner_hz / 4.0, p.corner_hz, p.corner_hz * 4.0}) {
+        if (probe >= kFs / 2.5) continue;
+        const double analytic = f.magnitude(Frequency{probe}, kFs);
+        const double simulated = simulated_gain(f, probe, kFs);
+        EXPECT_NEAR(simulated, analytic, 0.03 * std::max(analytic, 0.05))
+            << "probe=" << probe;
+    }
+}
+
+TEST_P(BiquadProperties, TypeDefiningShape) {
+    const auto p = GetParam();
+    const Biquad f(p.type, Frequency{p.corner_hz}, p.q, kFs);
+    const double lo = f.magnitude(Frequency{p.corner_hz / 50.0}, kFs);
+    const double mid = f.magnitude(Frequency{p.corner_hz}, kFs);
+    const double hi = f.magnitude(Frequency{std::min(p.corner_hz * 50.0, kFs / 2.2)}, kFs);
+    switch (p.type) {
+        case Biquad::Type::lowpass:
+            EXPECT_NEAR(lo, 1.0, 0.01);
+            EXPECT_LT(hi, 0.05);
+            break;
+        case Biquad::Type::highpass:
+            EXPECT_LT(lo, 0.05);
+            EXPECT_NEAR(hi, 1.0, 0.05);
+            break;
+        case Biquad::Type::bandpass:
+            EXPECT_NEAR(mid, 1.0, 0.01);
+            EXPECT_LT(lo, 0.2);
+            EXPECT_LT(hi, 0.2);
+            break;
+    }
+}
+
+TEST_P(BiquadProperties, StableUnderImpulse) {
+    const auto p = GetParam();
+    Biquad f(p.type, Frequency{p.corner_hz}, p.q, kFs);
+    double out = f.process(1.0);
+    double peak = std::fabs(out);
+    for (int i = 0; i < 200000; ++i) {
+        out = f.process(0.0);
+        peak = std::max(peak, std::fabs(out));
+    }
+    EXPECT_LT(std::fabs(out), 1e-9);  // fully rung down
+    EXPECT_LT(peak, 2.0);             // no unstable growth
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSweep, BiquadProperties,
+    ::testing::Values(BiquadCase{Biquad::Type::lowpass, 1e3, 0.707},
+                      BiquadCase{Biquad::Type::lowpass, 50e3, 2.0},
+                      BiquadCase{Biquad::Type::highpass, 5e3, 0.707},
+                      BiquadCase{Biquad::Type::highpass, 20e3, 1.0},
+                      BiquadCase{Biquad::Type::bandpass, 10e3, 1.0},
+                      BiquadCase{Biquad::Type::bandpass, 100e3, 5.0}),
+    [](const ::testing::TestParamInfo<BiquadCase>& info) {
+        const auto& p = info.param;
+        const char* t = p.type == Biquad::Type::lowpass    ? "LP"
+                        : p.type == Biquad::Type::highpass ? "HP"
+                                                           : "BP";
+        return std::string(t) + "f" + std::to_string(static_cast<int>(p.corner_hz)) + "q" +
+               std::to_string(static_cast<int>(p.q * 10.0));
+    });
+
+// --- Phase shifter properties over center frequencies ---
+
+class PhaseShifterProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhaseShifterProperties, UnityGainAtCenter) {
+    const double fc = GetParam();
+    const PhaseShifter ps(Frequency{fc}, kFs);
+    EXPECT_NEAR(ps.magnitude(Frequency{fc}), 1.0, 1e-9);
+}
+
+TEST_P(PhaseShifterProperties, GainProportionalToFrequency) {
+    const double fc = GetParam();
+    const PhaseShifter ps(Frequency{fc}, kFs);
+    // Well below Nyquist the differentiator is linear in f; near Nyquist
+    // the sine warping makes the half-frequency gain land above 0.5, per
+    // the exact formula.
+    const double expected =
+        std::sin(constants::pi * fc / 2.0 / kFs) / std::sin(constants::pi * fc / kFs);
+    EXPECT_NEAR(ps.magnitude(Frequency{fc / 2.0}), expected, 1e-9);
+    if (fc < kFs / 8.0) EXPECT_NEAR(expected, 0.5, 0.02);
+}
+
+TEST_P(PhaseShifterProperties, OutputLeadsInputByNinetyDegrees) {
+    const double fc = GetParam();
+    PhaseShifter ps(Frequency{fc}, kFs);
+    // Drive with sin; a +90 degree shift makes the output track cos.
+    double err = 0.0;
+    int n = 0;
+    const int settle = 10;
+    const int total = static_cast<int>(20.0 * kFs / fc);
+    for (int i = 0; i < total; ++i) {
+        const double t = i / kFs;
+        const double out = ps.process(std::sin(2.0 * constants::pi * fc * t));
+        if (i >= settle) {
+            // Compare with cos at the half-sample-earlier time (the first
+            // difference is centred between samples).
+            const double expected =
+                std::cos(2.0 * constants::pi * fc * (t - 0.5 / kFs));
+            err += std::fabs(out - expected);
+            ++n;
+        }
+    }
+    EXPECT_LT(err / n, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(CenterSweep, PhaseShifterProperties,
+                         ::testing::Values(10e3, 50e3, 150e3, 240e3),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                             return "fc" + std::to_string(static_cast<int>(info.param));
+                         });
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "circ/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+using cbs::constants::pi;
+
+/// Measures steady-state gain of a block at frequency f. The settle window
+/// covers both 20 signal cycles and 50 ms of wall time so that slow filter
+/// poles (>= ~100 Hz) fully ring out before the peak detector arms.
+double measure_gain(Block& b, double f, double fs) {
+    b.reset();
+    const int settle = static_cast<int>(20.0 * fs / f + 0.05 * fs);
+    const int measure = static_cast<int>(10.0 * fs / f);
+    double peak = 0.0;
+    for (int i = 0; i < settle + measure; ++i) {
+        const double t = i / fs;
+        const double out = b.process(std::sin(2.0 * pi * f * t));
+        if (i >= settle) peak = std::max(peak, std::fabs(out));
+    }
+    return peak;
+}
+
+TEST(OnePoleLowPass, DcGainIsUnity) {
+    OnePoleLowPass lp(Frequency{1e3}, 1e6);
+    double v = 0.0;
+    for (int i = 0; i < 100000; ++i) v = lp.process(1.0);
+    EXPECT_NEAR(v, 1.0, 1e-6);
+}
+
+TEST(OnePoleLowPass, MinusThreeDbAtCutoff) {
+    OnePoleLowPass lp(Frequency{1e3}, 1e6);
+    const double g = measure_gain(lp, 1e3, 1e6);
+    EXPECT_NEAR(g, 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(OnePoleLowPass, RollsOffTwentyDbPerDecade) {
+    OnePoleLowPass lp(Frequency{100.0}, 1e6);
+    const double g1 = measure_gain(lp, 1e3, 1e6);
+    const double g2 = measure_gain(lp, 1e4, 1e6);
+    EXPECT_NEAR(g1 / g2, 10.0, 0.5);
+}
+
+TEST(OnePoleHighPass, BlocksDc) {
+    OnePoleHighPass hp(Frequency{1e3}, 1e6);
+    double v = 1.0;
+    for (int i = 0; i < 100000; ++i) v = hp.process(1.0);
+    EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+TEST(OnePoleHighPass, PassesHighFrequency) {
+    OnePoleHighPass hp(Frequency{10.0}, 1e6);
+    const double g = measure_gain(hp, 10e3, 1e6);
+    EXPECT_NEAR(g, 1.0, 0.01);
+}
+
+TEST(OnePoleHighPass, MinusThreeDbAtCutoff) {
+    OnePoleHighPass hp(Frequency{1e3}, 1e6);
+    const double g = measure_gain(hp, 1e3, 1e6);
+    EXPECT_NEAR(g, 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(BiquadFilter, LowpassMagnitudeAnalysisMatchesSimulation) {
+    Biquad f(Biquad::Type::lowpass, Frequency{5e3}, 0.707, 1e6);
+    for (double freq : {1e3, 5e3, 20e3}) {
+        const double simulated = measure_gain(f, freq, 1e6);
+        const double analytic = f.magnitude(Frequency{freq}, 1e6);
+        EXPECT_NEAR(simulated, analytic, 0.03) << "freq=" << freq;
+    }
+}
+
+TEST(BiquadFilter, ButterworthLowpassFortyDbPerDecade) {
+    Biquad f(Biquad::Type::lowpass, Frequency{100.0}, 0.707, 1e5);
+    const double g1 = f.magnitude(Frequency{1e3}, 1e5);
+    const double g2 = f.magnitude(Frequency{1e4}, 1e5);
+    EXPECT_NEAR(g1 / g2, 100.0, 10.0);
+}
+
+TEST(BiquadFilter, BandpassPeaksAtCenter) {
+    Biquad f(Biquad::Type::bandpass, Frequency{10e3}, 5.0, 1e6);
+    EXPECT_NEAR(f.magnitude(Frequency{10e3}, 1e6), 1.0, 0.01);
+    EXPECT_LT(f.magnitude(Frequency{2e3}, 1e6), 0.2);
+    EXPECT_LT(f.magnitude(Frequency{50e3}, 1e6), 0.2);
+}
+
+TEST(BiquadFilter, HighpassBlocksDcPassesHigh) {
+    Biquad f(Biquad::Type::highpass, Frequency{1e3}, 0.707, 1e6);
+    EXPECT_LT(f.magnitude(Frequency{10.0}, 1e6), 1e-3);
+    EXPECT_NEAR(f.magnitude(Frequency{100e3}, 1e6), 1.0, 0.01);
+}
+
+TEST(Filters, InvalidDesignRejected) {
+    EXPECT_THROW(OnePoleLowPass(Frequency{0.0}, 1e6), ContractViolation);
+    EXPECT_THROW(OnePoleLowPass(Frequency{6e5}, 1e6), ContractViolation);  // above Nyquist
+    EXPECT_THROW(Biquad(Biquad::Type::lowpass, Frequency{1e3}, 0.0, 1e6), ContractViolation);
+}
+
+TEST(Filters, ResetClearsState) {
+    OnePoleLowPass lp(Frequency{1e3}, 1e6);
+    for (int i = 0; i < 1000; ++i) lp.process(1.0);
+    lp.reset();
+    EXPECT_NEAR(lp.process(0.0), 0.0, 1e-12);
+}
+
+}  // namespace

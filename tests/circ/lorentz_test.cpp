@@ -1,0 +1,61 @@
+#include "circ/lorentz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+using namespace cbs::literals;
+
+TEST(Lorentz, ForcePerCurrentDefaultDevice) {
+    LorentzActuator act;
+    // 2 turns * 0.25 T * 40 um = 2e-5 N/A.
+    EXPECT_NEAR(act.force_per_current().value(), 2e-5, 1e-9);
+}
+
+TEST(Lorentz, TwentyNanonewtonsPerMilliamp) {
+    LorentzActuator act;
+    EXPECT_NEAR(act.force(1.0_mA).value(), 20e-9, 1e-12);
+}
+
+TEST(Lorentz, ForceLinearAndSigned) {
+    LorentzActuator act;
+    EXPECT_NEAR(act.force(Current{-2e-3}).value(), -40e-9, 1e-12);
+}
+
+TEST(Lorentz, CoilResistanceLowOhms) {
+    LorentzActuator act;
+    // 340um/4um = 85 squares * 0.04 Ohm/sq * 2 turns = 6.8 Ohm: the
+    // "low-resistance coil" the class-AB buffer must drive.
+    EXPECT_NEAR(act.coil_resistance().value(), 6.8, 0.01);
+}
+
+TEST(Lorentz, CoilPowerQuadratic) {
+    LorentzActuator act;
+    const double p1 = act.coil_power(1.0_mA).value();
+    const double p2 = act.coil_power(2.0_mA).value();
+    EXPECT_NEAR(p2 / p1, 4.0, 1e-9);
+}
+
+TEST(Lorentz, MoreTurnsMoreForceMoreResistance) {
+    LorentzCoilConfig cfg;
+    cfg.turns = 4;
+    LorentzActuator act4(cfg);
+    LorentzActuator act2;
+    EXPECT_NEAR(act4.force_per_current().value() / act2.force_per_current().value(), 2.0, 1e-9);
+    EXPECT_NEAR(act4.coil_resistance().value() / act2.coil_resistance().value(), 2.0, 1e-9);
+}
+
+TEST(Lorentz, InvalidConfigThrows) {
+    LorentzCoilConfig cfg;
+    cfg.turns = 0;
+    EXPECT_THROW(LorentzActuator{cfg}, ContractViolation);
+    cfg = {};
+    cfg.field = MagneticFluxDensity{0.0};
+    EXPECT_THROW(LorentzActuator{cfg}, ContractViolation);
+}
+
+}  // namespace

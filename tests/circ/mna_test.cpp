@@ -1,0 +1,129 @@
+#include "circ/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+using namespace cbs::literals;
+
+TEST(Mna, VoltageDivider) {
+    Netlist net;
+    const auto top = net.add_node();
+    const auto mid = net.add_node();
+    net.add_voltage_source(top, 0, 10.0_V);
+    net.add_resistor(top, mid, 1.0_kOhm);
+    net.add_resistor(mid, 0, 3.0_kOhm);
+    const auto sol = net.solve();
+    EXPECT_NEAR(sol.voltage(mid).value(), 7.5, 1e-9);
+    EXPECT_NEAR(sol.voltage(top).value(), 10.0, 1e-9);
+}
+
+TEST(Mna, SourceCurrentSignConvention) {
+    Netlist net;
+    const auto top = net.add_node();
+    net.add_voltage_source(top, 0, 1.0_V);
+    net.add_resistor(top, 0, 1.0_kOhm);
+    const auto sol = net.solve();
+    // Source delivers 1 mA out of its + terminal.
+    EXPECT_NEAR(sol.source_currents[0], 1e-3, 1e-9);
+}
+
+TEST(Mna, CurrentSourceIntoResistor) {
+    Netlist net;
+    const auto n = net.add_node();
+    net.add_current_source(0, n, Current{2e-3});
+    net.add_resistor(n, 0, 2.0_kOhm);
+    const auto sol = net.solve();
+    EXPECT_NEAR(sol.voltage(n).value(), 4.0, 1e-9);
+}
+
+TEST(Mna, ParallelResistors) {
+    Netlist net;
+    const auto n = net.add_node();
+    net.add_current_source(0, n, Current{1e-3});
+    net.add_resistor(n, 0, 1.0_kOhm);
+    net.add_resistor(n, 0, 1.0_kOhm);
+    const auto sol = net.solve();
+    EXPECT_NEAR(sol.voltage(n).value(), 0.5, 1e-9);
+}
+
+TEST(Mna, BridgeBalanced) {
+    Netlist net;
+    const auto top = net.add_node();
+    const auto a = net.add_node();
+    const auto b = net.add_node();
+    net.add_voltage_source(top, 0, 5.0_V);
+    net.add_resistor(top, a, 10.0_kOhm);
+    net.add_resistor(a, 0, 10.0_kOhm);
+    net.add_resistor(top, b, 10.0_kOhm);
+    net.add_resistor(b, 0, 10.0_kOhm);
+    const auto sol = net.solve();
+    EXPECT_NEAR(sol.across(a, b).value(), 0.0, 1e-12);
+    EXPECT_NEAR(sol.voltage(a).value(), 2.5, 1e-9);
+}
+
+TEST(Mna, TwoVoltageSources) {
+    Netlist net;
+    const auto n1 = net.add_node();
+    const auto n2 = net.add_node();
+    net.add_voltage_source(n1, 0, 5.0_V);
+    net.add_voltage_source(n2, 0, 3.0_V);
+    net.add_resistor(n1, n2, 1.0_kOhm);
+    const auto sol = net.solve();
+    EXPECT_NEAR(sol.voltage(n1).value(), 5.0, 1e-9);
+    EXPECT_NEAR(sol.voltage(n2).value(), 3.0, 1e-9);
+    // 2 mA flows from n1 to n2.
+    EXPECT_NEAR(sol.source_currents[0], 2e-3, 1e-9);
+    EXPECT_NEAR(sol.source_currents[1], -2e-3, 1e-9);
+}
+
+TEST(Mna, FloatingNodeIsSingular) {
+    Netlist net;
+    const auto n1 = net.add_node();
+    const auto orphan = net.add_node();
+    net.add_voltage_source(n1, 0, 1.0_V);
+    net.add_resistor(n1, 0, 1.0_kOhm);
+    (void)orphan;  // no connections
+    EXPECT_THROW((void)net.solve(), ContractViolation);
+}
+
+TEST(Mna, ResistorPowerMatchesOhmsLaw) {
+    Netlist net;
+    const auto top = net.add_node();
+    net.add_voltage_source(top, 0, 2.0_V);
+    net.add_resistor(top, 0, 1.0_kOhm);
+    const auto sol = net.solve();
+    EXPECT_NEAR(net.resistor_power(sol).value(), 4e-3, 1e-9);
+}
+
+TEST(Mna, RejectsInvalidElements) {
+    Netlist net;
+    const auto n = net.add_node();
+    EXPECT_THROW(net.add_resistor(n, n, 1.0_kOhm), ContractViolation);
+    EXPECT_THROW(net.add_resistor(n, 0, Resistance{0.0}), ContractViolation);
+    EXPECT_THROW(net.add_resistor(n, 99, 1.0_kOhm), ContractViolation);
+}
+
+TEST(Mna, LadderNetwork) {
+    // 3-section R-2R ladder driven by 8 V: classic halving node voltages.
+    Netlist net;
+    const auto in = net.add_node();
+    const auto n1 = net.add_node();
+    const auto n2 = net.add_node();
+    net.add_voltage_source(in, 0, 8.0_V);
+    net.add_resistor(in, n1, 1.0_kOhm);
+    net.add_resistor(n1, 0, 2.0_kOhm);
+    net.add_resistor(n1, n2, 1.0_kOhm);
+    net.add_resistor(n2, 0, 2.0_kOhm);
+    const auto sol = net.solve();
+    // Analytic: n1 = 8 * ( (2k||3k) / (1k + 2k||3k) ) = 8 * 1.2/2.2 = 4.3636
+    EXPECT_NEAR(sol.voltage(n1).value(), 4.3636, 1e-3);
+    // n2 = n1 * 2/3.
+    EXPECT_NEAR(sol.voltage(n2).value(), 4.3636 * 2.0 / 3.0, 1e-3);
+}
+
+}  // namespace

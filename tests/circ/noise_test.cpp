@@ -1,0 +1,119 @@
+#include "circ/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/dft.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+TEST(WhiteNoiseBlock, SigmaMatchesDensityTimesNyquist) {
+    const double fs = 1e6;
+    WhiteNoise n(VoltageNoiseDensity{10e-9}, fs, Rng(1));
+    EXPECT_NEAR(n.sigma_per_sample(), 10e-9 * std::sqrt(fs / 2.0), 1e-12);
+}
+
+TEST(WhiteNoiseBlock, MeasuredPsdMatchesDensity) {
+    const double fs = 100e3;
+    const double en = 50e-9;
+    WhiteNoise n(VoltageNoiseDensity{en}, fs, Rng(2));
+    std::vector<double> x(1 << 16);
+    for (auto& v : x) v = n.process(0.0);
+    const auto psd = welch_psd(x, fs, 4096);
+    // Average density across mid-band.
+    const double p = band_power(psd, 10e3, 30e3) / 20e3;
+    EXPECT_NEAR(std::sqrt(p), en, 0.1 * en);
+}
+
+TEST(WhiteNoiseBlock, PassesSignalThrough) {
+    WhiteNoise n(VoltageNoiseDensity{0.0}, 1e6, Rng(3));
+    EXPECT_DOUBLE_EQ(n.process(1.25), 1.25);
+}
+
+TEST(FlickerNoiseBlock, PsdSlopeIsMinusOne) {
+    const double fs = 100e3;
+    FlickerNoise n(1e-12, fs, Rng(5), 0.1);
+    std::vector<double> x(1 << 18);
+    for (auto& v : x) v = n.process(0.0);
+    const auto psd = welch_psd(x, fs, 1 << 14);
+    // Compare density in two decades: 10 Hz and 1000 Hz bands.
+    const double p10 = band_power(psd, 8.0, 12.0) / 4.0;
+    const double p1000 = band_power(psd, 800.0, 1200.0) / 400.0;
+    const double slope = std::log10(p1000 / p10) / std::log10(100.0);
+    EXPECT_NEAR(slope, -1.0, 0.15);
+}
+
+TEST(FlickerNoiseBlock, MagnitudeNearKOverF) {
+    const double fs = 100e3;
+    const double k = 4e-12;  // V^2
+    FlickerNoise n(k, fs, Rng(6), 0.1);
+    std::vector<double> x(1 << 18);
+    for (auto& v : x) v = n.process(0.0);
+    const auto psd = welch_psd(x, fs, 1 << 14);
+    const double f_test = 100.0;
+    const double measured = band_power(psd, 80.0, 120.0) / 40.0;
+    EXPECT_NEAR(measured / (k / f_test), 1.0, 0.4);
+}
+
+TEST(FlickerNoiseBlock, StagesCoverOctaves) {
+    FlickerNoise n(1e-12, 1e6, Rng(7), 0.05);
+    // 0.05 Hz to 125 kHz: ~21 octaves.
+    EXPECT_GE(n.stages(), 18u);
+    EXPECT_LE(n.stages(), 24u);
+}
+
+TEST(FlickerNoiseBlock, ZeroCoefficientIsTransparent) {
+    FlickerNoise n(0.0, 1e6, Rng(8));
+    EXPECT_DOUBLE_EQ(n.process(0.75), 0.75);
+}
+
+TEST(InterferenceBlock, MainsToneAtConfiguredFrequency) {
+    const double fs = 10e3;
+    InterferencePickup::Config cfg;
+    cfg.mains_frequency_hz = 50.0;
+    cfg.mains_amplitude_v = 1e-3;
+    cfg.harmonics = 0;
+    InterferencePickup p(cfg, fs, Rng(9));
+    std::vector<double> x(1 << 15);
+    for (auto& v : x) v = p.process(0.0);
+    const auto psd = welch_psd(x, fs, 1 << 13);
+    std::size_t imax = 1;
+    for (std::size_t i = 1; i < psd.power.size(); ++i) {
+        if (psd.power[i] > psd.power[imax]) imax = i;
+    }
+    EXPECT_NEAR(psd.frequency[imax], 50.0, fs / (1 << 13));
+    // Tone rms power ~ A^2/2.
+    EXPECT_NEAR(band_power(psd, 45.0, 55.0), 0.5e-6, 0.1e-6);
+}
+
+TEST(InterferenceBlock, HarmonicsDecayGeometrically) {
+    const double fs = 10e3;
+    InterferencePickup::Config cfg;
+    cfg.mains_amplitude_v = 1e-3;
+    cfg.harmonic_ratio = 0.3;
+    cfg.harmonics = 2;
+    InterferencePickup p(cfg, fs, Rng(10));
+    std::vector<double> x(1 << 15);
+    for (auto& v : x) v = p.process(0.0);
+    const auto psd = welch_psd(x, fs, 1 << 13);
+    const double p50 = band_power(psd, 45.0, 55.0);
+    const double p100 = band_power(psd, 95.0, 105.0);
+    EXPECT_NEAR(p100 / p50, 0.09, 0.02);  // amplitude ratio 0.3 -> power 0.09
+}
+
+TEST(InterferenceBlock, RfFloorAddsBroadbandNoise) {
+    InterferencePickup::Config cfg;
+    cfg.rf_floor_v = 1e-4;
+    InterferencePickup p(cfg, 1e4, Rng(11));
+    std::vector<double> x(20000);
+    for (auto& v : x) v = p.process(0.0);
+    EXPECT_NEAR(cbs::stats::stddev(x), 1e-4, 1e-5);
+}
+
+}  // namespace

@@ -1,0 +1,281 @@
+// Tests for the smaller chain stages: offset compensation DAC, PGA, DDA,
+// VGA, limiter, class-AB buffer, mux and ADC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circ/adc.hpp"
+#include "circ/classab.hpp"
+#include "circ/dda.hpp"
+#include "circ/limiter.hpp"
+#include "circ/mux.hpp"
+#include "circ/offset_comp.hpp"
+#include "circ/pga.hpp"
+#include "circ/vga.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+using namespace cbs::literals;
+
+// ---- OffsetCompensator ----
+
+TEST(OffsetComp, CalibrationLeavesSubLsbResidual) {
+    OffsetCompensator oc(Voltage{0.25}, 8);
+    const auto residual = oc.calibrate(Voltage{37.3e-3});
+    EXPECT_LE(std::fabs(residual.value()), oc.dac_step().value() / 2.0 + 1e-12);
+    EXPECT_NEAR(oc.process(37.3e-3), residual.value(), 1e-12);
+}
+
+TEST(OffsetComp, ClampsOutOfRangeOffset) {
+    OffsetCompensator oc(Voltage{0.1}, 8);
+    const auto residual = oc.calibrate(Voltage{0.5});
+    // Best it can do is the full range.
+    EXPECT_NEAR(residual.value(), 0.5 - 0.1 + oc.dac_step().value(), 2e-3);
+}
+
+TEST(OffsetComp, CodeRangeEnforced) {
+    OffsetCompensator oc(Voltage{0.1}, 8);
+    EXPECT_NO_THROW(oc.set_code(127));
+    EXPECT_NO_THROW(oc.set_code(-128));
+    EXPECT_THROW(oc.set_code(128), ContractViolation);
+}
+
+TEST(OffsetComp, MoreBitsSmallerStep) {
+    OffsetCompensator a(Voltage{0.1}, 8), b(Voltage{0.1}, 12);
+    EXPECT_NEAR(a.dac_step().value() / b.dac_step().value(), 16.0, 1e-9);
+}
+
+// ---- ProgrammableGainStage ----
+
+TEST(Pga, GainSettings) {
+    ProgrammableGainStage pga;
+    pga.set_setting(3);
+    EXPECT_DOUBLE_EQ(pga.gain(), 10.0);
+    EXPECT_DOUBLE_EQ(pga.process(0.01), 0.1);
+}
+
+TEST(Pga, Saturates) {
+    ProgrammableGainStage pga(Voltage{2.5});
+    pga.set_setting(6);  // x100
+    EXPECT_DOUBLE_EQ(pga.process(1.0), 2.5);
+    EXPECT_DOUBLE_EQ(pga.process(-1.0), -2.5);
+}
+
+TEST(Pga, BestSettingAvoidsClipping) {
+    ProgrammableGainStage pga(Voltage{2.5});
+    // 30 mV max input: x50 -> 1.5 V ok; x100 -> 3 V clips.
+    EXPECT_EQ(pga.best_setting_for(Voltage{30e-3}), 5u);
+    EXPECT_DOUBLE_EQ(ProgrammableGainStage::gain_settings[5], 50.0);
+}
+
+TEST(Pga, InvalidSettingThrows) {
+    ProgrammableGainStage pga;
+    EXPECT_THROW(pga.set_setting(7), ContractViolation);
+}
+
+// ---- DDA ----
+
+TEST(Dda, DifferentialGain) {
+    DdaConfig cfg;
+    cfg.amplifier.gain = 20.0;
+    cfg.amplifier.bandwidth = Frequency{2e6};
+    DifferentialDifferenceAmplifier dda(cfg, 20e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 400000; ++i) v = dda.process_pair(1e-3, 0.0);
+    EXPECT_NEAR(v, 20e-3, 1e-4);
+}
+
+TEST(Dda, CommonModeRejected) {
+    DdaConfig cfg;
+    cfg.amplifier.gain = 20.0;
+    cfg.amplifier.bandwidth = Frequency{2e6};
+    cfg.cmrr_db = 80.0;
+    DifferentialDifferenceAmplifier dda(cfg, 20e6, Rng(1));
+    double v = 0.0;
+    for (int i = 0; i < 400000; ++i) v = dda.process_pair(0.0, 1.0);  // 1 V CM
+    // CM gain = 20 / 10^4 = 2e-3.
+    EXPECT_NEAR(v, 2e-3, 2e-4);
+    EXPECT_NEAR(dda.common_mode_gain(), 2e-3, 1e-6);
+}
+
+// ---- VGA ----
+
+TEST(Vga, ControlMapsDbLinearly) {
+    VariableGainAmplifier vga(0.0, 40.0);
+    vga.set_control(0.0);
+    EXPECT_NEAR(vga.gain_linear(), 1.0, 1e-9);
+    vga.set_control(0.5);
+    EXPECT_NEAR(vga.gain_db(), 20.0, 1e-9);
+    EXPECT_NEAR(vga.gain_linear(), 10.0, 1e-9);
+    vga.set_control(1.0);
+    EXPECT_NEAR(vga.gain_linear(), 100.0, 1e-9);
+}
+
+TEST(Vga, ControlForGainRoundTrips) {
+    VariableGainAmplifier vga(-10.0, 30.0);
+    const double c = vga.control_for_gain(5.0);
+    vga.set_control(c);
+    EXPECT_NEAR(vga.gain_linear(), 5.0, 1e-9);
+}
+
+TEST(Vga, ControlForGainClamps) {
+    VariableGainAmplifier vga(0.0, 20.0);
+    EXPECT_DOUBLE_EQ(vga.control_for_gain(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(vga.control_for_gain(0.01), 0.0);
+}
+
+TEST(Vga, OutOfRangeControlThrows) {
+    VariableGainAmplifier vga(0.0, 20.0);
+    EXPECT_THROW(vga.set_control(1.5), ContractViolation);
+}
+
+// ---- NonlinearLimiter ----
+
+TEST(Limiter, LinearForSmallSignals) {
+    NonlinearLimiter lim(10.0, Voltage{1.0});
+    EXPECT_NEAR(lim.process(1e-4), 1e-3, 1e-8);
+}
+
+TEST(Limiter, ClampsAtLimitLevel) {
+    NonlinearLimiter lim(10.0, Voltage{1.0});
+    EXPECT_NEAR(lim.process(100.0), 1.0, 1e-9);
+    EXPECT_NEAR(lim.process(-100.0), -1.0, 1e-9);
+}
+
+TEST(Limiter, DescribingGainFallsMonotonically) {
+    NonlinearLimiter lim(10.0, Voltage{1.0});
+    const double g0 = lim.describing_gain(0.0);
+    const double g1 = lim.describing_gain(0.1);
+    const double g2 = lim.describing_gain(1.0);
+    EXPECT_NEAR(g0, 10.0, 1e-9);
+    EXPECT_GT(g0, g1);
+    EXPECT_GT(g1, g2);
+}
+
+TEST(Limiter, DescribingGainLargeAmplitudeAsymptote) {
+    NonlinearLimiter lim(10.0, Voltage{1.0});
+    // Hard limiter: N(A) -> 4*limit/(pi*A).
+    const double a = 50.0;
+    EXPECT_NEAR(lim.describing_gain(a), 4.0 / (3.14159265 * a), 0.01 / a);
+}
+
+// ---- ClassAbBuffer ----
+
+TEST(ClassAb, DrivesLoadThroughOutputResistance) {
+    ClassAbConfig cfg;
+    cfg.output_resistance = Resistance{5.0};
+    cfg.crossover_deadband = Voltage{0.0};
+    ClassAbBuffer buf(cfg, Resistance{6.8});
+    const double v_load = buf.process(1.18);
+    // i = 1.18 / 11.8 = 100 mA -> clipped to 10 mA -> v = 68 mV.
+    EXPECT_NEAR(buf.load_current().value(), 10e-3, 1e-9);
+    EXPECT_NEAR(v_load, 68e-3, 1e-6);
+}
+
+TEST(ClassAb, SmallSignalDivider) {
+    ClassAbConfig cfg;
+    cfg.output_resistance = Resistance{5.0};
+    cfg.crossover_deadband = Voltage{0.0};
+    ClassAbBuffer buf(cfg, Resistance{5.0});
+    EXPECT_NEAR(buf.process(0.02), 0.01, 1e-9);
+}
+
+TEST(ClassAb, CrossoverDeadband) {
+    ClassAbConfig cfg;
+    cfg.crossover_deadband = Voltage{1e-3};
+    ClassAbBuffer buf(cfg, Resistance{10.0});
+    EXPECT_DOUBLE_EQ(buf.process(0.5e-3), 0.0);
+    EXPECT_GT(buf.process(2e-3), 0.0);
+}
+
+TEST(ClassAb, SupplyPowerTracksCurrent) {
+    ClassAbConfig cfg;
+    cfg.crossover_deadband = Voltage{0.0};
+    ClassAbBuffer buf(cfg, Resistance{10.0});
+    buf.process(0.15);  // 10 mA limit region
+    EXPECT_GT(buf.supply_power().value(), 2.5 * 10e-3 * 0.9);
+}
+
+// ---- AnalogMux ----
+
+TEST(Mux, SelectsChannelAfterSettling) {
+    MuxConfig cfg;
+    cfg.charge_injection = Voltage{0.0};
+    cfg.crosstalk = 0.0;
+    AnalogMux mux(cfg, 1e6);
+    std::vector<double> in{0.1, 0.2, 0.3, 0.4};
+    mux.select(2);
+    double v = 0.0;
+    for (int i = 0; i < 1000; ++i) v = mux.process(in);
+    EXPECT_NEAR(v, 0.3, 1e-6);
+}
+
+TEST(Mux, CrosstalkCouplesOtherChannels) {
+    MuxConfig cfg;
+    cfg.charge_injection = Voltage{0.0};
+    cfg.crosstalk = 1e-3;
+    AnalogMux mux(cfg, 1e6);
+    std::vector<double> in{0.0, 1.0, 1.0, 1.0};
+    mux.select(0);
+    double v = 0.0;
+    for (int i = 0; i < 1000; ++i) v = mux.process(in);
+    EXPECT_NEAR(v, 3e-3, 1e-5);
+}
+
+TEST(Mux, ChargeInjectionGlitchDecays) {
+    MuxConfig cfg;
+    cfg.charge_injection = Voltage{1e-3};
+    cfg.crosstalk = 0.0;
+    AnalogMux mux(cfg, 1e6);
+    std::vector<double> in{0.0, 0.0, 0.0, 0.0};
+    for (int i = 0; i < 100; ++i) mux.process(in);
+    mux.select(1);
+    const double glitched = mux.process(in);
+    EXPECT_NEAR(glitched, 1e-3, 1e-5);
+    for (int i = 0; i < 20; ++i) mux.process(in);
+    EXPECT_NEAR(mux.process(in), 0.0, 1e-6);
+}
+
+TEST(Mux, InvalidChannelThrows) {
+    AnalogMux mux(MuxConfig{}, 1e6);
+    EXPECT_THROW(mux.select(4), ContractViolation);
+}
+
+TEST(Mux, WrongInputCountThrows) {
+    AnalogMux mux(MuxConfig{}, 1e6);
+    std::vector<double> in{0.0, 0.0};
+    EXPECT_THROW(mux.process(in), ContractViolation);
+}
+
+// ---- SarAdc ----
+
+TEST(Adc, QuantizesToLsb) {
+    SarAdc adc(12, Voltage{2.5});
+    const double lsb = adc.lsb().value();
+    EXPECT_NEAR(lsb, 5.0 / 4096.0, 1e-9);
+    EXPECT_NEAR(adc.quantize(1.0), 1.0, lsb / 2.0 + 1e-12);
+}
+
+TEST(Adc, ClampsOutOfRange) {
+    SarAdc adc(12, Voltage{2.5});
+    EXPECT_LE(adc.convert(10.0), 2047);
+    EXPECT_GE(adc.convert(-10.0), -2048);
+}
+
+TEST(Adc, RoundTripCode) {
+    SarAdc adc(10, Voltage{1.0});
+    for (std::int32_t code : {-512, -100, 0, 100, 511}) {
+        EXPECT_EQ(adc.convert(adc.to_volts(code)), code);
+    }
+}
+
+TEST(Adc, InvalidBitsThrow) {
+    EXPECT_THROW(SarAdc(2, Voltage{1.0}), ContractViolation);
+    EXPECT_THROW(SarAdc(30, Voltage{1.0}), ContractViolation);
+}
+
+}  // namespace

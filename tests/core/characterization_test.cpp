@@ -1,0 +1,71 @@
+#include "core/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::core;
+
+OpenLoopAnalyzer::Config base() { return OpenLoopAnalyzer::Config{}; }
+
+TEST(OpenLoop, PeakAmplitudeAtResonanceMatchesQTimesStatic) {
+    OpenLoopAnalyzer an(base(), Rng(1));
+    const auto on_peak = an.measure(an.expected_resonance());
+    const auto off_peak = an.measure(an.expected_resonance() * 0.9);
+    EXPECT_GT(on_peak.amplitude_v, 20.0 * off_peak.amplitude_v);
+}
+
+TEST(OpenLoop, PhaseCrossesMinusNinetyAtResonance) {
+    OpenLoopAnalyzer an(base(), Rng(2));
+    const double f0 = an.expected_resonance().value();
+    const auto below = an.measure(Frequency{f0 * 0.995});
+    const auto above = an.measure(Frequency{f0 * 1.005});
+    // Driven oscillator: phase falls through -90 deg across the resonance
+    // (offsets from the drive reference cancel in the difference).
+    EXPECT_GT(below.phase_rad, above.phase_rad);
+    EXPECT_GT(below.phase_rad - above.phase_rad, 2.0);  // ~pi swing
+}
+
+TEST(OpenLoop, CharacterizeRecoversResonanceAndQ) {
+    OpenLoopAnalyzer an(base(), Rng(3));
+    const auto fit = an.characterize(31);
+    EXPECT_NEAR(fit.resonance.value(), an.expected_resonance().value(),
+                0.002 * an.expected_resonance().value());
+    EXPECT_NEAR(fit.quality_factor, an.expected_q(), 0.25 * an.expected_q());
+}
+
+TEST(OpenLoop, WaterCharacterizationSeesLowQ) {
+    auto cfg = base();
+    cfg.fluid = phys::fluids::water();
+    OpenLoopAnalyzer an(cfg, Rng(4));
+    const auto fit = an.characterize(31);
+    EXPECT_LT(fit.quality_factor, 30.0);
+    EXPECT_GT(fit.quality_factor, 3.0);
+    EXPECT_LT(fit.resonance.value(), 0.8 * 318e3);
+}
+
+TEST(OpenLoop, AmplitudeLinearInDrive) {
+    auto cfg = base();
+    OpenLoopAnalyzer an1(cfg, Rng(5));
+    cfg.drive_amplitude = Current{2e-3};
+    OpenLoopAnalyzer an2(cfg, Rng(5));
+    const auto a1 = an1.measure(an1.expected_resonance());
+    const auto a2 = an2.measure(an2.expected_resonance());
+    EXPECT_NEAR(a2.amplitude_v / a1.amplitude_v, 2.0, 0.05);
+}
+
+TEST(OpenLoop, FitRejectsTooFewPoints) {
+    std::vector<SweepPoint> two(2);
+    EXPECT_THROW((void)OpenLoopAnalyzer::fit(two), ContractViolation);
+}
+
+TEST(OpenLoop, InvalidConfigRejected) {
+    auto cfg = base();
+    cfg.drive_amplitude = Current{0.0};
+    EXPECT_THROW(OpenLoopAnalyzer(cfg, Rng(1)), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/lod.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::core;
+
+TEST(Lod, ThreeSigmaOverSlope) {
+    const std::vector<double> blanks{0.0, 1.0, -1.0, 0.5, -0.5};  // sigma ~ 0.79
+    const std::vector<double> conc{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> sig{0.0, 10.0, 20.0, 30.0};  // slope 10
+    const auto e = limit_of_detection(blanks, conc, sig);
+    EXPECT_NEAR(e.slope, 10.0, 1e-9);
+    EXPECT_NEAR(e.lod_molar, 3.0 * e.baseline_sigma / 10.0, 1e-12);
+}
+
+TEST(Lod, UnitHelpers) {
+    LodEstimate e;
+    e.lod_molar = 1e-6;  // 1e-6 mol/m^3 = 1 nM
+    EXPECT_NEAR(e.lod_nanomolar(), 1.0, 1e-9);
+    EXPECT_NEAR(e.lod_picomolar(), 1000.0, 1e-6);
+}
+
+TEST(Lod, RequiresEnoughData) {
+    const std::vector<double> two{1.0, 2.0};
+    const std::vector<double> c{0.0, 1.0};
+    const std::vector<double> s{0.0, 1.0};
+    EXPECT_THROW(limit_of_detection(two, c, s), ContractViolation);
+}
+
+TEST(Chip, BudgetPlausible) {
+    const BiosensorChip chip(StaticSensorConfig{}, ResonantSensorConfig{}, Rng(1));
+    const auto b = chip.budget();
+    // One cell is a fraction of a mm^2; chip a few mm^2.
+    EXPECT_GT(b.sensor_cell_area.value(), 0.01e-6);
+    EXPECT_LT(b.sensor_cell_area.value(), 1e-6);
+    EXPECT_GT(b.chip_area.value(), b.sensor_cell_area.value());
+    // Total power: a few mW ("autonomous device operation" on a battery).
+    EXPECT_GT(b.total_power.value(), 1e-3);
+    EXPECT_LT(b.total_power.value(), 20e-3);
+}
+
+TEST(Chip, FromFabricatedSampleBuildsSensor) {
+    const fab::ProcessMonteCarlo mc(mech::resonant_default(), fab::KohEtchConfig{},
+                                    fab::ProcessVariation{}, fab::EtchMode::electrochemical_stop);
+    Rng rng(5);
+    const auto sample = mc.sample(rng);
+    ASSERT_TRUE(sample.functional);
+    auto sensor = BiosensorChip::from_fabricated(ResonantSensorConfig{}, sample, Rng(6));
+    ASSERT_TRUE(sensor.has_value());
+    // The fabricated device's resonance differs from nominal by the
+    // thickness spread (small for the etch-stop process).
+    EXPECT_NEAR(sensor->expected_resonance().value(), sample.resonance.value(),
+                0.02 * sample.resonance.value());
+}
+
+TEST(Chip, NonFunctionalSampleRejected) {
+    fab::DeviceSample broken;
+    broken.functional = false;
+    EXPECT_FALSE(
+        BiosensorChip::from_fabricated(ResonantSensorConfig{}, broken, Rng(1)).has_value());
+}
+
+}  // namespace

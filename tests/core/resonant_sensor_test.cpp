@@ -1,0 +1,144 @@
+#include "core/resonant_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::core;
+using namespace cbs::literals;
+
+ResonantSensorConfig air_config() { return ResonantSensorConfig{}; }
+
+ResonantSensorConfig water_config() {
+    ResonantSensorConfig c;
+    c.fluid = phys::fluids::water();
+    return c;
+}
+
+TEST(ResonantSensor, LoopGainHitsTargetAfterAutoGain) {
+    ResonantCantileverSystem s(air_config(), Rng(1));
+    EXPECT_NEAR(s.loop_gain(), air_config().loop_gain_target, 0.2);
+}
+
+TEST(ResonantSensor, OscillatesInAirAtLoadedResonance) {
+    ResonantCantileverSystem s(air_config(), Rng(2));
+    const auto ms = s.run(0.35_s);
+    ASSERT_GE(ms.size(), 3u);
+    // Discard the startup gate; steady-state within 0.2% of the loaded
+    // resonance (small deterministic loop-phase pulling is physical).
+    const double f = ms.back().frequency_hz;
+    EXPECT_NEAR(f, s.expected_resonance().value(), 0.002 * f);
+}
+
+TEST(ResonantSensor, AmplitudeRegulatedByLimiter) {
+    ResonantCantileverSystem s(air_config(), Rng(3));
+    (void)s.run(0.3_s);
+    const double amp = s.oscillation_amplitude().value();
+    EXPECT_GT(amp, 50e-9);
+    EXPECT_LT(amp, 2e-6);
+}
+
+TEST(ResonantSensor, FrequencyStableAcrossGates) {
+    ResonantCantileverSystem s(air_config(), Rng(4));
+    const auto ms = s.run(0.5_s);
+    ASSERT_GE(ms.size(), 4u);
+    // After startup, consecutive gates agree to well under a hertz.
+    const double f3 = ms[2].frequency_hz;
+    const double f4 = ms[3].frequency_hz;
+    EXPECT_LT(std::fabs(f4 - f3), 1.0);
+}
+
+TEST(ResonantSensor, WaterNeedsMoreVgaGainThanAir) {
+    ResonantCantileverSystem air(air_config(), Rng(5));
+    ResonantCantileverSystem water(water_config(), Rng(5));
+    EXPECT_GT(water.vga_control(), air.vga_control());
+    EXPECT_GT(water.required_vga_gain(), 10.0 * air.required_vga_gain());
+}
+
+TEST(ResonantSensor, OscillatesInWaterToo) {
+    ResonantCantileverSystem s(water_config(), Rng(6));
+    const auto ms = s.run(0.4_s);
+    ASSERT_GE(ms.size(), 2u);
+    const double f = ms.back().frequency_hz;
+    // Heavily damped: allow 2% tolerance on the much-lower resonance.
+    EXPECT_NEAR(f, s.expected_resonance().value(), 0.02 * f);
+    EXPECT_LT(f, 0.8 * 318e3);  // far below the vacuum resonance
+}
+
+namespace {
+/// Mean frequency of the last two completed gates (averages down the
+/// ~0.3 Hz gate-to-gate phase-noise scatter).
+double settled_frequency(const std::vector<daq::FrequencyMeasurement>& ms) {
+    EXPECT_GE(ms.size(), 2u);
+    return 0.5 * (ms[ms.size() - 1].frequency_hz + ms[ms.size() - 2].frequency_hz);
+}
+}  // namespace
+
+TEST(ResonantSensor, BindingShiftsFrequencyDown) {
+    ResonantCantileverSystem s(air_config(), Rng(7));
+    const auto base = s.run(0.4_s);
+    ASSERT_GE(base.size(), 2u);
+    s.set_concentration(3.0_uM);  // fast binding: ~2.5 Hz shift in 0.4 s
+    const auto bound = s.run(0.4_s);
+    ASSERT_GE(bound.size(), 2u);
+    EXPECT_LT(settled_frequency(bound), settled_frequency(base) - 0.5);
+    EXPECT_GT(s.coverage(), 0.05);
+}
+
+TEST(ResonantSensor, MeasuredShiftMatchesMassModel) {
+    ResonantCantileverSystem s(air_config(), Rng(8));
+    const auto base = s.run(0.4_s);
+    // Bind, then rinse (conc -> 0): coverage freezes (k_off is 1e-3/s), so
+    // the post-rinse gates measure the *final* bound mass without lag.
+    s.set_concentration(3.0_uM);
+    (void)s.run(0.4_s);
+    s.set_concentration(MolarConcentration{0.0});
+    const auto frozen = s.run(0.3_s);
+    ASSERT_GE(base.size(), 2u);
+    ASSERT_GE(frozen.size(), 2u);
+    const auto m0 = s.mass_from_frequency(Frequency{settled_frequency(base)});
+    const auto m1 = s.mass_from_frequency(Frequency{settled_frequency(frozen)});
+    const double estimated = (m1 - m0).value();
+    const double actual = s.bound_mass().value();
+    EXPECT_NEAR(estimated, actual, 0.3 * actual);
+}
+
+TEST(ResonantSensor, MassInversionRoundTripsAnalytically) {
+    ResonantCantileverSystem s(air_config(), Rng(9));
+    // Pure model round trip (no simulation noise).
+    const auto f_for_10pg =
+        Frequency{s.expected_resonance().value() - 0.22};  // ~0.1 pg scale shift
+    const auto m = s.mass_from_frequency(f_for_10pg);
+    EXPECT_GT(m.value(), 0.0);
+}
+
+TEST(ResonantSensor, StaticPowerBudgetSmall) {
+    ResonantCantileverSystem s(air_config(), Rng(10));
+    (void)s.run(0.2_s);
+    // MOS bridge (tens of uW) + class-AB buffer: a few mW total.
+    EXPECT_LT(s.static_power().value(), 10e-3);
+    EXPECT_GT(s.static_power().value(), 0.1e-3);
+}
+
+TEST(ResonantSensor, InvalidConfigRejected) {
+    auto cfg = air_config();
+    cfg.loop_gain_target = 0.5;  // cannot start
+    EXPECT_THROW(ResonantCantileverSystem(cfg, Rng(1)), ContractViolation);
+    cfg = air_config();
+    cfg.oversample = 4.0;
+    EXPECT_THROW(ResonantCantileverSystem(cfg, Rng(1)), ContractViolation);
+}
+
+TEST(ResonantSensor, ExpectedResonanceBelowVacuum) {
+    ResonantCantileverSystem air(air_config(), Rng(11));
+    ResonantCantileverSystem water(water_config(), Rng(11));
+    const double f_vac =
+        mech::EulerBernoulliBeam(mech::resonant_default()).resonance_frequency().value();
+    EXPECT_LT(air.expected_resonance().value(), f_vac);
+    EXPECT_LT(water.expected_resonance().value(), air.expected_resonance().value());
+}
+
+}  // namespace

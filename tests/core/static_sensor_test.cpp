@@ -1,0 +1,129 @@
+#include "core/static_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::core;
+using namespace cbs::literals;
+
+StaticCantileverSystem make(unsigned seed = 1) {
+    return StaticCantileverSystem(StaticSensorConfig{}, Rng(seed));
+}
+
+TEST(StaticSensor, ChainGainTenThousand) {
+    auto s = make();
+    EXPECT_NEAR(s.chain_gain(), 100.0 * 20.0 * 5.0, 1.0);
+}
+
+TEST(StaticSensor, StressResponsivityMatchesBudget) {
+    auto s = make();
+    // dR/R per (N/m) = pi_l * 3/t = 69e-11*3/3.5e-6 ~ 5.91e-4;
+    // x Vb/2 x chain gain 1e4 -> ~14.8 V per (N/m).
+    EXPECT_NEAR(s.stress_responsivity().value(), 14.8, 1.0);
+}
+
+TEST(StaticSensor, UncalibratedOffsetDominates) {
+    auto s = make(7);
+    // Bridge mismatch (~0.2%/arm) x chain gain: volts-scale static output.
+    const auto r = s.read_channel(0);
+    EXPECT_GT(std::fabs(r.output.value()), 10e-3);
+}
+
+TEST(StaticSensor, OffsetCalibrationZeroesBaseline) {
+    auto s = make(7);
+    s.calibrate_offsets();
+    for (std::size_t ch = 0; ch < 4; ++ch) {
+        const auto r = s.read_channel(ch);
+        // Residual < DAC half-step (0.29 mV) x post-gain (100) + noise.
+        EXPECT_LT(std::fabs(r.output.value()), 60e-3) << "ch " << ch;
+    }
+}
+
+TEST(StaticSensor, BindingProducesMillivoltSignal) {
+    auto s = make(3);
+    s.calibrate_offsets();
+    const double v0 = s.read_channel(0).output.value();
+    // Drive the active channels to half coverage.
+    s.set_concentration(10.0_nM);  // = Kd -> theta_eq = 0.5
+    for (int i = 0; i < 80; ++i) s.advance_binding(60.0_s);
+    EXPECT_NEAR(s.coverage(0), 0.5, 0.02);
+    const double v1 = s.read_channel(0).output.value();
+    // 0.5 coverage -> 2.5 mN/m -> ~14.8 V/(N/m) x 2.5e-3 = 37 mV.
+    EXPECT_NEAR(v1 - v0, 37e-3, 8e-3);
+}
+
+TEST(StaticSensor, ReferenceChannelStaysQuiet) {
+    auto s = make(3);
+    s.calibrate_offsets();
+    const double r0 = s.read_channel(3).output.value();
+    s.set_concentration(10.0_nM);
+    for (int i = 0; i < 80; ++i) s.advance_binding(60.0_s);
+    const double r1 = s.read_channel(3).output.value();
+    // The blocked reference sees BSA-class nonspecific binding only.
+    EXPECT_LT(std::fabs(r1 - r0), 5e-3);
+}
+
+TEST(StaticSensor, DifferentialSubtractsReference) {
+    auto s = make(5);
+    s.calibrate_offsets();
+    s.set_concentration(100.0_nM);
+    for (int i = 0; i < 60; ++i) s.advance_binding(60.0_s);
+    const auto diff = s.differential(0, 3);
+    const auto ch0 = s.read_channel(0).output;
+    // The blocked reference contributes only weak nonspecific binding, so
+    // the differential is essentially the active channel's signal.
+    EXPECT_NEAR(diff.value(), ch0.value(), 12e-3);
+    EXPECT_GT(diff.value(), 30e-3);
+}
+
+TEST(StaticSensor, StressEstimateInvertsCoating) {
+    auto s = make(9);
+    s.calibrate_offsets();
+    s.set_concentration(10.0_nM);
+    for (int i = 0; i < 80; ++i) s.advance_binding(60.0_s);
+    const auto r = s.read_channel(0);
+    const auto truth = s.coating(0).surface_stress(s.coverage(0));
+    EXPECT_NEAR(r.stress.value(), truth.value(), 0.25 * truth.value());
+}
+
+TEST(StaticSensor, CustomCoatingPerChannel) {
+    auto s = make();
+    s.set_coating(1, bio::antibody_coating(bio::library::psa()));
+    EXPECT_EQ(s.coating(1).target.name, "PSA");
+    EXPECT_EQ(s.coating(0).target.name, "IgG-antigen");
+    EXPECT_DOUBLE_EQ(s.coverage(1), 0.0);
+}
+
+TEST(StaticSensor, ChannelsBindPerTheirOwnKinetics) {
+    auto s = make();
+    s.set_coating(1, bio::antibody_coating(bio::library::psa()));
+    s.set_concentration(10.0_nM);
+    for (int i = 0; i < 30; ++i) s.advance_binding(60.0_s);
+    // PSA pair has higher affinity (Kd ~ 2 nM) -> higher coverage.
+    EXPECT_GT(s.coverage(1), s.coverage(0));
+}
+
+TEST(StaticSensor, RunAssayRecordsAllChannels) {
+    auto s = make(11);
+    s.calibrate_offsets();
+    const auto protocol =
+        bio::AssayProtocol::standard(100.0_nM, 60.0_s, 300.0_s, 120.0_s);
+    const auto rec = s.run_assay(protocol, 60.0_s);
+    ASSERT_EQ(rec.time_s.size(), 8u);  // 480 s / 60 s
+    for (const auto& ch : rec.volts) EXPECT_EQ(ch.size(), rec.time_s.size());
+    // Active channel rises during association.
+    EXPECT_GT(rec.volts[0].back(), rec.volts[0].front() + 5e-3);
+}
+
+TEST(StaticSensor, InvalidChannelThrows) {
+    auto s = make();
+    EXPECT_THROW((void)s.read_channel(4), ContractViolation);
+    EXPECT_THROW(s.set_coating(7, bio::reference_coating()), ContractViolation);
+    EXPECT_THROW(s.set_concentration(MolarConcentration{-1.0}), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include "daq/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::daq;
+using namespace cbs::literals;
+using cbs::constants::pi;
+
+/// Feeds a sine of frequency f at sample rate fs into a counter for
+/// `duration` seconds; returns all completed measurements.
+template <typename Counter>
+std::vector<FrequencyMeasurement> run_tone(Counter& counter, double f, double fs,
+                                           double duration, double noise_sigma = 0.0,
+                                           unsigned seed = 1) {
+    Rng rng(seed);
+    std::vector<FrequencyMeasurement> out;
+    const auto steps = static_cast<std::size_t>(duration * fs);
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double t = static_cast<double>(i) / fs;
+        double v = std::sin(2.0 * pi * f * t);
+        if (noise_sigma > 0.0) v += rng.normal(0.0, noise_sigma);
+        if (auto m = counter.feed(t, v)) out.push_back(*m);
+    }
+    return out;
+}
+
+TEST(Zcd, DetectsRisingCrossingsOnly) {
+    ZeroCrossingDetector zcd;
+    int crossings = 0;
+    const double f = 100.0, fs = 100e3;
+    for (int i = 0; i < 100000; ++i) {  // 1 s = 100 cycles
+        const double t = i / fs;
+        if (zcd.feed(t, std::sin(2.0 * pi * f * t))) ++crossings;
+    }
+    EXPECT_NEAR(crossings, 100, 1);
+}
+
+TEST(Zcd, InterpolatedTimestampSubSample) {
+    ZeroCrossingDetector zcd;
+    const double f = 100.0, fs = 10e3;
+    std::vector<double> edges;
+    for (int i = 0; i < 10000; ++i) {
+        const double t = i / fs;
+        if (auto e = zcd.feed(t, std::sin(2.0 * pi * f * t))) edges.push_back(*e);
+    }
+    ASSERT_GE(edges.size(), 10u);
+    // Rising zero crossings of sin at t = k/f (k integer >= 1).
+    for (std::size_t k = 1; k < 5; ++k) {
+        EXPECT_NEAR(edges[k], std::round(edges[k] * f) / f, 1e-6);
+    }
+}
+
+TEST(Zcd, HysteresisIgnoresSmallNoise) {
+    ZeroCrossingDetector zcd(0.2);
+    int crossings = 0;
+    Rng rng(3);
+    const double fs = 100e3;
+    for (int i = 0; i < 100000; ++i) {
+        // Noise-only input well inside the hysteresis band.
+        if (zcd.feed(i / fs, rng.normal(0.0, 0.03))) ++crossings;
+    }
+    EXPECT_EQ(crossings, 0);
+}
+
+TEST(GatedCounterTest, ExactToneFrequency) {
+    GatedCounter counter(1.0_s);
+    const auto ms = run_tone(counter, 1000.0, 100e3, 3.0);
+    ASSERT_GE(ms.size(), 2u);
+    for (const auto& m : ms) EXPECT_NEAR(m.frequency_hz, 1000.0, 1.0);
+}
+
+TEST(GatedCounterTest, ResolutionIsOneOverGate) {
+    GatedCounter counter(Time{0.1});
+    EXPECT_DOUBLE_EQ(counter.resolution().value(), 10.0);
+    // A 1000.4 Hz tone reads 1000.x with +-10 Hz worst case at 0.1 s gate.
+    auto ms = run_tone(counter, 1000.4, 100e3, 1.0);
+    ASSERT_FALSE(ms.empty());
+    for (const auto& m : ms) EXPECT_NEAR(m.frequency_hz, 1000.4, 10.0);
+}
+
+TEST(ReciprocalCounterTest, ResolvesSubGateResolution) {
+    // The reciprocal counter should resolve 1000.4 Hz at a 0.1 s gate far
+    // better than the +-10 Hz of the gated architecture.
+    ReciprocalCounter counter(Time{0.1});
+    const auto ms = run_tone(counter, 1000.4, 100e3, 1.0);
+    ASSERT_GE(ms.size(), 8u);
+    for (const auto& m : ms) EXPECT_NEAR(m.frequency_hz, 1000.4, 0.05);
+}
+
+TEST(ReciprocalCounterTest, TracksFrequencyStep) {
+    ReciprocalCounter counter(Time{0.05});
+    const double fs = 200e3;
+    std::vector<double> freqs;
+    double phase = 0.0;
+    for (int i = 0; i < 40000; ++i) {
+        const double t = i / fs;
+        const double f = (i < 20000) ? 5000.0 : 4900.0;  // 100 Hz step (binding!)
+        phase += 2.0 * pi * f / fs;
+        if (auto m = counter.feed(t, std::sin(phase))) freqs.push_back(m->frequency_hz);
+    }
+    ASSERT_GE(freqs.size(), 3u);
+    EXPECT_NEAR(freqs.front(), 5000.0, 1.0);
+    EXPECT_NEAR(freqs.back(), 4900.0, 1.0);
+}
+
+TEST(ReciprocalCounterTest, NoisyToneStillAccurate) {
+    ReciprocalCounter counter(Time{0.1}, /*hysteresis=*/0.3);
+    const auto ms = run_tone(counter, 1000.0, 100e3, 1.0, /*noise=*/0.05, /*seed=*/7);
+    ASSERT_GE(ms.size(), 5u);
+    for (const auto& m : ms) EXPECT_NEAR(m.frequency_hz, 1000.0, 1.0);
+}
+
+TEST(ReciprocalCounterTest, SilenceYieldsNoMeasurement) {
+    ReciprocalCounter counter(Time{0.01});
+    const double fs = 100e3;
+    int measurements = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (counter.feed(i / fs, 0.0)) ++measurements;
+    }
+    EXPECT_EQ(measurements, 0);
+}
+
+TEST(Counters, InvalidGateThrows) {
+    EXPECT_THROW(GatedCounter(Time{0.0}), ContractViolation);
+    EXPECT_THROW(ReciprocalCounter(Time{-1.0}), ContractViolation);
+}
+
+TEST(GatedCounterTest, EdgeCountReported) {
+    GatedCounter counter(Time{0.5});
+    const auto ms = run_tone(counter, 100.0, 50e3, 1.2);
+    ASSERT_GE(ms.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(ms[0].edges), 50.0, 1.0);
+}
+
+}  // namespace

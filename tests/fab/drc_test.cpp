@@ -1,0 +1,171 @@
+#include "fab/drc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fab/layout_gen.hpp"
+#include "fab/ruledeck.hpp"
+#include "mech/geometry.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::fab;
+
+DrcEngine engine_with(const std::string& deck) { return DrcEngine(parse_rule_deck(deck)); }
+
+TEST(RuleDeck, ParsesAllKinds) {
+    const auto rules = parse_rule_deck(
+        "width METAL1 1.2\n"
+        "space METAL1 1.4\n"
+        "enclose PDIFF NWELL 2.0\n");
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].kind, RuleKind::min_width);
+    EXPECT_EQ(rules[1].kind, RuleKind::min_space);
+    EXPECT_EQ(rules[2].kind, RuleKind::min_enclosure);
+    EXPECT_EQ(rules[2].layer, Layer::pdiff);
+    EXPECT_EQ(rules[2].other, Layer::nwell);
+    EXPECT_NEAR(rules[2].value.value(), 2e-6, 1e-12);
+}
+
+TEST(RuleDeck, SkipsCommentsAndBlankLines) {
+    const auto rules = parse_rule_deck(
+        "# header comment\n"
+        "\n"
+        "width OPEN 10.0  # trailing comment\n");
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0].name, "OPEN.W");
+}
+
+TEST(RuleDeck, RejectsMalformedLines) {
+    EXPECT_THROW(parse_rule_deck("width METAL1\n"), ContractViolation);
+    EXPECT_THROW(parse_rule_deck("frobnicate METAL1 1.0\n"), ContractViolation);
+    EXPECT_THROW(parse_rule_deck("width BOGUS 1.0\n"), ContractViolation);
+    EXPECT_THROW(parse_rule_deck("width METAL1 -1.0\n"), ContractViolation);
+    EXPECT_THROW(parse_rule_deck("width METAL1 1.0 extra\n"), ContractViolation);
+    EXPECT_THROW(parse_rule_deck("# only comments\n"), ContractViolation);
+}
+
+TEST(RuleDeck, DefaultDeckParses) {
+    const auto rules = default_rule_deck();
+    EXPECT_GE(rules.size(), 10u);
+}
+
+TEST(Drc, WidthViolationDetected) {
+    const auto eng = engine_with("width METAL1 1.2\n");
+    Cell cell("t");
+    cell.add_um(Layer::metal1, 0, 0, 10, 1.0);  // 1.0 < 1.2
+    const auto v = eng.check(cell);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NEAR(v[0].actual_um, 1.0, 1e-9);
+    EXPECT_NE(v[0].describe().find("METAL1.W"), std::string::npos);
+}
+
+TEST(Drc, WidthPassesAtLimit) {
+    const auto eng = engine_with("width METAL1 1.2\n");
+    Cell cell("t");
+    cell.add_um(Layer::metal1, 0, 0, 10, 1.2);
+    EXPECT_TRUE(eng.clean(cell));
+}
+
+TEST(Drc, SpacingViolationDetected) {
+    const auto eng = engine_with("space OPEN 20.0\n");
+    Cell cell("t");
+    cell.add_um(Layer::open, 0, 0, 10, 10);
+    cell.add_um(Layer::open, 25, 0, 35, 10);  // 15 um gap < 20
+    const auto v = eng.check(cell);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NEAR(v[0].actual_um, 15.0, 1e-9);
+}
+
+TEST(Drc, TouchingShapesMergeNoSpacingViolation) {
+    const auto eng = engine_with("space OPEN 20.0\n");
+    Cell cell("t");
+    cell.add_um(Layer::open, 0, 0, 10, 10);
+    cell.add_um(Layer::open, 10, 0, 20, 10);  // abutting
+    EXPECT_TRUE(eng.clean(cell));
+}
+
+TEST(Drc, DiagonalSpacingUsesEuclidean) {
+    const auto eng = engine_with("space METAL2 5.0\n");
+    Cell cell("t");
+    cell.add_um(Layer::metal2, 0, 0, 10, 10);
+    cell.add_um(Layer::metal2, 13, 14, 20, 20);  // 3-4-5: gap 5 -> pass
+    EXPECT_TRUE(eng.clean(cell));
+    cell.add_um(Layer::metal2, 12, 13, 20, 25);  // 3-4 -> 3.6 gap -> fail
+    EXPECT_FALSE(eng.clean(cell));
+}
+
+TEST(Drc, EnclosureViolationWhenMarginThin) {
+    const auto eng = engine_with("enclose PDIFF NWELL 2.0\n");
+    Cell cell("t");
+    cell.add_um(Layer::nwell, 0, 0, 20, 20);
+    cell.add_um(Layer::pdiff, 1.0, 5, 5, 15);  // 1 um west margin < 2
+    const auto v = eng.check(cell);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NEAR(v[0].actual_um, 1.0, 1e-9);
+}
+
+TEST(Drc, EnclosurePassesWithMargin) {
+    const auto eng = engine_with("enclose PDIFF NWELL 2.0\n");
+    Cell cell("t");
+    cell.add_um(Layer::nwell, 0, 0, 20, 20);
+    cell.add_um(Layer::pdiff, 2, 2, 18, 18);
+    EXPECT_TRUE(eng.clean(cell));
+}
+
+TEST(Drc, EnclosureOutsideWellFlagged) {
+    const auto eng = engine_with("enclose PDIFF NWELL 2.0\n");
+    Cell cell("t");
+    cell.add_um(Layer::nwell, 0, 0, 20, 20);
+    cell.add_um(Layer::pdiff, 30, 30, 35, 35);  // entirely outside
+    EXPECT_EQ(eng.check(cell).size(), 1u);
+}
+
+TEST(Drc, GeneratedResonantCellIsClean) {
+    const CantileverCellGenerator gen(mech::resonant_default());
+    const auto cell = gen.generate();
+    const DrcEngine eng(default_rule_deck());
+    const auto violations = eng.check(cell);
+    for (const auto& v : violations) ADD_FAILURE() << v.describe();
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(Drc, GeneratedStaticCellIsClean) {
+    CantileverCellOptions opt;
+    opt.coil_turns = 0;  // static device has no actuation coil
+    const CantileverCellGenerator gen(mech::static_default(), opt);
+    const auto cell = gen.generate("static_cantilever");
+    const DrcEngine eng(default_rule_deck());
+    const auto violations = eng.check(cell);
+    for (const auto& v : violations) ADD_FAILURE() << v.describe();
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(Drc, InjectedFaultInGeneratedCellCaught) {
+    const CantileverCellGenerator gen(mech::resonant_default());
+    auto cell = gen.generate();
+    // Sabotage: a sliver of METAL2 far outside the well.
+    cell.add_um(Layer::metal2, 500.0, 500.0, 501.0, 520.0);
+    const DrcEngine eng(default_rule_deck());
+    const auto v = eng.check(cell);
+    // Width (1.0 < 1.6) and NWELL enclosure both fire.
+    EXPECT_GE(v.size(), 2u);
+}
+
+TEST(Drc, GeneratedCellHasExpectedStructure) {
+    const CantileverCellGenerator gen(mech::resonant_default());
+    const auto cell = gen.generate();
+    EXPECT_EQ(cell.shape_count(Layer::open), 3u);       // U-slot
+    EXPECT_EQ(cell.shape_count(Layer::membrane), 1u);   // KOH window
+    EXPECT_EQ(cell.shape_count(Layer::pdiff), 4u);      // 2 gauges + 2 refs
+    EXPECT_EQ(cell.shape_count(Layer::metal2), 6u);     // 2 turns x 3 rects
+}
+
+TEST(Drc, CoilMustFitOnBeam) {
+    CantileverCellOptions opt;
+    opt.coil_turns = 5;  // cannot fit on a 20 um half width
+    EXPECT_THROW(CantileverCellGenerator(mech::resonant_default(), opt), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "fab/etch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::fab;
+
+TEST(KohEtch, NominalRateAtNinetyCelsius) {
+    const KohEtchSimulator sim;
+    // Calibrated to 1.4 um/min.
+    EXPECT_NEAR(sim.nominal_rate().value(), 1.4e-6 / 60.0, 1e-10);
+}
+
+TEST(KohEtch, RateFollowsArrhenius) {
+    KohEtchConfig hot;
+    hot.bath_temperature = Temperature{363.15};
+    KohEtchConfig cold = hot;
+    cold.bath_temperature = Temperature{333.15};  // 60 C
+    const double ratio = KohEtchSimulator(hot).nominal_rate().value() /
+                         KohEtchSimulator(cold).nominal_rate().value();
+    // Ea=0.595 eV between 60 and 90 C: ratio ~ exp(Ea/k (1/333-1/363)) ~ 5.6.
+    EXPECT_NEAR(ratio, 5.6, 0.5);
+}
+
+TEST(KohEtch, StopTimeAboutSixHours) {
+    const KohEtchSimulator sim;
+    // (525 - 5.2) um at 1.4 um/min ~ 371 min ~ 6.2 h.
+    EXPECT_NEAR(sim.nominal_stop_time().value() / 3600.0, 6.2, 0.2);
+}
+
+TEST(KohEtch, FrontProfileMonotoneAndCapped) {
+    const KohEtchSimulator sim;
+    const auto prof = sim.front_profile(Time{1800.0});
+    ASSERT_GE(prof.size(), 10u);
+    for (std::size_t i = 1; i < prof.size(); ++i) {
+        EXPECT_GE(prof[i].second, prof[i - 1].second);
+    }
+    EXPECT_NEAR(prof.back().second, 525e-6 - 5.2e-6, 1e-9);
+}
+
+TEST(KohEtch, ElectrochemicalStopThicknessTight) {
+    const KohEtchSimulator sim;
+    Rng rng(42);
+    std::vector<double> t;
+    for (int i = 0; i < 2000; ++i) t.push_back(sim.run_electrochemical(rng).final_thickness.value());
+    EXPECT_NEAR(stats::mean(t), 5.2e-6, 0.02e-6);
+    EXPECT_NEAR(stats::stddev(t), 0.1e-6, 0.02e-6);
+}
+
+TEST(KohEtch, TimedEtchThicknessSpreadCatastrophic) {
+    const KohEtchSimulator sim;
+    Rng rng(42);
+    const auto target = sim.nominal_stop_time();
+    std::vector<double> t;
+    for (int i = 0; i < 2000; ++i) t.push_back(sim.run_timed(target, rng).final_thickness.value());
+    // Wafer sigma 2 um + rate sigma 2% over 520 um: >> the 0.1 um of the
+    // electrochemical stop. This is the paper's fabrication argument.
+    EXPECT_GT(stats::stddev(t), 2e-6);
+}
+
+TEST(KohEtch, TimedEtchCanBreakThrough) {
+    const KohEtchSimulator sim;
+    Rng rng(7);
+    const auto target = Time{sim.nominal_stop_time().value() * 1.2};  // 20% over
+    int broke = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (sim.run_timed(target, rng).broke_through) ++broke;
+    }
+    EXPECT_GT(broke, 150);  // mostly destroyed
+}
+
+TEST(KohEtch, ElectrochemicalFlagSet) {
+    const KohEtchSimulator sim;
+    Rng rng(1);
+    EXPECT_TRUE(sim.run_electrochemical(rng).stopped_on_junction);
+    EXPECT_FALSE(sim.run_timed(Time{60.0}, rng).stopped_on_junction);
+}
+
+TEST(KohEtch, InvalidConfigRejected) {
+    KohEtchConfig bad;
+    bad.bath_temperature = Temperature{200.0};
+    EXPECT_THROW(KohEtchSimulator{bad}, ContractViolation);
+    bad = KohEtchConfig{};
+    bad.koh_weight_fraction = 0.9;
+    EXPECT_THROW(KohEtchSimulator{bad}, ContractViolation);
+}
+
+TEST(ReleaseEtch, StepDurations) {
+    const StackInfo stack;
+    const auto plan = plan_release_etch(stack, Length{5.2e-6});
+    // Dielectric: 3.2 um at 0.3 um/min * 1.2 = 12.8 min.
+    EXPECT_NEAR(plan.dielectric_step.value() / 60.0, 12.8, 0.1);
+    // Silicon: 5.2 um at 2 um/min * 1.2 = 3.12 min.
+    EXPECT_NEAR(plan.silicon_step.value() / 60.0, 3.12, 0.05);
+    EXPECT_NEAR(plan.total().value(), plan.dielectric_step.value() + plan.silicon_step.value(),
+                1e-9);
+}
+
+TEST(ReleaseEtch, ThickerBeamLongerSiStep) {
+    const StackInfo stack;
+    const auto thin = plan_release_etch(stack, Length{3.5e-6});
+    const auto thick = plan_release_etch(stack, Length{7.0e-6});
+    EXPECT_NEAR(thick.silicon_step.value() / thin.silicon_step.value(), 2.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Parameterized fabrication properties: generated layouts are DRC-clean and
+// etch statistics hold across device geometries and process corners.
+#include <gtest/gtest.h>
+
+#include "fab/drc.hpp"
+#include "fab/etch.hpp"
+#include "fab/layout_gen.hpp"
+#include "fab/montecarlo.hpp"
+#include "fab/ruledeck.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::fab;
+
+struct DeviceCase {
+    double length_um;
+    double width_um;
+    double thickness_um;
+    int coil_turns;
+};
+
+class FabProperties : public ::testing::TestWithParam<DeviceCase> {
+protected:
+    mech::CantileverGeometry geometry() const {
+        const auto p = GetParam();
+        mech::CantileverGeometry g;
+        g.length = Length{p.length_um * 1e-6};
+        g.width = Length{p.width_um * 1e-6};
+        g.thickness = Length{p.thickness_um * 1e-6};
+        return g;
+    }
+};
+
+TEST_P(FabProperties, GeneratedCellIsDrcClean) {
+    CantileverCellOptions opt;
+    opt.coil_turns = GetParam().coil_turns;
+    const auto cell = CantileverCellGenerator(geometry(), opt).generate();
+    const DrcEngine engine(default_rule_deck());
+    const auto violations = engine.check(cell);
+    for (const auto& v : violations) ADD_FAILURE() << v.describe();
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST_P(FabProperties, CellStructureScalesWithOptions) {
+    CantileverCellOptions opt;
+    opt.coil_turns = GetParam().coil_turns;
+    const auto cell = CantileverCellGenerator(geometry(), opt).generate();
+    EXPECT_EQ(cell.shape_count(Layer::metal2),
+              static_cast<std::size_t>(3 * GetParam().coil_turns));
+    EXPECT_EQ(cell.shape_count(Layer::open), 3u);
+    EXPECT_EQ(cell.shape_count(Layer::membrane), 1u);
+}
+
+TEST_P(FabProperties, EtchStopSigmaIndependentOfGeometry) {
+    KohEtchConfig cfg;
+    cfg.stack.nwell_junction_depth = geometry().thickness;
+    const KohEtchSimulator sim(cfg);
+    Rng rng(5);
+    std::vector<double> t;
+    for (int i = 0; i < 500; ++i) {
+        t.push_back(sim.run_electrochemical(rng).final_thickness.value());
+    }
+    EXPECT_NEAR(stats::mean(t), geometry().thickness.value(),
+                0.03 * geometry().thickness.value());
+    EXPECT_NEAR(stats::stddev(t), cfg.junction_depth_sigma.value(),
+                0.25 * cfg.junction_depth_sigma.value());
+}
+
+TEST_P(FabProperties, MonteCarloYieldBeatsTimedEtch) {
+    KohEtchConfig etch;
+    etch.stack.nwell_junction_depth = geometry().thickness;
+    const ProcessMonteCarlo stop(geometry(), etch, ProcessVariation{},
+                                 EtchMode::electrochemical_stop);
+    const ProcessMonteCarlo timed(geometry(), etch, ProcessVariation{}, EtchMode::timed);
+    Rng r1(9), r2(9);
+    const auto s1 = stop.run(400, r1, 0.05);
+    const auto s2 = timed.run(400, r2, 0.05);
+    EXPECT_GT(s1.yield, s2.yield + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceSweep, FabProperties,
+    ::testing::Values(DeviceCase{150.0, 40.0, 5.2, 2}, DeviceCase{150.0, 40.0, 5.2, 0},
+                      DeviceCase{500.0, 100.0, 3.5, 0}, DeviceCase{300.0, 60.0, 6.0, 3},
+                      DeviceCase{200.0, 80.0, 4.0, 1}),
+    [](const ::testing::TestParamInfo<DeviceCase>& info) {
+        const auto& p = info.param;
+        return "L" + std::to_string(static_cast<int>(p.length_um)) + "turns" +
+               std::to_string(p.coil_turns);
+    });
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "fab/layout_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "fab/drc.hpp"
+#include "fab/layout_gen.hpp"
+#include "fab/ruledeck.hpp"
+#include "mech/geometry.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::fab;
+
+TEST(LayoutIo, WriteContainsAllRecords) {
+    Cell cell("demo");
+    cell.add_um(Layer::nwell, 0, 0, 10, 10);
+    cell.add_um(Layer::open, -5, -5, 20, 20);
+    const auto text = write_cell(cell);
+    EXPECT_NE(text.find("CELL demo"), std::string::npos);
+    EXPECT_NE(text.find("RECT NWELL 0 0 10000 10000"), std::string::npos);
+    EXPECT_NE(text.find("RECT OPEN -5000 -5000 20000 20000"), std::string::npos);
+    EXPECT_NE(text.find("ENDCELL"), std::string::npos);
+}
+
+TEST(LayoutIo, RoundTripsExactly) {
+    const auto original = CantileverCellGenerator(mech::resonant_default()).generate();
+    const auto restored = read_cell(write_cell(original));
+    EXPECT_EQ(restored.name(), original.name());
+    ASSERT_EQ(restored.shape_count(), original.shape_count());
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const auto layer = static_cast<Layer>(i);
+        ASSERT_EQ(restored.shapes(layer).size(), original.shapes(layer).size())
+            << layer_name(layer);
+        for (std::size_t k = 0; k < original.shapes(layer).size(); ++k) {
+            EXPECT_EQ(restored.shapes(layer)[k], original.shapes(layer)[k]);
+        }
+    }
+}
+
+TEST(LayoutIo, RestoredCellStaysDrcClean) {
+    const auto original = CantileverCellGenerator(mech::resonant_default()).generate();
+    const auto restored = read_cell(write_cell(original));
+    const DrcEngine engine(default_rule_deck());
+    EXPECT_TRUE(engine.clean(restored));
+}
+
+TEST(LayoutIo, CommentsAndBlankLinesIgnored) {
+    const auto cell = read_cell(
+        "# header\n"
+        "CELL c\n"
+        "\n"
+        "RECT NWELL 0 0 100 100  # a square\n"
+        "ENDCELL\n");
+    EXPECT_EQ(cell.shape_count(Layer::nwell), 1u);
+}
+
+TEST(LayoutIo, NormalizesSwappedCorners) {
+    const auto cell = read_cell("CELL c\nRECT OPEN 100 100 0 0\nENDCELL\n");
+    EXPECT_EQ(cell.shapes(Layer::open)[0], (Rect{0, 0, 100, 100}));
+}
+
+TEST(LayoutIo, MalformedInputRejectedWithLineNumbers) {
+    EXPECT_THROW(read_cell("RECT NWELL 0 0 1 1\n"), ContractViolation);          // no CELL
+    EXPECT_THROW(read_cell("CELL a\nCELL b\nENDCELL\n"), ContractViolation);     // nested
+    EXPECT_THROW(read_cell("CELL a\nRECT BOGUS 0 0 1 1\nENDCELL\n"),
+                 ContractViolation);                                             // bad layer
+    EXPECT_THROW(read_cell("CELL a\nRECT NWELL 0 0\nENDCELL\n"), ContractViolation);
+    EXPECT_THROW(read_cell("CELL a\nRECT NWELL 0 0 0 5\nENDCELL\n"),
+                 ContractViolation);                                             // degenerate
+    EXPECT_THROW(read_cell("CELL a\nRECT NWELL 0 0 1 1\n"), ContractViolation);  // no end
+    EXPECT_THROW(read_cell("CELL a\nFROB\nENDCELL\n"), ContractViolation);
+    try {
+        read_cell("CELL a\nRECT NWELL zero 0 1 1\nENDCELL\n");
+        FAIL();
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(LayoutIo, FileSaveLoad) {
+    const std::string path = "/tmp/cbs_layout_io_test.lay";
+    const auto original = CantileverCellGenerator(mech::static_default(),
+                                                  CantileverCellOptions{.coil_turns = 0})
+                              .generate("static");
+    save_cell(original, path);
+    const auto loaded = load_cell(path);
+    EXPECT_EQ(loaded.shape_count(), original.shape_count());
+    std::remove(path.c_str());
+    EXPECT_THROW((void)load_cell("/nonexistent/nope.lay"), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include "fab/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::fab;
+
+TEST(RectTest, FromUmRoundsToNanometreGrid) {
+    const auto r = Rect::from_um(0.0, 0.0, 1.5, 2.0004);
+    EXPECT_EQ(r.x2, 1500);
+    EXPECT_EQ(r.y2, 2000);  // 2.0004 um -> 2000.4 nm -> 2000 nm
+}
+
+TEST(RectTest, NormalizeSwapsCorners) {
+    auto r = Rect::from_um(5.0, 5.0, 1.0, 2.0);
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.x1, 1000);
+    EXPECT_EQ(r.y1, 2000);
+}
+
+TEST(RectTest, MinDimensionAndArea) {
+    const auto r = Rect::from_um(0.0, 0.0, 10.0, 4.0);
+    EXPECT_EQ(r.min_dimension(), 4000);
+    EXPECT_DOUBLE_EQ(r.area_um2(), 40.0);
+}
+
+TEST(RectTest, IntersectionPredicates) {
+    const auto a = Rect::from_um(0, 0, 10, 10);
+    const auto b = Rect::from_um(5, 5, 15, 15);
+    const auto c = Rect::from_um(10, 0, 20, 10);  // touches a
+    const auto d = Rect::from_um(30, 30, 40, 40);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_TRUE(a.touches_or_intersects(c));
+    EXPECT_FALSE(a.touches_or_intersects(d));
+}
+
+TEST(RectTest, ContainsAndGrow) {
+    const auto outer = Rect::from_um(0, 0, 10, 10);
+    const auto inner = Rect::from_um(2, 2, 8, 8);
+    EXPECT_TRUE(outer.contains(inner));
+    EXPECT_FALSE(inner.contains(outer));
+    EXPECT_TRUE(outer.grown(-2000).contains(inner));
+    EXPECT_FALSE(outer.grown(-2001).contains(inner));
+}
+
+TEST(RectTest, DistanceAxisAndDiagonal) {
+    const auto a = Rect::from_um(0, 0, 10, 10);
+    const auto b = Rect::from_um(13, 0, 20, 10);   // 3 um x-gap
+    const auto c = Rect::from_um(13, 14, 20, 20);  // 3 x 4 diagonal gap
+    EXPECT_DOUBLE_EQ(a.distance_to(b), 3000.0);
+    EXPECT_DOUBLE_EQ(a.distance_to(c), 5000.0);
+    EXPECT_DOUBLE_EQ(a.distance_to(a), 0.0);
+}
+
+TEST(CellTest, AddAndQueryShapes) {
+    Cell cell("test");
+    cell.add_um(Layer::nwell, 0, 0, 10, 10);
+    cell.add_um(Layer::nwell, 20, 0, 30, 10);
+    cell.add_um(Layer::metal1, 0, 0, 5, 5);
+    EXPECT_EQ(cell.shape_count(), 3u);
+    EXPECT_EQ(cell.shape_count(Layer::nwell), 2u);
+    EXPECT_EQ(cell.shape_count(Layer::metal2), 0u);
+}
+
+TEST(CellTest, BoundingBox) {
+    Cell cell("bb");
+    cell.add_um(Layer::open, -5, -5, 0, 0);
+    cell.add_um(Layer::metal1, 10, 10, 20, 30);
+    const auto bb = cell.bounding_box();
+    EXPECT_EQ(bb.x1, -5000);
+    EXPECT_EQ(bb.y2, 30000);
+}
+
+TEST(CellTest, EmptyBoundingBoxThrows) {
+    Cell cell("empty");
+    EXPECT_THROW((void)cell.bounding_box(), ContractViolation);
+}
+
+TEST(CellTest, LayerAreaCountsOverlapOnce) {
+    Cell cell("area");
+    cell.add_um(Layer::open, 0, 0, 10, 10);
+    cell.add_um(Layer::open, 5, 0, 15, 10);  // overlaps 5x10
+    EXPECT_DOUBLE_EQ(cell.layer_area_um2(Layer::open), 150.0);
+}
+
+TEST(CellTest, InvalidRectRejected) {
+    Cell cell("bad");
+    Rect degenerate{0, 0, 0, 10};
+    EXPECT_THROW(cell.add(Layer::open, degenerate), ContractViolation);
+}
+
+TEST(LayerTest, NamesRoundTrip) {
+    for (std::size_t i = 0; i < layer_count; ++i) {
+        const auto layer = static_cast<Layer>(i);
+        EXPECT_EQ(layer_from_name(layer_name(layer)), layer);
+    }
+    EXPECT_THROW(layer_from_name("BOGUS"), ContractViolation);
+}
+
+TEST(LayerTest, MemsLayersFlagged) {
+    EXPECT_TRUE(is_mems_layer(Layer::open));
+    EXPECT_TRUE(is_mems_layer(Layer::membrane));
+    EXPECT_FALSE(is_mems_layer(Layer::metal2));
+}
+
+TEST(StackTest, DielectricTotal) {
+    StackInfo s;
+    EXPECT_NEAR(s.dielectric_total().value(), 3.2e-6, 1e-9);
+}
+
+}  // namespace

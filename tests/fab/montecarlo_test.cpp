@@ -1,0 +1,111 @@
+#include "fab/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fab/wafer.hpp"
+#include "mech/geometry.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::fab;
+
+ProcessMonteCarlo make(EtchMode mode) {
+    return ProcessMonteCarlo(mech::resonant_default(), KohEtchConfig{}, ProcessVariation{}, mode);
+}
+
+TEST(MonteCarlo, EtchStopYieldHigh) {
+    auto mc = make(EtchMode::electrochemical_stop);
+    Rng rng(1);
+    const auto stats = mc.run(1000, rng, 0.05);
+    // sigma_t/t ~ 2% -> f0 within 5% for the vast majority.
+    EXPECT_GT(stats.yield, 0.9);
+    EXPECT_NEAR(stats.f0_mean_hz, mc.nominal_resonance().value(),
+                0.02 * mc.nominal_resonance().value());
+}
+
+TEST(MonteCarlo, TimedEtchYieldCollapses) {
+    auto mc = make(EtchMode::timed);
+    Rng rng(1);
+    const auto stats = mc.run(1000, rng, 0.05);
+    EXPECT_LT(stats.yield, 0.3);
+}
+
+TEST(MonteCarlo, EtchStopThicknessSigmaTwentyTimesTighter) {
+    Rng rng1(2), rng2(2);
+    const auto s_stop = make(EtchMode::electrochemical_stop).run(1000, rng1);
+    const auto s_timed = make(EtchMode::timed).run(1000, rng2);
+    EXPECT_GT(s_timed.thickness_sigma_m / s_stop.thickness_sigma_m, 10.0);
+}
+
+TEST(MonteCarlo, SamplesAreReproducible) {
+    auto mc = make(EtchMode::electrochemical_stop);
+    Rng a(99), b(99);
+    const auto sa = mc.sample(a);
+    const auto sb = mc.sample(b);
+    EXPECT_DOUBLE_EQ(sa.geometry.thickness.value(), sb.geometry.thickness.value());
+    EXPECT_DOUBLE_EQ(sa.resonance.value(), sb.resonance.value());
+}
+
+TEST(MonteCarlo, FunctionalDevicesHaveResonance) {
+    auto mc = make(EtchMode::electrochemical_stop);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const auto s = mc.sample(rng);
+        if (s.functional) {
+            EXPECT_GT(s.resonance.value(), 100e3);
+            EXPECT_LT(s.resonance.value(), 1e6);
+        }
+    }
+}
+
+TEST(MonteCarlo, MismatchedDesignRejected) {
+    auto geom = mech::resonant_default();
+    geom.thickness = Length{20e-6};  // not the etch-stop depth
+    EXPECT_THROW(
+        ProcessMonteCarlo(geom, KohEtchConfig{}, ProcessVariation{},
+                          EtchMode::electrochemical_stop),
+        ContractViolation);
+}
+
+TEST(Wafer, DieCountPlausibleForFourInch) {
+    const auto mc = make(EtchMode::electrochemical_stop);
+    const WaferMap wafer(WaferConfig{}, mc);
+    // 100 mm wafer, 3x3 mm dies, 5 mm edge exclusion: several hundred dies.
+    EXPECT_GT(wafer.die_count(), 400u);
+    EXPECT_LT(wafer.die_count(), 800u);
+}
+
+TEST(Wafer, AllDiesInsideUsableRadius) {
+    const auto mc = make(EtchMode::electrochemical_stop);
+    const WaferConfig cfg;
+    const WaferMap wafer(cfg, mc);
+    const double r_use = (cfg.diameter.value() / 2.0 - cfg.edge_exclusion.value()) * 1e3;
+    for (const auto& [x, y] : wafer.die_positions()) {
+        EXPECT_LE(std::hypot(x, y), r_use);
+    }
+}
+
+TEST(Wafer, FabricateAndSummarize) {
+    const auto mc = make(EtchMode::electrochemical_stop);
+    const WaferMap wafer(WaferConfig{}, mc);
+    Rng rng(3);
+    const auto dies = wafer.fabricate(rng);
+    ASSERT_EQ(dies.size(), wafer.die_count());
+    const auto y = wafer.summarize(dies, 0.05);
+    EXPECT_GT(y.yield, 0.85);
+    EXPECT_GT(y.good, 0u);
+    // Cost per good die ~ wafer cost / good dies.
+    EXPECT_NEAR(y.cost_per_good_die_usd * static_cast<double>(y.good), 900.0, 1e-6);
+}
+
+TEST(Wafer, TimedEtchWaferMostlyScrap) {
+    const auto mc = make(EtchMode::timed);
+    const WaferMap wafer(WaferConfig{}, mc);
+    Rng rng(3);
+    const auto y = wafer.summarize(wafer.fabricate(rng), 0.05);
+    EXPECT_LT(y.yield, 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Property-style sweeps over a family of cantilever geometries: the
+// closed-form scaling laws and invariants of the beam/Stoney/mass-loading
+// models must hold for every physically valid device, not just the two
+// defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mech/beam.hpp"
+#include "mech/mass_loading.hpp"
+#include "mech/piezoresistance.hpp"
+#include "mech/resonator.hpp"
+#include "mech/stoney.hpp"
+#include "util/constants.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::mech;
+
+struct GeometryCase {
+    double length_um;
+    double width_um;
+    double thickness_um;
+};
+
+class BeamProperties : public ::testing::TestWithParam<GeometryCase> {
+protected:
+    CantileverGeometry geometry() const {
+        const auto p = GetParam();
+        CantileverGeometry g;
+        g.length = Length{p.length_um * 1e-6};
+        g.width = Length{p.width_um * 1e-6};
+        g.thickness = Length{p.thickness_um * 1e-6};
+        return g;
+    }
+};
+
+TEST_P(BeamProperties, FrequencyMatchesClosedForm) {
+    const auto g = geometry();
+    const EulerBernoulliBeam beam(g);
+    // f = (lambda1^2 / 2 pi) sqrt(E I / (rho A L^4))
+    const double lambda = constants::beam_lambda_1;
+    const double e = g.material.youngs_modulus.value();
+    const double rho = g.material.density.value();
+    const double t = g.thickness.value();
+    const double l = g.length.value();
+    const double expected =
+        lambda * lambda / (2.0 * constants::pi) * std::sqrt(e * t * t / (12.0 * rho)) / (l * l);
+    EXPECT_NEAR(beam.resonance_frequency().value(), expected, 1e-6 * expected);
+}
+
+TEST_P(BeamProperties, ModalMassIsQuarterOfTotal) {
+    const auto g = geometry();
+    const EulerBernoulliBeam beam(g);
+    EXPECT_NEAR(beam.effective_mass().value() / g.mass().value(), 0.25, 2e-4);
+}
+
+TEST_P(BeamProperties, ModalOverStaticStiffnessIsUniversal) {
+    // k1/k_static = lambda1^4/12 ~ 1.0302 for every uniform cantilever.
+    const EulerBernoulliBeam beam(geometry());
+    const double ratio = beam.modal_stiffness().value() / beam.spring_constant().value();
+    EXPECT_NEAR(ratio, std::pow(constants::beam_lambda_1, 4) / 12.0, 2e-3);
+}
+
+TEST_P(BeamProperties, ModeShapesConsistentAcrossModes) {
+    const auto g = geometry();
+    const EulerBernoulliBeam beam(g);
+    for (std::size_t mode = 1; mode <= 3; ++mode) {
+        EXPECT_NEAR(beam.mode_shape(mode, Length{0.0}), 0.0, 1e-12);
+        EXPECT_NEAR(beam.mode_shape(mode, g.length), 1.0, 1e-9);
+    }
+    // Higher modes have more curvature magnitude at the clamp (the sign
+    // flips with the tip normalization of even modes).
+    EXPECT_GT(std::fabs(beam.mode_curvature_at_clamp(2).value()),
+              std::fabs(beam.mode_curvature_at_clamp(1).value()));
+}
+
+TEST_P(BeamProperties, StoneyInverseRoundTrips) {
+    const StoneyModel stoney(geometry());
+    for (double s_mn : {0.1, 1.0, 10.0}) {
+        const SurfaceStress s{s_mn * 1e-3};
+        const auto z = stoney.tip_deflection(s);
+        EXPECT_NEAR(stoney.stress_from_tip_deflection(z).value(), s.value(),
+                    1e-12 + 1e-9 * s.value());
+    }
+}
+
+TEST_P(BeamProperties, StoneySensitivityScalesInverseThicknessSquared) {
+    auto g = geometry();
+    const StoneyModel base(g);
+    g.thickness = g.thickness * 1.5;
+    // Only valid if still a thin beam.
+    if (g.length.value() < 10.0 * g.thickness.value()) GTEST_SKIP();
+    const StoneyModel thick(g);
+    EXPECT_NEAR(base.responsivity().value() / thick.responsivity().value(), 2.25, 1e-9);
+}
+
+TEST_P(BeamProperties, MassLoadingInverseRoundTrips) {
+    const EulerBernoulliBeam beam(geometry());
+    const MassLoadingModel model(beam);
+    for (double frac : {1e-6, 1e-3, 0.1}) {
+        const Mass dm = beam.effective_mass() * frac;
+        for (auto dist : {MassDistribution::tip, MassDistribution::uniform}) {
+            const auto f = model.loaded_frequency(dm, dist);
+            // For tiny loads the inverse suffers cancellation in
+            // (f0/f)^2 - 1; allow for the amplified rounding.
+            EXPECT_NEAR(model.mass_from_frequency(f, dist).value(), dm.value(),
+                        1e-8 * dm.value() + 1e-10 * beam.effective_mass().value() *
+                                                std::numeric_limits<double>::epsilon() /
+                                                std::max(frac, 1e-12));
+        }
+    }
+}
+
+TEST_P(BeamProperties, MassShiftMonotoneInMass) {
+    const EulerBernoulliBeam beam(geometry());
+    const MassLoadingModel model(beam);
+    double prev = 0.0;
+    for (double m_pg = 0.1; m_pg < 100.0; m_pg *= 10.0) {
+        const double df =
+            model.frequency_shift(Mass{m_pg * 1e-15}, MassDistribution::tip).value();
+        EXPECT_LT(df, prev);
+        prev = df;
+    }
+}
+
+TEST_P(BeamProperties, PiezoResponseLinearInDeflection) {
+    const EulerBernoulliBeam beam(geometry());
+    const PiezoResistor gauge(geometry().material, ResistorOrientation::longitudinal,
+                              ResistorPlacement::clamped_edge);
+    const double d1 = gauge.relative_change_tip_deflection(beam, Length{1e-9});
+    const double d10 = gauge.relative_change_tip_deflection(beam, Length{10e-9});
+    EXPECT_NEAR(d10 / d1, 10.0, 1e-9);
+    EXPECT_GT(d1, 0.0);
+}
+
+TEST_P(BeamProperties, EnergyScalesQuadraticallyWithAmplitude) {
+    const EulerBernoulliBeam beam(geometry());
+    ResonatorParams p;
+    p.omega0 = 2.0 * constants::pi * beam.resonance_frequency();
+    p.q = 100.0;
+    p.effective_mass = beam.effective_mass();
+    ModalResonator r1(p), r2(p);
+    r1.set_state(Length{1e-8}, Velocity{0.0});
+    r2.set_state(Length{3e-8}, Velocity{0.0});
+    EXPECT_NEAR(r2.energy().value() / r1.energy().value(), 9.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometrySweep, BeamProperties,
+    ::testing::Values(GeometryCase{150.0, 40.0, 5.2},   // resonant default
+                      GeometryCase{500.0, 100.0, 3.5},  // static default
+                      GeometryCase{100.0, 30.0, 2.0},   // short + thin
+                      GeometryCase{300.0, 50.0, 8.0},   // thick
+                      GeometryCase{800.0, 150.0, 4.0},  // long soft plate
+                      GeometryCase{60.0, 20.0, 1.5}),   // minimal device
+    [](const ::testing::TestParamInfo<GeometryCase>& info) {
+        const auto& p = info.param;
+        return "L" + std::to_string(static_cast<int>(p.length_um)) + "w" +
+               std::to_string(static_cast<int>(p.width_um)) + "t" +
+               std::to_string(static_cast<int>(p.thickness_um * 10.0));
+    });
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include "mech/beam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::literals;
+using namespace cbs::mech;
+
+TEST(Geometry, DefaultsValidate) {
+    EXPECT_NO_THROW(resonant_default().validate());
+    EXPECT_NO_THROW(static_default().validate());
+}
+
+TEST(Geometry, RejectsNonPositiveDimensions) {
+    auto g = resonant_default();
+    g.length = Length{0.0};
+    EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(Geometry, RejectsThickStubbyBeam) {
+    auto g = resonant_default();
+    g.thickness = 30.0_um;  // L/t < 10
+    EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(Geometry, MassOfDefaultResonantDevice) {
+    const auto g = resonant_default();
+    // 150x40x5.2 um of Si: 2330 * 3.12e-14 m^3 = 72.7 ng.
+    EXPECT_NEAR(g.mass().value(), 72.7e-12, 0.5e-12);
+}
+
+TEST(Beam, SpringConstantMatchesClosedForm) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const auto g = resonant_default();
+    // k = E w t^3 / (4 L^3)
+    const double expected = 169e9 * 40e-6 * std::pow(5.2e-6, 3) / (4.0 * std::pow(150e-6, 3));
+    EXPECT_NEAR(beam.spring_constant().value(), expected, 1e-6 * expected);
+    EXPECT_NEAR(beam.spring_constant().value(), 70.4, 1.0);
+    (void)g;
+}
+
+TEST(Beam, FundamentalFrequencyOfResonantDevice) {
+    const EulerBernoulliBeam beam(resonant_default());
+    // f0 ~ 0.1615 t/L^2 sqrt(E/rho) ~ 318 kHz.
+    EXPECT_NEAR(beam.resonance_frequency(1).value(), 318e3, 4e3);
+}
+
+TEST(Beam, FrequencyScalesAsThicknessOverLengthSquared) {
+    auto g = resonant_default();
+    const EulerBernoulliBeam b1(g);
+    g.length = g.length * 2.0;
+    const EulerBernoulliBeam b2(g);
+    EXPECT_NEAR(b2.resonance_frequency().value() / b1.resonance_frequency().value(), 0.25, 1e-6);
+
+    auto g3 = resonant_default();
+    g3.thickness = g3.thickness * 2.0;
+    const EulerBernoulliBeam b3(g3);
+    EXPECT_NEAR(b3.resonance_frequency().value() / b1.resonance_frequency().value(), 2.0, 1e-6);
+}
+
+TEST(Beam, FrequencyIndependentOfWidth) {
+    auto g = resonant_default();
+    const EulerBernoulliBeam b1(g);
+    g.width = g.width * 3.0;
+    const EulerBernoulliBeam b2(g);
+    EXPECT_NEAR(b2.resonance_frequency().value(), b1.resonance_frequency().value(), 1e-9);
+}
+
+TEST(Beam, ModeRatiosMatchTheory) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const double f1 = beam.resonance_frequency(1).value();
+    const double f2 = beam.resonance_frequency(2).value();
+    const double f3 = beam.resonance_frequency(3).value();
+    // f_n / f_1 = (lambda_n / lambda_1)^2 : 6.267, 17.547.
+    EXPECT_NEAR(f2 / f1, 6.267, 0.01);
+    EXPECT_NEAR(f3 / f1, 17.547, 0.01);
+}
+
+TEST(Beam, ModeShapeBoundaryConditions) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const auto L = resonant_default().length;
+    for (std::size_t mode = 1; mode <= 3; ++mode) {
+        EXPECT_NEAR(beam.mode_shape(mode, Length{0.0}), 0.0, 1e-12);
+        EXPECT_NEAR(beam.mode_shape(mode, L), 1.0, 1e-9);
+    }
+}
+
+TEST(Beam, ModeShapeSlopeZeroAtClamp) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const double h = 1e-12;
+    const double slope =
+        (beam.mode_shape(1, Length{h}) - beam.mode_shape(1, Length{0.0})) / h;
+    EXPECT_NEAR(slope, 0.0, 1e-3);  // phi ~ x^2 near clamp
+}
+
+TEST(Beam, EffectiveMassFractionMode1) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const double frac = beam.effective_mass(1).value() / resonant_default().mass().value();
+    EXPECT_NEAR(frac, constants::beam_effective_mass_fraction, 1e-4);
+}
+
+TEST(Beam, ModalStiffnessSlightlyAboveStatic) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const double ratio = beam.modal_stiffness(1).value() / beam.spring_constant().value();
+    // k1/k_static = 1.030 for a uniform cantilever.
+    EXPECT_NEAR(ratio, 1.03, 0.01);
+}
+
+TEST(Beam, TipDeflectionLinearInForce) {
+    const EulerBernoulliBeam beam(resonant_default());
+    const auto z1 = beam.tip_deflection(1.0_nN);
+    const auto z2 = beam.tip_deflection(2.0_nN);
+    EXPECT_NEAR(z2.value() / z1.value(), 2.0, 1e-12);
+    // 1 nN / 70.4 N/m ~ 14.2 pm.
+    EXPECT_NEAR(z1.value(), 14.2e-12, 0.3e-12);
+}
+
+TEST(Beam, ClampStressFromTipForce) {
+    const EulerBernoulliBeam beam(resonant_default());
+    // sigma = 6 F L / (w t^2), F = 1 uN.
+    const double expected = 6.0 * 1e-6 * 150e-6 / (40e-6 * 5.2e-6 * 5.2e-6);
+    EXPECT_NEAR(beam.clamp_stress_from_tip_force(1.0_uN).value(), expected, 1e-3 * expected);
+}
+
+TEST(Beam, ModalClampStressExceedsStaticShape) {
+    // The mode-1 shape curves more at the clamp than the static shape for
+    // the same tip displacement: ratio = lambda1^2/2 / 1.5 ~ 1.172.
+    const EulerBernoulliBeam beam(resonant_default());
+    const auto z = 10.0_nm;
+    const double s_static = beam.clamp_stress_from_tip_deflection_static(z).value();
+    const double s_modal = beam.clamp_stress_from_tip_deflection_modal(z, 1).value();
+    EXPECT_NEAR(s_modal / s_static, 1.172, 0.01);
+}
+
+TEST(Beam, InvalidModeThrows) {
+    const EulerBernoulliBeam beam(resonant_default());
+    EXPECT_THROW((void)beam.resonance_frequency(0), ContractViolation);
+    EXPECT_THROW((void)beam.resonance_frequency(4), ContractViolation);
+}
+
+}  // namespace

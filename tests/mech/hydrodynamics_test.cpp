@@ -1,0 +1,95 @@
+#include "mech/hydrodynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/fluid.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::mech;
+using namespace cbs::phys;
+
+EulerBernoulliBeam beam() { return EulerBernoulliBeam(resonant_default()); }
+
+TEST(Hydro, VacuumIsUnloaded) {
+    const HydrodynamicModel m(beam(), fluids::vacuum());
+    const auto s = m.solve();
+    EXPECT_DOUBLE_EQ(s.resonance.value(), beam().resonance_frequency().value());
+    EXPECT_TRUE(std::isinf(s.quality_factor));
+    EXPECT_DOUBLE_EQ(s.added_modal_mass.value(), 0.0);
+}
+
+TEST(Hydro, AirBarelyShiftsResonance) {
+    const HydrodynamicModel m(beam(), fluids::air());
+    const auto s = m.solve();
+    const double f_vac = beam().resonance_frequency().value();
+    EXPECT_LT(s.resonance.value(), f_vac);
+    EXPECT_GT(s.resonance.value(), 0.995 * f_vac);  // < 0.5% shift in air
+}
+
+TEST(Hydro, AirQOrderHundreds) {
+    const HydrodynamicModel m(beam(), fluids::air());
+    const auto s = m.solve();
+    EXPECT_GT(s.quality_factor, 100.0);
+    EXPECT_LT(s.quality_factor, 5000.0);
+}
+
+TEST(Hydro, WaterLoadsHeavily) {
+    const HydrodynamicModel m(beam(), fluids::water());
+    const auto s = m.solve();
+    const double f_vac = beam().resonance_frequency().value();
+    // Liquid immersion drops f0 by tens of percent and Q to O(1..30).
+    EXPECT_LT(s.resonance.value(), 0.85 * f_vac);
+    EXPECT_GT(s.resonance.value(), 0.3 * f_vac);
+    EXPECT_GT(s.quality_factor, 1.0);
+    EXPECT_LT(s.quality_factor, 50.0);
+}
+
+TEST(Hydro, SerumWorseThanWater) {
+    const auto w = HydrodynamicModel(beam(), fluids::water()).solve();
+    const auto s = HydrodynamicModel(beam(), fluids::serum()).solve();
+    EXPECT_LT(s.quality_factor, w.quality_factor);
+}
+
+TEST(Hydro, GammaRealAtLeastInviscidLimit) {
+    const HydrodynamicModel m(beam(), fluids::water());
+    using cbs::AngularFrequency;
+    EXPECT_GE(m.gamma_real(AngularFrequency{2e6}), 1.0553);
+}
+
+TEST(Hydro, GammaImagVanishesAtHighFrequency) {
+    const HydrodynamicModel m(beam(), fluids::water());
+    const double gi_lo = m.gamma_imag(AngularFrequency{1e4});
+    const double gi_hi = m.gamma_imag(AngularFrequency{1e8});
+    EXPECT_GT(gi_lo, gi_hi);
+}
+
+TEST(Hydro, AddedMassPositiveInLiquid) {
+    const auto s = HydrodynamicModel(beam(), fluids::water()).solve();
+    EXPECT_GT(s.added_modal_mass.value(), 0.0);
+    // Co-moving water mass is comparable to the beam's own modal mass.
+    EXPECT_GT(s.added_modal_mass.value(), 0.2 * beam().effective_mass().value());
+}
+
+TEST(Hydro, CombinedQ) {
+    EXPECT_NEAR(HydrodynamicModel::combined_q(300.0, 300.0), 150.0, 1e-9);
+    EXPECT_DOUBLE_EQ(
+        HydrodynamicModel::combined_q(std::numeric_limits<double>::infinity(), 250.0), 250.0);
+}
+
+TEST(Hydro, WiderBeamHigherGammaRatioEffect) {
+    // Wider beams entrain relatively less boundary layer (delta/w smaller),
+    // so Gamma_r approaches the inviscid limit.
+    auto g = resonant_default();
+    const HydrodynamicModel narrow(EulerBernoulliBeam(g), fluids::water());
+    g.width = g.width * 4.0;
+    const HydrodynamicModel wide(EulerBernoulliBeam(g), fluids::water());
+    using cbs::AngularFrequency;
+    const AngularFrequency w{2e6};
+    EXPECT_LT(wide.gamma_real(w), narrow.gamma_real(w));
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "mech/mass_loading.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::literals;
+using namespace cbs::mech;
+
+MassLoadingModel make_model() {
+    static const EulerBernoulliBeam beam(resonant_default());
+    return MassLoadingModel(beam);
+}
+
+TEST(MassLoading, ZeroMassNoShift) {
+    const auto m = make_model();
+    EXPECT_DOUBLE_EQ(m.frequency_shift(Mass{0.0}, MassDistribution::tip).value(), 0.0);
+}
+
+TEST(MassLoading, AddedMassLowersFrequency) {
+    const auto m = make_model();
+    EXPECT_LT(m.frequency_shift(1.0_pg, MassDistribution::tip).value(), 0.0);
+    EXPECT_LT(m.frequency_shift(1.0_pg, MassDistribution::uniform).value(), 0.0);
+}
+
+TEST(MassLoading, TipMassSensitivityAboutNineHzPerPg) {
+    const auto m = make_model();
+    // |df/dm| = f0 / (2 m_eff) ~ 9 Hz/pg for the default device.
+    const double s = -m.responsivity(MassDistribution::tip).value() * 1e-15;  // Hz per pg
+    EXPECT_NEAR(s, 9.0, 0.5);
+}
+
+TEST(MassLoading, UniformLoadingCouplesWeakerByModalFraction) {
+    const auto m = make_model();
+    const double r_tip = m.responsivity(MassDistribution::tip).value();
+    const double r_uni = m.responsivity(MassDistribution::uniform).value();
+    EXPECT_NEAR(r_uni / r_tip, 0.25, 0.001);
+}
+
+TEST(MassLoading, SmallSignalMatchesExactForTinyMass) {
+    const auto m = make_model();
+    const auto dm = 1.0_fg;
+    const double exact = m.frequency_shift(dm, MassDistribution::tip).value();
+    const double linear = m.responsivity(MassDistribution::tip).value() * dm.value();
+    EXPECT_NEAR(exact / linear, 1.0, 1e-4);
+}
+
+TEST(MassLoading, LargeMassDeviatesFromLinear) {
+    const auto m = make_model();
+    const Mass dm = m.effective_mass();  // 100% mass loading
+    const double exact = m.frequency_shift(dm, MassDistribution::tip).value();
+    const double linear = m.responsivity(MassDistribution::tip).value() * dm.value();
+    // Exact shift is smaller in magnitude: f0(1/sqrt2 - 1) vs -f0/2.
+    EXPECT_GT(exact, linear);
+    EXPECT_NEAR(exact / m.unloaded_frequency().value(), 1.0 / std::sqrt(2.0) - 1.0, 1e-9);
+}
+
+TEST(MassLoading, InverseRoundTripsTip) {
+    const auto m = make_model();
+    const auto dm = 3.7_pg;
+    const auto f = m.loaded_frequency(dm, MassDistribution::tip);
+    EXPECT_NEAR(m.mass_from_frequency(f, MassDistribution::tip).value(), dm.value(),
+                1e-9 * dm.value());
+}
+
+TEST(MassLoading, InverseRoundTripsUniform) {
+    const auto m = make_model();
+    const auto dm = 14.9_pg;  // full monolayer-scale load
+    const auto f = m.loaded_frequency(dm, MassDistribution::uniform);
+    EXPECT_NEAR(m.mass_from_frequency(f, MassDistribution::uniform).value(), dm.value(),
+                1e-9 * dm.value());
+}
+
+TEST(MassLoading, NegativeMassThrows) {
+    const auto m = make_model();
+    EXPECT_THROW((void)m.frequency_shift(Mass{-1e-15}, MassDistribution::tip), ContractViolation);
+}
+
+TEST(MassLoading, FrequencyAboveUnloadedThrowsInInverse) {
+    const auto m = make_model();
+    EXPECT_THROW(
+        (void)m.mass_from_frequency(m.unloaded_frequency() * 1.01, MassDistribution::tip),
+        ContractViolation);
+}
+
+}  // namespace

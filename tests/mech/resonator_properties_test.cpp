@@ -1,0 +1,92 @@
+// Parameterized integrator cross-checks: the exact ZOH propagator and RK4
+// must agree across the (frequency, Q) space the sensors operate in, and
+// the exact propagator must be unconditionally stable where RK4 is not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mech/resonator.hpp"
+#include "util/constants.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::mech;
+
+struct ResonatorCase {
+    double f0_hz;
+    double q;
+};
+
+class ResonatorProperties : public ::testing::TestWithParam<ResonatorCase> {
+protected:
+    ResonatorParams params() const {
+        ResonatorParams p;
+        p.omega0 = AngularFrequency{2.0 * constants::pi * GetParam().f0_hz};
+        p.q = GetParam().q;
+        p.effective_mass = Mass{1.8e-11};
+        return p;
+    }
+};
+
+TEST_P(ResonatorProperties, ExactAndRk4AgreeAtFineStep) {
+    ModalResonator a(params()), b(params());
+    a.set_state(Length{1e-8}, Velocity{0.0});
+    b.set_state(Length{1e-8}, Velocity{0.0});
+    const double dt = 1.0 / (512.0 * GetParam().f0_hz);
+    for (int i = 0; i < 5000; ++i) {
+        const Force f{1e-9 * std::sin(0.001 * i)};
+        a.step_exact(f, Time{dt});
+        b.step_rk4(f, Time{dt});
+    }
+    EXPECT_NEAR(b.displacement().value(), a.displacement().value(),
+                1e-5 * std::fabs(a.displacement().value()) + 1e-14);
+}
+
+TEST_P(ResonatorProperties, ExactStableAtCoarseStepWhereRk4Diverges) {
+    // Past RK4's oscillator stability bound (w0 dt > 2*sqrt(2)) the RK4
+    // trajectory grows without bound, while the ZOH propagator is exact at
+    // any step — the reason the loop uses the exact update.
+    ModalResonator exact(params()), rk4(params());
+    exact.set_state(Length{1e-8}, Velocity{0.0});
+    rk4.set_state(Length{1e-8}, Velocity{0.0});
+    const double dt = 0.6 / GetParam().f0_hz;  // w0 dt ~ 3.77
+    for (int i = 0; i < 3000; ++i) {
+        exact.step_exact(Force{0.0}, Time{dt});
+        rk4.step_rk4(Force{0.0}, Time{dt});
+    }
+    // Free decay: the exact solution can only have shrunk.
+    EXPECT_LE(std::fabs(exact.displacement().value()), 1e-8 * (1.0 + 1e-9));
+    if (GetParam().q > 50.0) {
+        const double rk4_magnitude =
+            std::fabs(rk4.displacement().value()) + std::fabs(rk4.velocity().value());
+        EXPECT_TRUE(!std::isfinite(rk4_magnitude) || rk4_magnitude > 1e-8)
+            << "rk4 magnitude " << rk4_magnitude;
+    }
+}
+
+TEST_P(ResonatorProperties, RingDownFollowsQ) {
+    ModalResonator r(params());
+    r.set_state(Length{1e-8}, Velocity{0.0});
+    const double f0 = GetParam().f0_hz;
+    const double q = GetParam().q;
+    const double t_half_energy =
+        q / (2.0 * constants::pi * f0) * std::log(2.0);  // energy ~ e^{-w0 t / Q}
+    const double dt = 1.0 / (64.0 * f0);
+    const auto steps = static_cast<int>(t_half_energy / dt);
+    const double e0 = r.energy().value();
+    for (int i = 0; i < steps; ++i) r.step_exact(Force{0.0}, Time{dt});
+    EXPECT_NEAR(r.energy().value() / e0, 0.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FrequencyQSweep, ResonatorProperties,
+    ::testing::Values(ResonatorCase{20e3, 30.0}, ResonatorCase{318e3, 639.0},
+                      ResonatorCase{318e3, 7.0}, ResonatorCase{157e3, 11.0},
+                      ResonatorCase{1e6, 300.0}),
+    [](const ::testing::TestParamInfo<ResonatorCase>& info) {
+        return "f" + std::to_string(static_cast<int>(info.param.f0_hz / 1e3)) + "k_q" +
+               std::to_string(static_cast<int>(info.param.q));
+    });
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include "mech/resonator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::literals;
+using namespace cbs::mech;
+
+ResonatorParams params(double f0 = 318e3, double q = 300.0, double m = 17.6e-12) {
+    ResonatorParams p;
+    p.omega0 = AngularFrequency{2.0 * constants::pi * f0};
+    p.q = q;
+    p.effective_mass = Mass{m};
+    return p;
+}
+
+TEST(Resonator, StaticForceSettlesToHookesLaw) {
+    ModalResonator r(params());
+    const Force f = 1.0_uN;
+    const Time dt{1e-7};
+    // Run long past the ring-down time (Q/f0 ~ 1 ms).
+    for (int i = 0; i < 200000; ++i) r.step_exact(f, dt);
+    const double k = params().modal_stiffness().value();
+    EXPECT_NEAR(r.displacement().value(), f.value() / k, 1e-3 * f.value() / k);
+    EXPECT_NEAR(r.velocity().value(), 0.0, 1e-6);
+}
+
+TEST(Resonator, FreeDecayEnvelopeMatchesQ) {
+    auto p = params();
+    ModalResonator r(p);
+    r.set_state(Length{1e-7}, Velocity{0.0});
+    const double tau = 2.0 * p.q / p.omega0.value();  // amplitude decay time
+    const Time dt{1e-8};
+    const int steps = static_cast<int>(tau / dt.value());
+    for (int i = 0; i < steps; ++i) r.step_exact(Force{0.0}, dt);
+    const double env = std::sqrt(2.0 * r.energy().value() / p.modal_stiffness().value());
+    EXPECT_NEAR(env / 1e-7, std::exp(-1.0), 0.02);
+}
+
+TEST(Resonator, EnergyConservedWithoutDampingOrForce) {
+    auto p = params();
+    p.q = 1e12;  // effectively undamped
+    ModalResonator r(p);
+    r.set_state(Length{1e-8}, Velocity{0.0});
+    const double e0 = r.energy().value();
+    const Time dt{1e-8};
+    for (int i = 0; i < 100000; ++i) r.step_exact(Force{0.0}, dt);
+    EXPECT_NEAR(r.energy().value() / e0, 1.0, 1e-6);
+}
+
+TEST(Resonator, ExactStepPhaseAccuracy) {
+    // After exactly one period the undamped state must return to itself.
+    auto p = params(1e5, 1e12, 1e-11);
+    ModalResonator r(p);
+    r.set_state(Length{1e-8}, Velocity{0.0});
+    const double period = 2.0 * constants::pi / p.omega0.value();
+    const int n = 64;
+    const Time dt{period / n};
+    for (int i = 0; i < n; ++i) r.step_exact(Force{0.0}, dt);
+    EXPECT_NEAR(r.displacement().value(), 1e-8, 1e-12);
+    EXPECT_NEAR(r.velocity().value(), 0.0, 1e-8 * p.omega0.value() * 1e-3);
+}
+
+TEST(Resonator, Rk4AgreesWithExactAtSmallStep) {
+    ModalResonator a(params());
+    ModalResonator b(params());
+    a.set_state(Length{1e-8}, Velocity{0.0});
+    b.set_state(Length{1e-8}, Velocity{0.0});
+    const Time dt{1e-9};  // ~3000 steps/period
+    for (int i = 0; i < 20000; ++i) {
+        const Force f{i % 2 == 0 ? 1e-9 : -1e-9};
+        a.step_exact(f, dt);
+        b.step_rk4(f, dt);
+    }
+    EXPECT_NEAR(b.displacement().value(), a.displacement().value(),
+                1e-4 * std::abs(a.displacement().value()) + 1e-15);
+}
+
+TEST(Resonator, ResonantDriveAmplifiesByQ) {
+    auto p = params();
+    ModalResonator r(p);
+    const double f0 = p.omega0.value() / (2.0 * constants::pi);
+    const double famp = 20e-9;  // 20 nN drive
+    const Time dt{1.0 / (64.0 * f0)};
+    // Drive at resonance for ~5 ring-up times.
+    const int steps = static_cast<int>(5.0 * p.q / f0 / dt.value());
+    double t = 0.0;
+    double peak = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        const Force f{famp * std::sin(p.omega0.value() * t)};
+        r.step_exact(f, dt);
+        t += dt.value();
+        if (i > steps * 9 / 10) peak = std::max(peak, std::abs(r.displacement().value()));
+    }
+    const double expected = famp * p.q / p.modal_stiffness().value();
+    EXPECT_NEAR(peak, expected, 0.05 * expected);
+}
+
+TEST(Resonator, SetParamsRetunesFrequency) {
+    auto p = params(1e5, 1e12, 1e-11);
+    ModalResonator r(p);
+    r.set_state(Length{1e-8}, Velocity{0.0});
+    const Time dt{1e-7};
+    r.step_exact(Force{0.0}, dt);
+    // Retune to twice the frequency; propagator cache must refresh.
+    auto p2 = p;
+    p2.omega0 = p.omega0 * 2.0;
+    r.set_params(p2);
+    ModalResonator fresh(p2);
+    fresh.set_state(r.displacement(), r.velocity());
+    r.step_exact(Force{0.0}, dt);
+    fresh.step_exact(Force{0.0}, dt);
+    EXPECT_DOUBLE_EQ(r.displacement().value(), fresh.displacement().value());
+}
+
+TEST(Resonator, OverdampedParamsRejected) {
+    auto p = params();
+    p.q = 0.4;  // zeta > 1
+    ModalResonator r(p);
+    EXPECT_THROW(r.step_exact(Force{0.0}, Time{1e-7}), ContractViolation);
+}
+
+TEST(Resonator, InvalidConstructionThrows) {
+    auto p = params();
+    p.effective_mass = Mass{0.0};
+    EXPECT_THROW(ModalResonator{p}, ContractViolation);
+}
+
+}  // namespace

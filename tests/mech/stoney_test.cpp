@@ -1,0 +1,79 @@
+#include "mech/stoney.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mech/geometry.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::literals;
+using namespace cbs::mech;
+
+TEST(Stoney, TipDeflectionMatchesClosedForm) {
+    const auto g = static_default();
+    const StoneyModel m(g);
+    // delta = 3 (1-nu) L^2 dsigma / (E t^2)
+    const double nu = g.material.poisson_ratio;
+    const double expected = 3.0 * (1.0 - nu) * 500e-6 * 500e-6 * 5e-3 / (169e9 * 3.5e-6 * 3.5e-6);
+    EXPECT_NEAR(m.tip_deflection(5.0_mN_per_m).value(), expected, 1e-6 * expected);
+}
+
+TEST(Stoney, DeflectionIsNanometreScaleForMilliNewtonPerMetre) {
+    const StoneyModel m(static_default());
+    const auto z = m.tip_deflection(5.0_mN_per_m);
+    EXPECT_GT(z.value(), 0.5e-9);
+    EXPECT_LT(z.value(), 5e-9);
+}
+
+TEST(Stoney, LinearInStress) {
+    const StoneyModel m(static_default());
+    const double z1 = m.tip_deflection(1.0_mN_per_m).value();
+    const double z2 = m.tip_deflection(2.0_mN_per_m).value();
+    EXPECT_NEAR(z2 / z1, 2.0, 1e-12);
+}
+
+TEST(Stoney, CompressiveStressBendsOppositeWay) {
+    const StoneyModel m(static_default());
+    EXPECT_LT(m.tip_deflection(SurfaceStress{-1e-3}).value(), 0.0);
+}
+
+TEST(Stoney, ParabolicProfile) {
+    const auto g = static_default();
+    const StoneyModel m(g);
+    const auto s = 10.0_mN_per_m;
+    const double z_half = m.deflection(s, g.length / 2.0).value();
+    const double z_tip = m.tip_deflection(s).value();
+    EXPECT_NEAR(z_half / z_tip, 0.25, 1e-9);
+    EXPECT_DOUBLE_EQ(m.deflection(s, Length{0.0}).value(), 0.0);
+}
+
+TEST(Stoney, SensitivityImprovesWithThinnerBeam) {
+    auto g = static_default();
+    const StoneyModel thick(g);
+    g.thickness = g.thickness / 2.0;
+    const StoneyModel thin(g);
+    EXPECT_NEAR(thin.responsivity().value() / thick.responsivity().value(), 4.0, 1e-9);
+}
+
+TEST(Stoney, SurfaceBendingStressIsThreeSigmaOverT) {
+    const auto g = static_default();
+    const StoneyModel m(g);
+    EXPECT_NEAR(m.surface_bending_stress(5.0_mN_per_m).value(), 3.0 * 5e-3 / 3.5e-6, 1.0);
+}
+
+TEST(Stoney, InverseModelRoundTrips) {
+    const StoneyModel m(static_default());
+    const auto s = 7.3_mN_per_m;
+    const auto z = m.tip_deflection(s);
+    EXPECT_NEAR(m.stress_from_tip_deflection(z).value(), s.value(), 1e-12);
+}
+
+TEST(Stoney, OutOfRangePositionThrows) {
+    const auto g = static_default();
+    const StoneyModel m(g);
+    EXPECT_THROW((void)m.deflection(1.0_mN_per_m, g.length * 2.0), ContractViolation);
+}
+
+}  // namespace

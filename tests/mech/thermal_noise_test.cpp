@@ -1,0 +1,76 @@
+#include "mech/thermal_noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::literals;
+using namespace cbs::mech;
+
+EulerBernoulliBeam beam() { return EulerBernoulliBeam(resonant_default()); }
+
+TEST(ThermalNoise, ForceDensityFemtoNewtonScale) {
+    const ThermalNoiseModel m(beam(), 300.0, constants::T_room);
+    // sqrt(4 kB T m w0 / Q) for the default device ~ tens of fN/sqrt(Hz).
+    const double f = m.force_noise_density().value();
+    EXPECT_GT(f, 1e-15);
+    EXPECT_LT(f, 1e-13);
+}
+
+TEST(ThermalNoise, LowerQMeansMoreForceNoise) {
+    const ThermalNoiseModel air(beam(), 300.0, constants::T_room);
+    const ThermalNoiseModel water(beam(), 10.0, constants::T_room);
+    EXPECT_GT(water.force_noise_density().value(), air.force_noise_density().value());
+    // S_F ~ 1/Q: density scales as sqrt(30).
+    EXPECT_NEAR(water.force_noise_density().value() / air.force_noise_density().value(),
+                std::sqrt(30.0), 0.01);
+}
+
+TEST(ThermalNoise, EquipartitionDisplacement) {
+    const ThermalNoiseModel m(beam(), 300.0, constants::T_room);
+    // sqrt(kB T / k) with k ~ 72.5 N/m (modal) -> ~ 7.5 pm.
+    EXPECT_NEAR(m.equipartition_displacement().value(), 7.5e-12, 0.2e-12);
+}
+
+TEST(ThermalNoise, DisplacementNoiseScalesWithSqrtBandwidth) {
+    const ThermalNoiseModel m(beam(), 300.0, constants::T_room);
+    const double x1 = m.displacement_noise_at_resonance(1.0_Hz).value();
+    const double x4 = m.displacement_noise_at_resonance(4.0_Hz).value();
+    EXPECT_NEAR(x4 / x1, 2.0, 1e-9);
+}
+
+TEST(ThermalNoise, MinimumDetectableMassSubPicogram) {
+    const ThermalNoiseModel m(beam(), 300.0, constants::T_room);
+    const auto dm = m.minimum_detectable_mass(85.0_nm, 1.0_s);
+    // Thermomechanically-limited resolution is far below a pg for this
+    // device: attogram-to-femtogram scale.
+    EXPECT_LT(dm.value(), 1e-15);
+    EXPECT_GT(dm.value(), 1e-22);
+}
+
+TEST(ThermalNoise, LargerDriveImprovesMassResolution) {
+    const ThermalNoiseModel m(beam(), 300.0, constants::T_room);
+    const double dm_small = m.minimum_detectable_mass(10.0_nm, 1.0_s).value();
+    const double dm_large = m.minimum_detectable_mass(100.0_nm, 1.0_s).value();
+    EXPECT_NEAR(dm_small / dm_large, 10.0, 1e-6);
+}
+
+TEST(ThermalNoise, LongerAveragingImprovesAsSqrtTau) {
+    const ThermalNoiseModel m(beam(), 300.0, constants::T_room);
+    const double dm1 = m.minimum_detectable_mass(85.0_nm, 1.0_s).value();
+    const double dm100 = m.minimum_detectable_mass(85.0_nm, 100.0_s).value();
+    EXPECT_NEAR(dm1 / dm100, 10.0, 1e-6);
+}
+
+TEST(ThermalNoise, InvalidArgumentsThrow) {
+    EXPECT_THROW(ThermalNoiseModel(beam(), 0.0, constants::T_room), ContractViolation);
+    const ThermalNoiseModel m(beam(), 100.0, constants::T_room);
+    EXPECT_THROW((void)m.displacement_noise_at_resonance(Frequency{0.0}), ContractViolation);
+    EXPECT_THROW((void)m.minimum_detectable_mass(Length{0.0}, 1.0_s), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+#include "phys/material.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phys/fluid.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::phys;
+
+TEST(Materials, SiliconProperties) {
+    const auto& si = materials::silicon();
+    EXPECT_NEAR(si.youngs_modulus.value(), 169e9, 1e9);
+    EXPECT_NEAR(si.density.value(), 2330.0, 1.0);
+    EXPECT_GT(si.piezo_longitudinal, 0.0);
+    EXPECT_LT(si.piezo_transverse, 0.0);
+}
+
+TEST(Materials, PiezoCoefficientsNearlyOpposite) {
+    // For p-Si <110>, pi_l ~ -pi_t ~ pi_44/2; a bridge of longitudinal and
+    // transverse arms nearly doubles the output.
+    const auto& si = materials::silicon();
+    EXPECT_NEAR(si.piezo_longitudinal, -si.piezo_transverse, 0.1 * si.piezo_longitudinal);
+}
+
+TEST(Materials, BiaxialModulusExceedsYoungs) {
+    const auto& ox = materials::silicon_dioxide();
+    EXPECT_GT(ox.biaxial_modulus().value(), ox.youngs_modulus.value());
+}
+
+TEST(Materials, PolysiliconGaugeWeakerThanCrystalline) {
+    EXPECT_LT(materials::polysilicon().piezo_longitudinal,
+              materials::silicon().piezo_longitudinal);
+}
+
+TEST(Materials, GoldIsDenseAndSoft) {
+    const auto& au = materials::gold();
+    EXPECT_GT(au.density.value(), 19000.0);
+    EXPECT_LT(au.youngs_modulus.value(), materials::silicon().youngs_modulus.value());
+}
+
+TEST(Fluids, WaterIsMuchDenserThanAir) {
+    EXPECT_GT(fluids::water().density.value() / fluids::air().density.value(), 500.0);
+}
+
+TEST(Fluids, SerumMoreViscousThanWater) {
+    EXPECT_GT(fluids::serum().viscosity.value(), fluids::water().viscosity.value());
+}
+
+TEST(Fluids, VacuumHasNoLoad) {
+    EXPECT_DOUBLE_EQ(fluids::vacuum().density.value(), 0.0);
+    EXPECT_DOUBLE_EQ(fluids::vacuum().viscosity.value(), 0.0);
+}
+
+TEST(Fluids, PbsCloseToWater) {
+    EXPECT_NEAR(fluids::pbs().density.value(), fluids::water().density.value(), 20.0);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::sim;
+using namespace cbs::literals;
+
+TEST(Simulation, RunsExactStepCount) {
+    Simulation sim(1e6);
+    int ticks = 0;
+    sim.add_process("count", [&](double, double) { ++ticks; });
+    sim.run_steps(1234);
+    EXPECT_EQ(ticks, 1234);
+    EXPECT_EQ(sim.step_count(), 1234u);
+}
+
+TEST(Simulation, DurationRoundsToSteps) {
+    Simulation sim(1000.0);
+    int ticks = 0;
+    sim.add_process("count", [&](double, double) { ++ticks; });
+    sim.run(1.5_ms);  // 1.5 steps -> 1
+    EXPECT_EQ(ticks, 1);
+}
+
+TEST(Simulation, TimeAdvancesWithoutDrift) {
+    Simulation sim(3.0);  // dt = 1/3: summation would drift
+    sim.run_steps(3000000);
+    EXPECT_DOUBLE_EQ(sim.time(), 1000000.0);
+}
+
+TEST(Simulation, ProcessesRunInRegistrationOrder) {
+    Simulation sim(100.0);
+    std::vector<int> order;
+    sim.add_process("a", [&](double, double) { order.push_back(1); });
+    sim.add_process("b", [&](double, double) { order.push_back(2); });
+    sim.run_steps(2);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 1);
+    EXPECT_EQ(order[3], 2);
+}
+
+TEST(Simulation, TickSeesConsistentTimeAndDt) {
+    Simulation sim(10.0);
+    std::vector<double> times;
+    sim.add_process("t", [&](double t, double dt) {
+        times.push_back(t);
+        EXPECT_DOUBLE_EQ(dt, 0.1);
+    });
+    sim.run_steps(3);
+    EXPECT_DOUBLE_EQ(times[0], 0.0);
+    EXPECT_DOUBLE_EQ(times[1], 0.1);
+    EXPECT_DOUBLE_EQ(times[2], 0.2);
+}
+
+TEST(Simulation, NullProcessRejected) {
+    Simulation sim(100.0);
+    EXPECT_THROW(sim.add_process("bad", nullptr), ContractViolation);
+}
+
+TEST(TraceTest, SubsampleKeepsEveryNth) {
+    Trace tr(3);
+    for (int i = 0; i < 10; ++i) tr.push(i, 10.0 * i);
+    ASSERT_EQ(tr.size(), 3u);
+    EXPECT_DOUBLE_EQ(tr.values()[0], 20.0);  // i=2 (3rd sample)
+    EXPECT_DOUBLE_EQ(tr.values()[1], 50.0);
+    EXPECT_DOUBLE_EQ(tr.values()[2], 80.0);
+}
+
+TEST(TraceTest, AverageModeIntegratesWindow) {
+    Trace tr(4, Trace::Mode::average);
+    for (int i = 0; i < 8; ++i) tr.push(i, i);  // 0..7
+    ASSERT_EQ(tr.size(), 2u);
+    EXPECT_DOUBLE_EQ(tr.values()[0], 1.5);  // mean(0..3)
+    EXPECT_DOUBLE_EQ(tr.values()[1], 5.5);  // mean(4..7)
+}
+
+TEST(TraceTest, ClearEmpties) {
+    Trace tr(1);
+    tr.push(0.0, 1.0);
+    tr.clear();
+    EXPECT_TRUE(tr.empty());
+}
+
+TEST(TraceTest, DecimationOfOneKeepsAll) {
+    Trace tr;
+    for (int i = 0; i < 5; ++i) tr.push(i, i);
+    EXPECT_EQ(tr.size(), 5u);
+}
+
+}  // namespace

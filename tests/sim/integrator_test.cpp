@@ -1,0 +1,86 @@
+#include "sim/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::sim;
+
+TEST(Rk4, ExponentialDecay) {
+    Rk4Integrator integ(
+        [](double, std::span<const double> y, std::span<double> d) { d[0] = -2.0 * y[0]; },
+        {1.0});
+    integ.advance(1.0, 1e-3);
+    EXPECT_NEAR(integ.state(0), std::exp(-2.0), 1e-9);
+}
+
+TEST(Rk4, HarmonicOscillatorPreservesAmplitude) {
+    const double w = 2.0 * 3.14159265358979;
+    Rk4Integrator integ(
+        [w](double, std::span<const double> y, std::span<double> d) {
+            d[0] = y[1];
+            d[1] = -w * w * y[0];
+        },
+        {1.0, 0.0});
+    integ.advance(10.0, 1e-3);  // 10 full periods
+    EXPECT_NEAR(integ.state(0), 1.0, 1e-6);
+    EXPECT_NEAR(integ.state(1), 0.0, 1e-4);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+    auto solve = [](double h) {
+        Rk4Integrator integ(
+            [](double t, std::span<const double> y, std::span<double> d) {
+                d[0] = y[0] * std::cos(t);
+            },
+            {1.0});
+        integ.advance(2.0, h);
+        return integ.state(0);
+    };
+    const double exact = std::exp(std::sin(2.0));
+    const double e1 = std::fabs(solve(0.02) - exact);
+    const double e2 = std::fabs(solve(0.01) - exact);
+    // Halving h should cut the error by ~16x.
+    EXPECT_NEAR(e1 / e2, 16.0, 4.0);
+}
+
+TEST(Rk4, TimeDependentForcing) {
+    // dy/dt = t -> y = t^2/2.
+    Rk4Integrator integ(
+        [](double t, std::span<const double> y, std::span<double> d) {
+            (void)y;
+            d[0] = t;
+        },
+        {0.0});
+    integ.advance(3.0, 1e-2);
+    EXPECT_NEAR(integ.state(0), 4.5, 1e-9);
+    EXPECT_NEAR(integ.time(), 3.0, 1e-12);
+}
+
+TEST(Rk4, AdvanceSplitsNonDivisibleDuration) {
+    Rk4Integrator integ(
+        [](double, std::span<const double>, std::span<double> d) { d[0] = 1.0; }, {0.0});
+    integ.advance(1.0, 0.3);  // 4 steps of 0.25
+    EXPECT_NEAR(integ.state(0), 1.0, 1e-12);
+}
+
+TEST(Rk4, SetStateOverrides) {
+    Rk4Integrator integ(
+        [](double, std::span<const double>, std::span<double> d) { d[0] = 0.0; }, {1.0});
+    integ.set_state(0, 5.0);
+    EXPECT_DOUBLE_EQ(integ.state(0), 5.0);
+    EXPECT_THROW(integ.set_state(3, 1.0), ContractViolation);
+}
+
+TEST(Rk4, InvalidConstructionThrows) {
+    EXPECT_THROW(Rk4Integrator(nullptr, {1.0}), ContractViolation);
+    EXPECT_THROW(Rk4Integrator([](double, std::span<const double>, std::span<double>) {}, {}),
+                 ContractViolation);
+}
+
+}  // namespace

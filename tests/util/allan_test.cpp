@@ -1,0 +1,73 @@
+#include "util/allan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cbs;
+
+TEST(Allan, ConstantSeriesHasZeroDeviation) {
+    std::vector<double> y(256, 5.0);
+    const auto pts = allan_deviation(y, 1.0);
+    ASSERT_FALSE(pts.empty());
+    for (const auto& p : pts) EXPECT_DOUBLE_EQ(p.adev, 0.0);
+}
+
+TEST(Allan, WhiteNoiseFallsAsInverseSqrtTau) {
+    Rng rng(42);
+    std::vector<double> y(1 << 14);
+    for (auto& v : y) v = rng.normal(0.0, 1.0);
+    const auto pts = allan_deviation(y, 1.0);
+    ASSERT_GE(pts.size(), 4u);
+    // adev(tau) = sigma / sqrt(tau) for white frequency noise: check the
+    // log-log slope is ~ -1/2 between the first and a mid point.
+    const double slope = std::log(pts[3].adev / pts[0].adev) / std::log(pts[3].tau / pts[0].tau);
+    EXPECT_NEAR(slope, -0.5, 0.1);
+}
+
+TEST(Allan, WhiteNoiseMagnitudeAtTau0) {
+    Rng rng(1);
+    std::vector<double> y(1 << 15);
+    for (auto& v : y) v = rng.normal(0.0, 2.0);
+    const auto pts = allan_deviation(y, 1.0);
+    // For white noise, adev(tau0) = sigma (two-sample variance equals the
+    // ordinary variance).
+    EXPECT_NEAR(pts[0].adev, 2.0, 0.1);
+}
+
+TEST(Allan, LinearDriftGivesTauProportionalDeviation) {
+    std::vector<double> y(1 << 12);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = 1e-3 * static_cast<double>(i);
+    const auto pts = allan_deviation(y, 1.0);
+    ASSERT_GE(pts.size(), 3u);
+    const double slope =
+        std::log(pts[2].adev / pts[0].adev) / std::log(pts[2].tau / pts[0].tau);
+    EXPECT_NEAR(slope, 1.0, 0.05);
+}
+
+TEST(Allan, TausAreOctaves) {
+    std::vector<double> y(512, 0.0);
+    const auto pts = allan_deviation(y, 0.25);
+    ASSERT_GE(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts[0].tau, 0.25);
+    EXPECT_DOUBLE_EQ(pts[1].tau, 0.5);
+    EXPECT_DOUBLE_EQ(pts[2].tau, 1.0);
+}
+
+TEST(Allan, TooFewSamplesReturnsEmpty) {
+    std::vector<double> y{1.0, 2.0};
+    EXPECT_TRUE(allan_deviation(y, 1.0, 4).empty());
+}
+
+TEST(Allan, InvalidTauThrows) {
+    std::vector<double> y(16, 0.0);
+    EXPECT_THROW(allan_deviation(y, 0.0), ContractViolation);
+}
+
+}  // namespace

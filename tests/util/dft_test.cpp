@@ -1,0 +1,113 @@
+#include "util/dft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/constants.hpp"
+#include "util/expect.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cbs;
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+    std::vector<std::complex<double>> x(8, {0.0, 0.0});
+    x[0] = {1.0, 0.0};
+    fft(x);
+    for (const auto& c : x) {
+        EXPECT_NEAR(c.real(), 1.0, 1e-12);
+        EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, RoundTripIdentity) {
+    Rng rng(3);
+    std::vector<std::complex<double>> x(64);
+    for (auto& c : x) c = {rng.normal(), rng.normal()};
+    auto y = x;
+    fft(y);
+    fft(y, /*inverse=*/true);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+        EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, SingleToneLandsInCorrectBin) {
+    const std::size_t n = 128;
+    std::vector<std::complex<double>> x(n);
+    const std::size_t k = 10;
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = {std::cos(2.0 * constants::pi * static_cast<double>(k * i) / n), 0.0};
+    }
+    fft(x);
+    // Energy concentrated at bins k and n-k.
+    EXPECT_NEAR(std::abs(x[k]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(x[n - k]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(x[k + 3]), 0.0, 1e-9);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+    std::vector<std::complex<double>> x(12);
+    EXPECT_THROW(fft(x), ContractViolation);
+}
+
+TEST(WelchPsd, ParsevalWhiteNoise) {
+    Rng rng(11);
+    const double fs = 1000.0;
+    const double sigma = 3.0;
+    std::vector<double> x(1 << 15);
+    for (auto& v : x) v = rng.normal(0.0, sigma);
+    const auto psd = welch_psd(x, fs, 1024);
+    // Total integrated PSD equals the variance.
+    const double var = band_power(psd, 0.0, fs / 2.0);
+    EXPECT_NEAR(var, sigma * sigma, 0.05 * sigma * sigma);
+}
+
+TEST(WelchPsd, ToneAppearsAtItsFrequency) {
+    const double fs = 1000.0;
+    const double f_tone = 125.0;
+    std::vector<double> x(1 << 14);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::sin(2.0 * constants::pi * f_tone * static_cast<double>(i) / fs);
+    }
+    const auto psd = welch_psd(x, fs, 2048);
+    // Find the max bin.
+    std::size_t imax = 0;
+    for (std::size_t i = 1; i < psd.power.size(); ++i) {
+        if (psd.power[i] > psd.power[imax]) imax = i;
+    }
+    EXPECT_NEAR(psd.frequency[imax], f_tone, fs / 2048.0);
+    // Tone power (integrate near the tone) ~ A^2/2 = 0.5.
+    const double p = band_power(psd, f_tone - 5.0, f_tone + 5.0);
+    EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(WelchPsd, FrequencyAxis) {
+    std::vector<double> x(4096, 0.0);
+    const auto psd = welch_psd(x, 100.0, 256);
+    ASSERT_EQ(psd.frequency.size(), 129u);
+    EXPECT_DOUBLE_EQ(psd.frequency.front(), 0.0);
+    EXPECT_DOUBLE_EQ(psd.frequency.back(), 50.0);
+}
+
+TEST(WelchPsd, NfftLargerThanSignalThrows) {
+    std::vector<double> x(100, 0.0);
+    EXPECT_THROW(welch_psd(x, 1.0, 256), ContractViolation);
+}
+
+TEST(BandPower, SubBandOfFlatSpectrum) {
+    Psd psd;
+    for (int i = 0; i <= 100; ++i) {
+        psd.frequency.push_back(i);
+        psd.power.push_back(2.0);  // flat 2 units^2/Hz
+    }
+    EXPECT_NEAR(band_power(psd, 10.0, 30.0), 40.0, 1e-9);
+    EXPECT_NEAR(band_power(psd, 0.0, 100.0), 200.0, 1e-9);
+    EXPECT_DOUBLE_EQ(band_power(psd, 200.0, 300.0), 0.0);
+}
+
+}  // namespace

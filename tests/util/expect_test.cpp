@@ -1,0 +1,44 @@
+#include "util/expect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+int checked_divide(int a, int b) {
+    CBS_EXPECTS(b != 0);
+    return a / b;
+}
+
+TEST(Expect, PassingConditionIsSilent) { EXPECT_EQ(checked_divide(6, 3), 2); }
+
+TEST(Expect, FailingPreconditionThrowsContractViolation) {
+    EXPECT_THROW(checked_divide(1, 0), cbs::ContractViolation);
+}
+
+TEST(Expect, MessageContainsConditionAndLocation) {
+    try {
+        checked_divide(1, 0);
+        FAIL() << "expected throw";
+    } catch (const cbs::ContractViolation& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("b != 0"), std::string::npos);
+        EXPECT_NE(msg.find("expect_test.cpp"), std::string::npos);
+        EXPECT_NE(msg.find("precondition"), std::string::npos);
+    }
+}
+
+TEST(Expect, EnsuresReportsPostcondition) {
+    auto bad = [] { CBS_ENSURES(false); };
+    try {
+        bad();
+        FAIL() << "expected throw";
+    } catch (const cbs::ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+    }
+}
+
+TEST(Expect, ContractViolationIsLogicError) {
+    EXPECT_THROW(checked_divide(1, 0), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cbs;
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform()) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, LognormalRelMatchesTargetMoments) {
+    Rng rng(17);
+    std::vector<double> x(50000);
+    for (auto& v : x) v = rng.lognormal_rel(10.0, 0.05);
+    EXPECT_NEAR(stats::mean(x), 10.0, 0.05);
+    EXPECT_NEAR(stats::stddev(x) / 10.0, 0.05, 0.005);
+}
+
+TEST(Rng, PoissonMean) {
+    Rng rng(23);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.poisson(7.5));
+    EXPECT_NEAR(acc / n, 7.5, 0.1);
+}
+
+TEST(Rng, IntegerInBounds) {
+    Rng rng(31);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.integer(10), 10u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng parent(77);
+    Rng child = parent.fork();
+    // Child stream differs from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (parent.uniform() == child.uniform()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliProbability) {
+    Rng rng(41);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cbs;
+
+TEST(Stats, MeanOfConstants) {
+    const std::vector<double> x{3.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::mean(x), 3.0);
+}
+
+TEST(Stats, MeanEmptyThrows) {
+    const std::vector<double> x;
+    EXPECT_THROW(stats::mean(x), ContractViolation);
+}
+
+TEST(Stats, VarianceIsUnbiasedSample) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    // mean 2.5, squared devs: 2.25+0.25+0.25+2.25 = 5 -> /3
+    EXPECT_NEAR(stats::variance(x), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+    const std::vector<double> x{42.0};
+    EXPECT_DOUBLE_EQ(stats::variance(x), 0.0);
+}
+
+TEST(Stats, RmsOfSymmetricSquareWave) {
+    const std::vector<double> x{1.0, -1.0, 1.0, -1.0};
+    EXPECT_DOUBLE_EQ(stats::rms(x), 1.0);
+}
+
+TEST(Stats, MinMaxMedian) {
+    const std::vector<double> x{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::min(x), 1.0);
+    EXPECT_DOUBLE_EQ(stats::max(x), 5.0);
+    EXPECT_DOUBLE_EQ(stats::median(x), 3.0);
+}
+
+TEST(Stats, MedianInterpolatesEvenCount) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::median(x), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+    const std::vector<double> x{10.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(stats::percentile(x, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(x, 100.0), 30.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(x, 50.0), 20.0);
+}
+
+TEST(Stats, LinearFitRecoversExactLine) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(2.5 * i - 7.0);
+    }
+    const auto fit = stats::linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitOnNoisyDataHasReasonableR2) {
+    Rng rng(7);
+    std::vector<double> x, y;
+    for (int i = 0; i < 500; ++i) {
+        x.push_back(i);
+        y.push_back(0.5 * i + rng.normal(0.0, 5.0));
+    }
+    const auto fit = stats::linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 0.5, 0.02);
+    EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+    const std::vector<double> x{-1.0, 0.1, 0.5, 0.9, 2.0};
+    const auto h = stats::histogram(x, 0.0, 1.0, 2);
+    ASSERT_EQ(h.size(), 2u);
+    // -1 clamps into bin 0; 2.0 clamps into bin 1.
+    EXPECT_EQ(h[0] + h[1], 5u);
+    EXPECT_EQ(h[0], 2u);  // -1 (clamped) and 0.1
+    EXPECT_EQ(h[1], 3u);  // 0.5, 0.9 and 2.0 (clamped)
+}
+
+TEST(Stats, GaussianSampleMoments) {
+    Rng rng(123);
+    std::vector<double> x(20000);
+    for (auto& v : x) v = rng.normal(1.5, 2.0);
+    EXPECT_NEAR(stats::mean(x), 1.5, 0.05);
+    EXPECT_NEAR(stats::stddev(x), 2.0, 0.05);
+}
+
+}  // namespace

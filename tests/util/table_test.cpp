@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+
+TEST(ConsoleTable, RendersHeaderAndRows) {
+    ConsoleTable t({"name", "value"});
+    t.add_row({"f0", "318"});
+    t.add_row({"Q", "300"});
+    const std::string s = t.str("demo");
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("318"), std::string::npos);
+    EXPECT_NE(s.find("Q"), std::string::npos);
+}
+
+TEST(ConsoleTable, WrongCellCountThrows) {
+    ConsoleTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(ConsoleTable, NumFormatsPrecision) {
+    EXPECT_EQ(ConsoleTable::num(3.14159, 3), "3.14");
+}
+
+TEST(ConsoleTable, SiPrefixes) {
+    EXPECT_EQ(ConsoleTable::si(318000.0, 3, "Hz"), "318 kHz");
+    EXPECT_EQ(ConsoleTable::si(2.5e-6, 2, "V"), "2.5 uV");
+    EXPECT_EQ(ConsoleTable::si(0.0, 3, "m"), "0m");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+    const std::string path = "/tmp/cbs_table_test.csv";
+    {
+        CsvWriter w(path, {"x", "y"});
+        w.write_row(std::vector<double>{1.0, 2.0});
+        w.write_row(std::vector<std::string>{"3", "4"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "3,4");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WrongColumnCountThrows) {
+    const std::string path = "/tmp/cbs_table_test2.csv";
+    CsvWriter w(path, {"a", "b", "c"});
+    EXPECT_THROW(w.write_row(std::vector<double>{1.0}), ContractViolation);
+    std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "util/constants.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::literals;
+
+TEST(Units, LiteralsProduceCoherentSi) {
+    EXPECT_DOUBLE_EQ((1.0_um).value(), 1e-6);
+    EXPECT_DOUBLE_EQ((2.5_mm).value(), 2.5e-3);
+    EXPECT_DOUBLE_EQ((3_kHz).value(), 3000.0);
+    EXPECT_DOUBLE_EQ((1_pg).value(), 1e-15);
+    EXPECT_DOUBLE_EQ((10_mV).value(), 0.01);
+    EXPECT_DOUBLE_EQ((1_kOhm).value(), 1000.0);
+    EXPECT_DOUBLE_EQ((1_mN_per_m).value(), 1e-3);
+}
+
+TEST(Units, MolarLiteralsUseMolPerCubicMetre) {
+    // 1 M = 1000 mol/m^3.
+    EXPECT_DOUBLE_EQ((1.0_Molar).value(), 1000.0);
+    EXPECT_DOUBLE_EQ((1.0_nM).value(), 1e-6);
+    EXPECT_DOUBLE_EQ((1.0_uM).value(), 1e-3);
+}
+
+TEST(Units, DaltonIsGramPerMol) {
+    EXPECT_DOUBLE_EQ((1.0_Da).value(), 1e-3);
+    EXPECT_DOUBLE_EQ((150.0_kDa).value(), 150.0);
+}
+
+TEST(Units, AdditionPreservesDimension) {
+    const Length a = 1.0_um + 500.0_nm;
+    EXPECT_DOUBLE_EQ(a.value(), 1.5e-6);
+    static_assert(std::is_same_v<decltype(1.0_m + 1.0_mm), Length>);
+}
+
+TEST(Units, MultiplicationComposesDimensions) {
+    const Area a = 2.0_m * 3.0_m;
+    EXPECT_DOUBLE_EQ(a.value(), 6.0);
+    static_assert(std::is_same_v<decltype(1.0_m * 1.0_m), Area>);
+    static_assert(std::is_same_v<decltype(1.0_N / 1.0_m), SurfaceStress>);
+    static_assert(std::is_same_v<decltype(1.0_V / 1.0_A), Resistance>);
+    static_assert(std::is_same_v<decltype(1.0_V * 1.0_A), Power>);
+    static_assert(std::is_same_v<decltype(1.0_kg / (1.0_m * 1.0_m * 1.0_m)), MassDensity>);
+}
+
+TEST(Units, DivisionBySameDimensionIsDimensionless) {
+    const double ratio = 4.0_um / 2.0_um;
+    EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, DimensionlessConvertsImplicitly) {
+    const Dimensionless d{0.5};
+    const double x = d;
+    EXPECT_DOUBLE_EQ(x, 0.5);
+}
+
+TEST(Units, SqrtHalvesDimension) {
+    const Length l = sqrt(9.0_m * 1.0_m);
+    EXPECT_DOUBLE_EQ(l.value(), 3.0);
+    // sqrt of time is representable thanks to half-exponent storage.
+    const auto rt = sqrt(4.0_s);
+    EXPECT_DOUBLE_EQ(rt.value(), 2.0);
+    static_assert(std::is_same_v<decltype(sqrt(1.0_s) * sqrt(1.0_s)), Time>);
+}
+
+TEST(Units, NoiseDensityTypeComposes) {
+    // V/sqrt(Hz) * sqrt(Hz) = V.
+    const VoltageNoiseDensity en{10e-9};
+    const Voltage v = en * sqrt(100.0_Hz);
+    EXPECT_NEAR(v.value(), 100e-9, 1e-15);
+}
+
+TEST(Units, PowIntegralExponent) {
+    const Volume v = pow<3>(2.0_m);
+    EXPECT_DOUBLE_EQ(v.value(), 8.0);
+    const auto inv = pow<-2>(2.0_s);
+    EXPECT_DOUBLE_EQ(inv.value(), 0.25);
+    static_assert(std::is_same_v<decltype(pow<2>(1.0_Hz)), Q<0, 0, -2>>);
+}
+
+TEST(Units, ComparisonAndAbs) {
+    EXPECT_TRUE(1.0_um < 2.0_um);
+    EXPECT_TRUE(2.0_kHz >= 2000.0_Hz);
+    EXPECT_DOUBLE_EQ(cbs::abs(Length{-3.0}).value(), 3.0);
+    EXPECT_DOUBLE_EQ(cbs::min(1.0_s, 2.0_s).value(), 1.0);
+    EXPECT_DOUBLE_EQ(cbs::max(1.0_s, 2.0_s).value(), 2.0);
+}
+
+TEST(Units, CompoundAssignment) {
+    Length l = 1.0_m;
+    l += 0.5_m;
+    l -= 0.25_m;
+    l *= 2.0;
+    l /= 0.5;
+    EXPECT_DOUBLE_EQ(l.value(), 5.0);
+}
+
+TEST(Units, ScalarDividedByQuantityInvertsDimension) {
+    const Frequency f = 1.0 / 0.5_s;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Units, UnitStringRendersExponents) {
+    EXPECT_EQ(Length::unit_string(), "m");
+    EXPECT_EQ(Stress::unit_string(), "kg m^-1 s^-2");
+    EXPECT_EQ(Dimensionless::unit_string(), "1");
+    // Half-integer exponent (V/sqrt(Hz)).
+    EXPECT_EQ(VoltageNoiseDensity::unit_string(), "kg m^2 s^-5/2 A^-1");
+}
+
+TEST(Units, StreamOutput) {
+    std::ostringstream os;
+    os << 2.5_m;
+    EXPECT_EQ(os.str(), "2.5 m");
+}
+
+TEST(Units, ConstantsHaveExpectedMagnitudes) {
+    EXPECT_NEAR(constants::k_B.value(), 1.380649e-23, 1e-30);
+    EXPECT_NEAR(constants::N_A.value(), 6.02214076e23, 1e15);
+    EXPECT_NEAR(constants::beam_lambda_1, 1.875104, 1e-6);
+    // The eigenvalue satisfies cos(l)cosh(l) = -1.
+    EXPECT_NEAR(std::cos(constants::beam_lambda_1) * std::cosh(constants::beam_lambda_1), -1.0,
+                1e-9);
+    EXPECT_NEAR(std::cos(constants::beam_lambda_2) * std::cosh(constants::beam_lambda_2), -1.0,
+                1e-7);
+}
+
+}  // namespace
