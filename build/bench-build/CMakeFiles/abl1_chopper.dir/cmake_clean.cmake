@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl1_chopper"
+  "../bench/abl1_chopper.pdb"
+  "CMakeFiles/abl1_chopper.dir/abl1_chopper.cpp.o"
+  "CMakeFiles/abl1_chopper.dir/abl1_chopper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_chopper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

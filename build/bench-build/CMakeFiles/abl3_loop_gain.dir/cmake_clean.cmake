@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl3_loop_gain"
+  "../bench/abl3_loop_gain.pdb"
+  "CMakeFiles/abl3_loop_gain.dir/abl3_loop_gain.cpp.o"
+  "CMakeFiles/abl3_loop_gain.dir/abl3_loop_gain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_loop_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

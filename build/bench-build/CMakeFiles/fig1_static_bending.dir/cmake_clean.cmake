@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_static_bending"
+  "../bench/fig1_static_bending.pdb"
+  "CMakeFiles/fig1_static_bending.dir/fig1_static_bending.cpp.o"
+  "CMakeFiles/fig1_static_bending.dir/fig1_static_bending.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_static_bending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

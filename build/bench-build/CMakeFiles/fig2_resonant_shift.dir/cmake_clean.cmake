@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_resonant_shift"
+  "../bench/fig2_resonant_shift.pdb"
+  "CMakeFiles/fig2_resonant_shift.dir/fig2_resonant_shift.cpp.o"
+  "CMakeFiles/fig2_resonant_shift.dir/fig2_resonant_shift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_resonant_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_fabrication"
+  "../bench/fig3_fabrication.pdb"
+  "CMakeFiles/fig3_fabrication.dir/fig3_fabrication.cpp.o"
+  "CMakeFiles/fig3_fabrication.dir/fig3_fabrication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fabrication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

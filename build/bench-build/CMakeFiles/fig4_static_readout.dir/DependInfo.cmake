@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_static_readout.cpp" "bench-build/CMakeFiles/fig4_static_readout.dir/fig4_static_readout.cpp.o" "gcc" "bench-build/CMakeFiles/fig4_static_readout.dir/fig4_static_readout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_fab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_circ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

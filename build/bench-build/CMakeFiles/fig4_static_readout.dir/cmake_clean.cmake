@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_static_readout"
+  "../bench/fig4_static_readout.pdb"
+  "CMakeFiles/fig4_static_readout.dir/fig4_static_readout.cpp.o"
+  "CMakeFiles/fig4_static_readout.dir/fig4_static_readout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_static_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_resonant_loop"
+  "../bench/fig5_resonant_loop.pdb"
+  "CMakeFiles/fig5_resonant_loop.dir/fig5_resonant_loop.cpp.o"
+  "CMakeFiles/fig5_resonant_loop.dir/fig5_resonant_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_resonant_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

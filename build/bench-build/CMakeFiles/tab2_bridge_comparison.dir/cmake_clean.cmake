@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_bridge_comparison"
+  "../bench/tab2_bridge_comparison.pdb"
+  "CMakeFiles/tab2_bridge_comparison.dir/tab2_bridge_comparison.cpp.o"
+  "CMakeFiles/tab2_bridge_comparison.dir/tab2_bridge_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_bridge_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

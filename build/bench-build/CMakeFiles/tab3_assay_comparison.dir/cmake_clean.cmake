@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_assay_comparison"
+  "../bench/tab3_assay_comparison.pdb"
+  "CMakeFiles/tab3_assay_comparison.dir/tab3_assay_comparison.cpp.o"
+  "CMakeFiles/tab3_assay_comparison.dir/tab3_assay_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_assay_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

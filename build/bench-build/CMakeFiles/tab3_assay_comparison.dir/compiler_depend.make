@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab3_assay_comparison.
+# This may be replaced when dependencies are built.

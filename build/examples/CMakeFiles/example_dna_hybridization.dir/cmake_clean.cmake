@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dna_hybridization.dir/dna_hybridization.cpp.o"
+  "CMakeFiles/example_dna_hybridization.dir/dna_hybridization.cpp.o.d"
+  "example_dna_hybridization"
+  "example_dna_hybridization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dna_hybridization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dna_hybridization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_drc_cli.dir/drc_cli.cpp.o"
+  "CMakeFiles/example_drc_cli.dir/drc_cli.cpp.o.d"
+  "example_drc_cli"
+  "example_drc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_immunoassay_panel.dir/immunoassay_panel.cpp.o"
+  "CMakeFiles/example_immunoassay_panel.dir/immunoassay_panel.cpp.o.d"
+  "example_immunoassay_panel"
+  "example_immunoassay_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_immunoassay_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

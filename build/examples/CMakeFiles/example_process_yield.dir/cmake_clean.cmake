@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_process_yield.dir/process_yield.cpp.o"
+  "CMakeFiles/example_process_yield.dir/process_yield.cpp.o.d"
+  "example_process_yield"
+  "example_process_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_process_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

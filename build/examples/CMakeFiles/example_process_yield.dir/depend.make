@@ -1,0 +1,2 @@
+# Empty dependencies file for example_process_yield.
+# This may be replaced when dependencies are built.

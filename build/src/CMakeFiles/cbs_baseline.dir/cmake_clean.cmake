@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_baseline.dir/baseline/comparison.cpp.o"
+  "CMakeFiles/cbs_baseline.dir/baseline/comparison.cpp.o.d"
+  "CMakeFiles/cbs_baseline.dir/baseline/external_readout.cpp.o"
+  "CMakeFiles/cbs_baseline.dir/baseline/external_readout.cpp.o.d"
+  "CMakeFiles/cbs_baseline.dir/baseline/fluorescence.cpp.o"
+  "CMakeFiles/cbs_baseline.dir/baseline/fluorescence.cpp.o.d"
+  "libcbs_baseline.a"
+  "libcbs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

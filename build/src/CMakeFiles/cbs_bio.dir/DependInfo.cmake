@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/assay.cpp" "src/CMakeFiles/cbs_bio.dir/bio/assay.cpp.o" "gcc" "src/CMakeFiles/cbs_bio.dir/bio/assay.cpp.o.d"
+  "/root/repo/src/bio/functionalization.cpp" "src/CMakeFiles/cbs_bio.dir/bio/functionalization.cpp.o" "gcc" "src/CMakeFiles/cbs_bio.dir/bio/functionalization.cpp.o.d"
+  "/root/repo/src/bio/langmuir.cpp" "src/CMakeFiles/cbs_bio.dir/bio/langmuir.cpp.o" "gcc" "src/CMakeFiles/cbs_bio.dir/bio/langmuir.cpp.o.d"
+  "/root/repo/src/bio/species.cpp" "src/CMakeFiles/cbs_bio.dir/bio/species.cpp.o" "gcc" "src/CMakeFiles/cbs_bio.dir/bio/species.cpp.o.d"
+  "/root/repo/src/bio/transport.cpp" "src/CMakeFiles/cbs_bio.dir/bio/transport.cpp.o" "gcc" "src/CMakeFiles/cbs_bio.dir/bio/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_bio.dir/bio/assay.cpp.o"
+  "CMakeFiles/cbs_bio.dir/bio/assay.cpp.o.d"
+  "CMakeFiles/cbs_bio.dir/bio/functionalization.cpp.o"
+  "CMakeFiles/cbs_bio.dir/bio/functionalization.cpp.o.d"
+  "CMakeFiles/cbs_bio.dir/bio/langmuir.cpp.o"
+  "CMakeFiles/cbs_bio.dir/bio/langmuir.cpp.o.d"
+  "CMakeFiles/cbs_bio.dir/bio/species.cpp.o"
+  "CMakeFiles/cbs_bio.dir/bio/species.cpp.o.d"
+  "CMakeFiles/cbs_bio.dir/bio/transport.cpp.o"
+  "CMakeFiles/cbs_bio.dir/bio/transport.cpp.o.d"
+  "libcbs_bio.a"
+  "libcbs_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

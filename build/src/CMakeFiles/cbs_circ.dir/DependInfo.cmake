@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circ/adc.cpp" "src/CMakeFiles/cbs_circ.dir/circ/adc.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/adc.cpp.o.d"
+  "/root/repo/src/circ/amplifier.cpp" "src/CMakeFiles/cbs_circ.dir/circ/amplifier.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/amplifier.cpp.o.d"
+  "/root/repo/src/circ/bridge.cpp" "src/CMakeFiles/cbs_circ.dir/circ/bridge.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/bridge.cpp.o.d"
+  "/root/repo/src/circ/chopper.cpp" "src/CMakeFiles/cbs_circ.dir/circ/chopper.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/chopper.cpp.o.d"
+  "/root/repo/src/circ/classab.cpp" "src/CMakeFiles/cbs_circ.dir/circ/classab.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/classab.cpp.o.d"
+  "/root/repo/src/circ/dda.cpp" "src/CMakeFiles/cbs_circ.dir/circ/dda.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/dda.cpp.o.d"
+  "/root/repo/src/circ/filters.cpp" "src/CMakeFiles/cbs_circ.dir/circ/filters.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/filters.cpp.o.d"
+  "/root/repo/src/circ/limiter.cpp" "src/CMakeFiles/cbs_circ.dir/circ/limiter.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/limiter.cpp.o.d"
+  "/root/repo/src/circ/lorentz.cpp" "src/CMakeFiles/cbs_circ.dir/circ/lorentz.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/lorentz.cpp.o.d"
+  "/root/repo/src/circ/mna.cpp" "src/CMakeFiles/cbs_circ.dir/circ/mna.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/mna.cpp.o.d"
+  "/root/repo/src/circ/mux.cpp" "src/CMakeFiles/cbs_circ.dir/circ/mux.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/mux.cpp.o.d"
+  "/root/repo/src/circ/noise.cpp" "src/CMakeFiles/cbs_circ.dir/circ/noise.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/noise.cpp.o.d"
+  "/root/repo/src/circ/offset_comp.cpp" "src/CMakeFiles/cbs_circ.dir/circ/offset_comp.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/offset_comp.cpp.o.d"
+  "/root/repo/src/circ/pga.cpp" "src/CMakeFiles/cbs_circ.dir/circ/pga.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/pga.cpp.o.d"
+  "/root/repo/src/circ/phase_shifter.cpp" "src/CMakeFiles/cbs_circ.dir/circ/phase_shifter.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/phase_shifter.cpp.o.d"
+  "/root/repo/src/circ/vga.cpp" "src/CMakeFiles/cbs_circ.dir/circ/vga.cpp.o" "gcc" "src/CMakeFiles/cbs_circ.dir/circ/vga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

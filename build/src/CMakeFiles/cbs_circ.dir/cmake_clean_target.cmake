@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbs_circ.a"
+)

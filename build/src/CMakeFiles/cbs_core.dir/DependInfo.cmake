@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterization.cpp" "src/CMakeFiles/cbs_core.dir/core/characterization.cpp.o" "gcc" "src/CMakeFiles/cbs_core.dir/core/characterization.cpp.o.d"
+  "/root/repo/src/core/chip.cpp" "src/CMakeFiles/cbs_core.dir/core/chip.cpp.o" "gcc" "src/CMakeFiles/cbs_core.dir/core/chip.cpp.o.d"
+  "/root/repo/src/core/lod.cpp" "src/CMakeFiles/cbs_core.dir/core/lod.cpp.o" "gcc" "src/CMakeFiles/cbs_core.dir/core/lod.cpp.o.d"
+  "/root/repo/src/core/resonant_sensor.cpp" "src/CMakeFiles/cbs_core.dir/core/resonant_sensor.cpp.o" "gcc" "src/CMakeFiles/cbs_core.dir/core/resonant_sensor.cpp.o.d"
+  "/root/repo/src/core/static_sensor.cpp" "src/CMakeFiles/cbs_core.dir/core/static_sensor.cpp.o" "gcc" "src/CMakeFiles/cbs_core.dir/core/static_sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_fab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_circ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_core.dir/core/characterization.cpp.o"
+  "CMakeFiles/cbs_core.dir/core/characterization.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/core/chip.cpp.o"
+  "CMakeFiles/cbs_core.dir/core/chip.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/core/lod.cpp.o"
+  "CMakeFiles/cbs_core.dir/core/lod.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/core/resonant_sensor.cpp.o"
+  "CMakeFiles/cbs_core.dir/core/resonant_sensor.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/core/static_sensor.cpp.o"
+  "CMakeFiles/cbs_core.dir/core/static_sensor.cpp.o.d"
+  "libcbs_core.a"
+  "libcbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_daq.dir/daq/counter.cpp.o"
+  "CMakeFiles/cbs_daq.dir/daq/counter.cpp.o.d"
+  "CMakeFiles/cbs_daq.dir/daq/lockin.cpp.o"
+  "CMakeFiles/cbs_daq.dir/daq/lockin.cpp.o.d"
+  "libcbs_daq.a"
+  "libcbs_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fab/drc.cpp" "src/CMakeFiles/cbs_fab.dir/fab/drc.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/drc.cpp.o.d"
+  "/root/repo/src/fab/etch.cpp" "src/CMakeFiles/cbs_fab.dir/fab/etch.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/etch.cpp.o.d"
+  "/root/repo/src/fab/layer.cpp" "src/CMakeFiles/cbs_fab.dir/fab/layer.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/layer.cpp.o.d"
+  "/root/repo/src/fab/layout.cpp" "src/CMakeFiles/cbs_fab.dir/fab/layout.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/layout.cpp.o.d"
+  "/root/repo/src/fab/layout_gen.cpp" "src/CMakeFiles/cbs_fab.dir/fab/layout_gen.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/layout_gen.cpp.o.d"
+  "/root/repo/src/fab/layout_io.cpp" "src/CMakeFiles/cbs_fab.dir/fab/layout_io.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/layout_io.cpp.o.d"
+  "/root/repo/src/fab/montecarlo.cpp" "src/CMakeFiles/cbs_fab.dir/fab/montecarlo.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/montecarlo.cpp.o.d"
+  "/root/repo/src/fab/ruledeck.cpp" "src/CMakeFiles/cbs_fab.dir/fab/ruledeck.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/ruledeck.cpp.o.d"
+  "/root/repo/src/fab/wafer.cpp" "src/CMakeFiles/cbs_fab.dir/fab/wafer.cpp.o" "gcc" "src/CMakeFiles/cbs_fab.dir/fab/wafer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

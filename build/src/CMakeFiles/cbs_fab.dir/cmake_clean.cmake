@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_fab.dir/fab/drc.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/drc.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/etch.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/etch.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/layer.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/layer.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/layout.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/layout.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/layout_gen.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/layout_gen.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/layout_io.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/layout_io.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/montecarlo.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/montecarlo.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/ruledeck.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/ruledeck.cpp.o.d"
+  "CMakeFiles/cbs_fab.dir/fab/wafer.cpp.o"
+  "CMakeFiles/cbs_fab.dir/fab/wafer.cpp.o.d"
+  "libcbs_fab.a"
+  "libcbs_fab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_fab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

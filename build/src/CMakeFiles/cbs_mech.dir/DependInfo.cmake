@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mech/beam.cpp" "src/CMakeFiles/cbs_mech.dir/mech/beam.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/beam.cpp.o.d"
+  "/root/repo/src/mech/geometry.cpp" "src/CMakeFiles/cbs_mech.dir/mech/geometry.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/geometry.cpp.o.d"
+  "/root/repo/src/mech/hydrodynamics.cpp" "src/CMakeFiles/cbs_mech.dir/mech/hydrodynamics.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/hydrodynamics.cpp.o.d"
+  "/root/repo/src/mech/mass_loading.cpp" "src/CMakeFiles/cbs_mech.dir/mech/mass_loading.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/mass_loading.cpp.o.d"
+  "/root/repo/src/mech/piezoresistance.cpp" "src/CMakeFiles/cbs_mech.dir/mech/piezoresistance.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/piezoresistance.cpp.o.d"
+  "/root/repo/src/mech/resonator.cpp" "src/CMakeFiles/cbs_mech.dir/mech/resonator.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/resonator.cpp.o.d"
+  "/root/repo/src/mech/stoney.cpp" "src/CMakeFiles/cbs_mech.dir/mech/stoney.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/stoney.cpp.o.d"
+  "/root/repo/src/mech/thermal_noise.cpp" "src/CMakeFiles/cbs_mech.dir/mech/thermal_noise.cpp.o" "gcc" "src/CMakeFiles/cbs_mech.dir/mech/thermal_noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

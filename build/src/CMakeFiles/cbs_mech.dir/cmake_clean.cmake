@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_mech.dir/mech/beam.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/beam.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/geometry.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/geometry.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/hydrodynamics.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/hydrodynamics.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/mass_loading.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/mass_loading.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/piezoresistance.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/piezoresistance.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/resonator.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/resonator.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/stoney.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/stoney.cpp.o.d"
+  "CMakeFiles/cbs_mech.dir/mech/thermal_noise.cpp.o"
+  "CMakeFiles/cbs_mech.dir/mech/thermal_noise.cpp.o.d"
+  "libcbs_mech.a"
+  "libcbs_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

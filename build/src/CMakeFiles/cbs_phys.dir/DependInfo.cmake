@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/fluid.cpp" "src/CMakeFiles/cbs_phys.dir/phys/fluid.cpp.o" "gcc" "src/CMakeFiles/cbs_phys.dir/phys/fluid.cpp.o.d"
+  "/root/repo/src/phys/material.cpp" "src/CMakeFiles/cbs_phys.dir/phys/material.cpp.o" "gcc" "src/CMakeFiles/cbs_phys.dir/phys/material.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_phys.dir/phys/fluid.cpp.o"
+  "CMakeFiles/cbs_phys.dir/phys/fluid.cpp.o.d"
+  "CMakeFiles/cbs_phys.dir/phys/material.cpp.o"
+  "CMakeFiles/cbs_phys.dir/phys/material.cpp.o.d"
+  "libcbs_phys.a"
+  "libcbs_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

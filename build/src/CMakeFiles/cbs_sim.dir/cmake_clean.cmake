@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/cbs_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/cbs_sim.dir/sim/integrator.cpp.o"
+  "CMakeFiles/cbs_sim.dir/sim/integrator.cpp.o.d"
+  "CMakeFiles/cbs_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/cbs_sim.dir/sim/trace.cpp.o.d"
+  "libcbs_sim.a"
+  "libcbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_util.dir/util/allan.cpp.o"
+  "CMakeFiles/cbs_util.dir/util/allan.cpp.o.d"
+  "CMakeFiles/cbs_util.dir/util/dft.cpp.o"
+  "CMakeFiles/cbs_util.dir/util/dft.cpp.o.d"
+  "CMakeFiles/cbs_util.dir/util/expect.cpp.o"
+  "CMakeFiles/cbs_util.dir/util/expect.cpp.o.d"
+  "CMakeFiles/cbs_util.dir/util/stats.cpp.o"
+  "CMakeFiles/cbs_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/cbs_util.dir/util/table.cpp.o"
+  "CMakeFiles/cbs_util.dir/util/table.cpp.o.d"
+  "libcbs_util.a"
+  "libcbs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/comparison_test.cpp" "tests/CMakeFiles/cbs_tests.dir/baseline/comparison_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/baseline/comparison_test.cpp.o.d"
+  "/root/repo/tests/baseline/fluorescence_test.cpp" "tests/CMakeFiles/cbs_tests.dir/baseline/fluorescence_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/baseline/fluorescence_test.cpp.o.d"
+  "/root/repo/tests/bio/assay_test.cpp" "tests/CMakeFiles/cbs_tests.dir/bio/assay_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/bio/assay_test.cpp.o.d"
+  "/root/repo/tests/bio/langmuir_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/bio/langmuir_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/bio/langmuir_properties_test.cpp.o.d"
+  "/root/repo/tests/bio/langmuir_test.cpp" "tests/CMakeFiles/cbs_tests.dir/bio/langmuir_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/bio/langmuir_test.cpp.o.d"
+  "/root/repo/tests/bio/transport_test.cpp" "tests/CMakeFiles/cbs_tests.dir/bio/transport_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/bio/transport_test.cpp.o.d"
+  "/root/repo/tests/circ/amplifier_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/amplifier_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/amplifier_test.cpp.o.d"
+  "/root/repo/tests/circ/bridge_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/bridge_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/bridge_properties_test.cpp.o.d"
+  "/root/repo/tests/circ/bridge_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/bridge_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/bridge_test.cpp.o.d"
+  "/root/repo/tests/circ/chopper_ripple_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/chopper_ripple_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/chopper_ripple_test.cpp.o.d"
+  "/root/repo/tests/circ/chopper_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/chopper_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/chopper_test.cpp.o.d"
+  "/root/repo/tests/circ/filter_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/filter_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/filter_properties_test.cpp.o.d"
+  "/root/repo/tests/circ/filters_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/filters_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/filters_test.cpp.o.d"
+  "/root/repo/tests/circ/lorentz_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/lorentz_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/lorentz_test.cpp.o.d"
+  "/root/repo/tests/circ/mna_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/mna_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/mna_test.cpp.o.d"
+  "/root/repo/tests/circ/noise_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/noise_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/noise_test.cpp.o.d"
+  "/root/repo/tests/circ/stages_test.cpp" "tests/CMakeFiles/cbs_tests.dir/circ/stages_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/circ/stages_test.cpp.o.d"
+  "/root/repo/tests/core/characterization_test.cpp" "tests/CMakeFiles/cbs_tests.dir/core/characterization_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/core/characterization_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/cbs_tests.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/lod_chip_test.cpp" "tests/CMakeFiles/cbs_tests.dir/core/lod_chip_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/core/lod_chip_test.cpp.o.d"
+  "/root/repo/tests/core/resonant_sensor_test.cpp" "tests/CMakeFiles/cbs_tests.dir/core/resonant_sensor_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/core/resonant_sensor_test.cpp.o.d"
+  "/root/repo/tests/core/static_sensor_test.cpp" "tests/CMakeFiles/cbs_tests.dir/core/static_sensor_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/core/static_sensor_test.cpp.o.d"
+  "/root/repo/tests/daq/counter_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/daq/counter_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/daq/counter_properties_test.cpp.o.d"
+  "/root/repo/tests/daq/counter_test.cpp" "tests/CMakeFiles/cbs_tests.dir/daq/counter_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/daq/counter_test.cpp.o.d"
+  "/root/repo/tests/daq/lockin_test.cpp" "tests/CMakeFiles/cbs_tests.dir/daq/lockin_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/daq/lockin_test.cpp.o.d"
+  "/root/repo/tests/fab/drc_test.cpp" "tests/CMakeFiles/cbs_tests.dir/fab/drc_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/fab/drc_test.cpp.o.d"
+  "/root/repo/tests/fab/etch_test.cpp" "tests/CMakeFiles/cbs_tests.dir/fab/etch_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/fab/etch_test.cpp.o.d"
+  "/root/repo/tests/fab/fab_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/fab/fab_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/fab/fab_properties_test.cpp.o.d"
+  "/root/repo/tests/fab/layout_io_test.cpp" "tests/CMakeFiles/cbs_tests.dir/fab/layout_io_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/fab/layout_io_test.cpp.o.d"
+  "/root/repo/tests/fab/layout_test.cpp" "tests/CMakeFiles/cbs_tests.dir/fab/layout_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/fab/layout_test.cpp.o.d"
+  "/root/repo/tests/fab/montecarlo_test.cpp" "tests/CMakeFiles/cbs_tests.dir/fab/montecarlo_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/fab/montecarlo_test.cpp.o.d"
+  "/root/repo/tests/mech/beam_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/beam_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/beam_properties_test.cpp.o.d"
+  "/root/repo/tests/mech/beam_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/beam_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/beam_test.cpp.o.d"
+  "/root/repo/tests/mech/hydro_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/hydro_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/hydro_properties_test.cpp.o.d"
+  "/root/repo/tests/mech/hydrodynamics_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/hydrodynamics_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/hydrodynamics_test.cpp.o.d"
+  "/root/repo/tests/mech/mass_loading_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/mass_loading_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/mass_loading_test.cpp.o.d"
+  "/root/repo/tests/mech/piezoresistance_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/piezoresistance_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/piezoresistance_test.cpp.o.d"
+  "/root/repo/tests/mech/resonator_properties_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/resonator_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/resonator_properties_test.cpp.o.d"
+  "/root/repo/tests/mech/resonator_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/resonator_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/resonator_test.cpp.o.d"
+  "/root/repo/tests/mech/stoney_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/stoney_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/stoney_test.cpp.o.d"
+  "/root/repo/tests/mech/thermal_noise_test.cpp" "tests/CMakeFiles/cbs_tests.dir/mech/thermal_noise_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/mech/thermal_noise_test.cpp.o.d"
+  "/root/repo/tests/phys/material_test.cpp" "tests/CMakeFiles/cbs_tests.dir/phys/material_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/phys/material_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/cbs_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/integrator_test.cpp" "tests/CMakeFiles/cbs_tests.dir/sim/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/sim/integrator_test.cpp.o.d"
+  "/root/repo/tests/util/allan_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/allan_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/allan_test.cpp.o.d"
+  "/root/repo/tests/util/dft_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/dft_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/dft_test.cpp.o.d"
+  "/root/repo/tests/util/expect_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/expect_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/expect_test.cpp.o.d"
+  "/root/repo/tests/util/random_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/random_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/random_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/cbs_tests.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/cbs_tests.dir/util/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_fab.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_circ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
