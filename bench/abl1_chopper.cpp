@@ -7,8 +7,10 @@
 #include "core/static_sensor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("abl1_chopper");
     using namespace cbs;
     using namespace cbs::core;
 

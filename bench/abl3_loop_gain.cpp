@@ -8,6 +8,7 @@
 
 #include "core/resonant_sensor.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -47,6 +48,7 @@ LoopResult run_loop(double gain_target, double limiter_mv) {
 }  // namespace
 
 int main() {
+    const cbs::obs::BenchSession obs_session("abl3_loop_gain");
     {
         ConsoleTable t({"loop gain target", "first lock [s]", "freq pulling [Hz]",
                         "amplitude [nm]"});

@@ -14,8 +14,10 @@
 #include "mech/piezoresistance.hpp"
 #include "mech/stoney.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("fig1_static_bending");
     using namespace cbs;
     using namespace cbs::literals;
 

@@ -13,8 +13,10 @@
 #include "mech/hydrodynamics.hpp"
 #include "mech/mass_loading.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("fig2_resonant_shift");
     using namespace cbs;
     using namespace cbs::literals;
 

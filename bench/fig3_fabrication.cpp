@@ -16,8 +16,10 @@
 #include "fab/ruledeck.hpp"
 #include "fab/wafer.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("fig3_fabrication");
     using namespace cbs;
     using namespace cbs::fab;
 

@@ -14,8 +14,10 @@
 #include "core/static_sensor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("fig4_static_readout");
     using namespace cbs;
     using namespace cbs::core;
     using namespace cbs::literals;

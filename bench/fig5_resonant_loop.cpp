@@ -14,8 +14,10 @@
 #include "util/allan.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("fig5_resonant_loop");
     using namespace cbs;
     using namespace cbs::core;
     using namespace cbs::literals;

@@ -11,6 +11,7 @@
 #include "fab/layout_gen.hpp"
 #include "fab/ruledeck.hpp"
 #include "mech/resonator.hpp"
+#include "obs/obs.hpp"
 #include "sim/integrator.hpp"
 #include "util/dft.hpp"
 #include "util/random.hpp"
@@ -97,6 +98,104 @@ void BM_Fft4096(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Fft4096);
+
+// --- Observability overhead ------------------------------------------------
+//
+// The acceptance bar for the obs layer: with CBS_OBS=off the instrumented
+// hot paths must stay within 5% of their uninstrumented throughput. Compare
+// the Off/Summary variants of the same kernel to see what opting in costs.
+
+/// Temporarily forces the observability level for one benchmark.
+class ObsLevelGuard {
+public:
+    explicit ObsLevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~ObsLevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+void BM_ObsCounterAdd_Off(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::off);
+    auto* c = obs::MetricsRegistry::instance().counter("bench.counter");
+    for (auto _ : state) {
+        c->add();
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_ObsCounterAdd_Off);
+
+void BM_ObsCounterAdd_Summary(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::summary);
+    auto* c = obs::MetricsRegistry::instance().counter("bench.counter");
+    for (auto _ : state) {
+        c->add();
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_ObsCounterAdd_Summary);
+
+void BM_ObsHistogramObserve_Summary(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::summary);
+    auto* h = obs::MetricsRegistry::instance().histogram("bench.histogram");
+    double v = 50.0;
+    for (auto _ : state) {
+        h->observe(v);
+        v = v < 1e8 ? v * 1.1 : 50.0;
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_ObsHistogramObserve_Summary);
+
+void BM_ChopperSample_ObsOff(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::off);
+    circ::ChopperConfig cfg;
+    cfg.amplifier.gain = 100.0;
+    cfg.amplifier.bandwidth = Frequency{50e3};
+    cfg.amplifier.white_noise = VoltageNoiseDensity{15e-9};
+    cfg.amplifier.flicker_corner = Frequency{5e3};
+    circ::ChopperAmplifier amp(cfg, 200e3, Rng(1));
+    for (auto _ : state) benchmark::DoNotOptimize(amp.process(1e-6));
+}
+BENCHMARK(BM_ChopperSample_ObsOff);
+
+void BM_ChopperSample_ObsSummary(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::summary);
+    circ::ChopperConfig cfg;
+    cfg.amplifier.gain = 100.0;
+    cfg.amplifier.bandwidth = Frequency{50e3};
+    cfg.amplifier.white_noise = VoltageNoiseDensity{15e-9};
+    cfg.amplifier.flicker_corner = Frequency{5e3};
+    circ::ChopperAmplifier amp(cfg, 200e3, Rng(1));
+    for (auto _ : state) benchmark::DoNotOptimize(amp.process(1e-6));
+}
+BENCHMARK(BM_ChopperSample_ObsSummary);
+
+// 64 loop ticks per run() call — the short end of realistic usage (fig
+// benches run millions of ticks per call), so the per-run span/counter
+// cost is amortized the way it is in practice. Compare Off vs Summary
+// per-item times for the instrumentation overhead.
+void BM_ResonantLoopRun64_ObsOff(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::off);
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    const Time dt{64.0 / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(dt);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ResonantLoopRun64_ObsOff);
+
+void BM_ResonantLoopRun64_ObsSummary(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::summary);
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    const Time dt{64.0 / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(dt);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ResonantLoopRun64_ObsSummary);
 
 }  // namespace
 

@@ -10,8 +10,10 @@
 #include "baseline/comparison.hpp"
 #include "core/chip.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("tab1_integration_comparison");
     using namespace cbs;
     using namespace cbs::baseline;
 

@@ -11,8 +11,10 @@
 #include "baseline/comparison.hpp"
 #include "util/constants.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("tab2_bridge_comparison");
     using namespace cbs;
     using namespace cbs::baseline;
 

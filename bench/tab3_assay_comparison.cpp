@@ -13,8 +13,10 @@
 #include "fab/wafer.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("tab3_assay_comparison");
     using namespace cbs;
     using namespace cbs::baseline;
     using namespace cbs::literals;

@@ -6,8 +6,10 @@
 
 #include "core/resonant_sensor.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("example_dna_hybridization");
     using namespace cbs;
     using namespace cbs::literals;
     using namespace cbs::core;

@@ -16,8 +16,10 @@
 #include "fab/layout_io.hpp"
 #include "fab/ruledeck.hpp"
 #include "mech/geometry.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
+    const cbs::obs::BenchSession obs_session("example_drc_cli");
     using namespace cbs;
     using namespace cbs::fab;
 

@@ -7,8 +7,10 @@
 
 #include "core/static_sensor.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("example_immunoassay_panel");
     using namespace cbs;
     using namespace cbs::literals;
     using namespace cbs::core;

@@ -11,8 +11,10 @@
 #include "fab/ruledeck.hpp"
 #include "fab/wafer.hpp"
 #include "util/table.hpp"
+#include "obs/obs.hpp"
 
 int main() {
+    const cbs::obs::BenchSession obs_session("example_process_yield");
     using namespace cbs;
     using namespace cbs::fab;
 

@@ -7,13 +7,21 @@
 
 namespace cbs::circ {
 
-SarAdc::SarAdc(int bits, Voltage full_scale) : bits_(bits), full_scale_(full_scale.value()) {
+SarAdc::SarAdc(int bits, Voltage full_scale)
+    : bits_(bits),
+      full_scale_(full_scale.value()),
+      obs_samples_(obs::MetricsRegistry::instance().counter("adc.samples")),
+      obs_clipped_(obs::MetricsRegistry::instance().counter("adc.clip_events")) {
     CBS_EXPECTS(bits >= 4 && bits <= 24);
     CBS_EXPECTS(full_scale.value() > 0.0);
     lsb_ = 2.0 * full_scale_ / std::pow(2.0, bits_);
 }
 
 std::int32_t SarAdc::convert(double volts) const {
+    if (obs::enabled()) {
+        obs_samples_->add();
+        if (std::abs(volts) > full_scale_) obs_clipped_->add();
+    }
     const double clamped = std::clamp(volts, -full_scale_, full_scale_);
     const auto max_code = static_cast<std::int32_t>(std::pow(2.0, bits_ - 1)) - 1;
     const auto min_code = -static_cast<std::int32_t>(std::pow(2.0, bits_ - 1));

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace cbs::circ {
@@ -28,6 +29,9 @@ private:
     int bits_;
     double full_scale_;
     double lsb_;
+    // Observability: conversion count and out-of-range (clipped) inputs.
+    obs::Counter* obs_samples_;
+    obs::Counter* obs_clipped_;
 };
 
 }  // namespace cbs::circ

@@ -15,7 +15,9 @@ ChopperAmplifier::ChopperAmplifier(const ChopperConfig& config, double sample_ra
       boxcar_(static_cast<std::size_t>(std::lround(sample_rate_hz /
                                                    config.chop_frequency.value())),
               0.0),
-      post_filter_(config.output_cutoff, sample_rate_hz) {
+      post_filter_(config.output_cutoff, sample_rate_hz),
+      obs_samples_(obs::MetricsRegistry::instance().counter("chopper.samples")),
+      obs_clip_events_(obs::MetricsRegistry::instance().counter("chopper.clip_events")) {
     CBS_EXPECTS(config.chop_frequency.value() > 0.0);
     // The chopping square wave must be well oversampled and the amplifier
     // must pass it: fs >= 10 f_chop and BW >= 2 f_chop.
@@ -35,6 +37,12 @@ double ChopperAmplifier::process(double in) {
     if (cfg_.enabled) {
         const double m = carrier();
         out = core_.process(in * m) * m;
+        if (obs::enabled()) {
+            obs_samples_->add();
+            if (std::abs(out) >= cfg_.amplifier.saturation.value() * 0.999) {
+                obs_clip_events_->add();
+            }
+        }
         // One-chop-period moving average: nulls at k * f_chop remove the
         // demodulated offset/flicker ripple.
         boxcar_sum_ += out - boxcar_[boxcar_pos_];
@@ -43,6 +51,12 @@ double ChopperAmplifier::process(double in) {
         out = boxcar_sum_ / static_cast<double>(boxcar_.size());
     } else {
         out = core_.process(in);
+        if (obs::enabled()) {
+            obs_samples_->add();
+            if (std::abs(out) >= cfg_.amplifier.saturation.value() * 0.999) {
+                obs_clip_events_->add();
+            }
+        }
     }
     t_ += dt_;
     return post_filter_.process(out);

@@ -14,6 +14,7 @@
 
 #include "circ/amplifier.hpp"
 #include "circ/filters.hpp"
+#include "obs/metrics.hpp"
 
 namespace cbs::circ {
 
@@ -48,6 +49,10 @@ private:
     std::size_t boxcar_pos_ = 0;
     double boxcar_sum_ = 0.0;
     OnePoleLowPass post_filter_;
+    // Observability: processed samples and core-amplifier overload events
+    // (recorded only when CBS_OBS is enabled).
+    obs::Counter* obs_samples_;
+    obs::Counter* obs_clip_events_;
 };
 
 }  // namespace cbs::circ

@@ -1,7 +1,10 @@
 #include "core/resonant_sensor.hpp"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/constants.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
@@ -58,7 +61,10 @@ ResonantCantileverSystem::ResonantCantileverSystem(const ResonantSensorConfig& c
       actuator_(config.coil),
       readout_bandpass_(circ::Biquad::Type::bandpass, fluid_loading_.resonance, 5.0, fs_),
       counter_(config.counter_gate, /*hysteresis=*/config.limiter_level.value() * 0.2),
-      displacement_trace_(/*decimation=*/16) {
+      displacement_trace_(/*decimation=*/16),
+      obs_tick_hist_(obs::MetricsRegistry::instance().histogram("proc.resonant_loop")),
+      obs_ticks_(obs::MetricsRegistry::instance().counter("resonant.ticks")),
+      obs_coverage_(obs::MetricsRegistry::instance().gauge("resonant.coverage")) {
     CBS_EXPECTS(config.intrinsic_q > 0.0);
     CBS_EXPECTS(config.oversample >= 16.0);
     CBS_EXPECTS(config.loop_gain_target > 1.0);
@@ -173,14 +179,33 @@ void ResonantCantileverSystem::tick(double dt) {
 
 std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time duration) {
     CBS_EXPECTS(duration.value() > 0.0);
+    const obs::ScopedTimer span("resonant.run", "core");
     std::vector<daq::FrequencyMeasurement> out;
     sink_ = &out;
     const auto steps = static_cast<std::size_t>(duration.value() * fs_);
     const bio::LangmuirKinetics kinetics(cfg_.coating.target);
+    // Per-tick wall time of the closed loop — the dominant cost of every
+    // resonant bench — recorded only when CBS_OBS is enabled. A tick is
+    // ~300 ns and two clock reads cost ~50 ns, so only every 61st tick is
+    // timed to keep the enabled overhead inside the ≤5% budget (prime
+    // stride: it must not alias the 64-tick flicker-update cycle, which
+    // would bias the sample toward the expensive ticks); the histogram is
+    // a uniform sample, `resonant.ticks` has the exact count.
+    // The phase persists across run() calls so short runs still sample.
+    const bool timed = obs::enabled();
+    constexpr std::size_t kTimingStride = 61;
+    using clock = std::chrono::steady_clock;
     // Binding advances in coarse sub-intervals; the loop retunes after each.
     const std::size_t bio_stride = std::max<std::size_t>(1, static_cast<std::size_t>(fs_ * 0.01));
     for (std::size_t i = 0; i < steps; ++i) {
-        tick(dt_);
+        if (timed && obs_timing_phase_++ % kTimingStride == 0) {
+            const auto t0 = clock::now();
+            tick(dt_);
+            obs_tick_hist_->observe(
+                std::chrono::duration<double, std::nano>(clock::now() - t0).count());
+        } else {
+            tick(dt_);
+        }
         if ((i + 1) % bio_stride == 0) {
             const double theta_next =
                 kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
@@ -189,6 +214,10 @@ std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time durati
                 retune();
             }
         }
+    }
+    if (timed) {
+        obs_ticks_->add(steps);
+        obs_coverage_->set(theta_);
     }
     sink_ = nullptr;
     return out;

@@ -33,6 +33,7 @@
 #include "mech/piezoresistance.hpp"
 #include "mech/resonator.hpp"
 #include "mech/thermal_noise.hpp"
+#include "obs/metrics.hpp"
 #include "phys/fluid.hpp"
 #include "sim/trace.hpp"
 #include "util/random.hpp"
@@ -173,6 +174,14 @@ private:
 
     double t_ = 0.0;
     std::vector<daq::FrequencyMeasurement>* sink_ = nullptr;
+
+    // Observability: metric pointers resolved once at construction so run()
+    // never pays a registry lookup; the timing phase persists across run()
+    // calls so the 1-in-61 wall-time sampling holds even for short runs.
+    obs::Histogram* obs_tick_hist_;
+    obs::Counter* obs_ticks_;
+    obs::Gauge* obs_coverage_;
+    std::size_t obs_timing_phase_ = 0;
 };
 
 }  // namespace cbs::core

@@ -1,7 +1,10 @@
 #include "core/static_sensor.hpp"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/constants.hpp"
 #include "util/expect.hpp"
 
@@ -40,7 +43,9 @@ StaticCantileverSystem::StaticCantileverSystem(const StaticSensorConfig& config,
       pga2_(config.adc_full_scale),
       adc_(config.adc_bits, config.adc_full_scale),
       bridge_noise_(circ::DiffusedBridge(config.bridge).thermal_noise_density(constants::T_room),
-                    config.sample_rate_hz, rng.fork()) {
+                    config.sample_rate_hz, rng.fork()),
+      obs_tick_hist_(obs::MetricsRegistry::instance().histogram("proc.static_chain")),
+      obs_readings_(obs::MetricsRegistry::instance().counter("static.readings")) {
     CBS_EXPECTS(config.mux.channels == channel_count);
     CBS_EXPECTS(config.sample_rate_hz > 0.0);
     // Fabrication mismatch per channel.
@@ -89,8 +94,18 @@ double StaticCantileverSystem::acquire(Time settle, Time integrate) {
         static_cast<std::size_t>(settle.value() * cfg_.sample_rate_hz);
     const auto integrate_steps =
         static_cast<std::size_t>(integrate.value() * cfg_.sample_rate_hz);
+    // Per-tick wall time of the mux->chopper->PGA->ADC chain, recorded only
+    // when CBS_OBS is enabled. Every 61st tick is timed (prime stride, so
+    // the sample cannot alias any periodic per-tick cost) to keep the
+    // clock reads inside the ≤5% enabled-overhead budget; the
+    // phase persists across acquire() calls so short windows still sample.
+    const bool timed = obs::enabled();
+    constexpr std::size_t kTimingStride = 61;
+    using clock = std::chrono::steady_clock;
     double acc = 0.0;
     for (std::size_t i = 0; i < settle_steps + integrate_steps; ++i) {
+        const bool sample_timing = timed && obs_timing_phase_++ % kTimingStride == 0;
+        const auto t0 = sample_timing ? clock::now() : clock::time_point{};
         double v = mux_.process(inputs);
         v = bridge_noise_.process(v);
         v = chopper_.process(v);
@@ -99,6 +114,10 @@ double StaticCantileverSystem::acquire(Time settle, Time integrate) {
         v = pga1_.process(v);
         v = pga2_.process(v);
         v = adc_.quantize(v);
+        if (sample_timing) {
+            obs_tick_hist_->observe(
+                std::chrono::duration<double, std::nano>(clock::now() - t0).count());
+        }
         if (i >= settle_steps) acc += v;
         sim_time_ += 1.0 / cfg_.sample_rate_hz;
     }
@@ -106,6 +125,7 @@ double StaticCantileverSystem::acquire(Time settle, Time integrate) {
 }
 
 void StaticCantileverSystem::calibrate_offsets(Time settle, Time integrate) {
+    const obs::ScopedTimer span("static.calibrate_offsets", "core");
     // The uncompensated offset (bridge mismatch x chopper gain, ~0.25 V at
     // the compensation node) saturates the chain at full gain, so the
     // measurement is taken with both PGAs at x1 — the same sequencing a
@@ -135,6 +155,7 @@ void StaticCantileverSystem::calibrate_offsets(Time settle, Time integrate) {
 ChannelReading StaticCantileverSystem::read_channel(std::size_t channel, Time settle,
                                                     Time integrate) {
     CBS_EXPECTS(channel < channel_count);
+    obs_readings_->add();
     mux_.select(channel);
     offset_.set_code(channels_[channel].offset_code);
     ChannelReading r;
@@ -183,6 +204,7 @@ StaticCantileverSystem::AssayRecord StaticCantileverSystem::run_assay(
     const bio::AssayProtocol& protocol, Time reading_interval) {
     protocol.validate();
     CBS_EXPECTS(reading_interval.value() > 0.0);
+    const obs::ScopedTimer span("static.run_assay", "core");
     AssayRecord rec;
     double t = 0.0;
     for (const auto& phase : protocol.phases) {

@@ -24,6 +24,7 @@
 #include "circ/pga.hpp"
 #include "mech/piezoresistance.hpp"
 #include "mech/stoney.hpp"
+#include "obs/metrics.hpp"
 #include "util/random.hpp"
 
 namespace cbs::core {
@@ -137,6 +138,13 @@ private:
     circ::SarAdc adc_;
     circ::WhiteNoise bridge_noise_;
     double sim_time_ = 0.0;
+
+    // Observability: metric pointers resolved once at construction; the
+    // timing phase persists across acquire() calls so the 1-in-61
+    // wall-time sampling holds even for short acquisition windows.
+    obs::Histogram* obs_tick_hist_;
+    obs::Counter* obs_readings_;
+    std::size_t obs_timing_phase_ = 0;
 };
 
 }  // namespace cbs::core

@@ -40,7 +40,12 @@ void ZeroCrossingDetector::reset() {
     prev_v_ = 0.0;
 }
 
-GatedCounter::GatedCounter(Time gate, double hysteresis) : gate_(gate.value()), zcd_(hysteresis) {
+GatedCounter::GatedCounter(Time gate, double hysteresis)
+    : gate_(gate.value()),
+      zcd_(hysteresis),
+      obs_edges_(obs::MetricsRegistry::instance().counter("counter.edges")),
+      obs_gates_(obs::MetricsRegistry::instance().counter("counter.gates")),
+      obs_last_freq_(obs::MetricsRegistry::instance().gauge("counter.last_freq_hz")) {
     CBS_EXPECTS(gate.value() > 0.0);
 }
 
@@ -49,7 +54,10 @@ std::optional<FrequencyMeasurement> GatedCounter::feed(double t, double v) {
         started_ = true;
         gate_open_ = t;
     }
-    if (zcd_.feed(t, v)) ++count_;
+    if (zcd_.feed(t, v)) {
+        ++count_;
+        obs_edges_->add();
+    }
     if (t - gate_open_ >= gate_) {
         FrequencyMeasurement m;
         m.frequency_hz = static_cast<double>(count_) / (t - gate_open_);
@@ -58,6 +66,8 @@ std::optional<FrequencyMeasurement> GatedCounter::feed(double t, double v) {
         m.edges = count_;
         gate_open_ = t;
         count_ = 0;
+        obs_gates_->add();
+        obs_last_freq_->set(m.frequency_hz);
         return m;
     }
     return std::nullopt;
@@ -70,7 +80,11 @@ void GatedCounter::reset() {
 }
 
 ReciprocalCounter::ReciprocalCounter(Time gate, double hysteresis)
-    : gate_(gate.value()), zcd_(hysteresis) {
+    : gate_(gate.value()),
+      zcd_(hysteresis),
+      obs_edges_(obs::MetricsRegistry::instance().counter("counter.edges")),
+      obs_gates_(obs::MetricsRegistry::instance().counter("counter.gates")),
+      obs_last_freq_(obs::MetricsRegistry::instance().gauge("counter.last_freq_hz")) {
     CBS_EXPECTS(gate.value() > 0.0);
 }
 
@@ -83,6 +97,7 @@ std::optional<FrequencyMeasurement> ReciprocalCounter::feed(double t, double v) 
         if (!first_edge_) first_edge_ = *edge;
         last_edge_ = *edge;
         ++edges_;
+        obs_edges_->add();
     }
     if (t - gate_open_ >= gate_) {
         std::optional<FrequencyMeasurement> out;
@@ -94,6 +109,8 @@ std::optional<FrequencyMeasurement> ReciprocalCounter::feed(double t, double v) 
             m.gate_end = t;
             m.edges = edges_;
             out = m;
+            obs_gates_->add();
+            obs_last_freq_->set(m.frequency_hz);
         }
         gate_open_ = t;
         first_edge_.reset();

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace cbs::daq {
@@ -63,6 +64,9 @@ private:
     double gate_open_ = 0.0;
     bool started_ = false;
     std::size_t count_ = 0;
+    obs::Counter* obs_edges_;
+    obs::Counter* obs_gates_;
+    obs::Gauge* obs_last_freq_;
 };
 
 /// Reciprocal (period-averaging) counter.
@@ -84,6 +88,9 @@ private:
     std::optional<double> first_edge_;
     double last_edge_ = 0.0;
     std::size_t edges_ = 0;
+    obs::Counter* obs_edges_;
+    obs::Counter* obs_gates_;
+    obs::Gauge* obs_last_freq_;
 };
 
 }  // namespace cbs::daq

@@ -11,7 +11,9 @@ LockInAmplifier::LockInAmplifier(Frequency reference, Frequency output_bandwidth
                                  double sample_rate_hz)
     : f_ref_(reference.value()),
       lp_i_(output_bandwidth, sample_rate_hz),
-      lp_q_(output_bandwidth, sample_rate_hz) {
+      lp_q_(output_bandwidth, sample_rate_hz),
+      obs_samples_(obs::MetricsRegistry::instance().counter("lockin.samples")),
+      obs_settled_(obs::MetricsRegistry::instance().gauge("lockin.settled_samples")) {
     CBS_EXPECTS(reference.value() > 0.0);
     CBS_EXPECTS(output_bandwidth.value() < reference.value());
 }
@@ -20,6 +22,11 @@ void LockInAmplifier::feed(double t, double v) {
     const double ph = 2.0 * constants::pi * f_ref_ * t;
     i_ = lp_i_.process(v * std::sin(ph));
     q_ = lp_q_.process(v * std::cos(ph));
+    ++samples_since_reset_;
+    if (obs::enabled()) {
+        obs_samples_->add();
+        obs_settled_->set(static_cast<double>(samples_since_reset_));
+    }
 }
 
 double LockInAmplifier::magnitude() const { return 2.0 * std::hypot(i_, q_); }
@@ -31,6 +38,8 @@ void LockInAmplifier::reset() {
     lp_q_.reset();
     i_ = 0.0;
     q_ = 0.0;
+    samples_since_reset_ = 0;
+    obs_settled_->set(0.0);
 }
 
 }  // namespace cbs::daq

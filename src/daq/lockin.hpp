@@ -4,6 +4,7 @@
 #pragma once
 
 #include "circ/filters.hpp"
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace cbs::daq {
@@ -26,12 +27,20 @@ public:
 
     void reset();
 
+    /// Samples fed since the last reset — how far the output filters have
+    /// settled toward steady state.
+    [[nodiscard]] std::uint64_t samples_since_reset() const { return samples_since_reset_; }
+
 private:
     double f_ref_;
     circ::OnePoleLowPass lp_i_;
     circ::OnePoleLowPass lp_q_;
     double i_ = 0.0;
     double q_ = 0.0;
+    std::uint64_t samples_since_reset_ = 0;
+    // Observability: total fed samples and the settled-sample gauge.
+    obs::Counter* obs_samples_;
+    obs::Gauge* obs_settled_;
 };
 
 }  // namespace cbs::daq

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
 
@@ -49,6 +51,7 @@ DeviceSample ProcessMonteCarlo::sample(Rng& rng) const {
 MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolerance) const {
     CBS_EXPECTS(n >= 2);
     CBS_EXPECTS(f0_tolerance > 0.0);
+    const obs::ScopedTimer span("mc.run", "fab");
     const double f0_nom = nominal_resonance().value();
 
     std::vector<double> f0s;
@@ -62,6 +65,11 @@ MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolera
         if (std::abs(s.resonance.value() - f0_nom) <= f0_tolerance * f0_nom) ++good;
     }
 
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("mc.trials")->add(n);
+    registry.counter("mc.functional")->add(f0s.size());
+    registry.counter("mc.in_band")->add(good);
+
     MonteCarloStats out;
     out.samples = n;
     if (!f0s.empty()) {
@@ -71,6 +79,7 @@ MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolera
     out.thickness_mean_m = stats::mean(thicknesses);
     out.thickness_sigma_m = stats::stddev(thicknesses);
     out.yield = static_cast<double>(good) / static_cast<double>(n);
+    registry.gauge("mc.yield")->set(out.yield);
     return out;
 }
 

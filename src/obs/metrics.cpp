@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+#include "util/expect.hpp"
+
+namespace cbs::obs {
+
+namespace detail {
+
+namespace {
+
+int level_from_env() {
+    const char* v = std::getenv("CBS_OBS");
+    return static_cast<int>(v != nullptr ? parse_level(v) : Level::off);
+}
+
+}  // namespace
+
+std::atomic<int> g_level{level_from_env()};
+
+}  // namespace detail
+
+Level parse_level(std::string_view text) {
+    if (text == "summary") return Level::summary;
+    if (text == "trace") return Level::trace;
+    return Level::off;
+}
+
+void set_level(Level l) noexcept {
+    detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+const std::string& out_dir() {
+    static const std::string dir = [] {
+        const char* v = std::getenv("CBS_OBS_OUT");
+        return std::string(v != nullptr && *v != '\0' ? v : ".");
+    }();
+    return dir;
+}
+
+std::uint64_t Gauge::to_bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::from_bits(std::uint64_t b) noexcept { return std::bit_cast<double>(b); }
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(bounds_.size() + 1),
+      sum_bits_(std::bit_cast<std::uint64_t>(0.0)),
+      min_bits_(std::bit_cast<std::uint64_t>(0.0)),
+      max_bits_(std::bit_cast<std::uint64_t>(0.0)) {
+    CBS_EXPECTS(!bounds_.empty());
+    CBS_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end());
+}
+
+void Histogram::observe(double v) noexcept {
+    if (!enabled()) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+    // sum / min / max via CAS; contention is negligible at report granularity.
+    std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(bits,
+                                            std::bit_cast<std::uint64_t>(
+                                                std::bit_cast<double>(bits) + v),
+                                            std::memory_order_relaxed)) {
+    }
+    if (prev == 0) {
+        min_bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+        max_bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+        return;
+    }
+    bits = min_bits_.load(std::memory_order_relaxed);
+    while (v < std::bit_cast<double>(bits) &&
+           !min_bits_.compare_exchange_weak(bits, std::bit_cast<std::uint64_t>(v),
+                                            std::memory_order_relaxed)) {
+    }
+    bits = max_bits_.load(std::memory_order_relaxed);
+    while (v > std::bit_cast<double>(bits) &&
+           !max_bits_.compare_exchange_weak(bits, std::bit_cast<std::uint64_t>(v),
+                                            std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const noexcept {
+    return std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const noexcept {
+    return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+    CBS_EXPECTS(p >= 0.0 && p <= 100.0);
+    const auto counts = bucket_counts();
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    if (total == 0) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        const double lo_count = static_cast<double>(cum);
+        cum += counts[i];
+        if (static_cast<double>(cum) < rank) continue;
+        // Interpolate within [lo, hi] of this bucket. The overflow bucket
+        // and the first bucket are clamped by the observed extremes.
+        double lo = i == 0 ? min() : bounds_[i - 1];
+        double hi = i < bounds_.size() ? bounds_[i] : max();
+        lo = std::max(lo, min());
+        hi = std::min(hi, max());
+        if (hi <= lo) return hi;
+        const double frac =
+            std::clamp((rank - lo_count) / static_cast<double>(counts[i]), 0.0, 1.0);
+        return lo + frac * (hi - lo);
+    }
+    return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+    min_bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+    max_bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::timing_bounds_ns() {
+    static const std::vector<double> bounds = [] {
+        std::vector<double> b;
+        for (double v = 50.0; v < 2e9; v *= 2.0) b.push_back(v);
+        return b;
+    }();
+    return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+namespace {
+
+template <typename T, typename Make>
+T* find_or_emplace(std::vector<std::pair<std::string, std::unique_ptr<T>>>& entries,
+                   std::string_view name, Make make) {
+    for (auto& [n, metric] : entries) {
+        if (n == name) return metric.get();
+    }
+    entries.emplace_back(std::string(name), make());
+    return entries.back().second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+    const std::lock_guard lock(mu_);
+    return find_or_emplace(counters_, name, [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+    const std::lock_guard lock(mu_);
+    return find_or_emplace(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+    return histogram(name, Histogram::timing_bounds_ns());
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+    const std::lock_guard lock(mu_);
+    return find_or_emplace(histograms_, name, [&] {
+        return std::make_unique<Histogram>(upper_bounds);
+    });
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard lock(mu_);
+    Snapshot s;
+    for (const auto& [name, c] : counters_) {
+        if (c->value() != 0) s.counters.push_back({name, c->value()});
+    }
+    for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+    for (const auto& [name, h] : histograms_) {
+        if (h->count() != 0) s.histograms.push_back({name, h.get()});
+    }
+    const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    std::sort(s.counters.begin(), s.counters.end(), by_name);
+    std::sort(s.gauges.begin(), s.gauges.end(), by_name);
+    std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+    return s;
+}
+
+void MetricsRegistry::reset_all() {
+    const std::lock_guard lock(mu_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace cbs::obs

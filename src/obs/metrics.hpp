@@ -1,0 +1,160 @@
+// Observability metrics: process-global registry of named counters, gauges
+// and fixed-bucket histograms feeding the end-of-run report every bench
+// prints (see obs/report.hpp).
+//
+// Design constraints, in order:
+//   1. Zero cost when disabled — every record path is one relaxed atomic
+//      load and a predictable branch (`CBS_OBS` unset or `off`).
+//   2. Hot-path friendly when enabled — recording is lock-free (relaxed
+//      atomic increments); the registry mutex is only taken at
+//      registration/lookup time, so call sites cache the returned pointer.
+//   3. Header-light — no <iostream>, no formatting here; rendering lives in
+//      obs/report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbs::obs {
+
+/// Global observability level, initialized once from the environment:
+///   CBS_OBS=off      (default) nothing is recorded
+///   CBS_OBS=summary  metrics are recorded; benches print a run report
+///   CBS_OBS=trace    summary + span tracer writes chrome://tracing JSON/CSV
+enum class Level : int { off = 0, summary = 1, trace = 2 };
+
+namespace detail {
+extern std::atomic<int> g_level;
+}
+
+/// Parses "off"/"summary"/"trace" (anything else -> off).
+Level parse_level(std::string_view text);
+
+[[nodiscard]] inline Level level() noexcept {
+    return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+[[nodiscard]] inline bool enabled() noexcept { return level() != Level::off; }
+[[nodiscard]] inline bool tracing() noexcept { return level() == Level::trace; }
+
+/// Programmatic override (tests, overhead benchmarks). The environment is
+/// read once before main; this replaces that choice for the whole process.
+void set_level(Level l) noexcept;
+
+/// Output directory for trace artifacts: CBS_OBS_OUT, default ".".
+[[nodiscard]] const std::string& out_dir();
+
+/// Monotonically increasing event count. All mutation is relaxed-atomic.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+    void set(double v) noexcept {
+        if (enabled()) bits_.store(to_bits(v), std::memory_order_relaxed);
+    }
+    [[nodiscard]] double value() const noexcept {
+        return from_bits(bits_.load(std::memory_order_relaxed));
+    }
+    void reset() noexcept { bits_.store(to_bits(0.0), std::memory_order_relaxed); }
+
+private:
+    static std::uint64_t to_bits(double v) noexcept;
+    static double from_bits(std::uint64_t b) noexcept;
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bound[i-1] < v <= bound[i]; one extra overflow bucket counts
+/// v > bound.back(). Also tracks count/sum/min/max so the report can show
+/// totals and bucket-interpolated percentiles.
+class Histogram {
+public:
+    /// `upper_bounds` must be non-empty and strictly increasing.
+    explicit Histogram(std::span<const double> upper_bounds);
+
+    void observe(double v) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept;
+    [[nodiscard]] double sum() const noexcept;
+    [[nodiscard]] double min() const noexcept;  ///< 0 when empty
+    [[nodiscard]] double max() const noexcept;  ///< 0 when empty
+    [[nodiscard]] double mean() const noexcept;
+
+    /// Linear interpolation inside the owning bucket, p in [0,100].
+    [[nodiscard]] double percentile(double p) const;
+
+    [[nodiscard]] std::span<const double> upper_bounds() const { return bounds_; }
+    /// Per-bucket counts; size() == upper_bounds().size() + 1 (overflow last).
+    [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+    void reset() noexcept;
+
+    /// Log-spaced bounds for wall-time observations in nanoseconds:
+    /// 50 ns .. ~1.6 s, a factor 2 apart (26 buckets).
+    static const std::vector<double>& timing_bounds_ns();
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_bits_;      // double bits, CAS-accumulated
+    std::atomic<std::uint64_t> min_bits_;
+    std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Process-global name -> metric registry. Returned pointers are stable for
+/// the process lifetime; look a metric up once and cache the pointer.
+class MetricsRegistry {
+public:
+    static MetricsRegistry& instance();
+
+    Counter* counter(std::string_view name);
+    Gauge* gauge(std::string_view name);
+    /// Default bounds: Histogram::timing_bounds_ns(). Requesting an existing
+    /// histogram ignores `upper_bounds` and returns the registered one.
+    Histogram* histogram(std::string_view name);
+    Histogram* histogram(std::string_view name, std::span<const double> upper_bounds);
+
+    struct Snapshot {
+        struct CounterEntry { std::string name; std::uint64_t value; };
+        struct GaugeEntry { std::string name; double value; };
+        struct HistogramEntry { std::string name; const Histogram* histogram; };
+        std::vector<CounterEntry> counters;    // sorted by name, zeros omitted
+        std::vector<GaugeEntry> gauges;        // sorted by name
+        std::vector<HistogramEntry> histograms;  // sorted by name, empties omitted
+    };
+    /// Consistent-enough view for reporting (values are relaxed reads).
+    [[nodiscard]] Snapshot snapshot() const;
+
+    /// Zeroes every registered metric (tests, repeated bench sections).
+    void reset_all();
+
+private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    // node-based maps keep metric addresses stable across registrations
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+    std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+    std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace cbs::obs

@@ -1,0 +1,9 @@
+// Umbrella header for the cbs::obs observability layer:
+//   obs/metrics.hpp — CBS_OBS level, MetricsRegistry, Counter/Gauge/Histogram
+//   obs/tracer.hpp  — SpanTracer + ScopedTimer (chrome://tracing output)
+//   obs/report.hpp  — RunReport + BenchSession (end-of-run summary)
+#pragma once
+
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/report.hpp"    // IWYU pragma: export
+#include "obs/tracer.hpp"    // IWYU pragma: export

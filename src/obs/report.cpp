@@ -1,0 +1,102 @@
+#include "obs/report.hpp"
+
+#include <filesystem>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "util/table.hpp"
+
+namespace cbs::obs {
+
+namespace {
+
+RunReport::ProcessRow row_from_histogram(const std::string& name, const Histogram& h,
+                                         std::string_view prefix) {
+    RunReport::ProcessRow row;
+    row.name = name.substr(prefix.size());
+    row.ticks = h.count();
+    row.total_ms = h.sum() / 1e6;
+    row.mean_us = h.mean() / 1e3;
+    row.p50_us = h.percentile(50.0) / 1e3;
+    row.p99_us = h.percentile(99.0) / 1e3;
+    row.max_us = h.max() / 1e3;
+    return row;
+}
+
+void append_process_table(std::string& out, const std::string& title,
+                          const std::string& label,
+                          const std::vector<RunReport::ProcessRow>& rows) {
+    if (rows.empty()) return;
+    ConsoleTable t({label, "ticks", "total [ms]", "mean [us]", "p50 [us]", "p99 [us]",
+                    "max [us]"});
+    for (const auto& r : rows) {
+        t.add_row({r.name, std::to_string(r.ticks), ConsoleTable::num(r.total_ms, 3),
+                   ConsoleTable::num(r.mean_us, 3), ConsoleTable::num(r.p50_us, 3),
+                   ConsoleTable::num(r.p99_us, 3), ConsoleTable::num(r.max_us, 3)});
+    }
+    out += t.str(title);
+    out += '\n';
+}
+
+}  // namespace
+
+RunReport RunReport::collect() {
+    RunReport report;
+    const auto snap = MetricsRegistry::instance().snapshot();
+    for (const auto& [name, h] : snap.histograms) {
+        if (name.starts_with("proc.")) {
+            report.processes.push_back(row_from_histogram(name, *h, "proc."));
+        } else if (name.starts_with("span.")) {
+            report.spans.push_back(row_from_histogram(name, *h, "span."));
+        }
+    }
+    for (const auto& [name, value] : snap.counters) report.counters.push_back({name, value});
+    for (const auto& [name, value] : snap.gauges) report.gauges.push_back({name, value});
+    return report;
+}
+
+std::string RunReport::render(const std::string& title) const {
+    if (empty()) return {};
+    std::string out;
+    if (!title.empty()) out += "== " + title + " ==\n";
+    append_process_table(out, "processes (per-tick wall time)", "process", processes);
+    append_process_table(out, "sections (ScopedTimer spans)", "span", spans);
+    if (!counters.empty()) {
+        ConsoleTable t({"counter", "value"});
+        for (const auto& c : counters) t.add_row({c.name, std::to_string(c.value)});
+        out += t.str("counters");
+        out += '\n';
+    }
+    if (!gauges.empty()) {
+        ConsoleTable t({"gauge", "value"});
+        for (const auto& g : gauges) t.add_row({g.name, ConsoleTable::num(g.value, 6)});
+        out += t.str("gauges");
+        out += '\n';
+    }
+    return out;
+}
+
+BenchSession::BenchSession(std::string name) : name_(std::move(name)) {
+    if (tracing()) {
+        // Anchor the trace epoch at session start so span timestamps are
+        // relative to the bench run.
+        (void)SpanTracer::now_us();
+    }
+}
+
+BenchSession::~BenchSession() {
+    if (!enabled()) return;
+    const auto report = RunReport::collect();
+    std::cout << '\n' << report.render("obs run report — " + name_);
+    if (!tracing()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir(), ec);
+    const std::string base = out_dir() + "/" + name_ + "_trace";
+    SpanTracer::instance().write_chrome_json(base + ".json");
+    SpanTracer::instance().write_csv(base + ".csv");
+    std::cout << "trace: " << base << ".json (chrome://tracing), " << base << ".csv ("
+              << SpanTracer::instance().size() << " spans)\n";
+}
+
+}  // namespace cbs::obs

@@ -1,0 +1,71 @@
+// End-of-run reporting: collects the metrics registry into a RunReport
+// (per-process tick table + counters + gauges) rendered with util/table,
+// and a BenchSession RAII object every bench/example main installs so that
+// `CBS_OBS=summary <bench>` prints the report and `CBS_OBS=trace` also
+// writes chrome://tracing JSON + CSV into $CBS_OBS_OUT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbs::obs {
+
+/// Snapshot of everything the registry learned during the run.
+struct RunReport {
+    /// One row per tick loop ("process"): histograms named `proc.<name>`
+    /// (per-tick wall time in ns) plus ScopedTimer sections (`span.<name>`).
+    struct ProcessRow {
+        std::string name;
+        std::uint64_t ticks = 0;
+        double total_ms = 0.0;
+        double mean_us = 0.0;
+        double p50_us = 0.0;
+        double p99_us = 0.0;
+        double max_us = 0.0;
+    };
+    struct CounterRow {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+    struct GaugeRow {
+        std::string name;
+        double value = 0.0;
+    };
+
+    std::vector<ProcessRow> processes;  ///< `proc.*` histograms
+    std::vector<ProcessRow> spans;      ///< `span.*` histograms
+    std::vector<CounterRow> counters;
+    std::vector<GaugeRow> gauges;
+
+    /// Builds a report from the global MetricsRegistry.
+    [[nodiscard]] static RunReport collect();
+
+    /// Console tables (empty sections omitted); empty string if nothing
+    /// was recorded.
+    [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+    [[nodiscard]] bool empty() const {
+        return processes.empty() && spans.empty() && counters.empty() && gauges.empty();
+    }
+};
+
+/// Install as the first statement of a bench/example main. On destruction:
+///   CBS_OBS=summary  -> prints the run report to stdout
+///   CBS_OBS=trace    -> also writes <out>/<name>_trace.json (+ .csv)
+/// With CBS_OBS unset/off it does nothing.
+class BenchSession {
+public:
+    explicit BenchSession(std::string name);
+    ~BenchSession();
+
+    BenchSession(const BenchSession&) = delete;
+    BenchSession& operator=(const BenchSession&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    std::string name_;
+};
+
+}  // namespace cbs::obs

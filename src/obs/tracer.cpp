@@ -1,0 +1,118 @@
+#include "obs/tracer.hpp"
+
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "util/expect.hpp"
+
+namespace cbs::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point epoch() {
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+std::uint64_t this_thread_id() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+SpanTracer& SpanTracer::instance() {
+    static SpanTracer tracer;
+    (void)epoch();  // pin the epoch no later than first tracer use
+    return tracer;
+}
+
+void SpanTracer::record(std::string name, std::string category, double start_us,
+                        double duration_us) {
+    const std::lock_guard lock(mu_);
+    events_.push_back({std::move(name), std::move(category), start_us, duration_us,
+                       this_thread_id()});
+}
+
+std::vector<SpanEvent> SpanTracer::events() const {
+    const std::lock_guard lock(mu_);
+    return events_;
+}
+
+std::size_t SpanTracer::size() const {
+    const std::lock_guard lock(mu_);
+    return events_.size();
+}
+
+void SpanTracer::clear() {
+    const std::lock_guard lock(mu_);
+    events_.clear();
+}
+
+void SpanTracer::write_chrome_json(const std::string& path) const {
+    const auto evts = events();
+    std::ofstream out(path);
+    CBS_EXPECTS(out.good());
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& e : evts) {
+        if (!first) out << ',';
+        first = false;
+        out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+            << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.start_us
+            << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.thread_id << '}';
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void SpanTracer::write_csv(const std::string& path) const {
+    const auto evts = events();
+    std::ofstream out(path);
+    CBS_EXPECTS(out.good());
+    out << "name,category,start_us,duration_us,thread\n";
+    for (const auto& e : evts) {
+        out << e.name << ',' << e.category << ',' << e.start_us << ',' << e.duration_us
+            << ',' << e.thread_id << '\n';
+    }
+}
+
+double SpanTracer::now_us() {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     epoch())
+        .count();
+}
+
+ScopedTimer::ScopedTimer(const char* name, const char* category)
+    : name_(name), category_(category), active_(enabled()) {
+    if (active_) t0_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+    if (!active_) return;
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(t1 - t0_).count();
+    MetricsRegistry::instance().histogram(std::string("span.") + name_)->observe(ns);
+    if (tracing()) {
+        const double end_us =
+            std::chrono::duration<double, std::micro>(t1 - epoch()).count();
+        SpanTracer::instance().record(name_, category_, end_us - ns / 1e3, ns / 1e3);
+    }
+}
+
+}  // namespace cbs::obs

@@ -1,0 +1,70 @@
+// Span tracing: coarse-grained RAII timers recording named intervals that
+// can be written as a chrome://tracing-compatible JSON file (and a flat CSV
+// for scripting). Spans are meant for run/section granularity — per-sample
+// work belongs in the obs::Histogram metrics, not here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cbs::obs {
+
+struct SpanEvent {
+    std::string name;
+    std::string category;
+    double start_us = 0.0;  ///< relative to the tracer's epoch
+    double duration_us = 0.0;
+    std::uint64_t thread_id = 0;
+};
+
+/// Process-global buffer of completed spans.
+class SpanTracer {
+public:
+    static SpanTracer& instance();
+
+    void record(std::string name, std::string category, double start_us, double duration_us);
+
+    [[nodiscard]] std::vector<SpanEvent> events() const;
+    [[nodiscard]] std::size_t size() const;
+    void clear();
+
+    /// Chrome trace-event JSON ("X" complete events); load via
+    /// chrome://tracing or https://ui.perfetto.dev.
+    void write_chrome_json(const std::string& path) const;
+    /// One line per span: name,category,start_us,duration_us,thread.
+    void write_csv(const std::string& path) const;
+
+    /// Microseconds since the tracer epoch (first use in the process).
+    [[nodiscard]] static double now_us();
+
+private:
+    SpanTracer() = default;
+
+    mutable std::mutex mu_;
+    std::vector<SpanEvent> events_;
+};
+
+/// RAII section timer. When obs is enabled the duration is observed into
+/// the registry histogram `span.<name>` (nanoseconds); at trace level the
+/// interval is additionally recorded as a SpanTracer event.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(const char* name, const char* category = "cbs");
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    const char* name_;
+    const char* category_;
+    bool active_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace cbs::obs

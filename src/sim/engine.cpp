@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "util/expect.hpp"
@@ -12,20 +13,63 @@ Simulation::Simulation(double sample_rate_hz) : fs_(sample_rate_hz), dt_(1.0 / s
 
 void Simulation::add_process(std::string name, std::function<void(double, double)> tick) {
     CBS_EXPECTS(tick != nullptr);
-    processes_.push_back({std::move(name), std::move(tick)});
+    auto* hist = obs::MetricsRegistry::instance().histogram("proc." + name);
+    processes_.push_back({std::move(name), std::move(tick), hist});
 }
 
 void Simulation::run(Time duration) {
     CBS_EXPECTS(duration.value() >= 0.0);
-    run_steps(static_cast<std::size_t>(duration.value() * fs_));
+    // llround, not truncation: 0.3 s at 1 MHz is 0.3*1e6 = 299999.999...,
+    // which a static_cast would floor to 299999 steps.
+    run_steps(static_cast<std::size_t>(std::llround(duration.value() * fs_)));
 }
 
 void Simulation::run_steps(std::size_t steps) {
+    using clock = std::chrono::steady_clock;
+    const bool timed = obs::enabled();
     for (std::size_t i = 0; i < steps; ++i) {
-        for (auto& p : processes_) p.tick(t_, dt_);
+        if (timed) {
+            for (auto& p : processes_) {
+                const auto t0 = clock::now();
+                p.tick(t_, dt_);
+                p.wall_ns->observe(
+                    std::chrono::duration<double, std::nano>(clock::now() - t0).count());
+                ++p.ticks;
+            }
+        } else {
+            for (auto& p : processes_) {
+                p.tick(t_, dt_);
+                ++p.ticks;
+            }
+        }
         ++steps_;
         t_ = static_cast<double>(steps_) * dt_;  // avoids drift from summation
     }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Simulation::tick_counts() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(processes_.size());
+    for (const auto& p : processes_) out.emplace_back(p.name, p.ticks);
+    return out;
+}
+
+obs::RunReport Simulation::report() const {
+    obs::RunReport report;
+    for (const auto& p : processes_) {
+        obs::RunReport::ProcessRow row;
+        row.name = p.name;
+        row.ticks = p.ticks;
+        if (p.wall_ns->count() != 0) {
+            row.total_ms = p.wall_ns->sum() / 1e6;
+            row.mean_us = p.wall_ns->mean() / 1e3;
+            row.p50_us = p.wall_ns->percentile(50.0) / 1e3;
+            row.p99_us = p.wall_ns->percentile(99.0) / 1e3;
+            row.max_us = p.wall_ns->max() / 1e3;
+        }
+        report.processes.push_back(std::move(row));
+    }
+    return report;
 }
 
 }  // namespace cbs::sim

@@ -2,12 +2,19 @@
 // common sample clock in registration order (mechanics first, then the
 // analog chain, then data acquisition — the order the physical signal
 // flows).
+//
+// When observability is enabled (CBS_OBS=summary|trace) the scheduler
+// times every process tick into the registry histogram `proc.<name>`, so
+// the end-of-run report shows where the wall time of a co-simulation went.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "util/units.hpp"
 
 namespace cbs::sim {
@@ -19,7 +26,7 @@ public:
     /// Registers a per-tick process; called as f(t, dt) every step.
     void add_process(std::string name, std::function<void(double t, double dt)> tick);
 
-    /// Runs for a duration (rounded down to whole steps).
+    /// Runs for a duration (rounded to the nearest whole step).
     void run(Time duration);
     /// Runs an exact number of steps.
     void run_steps(std::size_t steps);
@@ -29,6 +36,14 @@ public:
     [[nodiscard]] double dt() const { return dt_; }
     [[nodiscard]] std::size_t step_count() const { return steps_; }
 
+    /// Ticks executed per registered process (counted regardless of the
+    /// observability level), in registration order.
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> tick_counts() const;
+
+    /// Per-process run report (tick counts; wall-time percentiles when
+    /// CBS_OBS was enabled during the run). Render with `.render()`.
+    [[nodiscard]] obs::RunReport report() const;
+
 private:
     double fs_;
     double dt_;
@@ -37,6 +52,8 @@ private:
     struct Process {
         std::string name;
         std::function<void(double, double)> tick;
+        obs::Histogram* wall_ns;  ///< registry histogram `proc.<name>`
+        std::uint64_t ticks = 0;
     };
     std::vector<Process> processes_;
 };

@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+
+/// Restores the observability level on scope exit so tests cannot leak
+/// their level into the rest of the suite.
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+TEST(ObsLevel, ParsesEveryToken) {
+    EXPECT_EQ(obs::parse_level("off"), obs::Level::off);
+    EXPECT_EQ(obs::parse_level("summary"), obs::Level::summary);
+    EXPECT_EQ(obs::parse_level("trace"), obs::Level::trace);
+    EXPECT_EQ(obs::parse_level("bogus"), obs::Level::off);
+    EXPECT_EQ(obs::parse_level(""), obs::Level::off);
+}
+
+TEST(ObsCounter, DisabledAddIsIgnored) {
+    const LevelGuard guard(obs::Level::off);
+    obs::Counter c;
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, EnabledAddAccumulates) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Counter c;
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Gauge g;
+    g.set(1.5);
+    g.set(-3.25);
+    EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(ObsGauge, DisabledSetIsIgnored) {
+    const LevelGuard guard(obs::Level::off);
+    obs::Gauge g;
+    g.set(7.0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+    const LevelGuard guard(obs::Level::summary);
+    const std::vector<double> bounds{1.0, 10.0, 100.0};
+    obs::Histogram h(bounds);
+    h.observe(0.5);    // bucket 0: v <= 1
+    h.observe(1.0);    // bucket 0: boundary belongs to the lower bucket
+    h.observe(1.0001); // bucket 1
+    h.observe(10.0);   // bucket 1
+    h.observe(99.9);   // bucket 2
+    h.observe(100.0);  // bucket 2
+    h.observe(101.0);  // overflow
+    const auto counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 2u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(ObsHistogram, TracksSumMinMaxMean) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Histogram h(std::vector<double>{10.0, 20.0});
+    h.observe(4.0);
+    h.observe(16.0);
+    h.observe(25.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 45.0);
+    EXPECT_DOUBLE_EQ(h.min(), 4.0);
+    EXPECT_DOUBLE_EQ(h.max(), 25.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(ObsHistogram, EmptyHistogramReportsZeros) {
+    obs::Histogram h(std::vector<double>{1.0});
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(ObsHistogram, PercentileInterpolatesWithinBucket) {
+    const LevelGuard guard(obs::Level::summary);
+    // 100 observations uniformly placed in (0, 100]: percentiles should come
+    // out near the value itself (bucket-linear interpolation).
+    obs::Histogram h(std::vector<double>{25.0, 50.0, 75.0, 100.0});
+    for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(99.0), 99.0, 2.0);
+    EXPECT_NEAR(h.percentile(25.0), 25.0, 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(ObsHistogram, PercentileClampedByObservedExtremes) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Histogram h(std::vector<double>{1000.0});
+    h.observe(10.0);
+    h.observe(12.0);
+    // Everything is in bucket 0 ((-inf, 1000]); interpolation must use the
+    // observed [10, 12] range, not the bucket bound.
+    EXPECT_GE(h.percentile(50.0), 10.0);
+    EXPECT_LE(h.percentile(99.0), 12.0);
+}
+
+TEST(ObsHistogram, DisabledObserveIsIgnored) {
+    const LevelGuard guard(obs::Level::off);
+    obs::Histogram h(std::vector<double>{1.0});
+    h.observe(0.5);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsHistogram, RejectsUnsortedBounds) {
+    EXPECT_THROW(obs::Histogram(std::vector<double>{2.0, 1.0}), ContractViolation);
+    EXPECT_THROW(obs::Histogram(std::vector<double>{1.0, 1.0}), ContractViolation);
+    EXPECT_THROW(obs::Histogram(std::vector<double>{}), ContractViolation);
+}
+
+TEST(ObsHistogram, TimingBoundsCoverNanosecondsToSeconds) {
+    const auto& b = obs::Histogram::timing_bounds_ns();
+    ASSERT_FALSE(b.empty());
+    EXPECT_LE(b.front(), 100.0);  // sub-100ns ticks resolvable
+    EXPECT_GE(b.back(), 1e9);     // second-long sections representable
+}
+
+TEST(ObsRegistry, SameNameReturnsSameMetric) {
+    auto& reg = obs::MetricsRegistry::instance();
+    EXPECT_EQ(reg.counter("test.same"), reg.counter("test.same"));
+    EXPECT_EQ(reg.gauge("test.same"), reg.gauge("test.same"));
+    EXPECT_EQ(reg.histogram("test.same"), reg.histogram("test.same"));
+    EXPECT_NE(reg.counter("test.same"), reg.counter("test.other"));
+}
+
+TEST(ObsRegistry, ConcurrentRecordingIsLossless) {
+    const LevelGuard guard(obs::Level::summary);
+    auto& reg = obs::MetricsRegistry::instance();
+    auto* c = reg.counter("test.concurrent");
+    c->reset();
+    constexpr int kThreads = 4;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> workers;
+    for (int i = 0; i < kThreads; ++i) {
+        workers.emplace_back([c] {
+            for (int j = 0; j < kAdds; ++j) c->add();
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c->value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(ObsRunReport, CollectsAndRendersRegistryContent) {
+    const LevelGuard guard(obs::Level::summary);
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("test.report_counter")->add(5);
+    reg.gauge("test.report_gauge")->set(2.5);
+    reg.histogram("proc.report_proc")->observe(1000.0);
+    const auto report = obs::RunReport::collect();
+    EXPECT_FALSE(report.empty());
+    const auto rendered = report.render("unit test");
+    EXPECT_NE(rendered.find("test.report_counter"), std::string::npos);
+    EXPECT_NE(rendered.find("test.report_gauge"), std::string::npos);
+    EXPECT_NE(rendered.find("report_proc"), std::string::npos);
+    EXPECT_NE(rendered.find("unit test"), std::string::npos);
+}
+
+TEST(ObsRunReport, EmptyRegistrySectionsRenderNothing) {
+    const obs::RunReport report;  // default-constructed: no data
+    EXPECT_TRUE(report.empty());
+    EXPECT_TRUE(report.render("title").empty());
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(ScopedTimer, RecordsSpanAtTraceLevel) {
+    const LevelGuard guard(obs::Level::trace);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    {
+        const obs::ScopedTimer timer("unit_span", "test");
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "unit_span");
+    EXPECT_EQ(events[0].category, "test");
+    EXPECT_GE(events[0].duration_us, 0.0);
+    tracer.clear();
+}
+
+TEST(ScopedTimer, SummaryLevelFeedsHistogramNotTracer) {
+    const LevelGuard guard(obs::Level::summary);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    auto* hist = obs::MetricsRegistry::instance().histogram("span.unit_hist_span");
+    hist->reset();
+    {
+        const obs::ScopedTimer timer("unit_hist_span");
+    }
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(hist->count(), 1u);
+}
+
+TEST(ScopedTimer, DisabledIsInert) {
+    const LevelGuard guard(obs::Level::off);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    auto* hist = obs::MetricsRegistry::instance().histogram("span.unit_off_span");
+    hist->reset();
+    {
+        const obs::ScopedTimer timer("unit_off_span");
+    }
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(hist->count(), 0u);
+}
+
+TEST(SpanTracer, WritesChromeTracingJson) {
+    const LevelGuard guard(obs::Level::trace);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    tracer.record("phase \"a\"", "cat", 10.0, 5.0);
+    tracer.record("phase_b", "cat", 20.0, 2.5);
+    const std::string path = ::testing::TempDir() + "cbs_obs_tracer_test.json";
+    tracer.write_chrome_json(path);
+    const auto text = slurp(path);
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("phase_b"), std::string::npos);
+    EXPECT_NE(text.find("\\\"a\\\""), std::string::npos);  // quotes escaped
+    std::remove(path.c_str());
+    tracer.clear();
+}
+
+TEST(SpanTracer, WritesFlatCsv) {
+    const LevelGuard guard(obs::Level::trace);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    tracer.record("span_one", "cat", 1.0, 2.0);
+    const std::string path = ::testing::TempDir() + "cbs_obs_tracer_test.csv";
+    tracer.write_csv(path);
+    const auto text = slurp(path);
+    EXPECT_NE(text.find("name,category,start_us,duration_us,thread"), std::string::npos);
+    EXPECT_NE(text.find("span_one,cat,1,2,"), std::string::npos);
+    std::remove(path.c_str());
+    tracer.clear();
+}
+
+}  // namespace

@@ -20,12 +20,64 @@ TEST(Simulation, RunsExactStepCount) {
     EXPECT_EQ(sim.step_count(), 1234u);
 }
 
-TEST(Simulation, DurationRoundsToSteps) {
+TEST(Simulation, DurationRoundsToNearestStep) {
     Simulation sim(1000.0);
     int ticks = 0;
     sim.add_process("count", [&](double, double) { ++ticks; });
-    sim.run(1.5_ms);  // 1.5 steps -> 1
+    sim.run(1.4_ms);  // 1.4 steps -> 1
     EXPECT_EQ(ticks, 1);
+    sim.run(1.6_ms);  // 1.6 steps -> 2
+    EXPECT_EQ(ticks, 3);
+}
+
+// Regression: duration*fs is not exactly representable (0.3 * 1e6 =
+// 299999.9999...); a static_cast truncation loses the last step.
+TEST(Simulation, FractionalProductDoesNotTruncateSteps) {
+    Simulation sim(1e6);
+    sim.add_process("noop", [](double, double) {});
+    sim.run(Time{0.3});
+    EXPECT_EQ(sim.step_count(), 300000u);
+}
+
+TEST(Simulation, TickCountsPerProcess) {
+    Simulation sim(100.0);
+    sim.add_process("first", [](double, double) {});
+    sim.add_process("second", [](double, double) {});
+    sim.run_steps(7);
+    const auto counts = sim.tick_counts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0].first, "first");
+    EXPECT_EQ(counts[0].second, 7u);
+    EXPECT_EQ(counts[1].first, "second");
+    EXPECT_EQ(counts[1].second, 7u);
+}
+
+TEST(Simulation, ReportListsProcessesInOrder) {
+    Simulation sim(100.0);
+    sim.add_process("alpha", [](double, double) {});
+    sim.add_process("beta", [](double, double) {});
+    sim.run_steps(3);
+    const auto report = sim.report();
+    ASSERT_EQ(report.processes.size(), 2u);
+    EXPECT_EQ(report.processes[0].name, "alpha");
+    EXPECT_EQ(report.processes[0].ticks, 3u);
+    EXPECT_EQ(report.processes[1].name, "beta");
+    const auto rendered = report.render("engine");
+    EXPECT_NE(rendered.find("alpha"), std::string::npos);
+    EXPECT_NE(rendered.find("beta"), std::string::npos);
+}
+
+TEST(Simulation, TimesTicksWhenObservabilityEnabled) {
+    const auto prev = obs::level();
+    obs::set_level(obs::Level::summary);
+    obs::MetricsRegistry::instance().histogram("proc.obs_engine_test")->reset();
+    Simulation sim(1000.0);
+    sim.add_process("obs_engine_test", [](double, double) {});
+    sim.run_steps(50);
+    obs::set_level(prev);
+    const auto* hist = obs::MetricsRegistry::instance().histogram("proc.obs_engine_test");
+    EXPECT_EQ(hist->count(), 50u);
+    EXPECT_GT(hist->sum(), 0.0);
 }
 
 TEST(Simulation, TimeAdvancesWithoutDrift) {

@@ -1,0 +1,70 @@
+// Edge cases of the decimating trace recorder's averaging mode.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using cbs::sim::Trace;
+
+TEST(TraceAverage, DecimationOfOneStoresEverySampleVerbatim) {
+    Trace tr(1, Trace::Mode::average);
+    for (int i = 0; i < 5; ++i) tr.push(i, 2.0 * i + 1.0);
+    ASSERT_EQ(tr.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(tr.times()[static_cast<std::size_t>(i)], i);
+        EXPECT_DOUBLE_EQ(tr.values()[static_cast<std::size_t>(i)], 2.0 * i + 1.0);
+    }
+}
+
+TEST(TraceAverage, PartialFinalWindowIsDropped) {
+    Trace tr(4, Trace::Mode::average);
+    for (int i = 0; i < 11; ++i) tr.push(i, i);  // 2 full windows + 3 leftover
+    ASSERT_EQ(tr.size(), 2u);
+    EXPECT_DOUBLE_EQ(tr.values()[0], 1.5);  // mean(0..3)
+    EXPECT_DOUBLE_EQ(tr.values()[1], 5.5);  // mean(4..7)
+    // Timestamps are the last sample of each complete window.
+    EXPECT_DOUBLE_EQ(tr.times()[0], 3.0);
+    EXPECT_DOUBLE_EQ(tr.times()[1], 7.0);
+}
+
+TEST(TraceAverage, CompletingTheWindowAfterwardsEmitsIt) {
+    Trace tr(4, Trace::Mode::average);
+    for (int i = 0; i < 11; ++i) tr.push(i, i);
+    tr.push(11, 11.0);  // completes the third window (8,9,10,11)
+    ASSERT_EQ(tr.size(), 3u);
+    EXPECT_DOUBLE_EQ(tr.values()[2], 9.5);
+}
+
+TEST(TraceAverage, ClearResetsTheAccumulator) {
+    Trace tr(4, Trace::Mode::average);
+    tr.push(0, 100.0);
+    tr.push(1, 100.0);
+    tr.push(2, 100.0);  // partial window pending
+    tr.clear();
+    EXPECT_TRUE(tr.empty());
+    // A fresh window must not inherit the pending 300.0 accumulation.
+    for (int i = 0; i < 4; ++i) tr.push(i, 1.0);
+    ASSERT_EQ(tr.size(), 1u);
+    EXPECT_DOUBLE_EQ(tr.values()[0], 1.0);
+}
+
+TEST(TraceAverage, ClearAlsoResetsTheWindowPhase) {
+    Trace tr(3, Trace::Mode::average);
+    tr.push(0, 5.0);  // one sample into a window
+    tr.clear();
+    tr.push(0, 1.0);
+    tr.push(1, 2.0);
+    EXPECT_EQ(tr.size(), 0u);  // only 2 of 3 samples after clear
+    tr.push(2, 3.0);
+    ASSERT_EQ(tr.size(), 1u);
+    EXPECT_DOUBLE_EQ(tr.values()[0], 2.0);
+}
+
+TEST(TraceConstruct, ZeroDecimationRejected) {
+    EXPECT_THROW(Trace(0), cbs::ContractViolation);
+}
+
+}  // namespace
