@@ -3,12 +3,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
 
 #include "circ/chopper.hpp"
 #include "core/resonant_sensor.hpp"
 #include "daq/counter.hpp"
+#include "exec/threadpool.hpp"
 #include "fab/drc.hpp"
 #include "fab/layout_gen.hpp"
+#include "fab/montecarlo.hpp"
 #include "fab/ruledeck.hpp"
 #include "mech/resonator.hpp"
 #include "obs/obs.hpp"
@@ -197,6 +200,39 @@ void BM_ResonantLoopRun64_ObsSummary(benchmark::State& state) {
 }
 BENCHMARK(BM_ResonantLoopRun64_ObsSummary);
 
+// --- Deterministic parallel execution ---------------------------------------
+//
+// Paired serial-vs-parallel Monte-Carlo timings. Arg(0) is the serial
+// in-thread reference (no pool); Arg(k) shards the same seeded workload
+// over a k-worker ThreadPool. Results are bit-identical across all of
+// them (asserted by tests/exec); these rows show what the parallelism
+// buys in wall time. items/s = trials/s for cross-row comparison.
+void BM_MonteCarloRun(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    const fab::ProcessMonteCarlo mc(mech::resonant_default(), fab::KohEtchConfig{},
+                                    fab::ProcessVariation{},
+                                    fab::EtchMode::electrochemical_stop);
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<exec::ThreadPool>(threads);
+    constexpr std::size_t kTrials = 4096;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mc.run_seeded(kTrials, 42, 0.05, pool.get()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTrials));
+}
+BENCHMARK(BM_MonteCarloRun)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a BenchSession, so `CBS_OBS=summary` also prints the
+// metrics run report (exec per-worker task counts, pool utilization, mc.*
+// counters) after the google-benchmark table.
+int main(int argc, char** argv) {
+    const cbs::obs::BenchSession session("perf_microbench");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

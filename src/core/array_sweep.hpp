@@ -1,0 +1,77 @@
+// Array sweep: characterizes a batch of independent fabricated resonant
+// cantilever elements — the paper's array-on-one-chip workload at
+// production scale. Each element i draws its fabricated geometry and its
+// sensor noise from Rng::for_stream(seed, i) (never from a shared stream),
+// is brought up via BiosensorChip::from_fabricated, auto-gained, and run
+// closed-loop until the counter reports; elements shard across the exec
+// ThreadPool with results keyed by index, so a sweep is bit-identical for
+// any thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "exec/threadpool.hpp"
+#include "fab/montecarlo.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::core {
+
+struct ArraySweepConfig {
+    std::size_t elements = 8;
+    std::uint64_t seed = 1;
+    /// Closed-loop run per element; must exceed the configured counter
+    /// gate for a frequency readout (default gate: 0.1 s).
+    Time run_duration{0.25};
+    /// Pre-incubated analyte coverage applied before the run (0 = bare).
+    double preset_coverage = 0.0;
+};
+
+/// Outcome of one array element, keyed by its index.
+struct ArrayElementResult {
+    std::size_t index = 0;
+    bool functional = false;   ///< device survived release
+    bool measured = false;     ///< the counter completed >= 1 gate
+    double fabricated_f0_hz = 0.0;  ///< beam resonance of the as-etched geometry
+    double expected_hz = 0.0;       ///< loaded resonance the loop should find
+    double measured_hz = 0.0;       ///< last completed counter gate
+    double vga_control = 0.0;       ///< auto-gain setting (damping proxy)
+};
+
+struct ArraySweepSummary {
+    std::size_t elements = 0;
+    std::size_t functional = 0;
+    std::size_t measured = 0;
+    double measured_mean_hz = 0.0;
+    double measured_sigma_hz = 0.0;
+    /// Worst relative |measured - expected| over measured elements.
+    double worst_rel_error = 0.0;
+};
+
+class ArraySweep {
+public:
+    ArraySweep(const ResonantSensorConfig& base, const fab::ProcessMonteCarlo& process,
+               const ArraySweepConfig& config);
+
+    /// Fabricates and characterizes every element; results are indexed by
+    /// element and independent of the pool's thread count (nullptr = run
+    /// serially on the calling thread).
+    [[nodiscard]] std::vector<ArrayElementResult> run(
+        exec::ThreadPool* pool = &exec::ThreadPool::shared()) const;
+
+    /// Aggregates a result set (Welford over measured frequencies, merged
+    /// in index order — deterministic for any producer thread count).
+    [[nodiscard]] static ArraySweepSummary summarize(
+        std::span<const ArrayElementResult> results);
+
+    [[nodiscard]] const ArraySweepConfig& config() const { return cfg_; }
+
+private:
+    ResonantSensorConfig base_;
+    const fab::ProcessMonteCarlo& process_;
+    ArraySweepConfig cfg_;
+};
+
+}  // namespace cbs::core

@@ -48,9 +48,14 @@ ChipBudget BiosensorChip::budget() const {
 std::optional<ResonantCantileverSystem> BiosensorChip::from_fabricated(
     const ResonantSensorConfig& base, const fab::DeviceSample& sample, Rng rng) {
     if (!sample.functional) return std::nullopt;
+    return ResonantCantileverSystem(fabricated_config(base, sample), rng);
+}
+
+ResonantSensorConfig BiosensorChip::fabricated_config(const ResonantSensorConfig& base,
+                                                      const fab::DeviceSample& sample) {
     ResonantSensorConfig cfg = base;
     cfg.geometry = sample.geometry;
-    return ResonantCantileverSystem(cfg, rng);
+    return cfg;
 }
 
 }  // namespace cbs::core

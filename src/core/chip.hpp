@@ -36,6 +36,12 @@ public:
     static std::optional<ResonantCantileverSystem> from_fabricated(
         const ResonantSensorConfig& base, const fab::DeviceSample& sample, Rng rng);
 
+    /// The sensor config a fabricated sample produces: `base` with the
+    /// sampled (as-etched) geometry substituted. Shared by from_fabricated
+    /// and the array-sweep runner.
+    [[nodiscard]] static ResonantSensorConfig fabricated_config(
+        const ResonantSensorConfig& base, const fab::DeviceSample& sample);
+
 private:
     StaticSensorConfig static_cfg_;
     ResonantSensorConfig resonant_cfg_;

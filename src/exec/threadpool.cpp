@@ -1,0 +1,179 @@
+#include "exec/threadpool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace cbs::exec {
+
+namespace {
+
+// Reentrancy guard: parallel_for from inside a pool task runs inline
+// instead of deadlocking on the submit mutex.
+thread_local bool tl_in_pool_task = false;
+
+void run_inline(std::size_t n, const std::function<void(std::size_t)>& body) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    auto& registry = obs::MetricsRegistry::instance();
+    worker_tasks_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        worker_tasks_.push_back(registry.counter("exec.worker." + std::to_string(i) + ".tasks"));
+    }
+    caller_tasks_ = registry.counter("exec.caller.tasks");
+    batches_ = registry.counter("exec.parallel_for");
+    queue_high_water_ = registry.gauge("exec.queue.high_water");
+    utilization_ = registry.gauge("exec.pool.utilization");
+    registry.gauge("exec.pool.threads")->set(static_cast<double>(threads));
+
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i] { worker_main(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::scoped_lock lock(mu_);
+        stop_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::work_on(Batch& b) {
+    using clock = std::chrono::steady_clock;
+    const bool timed = obs::enabled();
+    const auto t0 = timed ? clock::now() : clock::time_point{};
+    std::size_t executed = 0;
+    for (;;) {
+        const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b.n) break;
+        try {
+            (*b.body)(i);
+        } catch (...) {
+            const std::scoped_lock lock(b.error_mu);
+            if (!b.error) b.error = std::current_exception();
+        }
+        ++executed;
+        if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.n) {
+            // Last task of the batch: wake the caller waiting in
+            // parallel_for. The notify must hold mu_ so it cannot slip
+            // between the caller's predicate check and its wait.
+            const std::scoped_lock lock(mu_);
+            batch_done_.notify_all();
+        }
+    }
+    if (timed && executed > 0) {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0);
+        b.busy_ns.fetch_add(static_cast<std::uint64_t>(ns.count()), std::memory_order_relaxed);
+    }
+    return executed;
+}
+
+void ThreadPool::worker_main(std::size_t worker_index) {
+    // Workers only ever run batch bodies, so a nested parallel_for from a
+    // body must run inline here too — otherwise it would block on
+    // submit_mu_ (held by the outer caller) while holding an outer task,
+    // and the outer batch could never drain.
+    tl_in_pool_task = true;
+    std::unique_lock lock(mu_);
+    for (;;) {
+        wake_workers_.wait(lock, [this] {
+            return stop_ || (batch_ != nullptr &&
+                             batch_->next.load(std::memory_order_relaxed) < batch_->n);
+        });
+        if (stop_) return;
+        Batch& b = *batch_;
+        ++b.active_workers;
+        lock.unlock();
+        const std::size_t executed = work_on(b);
+        if (executed > 0) worker_tasks_[worker_index]->add(executed);
+        lock.lock();
+        --b.active_workers;
+        if (b.active_workers == 0 && b.done.load(std::memory_order_acquire) == b.n) {
+            batch_done_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+    CBS_EXPECTS(body != nullptr);
+    if (n == 0) return;
+    if (workers_.empty() || n == 1 || tl_in_pool_task) {
+        run_inline(n, body);
+        return;
+    }
+
+    const std::scoped_lock submit(submit_mu_);
+    using clock = std::chrono::steady_clock;
+    const bool timed = obs::enabled();
+    const auto t0 = timed ? clock::now() : clock::time_point{};
+
+    Batch batch;
+    batch.body = &body;
+    batch.n = n;
+    {
+        const std::scoped_lock lock(mu_);
+        batch_ = &batch;
+    }
+    wake_workers_.notify_all();
+
+    // The caller participates instead of blocking idle.
+    tl_in_pool_task = true;
+    const std::size_t executed = work_on(batch);
+    tl_in_pool_task = false;
+
+    {
+        std::unique_lock lock(mu_);
+        batch_done_.wait(lock, [&batch] {
+            return batch.done.load(std::memory_order_acquire) == batch.n &&
+                   batch.active_workers == 0;
+        });
+        batch_ = nullptr;
+    }
+
+    if (timed) {
+        batches_->add();
+        if (executed > 0) caller_tasks_->add(executed);
+        queue_high_water_->record_max(static_cast<double>(n));
+        const auto wall =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0).count();
+        if (wall > 0) {
+            const double slots = static_cast<double>(workers_.size() + 1);
+            const double busy =
+                static_cast<double>(batch.busy_ns.load(std::memory_order_relaxed));
+            utilization_->set(busy / (static_cast<double>(wall) * slots));
+        }
+    }
+
+    if (batch.error) std::rethrow_exception(batch.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool(configured_threads());
+    return pool;
+}
+
+std::size_t ThreadPool::configured_threads() {
+    const std::size_t hw = std::thread::hardware_concurrency() != 0
+                               ? std::thread::hardware_concurrency()
+                               : 1;
+    return parse_threads(std::getenv("CBS_THREADS"), hw);
+}
+
+std::size_t ThreadPool::parse_threads(const char* text, std::size_t fallback) {
+    if (text == nullptr || *text == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') return fallback;
+    return v < 256 ? static_cast<std::size_t>(v) : 256;
+}
+
+}  // namespace cbs::exec

@@ -1,0 +1,136 @@
+// Deterministic parallel execution: a small fixed-size ThreadPool with a
+// parallel_for / chunked map-reduce API for Monte-Carlo trials and array
+// sweeps.
+//
+// Determinism contract (see DESIGN.md §8): all work is indexed by a stable
+// integer (trial / element index); any randomness a task needs is derived
+// from (root seed, index) via Rng::for_stream, never drawn from a shared
+// sequential stream; and reductions fold per-chunk accumulators in fixed
+// chunk order. Parallelism then only changes WHERE a task runs, never what
+// it computes or how partials combine — results are bit-identical for any
+// thread count, including the inline serial path (pool == nullptr).
+//
+// Observability (CBS_OBS=summary|trace): per-worker task counters
+// (`exec.worker.<i>.tasks`, `exec.caller.tasks`), pool size and queue
+// high-water gauges, and a pool-utilization gauge (busy fraction of the
+// last parallel_for) — all surfaced by the standard run report.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cbs::exec {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; 0 makes every parallel_for run inline on
+    /// the calling thread (useful as an explicit serial reference).
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+    /// Runs body(i) for every i in [0, n) and blocks until all completed.
+    /// Distinct indices may run concurrently on workers and on the calling
+    /// thread; the body must not assume any ordering between indices. The
+    /// first exception a body throws is rethrown on the caller after the
+    /// batch drains. Calls from inside a body (nesting) run inline.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+    /// Process-wide pool, sized by configured_threads(). Built on first use.
+    static ThreadPool& shared();
+
+    /// CBS_THREADS if set and parseable, else hardware_concurrency (min 1).
+    static std::size_t configured_threads();
+    /// Parses a CBS_THREADS-style value; `fallback` on null/invalid input.
+    /// Clamped to at most 256.
+    static std::size_t parse_threads(const char* text, std::size_t fallback);
+
+private:
+    struct Batch {
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::atomic<std::uint64_t> busy_ns{0};  // summed only when obs is on
+        std::size_t active_workers = 0;         // guarded by mu_
+        std::mutex error_mu;
+        std::exception_ptr error;
+    };
+
+    void worker_main(std::size_t worker_index);
+    /// Claims and runs tasks until the batch is drained; returns the number
+    /// of tasks this participant executed.
+    std::size_t work_on(Batch& b);
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_workers_;
+    std::condition_variable batch_done_;
+    Batch* batch_ = nullptr;  // guarded by mu_
+    bool stop_ = false;       // guarded by mu_
+    std::mutex submit_mu_;    // serializes concurrent parallel_for callers
+
+    // Metric pointers resolved once at construction (registry lookups take
+    // a lock; the hot path must not).
+    std::vector<obs::Counter*> worker_tasks_;
+    obs::Counter* caller_tasks_;
+    obs::Counter* batches_;
+    obs::Gauge* queue_high_water_;
+    obs::Gauge* utilization_;
+};
+
+/// Deterministic chunked map-reduce. Splits [0, n) into fixed chunks of
+/// `chunk` indices, evaluates chunk_fn(begin, end) -> Acc — possibly in
+/// parallel — and folds the partial accumulators with merge(acc, next) in
+/// ascending chunk order. Because the chunk boundaries and the merge order
+/// depend only on (n, chunk), the result is bit-identical for any thread
+/// count; pool == nullptr evaluates inline.
+template <class Acc, class ChunkFn, class MergeFn>
+Acc chunked_reduce(ThreadPool* pool, std::size_t n, std::size_t chunk, ChunkFn chunk_fn,
+                   MergeFn merge) {
+    if (n == 0) return Acc{};
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+    std::vector<Acc> partial(chunks);
+    auto eval = [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        partial[c] = chunk_fn(begin, begin + chunk < n ? begin + chunk : n);
+    };
+    if (pool != nullptr && chunks > 1) {
+        pool->parallel_for(chunks, eval);
+    } else {
+        for (std::size_t c = 0; c < chunks; ++c) eval(c);
+    }
+    Acc acc = std::move(partial.front());
+    for (std::size_t c = 1; c < chunks; ++c) acc = merge(std::move(acc), std::move(partial[c]));
+    return acc;
+}
+
+/// Evaluates f(i) -> T for i in [0, n) into a vector indexed by i. Each
+/// element lands in its own slot, so the result is independent of the
+/// execution order; pool == nullptr evaluates inline.
+template <class T, class F>
+std::vector<T> parallel_map(ThreadPool* pool, std::size_t n, F f) {
+    std::vector<T> out(n);
+    auto eval = [&](std::size_t i) { out[i] = f(i); };
+    if (pool != nullptr && n > 1) {
+        pool->parallel_for(n, eval);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) eval(i);
+    }
+    return out;
+}
+
+}  // namespace cbs::exec

@@ -1,7 +1,6 @@
 #include "fab/montecarlo.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -49,36 +48,62 @@ DeviceSample ProcessMonteCarlo::sample(Rng& rng) const {
 }
 
 MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolerance) const {
+    return run_seeded(n, rng.engine()(), f0_tolerance, &exec::ThreadPool::shared());
+}
+
+namespace {
+
+/// Mergeable per-chunk accumulator: Welford stats (stable and exact to
+/// merge, unlike sum-of-squares) plus the in-band counter.
+struct TrialAccumulator {
+    stats::RunningStats f0;
+    stats::RunningStats thickness;
+    std::size_t in_band = 0;
+};
+
+}  // namespace
+
+MonteCarloStats ProcessMonteCarlo::run_seeded(std::size_t n, std::uint64_t root_seed,
+                                              double f0_tolerance,
+                                              exec::ThreadPool* pool) const {
     CBS_EXPECTS(n >= 2);
     CBS_EXPECTS(f0_tolerance > 0.0);
     const obs::ScopedTimer span("mc.run", "fab");
     const double f0_nom = nominal_resonance().value();
 
-    std::vector<double> f0s;
-    std::vector<double> thicknesses;
-    std::size_t good = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto s = sample(rng);
-        thicknesses.push_back(s.etch.final_thickness.value());
-        if (!s.functional) continue;
-        f0s.push_back(s.resonance.value());
-        if (std::abs(s.resonance.value() - f0_nom) <= f0_tolerance * f0_nom) ++good;
-    }
+    auto eval_chunk = [&](std::size_t begin, std::size_t end) {
+        TrialAccumulator acc;
+        for (std::size_t i = begin; i < end; ++i) {
+            Rng trial_rng = Rng::for_stream(root_seed, i);
+            const auto s = sample(trial_rng);
+            acc.thickness.add(s.etch.final_thickness.value());
+            if (!s.functional) continue;
+            acc.f0.add(s.resonance.value());
+            if (std::abs(s.resonance.value() - f0_nom) <= f0_tolerance * f0_nom) ++acc.in_band;
+        }
+        return acc;
+    };
+    auto merge = [](TrialAccumulator a, const TrialAccumulator& b) {
+        a.f0.merge(b.f0);
+        a.thickness.merge(b.thickness);
+        a.in_band += b.in_band;
+        return a;
+    };
+    const auto acc =
+        exec::chunked_reduce<TrialAccumulator>(pool, n, kTrialChunk, eval_chunk, merge);
 
     auto& registry = obs::MetricsRegistry::instance();
     registry.counter("mc.trials")->add(n);
-    registry.counter("mc.functional")->add(f0s.size());
-    registry.counter("mc.in_band")->add(good);
+    registry.counter("mc.functional")->add(acc.f0.count());
+    registry.counter("mc.in_band")->add(acc.in_band);
 
     MonteCarloStats out;
     out.samples = n;
-    if (!f0s.empty()) {
-        out.f0_mean_hz = stats::mean(f0s);
-        out.f0_sigma_hz = stats::stddev(f0s);
-    }
-    out.thickness_mean_m = stats::mean(thicknesses);
-    out.thickness_sigma_m = stats::stddev(thicknesses);
-    out.yield = static_cast<double>(good) / static_cast<double>(n);
+    out.f0_mean_hz = acc.f0.mean();
+    out.f0_sigma_hz = acc.f0.stddev();
+    out.thickness_mean_m = acc.thickness.mean();
+    out.thickness_sigma_m = acc.thickness.stddev();
+    out.yield = static_cast<double>(acc.in_band) / static_cast<double>(n);
     registry.gauge("mc.yield")->set(out.yield);
     return out;
 }

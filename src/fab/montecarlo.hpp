@@ -5,6 +5,9 @@
 // the crystalline silicon layer forming the cantilever".
 #pragma once
 
+#include <cstdint>
+
+#include "exec/threadpool.hpp"
 #include "fab/etch.hpp"
 #include "mech/beam.hpp"
 #include "util/random.hpp"
@@ -46,10 +49,28 @@ public:
     /// Draws one fabricated device.
     [[nodiscard]] DeviceSample sample(Rng& rng) const;
 
+    /// Trials per reduction chunk. Part of the determinism contract: the
+    /// chunk boundaries fix the accumulator merge order, so changing this
+    /// constant (like changing the root seed) changes results at the bit
+    /// level — thread count and scheduling never do.
+    static constexpr std::size_t kTrialChunk = 64;
+
     /// Runs n samples; yield counts devices whose f0 lies within
     /// +-f0_tolerance (relative) of the nominal design resonance.
+    /// Draws a root seed from `rng` and delegates to run_seeded on the
+    /// shared pool; with the same-seeded `rng` the result is bit-identical
+    /// for any CBS_THREADS.
     [[nodiscard]] MonteCarloStats run(std::size_t n, Rng& rng,
                                       double f0_tolerance = 0.05) const;
+
+    /// Deterministic (optionally parallel) run: trial i draws from
+    /// Rng::for_stream(root_seed, i) and per-chunk accumulators merge in
+    /// chunk order, so the result depends only on (n, root_seed,
+    /// f0_tolerance) — never on the pool's thread count or scheduling.
+    /// pool == nullptr runs serially on the calling thread.
+    [[nodiscard]] MonteCarloStats run_seeded(std::size_t n, std::uint64_t root_seed,
+                                             double f0_tolerance = 0.05,
+                                             exec::ThreadPool* pool = nullptr) const;
 
     [[nodiscard]] Frequency nominal_resonance() const;
 

@@ -44,6 +44,14 @@ const std::string& out_dir() {
 std::uint64_t Gauge::to_bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
 double Gauge::from_bits(std::uint64_t b) noexcept { return std::bit_cast<double>(b); }
 
+void Gauge::record_max(double v) noexcept {
+    if (!enabled()) return;
+    std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+    while (v > from_bits(bits) &&
+           !bits_.compare_exchange_weak(bits, to_bits(v), std::memory_order_relaxed)) {
+    }
+}
+
 Histogram::Histogram(std::span<const double> upper_bounds)
     : bounds_(upper_bounds.begin(), upper_bounds.end()),
       buckets_(bounds_.size() + 1),

@@ -70,6 +70,9 @@ public:
     void set(double v) noexcept {
         if (enabled()) bits_.store(to_bits(v), std::memory_order_relaxed);
     }
+    /// Keeps the running maximum instead of the last write (high-water
+    /// marks, e.g. exec queue depth); lock-free CAS, reset() re-arms it.
+    void record_max(double v) noexcept;
     [[nodiscard]] double value() const noexcept {
         return from_bits(bits_.load(std::memory_order_relaxed));
     }

@@ -7,13 +7,15 @@
 
 namespace cbs::sim {
 
-Simulation::Simulation(double sample_rate_hz) : fs_(sample_rate_hz), dt_(1.0 / sample_rate_hz) {
+Simulation::Simulation(double sample_rate_hz, std::string metrics_scope)
+    : fs_(sample_rate_hz), dt_(1.0 / sample_rate_hz), metrics_scope_(std::move(metrics_scope)) {
     CBS_EXPECTS(sample_rate_hz > 0.0);
+    CBS_EXPECTS(!metrics_scope_.empty());
 }
 
 void Simulation::add_process(std::string name, std::function<void(double, double)> tick) {
     CBS_EXPECTS(tick != nullptr);
-    auto* hist = obs::MetricsRegistry::instance().histogram("proc." + name);
+    auto* hist = obs::MetricsRegistry::instance().histogram(metrics_scope_ + "." + name);
     processes_.push_back({std::move(name), std::move(tick), hist});
 }
 

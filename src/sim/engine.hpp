@@ -21,7 +21,13 @@ namespace cbs::sim {
 
 class Simulation {
 public:
-    explicit Simulation(double sample_rate_hz);
+    /// `metrics_scope` prefixes the per-process timing histograms
+    /// (`<scope>.<name>`). Instances sharing the default "proc" scope pool
+    /// their timings; a sharded sweep that runs one Simulation per array
+    /// element on the exec ThreadPool can pass a distinct scope per shard
+    /// so report() attributes wall time to the right instance. Histograms
+    /// are lock-free, so concurrent instances are safe either way.
+    explicit Simulation(double sample_rate_hz, std::string metrics_scope = "proc");
 
     /// Registers a per-tick process; called as f(t, dt) every step.
     void add_process(std::string name, std::function<void(double t, double dt)> tick);
@@ -47,6 +53,7 @@ public:
 private:
     double fs_;
     double dt_;
+    std::string metrics_scope_;
     double t_ = 0.0;
     std::size_t steps_ = 0;
     struct Process {

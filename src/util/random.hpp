@@ -9,10 +9,34 @@
 
 namespace cbs {
 
+namespace detail {
+
+/// SplitMix64 finalizer: a bijective avalanche mix, used to turn structured
+/// inputs (root seed + stream index) into decorrelated generator seeds.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
 /// Seeded pseudo-random generator with the distributions the library needs.
 class Rng {
 public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+    /// Deterministic per-task stream: the returned generator is a pure
+    /// function of (root_seed, stream) — independent of which thread runs
+    /// the task, in what order, or what was drawn before. This is the
+    /// determinism contract of the exec layer: Monte-Carlo trial i and
+    /// array element i always see the same stream for a given root seed.
+    /// Two mix64 rounds decorrelate adjacent indices and adjacent roots.
+    static Rng for_stream(std::uint64_t root_seed, std::uint64_t stream) {
+        const std::uint64_t z =
+            detail::mix64(root_seed + 0x9e3779b97f4a7c15ULL * (stream + 1));
+        return Rng(detail::mix64(z ^ 0xd1b54a32d192ed03ULL));
+    }
 
     /// Uniform double in [lo, hi).
     double uniform(double lo = 0.0, double hi = 1.0) {

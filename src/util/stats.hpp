@@ -33,4 +33,34 @@ LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
 std::vector<std::size_t> histogram(std::span<const double> x, double lo, double hi,
                                    std::size_t bins);
 
+/// Streaming mean/variance accumulator (Welford's recurrence) with an exact
+/// shard merge (Chan et al. pairwise combination). Stable where the naive
+/// sum-of-squares form catastrophically cancels (high mean, low variance),
+/// and the building block of deterministic parallel reduction: accumulate
+/// per shard, then merge shards in a fixed order — the result is then
+/// bit-identical for any thread count.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    /// Folds another accumulator into this one. Merge order matters at the
+    /// bit level (floating point is non-associative), so parallel callers
+    /// must merge shards in a fixed (index) order.
+    void merge(const RunningStats& other) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance (N-1 denominator); 0 for fewer than 2.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }  ///< 0 when empty
+    [[nodiscard]] double max() const noexcept { return max_; }  ///< 0 when empty
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
 }  // namespace cbs::stats

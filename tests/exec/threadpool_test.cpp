@@ -1,0 +1,120 @@
+#include "exec/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace cbs;
+using cbs::exec::ThreadPool;
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 0u);
+    const auto caller = std::this_thread::get_id();
+    std::size_t ran = 0;
+    pool.parallel_for(16, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++ran;  // safe: everything runs on the caller
+    });
+    EXPECT_EQ(ran, 16u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, BodyExceptionRethrownOnCaller) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](std::size_t i) {
+                                       if (i == 13) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // The pool survives a throwing batch.
+    std::atomic<std::size_t> ran{0};
+    pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(6 * 5);
+    pool.parallel_for(6, [&](std::size_t outer) {
+        pool.parallel_for(5, [&](std::size_t inner) { hits[outer * 5 + inner].fetch_add(1); });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerializeSafely) {
+    ThreadPool pool(2);
+    std::atomic<std::size_t> total{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+        submitters.emplace_back(
+            [&] { pool.parallel_for(50, [&](std::size_t) { total.fetch_add(1); }); });
+    }
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(total.load(), 200u);
+}
+
+TEST(ThreadPool, ParseThreads) {
+    EXPECT_EQ(ThreadPool::parse_threads("8", 1), 8u);
+    EXPECT_EQ(ThreadPool::parse_threads("0", 2), 0u);
+    EXPECT_EQ(ThreadPool::parse_threads(nullptr, 3), 3u);
+    EXPECT_EQ(ThreadPool::parse_threads("", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_threads("abc", 5), 5u);
+    EXPECT_EQ(ThreadPool::parse_threads("8x", 6), 6u);
+    EXPECT_EQ(ThreadPool::parse_threads("99999", 7), 256u);
+}
+
+TEST(ChunkedReduce, SumMatchesSerialForAnyPoolSize) {
+    constexpr std::size_t n = 10000;
+    auto chunk_sum = [](std::size_t begin, std::size_t end) {
+        std::uint64_t s = 0;
+        for (std::size_t i = begin; i < end; ++i) s += i;
+        return s;
+    };
+    auto merge = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+    const auto expected = exec::chunked_reduce<std::uint64_t>(nullptr, n, 64, chunk_sum, merge);
+    EXPECT_EQ(expected, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(exec::chunked_reduce<std::uint64_t>(&pool, n, 64, chunk_sum, merge),
+                  expected);
+    }
+}
+
+TEST(ChunkedReduce, PartialTailChunkCovered) {
+    // n not divisible by chunk: the tail chunk must still be evaluated.
+    auto count = [](std::size_t begin, std::size_t end) { return end - begin; };
+    auto merge = [](std::size_t a, std::size_t b) { return a + b; };
+    ThreadPool pool(2);
+    EXPECT_EQ(exec::chunked_reduce<std::size_t>(&pool, 130, 64, count, merge), 130u);
+}
+
+TEST(ParallelMap, ResultsLandAtTheirIndex) {
+    ThreadPool pool(4);
+    const auto out =
+        exec::parallel_map<std::size_t>(&pool, 257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace

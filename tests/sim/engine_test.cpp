@@ -80,6 +80,25 @@ TEST(Simulation, TimesTicksWhenObservabilityEnabled) {
     EXPECT_GT(hist->sum(), 0.0);
 }
 
+TEST(Simulation, ScopedMetricsIsolateShardedInstances) {
+    // A parallel array sweep runs one Simulation per element; distinct
+    // metric scopes keep each instance's wall-time attribution exact.
+    const auto prev = obs::level();
+    obs::set_level(obs::Level::summary);
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.histogram("shard0.work")->reset();
+    registry.histogram("shard1.work")->reset();
+    Simulation a(1000.0, "shard0");
+    Simulation b(1000.0, "shard1");
+    a.add_process("work", [](double, double) {});
+    b.add_process("work", [](double, double) {});
+    a.run_steps(30);
+    b.run_steps(20);
+    obs::set_level(prev);
+    EXPECT_EQ(registry.histogram("shard0.work")->count(), 30u);
+    EXPECT_EQ(registry.histogram("shard1.work")->count(), 20u);
+}
+
 TEST(Simulation, TimeAdvancesWithoutDrift) {
     Simulation sim(3.0);  // dt = 1/3: summation would drift
     sim.run_steps(3000000);

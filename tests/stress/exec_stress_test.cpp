@@ -1,0 +1,110 @@
+// Repeat-run determinism and scaling stress for the exec layer. These run
+// under `ctest -C stress` (and in the ThreadSanitizer CI job), not in the
+// default tier-1 suite: they repeat heavy workloads many times to shake
+// out scheduling-dependent bugs, and the speedup check needs real cores.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/array_sweep.hpp"
+#include "exec/threadpool.hpp"
+#include "fab/montecarlo.hpp"
+#include "mech/geometry.hpp"
+
+namespace {
+
+using namespace cbs;
+using cbs::exec::ThreadPool;
+
+fab::ProcessMonteCarlo make_mc() {
+    return fab::ProcessMonteCarlo(mech::resonant_default(), fab::KohEtchConfig{},
+                                  fab::ProcessVariation{}, fab::EtchMode::electrochemical_stop);
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(ExecStress, RepeatedParallelMonteCarloBitIdentical) {
+    const auto mc = make_mc();
+    ThreadPool pool(8);
+    const auto first = mc.run_seeded(20000, 99, 0.05, &pool);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto again = mc.run_seeded(20000, 99, 0.05, &pool);
+        ASSERT_EQ(bits(first.f0_mean_hz), bits(again.f0_mean_hz)) << "rep " << rep;
+        ASSERT_EQ(bits(first.f0_sigma_hz), bits(again.f0_sigma_hz)) << "rep " << rep;
+        ASSERT_EQ(bits(first.thickness_sigma_m), bits(again.thickness_sigma_m)) << "rep " << rep;
+        ASSERT_EQ(bits(first.yield), bits(again.yield)) << "rep " << rep;
+    }
+}
+
+TEST(ExecStress, RepeatedArraySweepBitIdentical) {
+    const auto mc = make_mc();
+    core::ResonantSensorConfig sensor;
+    sensor.oversample = 16.0;
+    sensor.counter_gate = Time{0.02};
+    core::ArraySweepConfig cfg;
+    cfg.elements = 6;
+    cfg.seed = 7;
+    cfg.run_duration = Time{0.045};
+    const core::ArraySweep sweep(sensor, mc, cfg);
+    ThreadPool pool(8);
+    const auto first = sweep.run(&pool);
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto again = sweep.run(&pool);
+        ASSERT_EQ(first.size(), again.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            ASSERT_EQ(bits(first[i].measured_hz), bits(again[i].measured_hz))
+                << "rep " << rep << " element " << i;
+        }
+    }
+}
+
+TEST(ExecStress, ConcurrentSubmittersStayDeterministic) {
+    const auto mc = make_mc();
+    ThreadPool pool(4);
+    const auto reference = mc.run_seeded(4000, 5, 0.05, nullptr);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 3; ++s) {
+        submitters.emplace_back([&] {
+            for (int rep = 0; rep < 3; ++rep) {
+                const auto r = mc.run_seeded(4000, 5, 0.05, &pool);
+                ASSERT_EQ(bits(reference.f0_mean_hz), bits(r.f0_mean_hz));
+            }
+        });
+    }
+    for (auto& t : submitters) t.join();
+}
+
+// Acceptance bar: >= 3x over serial at 10k trials on >= 4 cores. Skipped
+// on smaller machines, where there is nothing to measure.
+TEST(ExecStress, ParallelMonteCarloSpeedsUpOnMulticore) {
+    if (std::thread::hardware_concurrency() < 4) {
+        GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                     << std::thread::hardware_concurrency();
+    }
+    const auto mc = make_mc();
+    using clock = std::chrono::steady_clock;
+    constexpr std::size_t kTrials = 10000;
+
+    // Warm up (page-in, frequency scaling), then take the best of 3.
+    (void)mc.run_seeded(kTrials, 3, 0.05, nullptr);
+    auto best = [&](auto&& fn) {
+        double best_s = 1e100;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = clock::now();
+            fn();
+            best_s = std::min(best_s, std::chrono::duration<double>(clock::now() - t0).count());
+        }
+        return best_s;
+    };
+    const double serial_s = best([&] { (void)mc.run_seeded(kTrials, 3, 0.05, nullptr); });
+    ThreadPool pool(4);
+    const double parallel_s = best([&] { (void)mc.run_seeded(kTrials, 3, 0.05, &pool); });
+    EXPECT_GE(serial_s / parallel_s, 3.0)
+        << "serial " << serial_s << " s, parallel " << parallel_s << " s";
+}
+
+}  // namespace

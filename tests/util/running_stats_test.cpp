@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using cbs::Rng;
+using cbs::stats::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+    const RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesTwoPassReference) {
+    Rng rng(11);
+    std::vector<double> x(500);
+    for (auto& v : x) v = rng.normal(3.0, 2.0);
+    RunningStats s;
+    for (double v : x) s.add(v);
+    EXPECT_EQ(s.count(), x.size());
+    EXPECT_NEAR(s.mean(), cbs::stats::mean(x), 1e-12 * std::abs(cbs::stats::mean(x)));
+    EXPECT_NEAR(s.stddev(), cbs::stats::stddev(x), 1e-10 * cbs::stats::stddev(x));
+    EXPECT_EQ(s.min(), cbs::stats::min(x));
+    EXPECT_EQ(s.max(), cbs::stats::max(x));
+}
+
+TEST(RunningStats, MergeEqualsSequentialAccumulation) {
+    Rng rng(12);
+    std::vector<double> x(1000);
+    for (auto& v : x) v = rng.lognormal_rel(5.0, 0.4);
+    RunningStats whole;
+    for (double v : x) whole.add(v);
+    // Shard into uneven pieces and merge in order.
+    RunningStats merged;
+    const std::size_t cuts[] = {0, 137, 400, 401, 990, 1000};
+    for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+        RunningStats shard;
+        for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) shard.add(x[i]);
+        merged.merge(shard);
+    }
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * whole.mean());
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-10 * whole.variance());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    RunningStats b = a;
+    b.merge(empty);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), a.mean());
+    RunningStats c = empty;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_EQ(c.mean(), a.mean());
+    EXPECT_EQ(c.min(), 1.0);
+    EXPECT_EQ(c.max(), 3.0);
+}
+
+// The reason MonteCarloStats accumulates via Welford: for a high-mean /
+// low-variance sample (exactly the etch-stop thickness distribution: mean
+// ~ microns, sigma ~ nanometres, and f0 ~ hundreds of kHz, sigma ~ Hz
+// after tolerance banding) the naive sum-of-squares form cancels
+// catastrophically in double precision, while Welford stays exact.
+TEST(RunningStats, HighMeanLowVarianceWhereNaiveSumOfSquaresFails) {
+    constexpr std::size_t n = 1000;
+    // Exactly representable values: 1e9 and 1e9 + 0.5 alternating.
+    // Sample variance = 0.25 * n/2 * n/2 / (n * (n-1)) * n ... computed
+    // directly below from the closed form for a two-point distribution.
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = 1e9 + (i % 2 == 1 ? 0.5 : 0.0);
+    const double mean = 1e9 + 0.25;
+    // Sum of squared deviations: every sample deviates by exactly 0.25.
+    const double expected_var = n * 0.25 * 0.25 / static_cast<double>(n - 1);
+
+    // Naive sum-of-squares accumulation (what the pre-Welford code risked):
+    double sum = 0.0, sumsq = 0.0;
+    for (double v : x) {
+        sum += v;
+        sumsq += v * v;
+    }
+    const double naive_var = (sumsq - sum * sum / n) / static_cast<double>(n - 1);
+    // sumsq ~ 1e21: one ulp is ~1.3e5, while the whole signal (sum of
+    // squared deviations) is 62.5 — the naive form is pure rounding noise.
+    EXPECT_TRUE(naive_var < 0.0 || std::abs(naive_var - expected_var) > 0.5 * expected_var)
+        << "naive_var=" << naive_var;
+
+    RunningStats s;
+    for (double v : x) s.add(v);
+    EXPECT_NEAR(s.mean(), mean, 1e-12 * mean);
+    EXPECT_NEAR(s.variance(), expected_var, 1e-9 * expected_var);
+}
+
+}  // namespace
