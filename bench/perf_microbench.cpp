@@ -4,10 +4,17 @@
 
 #include <cmath>
 #include <memory>
+#include <span>
+#include <vector>
 
+#include "circ/block.hpp"
 #include "circ/chopper.hpp"
+#include "circ/filters.hpp"
+#include "circ/noise.hpp"
 #include "core/resonant_sensor.hpp"
+#include "core/static_sensor.hpp"
 #include "daq/counter.hpp"
+#include "sim/batch.hpp"
 #include "exec/threadpool.hpp"
 #include "fab/drc.hpp"
 #include "fab/layout_gen.hpp"
@@ -199,6 +206,82 @@ void BM_ResonantLoopRun64_ObsSummary(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_ResonantLoopRun64_ObsSummary);
+
+// --- Batched signal path ----------------------------------------------------
+//
+// Paired per-sample vs batched timings for the three hot paths of the
+// batched refactor (DESIGN.md §9). Arg is the batch size: Arg(1) is the
+// legacy per-sample path, Arg(64)/Arg(1024) the batched path. Results are
+// bit-identical across all of them (asserted by the equivalence tests);
+// these rows show what batching buys. items/s = samples/s for cross-row
+// comparison; the recorded pairs live in BENCH_signalpath.json.
+
+/// Temporarily forces the batch size for one benchmark.
+class BatchSizeGuard {
+public:
+    explicit BatchSizeGuard(std::size_t n) { sim::set_batch_size(n); }
+    ~BatchSizeGuard() { sim::set_batch_size(0); }
+};
+
+void BM_SignalPathResonantLoop(benchmark::State& state) {
+    const BatchSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    constexpr std::size_t kTicks = 4096;
+    const Time window{static_cast<double>(kTicks) / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(window);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTicks));
+}
+BENCHMARK(BM_SignalPathResonantLoop)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SignalPathStaticChain(benchmark::State& state) {
+    const BatchSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+    core::StaticCantileverSystem sensor(core::StaticSensorConfig{}, Rng(7));
+    // 1 ms settle + 2 ms integrate at 200 kHz = 600 chain samples per read.
+    constexpr std::size_t kSamplesPerRead = 600;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensor.read_channel(0, Time{1e-3}, Time{2e-3}));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kSamplesPerRead));
+}
+BENCHMARK(BM_SignalPathStaticChain)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SignalPathChain16(benchmark::State& state) {
+    // A 16-block mixed chain: per-sample traversal pays 16 virtual calls
+    // per sample; batched traversal pays 16 per batch.
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    circ::Chain chain;
+    for (int group = 0; group < 4; ++group) {
+        chain.emplace<circ::GainBlock>(1.01);
+        chain.emplace<circ::OnePoleLowPass>(Frequency{20e3}, 200e3);
+        chain.emplace<circ::Biquad>(circ::Biquad::Type::lowpass, Frequency{40e3}, 0.707, 200e3);
+        chain.emplace<circ::WhiteNoise>(VoltageNoiseDensity{10e-9}, 200e3,
+                                        Rng(100 + static_cast<std::uint64_t>(group)));
+    }
+    std::vector<double> buffer(4096);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        buffer[i] = 1e-3 * std::sin(static_cast<double>(i) * 0.05);
+    }
+    std::vector<double> scratch(buffer.size());
+    for (auto _ : state) {
+        scratch = buffer;
+        if (batch == 1) {
+            for (double& v : scratch) v = chain.process(v);
+        } else {
+            const std::span<double> span(scratch);
+            for (std::size_t i = 0; i < scratch.size(); i += batch) {
+                chain.process_block(span.subspan(i, std::min(batch, scratch.size() - i)));
+            }
+        }
+        benchmark::DoNotOptimize(scratch.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * buffer.size()));
+}
+BENCHMARK(BM_SignalPathChain16)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 // --- Deterministic parallel execution ---------------------------------------
 //

@@ -15,6 +15,8 @@ SarAdc::SarAdc(int bits, Voltage full_scale)
     CBS_EXPECTS(bits >= 4 && bits <= 24);
     CBS_EXPECTS(full_scale.value() > 0.0);
     lsb_ = 2.0 * full_scale_ / std::pow(2.0, bits_);
+    max_code_ = static_cast<std::int32_t>(std::pow(2.0, bits_ - 1)) - 1;
+    min_code_ = -static_cast<std::int32_t>(std::pow(2.0, bits_ - 1));
 }
 
 std::int32_t SarAdc::convert(double volts) const {
@@ -23,10 +25,26 @@ std::int32_t SarAdc::convert(double volts) const {
         if (std::abs(volts) > full_scale_) obs_clipped_->add();
     }
     const double clamped = std::clamp(volts, -full_scale_, full_scale_);
-    const auto max_code = static_cast<std::int32_t>(std::pow(2.0, bits_ - 1)) - 1;
-    const auto min_code = -static_cast<std::int32_t>(std::pow(2.0, bits_ - 1));
     const auto code = static_cast<std::int32_t>(std::llround(clamped / lsb_));
-    return std::clamp(code, min_code, max_code);
+    return std::clamp(code, min_code_, max_code_);
+}
+
+void SarAdc::quantize_block(std::span<double> inout) const {
+    const bool obs_on = obs::enabled();
+    std::uint64_t clipped = 0;
+    const double fs = full_scale_;
+    const double lsb = lsb_;
+    for (double& v : inout) {
+        if (obs_on && std::abs(v) > fs) ++clipped;
+        const double clamped = std::clamp(v, -fs, fs);
+        const auto code = std::clamp(static_cast<std::int32_t>(std::llround(clamped / lsb)),
+                                     min_code_, max_code_);
+        v = code * lsb;
+    }
+    if (obs_on) {
+        obs_samples_->add(inout.size());
+        if (clipped != 0) obs_clipped_->add(clipped);
+    }
 }
 
 double SarAdc::to_volts(std::int32_t code) const { return code * lsb_; }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "obs/metrics.hpp"
 #include "util/units.hpp"
@@ -22,6 +23,11 @@ public:
     /// Quantize-and-reconstruct in one step.
     [[nodiscard]] double quantize(double volts) const { return to_volts(convert(volts)); }
 
+    /// Batched quantize-and-reconstruct, in place. Bit-identical to
+    /// calling `quantize` per element; obs counters are bumped once per
+    /// batch with the same totals.
+    void quantize_block(std::span<double> inout) const;
+
     [[nodiscard]] Voltage lsb() const { return Voltage{lsb_}; }
     [[nodiscard]] int bits() const { return bits_; }
 
@@ -29,6 +35,8 @@ private:
     int bits_;
     double full_scale_;
     double lsb_;
+    std::int32_t max_code_;
+    std::int32_t min_code_;
     // Observability: conversion count and out-of-range (clipped) inputs.
     obs::Counter* obs_samples_;
     obs::Counter* obs_clipped_;

@@ -54,8 +54,34 @@ double BehavioralAmplifier::shape_output(double v) {
     return out_state_;
 }
 
-double BehavioralAmplifier::process(double in) {
-    return shape_output(cfg_.gain * corrupt_input(in));
+double BehavioralAmplifier::process(double in) { return process_sample(in); }
+
+void BehavioralAmplifier::process_block(std::span<double> inout) {
+    // Stage-by-stage over the batch: each stage's state sees the same
+    // input stream as in per-sample order, and the white and flicker
+    // generators own independent forked streams, so running one block's
+    // white draws before its flicker draws cannot change either sequence.
+    const double offset = offset_;
+    for (double& v : inout) v = v + offset;
+    if (white_) white_->process_block(inout);
+    if (flicker_) flicker_->process_block(inout);
+    const double gain = cfg_.gain;
+    const double max_step = cfg_.slew_rate_v_per_s * dt_;
+    const double sat = cfg_.saturation.value();
+    double out_state = out_state_;
+    for (double& v : inout) {
+        double o = pole_.process(gain * v);
+        const double step = std::clamp(o - out_state, -max_step, max_step);
+        out_state += step;
+        out_state = std::clamp(out_state, -sat, sat);
+        v = out_state;
+    }
+    out_state_ = out_state;
+}
+
+void BehavioralAmplifier::prefetch_noise(std::size_t n) {
+    if (white_) white_->prefetch(n);
+    if (flicker_) flicker_->prefetch(n);
 }
 
 void BehavioralAmplifier::reset() {

@@ -3,6 +3,7 @@
 // finite gain-bandwidth, slew limiting and supply-rail saturation.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
@@ -30,7 +31,29 @@ public:
     BehavioralAmplifier(const AmplifierConfig& config, double sample_rate_hz, Rng rng);
 
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
     void reset() override;
+
+    /// Pre-draws n samples' worth of white + flicker noise in bulk, for
+    /// callers that must stay per-sample (feedback loops) but still want
+    /// batched draw generation. A no-op for noiseless configurations.
+    void prefetch_noise(std::size_t n);
+
+    /// Header-inline per-sample kernel, bit-identical to process(): the
+    /// batched feedback loops call this so the pole state, slew state and
+    /// config scalars stay in registers across the caller's batch loop
+    /// (process() itself stays an out-of-line virtual for scalar users).
+    double process_sample(double in) {
+        double v = in + offset_;
+        if (white_) v = white_->process(v);
+        if (flicker_) v = flicker_->process(v);
+        v = pole_.process(cfg_.gain * v);
+        const double max_step = cfg_.slew_rate_v_per_s * dt_;
+        const double step = std::clamp(v - out_state_, -max_step, max_step);
+        out_state_ += step;
+        out_state_ = std::clamp(out_state_, -cfg_.saturation.value(), cfg_.saturation.value());
+        return out_state_;
+    }
 
     /// The realized (systematic + sampled random) input offset of this
     /// instance — what an offset-compensation DAC has to cancel.

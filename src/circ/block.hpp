@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,17 @@ public:
     /// Processes one sample (volts in, volts out) at the block's sample rate.
     virtual double process(double in) = 0;
 
+    /// Processes a batch of consecutive samples in place. Contract: the
+    /// result is bit-identical to calling `process` on each element in
+    /// order, for every batch size including zero (an empty span is a
+    /// no-op). The default does exactly that; hot blocks override it with
+    /// loops that keep their scalar state in registers and hoist
+    /// per-sample invariants (one virtual dispatch per batch instead of
+    /// per sample).
+    virtual void process_block(std::span<double> inout) {
+        for (double& v : inout) v = process(v);
+    }
+
     /// Returns internal state to power-up conditions.
     virtual void reset() {}
 };
@@ -35,6 +47,7 @@ public:
     template <typename T, typename... Args>
     T& emplace(Args&&... args) {
         auto block = std::make_unique<T>(std::forward<Args>(args)...);
+        CBS_EXPECTS(block != nullptr);  // same contract as append
         T& ref = *block;
         blocks_.push_back(std::move(block));
         return ref;
@@ -53,6 +66,14 @@ public:
         return v;
     }
 
+    /// Runs the whole batch through each block in turn. Because every
+    /// block's state depends only on its own input stream, block-by-block
+    /// traversal produces the same bits as sample-by-sample traversal —
+    /// while paying one virtual call per block per batch.
+    void process_block(std::span<double> inout) override {
+        for (auto& b : blocks_) b->process_block(inout);
+    }
+
     void reset() override {
         for (auto& b : blocks_) b->reset();
     }
@@ -66,6 +87,10 @@ class GainBlock final : public Block {
 public:
     explicit GainBlock(double gain) : gain_(gain) {}
     double process(double in) override { return gain_ * in; }
+    void process_block(std::span<double> inout) override {
+        const double g = gain_;
+        for (double& v : inout) v = g * v;
+    }
     void set_gain(double g) { gain_ = g; }
     [[nodiscard]] double gain() const { return gain_; }
 

@@ -13,11 +13,6 @@ WheatstoneBridge::WheatstoneBridge(Resistance nominal_arm, Voltage bias, double 
     CBS_EXPECTS(bias.value() > 0.0);
 }
 
-void WheatstoneBridge::set_sense_delta(double delta) {
-    CBS_EXPECTS(delta > -1.0);
-    delta_ = delta;
-}
-
 void WheatstoneBridge::set_mismatch(const std::array<double, 4>& mismatch) {
     for (double m : mismatch) CBS_EXPECTS(m > -1.0);
     mismatch_ = mismatch;

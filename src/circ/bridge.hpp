@@ -16,8 +16,10 @@
 #pragma once
 
 #include <array>
+#include <utility>
 
 #include "circ/mna.hpp"
+#include "util/expect.hpp"
 #include "util/units.hpp"
 
 namespace cbs::circ {
@@ -28,7 +30,13 @@ public:
     virtual ~WheatstoneBridge() = default;
 
     /// Relative gauge change applied to the active arms (R2, R3).
-    void set_sense_delta(double delta);
+    /// Header-inline: this is the batched signal path's per-sample update,
+    /// and inlining it next to output_pair lets the compiler keep the whole
+    /// bridge solve in registers across a batch loop.
+    void set_sense_delta(double delta) {
+        CBS_EXPECTS(delta > -1.0);
+        delta_ = delta;
+    }
     /// Per-arm fabrication mismatch, applied multiplicatively.
     void set_mismatch(const std::array<double, 4>& mismatch);
     /// Temperature excursion from nominal; scales all arms by (1 + tcr*dT).
@@ -40,6 +48,25 @@ public:
     [[nodiscard]] Voltage output() const;
     /// Common-mode output voltage.
     [[nodiscard]] Voltage common_mode() const;
+    /// Differential and common-mode outputs from a single arm solve — the
+    /// batched signal path's kernel (same expressions as `output` and
+    /// `common_mode`, so the pair is bit-identical to two separate calls,
+    /// at half the divider work). Returned as {differential, common-mode}.
+    /// The arm expressions are written out here, association-for-association
+    /// identical to arm_resistances(), so that in a batch loop where only
+    /// delta_ changes the compiler hoists the mismatch and temperature
+    /// products out of the loop.
+    [[nodiscard]] std::pair<Voltage, Voltage> output_pair() const {
+        const double temp_scale = 1.0 + tcr_ * temp_offset_k_;
+        const double active = 1.0 + delta_;
+        const double r0 = r_nominal_ * (1.0 + mismatch_[0]) * temp_scale;
+        const double r1 = r_nominal_ * (1.0 + mismatch_[1]) * active * temp_scale;
+        const double r2 = r_nominal_ * (1.0 + mismatch_[2]) * active * temp_scale;
+        const double r3 = r_nominal_ * (1.0 + mismatch_[3]) * temp_scale;
+        const double v_plus = vb_ * r1 / (r0 + r1);
+        const double v_minus = vb_ * r3 / (r2 + r3);
+        return {Voltage{v_plus - v_minus}, Voltage{0.5 * (v_plus + v_minus)}};
+    }
     /// Output voltage computed through the MNA solver (cross-check path).
     [[nodiscard]] Voltage output_via_mna() const;
 

@@ -62,6 +62,57 @@ double ChopperAmplifier::process(double in) {
     return post_filter_.process(out);
 }
 
+void ChopperAmplifier::process_block(std::span<double> inout) {
+    if (inout.empty()) return;
+    const std::size_t n = inout.size();
+    const bool obs_on = obs::enabled();
+    const double clip_level = cfg_.amplifier.saturation.value() * 0.999;
+    std::uint64_t clips = 0;
+    if (cfg_.enabled) {
+        // Modulate with the carrier signs (walking t_ with the same
+        // per-sample accumulation), amplify the whole batch, then
+        // demodulate + boxcar + post-filter.
+        mod_scratch_.resize(n);
+        const double f_chop = cfg_.chop_frequency.value();
+        for (std::size_t i = 0; i < n; ++i) {
+            const double phase = t_ * f_chop;
+            const double m = (phase - std::floor(phase)) < 0.5 ? 1.0 : -1.0;
+            mod_scratch_[i] = m;
+            inout[i] *= m;
+            t_ += dt_;
+        }
+        core_.process_block(inout);
+        double* boxcar = boxcar_.data();
+        const auto boxcar_n = boxcar_.size();
+        const double boxcar_scale = static_cast<double>(boxcar_n);
+        double boxcar_sum = boxcar_sum_;
+        std::size_t boxcar_pos = boxcar_pos_;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double out = inout[i] * mod_scratch_[i];
+            if (obs_on && std::abs(out) >= clip_level) ++clips;
+            boxcar_sum += out - boxcar[boxcar_pos];
+            boxcar[boxcar_pos] = out;
+            boxcar_pos = (boxcar_pos + 1) % boxcar_n;
+            inout[i] = boxcar_sum / boxcar_scale;
+        }
+        boxcar_sum_ = boxcar_sum;
+        boxcar_pos_ = boxcar_pos;
+    } else {
+        core_.process_block(inout);
+        if (obs_on) {
+            for (const double out : inout) {
+                if (std::abs(out) >= clip_level) ++clips;
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) t_ += dt_;
+    }
+    if (obs_on) {
+        obs_samples_->add(n);
+        if (clips != 0) obs_clip_events_->add(clips);
+    }
+    post_filter_.process_block(inout);
+}
+
 void ChopperAmplifier::reset() {
     t_ = 0.0;
     core_.reset();

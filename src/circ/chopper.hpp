@@ -30,6 +30,7 @@ public:
     ChopperAmplifier(const ChopperConfig& config, double sample_rate_hz, Rng rng);
 
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
     void reset() override;
 
     [[nodiscard]] const ChopperConfig& config() const { return cfg_; }
@@ -49,6 +50,7 @@ private:
     std::size_t boxcar_pos_ = 0;
     double boxcar_sum_ = 0.0;
     OnePoleLowPass post_filter_;
+    std::vector<double> mod_scratch_;  ///< per-batch carrier signs (capacity reused)
     // Observability: processed samples and core-amplifier overload events
     // (recorded only when CBS_OBS is enabled).
     obs::Counter* obs_samples_;

@@ -15,22 +15,28 @@ ClassAbBuffer::ClassAbBuffer(const ClassAbConfig& config, Resistance load)
     CBS_EXPECTS(load.value() > 0.0);
 }
 
-double ClassAbBuffer::process(double in) {
-    // Crossover deadband around zero.
-    double v = in;
+double ClassAbBuffer::process(double in) { return process_sample(in); }
+
+void ClassAbBuffer::process_block(std::span<double> inout) {
     const double dz = cfg_.crossover_deadband.value();
-    if (std::fabs(v) < dz) {
-        v = 0.0;
-    } else {
-        v -= std::copysign(dz, v);
+    const double supply = cfg_.supply.value();
+    const double r_total = cfg_.output_resistance.value() + load_;
+    const double i_limit = cfg_.current_limit.value();
+    double last_current = last_current_;
+    for (double& vv : inout) {
+        double v = vv;
+        if (std::fabs(v) < dz) {
+            v = 0.0;
+        } else {
+            v -= std::copysign(dz, v);
+        }
+        v = std::clamp(v, -supply, supply);
+        double i = v / r_total;
+        i = std::clamp(i, -i_limit, i_limit);
+        last_current = i;
+        vv = i * load_;
     }
-    // Rail clipping at the source.
-    v = std::clamp(v, -cfg_.supply.value(), cfg_.supply.value());
-    // Resistive divider into the load with current limiting.
-    double i = v / (cfg_.output_resistance.value() + load_);
-    i = std::clamp(i, -cfg_.current_limit.value(), cfg_.current_limit.value());
-    last_current_ = i;
-    return i * load_;
+    last_current_ = last_current;
 }
 
 Power ClassAbBuffer::supply_power(Current quiescent) const {

@@ -4,6 +4,9 @@
 // current it delivers into a resistive coil load.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "circ/block.hpp"
 #include "util/units.hpp"
 
@@ -23,7 +26,26 @@ public:
     /// Returns the voltage across the load; `load_current()` gives the
     /// resulting coil current for the Lorentz actuator.
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
     void reset() override { last_current_ = 0.0; }
+
+    /// Header-inline per-sample kernel, bit-identical to process(): the
+    /// batched feedback loop calls this so the config scalars and the
+    /// delivered-current state fuse into the caller's batch loop.
+    double process_sample(double in) {
+        double v = in;
+        const double dz = cfg_.crossover_deadband.value();
+        if (std::fabs(v) < dz) {
+            v = 0.0;
+        } else {
+            v -= std::copysign(dz, v);
+        }
+        v = std::clamp(v, -cfg_.supply.value(), cfg_.supply.value());
+        double i = v / (cfg_.output_resistance.value() + load_);
+        i = std::clamp(i, -cfg_.current_limit.value(), cfg_.current_limit.value());
+        last_current_ = i;
+        return i * load_;
+    }
 
     [[nodiscard]] Current load_current() const { return Current{last_current_}; }
     [[nodiscard]] Resistance load() const { return Resistance{load_}; }

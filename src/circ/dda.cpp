@@ -8,18 +8,22 @@ namespace cbs::circ {
 
 DifferentialDifferenceAmplifier::DifferentialDifferenceAmplifier(const DdaConfig& config,
                                                                  double sample_rate_hz, Rng rng)
-    : cfg_(config), core_(config.amplifier, sample_rate_hz, rng) {
+    : cfg_(config),
+      cm_denominator_(std::pow(10.0, config.cmrr_db / 20.0)),
+      core_(config.amplifier, sample_rate_hz, rng) {
     CBS_EXPECTS(config.cmrr_db > 0.0);
 }
 
 double DifferentialDifferenceAmplifier::common_mode_gain() const {
-    return cfg_.amplifier.gain / std::pow(10.0, cfg_.cmrr_db / 20.0);
+    return cfg_.amplifier.gain / cm_denominator_;
 }
 
-double DifferentialDifferenceAmplifier::process_pair(double differential, double common_mode) {
-    // Common mode leaks in as an equivalent differential input error.
-    const double cm_leak = common_mode / std::pow(10.0, cfg_.cmrr_db / 20.0);
-    return core_.process(differential + cm_leak);
+void DifferentialDifferenceAmplifier::process_block(std::span<double> inout) {
+    // Zero common mode, as in process(): keep the `+ cm_leak` add so the
+    // bits match the per-sample path exactly.
+    const double cm_leak = 0.0 / cm_denominator_;
+    for (double& v : inout) v = v + cm_leak;
+    core_.process_block(inout);
 }
 
 }  // namespace cbs::circ

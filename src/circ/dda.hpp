@@ -26,8 +26,27 @@ public:
     /// the differential voltage, common mode assumed zero.
     double process(double in) override { return process_pair(in, 0.0); }
 
+    void process_block(std::span<double> inout) override;
+
     /// Full interface: differential and common-mode inputs.
-    double process_pair(double differential, double common_mode);
+    double process_pair(double differential, double common_mode) {
+        // Common mode leaks in as an equivalent differential input error.
+        const double cm_leak = common_mode / cm_denominator_;
+        return core_.process(differential + cm_leak);
+    }
+
+    /// Batched-path variant of process_pair, bit-identical to it: routes
+    /// through the core amplifier's header-inline kernel so the whole DDA
+    /// stage fuses into the caller's batch loop instead of making an
+    /// out-of-line call per sample.
+    double process_pair_fast(double differential, double common_mode) {
+        const double cm_leak = common_mode / cm_denominator_;
+        return core_.process_sample(differential + cm_leak);
+    }
+
+    /// Pre-draws n samples' worth of the core amplifier's noise in bulk
+    /// (for per-sample feedback-loop callers).
+    void prefetch_noise(std::size_t n) { core_.prefetch_noise(n); }
 
     void reset() override { core_.reset(); }
 
@@ -35,6 +54,7 @@ public:
 
 private:
     DdaConfig cfg_;
+    double cm_denominator_;  ///< 10^(CMRR/20), hoisted out of the sample path
     BehavioralAmplifier core_;
 };
 

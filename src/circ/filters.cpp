@@ -15,9 +15,14 @@ OnePoleLowPass::OnePoleLowPass(Frequency cutoff, double sample_rate_hz)
     alpha_ = 1.0 - std::exp(-2.0 * constants::pi * fc_ / sample_rate_hz);
 }
 
-double OnePoleLowPass::process(double in) {
-    state_ += alpha_ * (in - state_);
-    return state_;
+void OnePoleLowPass::process_block(std::span<double> inout) {
+    const double alpha = alpha_;
+    double state = state_;
+    for (double& v : inout) {
+        state += alpha * (v - state);
+        v = state;
+    }
+    state_ = state;
 }
 
 OnePoleHighPass::OnePoleHighPass(Frequency cutoff, double sample_rate_hz) {
@@ -28,10 +33,17 @@ OnePoleHighPass::OnePoleHighPass(Frequency cutoff, double sample_rate_hz) {
     alpha_ = rc / (rc + dt);
 }
 
-double OnePoleHighPass::process(double in) {
-    state_ = alpha_ * (state_ + in - prev_in_);
-    prev_in_ = in;
-    return state_;
+void OnePoleHighPass::process_block(std::span<double> inout) {
+    const double alpha = alpha_;
+    double state = state_;
+    double prev = prev_in_;
+    for (double& v : inout) {
+        state = alpha * (state + v - prev);
+        prev = v;
+        v = state;
+    }
+    state_ = state;
+    prev_in_ = prev;
 }
 
 Biquad::Biquad(Type type, Frequency corner, double q, double sample_rate_hz) {
@@ -64,12 +76,17 @@ Biquad::Biquad(Type type, Frequency corner, double q, double sample_rate_hz) {
     a2_ = (1.0 - alpha) / a0;
 }
 
-double Biquad::process(double in) {
-    // Transposed direct form II.
-    const double out = b0_ * in + z1_;
-    z1_ = b1_ * in - a1_ * out + z2_;
-    z2_ = b2_ * in - a2_ * out;
-    return out;
+void Biquad::process_block(std::span<double> inout) {
+    const double b0 = b0_, b1 = b1_, b2 = b2_, a1 = a1_, a2 = a2_;
+    double z1 = z1_, z2 = z2_;
+    for (double& v : inout) {
+        const double out = b0 * v + z1;
+        z1 = b1 * v - a1 * out + z2;
+        z2 = b2 * v - a2 * out;
+        v = out;
+    }
+    z1_ = z1;
+    z2_ = z2;
 }
 
 double Biquad::magnitude(Frequency f, double sample_rate_hz) const {

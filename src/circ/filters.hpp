@@ -15,7 +15,14 @@ class OnePoleLowPass final : public Block {
 public:
     OnePoleLowPass(Frequency cutoff, double sample_rate_hz);
 
-    double process(double in) override;
+    // Scalar kernels are defined inline: the amplifier/sensor hot loops
+    // call them as direct (non-virtual) members and must be able to
+    // inline them without LTO.
+    double process(double in) override {
+        state_ += alpha_ * (in - state_);
+        return state_;
+    }
+    void process_block(std::span<double> inout) override;
     void reset() override { state_ = 0.0; }
 
     [[nodiscard]] double cutoff_hz() const { return fc_; }
@@ -31,7 +38,12 @@ class OnePoleHighPass final : public Block {
 public:
     OnePoleHighPass(Frequency cutoff, double sample_rate_hz);
 
-    double process(double in) override;
+    double process(double in) override {
+        state_ = alpha_ * (state_ + in - prev_in_);
+        prev_in_ = in;
+        return state_;
+    }
+    void process_block(std::span<double> inout) override;
     void reset() override {
         state_ = 0.0;
         prev_in_ = 0.0;
@@ -50,7 +62,14 @@ public:
 
     Biquad(Type type, Frequency corner, double q, double sample_rate_hz);
 
-    double process(double in) override;
+    double process(double in) override {
+        // Transposed direct form II.
+        const double out = b0_ * in + z1_;
+        z1_ = b1_ * in - a1_ * out + z2_;
+        z2_ = b2_ * in - a2_ * out;
+        return out;
+    }
+    void process_block(std::span<double> inout) override;
     void reset() override { z1_ = z2_ = 0.0; }
 
     /// Magnitude response at a test frequency (analysis helper).

@@ -1,20 +1,69 @@
 #include "circ/limiter.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/constants.hpp"
 #include "util/expect.hpp"
 
 namespace cbs::circ {
 
+namespace detail {
+namespace {
+
+double find_tanh_saturation_threshold() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    if (std::tanh(60.0) != 1.0) return inf;
+    // Bisect the boundary of the exactly-1.0 region (glibc saturates near
+    // x ~ 19.06; other libms may differ or never return exactly 1.0).
+    double lo = 1.0;
+    double hi = 60.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (std::tanh(mid) == 1.0) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    // The shortcut assumes saturation holds for EVERY magnitude above the
+    // threshold, not just at the boundary — verify by a dense multiplicative
+    // sweep plus extreme spot checks, on both signs. Any exception disables
+    // the shortcut entirely rather than risking a bitwise divergence.
+    for (double x = hi; x < 1e9; x *= 1.0003) {
+        if (std::tanh(x) != 1.0 || std::tanh(-x) != -1.0) return inf;
+    }
+    for (const double x : {1e12, 1e100, 1e300, std::numeric_limits<double>::max(), inf}) {
+        if (std::tanh(x) != 1.0 || std::tanh(-x) != -1.0) return inf;
+    }
+    return hi;
+}
+
+}  // namespace
+
+double tanh_saturation_threshold() {
+    static const double threshold = find_tanh_saturation_threshold();
+    return threshold;
+}
+
+}  // namespace detail
+
 NonlinearLimiter::NonlinearLimiter(double small_signal_gain, Voltage limit_level)
-    : gain_(small_signal_gain), limit_(limit_level.value()) {
+    : gain_(small_signal_gain),
+      limit_(limit_level.value()),
+      sat_threshold_(detail::tanh_saturation_threshold()) {
     CBS_EXPECTS(small_signal_gain > 0.0);
     CBS_EXPECTS(limit_level.value() > 0.0);
 }
 
 double NonlinearLimiter::process(double in) {
     return limit_ * std::tanh(gain_ * in / limit_);
+}
+
+void NonlinearLimiter::process_block(std::span<double> inout) {
+    const double gain = gain_;
+    const double limit = limit_;
+    for (double& v : inout) v = limit * std::tanh(gain * v / limit);
 }
 
 double NonlinearLimiter::describing_gain(double input_amplitude) const {

@@ -5,16 +5,39 @@
 // amplifier into an amplitude-regulated oscillator.
 #pragma once
 
+#include <cmath>
+
 #include "circ/block.hpp"
 #include "util/units.hpp"
 
 namespace cbs::circ {
+
+namespace detail {
+
+/// Smallest |x| at which this libm's std::tanh provably returns exactly
+/// +-1.0 for every tested magnitude above it (located by bisection and
+/// confirmed by a dense sweep at first use). +infinity when the property
+/// cannot be established, which disables the saturation shortcut.
+double tanh_saturation_threshold();
+
+}  // namespace detail
 
 class NonlinearLimiter final : public Block {
 public:
     NonlinearLimiter(double small_signal_gain, Voltage limit_level);
 
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
+
+    /// Batched-path kernel, bit-identical to process(): deep in saturation
+    /// (|gain*in/limit| past the runtime-verified threshold) tanh is exactly
+    /// +-1.0, so `limit * tanh` is exactly +-limit and the tanh call — the
+    /// most expensive op in the resonant loop's serial chain — is skipped.
+    [[nodiscard]] double process_saturating(double in) {
+        const double x = gain_ * in / limit_;
+        if (std::fabs(x) >= sat_threshold_) return std::copysign(limit_, x);
+        return limit_ * std::tanh(x);
+    }
 
     [[nodiscard]] double small_signal_gain() const { return gain_; }
     [[nodiscard]] Voltage limit_level() const { return Voltage{limit_}; }
@@ -28,6 +51,7 @@ public:
 private:
     double gain_;
     double limit_;
+    double sat_threshold_;
 };
 
 }  // namespace cbs::circ

@@ -13,12 +13,6 @@ LorentzActuator::LorentzActuator(const LorentzCoilConfig& config) : cfg_(config)
     CBS_EXPECTS(config.sheet_resistance.value() > 0.0);
 }
 
-Force LorentzActuator::force(Current i) const { return force_per_current() * i; }
-
-Q<1, 1, -2, -1> LorentzActuator::force_per_current() const {
-    return static_cast<double>(cfg_.turns) * cfg_.field * cfg_.effective_width;
-}
-
 Resistance LorentzActuator::coil_resistance() const {
     const double squares = cfg_.trace_length_per_turn.value() / cfg_.trace_width.value();
     return cfg_.sheet_resistance * squares * static_cast<double>(cfg_.turns);

@@ -26,11 +26,15 @@ public:
     LorentzActuator() : LorentzActuator(LorentzCoilConfig{}) {}
     explicit LorentzActuator(const LorentzCoilConfig& config);
 
-    /// Tip force for a coil current.
-    [[nodiscard]] Force force(Current i) const;
+    /// Tip force for a coil current. Header-inline so a batch loop hoists
+    /// the invariant responsivity product and keeps only the final multiply
+    /// per sample.
+    [[nodiscard]] Force force(Current i) const { return force_per_current() * i; }
 
     /// Force responsivity N*B*w_eff [N/A].
-    [[nodiscard]] Q<1, 1, -2, -1> force_per_current() const;
+    [[nodiscard]] Q<1, 1, -2, -1> force_per_current() const {
+        return static_cast<double>(cfg_.turns) * cfg_.field * cfg_.effective_width;
+    }
 
     /// DC resistance of the full coil.
     [[nodiscard]] Resistance coil_resistance() const;

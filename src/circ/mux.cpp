@@ -40,6 +40,31 @@ double AnalogMux::process(std::span<const double> channel_inputs) {
     return out;
 }
 
+void AnalogMux::process_block(std::span<const double> channel_inputs, std::span<double> out) {
+    CBS_EXPECTS(channel_inputs.size() == cfg_.channels);
+    // The target is a pure function of the (constant) inputs and the
+    // selected channel, so per-sample recomputation would produce the
+    // same value every time — hoist it.
+    double target = channel_inputs[selected_];
+    if (cfg_.crosstalk > 0.0) {
+        double others = 0.0;
+        for (std::size_t i = 0; i < channel_inputs.size(); ++i) {
+            if (i != selected_) others += channel_inputs[i];
+        }
+        target += cfg_.crosstalk * others;
+    }
+    const double alpha = alpha_;
+    double state = state_;
+    double glitch = glitch_;
+    for (double& o : out) {
+        state += alpha * (target - state);
+        o = state + glitch;
+        glitch *= 0.5;  // glitch decays over a few samples
+    }
+    state_ = state;
+    glitch_ = glitch;
+}
+
 Time AnalogMux::settling_tau() const {
     return Time{cfg_.on_resistance.value() * cfg_.load_capacitance.value()};
 }

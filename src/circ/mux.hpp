@@ -34,6 +34,12 @@ public:
     /// mux output (selected channel after settling + crosstalk).
     double process(std::span<const double> channel_inputs);
 
+    /// Batched form for channel inputs held constant over the batch (the
+    /// static chain's acquisition windows): computes the crosstalk target
+    /// once and walks the settling/glitch state across `out`. Bit-identical
+    /// to calling `process` once per output sample.
+    void process_block(std::span<const double> channel_inputs, std::span<double> out);
+
     /// Time constant of the switch RC; settling to 0.1% takes ~7 tau.
     [[nodiscard]] Time settling_tau() const;
 

@@ -13,7 +13,24 @@ WhiteNoise::WhiteNoise(VoltageNoiseDensity density, double sample_rate_hz, Rng r
     CBS_EXPECTS(sample_rate_hz > 0.0);
 }
 
-double WhiteNoise::process(double in) { return in + rng_.normal(0.0, sigma_); }
+void WhiteNoise::prefetch(std::size_t n) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_));
+    buf_pos_ = 0;
+    if (buf_.size() >= n) return;
+    const std::size_t have = buf_.size();
+    buf_.resize(n);
+    rng_.fill_raw_normal(std::span<double>(buf_).subspan(have));
+}
+
+void WhiteNoise::process_block(std::span<double> inout) {
+    prefetch(inout.size());
+    const double* raw = buf_.data() + buf_pos_;
+    const double sigma = sigma_;
+    for (std::size_t i = 0; i < inout.size(); ++i) {
+        inout[i] = inout[i] + (raw[i] * sigma + 0.0);
+    }
+    buf_pos_ += inout.size();
+}
 
 FlickerNoise::FlickerNoise(double k_flicker, double sample_rate_hz, Rng rng, double f_min_hz)
     : rng_(rng) {
@@ -38,13 +55,55 @@ FlickerNoise::FlickerNoise(double k_flicker, double sample_rate_hz, Rng rng, dou
 
 double FlickerNoise::process(double in) {
     double acc = in;
-    for (std::size_t i = 0; i < stage_params_.size(); ++i) {
+    const std::size_t n = stage_params_.size();
+    if (buf_pos_ + n <= buf_.size()) {
+        const double* raw = buf_.data() + buf_pos_;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto& s = stage_params_[i];
+            const double w = raw[i] * s.sigma + 0.0;
+            state_[i] += s.alpha * (w - state_[i]);
+            acc += state_[i];
+        }
+        buf_pos_ += n;
+        return acc;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
         const auto& s = stage_params_[i];
         const double w = rng_.normal(0.0, s.sigma);
         state_[i] += s.alpha * (w - state_[i]);
         acc += state_[i];
     }
     return acc;
+}
+
+void FlickerNoise::prefetch(std::size_t n) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_));
+    buf_pos_ = 0;
+    const std::size_t need = n * stage_params_.size();
+    if (buf_.size() >= need) return;
+    const std::size_t have = buf_.size();
+    buf_.resize(need);
+    rng_.fill_raw_normal(std::span<double>(buf_).subspan(have));
+}
+
+void FlickerNoise::process_block(std::span<double> inout) {
+    prefetch(inout.size());
+    const std::size_t stages = stage_params_.size();
+    const Stage* params = stage_params_.data();
+    double* state = state_.data();
+    const double* raw = buf_.data() + buf_pos_;
+    for (double& v : inout) {
+        // Sample-major draw order, matching per-sample `process` exactly.
+        double acc = v;
+        for (std::size_t i = 0; i < stages; ++i) {
+            const double w = raw[i] * params[i].sigma + 0.0;
+            state[i] += params[i].alpha * (w - state[i]);
+            acc += state[i];
+        }
+        raw += stages;
+        v = acc;
+    }
+    buf_pos_ += inout.size() * stages;
 }
 
 void FlickerNoise::reset() { state_.assign(state_.size(), 0.0); }
@@ -66,6 +125,25 @@ double InterferencePickup::process(double in) {
     if (cfg_.rf_floor_v > 0.0) v += rng_.normal(0.0, cfg_.rf_floor_v);
     phase_ += dt_;
     return v;
+}
+
+void InterferencePickup::process_block(std::span<double> inout) {
+    const double f = cfg_.mains_frequency_hz;
+    const double ratio = cfg_.harmonic_ratio;
+    const double amp0 = cfg_.mains_amplitude_v;
+    const double rf = cfg_.rf_floor_v;
+    const int harmonics = cfg_.harmonics;
+    double phase = phase_;
+    for (double& v : inout) {
+        double amp = amp0;
+        for (int h = 1; h <= 1 + harmonics; ++h) {
+            v += amp * std::sin(2.0 * constants::pi * f * h * phase);
+            amp *= ratio;
+        }
+        if (rf > 0.0) v += rng_.normal(0.0, rf);
+        phase += dt_;
+    }
+    phase_ = phase;
 }
 
 }  // namespace cbs::circ

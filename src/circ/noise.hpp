@@ -17,15 +17,29 @@ class WhiteNoise final : public Block {
 public:
     WhiteNoise(VoltageNoiseDensity density, double sample_rate_hz, Rng rng);
 
-    /// Adds noise to the input sample.
-    double process(double in) override;
-    void reset() override {}
+    /// Adds noise to the input sample. Consumes a prefetched raw variate
+    /// when one is buffered; otherwise draws directly. Either way the
+    /// value added is bit-identical (`raw * sigma + 0` is the
+    /// distribution's own final operation), so prefetching never perturbs
+    /// a seeded sequence — it only moves the draws out of the feedback
+    /// loop's critical path.
+    double process(double in) override {
+        if (buf_pos_ < buf_.size()) return in + (buf_[buf_pos_++] * sigma_ + 0.0);
+        return in + rng_.normal(0.0, sigma_);
+    }
+
+    void process_block(std::span<double> inout) override;
+
+    /// Pre-draws at least n samples' worth of raw variates in bulk.
+    void prefetch(std::size_t n);
 
     [[nodiscard]] double sigma_per_sample() const { return sigma_; }
 
 private:
     double sigma_;
     Rng rng_;
+    std::vector<double> buf_;
+    std::size_t buf_pos_ = 0;
 };
 
 /// Streaming 1/f noise: a sum of octave-spaced one-pole-filtered white
@@ -38,6 +52,12 @@ public:
     FlickerNoise(double k_flicker, double sample_rate_hz, Rng rng, double f_min_hz = 0.05);
 
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
+
+    /// Pre-draws at least n samples' worth (n * stages raw variates) in
+    /// bulk, in the sample-major order `process` consumes them.
+    void prefetch(std::size_t n);
+
     void reset() override;
 
     [[nodiscard]] std::size_t stages() const { return state_.size(); }
@@ -50,6 +70,8 @@ private:
     std::vector<Stage> stage_params_;
     std::vector<double> state_;
     Rng rng_;
+    std::vector<double> buf_;
+    std::size_t buf_pos_ = 0;
 };
 
 /// Deterministic interference pickup: mains fundamental + harmonics plus an
@@ -68,6 +90,7 @@ public:
     InterferencePickup(const Config& config, double sample_rate_hz, Rng rng);
 
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
     void reset() override { phase_ = 0.0; }
 
 private:

@@ -17,6 +17,10 @@ public:
     OffsetCompensator(Voltage range, int bits);
 
     double process(double in) override { return in - dac_voltage(); }
+    void process_block(std::span<double> inout) override {
+        const double dac = dac_voltage();
+        for (double& v : inout) v = v - dac;
+    }
 
     /// Programs a raw DAC code in [-(2^(bits-1)), 2^(bits-1)-1].
     void set_code(std::int32_t code);

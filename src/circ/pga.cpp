@@ -15,6 +15,12 @@ double ProgrammableGainStage::process(double in) {
     return std::clamp(gain() * in, -saturation_, saturation_);
 }
 
+void ProgrammableGainStage::process_block(std::span<double> inout) {
+    const double g = gain();
+    const double sat = saturation_;
+    for (double& v : inout) v = std::clamp(g * v, -sat, sat);
+}
+
 void ProgrammableGainStage::set_setting(std::size_t index) {
     CBS_EXPECTS(index < gain_settings.size());
     setting_ = index;

@@ -18,6 +18,7 @@ public:
     explicit ProgrammableGainStage(Voltage saturation = Voltage{2.5});
 
     double process(double in) override;
+    void process_block(std::span<double> inout) override;
 
     void set_setting(std::size_t index);
     [[nodiscard]] std::size_t setting() const { return setting_; }

@@ -14,12 +14,6 @@ PhaseShifter::PhaseShifter(Frequency center, double sample_rate_hz) : fs_(sample
     scale_ = 1.0 / (2.0 * std::sin(constants::pi * center.value() / sample_rate_hz));
 }
 
-double PhaseShifter::process(double in) {
-    const double out = scale_ * (in - prev_);
-    prev_ = in;
-    return out;
-}
-
 double PhaseShifter::magnitude(Frequency f) const {
     return scale_ * 2.0 * std::sin(constants::pi * f.value() / fs_);
 }

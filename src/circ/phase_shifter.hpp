@@ -18,7 +18,21 @@ public:
     /// `center` is the frequency at which the magnitude is ~1.
     PhaseShifter(Frequency center, double sample_rate_hz);
 
-    double process(double in) override;
+    double process(double in) override {
+        const double out = scale_ * (in - prev_);
+        prev_ = in;
+        return out;
+    }
+    void process_block(std::span<double> inout) override {
+        const double scale = scale_;
+        double prev = prev_;
+        for (double& v : inout) {
+            const double out = scale * (v - prev);
+            prev = v;
+            v = out;
+        }
+        prev_ = prev;
+    }
     void reset() override { prev_ = 0.0; }
 
     /// Magnitude response at f: |H| = sin(pi f / fs) / sin(pi fc / fs)

@@ -13,6 +13,10 @@ public:
     VariableGainAmplifier(double min_gain_db, double max_gain_db);
 
     double process(double in) override { return gain_linear_ * in; }
+    void process_block(std::span<double> inout) override {
+        const double g = gain_linear_;
+        for (double& v : inout) v = g * v;
+    }
 
     /// control in [0,1] maps linearly in dB between min and max.
     void set_control(double control);

@@ -1,10 +1,12 @@
 #include "core/resonant_sensor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/batch.hpp"
 #include "util/constants.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
@@ -177,6 +179,70 @@ void ResonantCantileverSystem::tick(double dt) {
     t_ += dt;
 }
 
+void ResonantCantileverSystem::run_batch(std::size_t n,
+                                         std::vector<daq::FrequencyMeasurement>& out) {
+    // The loop is a feedback system, so the ticks themselves stay serial;
+    // the batch pays the per-tick overheads once instead of n times:
+    //  * every generator runs on the fast bulk engine (same word stream),
+    //    with the draws interleaved into the serial loop where out-of-order
+    //    execution hides them in the feedback chain's dependency stalls,
+    //  * the bridge solves both outputs from one set of arm resistances,
+    //  * loop invariants are hoisted out of the tick,
+    //  * the readout filter runs as a second pass, off the feedback path,
+    //  * the counter and trace each get one batched append.
+    // Every arithmetic step matches tick() exactly — bit-identity is the
+    // contract (DESIGN.md §9), locked by the batch-size-sweep tests.
+    force_raw_.resize(n);
+    force_rng_.fill_raw_normal(force_raw_);
+    bridge_thermal_.prefetch(n);
+    dda_.prefetch_noise(n);
+    const std::size_t offset = (flicker_stride_ - flicker_counter_ % flicker_stride_)
+                               % flicker_stride_;
+    if (offset < n) bridge_flicker_.prefetch(1 + (n - 1 - offset) / flicker_stride_);
+    t_scratch_.resize(n);
+    x_scratch_.resize(n);
+    readout_scratch_.resize(n);
+    const double half_bias = cfg_.bridge.bias.value() / 2.0;
+    const double sigma = force_noise_sigma_;
+    for (std::size_t j = 0; j < n; ++j) {
+        const double x = resonator_.displacement().value();
+        bridge_.set_sense_delta(std::max(drr_per_metre_ * x, -0.99));
+        const auto [diff, cm] = bridge_.output_pair();
+        double v = bridge_thermal_.process(diff.value());
+        if (flicker_counter_++ % flicker_stride_ == 0) {
+            flicker_value_ = bridge_flicker_.process(0.0);
+        }
+        v += flicker_value_;
+        // Header-inline kernels of the per-sample blocks (each bit-identical
+        // to its process() counterpart): the whole serial chain fuses into
+        // this loop, so filter/amplifier/resonator state lives in registers
+        // across the batch instead of round-tripping through memory at
+        // every out-of-line call.
+        v = dda_.process_pair_fast(v, cm.value() - half_bias);
+        v = loop_bandpass_.process(v);
+        v = hp1_.process(v);
+        v = hp2_.process(v);
+        v = phase_shifter_.process(v);
+        v = vga_.process(v);
+        v = limiter_.process_saturating(v);
+        (void)buffer_.process_sample(v);
+        const double f_drive = actuator_.force(buffer_.load_current()).value();
+        const double f_noise = force_raw_[j] * sigma + 0.0;  // == normal(0, sigma)
+        resonator_.step_exact_inline(f_drive + f_noise, dt_);
+        readout_scratch_[j] = v;
+        t_scratch_[j] = t_;
+        x_scratch_[j] = x;
+        t_ += dt_;
+    }
+    // Readout is outside the feedback loop: filtering the stored limiter
+    // outputs in a second pass sees the same input sequence as the inline
+    // call in tick() (bit-identical filter state), and keeps the biquad's
+    // latency off the serial chain above.
+    readout_bandpass_.process_block(readout_scratch_);
+    if (counter_.feed_block(t_scratch_, readout_scratch_, out) != 0) last_ = out.back();
+    displacement_trace_.push_block(t_scratch_, x_scratch_);
+}
+
 std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time duration) {
     CBS_EXPECTS(duration.value() > 0.0);
     const obs::ScopedTimer span("resonant.run", "core");
@@ -197,21 +263,53 @@ std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time durati
     using clock = std::chrono::steady_clock;
     // Binding advances in coarse sub-intervals; the loop retunes after each.
     const std::size_t bio_stride = std::max<std::size_t>(1, static_cast<std::size_t>(fs_ * 0.01));
-    for (std::size_t i = 0; i < steps; ++i) {
-        if (timed && obs_timing_phase_++ % kTimingStride == 0) {
-            const auto t0 = clock::now();
-            tick(dt_);
-            obs_tick_hist_->observe(
-                std::chrono::duration<double, std::nano>(clock::now() - t0).count());
-        } else {
-            tick(dt_);
+    const std::size_t batch = sim::batch_size();
+    if (batch > 1) {
+        // Batched stepping (bit-identical to the per-tick loop below; see
+        // run_batch). Batches are clamped to the bio sub-interval boundary
+        // so kinetics advance at exactly the same step indices. Timing is
+        // observed per batch as wall time / n, keeping the histogram in
+        // ns-per-tick units; two clock reads per batch are cheap enough to
+        // time every batch instead of sampling 1-in-61.
+        std::size_t i = 0;
+        while (i < steps) {
+            const std::size_t n = std::min({batch, steps - i, bio_stride - i % bio_stride});
+            if (timed) {
+                const auto t0 = clock::now();
+                run_batch(n, out);
+                obs_tick_hist_->observe(
+                    std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
+                    static_cast<double>(n));
+            } else {
+                run_batch(n, out);
+            }
+            i += n;
+            if (i % bio_stride == 0) {
+                const double theta_next =
+                    kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
+                if (std::abs(theta_next - theta_) > 1e-9) {
+                    theta_ = theta_next;
+                    retune();
+                }
+            }
         }
-        if ((i + 1) % bio_stride == 0) {
-            const double theta_next =
-                kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
-            if (std::abs(theta_next - theta_) > 1e-9) {
-                theta_ = theta_next;
-                retune();
+    } else {
+        for (std::size_t i = 0; i < steps; ++i) {
+            if (timed && obs_timing_phase_++ % kTimingStride == 0) {
+                const auto t0 = clock::now();
+                tick(dt_);
+                obs_tick_hist_->observe(
+                    std::chrono::duration<double, std::nano>(clock::now() - t0).count());
+            } else {
+                tick(dt_);
+            }
+            if ((i + 1) % bio_stride == 0) {
+                const double theta_next =
+                    kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
+                if (std::abs(theta_next - theta_) > 1e-9) {
+                    theta_ = theta_next;
+                    retune();
+                }
             }
         }
     }

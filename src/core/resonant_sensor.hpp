@@ -121,6 +121,10 @@ private:
     void retune();
     /// One loop tick.
     void tick(double dt);
+    /// `n` consecutive loop ticks with the per-tick invariants hoisted and
+    /// the noise draws prefetched in bulk — bit-identical to n tick() calls
+    /// (DESIGN.md §9). Completed counter gates are appended to `out`.
+    void run_batch(std::size_t n, std::vector<daq::FrequencyMeasurement>& out);
 
     ResonantSensorConfig cfg_;
     mech::EulerBernoulliBeam beam_;
@@ -174,6 +178,12 @@ private:
 
     double t_ = 0.0;
     std::vector<daq::FrequencyMeasurement>* sink_ = nullptr;
+
+    // Batched-path scratch (sized per batch, reused across batches).
+    std::vector<double> force_raw_;
+    std::vector<double> t_scratch_;
+    std::vector<double> x_scratch_;
+    std::vector<double> readout_scratch_;
 
     // Observability: metric pointers resolved once at construction so run()
     // never pays a registry lookup; the timing phase persists across run()

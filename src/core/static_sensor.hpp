@@ -138,6 +138,10 @@ private:
     circ::SarAdc adc_;
     circ::WhiteNoise bridge_noise_;
     double sim_time_ = 0.0;
+    /// Batched-path scratch: the chain's sample block, run stage-major
+    /// (the chain is feed-forward, so stage-major equals sample-major
+    /// bit-for-bit — each stage sees exactly the same input sequence).
+    std::vector<double> chain_buf_;
 
     // Observability: metric pointers resolved once at construction; the
     // timing phase persists across acquire() calls so the 1-in-61

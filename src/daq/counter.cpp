@@ -73,6 +73,19 @@ std::optional<FrequencyMeasurement> GatedCounter::feed(double t, double v) {
     return std::nullopt;
 }
 
+std::size_t GatedCounter::feed_block(std::span<const double> t, std::span<const double> v,
+                                     std::vector<FrequencyMeasurement>& out) {
+    CBS_EXPECTS(t.size() == v.size());
+    std::size_t appended = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (auto m = feed(t[i], v[i])) {
+            out.push_back(*m);
+            ++appended;
+        }
+    }
+    return appended;
+}
+
 void GatedCounter::reset() {
     zcd_.reset();
     started_ = false;
@@ -118,6 +131,19 @@ std::optional<FrequencyMeasurement> ReciprocalCounter::feed(double t, double v) 
         return out;
     }
     return std::nullopt;
+}
+
+std::size_t ReciprocalCounter::feed_block(std::span<const double> t, std::span<const double> v,
+                                          std::vector<FrequencyMeasurement>& out) {
+    CBS_EXPECTS(t.size() == v.size());
+    std::size_t appended = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (auto m = feed(t[i], v[i])) {
+            out.push_back(*m);
+            ++appended;
+        }
+    }
+    return appended;
 }
 
 void ReciprocalCounter::reset() {

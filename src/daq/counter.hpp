@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/units.hpp"
@@ -52,6 +54,14 @@ public:
     /// Feeds one sample; returns a measurement when a gate completes.
     std::optional<FrequencyMeasurement> feed(double t, double v);
 
+    /// Batched entry: equivalent to feed(t[i], v[i]) for each i in order;
+    /// completed-gate measurements are appended to `out`. Detector and gate
+    /// state carry across calls, so splitting a sample stream into batches
+    /// at any boundary yields the same measurements (same edge counts and
+    /// interpolated timestamps). Returns the number appended.
+    std::size_t feed_block(std::span<const double> t, std::span<const double> v,
+                           std::vector<FrequencyMeasurement>& out);
+
     [[nodiscard]] Time gate() const { return Time{gate_}; }
     /// Worst-case quantization resolution of this architecture.
     [[nodiscard]] Frequency resolution() const { return Frequency{1.0 / gate_}; }
@@ -75,6 +85,10 @@ public:
     ReciprocalCounter(Time gate, double hysteresis = 0.0);
 
     std::optional<FrequencyMeasurement> feed(double t, double v);
+
+    /// Batched entry; same contract as GatedCounter::feed_block.
+    std::size_t feed_block(std::span<const double> t, std::span<const double> v,
+                           std::vector<FrequencyMeasurement>& out);
 
     [[nodiscard]] Time gate() const { return Time{gate_}; }
 

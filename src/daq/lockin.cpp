@@ -29,6 +29,24 @@ void LockInAmplifier::feed(double t, double v) {
     }
 }
 
+void LockInAmplifier::feed_block(std::span<const double> t, std::span<const double> v) {
+    CBS_EXPECTS(t.size() == v.size());
+    const std::size_t n = v.size();
+    // (2.0 * pi) * f_ref_ hoisted: same left-to-right association as the
+    // scalar feed's 2.0 * pi * f_ref_ * t, so ph is bit-identical.
+    const double w = 2.0 * constants::pi * f_ref_;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double ph = w * t[k];
+        i_ = lp_i_.process(v[k] * std::sin(ph));
+        q_ = lp_q_.process(v[k] * std::cos(ph));
+    }
+    samples_since_reset_ += n;
+    if (n != 0 && obs::enabled()) {
+        obs_samples_->add(n);
+        obs_settled_->set(static_cast<double>(samples_since_reset_));
+    }
+}
+
 double LockInAmplifier::magnitude() const { return 2.0 * std::hypot(i_, q_); }
 
 double LockInAmplifier::phase() const { return std::atan2(q_, i_); }

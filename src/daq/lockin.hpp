@@ -3,6 +3,8 @@
 // frequency, e.g. when sweeping an open-loop frequency response.
 #pragma once
 
+#include <span>
+
 #include "circ/filters.hpp"
 #include "obs/metrics.hpp"
 #include "util/units.hpp"
@@ -15,6 +17,11 @@ public:
 
     /// Feeds one input sample at time t (uses its own phase accumulator).
     void feed(double t, double v);
+
+    /// Batched entry: bit-identical to feed(t[i], v[i]) for each i in
+    /// order, with the per-sample observability bookkeeping hoisted to one
+    /// counter add / gauge set per batch (same totals, same final value).
+    void feed_block(std::span<const double> t, std::span<const double> v);
 
     /// In-phase and quadrature outputs (after the output filters).
     [[nodiscard]] double i() const { return i_; }

@@ -48,7 +48,7 @@ DeviceSample ProcessMonteCarlo::sample(Rng& rng) const {
 }
 
 MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolerance) const {
-    return run_seeded(n, rng.engine()(), f0_tolerance, &exec::ThreadPool::shared());
+    return run_seeded(n, rng.raw_word(), f0_tolerance, &exec::ThreadPool::shared());
 }
 
 namespace {

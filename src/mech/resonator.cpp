@@ -21,6 +21,8 @@ ModalResonator::ModalResonator(const ResonatorParams& params) : params_(params) 
     CBS_EXPECTS(params.omega0.value() > 0.0);
     CBS_EXPECTS(params.q > 0.0);
     CBS_EXPECTS(params.effective_mass.value() > 0.0);
+    const double w0 = params_.omega0.value();
+    stiff_ = params_.effective_mass.value() * w0 * w0;
 }
 
 void ModalResonator::set_state(Length x, Velocity v) {
@@ -33,6 +35,8 @@ void ModalResonator::set_params(const ResonatorParams& params) {
     CBS_EXPECTS(params.q > 0.0);
     CBS_EXPECTS(params.effective_mass.value() > 0.0);
     params_ = params;
+    const double w0 = params_.omega0.value();
+    stiff_ = params_.effective_mass.value() * w0 * w0;
     cached_dt_ = -1.0;  // invalidate propagator
 }
 
@@ -57,16 +61,10 @@ void ModalResonator::refresh_propagator(double dt) {
 }
 
 void ModalResonator::step_exact(Force f, Time dt) {
-    CBS_EXPECTS(dt.value() > 0.0);
-    refresh_propagator(dt.value());
-    const double w0 = params_.omega0.value();
-    const double xp = f.value() / (params_.effective_mass.value() * w0 * w0);
-    // Shift to the particular solution, propagate homogeneous, shift back.
-    const double u = x_ - xp;
-    const double nu = p11_ * u + p12_ * v_;
-    const double nv = p21_ * u + p22_ * v_;
-    x_ = nu + xp;
-    v_ = nv;
+    // Shift to the particular solution, propagate homogeneous, shift back —
+    // the shared inline kernel (stiff_ caches the original per-call
+    // m*w0*w0 denominator bit for bit).
+    step_exact_inline(f.value(), dt.value());
 }
 
 void ModalResonator::step_rk4(Force f, Time dt) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "mech/beam.hpp"
+#include "util/expect.hpp"
 #include "util/units.hpp"
 
 namespace cbs::mech {
@@ -46,6 +47,21 @@ public:
     /// (exact ZOH discretization).
     void step_exact(Force f, Time dt);
 
+    /// Batched-path kernel, bit-identical to step_exact(): header-inline so
+    /// the 2x2 propagation and the (x, v) state stay in registers across a
+    /// batch loop. The propagator refresh (cold: only runs when dt or the
+    /// parameters changed) stays out of line.
+    void step_exact_inline(double f_newton, double dt_s) {
+        CBS_EXPECTS(dt_s > 0.0);
+        if (dt_s != cached_dt_) refresh_propagator(dt_s);
+        const double xp = f_newton / stiff_;
+        const double u = x_ - xp;
+        const double nu = p11_ * u + p12_ * v_;
+        const double nv = p21_ * u + p22_ * v_;
+        x_ = nu + xp;
+        v_ = nv;
+    }
+
     /// Advance one step with RK4 (for cross-checking the exact update).
     void step_rk4(Force f, Time dt);
 
@@ -60,6 +76,9 @@ private:
     void refresh_propagator(double dt);
     double cached_dt_ = -1.0;
     double p11_ = 1.0, p12_ = 0.0, p21_ = 0.0, p22_ = 1.0;
+    // Modal stiffness m*w0*w0, cached with the exact association the step
+    // originally evaluated per call so f/stiff_ is bit-identical to it.
+    double stiff_ = 1.0;
 };
 
 }  // namespace cbs::mech

@@ -1,0 +1,42 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace cbs::sim {
+
+namespace {
+
+constexpr std::size_t kMaxBatchSize = std::size_t{1} << 20;
+
+std::size_t env_batch_size() {
+    static const std::size_t parsed = [] {
+        const char* raw = std::getenv("CBS_BATCH");
+        if (raw == nullptr || raw[0] == '\0') return kDefaultBatchSize;
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(raw, &end, 10);
+        if (end == raw || *end != '\0') return kDefaultBatchSize;
+        return std::clamp<std::size_t>(static_cast<std::size_t>(v), 1, kMaxBatchSize);
+    }();
+    return parsed;
+}
+
+std::atomic<std::size_t>& override_slot() {
+    static std::atomic<std::size_t> slot{0};
+    return slot;
+}
+
+}  // namespace
+
+std::size_t batch_size() {
+    const std::size_t forced = override_slot().load(std::memory_order_relaxed);
+    return forced != 0 ? forced : env_batch_size();
+}
+
+void set_batch_size(std::size_t n) {
+    override_slot().store(std::min(n, kMaxBatchSize), std::memory_order_relaxed);
+}
+
+}  // namespace cbs::sim

@@ -32,6 +32,19 @@ public:
     /// Registers a per-tick process; called as f(t, dt) every step.
     void add_process(std::string name, std::function<void(double t, double dt)> tick);
 
+    /// Registers a process with an additional batched form: when the
+    /// scheduler runs in batched mode (sim::batch_size() > 1 and at least
+    /// one process registered a tick_block), the process is driven as
+    /// tick_block(t0, dt, n) — n consecutive samples starting at t0 — and
+    /// must produce bit-identical state to n per-tick calls. Processes
+    /// without a batched form are stepped per tick inside each batch.
+    /// Batched mode runs each process over the whole batch before the
+    /// next process (instead of interleaving per sample), which is
+    /// equivalent for the feed-forward registration order the scheduler
+    /// already assumes; CBS_BATCH=1 restores the exact legacy interleave.
+    void add_process(std::string name, std::function<void(double t, double dt)> tick,
+                     std::function<void(double t0, double dt, std::size_t n)> tick_block);
+
     /// Runs for a duration (rounded to the nearest whole step).
     void run(Time duration);
     /// Runs an exact number of steps.
@@ -56,13 +69,17 @@ private:
     std::string metrics_scope_;
     double t_ = 0.0;
     std::size_t steps_ = 0;
+    void run_steps_batched(std::size_t steps, std::size_t batch);
+
     struct Process {
         std::string name;
         std::function<void(double, double)> tick;
+        std::function<void(double, double, std::size_t)> tick_block;  ///< optional batched form
         obs::Histogram* wall_ns;  ///< registry histogram `proc.<name>`
         std::uint64_t ticks = 0;
     };
     std::vector<Process> processes_;
+    bool any_tick_block_ = false;
 };
 
 }  // namespace cbs::sim

@@ -19,6 +19,18 @@ void Trace::push(double t, double v) {
     }
 }
 
+void Trace::push_block(std::span<const double> t, std::span<const double> v) {
+    CBS_EXPECTS(t.size() == v.size());
+    const std::size_t n = v.size();
+    if (mode_ == Mode::subsample && decimation_ == 1) {
+        times_.insert(times_.end(), t.begin(), t.end());
+        values_.insert(values_.end(), v.begin(), v.end());
+        count_ = 0;
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) push(t[i], v[i]);
+}
+
 void Trace::clear() {
     times_.clear();
     values_.clear();

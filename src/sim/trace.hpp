@@ -20,6 +20,9 @@ public:
     explicit Trace(std::size_t decimation = 1, Mode mode = Mode::subsample);
 
     void push(double t, double v);
+    /// Batched append: equivalent to push(t[i], v[i]) for each i in order
+    /// (same decimation/averaging state walk), one call per batch.
+    void push_block(std::span<const double> t, std::span<const double> v);
 
     [[nodiscard]] std::span<const double> times() const { return times_; }
     [[nodiscard]] std::span<const double> values() const { return values_; }

@@ -123,7 +123,9 @@ TEST_P(PhaseShifterProperties, GainProportionalToFrequency) {
     const double expected =
         std::sin(constants::pi * fc / 2.0 / kFs) / std::sin(constants::pi * fc / kFs);
     EXPECT_NEAR(ps.magnitude(Frequency{fc / 2.0}), expected, 1e-9);
-    if (fc < kFs / 8.0) EXPECT_NEAR(expected, 0.5, 0.02);
+    if (fc < kFs / 8.0) {
+        EXPECT_NEAR(expected, 0.5, 0.02);
+    }
 }
 
 TEST_P(PhaseShifterProperties, OutputLeadsInputByNinetyDegrees) {

@@ -1,0 +1,102 @@
+// System-level batched-path equivalence (DESIGN.md §9): a full resonant
+// closed-loop run and a full static-chain acquisition must produce
+// BIT-IDENTICAL results at every batch size — noise enabled, bio kinetics
+// advancing — because the batched loops replicate the per-sample arithmetic
+// and RNG draw order exactly. CBS_BATCH=1 is the legacy per-sample path, so
+// batch 1 vs {2, 7, 64, 1024} is per-sample vs batched.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/resonant_sensor.hpp"
+#include "core/static_sensor.hpp"
+#include "daq/counter.hpp"
+#include "sim/batch.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cbs;
+
+constexpr std::size_t kBatchSizes[] = {2, 7, 64, 1024};
+
+struct BatchSizeGuard {
+    explicit BatchSizeGuard(std::size_t n) { sim::set_batch_size(n); }
+    ~BatchSizeGuard() { sim::set_batch_size(0); }
+};
+
+struct ResonantResult {
+    std::vector<daq::FrequencyMeasurement> measurements;
+    double amplitude_m = 0.0;
+    double coverage = 0.0;
+};
+
+ResonantResult run_resonant(std::size_t batch) {
+    BatchSizeGuard guard(batch);
+    core::ResonantSensorConfig cfg;
+    cfg.counter_gate = Time{0.02};
+    core::ResonantCantileverSystem system(cfg, Rng(2026));
+    system.set_concentration(MolarConcentration{1e-9});
+    ResonantResult r;
+    r.measurements = system.run(Time{0.05});
+    r.amplitude_m = system.oscillation_amplitude().value();
+    r.coverage = system.coverage();
+    return r;
+}
+
+TEST(SystemBatchEquivalence, ResonantLoopBitIdenticalAcrossBatchSizes) {
+    const ResonantResult reference = run_resonant(1);
+    ASSERT_GE(reference.measurements.size(), 1u);
+    for (const std::size_t batch : kBatchSizes) {
+        const ResonantResult r = run_resonant(batch);
+        ASSERT_EQ(r.measurements.size(), reference.measurements.size()) << "batch " << batch;
+        for (std::size_t i = 0; i < r.measurements.size(); ++i) {
+            EXPECT_EQ(r.measurements[i].frequency_hz, reference.measurements[i].frequency_hz)
+                << "batch " << batch << " measurement " << i;
+            EXPECT_EQ(r.measurements[i].gate_start, reference.measurements[i].gate_start);
+            EXPECT_EQ(r.measurements[i].gate_end, reference.measurements[i].gate_end);
+            EXPECT_EQ(r.measurements[i].edges, reference.measurements[i].edges);
+        }
+        EXPECT_EQ(r.amplitude_m, reference.amplitude_m) << "batch " << batch;
+        EXPECT_EQ(r.coverage, reference.coverage) << "batch " << batch;
+    }
+}
+
+struct StaticResult {
+    std::array<double, core::StaticCantileverSystem::channel_count> outputs{};
+    std::array<double, core::StaticCantileverSystem::channel_count> stresses{};
+};
+
+StaticResult run_static(std::size_t batch) {
+    BatchSizeGuard guard(batch);
+    core::StaticSensorConfig cfg;
+    core::StaticCantileverSystem system(cfg, Rng(7));
+    system.calibrate_offsets(Time{2e-3}, Time{2e-3});
+    system.set_concentration(MolarConcentration{5e-9});
+    system.advance_binding(Time{120.0});
+    StaticResult r;
+    for (std::size_t k = 0; k < core::StaticCantileverSystem::channel_count; ++k) {
+        const auto reading = system.read_channel(k, Time{2e-3}, Time{4e-3});
+        r.outputs[k] = reading.output.value();
+        r.stresses[k] = reading.stress.value();
+    }
+    return r;
+}
+
+TEST(SystemBatchEquivalence, StaticChainBitIdenticalAcrossBatchSizes) {
+    const StaticResult reference = run_static(1);
+    for (const std::size_t batch : kBatchSizes) {
+        const StaticResult r = run_static(batch);
+        for (std::size_t k = 0; k < core::StaticCantileverSystem::channel_count; ++k) {
+            EXPECT_EQ(r.outputs[k], reference.outputs[k])
+                << "batch " << batch << " channel " << k;
+            EXPECT_EQ(r.stresses[k], reference.stresses[k])
+                << "batch " << batch << " channel " << k;
+        }
+    }
+}
+
+}  // namespace

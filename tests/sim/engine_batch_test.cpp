@@ -1,0 +1,143 @@
+// Batched scheduler stepping: tick_block registration, the per-tick
+// fallback inside a batch, and the CBS_BATCH override plumbing.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cbs;
+
+/// Restores the environment-derived batch size on scope exit.
+struct BatchSizeGuard {
+    explicit BatchSizeGuard(std::size_t n) { sim::set_batch_size(n); }
+    ~BatchSizeGuard() { sim::set_batch_size(0); }
+};
+
+TEST(BatchSize, OverrideAndRevert) {
+    {
+        BatchSizeGuard guard(5);
+        EXPECT_EQ(sim::batch_size(), 5u);
+    }
+    EXPECT_GE(sim::batch_size(), 1u);  // back to env/default
+}
+
+TEST(SimulationBatch, TickBlockReceivesWholeRunInBatches) {
+    BatchSizeGuard guard(8);
+    sim::Simulation simulation(1000.0, "simbatchtest1");
+    std::vector<std::pair<double, std::size_t>> calls;  // (t0, n)
+    simulation.add_process(
+        "blocky", [](double, double) { FAIL() << "scalar tick must not be used"; },
+        [&](double t0, double dt, std::size_t n) {
+            EXPECT_DOUBLE_EQ(dt, 1e-3);
+            calls.emplace_back(t0, n);
+        });
+    simulation.run_steps(20);
+    ASSERT_EQ(calls.size(), 3u);  // 8 + 8 + 4
+    EXPECT_DOUBLE_EQ(calls[0].first, 0.0);
+    EXPECT_EQ(calls[0].second, 8u);
+    EXPECT_DOUBLE_EQ(calls[1].first, 8.0 * 1e-3);
+    EXPECT_EQ(calls[1].second, 8u);
+    EXPECT_DOUBLE_EQ(calls[2].first, 16.0 * 1e-3);
+    EXPECT_EQ(calls[2].second, 4u);
+    EXPECT_EQ(simulation.step_count(), 20u);
+    EXPECT_DOUBLE_EQ(simulation.time(), 20.0 * 1e-3);
+}
+
+TEST(SimulationBatch, PerTickFallbackReproducesExactTimeSequence) {
+    // A plain-tick process inside a batched simulation must see the same t
+    // values, in the same order, as an unbatched run.
+    std::vector<double> batched_ts;
+    {
+        BatchSizeGuard guard(7);
+        sim::Simulation simulation(999.0, "simbatchtest2");
+        simulation.add_process(
+            "blocky", [](double, double) {}, [](double, double, std::size_t) {});
+        simulation.add_process("scalar", [&](double t, double) { batched_ts.push_back(t); });
+        simulation.run_steps(25);
+    }
+    std::vector<double> reference_ts;
+    {
+        BatchSizeGuard guard(1);
+        sim::Simulation simulation(999.0, "simbatchtest3");
+        simulation.add_process("scalar", [&](double t, double) { reference_ts.push_back(t); });
+        simulation.run_steps(25);
+    }
+    ASSERT_EQ(batched_ts.size(), reference_ts.size());
+    for (std::size_t i = 0; i < batched_ts.size(); ++i) {
+        EXPECT_EQ(batched_ts[i], reference_ts[i]) << "tick " << i;  // bitwise
+    }
+}
+
+TEST(SimulationBatch, PlainProcessesKeepLegacyInterleaving) {
+    // With no tick_block registered, batching must NOT engage: processes
+    // stay interleaved per sample in registration order.
+    BatchSizeGuard guard(64);
+    sim::Simulation simulation(100.0, "simbatchtest4");
+    std::vector<int> order;
+    simulation.add_process("first", [&](double, double) { order.push_back(1); });
+    simulation.add_process("second", [&](double, double) { order.push_back(2); });
+    simulation.run_steps(3);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(SimulationBatch, TickCountsAreExactInBatchedMode) {
+    BatchSizeGuard guard(16);
+    sim::Simulation simulation(100.0, "simbatchtest5");
+    simulation.add_process(
+        "blocky", [](double, double) {}, [](double, double, std::size_t) {});
+    simulation.add_process("scalar", [](double, double) {});
+    simulation.run_steps(50);
+    for (const auto& [name, ticks] : simulation.tick_counts()) {
+        EXPECT_EQ(ticks, 50u) << name;
+    }
+}
+
+TEST(SimulationBatch, BatchSizeOneMatchesLegacyPathExactly) {
+    // CBS_BATCH=1 must take the legacy per-step loop even when tick_block
+    // is registered (the block form is never called).
+    BatchSizeGuard guard(1);
+    sim::Simulation simulation(1000.0, "simbatchtest6");
+    std::size_t scalar_calls = 0;
+    simulation.add_process(
+        "blocky", [&](double, double) { ++scalar_calls; },
+        [](double, double, std::size_t) { FAIL() << "block form must not run at batch 1"; });
+    simulation.run_steps(10);
+    EXPECT_EQ(scalar_calls, 10u);
+}
+
+TEST(TracePushBlock, MatchesPerSamplePushAcrossModes) {
+    for (const auto mode : {sim::Trace::Mode::subsample, sim::Trace::Mode::average}) {
+        for (const std::size_t decimation : {1, 3, 16}) {
+            sim::Trace reference(decimation, mode);
+            sim::Trace batched(decimation, mode);
+            std::vector<double> t(100);
+            std::vector<double> v(100);
+            for (std::size_t i = 0; i < t.size(); ++i) {
+                t[i] = static_cast<double>(i) * 0.25;
+                v[i] = static_cast<double>(i % 13) - 6.0;
+            }
+            for (std::size_t i = 0; i < t.size(); ++i) reference.push(t[i], v[i]);
+            const std::span<const double> ts(t);
+            const std::span<const double> vs(v);
+            for (std::size_t i = 0; i < t.size(); i += 7) {
+                const std::size_t n = std::min<std::size_t>(7, t.size() - i);
+                batched.push_block(ts.subspan(i, n), vs.subspan(i, n));
+            }
+            ASSERT_EQ(reference.size(), batched.size());
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                EXPECT_EQ(reference.times()[i], batched.times()[i]);
+                EXPECT_EQ(reference.values()[i], batched.values()[i]);
+            }
+        }
+    }
+}
+
+}  // namespace

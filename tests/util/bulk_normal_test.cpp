@@ -1,0 +1,166 @@
+// Bulk normal generation must be bit-identical to the per-sample
+// std::normal_distribution draws it replaces: `fill_raw_normal` hands back
+// raw N(0,1) variates whose `raw * sigma + mean` is exactly the
+// distribution's own final operation, so a prefetched sequence reproduces a
+// seeded per-sample sequence bit for bit. (On a standard library whose
+// normal_distribution is not the Marsaglia polar method, the generator
+// detects the mismatch at startup and falls back to per-draw
+// std::normal_distribution — in which case these tests still hold.)
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace {
+
+using cbs::Rng;
+
+TEST(BulkNormal, RawTimesSigmaPlusMeanMatchesNormalBitwise) {
+    for (const auto seed : {1ULL, 7ULL, 2026ULL}) {
+        for (const double sigma : {1.0, 3.7e-9, 42.0}) {
+            for (const double mean : {0.0, 0.1}) {
+                Rng bulk(seed);
+                Rng scalar(seed);
+                std::vector<double> raw(1000);
+                bulk.fill_raw_normal(raw);
+                for (std::size_t i = 0; i < raw.size(); ++i) {
+                    const double from_raw = raw[i] * sigma + mean;
+                    const double from_scalar = scalar.normal(mean, sigma);
+                    ASSERT_EQ(std::bit_cast<std::uint64_t>(from_raw),
+                              std::bit_cast<std::uint64_t>(from_scalar))
+                        << "draw " << i << " seed " << seed << " sigma " << sigma;
+                }
+            }
+        }
+    }
+}
+
+TEST(BulkNormal, ChunkedFillsMatchOneBigFill) {
+    Rng chunked(99);
+    Rng whole(99);
+    std::vector<double> a(1024);
+    std::vector<double> b(1024);
+    whole.fill_raw_normal(b);
+    std::span<double> span(a);
+    for (std::size_t i = 0; i < a.size(); i += 37) {
+        chunked.fill_raw_normal(span.subspan(i, std::min<std::size_t>(37, a.size() - i)));
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]), std::bit_cast<std::uint64_t>(b[i]))
+            << "draw " << i;
+    }
+}
+
+TEST(BulkNormal, BulkEngineWordIdenticalToStdAcrossRefills) {
+    // The block-regenerating replica must reproduce std::mt19937_64 word for
+    // word from the same seed, across several 312-word refill boundaries.
+    for (const auto seed : {5489ULL /* default */, 1ULL, 0xDEADBEEFULL}) {
+        std::mt19937_64 ref(seed);
+        cbs::detail::BulkMt19937_64 bulk(seed);
+        for (int i = 0; i < 2000; ++i) {
+            ASSERT_EQ(bulk(), ref()) << "word " << i << " seed " << seed;
+        }
+    }
+}
+
+TEST(BulkNormal, ImportContinuesWordStreamAtAnyOffset) {
+    // import() adopts a running standard engine mid-stream by inverting the
+    // tempering; the adopted replica must continue the exact word sequence
+    // from wherever the engine was — including offsets that straddle the
+    // standard engine's own internal 312-word reload.
+    for (const std::size_t offset : {0UL, 1UL, 17UL, 311UL, 312UL, 313UL, 1000UL}) {
+        std::mt19937_64 ref(42);
+        std::mt19937_64 src(42);
+        for (std::size_t i = 0; i < offset; ++i) {
+            (void)ref();
+            (void)src();
+        }
+        auto bulk = cbs::detail::BulkMt19937_64::import(src);
+        for (int i = 0; i < 700; ++i) {
+            ASSERT_EQ(bulk(), ref()) << "word " << i << " after offset " << offset;
+        }
+    }
+}
+
+TEST(BulkNormal, MixedScalarAndBulkDrawsMatchScalarOnlySequence) {
+    // An Rng that interleaves bulk fills with scalar draws (migrating onto
+    // the fast engine at the first fill) must produce the same value
+    // sequence as one that stays scalar throughout: fills consume the
+    // engine exactly like the same number of normal() calls.
+    Rng mixed(123);
+    Rng scalar(123);
+    std::vector<double> seq_mixed;
+    std::vector<double> raw(64);
+    for (int i = 0; i < 3; ++i) seq_mixed.push_back(mixed.normal(0.0, 1.0));
+    mixed.fill_raw_normal(raw);  // migrates here
+    seq_mixed.insert(seq_mixed.end(), raw.begin(), raw.end());
+    for (int i = 0; i < 5; ++i) seq_mixed.push_back(mixed.normal(0.0, 1.0));
+    std::span<double> head(raw.data(), 7);
+    mixed.fill_raw_normal(head);
+    seq_mixed.insert(seq_mixed.end(), head.begin(), head.end());
+    for (const double v : seq_mixed) {
+        const double ref = scalar.normal(0.0, 1.0);
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(v), std::bit_cast<std::uint64_t>(ref));
+    }
+    // Non-normal draws keep matching after migration too.
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(mixed.uniform(0.0, 1.0)),
+              std::bit_cast<std::uint64_t>(scalar.uniform(0.0, 1.0)));
+    ASSERT_EQ(mixed.integer(1000), scalar.integer(1000));
+}
+
+TEST(BulkNormal, ForkAfterMigrationMatchesScalarFork) {
+    Rng migrated(77);
+    Rng plain(77);
+    std::vector<double> raw(10);
+    migrated.fill_raw_normal(raw);
+    for (int i = 0; i < 10; ++i) (void)plain.normal(0.0, 1.0);
+    Rng child_a = migrated.fork();
+    Rng child_b = plain.fork();
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(child_a.normal(0.0, 1.0)),
+                  std::bit_cast<std::uint64_t>(child_b.normal(0.0, 1.0)))
+            << "child draw " << i;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(migrated.normal(0.0, 1.0)),
+                  std::bit_cast<std::uint64_t>(plain.normal(0.0, 1.0)))
+            << "parent draw " << i;
+    }
+}
+
+TEST(BulkNormal, EnsureBulkModeIsDrawTransparent) {
+    // Explicit migration with no fill at all: every distribution keeps
+    // producing the standard-engine sequence bit for bit.
+    Rng fast(9);
+    Rng ref(9);
+    fast.ensure_bulk_mode();
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(fast.normal(0.5, 2.0)),
+                  std::bit_cast<std::uint64_t>(ref.normal(0.5, 2.0)));
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(fast.uniform(-1.0, 1.0)),
+                  std::bit_cast<std::uint64_t>(ref.uniform(-1.0, 1.0)));
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(fast.exponential(3.0)),
+                  std::bit_cast<std::uint64_t>(ref.exponential(3.0)));
+        ASSERT_EQ(fast.integer(97), ref.integer(97));
+        ASSERT_EQ(fast.raw_word(), ref.raw_word());
+    }
+}
+
+TEST(BulkNormal, MomentsAreStandardNormal) {
+    Rng rng(7);
+    std::vector<double> raw(200000);
+    rng.fill_raw_normal(raw);
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (const double r : raw) {
+        sum += r;
+        sumsq += r * r;
+    }
+    const double n = static_cast<double>(raw.size());
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+}  // namespace
