@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "circ/block.hpp"
@@ -206,6 +207,68 @@ void BM_ResonantLoopRun64_ObsSummary(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_ResonantLoopRun64_ObsSummary);
+
+// --- Probe overhead ----------------------------------------------------------
+//
+// Paired rows for the signal-probe tap cost on the static read chain
+// (bridge / chopper / adc taps, 600 samples per read):
+//   Off          — CBS_OBS=off: taps must be free (acceptance: <=1%).
+//   AttachedIdle — probes registered at the tap sites but not armed: the
+//                  per-tap cost is one relaxed atomic load (soft bar: <=5%
+//                  vs Off; CI's bench diff reads these rows).
+//   Recording    — probes armed: full streaming-stats + ring + waveform.
+
+/// Temporarily forces the probe arming spec for one benchmark.
+class ProbeSpecGuard {
+public:
+    explicit ProbeSpecGuard(std::string spec)
+        : prev_(obs::ProbeRegistry::instance().spec()) {
+        obs::ProbeRegistry::instance().set_spec(std::move(spec));
+    }
+    ~ProbeSpecGuard() { obs::ProbeRegistry::instance().set_spec(prev_); }
+
+private:
+    std::string prev_;
+};
+
+void BM_ProbeOverheadStaticChain_Off(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::off);
+    const ProbeSpecGuard spec("");
+    core::StaticSensorConfig cfg;
+    cfg.probe_scope = "bench.probe.off";
+    core::StaticCantileverSystem sensor(cfg, Rng(7));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensor.read_channel(0, Time{1e-3}, Time{2e-3}));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 600));
+}
+BENCHMARK(BM_ProbeOverheadStaticChain_Off)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeOverheadStaticChain_AttachedIdle(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::summary);
+    const ProbeSpecGuard spec("");  // probes exist, none armed
+    core::StaticSensorConfig cfg;
+    cfg.probe_scope = "bench.probe.idle";
+    core::StaticCantileverSystem sensor(cfg, Rng(7));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensor.read_channel(0, Time{1e-3}, Time{2e-3}));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 600));
+}
+BENCHMARK(BM_ProbeOverheadStaticChain_AttachedIdle)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeOverheadStaticChain_Recording(benchmark::State& state) {
+    const ObsLevelGuard guard(obs::Level::summary);
+    const ProbeSpecGuard spec("bench.probe.rec.*");
+    core::StaticSensorConfig cfg;
+    cfg.probe_scope = "bench.probe.rec";
+    core::StaticCantileverSystem sensor(cfg, Rng(7));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensor.read_channel(0, Time{1e-3}, Time{2e-3}));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 600));
+}
+BENCHMARK(BM_ProbeOverheadStaticChain_Recording)->Unit(benchmark::kMicrosecond);
 
 // --- Batched signal path ----------------------------------------------------
 //

@@ -8,9 +8,12 @@
 
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "util/expect.hpp"
 
 namespace cbs::circ {
@@ -50,28 +53,66 @@ public:
         CBS_EXPECTS(block != nullptr);  // same contract as append
         T& ref = *block;
         blocks_.push_back(std::move(block));
+        if (!probe_prefix_.empty()) taps_.push_back(make_tap(blocks_.size() - 1));
         return ref;
     }
 
     void append(std::unique_ptr<Block> block) {
         CBS_EXPECTS(block != nullptr);
         blocks_.push_back(std::move(block));
+        if (!probe_prefix_.empty()) taps_.push_back(make_tap(blocks_.size() - 1));
     }
 
     [[nodiscard]] std::size_t size() const { return blocks_.size(); }
 
+    /// Attaches (and force-arms) one obs::Probe per block boundary, named
+    /// `<prefix>.b<i>` for the output of block i — the software equivalent
+    /// of routing every internal node to the chip's analog probe mux.
+    /// Blocks appended later get their tap on append. Probes only read the
+    /// stream, so processing stays bit-identical with probes attached.
+    void attach_probes(std::string_view prefix) {
+        CBS_EXPECTS(!prefix.empty());
+        probe_prefix_ = std::string(prefix);
+        taps_.clear();
+        for (std::size_t i = 0; i < blocks_.size(); ++i) taps_.push_back(make_tap(i));
+    }
+
+    /// Drops the boundary taps (the registry keeps the probes and their
+    /// recorded history; they just stop receiving samples from this chain).
+    void detach_probes() {
+        probe_prefix_.clear();
+        taps_.clear();
+    }
+
+    [[nodiscard]] bool probes_attached() const { return !taps_.empty(); }
+
     double process(double in) override {
         double v = in;
-        for (auto& b : blocks_) v = b->process(v);
+        if (taps_.empty()) {
+            for (auto& b : blocks_) v = b->process(v);
+            return v;
+        }
+        for (std::size_t i = 0; i < blocks_.size(); ++i) {
+            v = blocks_[i]->process(v);
+            taps_[i]->tap(v);
+        }
         return v;
     }
 
     /// Runs the whole batch through each block in turn. Because every
     /// block's state depends only on its own input stream, block-by-block
     /// traversal produces the same bits as sample-by-sample traversal —
-    /// while paying one virtual call per block per batch.
+    /// while paying one virtual call per block per batch. Boundary taps
+    /// see each block's completed batch (tap_block: one gate per batch).
     void process_block(std::span<double> inout) override {
-        for (auto& b : blocks_) b->process_block(inout);
+        if (taps_.empty()) {
+            for (auto& b : blocks_) b->process_block(inout);
+            return;
+        }
+        for (std::size_t i = 0; i < blocks_.size(); ++i) {
+            blocks_[i]->process_block(inout);
+            taps_[i]->tap_block(inout);
+        }
     }
 
     void reset() override {
@@ -79,7 +120,16 @@ public:
     }
 
 private:
+    obs::Probe* make_tap(std::size_t index) {
+        obs::Probe* p =
+            obs::ProbeRegistry::instance().probe(probe_prefix_ + ".b" + std::to_string(index));
+        p->set_armed(true);
+        return p;
+    }
+
     std::vector<std::unique_ptr<Block>> blocks_;
+    std::string probe_prefix_;
+    std::vector<obs::Probe*> taps_;  // parallel to blocks_ when attached
 };
 
 /// Fixed multiplicative gain (ideal).

@@ -23,6 +23,14 @@ void WhiteNoise::prefetch(std::size_t n) {
 }
 
 void WhiteNoise::process_block(std::span<double> inout) {
+    if (inject_countdown_ != 0) {
+        // Fault injection armed: the injected sample consumes no raw
+        // variate, so the 1:1 raw[i] mapping below would de-sync the seeded
+        // sequence from the per-sample path. Take the scalar path instead —
+        // bit-identity beats speed on a test-only branch.
+        for (double& v : inout) v = process(v);
+        return;
+    }
     prefetch(inout.size());
     const double* raw = buf_.data() + buf_pos_;
     const double sigma = sigma_;

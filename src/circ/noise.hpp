@@ -3,6 +3,8 @@
 // "external interference" that monolithic integration suppresses).
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "circ/block.hpp"
@@ -24,6 +26,9 @@ public:
     /// a seeded sequence — it only moves the draws out of the feedback
     /// loop's critical path.
     double process(double in) override {
+        if (inject_countdown_ != 0 && --inject_countdown_ == 0) {
+            return std::numeric_limits<double>::quiet_NaN();
+        }
         if (buf_pos_ < buf_.size()) return in + (buf_[buf_pos_++] * sigma_ + 0.0);
         return in + rng_.normal(0.0, sigma_);
     }
@@ -35,11 +40,18 @@ public:
 
     [[nodiscard]] double sigma_per_sample() const { return sigma_; }
 
+    /// Fault-injection test hook: the n-th sample from now (1-based)
+    /// becomes NaN, exactly once. Exercises the obs watchdog / flight
+    /// recorder path end to end; never enabled in production configs (cost
+    /// when unused: one predictable branch per sample).
+    void inject_nan_after(std::uint64_t n) { inject_countdown_ = n; }
+
 private:
     double sigma_;
     Rng rng_;
     std::vector<double> buf_;
     std::size_t buf_pos_ = 0;
+    std::uint64_t inject_countdown_ = 0;  // 0 = disabled
 };
 
 /// Streaming 1/f noise: a sum of octave-spaced one-pole-filtered white

@@ -1,7 +1,9 @@
 #include "core/array_sweep.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "util/expect.hpp"
@@ -30,7 +32,16 @@ std::vector<ArrayElementResult> ArraySweep::run(exec::ThreadPool* pool) const {
         if (!r.functional) return r;
         r.fabricated_f0_hz = sample.resonance.value();
 
-        auto sensor = BiosensorChip::from_fabricated(base_, sample, rng.fork());
+        ResonantSensorConfig cfg = base_;
+        std::string scope;
+        if (cfg_.per_element_probes) {
+            // Per-element scope: probes/watchdogs/events for element i land
+            // under "<root>.e<i>.*" — distinct probes, so worker threads
+            // never share a tap.
+            scope = cfg_.probe_scope + ".e" + std::to_string(i);
+            cfg.probe_scope = scope;
+        }
+        auto sensor = BiosensorChip::from_fabricated(cfg, sample, rng.fork());
         CBS_EXPECTS(sensor.has_value());  // functional => constructible
         if (cfg_.preset_coverage > 0.0) sensor->set_coverage(cfg_.preset_coverage);
         r.expected_hz = sensor->expected_resonance().value();
@@ -39,6 +50,10 @@ std::vector<ArrayElementResult> ArraySweep::run(exec::ThreadPool* pool) const {
         if (!gates.empty()) {
             r.measured = true;
             r.measured_hz = gates.back().frequency_hz;
+        }
+        if (cfg_.per_element_probes) {
+            r.fault_events =
+                obs::EventLog::instance().count_for_prefix(scope, obs::Severity::fault);
         }
         return r;
     };
@@ -49,6 +64,7 @@ std::vector<ArrayElementResult> ArraySweep::run(exec::ThreadPool* pool) const {
     registry.counter("array.elements")->add(summary.elements);
     registry.counter("array.functional")->add(summary.functional);
     registry.counter("array.measured")->add(summary.measured);
+    registry.counter("array.faulted")->add(summary.faulted);
     registry.gauge("array.measured_mean_hz")->set(summary.measured_mean_hz);
     return results;
 }
@@ -59,6 +75,7 @@ ArraySweepSummary ArraySweep::summarize(std::span<const ArrayElementResult> resu
     stats::RunningStats measured;
     for (const auto& r : results) {
         if (r.functional) ++s.functional;
+        if (r.fault_events > 0) ++s.faulted;
         if (!r.measured) continue;
         ++s.measured;
         measured.add(r.measured_hz);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/chip.hpp"
@@ -27,6 +28,13 @@ struct ArraySweepConfig {
     Time run_duration{0.25};
     /// Pre-incubated analyte coverage applied before the run (0 = bare).
     double preset_coverage = 0.0;
+    /// Give each element its own obs probe scope (`<probe_scope>.e<i>`) so
+    /// taps, watchdogs and events stay separable per element; off by
+    /// default because a large sweep would otherwise register
+    /// 3 * elements probes.
+    bool per_element_probes = false;
+    /// Probe scope root used when per_element_probes is set.
+    std::string probe_scope = "array";
 };
 
 /// Outcome of one array element, keyed by its index.
@@ -38,12 +46,16 @@ struct ArrayElementResult {
     double expected_hz = 0.0;       ///< loaded resonance the loop should find
     double measured_hz = 0.0;       ///< last completed counter gate
     double vga_control = 0.0;       ///< auto-gain setting (damping proxy)
+    /// Fault-severity obs events raised under this element's probe scope
+    /// during the run (0 when per_element_probes is off).
+    std::uint64_t fault_events = 0;
 };
 
 struct ArraySweepSummary {
     std::size_t elements = 0;
     std::size_t functional = 0;
     std::size_t measured = 0;
+    std::size_t faulted = 0;  ///< elements with fault_events > 0
     double measured_mean_hz = 0.0;
     double measured_sigma_hz = 0.0;
     /// Worst relative |measured - expected| over measured elements.

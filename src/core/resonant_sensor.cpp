@@ -66,7 +66,11 @@ ResonantCantileverSystem::ResonantCantileverSystem(const ResonantSensorConfig& c
       displacement_trace_(/*decimation=*/16),
       obs_tick_hist_(obs::MetricsRegistry::instance().histogram("proc.resonant_loop")),
       obs_ticks_(obs::MetricsRegistry::instance().counter("resonant.ticks")),
-      obs_coverage_(obs::MetricsRegistry::instance().gauge("resonant.coverage")) {
+      obs_coverage_(obs::MetricsRegistry::instance().gauge("resonant.coverage")),
+      probe_bridge_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".bridge")),
+      probe_loop_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".loop")),
+      probe_displacement_(
+          obs::ProbeRegistry::instance().probe(config.probe_scope + ".displacement")) {
     CBS_EXPECTS(config.intrinsic_q > 0.0);
     CBS_EXPECTS(config.oversample >= 16.0);
     CBS_EXPECTS(config.loop_gain_target > 1.0);
@@ -84,6 +88,21 @@ ResonantCantileverSystem::ResonantCantileverSystem(const ResonantSensorConfig& c
 
     auto_gain();
     retune();
+
+    // Default health detectors (idempotent per (kind, probe)). The limiter
+    // pins the steady loop amplitude at ~limiter_level, so its |v| envelope
+    // passing a quarter of that level means the loop locked; a later
+    // collapse of the envelope is a lost oscillation. Displacement beyond
+    // 20x the steady amplitude the limiter can sustain means the resonator
+    // state diverged (an exploding filter, a broken dt).
+    const double limit = cfg_.limiter_level.value();
+    probe_loop_->add_watchdog(std::make_unique<obs::LockLossWatchdog>(0.25 * limit));
+    const double amps_per_volt =
+        1.0 / (cfg_.buffer.output_resistance.value() + actuator_.coil_resistance().value());
+    const double x_steady = limit * amps_per_volt * actuator_.force_per_current().value() *
+                            loaded_q() / resonator_.params().modal_stiffness().value();
+    probe_displacement_->add_watchdog(
+        std::make_unique<obs::RangeWatchdog>(-20.0 * x_steady, 20.0 * x_steady));
 }
 
 Frequency ResonantCantileverSystem::expected_resonance() const {
@@ -156,6 +175,7 @@ void ResonantCantileverSystem::tick(double dt) {
         flicker_value_ = bridge_flicker_.process(0.0);
     }
     v += flicker_value_;
+    probe_bridge_->tap(v);
     // 2. Analog loop.
     v = dda_.process_pair(v, bridge_.common_mode().value() - cfg_.bridge.bias.value() / 2.0);
     v = loop_bandpass_.process(v);
@@ -164,6 +184,8 @@ void ResonantCantileverSystem::tick(double dt) {
     v = phase_shifter_.process(v);
     v = vga_.process(v);
     v = limiter_.process(v);
+    probe_loop_->tap(v);
+    probe_displacement_->tap(x);
     const double v_coil = buffer_.process(v);
     (void)v_coil;
     // 3. Actuation + thermomechanical noise -> mechanics.
@@ -213,6 +235,10 @@ void ResonantCantileverSystem::run_batch(std::size_t n,
             flicker_value_ = bridge_flicker_.process(0.0);
         }
         v += flicker_value_;
+        // Per-sample tap (the bridge value is never stored to a scratch
+        // array): disarmed this is one relaxed load, preserving the batch
+        // speedup; recording sees the exact per-tick sample stream.
+        probe_bridge_->tap(v);
         // Header-inline kernels of the per-sample blocks (each bit-identical
         // to its process() counterpart): the whole serial chain fuses into
         // this loop, so filter/amplifier/resonator state lives in registers
@@ -234,6 +260,12 @@ void ResonantCantileverSystem::run_batch(std::size_t n,
         x_scratch_[j] = x;
         t_ += dt_;
     }
+    // Loop and displacement taps consume the whole batch in one gate +
+    // lock each. The loop tap MUST run before the readout band-pass below,
+    // which filters readout_scratch_ in place — the probe observes the
+    // limiter output, the same node tick() taps.
+    probe_loop_->tap_block(readout_scratch_);
+    probe_displacement_->tap_block(x_scratch_);
     // Readout is outside the feedback loop: filtering the stored limiter
     // outputs in a second pass sees the same input sequence as the inline
     // call in tick() (bit-identical filter state), and keeps the biquad's

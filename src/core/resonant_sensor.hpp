@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bio/functionalization.hpp"
@@ -34,6 +35,7 @@
 #include "mech/resonator.hpp"
 #include "mech/thermal_noise.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "phys/fluid.hpp"
 #include "sim/trace.hpp"
 #include "util/random.hpp"
@@ -65,6 +67,11 @@ struct ResonantSensorConfig {
 
     Time counter_gate{0.1};
     bio::Coating coating = bio::antibody_coating(bio::library::igg_antigen());
+    /// obs probe namespace for this instance: the system registers
+    /// `<scope>.bridge`, `<scope>.loop` and `<scope>.displacement` taps
+    /// (armed only when CBS_OBS_PROBES matches). Array sweeps give each
+    /// element its own scope so per-element health stays separable.
+    std::string probe_scope = "resonant";
 
     static circ::DdaConfig default_dda();
 };
@@ -192,6 +199,13 @@ private:
     obs::Counter* obs_ticks_;
     obs::Gauge* obs_coverage_;
     std::size_t obs_timing_phase_ = 0;
+    // Signal taps (Figure 5's internal nodes): post-noise bridge voltage,
+    // limiter output (the loop's amplitude-regulated signal, tapped before
+    // the readout band-pass filters it in place) and tip displacement.
+    // Disarmed probes cost one relaxed load per tap.
+    obs::Probe* probe_bridge_;
+    obs::Probe* probe_loop_;
+    obs::Probe* probe_displacement_;
 };
 
 }  // namespace cbs::core

@@ -47,9 +47,22 @@ StaticCantileverSystem::StaticCantileverSystem(const StaticSensorConfig& config,
       bridge_noise_(circ::DiffusedBridge(config.bridge).thermal_noise_density(constants::T_room),
                     config.sample_rate_hz, rng.fork()),
       obs_tick_hist_(obs::MetricsRegistry::instance().histogram("proc.static_chain")),
-      obs_readings_(obs::MetricsRegistry::instance().counter("static.readings")) {
+      obs_readings_(obs::MetricsRegistry::instance().counter("static.readings")),
+      probe_bridge_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".bridge")),
+      probe_chopper_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".chopper")),
+      probe_adc_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".adc")) {
     CBS_EXPECTS(config.mux.channels == channel_count);
     CBS_EXPECTS(config.sample_rate_hz > 0.0);
+    // Default health detectors (idempotent per (kind, probe) — repeated
+    // construction on a shared scope doesn't stack duplicates). The bridge
+    // carries thermal noise, so 256 bit-identical samples mean the noise
+    // source died; the chopper output clipping at the amplifier rails is
+    // watched just inside them because saturated samples clamp to exactly
+    // ±sat and would never leave a [-sat, sat] window.
+    probe_bridge_->add_watchdog(std::make_unique<obs::StuckAtWatchdog>(256));
+    const double sat = config.chopper.amplifier.saturation.value();
+    probe_chopper_->add_watchdog(
+        std::make_unique<obs::RangeWatchdog>(-0.999 * sat, 0.999 * sat));
     // Fabrication mismatch per channel.
     for (auto& ch : channels_) {
         std::array<double, 4> mm{};
@@ -122,12 +135,15 @@ double StaticCantileverSystem::acquire(Time settle, Time integrate) {
             const auto t0 = timed ? clock::now() : clock::time_point{};
             mux_.process_block(inputs, chain_buf_);
             bridge_noise_.process_block(chain_buf_);
+            probe_bridge_->tap_block(chain_buf_);
             chopper_.process_block(chain_buf_);
+            probe_chopper_->tap_block(chain_buf_);
             post_filter_.process_block(chain_buf_);
             offset_.process_block(chain_buf_);
             pga1_.process_block(chain_buf_);
             pga2_.process_block(chain_buf_);
             adc_.quantize_block(chain_buf_);
+            probe_adc_->tap_block(chain_buf_);
             if (timed) {
                 obs_tick_hist_->observe(
                     std::chrono::duration<double, std::nano>(clock::now() - t0).count() /
@@ -147,12 +163,15 @@ double StaticCantileverSystem::acquire(Time settle, Time integrate) {
             const auto t0 = sample_timing ? clock::now() : clock::time_point{};
             double v = mux_.process(inputs);
             v = bridge_noise_.process(v);
+            probe_bridge_->tap(v);
             v = chopper_.process(v);
+            probe_chopper_->tap(v);
             v = post_filter_.process(v);
             v = offset_.process(v);
             v = pga1_.process(v);
             v = pga2_.process(v);
             v = adc_.quantize(v);
+            probe_adc_->tap(v);
             if (sample_timing) {
                 obs_tick_hist_->observe(
                     std::chrono::duration<double, std::nano>(clock::now() - t0).count());

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bio/assay.hpp"
@@ -20,11 +21,13 @@
 #include "circ/bridge.hpp"
 #include "circ/chopper.hpp"
 #include "circ/mux.hpp"
+#include "circ/noise.hpp"
 #include "circ/offset_comp.hpp"
 #include "circ/pga.hpp"
 #include "mech/piezoresistance.hpp"
 #include "mech/stoney.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "util/random.hpp"
 
 namespace cbs::core {
@@ -40,6 +43,11 @@ struct StaticSensorConfig {
     int adc_bits = 14;
     Voltage adc_full_scale{2.5};
     double sample_rate_hz = 200e3;
+    /// obs probe namespace for this instance: the system registers
+    /// `<scope>.bridge`, `<scope>.chopper` and `<scope>.adc` taps (armed
+    /// only when CBS_OBS_PROBES matches). Array sweeps give each element
+    /// its own scope so per-element health stays separable.
+    std::string probe_scope = "static";
 
     static circ::ChopperConfig default_chopper();
 };
@@ -106,6 +114,11 @@ public:
 
     [[nodiscard]] const StaticSensorConfig& config() const { return cfg_; }
 
+    /// Fault-injection test hook: the n-th bridge-noise sample from now
+    /// (1-based) becomes NaN and propagates down the chain — exercises the
+    /// probe non-finite detection, watchdogs and flight recorder end to end.
+    void inject_bridge_nan_after(std::uint64_t n) { bridge_noise_.inject_nan_after(n); }
+
 private:
     struct Channel {
         bio::Coating coating;
@@ -149,6 +162,12 @@ private:
     obs::Histogram* obs_tick_hist_;
     obs::Counter* obs_readings_;
     std::size_t obs_timing_phase_ = 0;
+    // Signal taps (Figure 4's probe-pad nodes): post-noise bridge voltage,
+    // demodulated chopper output, quantized ADC output. Disarmed probes
+    // cost one relaxed load per tap.
+    obs::Probe* probe_bridge_;
+    obs::Probe* probe_chopper_;
+    obs::Probe* probe_adc_;
 };
 
 }  // namespace cbs::core

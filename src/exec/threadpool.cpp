@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/events.hpp"
 #include "util/expect.hpp"
 
 namespace cbs::exec {
@@ -58,8 +59,26 @@ std::size_t ThreadPool::work_on(Batch& b) {
         try {
             (*b.body)(i);
         } catch (...) {
-            const std::scoped_lock lock(b.error_mu);
-            if (!b.error) b.error = std::current_exception();
+            {
+                const std::scoped_lock lock(b.error_mu);
+                if (!b.error) b.error = std::current_exception();
+            }
+            // Every failed task (not just the rethrown first one) leaves a
+            // structured event with its index, so a multi-failure batch is
+            // triageable from the log after the exception unwinds the sweep.
+            obs::Event ev;
+            ev.severity = obs::Severity::fault;
+            ev.kind = "task_exception";
+            ev.probe = "exec.pool";
+            ev.sample_index = i;
+            try {
+                throw;
+            } catch (const std::exception& e) {
+                ev.message = e.what();
+            } catch (...) {
+                ev.message = "non-std exception";
+            }
+            obs::EventLog::instance().append(std::move(ev));
         }
         ++executed;
         if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.n) {

@@ -1,0 +1,202 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace cbs::obs {
+
+namespace {
+
+// Which direction of change is harmful for a metric.
+enum class Direction { up, down, none };
+
+struct Metric {
+    std::string name;
+    double value = 0.0;
+    Direction dir = Direction::none;
+    bool zero_tolerance = false;  // any harmful change regresses (non_finite)
+};
+
+void collect_benchmark_metrics(const json::Value& doc, std::vector<Metric>& out) {
+    const json::Value& benches = doc.at("benchmarks");
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const json::Value& b = benches.at(i);
+        const std::string& name = b.at("name").as_string();
+        if (const json::Value* v = b.find("real_time"); v != nullptr && v->is_number()) {
+            out.push_back({name + " real_time", v->as_number(), Direction::up, false});
+        }
+        if (const json::Value* v = b.find("items_per_second");
+            v != nullptr && v->is_number()) {
+            out.push_back({name + " items/s", v->as_number(), Direction::down, false});
+        }
+        if (const json::Value* v = b.find("bytes_per_second");
+            v != nullptr && v->is_number()) {
+            out.push_back({name + " bytes/s", v->as_number(), Direction::down, false});
+        }
+    }
+}
+
+void collect_process_metrics(const json::Value& rows, std::string_view prefix,
+                             std::vector<Metric>& out) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const json::Value& r = rows.at(i);
+        const std::string name = std::string(prefix) + "." + r.at("name").as_string();
+        if (r.at("ticks").as_number() == 0.0) continue;  // n=0 rows carry no stats
+        if (const json::Value* v = r.find("mean_us"); v != nullptr && v->is_number()) {
+            out.push_back({name + " mean_us", v->as_number(), Direction::up, false});
+        }
+        if (const json::Value* v = r.find("p99_us"); v != nullptr && v->is_number()) {
+            out.push_back({name + " p99_us", v->as_number(), Direction::up, false});
+        }
+    }
+}
+
+void collect_report_metrics(const json::Value& doc, std::vector<Metric>& out) {
+    if (const json::Value* v = doc.find("processes")) collect_process_metrics(*v, "proc", out);
+    if (const json::Value* v = doc.find("spans")) collect_process_metrics(*v, "span", out);
+    if (const json::Value* v = doc.find("counters")) {
+        for (const auto& [name, value] : v->items()) {
+            if (value.is_number()) {
+                out.push_back({"counter " + name, value.as_number(), Direction::none, false});
+            }
+        }
+    }
+    if (const json::Value* v = doc.find("gauges")) {
+        for (const auto& [name, value] : v->items()) {
+            if (value.is_number()) {
+                out.push_back({"gauge " + name, value.as_number(), Direction::none, false});
+            }
+        }
+    }
+    if (const json::Value* v = doc.find("probes")) {
+        for (std::size_t i = 0; i < v->size(); ++i) {
+            const json::Value& p = v->at(i);
+            const std::string name = "probe " + p.at("name").as_string();
+            if (const json::Value* m = p.find("mean"); m != nullptr && m->is_number()) {
+                out.push_back({name + " mean", m->as_number(), Direction::none, false});
+            }
+            if (const json::Value* m = p.find("stddev"); m != nullptr && m->is_number()) {
+                out.push_back({name + " stddev", m->as_number(), Direction::none, false});
+            }
+            // A signal going non-finite is a correctness signal, not a
+            // statistic: any increase over the baseline is a regression.
+            if (const json::Value* m = p.find("non_finite"); m != nullptr && m->is_number()) {
+                out.push_back({name + " non_finite", m->as_number(), Direction::up, true});
+            }
+        }
+    }
+}
+
+std::vector<Metric> collect_metrics(const json::Value& doc) {
+    if (!doc.is_object()) throw json::ParseError("diff input is not a JSON object");
+    std::vector<Metric> out;
+    if (doc.find("benchmarks") != nullptr) {
+        collect_benchmark_metrics(doc, out);
+    } else {
+        collect_report_metrics(doc, out);
+    }
+    return out;
+}
+
+bool is_regression(const Metric& m, double rel_delta, double abs_delta, double threshold) {
+    switch (m.dir) {
+        case Direction::up:
+            if (m.zero_tolerance) return abs_delta > 0.0;
+            return rel_delta > threshold;
+        case Direction::down:
+            return rel_delta < -threshold;
+        case Direction::none:
+            break;
+    }
+    return false;
+}
+
+}  // namespace
+
+DiffResult diff_documents(const json::Value& baseline, const json::Value& current,
+                          const DiffOptions& opts) {
+    const auto base_metrics = collect_metrics(baseline);
+    const auto cur_metrics = collect_metrics(current);
+
+    std::map<std::string, const Metric*> cur_by_name;
+    for (const auto& m : cur_metrics) cur_by_name.emplace(m.name, &m);
+
+    DiffResult result;
+    constexpr double kEps = 1e-12;
+    for (const auto& base : base_metrics) {
+        DiffRow row;
+        row.name = base.name;
+        row.baseline = base.value;
+        row.in_baseline = true;
+        const auto it = cur_by_name.find(base.name);
+        if (it == cur_by_name.end()) {
+            ++result.missing;
+            result.rows.push_back(std::move(row));
+            continue;
+        }
+        const Metric& cur = *it->second;
+        cur_by_name.erase(it);
+        row.in_current = true;
+        row.current = cur.value;
+        const double abs_delta = cur.value - base.value;
+        row.rel_delta = abs_delta / std::max(std::abs(base.value), kEps);
+        row.regression = is_regression(base, row.rel_delta, abs_delta, opts.threshold);
+        if (row.regression) ++result.regressions;
+        result.rows.push_back(std::move(row));
+    }
+    // Metrics only in the current run (new benches/probes): informational.
+    for (const auto& m : cur_metrics) {
+        if (cur_by_name.find(m.name) == cur_by_name.end()) continue;
+        DiffRow row;
+        row.name = m.name;
+        row.current = m.value;
+        row.in_current = true;
+        ++result.missing;
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+DiffResult diff_files(const std::string& baseline_path, const std::string& current_path,
+                      const DiffOptions& opts) {
+    const auto baseline = json::Value::parse_file(baseline_path);
+    const auto current = json::Value::parse_file(current_path);
+    return diff_documents(baseline, current, opts);
+}
+
+std::string DiffResult::render(const DiffOptions& opts) const {
+    if (rows.empty()) return {};
+    ConsoleTable t({"metric", "baseline", "current", "delta [%]", "status"});
+    for (const auto& r : rows) {
+        std::string status = "ok";
+        if (r.missing()) {
+            status = r.in_baseline ? "missing" : "new";
+        } else if (r.regression) {
+            status = "REGRESSION";
+        }
+        t.add_row({r.name, r.in_baseline ? ConsoleTable::num(r.baseline, 6) : "-",
+                   r.in_current ? ConsoleTable::num(r.current, 6) : "-",
+                   r.missing() ? "-" : ConsoleTable::num(100.0 * r.rel_delta, 2), status});
+    }
+    std::string out = t.str("run comparison (threshold " +
+                            ConsoleTable::num(100.0 * opts.threshold, 4) + "%)");
+    out += '\n';
+    out += std::to_string(rows.size() - missing) + " compared, " +
+           std::to_string(regressions) + " regression(s), " + std::to_string(missing) +
+           " unmatched\n";
+    if (regressions != 0 && opts.warn_only) {
+        out += "warn-only mode: regressions reported but not fatal\n";
+    }
+    return out;
+}
+
+int DiffResult::exit_code(const DiffOptions& opts) const {
+    if (opts.warn_only) return 0;
+    return regressions == 0 ? 0 : 1;
+}
+
+}  // namespace cbs::obs

@@ -1,0 +1,67 @@
+// Run-comparison engine behind tools/cbs-obs-diff: loads two RunReport JSON
+// exports (obs/report.hpp to_json()) or two google-benchmark JSON files
+// (auto-detected via the top-level "benchmarks" key), matches metrics by
+// name and reports per-metric relative deltas against a threshold. CI runs
+// it warn-only against a checked-in baseline as a soft perf-regression gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbs::json {
+class Value;
+}
+
+namespace cbs::obs {
+
+struct DiffOptions {
+    /// Relative-change threshold: |new - old| / max(|old|, eps) above this
+    /// flags the row as a regression (for time-like metrics only increases
+    /// regress; for throughput only decreases do).
+    double threshold = 0.10;
+    /// Report regressions but exit 0 (CI soft gate).
+    bool warn_only = false;
+};
+
+struct DiffRow {
+    std::string name;    ///< metric id, e.g. "probe resonant.loop mean"
+    double baseline = 0.0;
+    double current = 0.0;
+    double rel_delta = 0.0;  ///< (current - baseline) / max(|baseline|, eps)
+    bool regression = false;  ///< beyond threshold in the harmful direction
+    bool in_baseline = false;
+    bool in_current = false;
+    /// Present in exactly one input (never a regression, always reported).
+    [[nodiscard]] bool missing() const { return in_baseline != in_current; }
+};
+
+struct DiffResult {
+    std::vector<DiffRow> rows;
+    std::size_t regressions = 0;  ///< rows with regression == true
+    std::size_t missing = 0;      ///< rows present in only one input
+
+    /// Console table; regression rows are marked. Empty string when no
+    /// comparable metrics were found at all.
+    [[nodiscard]] std::string render(const DiffOptions& opts) const;
+    /// Process exit code under `opts`: 0 clean / warn-only, 1 regressions.
+    [[nodiscard]] int exit_code(const DiffOptions& opts) const;
+};
+
+/// Compares two parsed documents, auto-detecting the format of each:
+/// google-benchmark JSON (top-level "benchmarks" array: real_time regresses
+/// up, items_per_second and bytes_per_second regress down) or RunReport
+/// JSON (process/span mean_us & p99_us regress up; counters and probe
+/// statistics are compared informationally and never count as regressions,
+/// except probe `non_finite`, which regresses on any increase).
+/// Throws cbs::json::ParseError on unrecognized structure.
+[[nodiscard]] DiffResult diff_documents(const json::Value& baseline,
+                                        const json::Value& current,
+                                        const DiffOptions& opts);
+
+/// parse_file + diff_documents.
+[[nodiscard]] DiffResult diff_files(const std::string& baseline_path,
+                                    const std::string& current_path,
+                                    const DiffOptions& opts);
+
+}  // namespace cbs::obs

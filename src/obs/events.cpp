@@ -1,0 +1,114 @@
+#include "obs/events.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace cbs::obs {
+
+std::string_view severity_name(Severity s) noexcept {
+    switch (s) {
+        case Severity::warning:
+            return "warning";
+        case Severity::fault:
+            return "fault";
+        case Severity::info:
+            break;
+    }
+    return "info";
+}
+
+EventLog& EventLog::instance() {
+    static EventLog log;
+    return log;
+}
+
+namespace {
+
+void bump_severity_counter(Severity s) {
+    // The registry counter gives the run report its summary line. Counter::add
+    // is gated on the obs level, so with CBS_OBS=off the log still holds the
+    // event but the report stays silent (nothing prints reports then anyway).
+    static Counter* counters[3] = {
+        MetricsRegistry::instance().counter("obs.events.info"),
+        MetricsRegistry::instance().counter("obs.events.warning"),
+        MetricsRegistry::instance().counter("obs.events.fault"),
+    };
+    counters[static_cast<int>(s)]->add();
+}
+
+}  // namespace
+
+void EventLog::append(Event e) {
+    bump_severity_counter(e.severity);
+    const std::lock_guard lock(mu_);
+    events_.push_back(std::move(e));
+}
+
+void EventLog::append_all(std::vector<Event> events) {
+    for (const auto& e : events) bump_severity_counter(e.severity);
+    const std::lock_guard lock(mu_);
+    events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+}
+
+std::vector<Event> EventLog::events() const {
+    const std::lock_guard lock(mu_);
+    return events_;
+}
+
+std::size_t EventLog::size() const {
+    const std::lock_guard lock(mu_);
+    return events_.size();
+}
+
+std::size_t EventLog::count(Severity min) const {
+    const std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+        if (e.severity >= min) ++n;
+    }
+    return n;
+}
+
+std::size_t EventLog::count_exact(Severity s) const {
+    const std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+        if (e.severity == s) ++n;
+    }
+    return n;
+}
+
+std::size_t EventLog::count_for_prefix(std::string_view prefix, Severity min) const {
+    const std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+        if (e.severity >= min && std::string_view(e.probe).starts_with(prefix)) ++n;
+    }
+    return n;
+}
+
+std::string EventLog::render(std::size_t max_lines) const {
+    const auto evts = events();
+    std::ostringstream out;
+    const std::size_t shown = evts.size() < max_lines ? evts.size() : max_lines;
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto& e = evts[i];
+        out << '[' << severity_name(e.severity) << "] " << e.kind << ' ' << e.probe << " @"
+            << e.sample_index << " v=" << e.value;
+        if (!e.message.empty()) out << "  " << e.message;
+        out << '\n';
+    }
+    if (evts.size() > shown) {
+        out << "... " << (evts.size() - shown) << " more\n";
+    }
+    return out.str();
+}
+
+void EventLog::clear() {
+    const std::lock_guard lock(mu_);
+    events_.clear();
+}
+
+}  // namespace cbs::obs

@@ -1,0 +1,77 @@
+// Structured observability events: watchdog fires, non-finite samples and
+// execution faults land here as typed records rather than log lines, so a
+// failed run can be triaged programmatically (per-probe counts, severity
+// totals, the exact sample index that went bad).
+//
+// The log is process-global and thread-safe: appends take a mutex, which is
+// acceptable because events are *exceptional* — the steady-state cost of the
+// subsystem is the probes' tap path, never this log. Workers on the exec
+// ThreadPool append concurrently; severity counters are mirrored into the
+// MetricsRegistry (`obs.events.<severity>`) so every run report shows a
+// non-zero summary line when something fired.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbs::obs {
+
+enum class Severity : int { info = 0, warning = 1, fault = 2 };
+
+[[nodiscard]] std::string_view severity_name(Severity s) noexcept;
+
+/// One structured occurrence. `probe` is the probe (or subsystem) that
+/// raised it; `sample_index` is the probe's running sample count at the
+/// offending sample (0 when not sample-related).
+struct Event {
+    Severity severity = Severity::info;
+    std::string kind;          ///< e.g. "non_finite", "range", "lock_loss"
+    std::string probe;         ///< raising probe / subsystem id
+    std::uint64_t sample_index = 0;
+    double value = 0.0;        ///< offending sample (when applicable)
+    std::string message;
+};
+
+/// Process-global append-only event log.
+class EventLog {
+public:
+    static EventLog& instance();
+
+    /// Thread-safe append; also bumps the `obs.events.<severity>` counter.
+    /// Events are recorded regardless of the CBS_OBS level: a probe only
+    /// raises while it is recording, so the level gate has already been
+    /// paid upstream, and a watchdog fire must never be droppable by a
+    /// reporting switch.
+    void append(Event e);
+
+    /// Appends a batch in the given order under one lock (deterministic
+    /// per-element merges: collect locally, merge in index order).
+    void append_all(std::vector<Event> events);
+
+    [[nodiscard]] std::vector<Event> events() const;
+    [[nodiscard]] std::size_t size() const;
+
+    /// Number of events with severity >= min.
+    [[nodiscard]] std::size_t count(Severity min = Severity::info) const;
+    /// Number of events with exactly severity `s` (report severity totals).
+    [[nodiscard]] std::size_t count_exact(Severity s) const;
+    /// Number of events whose probe id starts with `prefix` (severity >= min).
+    [[nodiscard]] std::size_t count_for_prefix(std::string_view prefix,
+                                               Severity min = Severity::info) const;
+
+    /// One line per event: "[fault] range resonant.loop @1234 v=0.2 msg".
+    [[nodiscard]] std::string render(std::size_t max_lines = 20) const;
+
+    void clear();
+
+private:
+    EventLog() = default;
+
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+};
+
+}  // namespace cbs::obs

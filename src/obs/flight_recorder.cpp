@@ -1,0 +1,70 @@
+#include "obs/flight_recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+namespace cbs::obs {
+
+FlightRecorder& FlightRecorder::instance() {
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+    std::string out(name);
+    for (char& c : out) {
+        if (c == '.' || c == '/' || c == '\\' || c == ' ') c = '_';
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string FlightRecorder::write(std::string_view probe_name,
+                                  std::span<const ProbeSample> samples,
+                                  std::string_view reason) {
+    if (samples.empty()) return {};
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir(), ec);
+    const std::string path = out_dir() + "/flight_" + sanitize(probe_name) + ".csv";
+    std::ofstream out(path);
+    if (!out.good()) return {};
+    out << "probe,reason,sample_index,value\n";
+    for (const auto& s : samples) {
+        out << probe_name << ',' << reason << ',' << s.index << ',';
+        // CSV must round-trip NaN/Inf — the offending sample is the point.
+        const auto old_precision = out.precision(17);
+        out << s.value << '\n';
+        out.precision(old_precision);
+    }
+    out.close();
+    MetricsRegistry::instance().counter("obs.flight_dumps")->add();
+    const std::lock_guard lock(mu_);
+    files_.push_back(path);
+    return path;
+}
+
+std::vector<std::string> FlightRecorder::dump_all(std::string_view reason) {
+    std::vector<std::string> out;
+    for (Probe* p : ProbeRegistry::instance().probes()) {
+        auto path = p->dump_flight(reason, /*force=*/true);
+        if (!path.empty()) out.push_back(std::move(path));
+    }
+    return out;
+}
+
+std::vector<std::string> FlightRecorder::dumped_files() const {
+    const std::lock_guard lock(mu_);
+    return files_;
+}
+
+void FlightRecorder::clear_history() {
+    const std::lock_guard lock(mu_);
+    files_.clear();
+}
+
+}  // namespace cbs::obs

@@ -1,0 +1,50 @@
+// Flight recorder: turns a probe's ring of recent samples into an on-disk
+// artifact the moment something goes wrong. A failed golden test, a
+// watchdog fire or a NaN in a Monte-Carlo trial then ships the last N
+// samples of the offending signal (CSV, one row per sample) instead of a
+// bare assertion message.
+//
+// Dumps land in out_dir() (CBS_OBS_OUT, default "."); file names are
+// "flight_<probe>.csv" with '.' and '/' sanitized to '_'. Automatic
+// triggers (non-finite sample, fault-severity watchdog fire) spend a
+// one-dump-per-probe budget so a persistently bad signal cannot fill the
+// disk; explicit dump calls are unbudgeted.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace cbs::obs {
+
+class FlightRecorder {
+public:
+    static FlightRecorder& instance();
+
+    /// Writes `samples` (oldest first) as CSV for probe `probe_name`;
+    /// returns the file path ("" on I/O failure — triggers fire inside
+    /// signal paths, so a bad CBS_OBS_OUT must not take the run down).
+    std::string write(std::string_view probe_name, std::span<const ProbeSample> samples,
+                      std::string_view reason);
+
+    /// Dumps every registered probe with a non-empty ring (explicit
+    /// trigger; ignores the per-probe budget). Returns the written paths.
+    std::vector<std::string> dump_all(std::string_view reason);
+
+    /// Paths written so far in this process (test/CI introspection).
+    [[nodiscard]] std::vector<std::string> dumped_files() const;
+
+    void clear_history();
+
+private:
+    FlightRecorder() = default;
+
+    mutable std::mutex mu_;
+    std::vector<std::string> files_;
+};
+
+}  // namespace cbs::obs

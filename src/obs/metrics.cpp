@@ -33,12 +33,22 @@ void set_level(Level l) noexcept {
     detail::g_level.store(static_cast<int>(l), std::memory_order_relaxed);
 }
 
-const std::string& out_dir() {
-    static const std::string dir = [] {
+namespace {
+
+std::string& out_dir_storage() {
+    static std::string dir = [] {
         const char* v = std::getenv("CBS_OBS_OUT");
         return std::string(v != nullptr && *v != '\0' ? v : ".");
     }();
     return dir;
+}
+
+}  // namespace
+
+const std::string& out_dir() { return out_dir_storage(); }
+
+void set_out_dir(std::string dir) {
+    out_dir_storage() = dir.empty() ? std::string(".") : std::move(dir);
 }
 
 std::uint64_t Gauge::to_bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
@@ -65,7 +75,13 @@ Histogram::Histogram(std::span<const double> upper_bounds)
 
 void Histogram::observe(double v) noexcept {
     if (!enabled()) return;
-    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    // Half-open bucketing: v belongs to the first bucket whose upper bound
+    // exceeds it, so an observation exactly on an edge goes to the bucket
+    // above — including v == bounds_.back(), which consistently counts as
+    // overflow (the old lower_bound rule put the top edge in the last
+    // bucket while everything above it overflowed, an off-by-one trap for
+    // exact-valued samples like quantized ADC codes).
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
     const auto idx = static_cast<std::size_t>(it - bounds_.begin());
     buckets_[idx].fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
@@ -214,9 +230,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
         if (c->value() != 0) s.counters.push_back({name, c->value()});
     }
     for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
-    for (const auto& [name, h] : histograms_) {
-        if (h->count() != 0) s.histograms.push_back({name, h.get()});
-    }
+    for (const auto& [name, h] : histograms_) s.histograms.push_back({name, h.get()});
     const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
     std::sort(s.counters.begin(), s.counters.end(), by_name);
     std::sort(s.gauges.begin(), s.gauges.end(), by_name);

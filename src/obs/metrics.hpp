@@ -46,8 +46,12 @@ Level parse_level(std::string_view text);
 /// read once before main; this replaces that choice for the whole process.
 void set_level(Level l) noexcept;
 
-/// Output directory for trace artifacts: CBS_OBS_OUT, default ".".
+/// Output directory for trace/report/flight artifacts: CBS_OBS_OUT,
+/// default ".".
 [[nodiscard]] const std::string& out_dir();
+/// Programmatic override of out_dir() (tests, tools). Not thread-safe
+/// against concurrent artifact writes; call it during setup.
+void set_out_dir(std::string dir);
 
 /// Monotonically increasing event count. All mutation is relaxed-atomic.
 class Counter {
@@ -84,10 +88,14 @@ private:
     std::atomic<std::uint64_t> bits_{0};
 };
 
-/// Fixed-bucket histogram. Bucket i counts observations v with
-/// bound[i-1] < v <= bound[i]; one extra overflow bucket counts
-/// v > bound.back(). Also tracks count/sum/min/max so the report can show
-/// totals and bucket-interpolated percentiles.
+/// Fixed-bucket histogram. Buckets are half-open intervals: bucket i counts
+/// observations v with bound[i-1] <= v < bound[i] (bucket 0 has no lower
+/// bound); one extra overflow bucket counts v >= bound.back(). A sample
+/// exactly on a bucket edge therefore always belongs to the bucket ABOVE
+/// the edge — including the top edge, which lands in overflow — the
+/// standard half-open rule, consistent for every edge. Also tracks
+/// count/sum/min/max so the report can show totals and bucket-interpolated
+/// percentiles.
 class Histogram {
 public:
     /// `upper_bounds` must be non-empty and strictly increasing.
@@ -142,7 +150,10 @@ public:
         struct HistogramEntry { std::string name; const Histogram* histogram; };
         std::vector<CounterEntry> counters;    // sorted by name, zeros omitted
         std::vector<GaugeEntry> gauges;        // sorted by name
-        std::vector<HistogramEntry> histograms;  // sorted by name, empties omitted
+        // Sorted by name. Zero-sample histograms are included: the report
+        // renders them as "n=0" rows (percentiles suppressed) instead of
+        // silently dropping a registered-but-never-hit instrument.
+        std::vector<HistogramEntry> histograms;
     };
     /// Consistent-enough view for reporting (values are relaxed reads).
     [[nodiscard]] Snapshot snapshot() const;

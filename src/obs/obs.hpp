@@ -1,9 +1,19 @@
 // Umbrella header for the cbs::obs observability layer:
-//   obs/metrics.hpp — CBS_OBS level, MetricsRegistry, Counter/Gauge/Histogram
-//   obs/tracer.hpp  — SpanTracer + ScopedTimer (chrome://tracing output)
-//   obs/report.hpp  — RunReport + BenchSession (end-of-run summary)
+//   obs/metrics.hpp         — CBS_OBS level, MetricsRegistry, Counter/Gauge/Histogram
+//   obs/tracer.hpp          — SpanTracer + ScopedTimer (chrome://tracing output)
+//   obs/probe.hpp           — signal-level taps (stats/waveform/flight ring)
+//   obs/watchdog.hpp        — online anomaly detectors raising events
+//   obs/events.hpp          — structured event log (watchdog fires, faults)
+//   obs/flight_recorder.hpp — ring dumps to CSV on trigger
+//   obs/report.hpp          — RunReport + BenchSession (end-of-run summary/JSON)
+//   obs/diff.hpp            — run-comparison engine (tools/cbs-obs-diff)
 #pragma once
 
-#include "obs/metrics.hpp"   // IWYU pragma: export
-#include "obs/report.hpp"    // IWYU pragma: export
-#include "obs/tracer.hpp"    // IWYU pragma: export
+#include "obs/diff.hpp"             // IWYU pragma: export
+#include "obs/events.hpp"           // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/probe.hpp"            // IWYU pragma: export
+#include "obs/report.hpp"           // IWYU pragma: export
+#include "obs/tracer.hpp"           // IWYU pragma: export
+#include "obs/watchdog.hpp"         // IWYU pragma: export

@@ -1,0 +1,259 @@
+#include "obs/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::obs {
+
+std::size_t default_ring_capacity() {
+    static const std::size_t capacity = [] {
+        const char* v = std::getenv("CBS_OBS_RING");
+        if (v == nullptr || *v == '\0') return std::size_t{256};
+        char* end = nullptr;
+        const long parsed = std::strtol(v, &end, 10);
+        if (end == v || *end != '\0' || parsed < 1) return std::size_t{256};
+        return static_cast<std::size_t>(parsed);
+    }();
+    return capacity;
+}
+
+Probe::Probe(std::string name)
+    : name_(std::move(name)), ring_capacity_(default_ring_capacity()) {
+    ring_.reserve(ring_capacity_);
+}
+
+void Probe::record(std::span<const double> values) noexcept {
+    const std::lock_guard lock(mu_);
+    for (const double v : values) {
+        const std::uint64_t index = taps_++;
+        // Ring first: a triggering sample must be inside its own dump.
+        if (ring_.size() < ring_capacity_) {
+            ring_.push_back({index, v});
+        } else {
+            ring_[ring_head_] = {index, v};
+            ring_head_ = (ring_head_ + 1) % ring_capacity_;
+        }
+        if (!std::isfinite(v)) {
+            ++non_finite_;
+            if (!non_finite_raised_) {
+                non_finite_raised_ = true;
+                EventLog::instance().append({Severity::fault, "non_finite", name_, index, v,
+                                             "first non-finite sample"});
+            }
+            if (!dump_pending_) {
+                dump_pending_ = true;
+                dump_reason_ = "non_finite";
+            }
+            continue;  // keep NaN/Inf out of the running statistics
+        }
+        stats_.add(v);
+        if (index % waveform_stride_ == 0) {
+            if (waveform_.size() == kWaveformCapacity) {
+                // Compact: keep every other point, double the stride.
+                for (std::size_t i = 0; 2 * i < waveform_.size(); ++i) {
+                    waveform_[i] = waveform_[2 * i];
+                }
+                waveform_.resize(kWaveformCapacity / 2);
+                waveform_stride_ *= 2;
+            }
+            if (index % waveform_stride_ == 0) waveform_.push_back({index, v});
+        }
+        for (auto& dog : watchdogs_) dog->observe(index, v);
+    }
+    if (dump_pending_) {
+        dump_pending_ = false;
+        (void)dump_locked(dump_reason_, /*force=*/false);
+    }
+}
+
+void Probe::on_fault(std::string_view kind, std::uint64_t) {
+    // Called by Watchdog::raise with mu_ already held (watchdogs only run
+    // inside record()); defer the file write to the end of the batch.
+    if (!dump_pending_) {
+        dump_pending_ = true;
+        dump_reason_ = std::string(kind);
+    }
+}
+
+ProbeStats Probe::stats() const {
+    const std::lock_guard lock(mu_);
+    ProbeStats s;
+    s.n = stats_.count();
+    s.non_finite = non_finite_;
+    s.mean = stats_.mean();
+    s.stddev = stats_.stddev();
+    s.min = stats_.min();
+    s.max = stats_.max();
+    return s;
+}
+
+std::uint64_t Probe::sample_count() const {
+    const std::lock_guard lock(mu_);
+    return taps_;
+}
+
+std::vector<ProbeSample> Probe::waveform() const {
+    const std::lock_guard lock(mu_);
+    return waveform_;
+}
+
+std::uint64_t Probe::waveform_stride() const {
+    const std::lock_guard lock(mu_);
+    return waveform_stride_;
+}
+
+std::vector<ProbeSample> Probe::ring() const {
+    const std::lock_guard lock(mu_);
+    std::vector<ProbeSample> out;
+    out.reserve(ring_.size());
+    // ring_head_ is the oldest entry once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+    return out;
+}
+
+void Probe::set_ring_capacity(std::size_t capacity) {
+    CBS_EXPECTS(capacity > 0);
+    const std::lock_guard lock(mu_);
+    ring_capacity_ = capacity;
+    ring_.clear();
+    ring_.reserve(capacity);
+    ring_head_ = 0;
+}
+
+void Probe::add_watchdog(std::unique_ptr<Watchdog> dog) {
+    CBS_EXPECTS(dog != nullptr);
+    const std::lock_guard lock(mu_);
+    for (const auto& existing : watchdogs_) {
+        if (existing->kind() == dog->kind()) return;  // idempotent per kind
+    }
+    dog->owner_ = this;
+    watchdogs_.push_back(std::move(dog));
+}
+
+bool Probe::has_watchdog(std::string_view kind) const {
+    const std::lock_guard lock(mu_);
+    for (const auto& dog : watchdogs_) {
+        if (dog->kind() == kind) return true;
+    }
+    return false;
+}
+
+std::string Probe::dump_flight(std::string_view reason, bool force) {
+    const std::lock_guard lock(mu_);
+    return dump_locked(reason, force);
+}
+
+std::string Probe::dump_locked(std::string_view reason, bool force) {
+    if (ring_.empty()) return {};
+    if (dump_spent_ && !force) return {};
+    dump_spent_ = true;
+    std::vector<ProbeSample> snapshot;
+    snapshot.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        snapshot.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+    return FlightRecorder::instance().write(name_, snapshot, reason);
+}
+
+void Probe::reset() {
+    const std::lock_guard lock(mu_);
+    stats_ = stats::RunningStats{};
+    taps_ = 0;
+    non_finite_ = 0;
+    non_finite_raised_ = false;
+    waveform_.clear();
+    waveform_stride_ = 1;
+    ring_.clear();
+    ring_head_ = 0;
+    dump_pending_ = false;
+    dump_spent_ = false;
+    for (auto& dog : watchdogs_) dog->reset();
+}
+
+ProbeRegistry& ProbeRegistry::instance() {
+    static ProbeRegistry registry;
+    return registry;
+}
+
+ProbeRegistry::ProbeRegistry() {
+    const char* v = std::getenv("CBS_OBS_PROBES");
+    if (v != nullptr) spec_ = v;
+}
+
+Probe* ProbeRegistry::probe(std::string_view name) {
+    CBS_EXPECTS(!name.empty());
+    const std::lock_guard lock(mu_);
+    for (auto& [n, p] : probes_) {
+        if (n == name) return p.get();
+    }
+    auto owned = std::unique_ptr<Probe>(new Probe(std::string(name)));
+    Probe* raw = owned.get();
+    raw->set_armed(spec_matches(spec_, name));
+    probes_.emplace_back(std::string(name), std::move(owned));
+    return raw;
+}
+
+Probe* ProbeRegistry::find(std::string_view name) const {
+    const std::lock_guard lock(mu_);
+    for (const auto& [n, p] : probes_) {
+        if (n == name) return p.get();
+    }
+    return nullptr;
+}
+
+std::vector<Probe*> ProbeRegistry::probes() const {
+    const std::lock_guard lock(mu_);
+    std::vector<Probe*> out;
+    out.reserve(probes_.size());
+    for (const auto& [n, p] : probes_) out.push_back(p.get());
+    std::sort(out.begin(), out.end(),
+              [](const Probe* a, const Probe* b) { return a->name() < b->name(); });
+    return out;
+}
+
+void ProbeRegistry::set_spec(std::string spec) {
+    const std::lock_guard lock(mu_);
+    spec_ = std::move(spec);
+    for (auto& [n, p] : probes_) p->set_armed(spec_matches(spec_, n));
+}
+
+std::string ProbeRegistry::spec() const {
+    const std::lock_guard lock(mu_);
+    return spec_;
+}
+
+bool ProbeRegistry::spec_matches(std::string_view spec, std::string_view name) {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+        std::string_view token = spec.substr(pos, comma - pos);
+        // Trim surrounding spaces.
+        while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+        while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+        if (!token.empty()) {
+            if (token == "*") return true;
+            if (token.back() == '*') {
+                if (name.starts_with(token.substr(0, token.size() - 1))) return true;
+            } else if (name == token) {
+                return true;
+            }
+        }
+        pos = comma + 1;
+    }
+    return false;
+}
+
+void ProbeRegistry::reset_all() {
+    // Snapshot first: Probe::reset takes the probe's own lock and must not
+    // run under the registry lock while another thread registers probes.
+    for (Probe* p : probes()) p->reset();
+}
+
+}  // namespace cbs::obs

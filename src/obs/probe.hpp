@@ -1,0 +1,198 @@
+// Signal-level probes: attachable taps on live sample streams.
+//
+// The paper's claims live in analog waveforms — chopper ripple, bridge
+// offset, oscillator lock, limiter saturation — and Kirstein et al. debug
+// their chip by routing internal nodes through the on-chip analog mux to a
+// probe pad. obs::Probe is the software equivalent: a named tap a signal
+// path writes its samples through, which (only while recording) maintains
+//   * streaming Welford statistics (count/mean/stddev/min/max, via
+//     stats::RunningStats) plus a non-finite sample count,
+//   * a decimated waveform (bounded memory: the stride doubles and the
+//     stored points compact whenever the buffer fills),
+//   * a fixed-size flight-recorder ring of the most recent samples
+//     (dumped to CSV on trigger — see obs/flight_recorder.hpp),
+//   * any attached watchdogs (see obs/watchdog.hpp).
+//
+// Cost contract (same as the rest of cbs::obs):
+//   * not armed (the default): tap() is one relaxed atomic load and a
+//     predictable branch — the probe can stay wired into a hot loop,
+//   * armed but CBS_OBS=off ("attached-idle"): one more relaxed load,
+//   * armed and recording: the probe takes its own mutex per tap/batch.
+//     Batch paths use tap_block() so the lock and the virtual-free inner
+//     loop are paid once per batch, mirroring circ::Block::process_block.
+//
+// Arming: probes named by the CBS_OBS_PROBES spec (comma-separated exact
+// names or 'prefix*' globs; '*' = everything) arm at registration; code can
+// force-arm with set_armed(true) (Chain::attach_probes does). Observation
+// never perturbs the observed signal — a probe only reads samples — which
+// the golden bit-identity suites assert.
+//
+// Threading: a probe is single-writer (one signal path taps it). Distinct
+// probes are fully independent — per-element sweeps use per-element probe
+// scopes. Concurrent tapping of the SAME probe is memory-safe (the mutex)
+// but interleaves the streams, so don't share one probe across threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::obs {
+
+/// One decimated waveform point / one flight-ring entry.
+struct ProbeSample {
+    std::uint64_t index = 0;  ///< running tap count at this sample
+    double value = 0.0;
+};
+
+/// Snapshot of a probe's streaming statistics.
+struct ProbeStats {
+    std::uint64_t n = 0;          ///< finite samples folded into the stats
+    std::uint64_t non_finite = 0; ///< NaN/Inf samples seen (kept out of stats)
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+class Probe {
+public:
+    /// Records one sample. Near-zero cost unless armed and recording.
+    void tap(double v) noexcept {
+        if (!armed_.load(std::memory_order_relaxed)) return;
+        if (!enabled()) return;
+        record(std::span<const double>(&v, 1));
+    }
+
+    /// Records a whole batch under one lock; equivalent to tap(v) per
+    /// element in order.
+    void tap_block(std::span<const double> values) noexcept {
+        if (!armed_.load(std::memory_order_relaxed)) return;
+        if (!enabled()) return;
+        if (values.empty()) return;
+        record(values);
+    }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    [[nodiscard]] bool armed() const noexcept { return armed_.load(std::memory_order_relaxed); }
+    /// Explicit attachment (overrides the CBS_OBS_PROBES spec decision).
+    void set_armed(bool armed) noexcept { armed_.store(armed, std::memory_order_relaxed); }
+
+    [[nodiscard]] ProbeStats stats() const;
+    /// Total samples tapped (finite + non-finite).
+    [[nodiscard]] std::uint64_t sample_count() const;
+
+    /// Decimated waveform, oldest first. `waveform_stride()` tells how many
+    /// raw samples each stored point stands for.
+    [[nodiscard]] std::vector<ProbeSample> waveform() const;
+    [[nodiscard]] std::uint64_t waveform_stride() const;
+
+    /// Flight ring contents, oldest first (at most ring_capacity() entries).
+    [[nodiscard]] std::vector<ProbeSample> ring() const;
+    [[nodiscard]] std::size_t ring_capacity() const { return ring_capacity_; }
+    /// Resizes (and clears) the ring; capacity must be > 0.
+    void set_ring_capacity(std::size_t capacity);
+
+    /// Attaches a detector; it sees every recorded sample from now on.
+    /// Idempotent per kind: a second watchdog with the same kind() replaces
+    /// nothing and is discarded (so re-constructing a system that installs
+    /// default watchdogs on a shared scope doesn't stack duplicates).
+    void add_watchdog(std::unique_ptr<Watchdog> dog);
+    [[nodiscard]] bool has_watchdog(std::string_view kind) const;
+
+    /// Writes the ring to "<CBS_OBS_OUT>/flight_<probe>.csv" via the
+    /// FlightRecorder and returns the path ("" if the ring is empty or the
+    /// per-probe trigger budget is spent and `force` is false).
+    std::string dump_flight(std::string_view reason, bool force = true);
+
+    /// Clears stats, waveform, ring and watchdog state; re-arms the
+    /// automatic dump trigger. Does not change armed().
+    void reset();
+
+private:
+    friend class ProbeRegistry;
+    friend class Watchdog;
+
+    explicit Probe(std::string name);
+
+    void record(std::span<const double> values) noexcept;
+    /// Watchdog fault hook (called with mu_ held, from record()).
+    void on_fault(std::string_view kind, std::uint64_t sample_index);
+    std::string dump_locked(std::string_view reason, bool force);
+
+    std::string name_;
+    std::atomic<bool> armed_{false};
+
+    mutable std::mutex mu_;
+    stats::RunningStats stats_;          // finite samples only
+    std::uint64_t taps_ = 0;             // all samples
+    std::uint64_t non_finite_ = 0;
+    bool non_finite_raised_ = false;
+
+    // Decimated waveform: keep every stride-th sample; on overflow drop
+    // every other stored point and double the stride.
+    static constexpr std::size_t kWaveformCapacity = 2048;
+    std::uint64_t waveform_stride_ = 1;
+    std::vector<ProbeSample> waveform_;
+
+    // Flight ring.
+    std::size_t ring_capacity_;
+    std::vector<ProbeSample> ring_;
+    std::size_t ring_head_ = 0;  // next write slot once the ring is full
+    bool dump_pending_ = false;
+    std::string dump_reason_;
+    bool dump_spent_ = false;    // one automatic dump per probe per run
+
+    std::vector<std::unique_ptr<Watchdog>> watchdogs_;
+};
+
+/// Process-global name -> probe registry; pointers are stable for the
+/// process lifetime (same contract as MetricsRegistry).
+class ProbeRegistry {
+public:
+    static ProbeRegistry& instance();
+
+    /// Returns the probe named `name`, creating (and arming it per the
+    /// active spec) on first use.
+    Probe* probe(std::string_view name);
+    /// Lookup without creation; nullptr when absent.
+    [[nodiscard]] Probe* find(std::string_view name) const;
+
+    /// All registered probes, sorted by name.
+    [[nodiscard]] std::vector<Probe*> probes() const;
+
+    /// Replaces the arming spec (normally CBS_OBS_PROBES) and re-evaluates
+    /// every registered probe against it. Force-armed probes that do not
+    /// match the new spec are disarmed — the spec is authoritative.
+    void set_spec(std::string spec);
+    [[nodiscard]] std::string spec() const;
+
+    /// True when `name` matches the comma-separated pattern list `spec`
+    /// (exact token, 'prefix*' glob, or a bare '*').
+    [[nodiscard]] static bool spec_matches(std::string_view spec, std::string_view name);
+
+    /// Resets every probe's recorded state (stats/waveform/ring/watchdogs).
+    void reset_all();
+
+private:
+    ProbeRegistry();
+
+    mutable std::mutex mu_;
+    std::string spec_;
+    std::vector<std::pair<std::string, std::unique_ptr<Probe>>> probes_;
+};
+
+/// Default flight-ring capacity: CBS_OBS_RING (integer >= 1), default 256.
+[[nodiscard]] std::size_t default_ring_capacity();
+
+}  // namespace cbs::obs

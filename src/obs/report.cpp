@@ -1,10 +1,16 @@
 #include "obs/report.hpp"
 
+#include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/probe.hpp"
 #include "obs/tracer.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace cbs::obs {
@@ -16,6 +22,7 @@ RunReport::ProcessRow row_from_histogram(const std::string& name, const Histogra
     RunReport::ProcessRow row;
     row.name = name.substr(prefix.size());
     row.ticks = h.count();
+    if (row.ticks == 0) return row;  // statistics stay 0; rendered as "n=0"
     row.total_ms = h.sum() / 1e6;
     row.mean_us = h.mean() / 1e3;
     row.p50_us = h.percentile(50.0) / 1e3;
@@ -31,12 +38,53 @@ void append_process_table(std::string& out, const std::string& title,
     ConsoleTable t({label, "ticks", "total [ms]", "mean [us]", "p50 [us]", "p99 [us]",
                     "max [us]"});
     for (const auto& r : rows) {
+        if (r.ticks == 0) {
+            // Registered but never hit: show the instrument existed without
+            // inventing statistics (the old path printed nan here).
+            t.add_row({r.name, "0", "-", "-", "-", "-", "-"});
+            continue;
+        }
         t.add_row({r.name, std::to_string(r.ticks), ConsoleTable::num(r.total_ms, 3),
                    ConsoleTable::num(r.mean_us, 3), ConsoleTable::num(r.p50_us, 3),
                    ConsoleTable::num(r.p99_us, 3), ConsoleTable::num(r.max_us, 3)});
     }
     out += t.str(title);
     out += '\n';
+}
+
+// JSON writer helpers: non-finite doubles become null so the export always
+// round-trips through a strict parser.
+void append_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    std::ostringstream s;
+    s.precision(17);
+    s << v;
+    out += s.str();
+}
+
+void append_process_json(std::string& out, const std::vector<RunReport::ProcessRow>& rows) {
+    out += '[';
+    bool first = true;
+    for (const auto& r : rows) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    {\"name\": \"" + json::escape(r.name) + "\", \"ticks\": " +
+               std::to_string(r.ticks) + ", \"total_ms\": ";
+        append_number(out, r.total_ms);
+        out += ", \"mean_us\": ";
+        append_number(out, r.mean_us);
+        out += ", \"p50_us\": ";
+        append_number(out, r.p50_us);
+        out += ", \"p99_us\": ";
+        append_number(out, r.p99_us);
+        out += ", \"max_us\": ";
+        append_number(out, r.max_us);
+        out += '}';
+    }
+    out += rows.empty() ? "]" : "\n  ]";
 }
 
 }  // namespace
@@ -53,6 +101,31 @@ RunReport RunReport::collect() {
     }
     for (const auto& [name, value] : snap.counters) report.counters.push_back({name, value});
     for (const auto& [name, value] : snap.gauges) report.gauges.push_back({name, value});
+
+    for (const Probe* p : ProbeRegistry::instance().probes()) {
+        const auto s = p->stats();
+        if (s.n == 0 && s.non_finite == 0 && !p->armed()) continue;
+        ProbeRow row;
+        row.name = p->name();
+        row.n = s.n;
+        row.non_finite = s.non_finite;
+        if (s.n != 0) {
+            row.mean = s.mean;
+            row.stddev = s.stddev;
+            row.min = s.min;
+            row.max = s.max;
+        }
+        report.probes.push_back(std::move(row));
+    }
+
+    auto& log = EventLog::instance();
+    report.events.info = log.count_exact(Severity::info);
+    report.events.warning = log.count_exact(Severity::warning);
+    report.events.fault = log.count_exact(Severity::fault);
+    std::istringstream rendered(log.render(20));
+    for (std::string line; std::getline(rendered, line);) {
+        report.events.lines.push_back(std::move(line));
+    }
     return report;
 }
 
@@ -74,7 +147,86 @@ std::string RunReport::render(const std::string& title) const {
         out += t.str("gauges");
         out += '\n';
     }
+    if (!probes.empty()) {
+        ConsoleTable t({"probe", "n", "non-finite", "mean", "stddev", "min", "max"});
+        for (const auto& p : probes) {
+            if (p.n == 0) {
+                t.add_row({p.name, "0", std::to_string(p.non_finite), "-", "-", "-", "-"});
+                continue;
+            }
+            t.add_row({p.name, std::to_string(p.n), std::to_string(p.non_finite),
+                       ConsoleTable::num(p.mean, 6), ConsoleTable::num(p.stddev, 6),
+                       ConsoleTable::num(p.min, 6), ConsoleTable::num(p.max, 6)});
+        }
+        out += t.str("signal probes");
+        out += '\n';
+    }
+    if (events.total() != 0) {
+        out += "events: " + std::to_string(events.total()) + " total (" +
+               std::to_string(events.fault) + " fault, " + std::to_string(events.warning) +
+               " warning, " + std::to_string(events.info) + " info)\n";
+        for (const auto& line : events.lines) out += "  " + line + "\n";
+        out += '\n';
+    }
     return out;
+}
+
+std::string RunReport::to_json() const {
+    std::string out = "{\n  \"processes\": ";
+    append_process_json(out, processes);
+    out += ",\n  \"spans\": ";
+    append_process_json(out, spans);
+
+    out += ",\n  \"counters\": {";
+    bool first = true;
+    for (const auto& c : counters) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    \"" + json::escape(c.name) + "\": " + std::to_string(c.value);
+    }
+    out += counters.empty() ? "}" : "\n  }";
+
+    out += ",\n  \"gauges\": {";
+    first = true;
+    for (const auto& g : gauges) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    \"" + json::escape(g.name) + "\": ";
+        append_number(out, g.value);
+    }
+    out += gauges.empty() ? "}" : "\n  }";
+
+    out += ",\n  \"probes\": [";
+    first = true;
+    for (const auto& p : probes) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    {\"name\": \"" + json::escape(p.name) + "\", \"n\": " +
+               std::to_string(p.n) + ", \"non_finite\": " + std::to_string(p.non_finite) +
+               ", \"mean\": ";
+        append_number(out, p.mean);
+        out += ", \"stddev\": ";
+        append_number(out, p.stddev);
+        out += ", \"min\": ";
+        append_number(out, p.min);
+        out += ", \"max\": ";
+        append_number(out, p.max);
+        out += '}';
+    }
+    out += probes.empty() ? "]" : "\n  ]";
+
+    out += ",\n  \"events\": {\"info\": " + std::to_string(events.info) +
+           ", \"warning\": " + std::to_string(events.warning) +
+           ", \"fault\": " + std::to_string(events.fault) + "}";
+    out += "\n}\n";
+    return out;
+}
+
+bool RunReport::write_json(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out << to_json();
+    return out.good();
 }
 
 BenchSession::BenchSession(std::string name) : name_(std::move(name)) {
@@ -95,6 +247,10 @@ BenchSession::~BenchSession() {
     const std::string base = out_dir() + "/" + name_ + "_trace";
     SpanTracer::instance().write_chrome_json(base + ".json");
     SpanTracer::instance().write_csv(base + ".csv");
+    const std::string report_path = out_dir() + "/" + name_ + "_report.json";
+    if (report.write_json(report_path)) {
+        std::cout << "report: " << report_path << " (cbs-obs-diff input)\n";
+    }
     std::cout << "trace: " << base << ".json (chrome://tracing), " << base << ".csv ("
               << SpanTracer::instance().size() << " spans)\n";
 }

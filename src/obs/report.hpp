@@ -1,8 +1,10 @@
-// End-of-run reporting: collects the metrics registry into a RunReport
-// (per-process tick table + counters + gauges) rendered with util/table,
-// and a BenchSession RAII object every bench/example main installs so that
+// End-of-run reporting: collects the metrics registry, the probe registry
+// and the event log into a RunReport (per-process tick table + counters +
+// gauges + probe statistics + event summary) rendered with util/table, and
+// a BenchSession RAII object every bench/example main installs so that
 // `CBS_OBS=summary <bench>` prints the report and `CBS_OBS=trace` also
-// writes chrome://tracing JSON + CSV into $CBS_OBS_OUT.
+// writes chrome://tracing JSON + CSV + a machine-readable report JSON into
+// $CBS_OBS_OUT (the JSON is what tools/cbs-obs-diff compares across runs).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,9 @@ namespace cbs::obs {
 struct RunReport {
     /// One row per tick loop ("process"): histograms named `proc.<name>`
     /// (per-tick wall time in ns) plus ScopedTimer sections (`span.<name>`).
+    /// A registered histogram that never observed a sample keeps ticks == 0
+    /// and renders as an "n=0" row with the statistics columns suppressed
+    /// (never NaN).
     struct ProcessRow {
         std::string name;
         std::uint64_t ticks = 0;
@@ -32,27 +37,57 @@ struct RunReport {
         std::string name;
         double value = 0.0;
     };
+    /// One row per armed-or-tapped signal probe (see obs/probe.hpp).
+    struct ProbeRow {
+        std::string name;
+        std::uint64_t n = 0;           ///< finite samples
+        std::uint64_t non_finite = 0;  ///< NaN/Inf samples
+        double mean = 0.0;
+        double stddev = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+    /// Event totals by severity plus the first rendered event lines.
+    struct EventSummary {
+        std::uint64_t info = 0;
+        std::uint64_t warning = 0;
+        std::uint64_t fault = 0;
+        std::vector<std::string> lines;
+        [[nodiscard]] std::uint64_t total() const { return info + warning + fault; }
+    };
 
     std::vector<ProcessRow> processes;  ///< `proc.*` histograms
     std::vector<ProcessRow> spans;      ///< `span.*` histograms
     std::vector<CounterRow> counters;
     std::vector<GaugeRow> gauges;
+    std::vector<ProbeRow> probes;
+    EventSummary events;
 
-    /// Builds a report from the global MetricsRegistry.
+    /// Builds a report from the global MetricsRegistry + ProbeRegistry +
+    /// EventLog.
     [[nodiscard]] static RunReport collect();
 
     /// Console tables (empty sections omitted); empty string if nothing
-    /// was recorded.
+    /// was recorded. Zero-sample rows print "n=0" and dashes — a report
+    /// never contains "nan".
     [[nodiscard]] std::string render(const std::string& title = {}) const;
 
+    /// Machine-readable export (the format tools/cbs-obs-diff consumes).
+    /// Non-finite values serialize as null.
+    [[nodiscard]] std::string to_json() const;
+    /// Writes to_json() to `path`; returns false on I/O failure.
+    bool write_json(const std::string& path) const;
+
     [[nodiscard]] bool empty() const {
-        return processes.empty() && spans.empty() && counters.empty() && gauges.empty();
+        return processes.empty() && spans.empty() && counters.empty() && gauges.empty() &&
+               probes.empty() && events.total() == 0;
     }
 };
 
 /// Install as the first statement of a bench/example main. On destruction:
 ///   CBS_OBS=summary  -> prints the run report to stdout
-///   CBS_OBS=trace    -> also writes <out>/<name>_trace.json (+ .csv)
+///   CBS_OBS=trace    -> also writes <out>/<name>_trace.json (+ .csv) and
+///                       <out>/<name>_report.json
 /// With CBS_OBS unset/off it does nothing.
 class BenchSession {
 public:

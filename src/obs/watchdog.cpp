@@ -1,0 +1,148 @@
+#include "obs/watchdog.hpp"
+
+#include <cmath>
+
+#include "obs/probe.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::obs {
+
+void Watchdog::raise(std::uint64_t sample_index, double v, std::string message) {
+    ++fires_;
+    if (fires_ <= kMaxRaises) {
+        Event e;
+        e.severity = severity_;
+        e.kind = kind_;
+        e.probe = owner_ != nullptr ? owner_->name() : std::string{};
+        e.sample_index = sample_index;
+        e.value = v;
+        e.message = std::move(message);
+        if (fires_ == kMaxRaises) e.message += " (further fires suppressed)";
+        EventLog::instance().append(std::move(e));
+    }
+    if (owner_ != nullptr && severity_ == Severity::fault) {
+        owner_->on_fault(kind_, sample_index);
+    }
+}
+
+RangeWatchdog::RangeWatchdog(double lo, double hi, Severity severity)
+    : Watchdog("range", severity), lo_(lo), hi_(hi) {
+    CBS_EXPECTS(lo < hi);
+}
+
+void RangeWatchdog::observe(std::uint64_t sample_index, double v) {
+    if (v < lo_ || v > hi_) {
+        raise(sample_index, v,
+              "outside [" + std::to_string(lo_) + ", " + std::to_string(hi_) + "]");
+    }
+}
+
+StuckAtWatchdog::StuckAtWatchdog(std::uint64_t threshold, Severity severity)
+    : Watchdog("stuck_at", severity), threshold_(threshold) {
+    CBS_EXPECTS(threshold >= 2);
+}
+
+void StuckAtWatchdog::observe(std::uint64_t sample_index, double v) {
+    if (have_last_ && v == last_) {
+        ++run_;
+        if (run_ + 1 >= threshold_ && !latched_) {
+            latched_ = true;
+            raise(sample_index, v, std::to_string(threshold_) + " identical samples");
+        }
+        return;
+    }
+    have_last_ = true;
+    last_ = v;
+    run_ = 0;
+    latched_ = false;
+}
+
+void StuckAtWatchdog::reset() {
+    Watchdog::reset();
+    have_last_ = false;
+    run_ = 0;
+    latched_ = false;
+}
+
+DriftWatchdog::DriftWatchdog(double threshold, double alpha, std::uint64_t warmup,
+                             Severity severity)
+    : Watchdog("drift", severity), threshold_(threshold), alpha_(alpha), warmup_(warmup) {
+    CBS_EXPECTS(threshold > 0.0);
+    CBS_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void DriftWatchdog::observe(std::uint64_t sample_index, double v) {
+    ++n_;
+    if (n_ == 1) {
+        ewma_ = v;
+        mean_ = v;
+        return;
+    }
+    ewma_ += alpha_ * (v - ewma_);
+    mean_ += (v - mean_) / static_cast<double>(n_);
+    if (n_ < warmup_) return;
+    const double gap = std::abs(ewma_ - mean_);
+    if (gap > threshold_) {
+        if (!latched_) {
+            latched_ = true;
+            raise(sample_index, v,
+                  "ewma departed mean by " + std::to_string(gap) + " (> " +
+                      std::to_string(threshold_) + ")");
+        }
+    } else {
+        latched_ = false;
+    }
+}
+
+void DriftWatchdog::reset() {
+    Watchdog::reset();
+    ewma_ = 0.0;
+    mean_ = 0.0;
+    n_ = 0;
+    latched_ = false;
+}
+
+LockLossWatchdog::LockLossWatchdog(double lock_level, double drop_fraction, double alpha,
+                                   std::uint64_t warmup, Severity severity)
+    : Watchdog("lock_loss", severity),
+      lock_level_(lock_level),
+      drop_fraction_(drop_fraction),
+      alpha_(alpha),
+      warmup_(warmup) {
+    CBS_EXPECTS(lock_level > 0.0);
+    CBS_EXPECTS(drop_fraction > 0.0 && drop_fraction < 1.0);
+    CBS_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void LockLossWatchdog::observe(std::uint64_t sample_index, double v) {
+    ++n_;
+    envelope_ += alpha_ * (std::abs(v) - envelope_);
+    if (n_ < warmup_) return;
+    if (!locked_) {
+        locked_ = envelope_ >= lock_level_;
+        if (locked_) peak_ = envelope_;
+        return;
+    }
+    if (envelope_ > peak_) peak_ = envelope_;
+    if (envelope_ < drop_fraction_ * peak_) {
+        if (!latched_) {
+            latched_ = true;
+            raise(sample_index, v,
+                  "envelope " + std::to_string(envelope_) + " fell below " +
+                      std::to_string(drop_fraction_) + " of peak " + std::to_string(peak_));
+        }
+    } else {
+        latched_ = false;
+    }
+}
+
+void LockLossWatchdog::reset() {
+    Watchdog::reset();
+    envelope_ = 0.0;
+    peak_ = 0.0;
+    n_ = 0;
+    locked_ = false;
+    latched_ = false;
+}
+
+}  // namespace cbs::obs

@@ -1,0 +1,145 @@
+// Declarative online anomaly detectors attached to obs::Probe taps.
+//
+// A watchdog sees every sample the owning probe records and raises a
+// structured obs::Event into the process-wide EventLog when its condition
+// trips. Detectors are deliberately simple streaming state machines — the
+// point is to catch a diverged filter, a dead noise source or a dropped
+// oscillation *online*, during the run that produced it, instead of three
+// layers later when a golden test fails.
+//
+// Built-ins:
+//   RangeWatchdog    sample outside [lo, hi]               (fault)
+//   StuckAtWatchdog  n consecutive bit-identical samples   (warning)
+//   DriftWatchdog    fast EWMA departs from the long-run mean (warning)
+//   LockLossWatchdog amplitude envelope collapses after lock (fault)
+//
+// Watchdogs run only while their probe is recording, so they obey the same
+// zero-cost contract as every other obs feature. Each instance rate-limits
+// itself (first kMaxRaises fires are logged; later fires only count) so a
+// persistently-bad signal cannot flood the log.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/events.hpp"
+
+namespace cbs::obs {
+
+class Probe;
+
+class Watchdog {
+public:
+    virtual ~Watchdog() = default;
+
+    /// Called for every recorded sample, in tap order.
+    virtual void observe(std::uint64_t sample_index, double v) = 0;
+
+    /// Detector kind id ("range", "stuck_at", ...), used for event records
+    /// and for idempotent installation (Probe::add_watchdog deduplicates
+    /// per (kind, probe)).
+    [[nodiscard]] const std::string& kind() const { return kind_; }
+
+    [[nodiscard]] std::uint64_t fire_count() const { return fires_; }
+    /// True once the watchdog has fired at least once.
+    [[nodiscard]] bool fired() const { return fires_ > 0; }
+
+    /// Re-arms the detector state (new run on the same probe).
+    virtual void reset() { fires_ = 0; }
+
+protected:
+    Watchdog(std::string kind, Severity severity) : kind_(std::move(kind)), severity_(severity) {}
+
+    /// Raises an event (rate-limited) and notifies the owning probe so it
+    /// can trigger a flight-recorder dump on fault-severity fires.
+    void raise(std::uint64_t sample_index, double v, std::string message);
+
+private:
+    friend class Probe;
+    static constexpr std::uint64_t kMaxRaises = 8;
+
+    std::string kind_;
+    Severity severity_;
+    Probe* owner_ = nullptr;  ///< set by Probe::add_watchdog
+    std::uint64_t fires_ = 0;
+};
+
+/// Fires when a sample leaves [lo, hi].
+class RangeWatchdog final : public Watchdog {
+public:
+    RangeWatchdog(double lo, double hi, Severity severity = Severity::fault);
+    void observe(std::uint64_t sample_index, double v) override;
+
+private:
+    double lo_;
+    double hi_;
+};
+
+/// Fires when `threshold` consecutive samples are bit-identical (a dead
+/// noise source, a latched ADC, a filter that stopped updating). Re-arms
+/// as soon as the value changes.
+class StuckAtWatchdog final : public Watchdog {
+public:
+    explicit StuckAtWatchdog(std::uint64_t threshold, Severity severity = Severity::warning);
+    void observe(std::uint64_t sample_index, double v) override;
+    void reset() override;
+
+private:
+    std::uint64_t threshold_;
+    double last_ = 0.0;
+    std::uint64_t run_ = 0;
+    bool have_last_ = false;
+    bool latched_ = false;  ///< fired for the current run; re-arms on change
+};
+
+/// Fires when the fast EWMA of the signal departs from its long-run mean by
+/// more than `threshold` (absolute). The long-run mean is the running mean
+/// of every sample seen; the EWMA tracks the recent `~1/alpha` samples, so
+/// a slow state drift shows up as a growing gap long before a range bound
+/// trips. Armed only after `warmup` samples.
+class DriftWatchdog final : public Watchdog {
+public:
+    DriftWatchdog(double threshold, double alpha = 0.01, std::uint64_t warmup = 256,
+                  Severity severity = Severity::warning);
+    void observe(std::uint64_t sample_index, double v) override;
+    void reset() override;
+
+private:
+    double threshold_;
+    double alpha_;
+    std::uint64_t warmup_;
+    double ewma_ = 0.0;
+    double mean_ = 0.0;
+    std::uint64_t n_ = 0;
+    bool latched_ = false;
+};
+
+/// Oscillator lock-loss: tracks the amplitude envelope (EWMA of |v|) and
+/// the largest envelope seen after `warmup` samples. Once the envelope has
+/// exceeded `lock_level`, a drop below `drop_fraction * peak` means the
+/// loop lost its oscillation — a resonant sensor's worst silent failure.
+class LockLossWatchdog final : public Watchdog {
+public:
+    LockLossWatchdog(double lock_level, double drop_fraction = 0.25,
+                     double alpha = 0.005, std::uint64_t warmup = 512,
+                     Severity severity = Severity::fault);
+    void observe(std::uint64_t sample_index, double v) override;
+    void reset() override;
+
+    [[nodiscard]] double envelope() const { return envelope_; }
+    [[nodiscard]] bool locked() const { return locked_; }
+
+private:
+    double lock_level_;
+    double drop_fraction_;
+    double alpha_;
+    std::uint64_t warmup_;
+    double envelope_ = 0.0;
+    double peak_ = 0.0;
+    std::uint64_t n_ = 0;
+    bool locked_ = false;
+    bool latched_ = false;
+};
+
+}  // namespace cbs::obs

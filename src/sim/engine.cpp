@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/probe.hpp"
 #include "sim/batch.hpp"
 #include "util/expect.hpp"
 
@@ -28,6 +29,18 @@ void Simulation::add_process(std::string name, std::function<void(double, double
     auto* hist = obs::MetricsRegistry::instance().histogram(metrics_scope_ + "." + name);
     processes_.push_back({std::move(name), std::move(tick), std::move(tick_block), hist});
     any_tick_block_ = true;
+}
+
+void Simulation::add_signal_probe(std::string name, std::function<double()> sampler) {
+    CBS_EXPECTS(sampler != nullptr);
+    obs::Probe* probe = obs::ProbeRegistry::instance().probe(name);
+    // A plain-tick process on purpose: a probe must never flip the
+    // scheduler into batched mode (any_tick_block_) and change the call
+    // order other processes observe.
+    add_process(std::move(name),
+                [probe, sampler = std::move(sampler)](double /*t*/, double /*dt*/) {
+                    probe->tap(sampler());
+                });
 }
 
 void Simulation::run(Time duration) {

@@ -45,6 +45,17 @@ public:
     void add_process(std::string name, std::function<void(double t, double dt)> tick,
                      std::function<void(double t0, double dt, std::size_t n)> tick_block);
 
+    /// Registers an obs signal probe driven by the scheduler: every step,
+    /// `sampler()` is read and tapped into the probe named `name` (created
+    /// in the ProbeRegistry; armed per CBS_OBS_PROBES or by force-arming).
+    /// The probe rides the tick clock as a read-only process, so it sees
+    /// the state every registered process left at that step. In batched
+    /// mode the upstream processes advance a whole batch at a time, so the
+    /// sampler observes end-of-batch state for intra-batch steps — a
+    /// decimated view, which is the documented observer semantics of
+    /// batching (the signal path itself stays bit-identical).
+    void add_signal_probe(std::string name, std::function<double()> sampler);
+
     /// Runs for a duration (rounded to the nearest whole step).
     void run(Time duration);
     /// Runs an exact number of steps.

@@ -1,0 +1,296 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cbs::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+    throw ParseError("json parse error at byte " + std::to_string(pos) + ": " + what);
+}
+
+}  // namespace
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value run() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail(pos_, "trailing input");
+        return v;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(pos_, std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Value parse_value() {
+        skip_ws();
+        switch (peek()) {
+            case '{':
+                return parse_object();
+            case '[':
+                return parse_array();
+            case '"': {
+                Value v;
+                v.type_ = Value::Type::string;
+                v.string_ = parse_string();
+                return v;
+            }
+            case 't': {
+                if (!consume_literal("true")) fail(pos_, "bad literal");
+                Value v;
+                v.type_ = Value::Type::boolean;
+                v.bool_ = true;
+                return v;
+            }
+            case 'f': {
+                if (!consume_literal("false")) fail(pos_, "bad literal");
+                Value v;
+                v.type_ = Value::Type::boolean;
+                v.bool_ = false;
+                return v;
+            }
+            case 'n': {
+                if (!consume_literal("null")) fail(pos_, "bad literal");
+                return Value{};
+            }
+            default:
+                return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Value v;
+        v.type_ = Value::Type::object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            v.object_.emplace_back(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Value v;
+        v.type_ = Value::Type::array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    // Enough for our writers: parse the 4 hex digits and
+                    // emit the code point as UTF-8 for the BMP (no
+                    // surrogate-pair handling).
+                    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else fail(pos_ - 1, "bad \\u escape");
+                    }
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    fail(pos_ - 1, "bad escape");
+            }
+        }
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail(pos_, "expected a value");
+        const std::string_view token = text_.substr(start, pos_ - start);
+        double parsed = 0.0;
+        const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), parsed);
+        if (ec != std::errc{} || end != token.data() + token.size()) {
+            fail(start, "bad number '" + std::string(token) + "'");
+        }
+        Value v;
+        v.type_ = Value::Type::number;
+        v.number_ = parsed;
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+Value Value::parse(std::string_view text) { return Parser(text).run(); }
+
+Value Value::parse_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) throw ParseError("cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+bool Value::as_bool() const {
+    if (type_ != Type::boolean) throw ParseError("not a bool");
+    return bool_;
+}
+
+double Value::as_number() const {
+    if (type_ != Type::number) throw ParseError("not a number");
+    return number_;
+}
+
+const std::string& Value::as_string() const {
+    if (type_ != Type::string) throw ParseError("not a string");
+    return string_;
+}
+
+std::size_t Value::size() const {
+    if (type_ == Type::array) return array_.size();
+    if (type_ == Type::object) return object_.size();
+    throw ParseError("not a container");
+}
+
+const Value& Value::at(std::size_t i) const {
+    if (type_ != Type::array) throw ParseError("not an array");
+    if (i >= array_.size()) throw ParseError("array index out of range");
+    return array_[i];
+}
+
+const Value* Value::find(std::string_view key) const {
+    if (type_ != Type::object) throw ParseError("not an object");
+    for (const auto& [k, v] : object_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+    const Value* v = find(key);
+    if (v == nullptr) throw ParseError("missing key '" + std::string(key) + "'");
+    return *v;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::items() const {
+    if (type_ != Type::object) throw ParseError("not an object");
+    return object_;
+}
+
+std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace cbs::json

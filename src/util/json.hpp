@@ -1,0 +1,73 @@
+// Minimal JSON: a recursive-descent parser into a small Value tree, plus an
+// escape helper for writers. Exists so cbs-obs-diff can read RunReport and
+// google-benchmark JSON exports without an external dependency; it covers
+// the JSON those writers emit (objects, arrays, strings with basic escapes,
+// numbers, bools, null) and rejects everything else loudly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cbs::json {
+
+/// Malformed input. what() includes the byte offset.
+class ParseError : public std::runtime_error {
+public:
+    explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Value {
+public:
+    enum class Type { null, boolean, number, string, array, object };
+
+    Value() = default;
+
+    /// Parses a complete JSON document (trailing non-space input is an
+    /// error). Throws ParseError on malformed input.
+    [[nodiscard]] static Value parse(std::string_view text);
+    /// Parses the file at `path`; throws ParseError (unreadable counts).
+    [[nodiscard]] static Value parse_file(const std::string& path);
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_null() const { return type_ == Type::null; }
+    [[nodiscard]] bool is_bool() const { return type_ == Type::boolean; }
+    [[nodiscard]] bool is_number() const { return type_ == Type::number; }
+    [[nodiscard]] bool is_string() const { return type_ == Type::string; }
+    [[nodiscard]] bool is_array() const { return type_ == Type::array; }
+    [[nodiscard]] bool is_object() const { return type_ == Type::object; }
+
+    /// Typed accessors; throw ParseError on a type mismatch.
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+
+    /// Array access.
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] const Value& at(std::size_t i) const;
+
+    /// Object access: find returns nullptr when the key is absent; at
+    /// throws. Key order is preserved from the document.
+    [[nodiscard]] const Value* find(std::string_view key) const;
+    [[nodiscard]] const Value& at(std::string_view key) const;
+    [[nodiscard]] const std::vector<std::pair<std::string, Value>>& items() const;
+
+private:
+    Type type_ = Type::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+
+    friend class Parser;
+};
+
+/// Escapes a string for embedding inside JSON quotes (", \, control chars).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace cbs::json

@@ -1,0 +1,119 @@
+// Per-element observability in array sweeps: with per_element_probes on,
+// every element gets its own probe scope ("<root>.e<i>.*") so taps,
+// watchdogs and fault events stay attributable to the element that raised
+// them even when elements shard across ThreadPool workers.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "core/array_sweep.hpp"
+#include "core/resonant_sensor.hpp"
+#include "fab/montecarlo.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+class SpecGuard {
+public:
+    explicit SpecGuard(std::string spec) : prev_(obs::ProbeRegistry::instance().spec()) {
+        obs::ProbeRegistry::instance().set_spec(std::move(spec));
+    }
+    ~SpecGuard() { obs::ProbeRegistry::instance().set_spec(prev_); }
+
+private:
+    std::string prev_;
+};
+
+fab::ProcessMonteCarlo make_mc() {
+    return fab::ProcessMonteCarlo(mech::resonant_default(), fab::KohEtchConfig{},
+                                  fab::ProcessVariation{},
+                                  fab::EtchMode::electrochemical_stop);
+}
+
+core::ResonantSensorConfig fast_sensor_config() {
+    core::ResonantSensorConfig cfg;
+    cfg.oversample = 16.0;
+    cfg.counter_gate = Time{0.02};
+    return cfg;
+}
+
+TEST(ArrayHealth, PerElementProbesRecordSeparableStreams) {
+    const LevelGuard guard(obs::Level::summary);
+    const SpecGuard spec("t.arrh.*");
+    const auto mc = make_mc();
+    core::ArraySweepConfig cfg;
+    cfg.elements = 2;
+    cfg.seed = 2026;
+    cfg.run_duration = Time{0.045};
+    cfg.per_element_probes = true;
+    cfg.probe_scope = "t.arrh";
+    const core::ArraySweep sweep(fast_sensor_config(), mc, cfg);
+    const auto results = sweep.run(nullptr);
+    ASSERT_EQ(results.size(), 2u);
+    auto& reg = obs::ProbeRegistry::instance();
+    for (std::size_t e = 0; e < results.size(); ++e) {
+        if (!results[e].functional) continue;
+        const obs::Probe* loop = reg.find("t.arrh.e" + std::to_string(e) + ".loop");
+        ASSERT_NE(loop, nullptr) << "element " << e;
+        EXPECT_GT(loop->stats().n, 0u) << "element " << e;
+        EXPECT_EQ(loop->stats().non_finite, 0u) << "element " << e;
+    }
+}
+
+TEST(ArrayHealth, FaultEventsAttributeToTheRaisingElement) {
+    const LevelGuard guard(obs::Level::summary);
+    auto& log = obs::EventLog::instance();
+    log.clear();
+    // Element 0's scope carries a fault; element 1's stays clean. (Raised
+    // directly into the log: the attribution path — count_for_prefix per
+    // element scope — is what's under test, not the signal physics.)
+    log.append({obs::Severity::fault, "range", "t.arrf.e0.loop", 123, 9.9, "synthetic"});
+    log.append({obs::Severity::warning, "drift", "t.arrf.e1.loop", 5, 0.1, "synthetic"});
+
+    const auto mc = make_mc();
+    core::ArraySweepConfig cfg;
+    cfg.elements = 2;
+    cfg.seed = 2026;
+    cfg.run_duration = Time{0.045};
+    cfg.per_element_probes = true;
+    cfg.probe_scope = "t.arrf";
+    const core::ArraySweep sweep(fast_sensor_config(), mc, cfg);
+    const auto results = sweep.run(nullptr);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GE(results[0].fault_events, 1u);   // the fault lands on element 0
+    EXPECT_EQ(results[1].fault_events, 0u);   // a warning is not a fault
+    const auto summary = core::ArraySweep::summarize(results);
+    EXPECT_EQ(summary.faulted, 1u);
+    log.clear();
+}
+
+TEST(ArrayHealth, ProbesOffByDefaultKeepsRegistryLean) {
+    const LevelGuard guard(obs::Level::summary);
+    const auto mc = make_mc();
+    core::ArraySweepConfig cfg;
+    cfg.elements = 2;
+    cfg.seed = 2026;
+    cfg.run_duration = Time{0.045};
+    cfg.probe_scope = "t.arrlean";  // per_element_probes stays false
+    const core::ArraySweep sweep(fast_sensor_config(), mc, cfg);
+    const auto results = sweep.run(nullptr);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(obs::ProbeRegistry::instance().find("t.arrlean.e0.loop"), nullptr);
+    for (const auto& r : results) EXPECT_EQ(r.fault_events, 0u);
+}
+
+}  // namespace

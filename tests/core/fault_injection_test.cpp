@@ -1,0 +1,183 @@
+// End-to-end fault path (ISSUE acceptance): an injected NaN in the bridge
+// noise source must surface as (1) a probe non-finite count, (2) a fault
+// event in the EventLog, (3) a flight-recorder CSV containing the offending
+// sample, and (4) a non-zero event summary in the collected RunReport.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/static_sensor.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/report.hpp"
+#include "sim/batch.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+class OutDirGuard {
+public:
+    OutDirGuard() : prev_(obs::out_dir()) { obs::set_out_dir(::testing::TempDir()); }
+    ~OutDirGuard() { obs::set_out_dir(prev_); }
+
+private:
+    std::string prev_;
+};
+
+class SpecGuard {
+public:
+    explicit SpecGuard(std::string spec) : prev_(obs::ProbeRegistry::instance().spec()) {
+        obs::ProbeRegistry::instance().set_spec(std::move(spec));
+    }
+    ~SpecGuard() { obs::ProbeRegistry::instance().set_spec(prev_); }
+
+private:
+    std::string prev_;
+};
+
+struct BatchSizeGuard {
+    explicit BatchSizeGuard(std::size_t n) { sim::set_batch_size(n); }
+    ~BatchSizeGuard() { sim::set_batch_size(0); }
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Runs one static-chain acquisition with a NaN injected into the bridge
+/// noise stream and the scope's probes armed.
+void run_injected(const std::string& scope, std::size_t batch) {
+    const BatchSizeGuard batch_guard(batch);
+    const SpecGuard spec(scope + ".*");
+    core::StaticSensorConfig cfg;
+    cfg.probe_scope = scope;
+    core::StaticCantileverSystem system(cfg, Rng(11));
+    system.inject_bridge_nan_after(100);
+    (void)system.read_channel(0, Time{1e-3}, Time{2e-3});
+}
+
+TEST(FaultInjection, NanRaisesEventAndDumpsFlightRing) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    auto& log = obs::EventLog::instance();
+    log.clear();
+    obs::FlightRecorder::instance().clear_history();
+
+    run_injected("t.inject.scalar", 1);
+
+    // (1) The bridge probe counted the NaN (and kept it out of the stats).
+    const obs::Probe* bridge = obs::ProbeRegistry::instance().find("t.inject.scalar.bridge");
+    ASSERT_NE(bridge, nullptr);
+    EXPECT_EQ(bridge->stats().non_finite, 1u);
+    EXPECT_GT(bridge->stats().n, 0u);
+
+    // (2) A fault-severity non_finite event names the probe and the sample.
+    ASSERT_GE(log.count_for_prefix("t.inject.scalar", obs::Severity::fault), 1u);
+    bool found_event = false;
+    for (const auto& e : log.events()) {
+        if (e.kind == "non_finite" && e.probe == "t.inject.scalar.bridge") {
+            found_event = true;
+            EXPECT_EQ(e.sample_index, 99u);  // 100th sample, 0-indexed taps
+        }
+    }
+    EXPECT_TRUE(found_event);
+
+    // (3) The flight dump exists and contains the offending NaN sample.
+    std::string dump_path;
+    for (const auto& f : obs::FlightRecorder::instance().dumped_files()) {
+        if (f.find("flight_t_inject_scalar_bridge.csv") != std::string::npos) dump_path = f;
+    }
+    ASSERT_FALSE(dump_path.empty());
+    const std::string csv = slurp(dump_path);
+    EXPECT_NE(csv.find("probe,reason,sample_index,value"), std::string::npos);
+    EXPECT_NE(csv.find("t.inject.scalar.bridge,non_finite,99,nan"), std::string::npos);
+    std::remove(dump_path.c_str());
+
+    // (4) The collected report carries a non-zero event summary and the
+    // probe row with its non-finite count.
+    const auto report = obs::RunReport::collect();
+    EXPECT_GE(report.events.total(), 1u);
+    EXPECT_GE(report.events.fault, 1u);
+    const auto rendered = report.render("fault injection");
+    EXPECT_NE(rendered.find("non_finite"), std::string::npos);
+    EXPECT_NE(rendered.find("t.inject.scalar.bridge"), std::string::npos);
+}
+
+TEST(FaultInjection, BatchedPathDetectsTheSameNan) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::FlightRecorder::instance().clear_history();
+
+    run_injected("t.inject.batched", 1024);
+
+    const obs::Probe* bridge =
+        obs::ProbeRegistry::instance().find("t.inject.batched.bridge");
+    ASSERT_NE(bridge, nullptr);
+    EXPECT_EQ(bridge->stats().non_finite, 1u);
+    EXPECT_GE(obs::EventLog::instance().count_for_prefix("t.inject.batched",
+                                                         obs::Severity::fault),
+              1u);
+    bool dumped = false;
+    for (const auto& f : obs::FlightRecorder::instance().dumped_files()) {
+        if (f.find("flight_t_inject_batched_bridge.csv") != std::string::npos) {
+            dumped = true;
+            std::remove(f.c_str());
+        }
+    }
+    EXPECT_TRUE(dumped);
+}
+
+TEST(FaultInjection, ReportJsonRoundTripsProbeNonFiniteCount) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::FlightRecorder::instance().clear_history();
+
+    run_injected("t.inject.json", 1);
+
+    const auto report = obs::RunReport::collect();
+    const std::string path = ::testing::TempDir() + "cbs_fault_report.json";
+    report.write_json(path);
+    const auto doc = json::Value::parse_file(path);
+    std::remove(path.c_str());
+
+    // cbs-obs-diff reads exactly this structure; the probe's non_finite
+    // count must survive the round trip so a regression diff can gate on it.
+    bool found = false;
+    const json::Value& probes = doc.at("probes");
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const json::Value& p = probes.at(i);
+        if (p.at("name").as_string() == "t.inject.json.bridge") {
+            found = true;
+            EXPECT_GE(p.at("non_finite").as_number(), 1.0);
+            EXPECT_GT(p.at("n").as_number(), 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GE(doc.at("events").at("fault").as_number(), 1.0);
+}
+
+}  // namespace

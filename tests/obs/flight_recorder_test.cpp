@@ -1,0 +1,125 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+class OutDirGuard {
+public:
+    OutDirGuard() : prev_(obs::out_dir()) { obs::set_out_dir(::testing::TempDir()); }
+    ~OutDirGuard() { obs::set_out_dir(prev_); }
+
+private:
+    std::string prev_;
+};
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+obs::Probe* fresh_probe(const std::string& name) {
+    obs::Probe* p = obs::ProbeRegistry::instance().probe(name);
+    p->reset();
+    p->set_armed(true);
+    return p;
+}
+
+TEST(ObsFlightRecorder, NanTapAutoDumpsRingWithOffendingSample) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::FlightRecorder::instance().clear_history();
+    obs::Probe* p = fresh_probe("t.flight.nan");
+    p->tap(1.5);
+    p->tap(2.5);
+    p->tap(std::numeric_limits<double>::quiet_NaN());
+    const auto files = obs::FlightRecorder::instance().dumped_files();
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_NE(files[0].find("flight_t_flight_nan.csv"), std::string::npos);
+    const std::string csv = slurp(files[0]);
+    EXPECT_NE(csv.find("probe,reason,sample_index,value"), std::string::npos);
+    EXPECT_NE(csv.find("t.flight.nan,non_finite,0,1.5"), std::string::npos);
+    EXPECT_NE(csv.find("t.flight.nan,non_finite,2,nan"), std::string::npos);
+    std::remove(files[0].c_str());
+}
+
+TEST(ObsFlightRecorder, AutomaticDumpBudgetIsOnePerProbe) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::FlightRecorder::instance().clear_history();
+    obs::Probe* p = fresh_probe("t.flight.budget");
+    p->tap(std::numeric_limits<double>::quiet_NaN());
+    p->tap(std::numeric_limits<double>::quiet_NaN());  // budget already spent
+    EXPECT_EQ(obs::FlightRecorder::instance().dumped_files().size(), 1u);
+    // Explicit dumps ignore the budget.
+    const std::string path = p->dump_flight("manual");
+    EXPECT_FALSE(path.empty());
+    EXPECT_EQ(obs::FlightRecorder::instance().dumped_files().size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ObsFlightRecorder, EmptyRingDumpsNothing) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::Probe* p = fresh_probe("t.flight.empty");
+    EXPECT_TRUE(p->dump_flight("manual").empty());
+}
+
+TEST(ObsFlightRecorder, DumpAllCoversEveryProbeWithData) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::FlightRecorder::instance().clear_history();
+    obs::Probe* a = fresh_probe("t.flight.all_a");
+    obs::Probe* b = fresh_probe("t.flight.all_b");
+    fresh_probe("t.flight.all_empty");  // never tapped: skipped
+    a->tap(1.0);
+    b->tap(2.0);
+    const auto files = obs::FlightRecorder::instance().dump_all("end_of_run");
+    std::size_t ours = 0;
+    for (const auto& f : files) {
+        if (f.find("flight_t_flight_all_") != std::string::npos) {
+            ++ours;
+            std::remove(f.c_str());
+        }
+        EXPECT_EQ(f.find("flight_t_flight_all_empty"), std::string::npos);
+    }
+    EXPECT_EQ(ours, 2u);
+}
+
+TEST(ObsFlightRecorder, DumpCountsIntoMetricsRegistry) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    auto* counter = obs::MetricsRegistry::instance().counter("obs.flight_dumps");
+    const auto before = counter->value();
+    obs::Probe* p = fresh_probe("t.flight.counter");
+    p->tap(7.0);
+    const std::string path = p->dump_flight("manual");
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(counter->value(), before + 1);
+    std::remove(path.c_str());
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/probe.hpp"
 #include "obs/report.hpp"
 #include "util/expect.hpp"
 
@@ -64,23 +65,28 @@ TEST(ObsGauge, DisabledSetIsIgnored) {
     EXPECT_DOUBLE_EQ(g.value(), 0.0);
 }
 
-TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+TEST(ObsHistogram, BucketBoundariesAreHalfOpen) {
     const LevelGuard guard(obs::Level::summary);
     const std::vector<double> bounds{1.0, 10.0, 100.0};
     obs::Histogram h(bounds);
-    h.observe(0.5);    // bucket 0: v <= 1
-    h.observe(1.0);    // bucket 0: boundary belongs to the lower bucket
+    // Half-open rule: bucket i counts bound[i-1] <= v < bound[i], so a
+    // sample exactly on an edge belongs to the bucket ABOVE it — every
+    // edge, including the top one (which lands in overflow). The old
+    // inclusive-upper rule treated the top edge differently from interior
+    // edges; this pins the consistent rule.
+    h.observe(0.5);    // bucket 0: v < 1
+    h.observe(1.0);    // bucket 1: on the edge -> above
     h.observe(1.0001); // bucket 1
-    h.observe(10.0);   // bucket 1
+    h.observe(10.0);   // bucket 2: on the edge -> above
     h.observe(99.9);   // bucket 2
-    h.observe(100.0);  // bucket 2
+    h.observe(100.0);  // overflow: top edge is no exception
     h.observe(101.0);  // overflow
     const auto counts = h.bucket_counts();
     ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
-    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[0], 1u);
     EXPECT_EQ(counts[1], 2u);
     EXPECT_EQ(counts[2], 2u);
-    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(counts[3], 2u);
     EXPECT_EQ(h.count(), 7u);
 }
 
@@ -192,6 +198,55 @@ TEST(ObsRunReport, EmptyRegistrySectionsRenderNothing) {
     const obs::RunReport report;  // default-constructed: no data
     EXPECT_TRUE(report.empty());
     EXPECT_TRUE(report.render("title").empty());
+}
+
+TEST(ObsRunReport, ZeroSampleProcessRowsRenderZeroNotNaN) {
+    // A histogram registered but never observed (CBS_OBS off for the whole
+    // run, or an instrument on a cold path) must render as "n=0" dashes —
+    // the old path printed nan for every statistic.
+    (void)obs::MetricsRegistry::instance().histogram("proc.never_ticked_report");
+    const auto report = obs::RunReport::collect();
+    // Scope the "nan" scan to this row's line: other registered names (e.g.
+    // "proc.resonant_loop") legitimately contain the letters "nan".
+    const auto rendered = report.render("zero test");
+    const auto row_at = rendered.find("never_ticked_report");
+    ASSERT_NE(row_at, std::string::npos);
+    const auto row_end = rendered.find('\n', row_at);
+    const std::string row = rendered.substr(row_at, row_end - row_at);
+    EXPECT_EQ(row.find("nan"), std::string::npos) << row;
+    const auto json = report.to_json();
+    const auto json_at = json.find("never_ticked_report");
+    ASSERT_NE(json_at, std::string::npos);
+    const auto json_end = json.find('}', json_at);
+    const std::string json_row = json.substr(json_at, json_end - json_at);
+    EXPECT_EQ(json_row.find("nan"), std::string::npos) << json_row;
+    bool found = false;
+    for (const auto& row : report.processes) {
+        if (row.name == "never_ticked_report") {
+            found = true;
+            EXPECT_EQ(row.ticks, 0u);
+            EXPECT_DOUBLE_EQ(row.mean_us, 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ObsRunReport, ArmedIdleProbesAreListedWithDashes) {
+    obs::Probe* p = obs::ProbeRegistry::instance().probe("test.report_armed_idle");
+    p->reset();
+    p->set_armed(true);  // attached but nothing recorded yet
+    const auto report = obs::RunReport::collect();
+    bool found = false;
+    for (const auto& row : report.probes) {
+        if (row.name == "test.report_armed_idle") {
+            found = true;
+            EXPECT_EQ(row.n, 0u);
+        }
+    }
+    EXPECT_TRUE(found);
+    const auto rendered = report.render("idle probe");
+    EXPECT_NE(rendered.find("test.report_armed_idle"), std::string::npos);
+    p->set_armed(false);
 }
 
 }  // namespace

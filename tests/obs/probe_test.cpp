@@ -1,0 +1,211 @@
+#include "obs/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+/// Redirects flight-dump artifacts into the gtest temp dir for the scope.
+class OutDirGuard {
+public:
+    OutDirGuard() : prev_(obs::out_dir()) { obs::set_out_dir(::testing::TempDir()); }
+    ~OutDirGuard() { obs::set_out_dir(prev_); }
+
+private:
+    std::string prev_;
+};
+
+/// Fetches a fresh-state probe (probes are process-global, so each test
+/// uses its own name and resets recorded state up front).
+obs::Probe* fresh_probe(const std::string& name) {
+    obs::Probe* p = obs::ProbeRegistry::instance().probe(name);
+    p->reset();
+    p->set_armed(true);
+    return p;
+}
+
+TEST(ObsProbe, DisarmedTapRecordsNothing) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* p = obs::ProbeRegistry::instance().probe("t.probe.disarmed");
+    p->reset();
+    p->set_armed(false);
+    p->tap(1.0);
+    p->tap(2.0);
+    EXPECT_EQ(p->sample_count(), 0u);
+    EXPECT_EQ(p->stats().n, 0u);
+}
+
+TEST(ObsProbe, ArmedButLevelOffRecordsNothing) {
+    const LevelGuard guard(obs::Level::off);
+    obs::Probe* p = fresh_probe("t.probe.idle");
+    p->tap(1.0);
+    EXPECT_EQ(p->sample_count(), 0u);
+}
+
+TEST(ObsProbe, StreamingStatsMatchWelford) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* p = fresh_probe("t.probe.stats");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) p->tap(v);
+    const auto s = p->stats();
+    EXPECT_EQ(s.n, 8u);
+    EXPECT_EQ(s.non_finite, 0u);
+    EXPECT_NEAR(s.mean, 5.0, 1e-12);
+    EXPECT_NEAR(s.stddev, 2.138089935299395, 1e-12);  // sample stddev (N-1)
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(ObsProbe, NonFiniteSamplesAreCountedButKeptOutOfStats) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;  // the first NaN auto-dumps a flight CSV
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.probe.nonfinite");
+    p->tap(1.0);
+    p->tap(std::numeric_limits<double>::quiet_NaN());
+    p->tap(std::numeric_limits<double>::infinity());
+    p->tap(3.0);
+    const auto s = p->stats();
+    EXPECT_EQ(s.n, 2u);
+    EXPECT_EQ(s.non_finite, 2u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    EXPECT_EQ(p->sample_count(), 4u);
+    // The first non-finite sample raises exactly one event per probe run.
+    EXPECT_EQ(obs::EventLog::instance().count_for_prefix("t.probe.nonfinite"), 1u);
+}
+
+TEST(ObsProbe, TapBlockEquivalentToPerSampleTaps) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* single = fresh_probe("t.probe.scalar");
+    obs::Probe* block = fresh_probe("t.probe.block");
+    std::vector<double> values;
+    for (int i = 0; i < 500; ++i) values.push_back(std::sin(0.1 * i) * (i % 7));
+    for (double v : values) single->tap(v);
+    block->tap_block(values);
+    const auto a = single->stats();
+    const auto b = block->stats();
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.mean, b.mean);  // identical fold order -> bitwise equal
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(single->waveform().size(), block->waveform().size());
+    EXPECT_EQ(single->ring().size(), block->ring().size());
+}
+
+TEST(ObsProbe, WaveformDecimatesWithBoundedMemory) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* p = fresh_probe("t.probe.waveform");
+    constexpr std::size_t kSamples = 10000;
+    for (std::size_t i = 0; i < kSamples; ++i) p->tap(static_cast<double>(i));
+    const auto wf = p->waveform();
+    ASSERT_FALSE(wf.empty());
+    EXPECT_LE(wf.size(), 2048u);  // never exceeds capacity
+    EXPECT_GT(p->waveform_stride(), 1u);
+    // Stored points are a uniform subsampling: strictly increasing indices,
+    // values equal to their index (the ramp we fed in).
+    for (std::size_t i = 1; i < wf.size(); ++i) {
+        EXPECT_GT(wf[i].index, wf[i - 1].index);
+        EXPECT_DOUBLE_EQ(wf[i].value, static_cast<double>(wf[i].index));
+    }
+}
+
+TEST(ObsProbe, RingKeepsMostRecentSamplesInOrder) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* p = fresh_probe("t.probe.ring");
+    p->set_ring_capacity(8);
+    for (int i = 0; i < 20; ++i) p->tap(static_cast<double>(i));
+    const auto ring = p->ring();
+    ASSERT_EQ(ring.size(), 8u);
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ring[i].value, static_cast<double>(12 + i));  // 12..19
+    }
+}
+
+TEST(ObsProbe, ResetClearsRecordedStateButNotArming) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::Probe* p = fresh_probe("t.probe.reset");
+    p->tap(1.0);
+    p->tap(std::numeric_limits<double>::quiet_NaN());
+    p->reset();
+    EXPECT_TRUE(p->armed());
+    EXPECT_EQ(p->sample_count(), 0u);
+    EXPECT_EQ(p->stats().non_finite, 0u);
+    EXPECT_TRUE(p->waveform().empty());
+    EXPECT_TRUE(p->ring().empty());
+}
+
+TEST(ObsProbeRegistry, SameNameReturnsSamePointer) {
+    auto& reg = obs::ProbeRegistry::instance();
+    EXPECT_EQ(reg.probe("t.reg.same"), reg.probe("t.reg.same"));
+    EXPECT_NE(reg.probe("t.reg.same"), reg.probe("t.reg.other"));
+    EXPECT_EQ(reg.find("t.reg.same"), reg.probe("t.reg.same"));
+    EXPECT_EQ(reg.find("t.reg.never_created"), nullptr);
+}
+
+TEST(ObsProbeRegistry, SpecMatchingRules) {
+    using R = obs::ProbeRegistry;
+    EXPECT_TRUE(R::spec_matches("*", "anything.at.all"));
+    EXPECT_TRUE(R::spec_matches("static.adc", "static.adc"));
+    EXPECT_FALSE(R::spec_matches("static.adc", "static.adc2"));
+    EXPECT_TRUE(R::spec_matches("static.*", "static.adc"));
+    EXPECT_TRUE(R::spec_matches("resonant.loop,static.*", "static.bridge"));
+    EXPECT_TRUE(R::spec_matches("resonant.loop,static.*", "resonant.loop"));
+    EXPECT_FALSE(R::spec_matches("resonant.loop,static.*", "resonant.bridge"));
+    EXPECT_FALSE(R::spec_matches("", "anything"));
+    EXPECT_TRUE(R::spec_matches(" a , b ", "b"));  // tokens are trimmed
+}
+
+TEST(ObsProbeRegistry, SetSpecReevaluatesArming) {
+    auto& reg = obs::ProbeRegistry::instance();
+    const std::string saved = reg.spec();
+    obs::Probe* a = reg.probe("t.spec.alpha");
+    obs::Probe* b = reg.probe("t.spec.beta");
+    reg.set_spec("t.spec.alpha");
+    EXPECT_TRUE(a->armed());
+    EXPECT_FALSE(b->armed());
+    reg.set_spec("t.spec.*");
+    EXPECT_TRUE(a->armed());
+    EXPECT_TRUE(b->armed());
+    // The spec is authoritative: force-armed probes not matching it disarm.
+    reg.set_spec("");
+    EXPECT_FALSE(a->armed());
+    reg.set_spec(saved);
+}
+
+TEST(ObsProbeRegistry, NewProbeArmsPerActiveSpec) {
+    auto& reg = obs::ProbeRegistry::instance();
+    const std::string saved = reg.spec();
+    reg.set_spec("t.fresharm.*");
+    obs::Probe* p = reg.probe("t.fresharm.x");
+    EXPECT_TRUE(p->armed());
+    obs::Probe* q = reg.probe("t.othername.x");
+    EXPECT_FALSE(q->armed());
+    reg.set_spec(saved);
+}
+
+TEST(ObsProbe, DefaultRingCapacityIsPositive) {
+    EXPECT_GE(obs::default_ring_capacity(), 1u);
+    obs::Probe* p = obs::ProbeRegistry::instance().probe("t.probe.defaultring");
+    EXPECT_EQ(p->ring_capacity(), obs::default_ring_capacity());
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+#include "obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+class OutDirGuard {
+public:
+    OutDirGuard() : prev_(obs::out_dir()) { obs::set_out_dir(::testing::TempDir()); }
+    ~OutDirGuard() { obs::set_out_dir(prev_); }
+
+private:
+    std::string prev_;
+};
+
+obs::Probe* fresh_probe(const std::string& name) {
+    obs::Probe* p = obs::ProbeRegistry::instance().probe(name);
+    p->reset();
+    p->set_armed(true);
+    return p;
+}
+
+TEST(ObsWatchdog, RangeFiresOutsideBoundsOnly) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.dog.range");
+    auto dog = std::make_unique<obs::RangeWatchdog>(-1.0, 1.0);
+    const obs::Watchdog* raw = dog.get();
+    p->add_watchdog(std::move(dog));
+    p->tap(0.5);
+    p->tap(-1.0);  // bounds are inclusive
+    p->tap(1.0);
+    EXPECT_FALSE(raw->fired());
+    p->tap(1.5);
+    EXPECT_TRUE(raw->fired());
+    EXPECT_EQ(raw->fire_count(), 1u);
+    const auto events = obs::EventLog::instance().events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, "range");
+    EXPECT_EQ(events[0].probe, "t.dog.range");
+    EXPECT_EQ(events[0].severity, obs::Severity::fault);
+    EXPECT_EQ(events[0].sample_index, 3u);
+    EXPECT_DOUBLE_EQ(events[0].value, 1.5);
+}
+
+TEST(ObsWatchdog, RangeFaultTriggersFlightDump) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::FlightRecorder::instance().clear_history();
+    obs::Probe* p = fresh_probe("t.dog.rangedump");
+    p->add_watchdog(std::make_unique<obs::RangeWatchdog>(-1.0, 1.0));
+    p->tap(0.0);
+    p->tap(42.0);  // fault -> automatic dump of the ring
+    const auto files = obs::FlightRecorder::instance().dumped_files();
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_NE(files[0].find("flight_t_dog_rangedump.csv"), std::string::npos);
+}
+
+TEST(ObsWatchdog, StuckAtFiresAfterThresholdAndRearmsOnChange) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.dog.stuck");
+    auto dog = std::make_unique<obs::StuckAtWatchdog>(4);
+    const obs::Watchdog* raw = dog.get();
+    p->add_watchdog(std::move(dog));
+    for (int i = 0; i < 3; ++i) p->tap(2.5);
+    EXPECT_FALSE(raw->fired());  // 3 identical samples < threshold
+    p->tap(2.5);
+    EXPECT_EQ(raw->fire_count(), 1u);  // 4th identical sample fires
+    p->tap(2.5);
+    EXPECT_EQ(raw->fire_count(), 1u);  // latched: same run fires once
+    p->tap(7.0);                       // value changed -> re-armed
+    for (int i = 0; i < 4; ++i) p->tap(7.0);
+    EXPECT_EQ(raw->fire_count(), 2u);
+}
+
+TEST(ObsWatchdog, DriftDetectsSlowRampAfterWarmup) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.dog.drift");
+    auto dog = std::make_unique<obs::DriftWatchdog>(/*threshold=*/0.5, /*alpha=*/0.05,
+                                                    /*warmup=*/100);
+    const obs::Watchdog* raw = dog.get();
+    p->add_watchdog(std::move(dog));
+    // Stationary signal: never fires.
+    for (int i = 0; i < 500; ++i) p->tap(1.0);
+    EXPECT_FALSE(raw->fired());
+    // Slow ramp: the fast EWMA follows the ramp while the long-run mean
+    // lags, so the gap eventually exceeds the threshold.
+    for (int i = 0; i < 2000; ++i) p->tap(1.0 + 0.005 * i);
+    EXPECT_TRUE(raw->fired());
+}
+
+TEST(ObsWatchdog, LockLossFiresOnlyAfterLockEstablished) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.dog.lock");
+    auto dog = std::make_unique<obs::LockLossWatchdog>(/*lock_level=*/0.5,
+                                                       /*drop_fraction=*/0.25,
+                                                       /*alpha=*/0.05, /*warmup=*/50);
+    const obs::LockLossWatchdog* raw = dog.get();
+    p->add_watchdog(std::move(dog));
+    // Dead signal from the start: no lock, so no loss to report.
+    for (int i = 0; i < 500; ++i) p->tap(0.0);
+    EXPECT_FALSE(raw->locked());
+    EXPECT_FALSE(raw->fired());
+    // Oscillation builds up -> lock.
+    for (int i = 0; i < 500; ++i) p->tap(std::sin(0.3 * i));
+    EXPECT_TRUE(raw->locked());
+    EXPECT_FALSE(raw->fired());
+    // Oscillation dies -> envelope collapses below drop_fraction * peak.
+    for (int i = 0; i < 500; ++i) p->tap(0.0);
+    EXPECT_TRUE(raw->fired());
+}
+
+TEST(ObsWatchdog, RateLimitCapsLoggedEventsButCountsFires) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.dog.ratelimit");
+    auto dog = std::make_unique<obs::RangeWatchdog>(-1.0, 1.0);
+    const obs::Watchdog* raw = dog.get();
+    p->add_watchdog(std::move(dog));
+    for (int i = 0; i < 100; ++i) p->tap(5.0);  // persistently out of range
+    EXPECT_EQ(raw->fire_count(), 100u);
+    // Only the first kMaxRaises fires reach the log.
+    EXPECT_EQ(obs::EventLog::instance().count_for_prefix("t.dog.ratelimit"), 8u);
+}
+
+TEST(ObsWatchdog, InstallationIsIdempotentPerKind) {
+    obs::Probe* p = fresh_probe("t.dog.idempotent");
+    p->add_watchdog(std::make_unique<obs::RangeWatchdog>(-1.0, 1.0));
+    p->add_watchdog(std::make_unique<obs::RangeWatchdog>(-99.0, 99.0));  // discarded
+    p->add_watchdog(std::make_unique<obs::StuckAtWatchdog>(16));
+    EXPECT_TRUE(p->has_watchdog("range"));
+    EXPECT_TRUE(p->has_watchdog("stuck_at"));
+    EXPECT_FALSE(p->has_watchdog("drift"));
+    // The first install won: out-of-range for it fires exactly one event.
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    p->tap(50.0);  // outside [-1,1] but inside [-99,99]
+    EXPECT_EQ(obs::EventLog::instance().count_for_prefix("t.dog.idempotent"), 1u);
+}
+
+TEST(ObsWatchdog, ProbeResetRearmsDetectors) {
+    const LevelGuard guard(obs::Level::summary);
+    const OutDirGuard out_guard;
+    obs::EventLog::instance().clear();
+    obs::Probe* p = fresh_probe("t.dog.reset");
+    auto dog = std::make_unique<obs::RangeWatchdog>(-1.0, 1.0);
+    const obs::Watchdog* raw = dog.get();
+    p->add_watchdog(std::move(dog));
+    p->tap(3.0);
+    EXPECT_EQ(raw->fire_count(), 1u);
+    p->reset();
+    EXPECT_EQ(raw->fire_count(), 0u);
+    p->tap(3.0);
+    EXPECT_EQ(raw->fire_count(), 1u);
+}
+
+}  // namespace

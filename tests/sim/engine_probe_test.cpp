@@ -1,0 +1,108 @@
+// Scheduler-driven signal probes (Simulation::add_signal_probe): read-only
+// observers on the tick clock that must never change scheduler semantics.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "sim/batch.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+struct BatchSizeGuard {
+    explicit BatchSizeGuard(std::size_t n) { sim::set_batch_size(n); }
+    ~BatchSizeGuard() { sim::set_batch_size(0); }
+};
+
+obs::Probe* armed_probe(const std::string& name) {
+    obs::Probe* p = obs::ProbeRegistry::instance().probe(name);
+    p->reset();
+    p->set_armed(true);
+    return p;
+}
+
+TEST(SimEngineProbe, TapsSamplerEveryStep) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* probe = armed_probe("t.sim.everystep");
+    sim::Simulation sim(1e6);
+    double state = 0.0;
+    sim.add_process("integrator", [&state](double, double) { state += 1.0; });
+    sim.add_signal_probe("t.sim.everystep", [&state] { return state; });
+    sim.run_steps(100);
+    EXPECT_EQ(probe->sample_count(), 100u);
+    const auto s = probe->stats();
+    EXPECT_DOUBLE_EQ(s.min, 1.0);   // probe runs after the integrator
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(SimEngineProbe, ProbeAloneNeverEngagesBatchedMode) {
+    const LevelGuard guard(obs::Level::summary);
+    const BatchSizeGuard batch(64);
+    obs::Probe* probe = armed_probe("t.sim.nobatch");
+    sim::Simulation sim(1e6);
+    // Only plain-tick processes: a signal probe must not flip the scheduler
+    // into batched mode, so the probe sees every intermediate state.
+    double state = 0.0;
+    sim.add_process("integrator", [&state](double, double) { state += 1.0; });
+    sim.add_signal_probe("t.sim.nobatch", [&state] { return state; });
+    sim.run_steps(8);
+    const auto wf = probe->waveform();
+    ASSERT_EQ(wf.size(), 8u);
+    for (std::size_t i = 0; i < wf.size(); ++i) {
+        EXPECT_DOUBLE_EQ(wf[i].value, static_cast<double>(i + 1));
+    }
+}
+
+TEST(SimEngineProbe, BatchedModeGivesDocumentedDecimatedView) {
+    const LevelGuard guard(obs::Level::summary);
+    const BatchSizeGuard batch(4);
+    obs::Probe* probe = armed_probe("t.sim.decimated");
+    sim::Simulation sim(1e6);
+    double state = 0.0;
+    // The upstream process advances whole batches at a time...
+    sim.add_process(
+        "integrator", [&state](double, double) { state += 1.0; },
+        [&state](double, double, std::size_t n) { state += static_cast<double>(n); });
+    sim.add_signal_probe("t.sim.decimated", [&state] { return state; });
+    sim.run_steps(8);
+    // ...so the probe taps every step but observes end-of-batch state:
+    // 4,4,4,4,8,8,8,8 instead of 1..8. The signal path itself is
+    // bit-identical (SystemBatchEquivalence); only the observer decimates.
+    const auto wf = probe->waveform();
+    ASSERT_EQ(wf.size(), 8u);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(wf[i].value, 4.0);
+    for (std::size_t i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(wf[i].value, 8.0);
+    EXPECT_EQ(probe->sample_count(), 8u);
+}
+
+TEST(SimEngineProbe, DisarmedProbeRecordsNothingButTicks) {
+    const LevelGuard guard(obs::Level::summary);
+    obs::Probe* probe = obs::ProbeRegistry::instance().probe("t.sim.disarmed");
+    probe->reset();
+    probe->set_armed(false);
+    sim::Simulation sim(1e6);
+    sim.add_signal_probe("t.sim.disarmed", [] { return 1.0; });
+    sim.run_steps(50);
+    EXPECT_EQ(probe->sample_count(), 0u);
+    // The probe still rides the tick clock as a registered process.
+    const auto counts = sim.tick_counts();
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts[0].second, 50u);
+}
+
+}  // namespace

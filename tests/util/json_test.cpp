@@ -1,0 +1,91 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+using cbs::json::ParseError;
+using cbs::json::Value;
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(Value::parse("null").is_null());
+    EXPECT_TRUE(Value::parse("true").as_bool());
+    EXPECT_FALSE(Value::parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(Value::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(Value::parse("-3.5e2").as_number(), -350.0);
+    EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+    const auto v = Value::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+    ASSERT_TRUE(v.is_object());
+    const Value& a = v.at("a");
+    ASSERT_TRUE(a.is_array());
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.at(0).as_number(), 1.0);
+    EXPECT_EQ(a.at(2).at("b").as_string(), "c");
+    EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, PreservesObjectKeyOrder) {
+    const auto v = Value::parse(R"({"z": 1, "a": 2, "m": 3})");
+    const auto& items = v.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].first, "z");
+    EXPECT_EQ(items[1].first, "a");
+    EXPECT_EQ(items[2].first, "m");
+}
+
+TEST(Json, DecodesEscapes) {
+    const auto v = Value::parse(R"("line\nquote\"tab\tback\\u:\u0041")");
+    EXPECT_EQ(v.as_string(), "line\nquote\"tab\tback\\u:A");
+}
+
+TEST(Json, FindReturnsNullptrForMissingKey) {
+    const auto v = Value::parse(R"({"present": 1})");
+    EXPECT_NE(v.find("present"), nullptr);
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_THROW((void)v.at("absent"), ParseError);
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(Value::parse(""), ParseError);
+    EXPECT_THROW(Value::parse("{"), ParseError);
+    EXPECT_THROW(Value::parse("[1, ]"), ParseError);
+    EXPECT_THROW(Value::parse("{\"a\" 1}"), ParseError);
+    EXPECT_THROW(Value::parse("1 2"), ParseError);       // trailing input
+    EXPECT_THROW(Value::parse("nul"), ParseError);
+    EXPECT_THROW(Value::parse("'single'"), ParseError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+    const auto v = Value::parse("[1]");
+    EXPECT_THROW((void)v.as_number(), ParseError);
+    EXPECT_THROW((void)v.at("key"), ParseError);
+    EXPECT_THROW((void)v.items(), ParseError);
+    EXPECT_THROW((void)v.at(5), ParseError);  // index out of range
+}
+
+TEST(Json, ParseFileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "cbs_json_test.json";
+    {
+        std::ofstream out(path);
+        out << R"({"n": 1.25, "s": "x"})";
+    }
+    const auto v = Value::parse_file(path);
+    EXPECT_DOUBLE_EQ(v.at("n").as_number(), 1.25);
+    EXPECT_EQ(v.at("s").as_string(), "x");
+    std::remove(path.c_str());
+    EXPECT_THROW(Value::parse_file(path), ParseError);  // unreadable
+}
+
+TEST(Json, EscapeHandlesSpecials) {
+    EXPECT_EQ(cbs::json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(cbs::json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace

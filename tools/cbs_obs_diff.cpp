@@ -1,0 +1,94 @@
+// cbs-obs-diff: compare two observability exports and flag regressions.
+//
+//   cbs-obs-diff [options] <baseline.json> <current.json>
+//
+// Inputs are either RunReport JSON exports (BenchSession writes
+// <name>_report.json at CBS_OBS=trace) or google-benchmark JSON
+// (--benchmark_format=json / --benchmark_out=...); the format of each file
+// is auto-detected. Metrics are matched by name; per-metric relative deltas
+// beyond the threshold count as regressions only in the harmful direction
+// (time up, throughput down, probe non-finite counts up at all).
+//
+// Exit status: 0 clean (or --warn-only), 1 regressions found, 2 usage /
+// parse errors. CI runs the warn-only form against a checked-in baseline as
+// a soft perf gate.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/diff.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+    out << "usage: cbs-obs-diff [--threshold <fraction>] [--warn-only] "
+           "<baseline.json> <current.json>\n"
+           "  --threshold f   relative change flagged as regression (default 0.10)\n"
+           "  --warn-only     report regressions but exit 0 (CI soft gate)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    cbs::obs::DiffOptions opts;
+    std::string baseline;
+    std::string current;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        if (arg == "--warn-only") {
+            opts.warn_only = true;
+            continue;
+        }
+        if (arg == "--threshold") {
+            if (i + 1 >= argc) {
+                std::cerr << "cbs-obs-diff: --threshold needs a value\n";
+                return 2;
+            }
+            char* end = nullptr;
+            opts.threshold = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || opts.threshold < 0.0) {
+                std::cerr << "cbs-obs-diff: bad threshold '" << argv[i] << "'\n";
+                return 2;
+            }
+            continue;
+        }
+        if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "cbs-obs-diff: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+        if (baseline.empty()) {
+            baseline = arg;
+        } else if (current.empty()) {
+            current = arg;
+        } else {
+            std::cerr << "cbs-obs-diff: too many arguments\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (baseline.empty() || current.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    try {
+        const auto result = cbs::obs::diff_files(baseline, current, opts);
+        const std::string rendered = result.render(opts);
+        if (rendered.empty()) {
+            std::cout << "cbs-obs-diff: no comparable metrics found\n";
+            return 0;
+        }
+        std::cout << rendered;
+        return result.exit_code(opts);
+    } catch (const cbs::json::ParseError& e) {
+        std::cerr << "cbs-obs-diff: " << e.what() << "\n";
+        return 2;
+    }
+}
