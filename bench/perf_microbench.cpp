@@ -11,6 +11,7 @@
 #include "circ/block.hpp"
 #include "circ/chopper.hpp"
 #include "circ/filters.hpp"
+#include "circ/fuse.hpp"
 #include "circ/noise.hpp"
 #include "core/resonant_sensor.hpp"
 #include "core/static_sensor.hpp"
@@ -299,6 +300,29 @@ void BM_SignalPathResonantLoop(benchmark::State& state) {
 BENCHMARK(BM_SignalPathResonantLoop)->Arg(1)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
+/// Temporarily forces the fuse mode for one benchmark (the compiled-form
+/// SIMD tier, DESIGN.md Â§11); pairs with the unfused row above it in
+/// BENCH_signalpath.json.
+class FuseModeBenchGuard {
+public:
+    explicit FuseModeBenchGuard(circ::FuseMode m) { circ::set_fuse_mode(m); }
+    ~FuseModeBenchGuard() { circ::clear_fuse_mode(); }
+};
+
+void BM_SignalPathResonantLoopFused(benchmark::State& state) {
+    const FuseModeBenchGuard fuse(circ::FuseMode::simd);
+    const BatchSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    constexpr std::size_t kTicks = 4096;
+    const Time window{static_cast<double>(kTicks) / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(window);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTicks));
+}
+BENCHMARK(BM_SignalPathResonantLoopFused)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_SignalPathStaticChain(benchmark::State& state) {
     const BatchSizeGuard guard(static_cast<std::size_t>(state.range(0)));
     core::StaticCantileverSystem sensor(core::StaticSensorConfig{}, Rng(7));
@@ -310,6 +334,19 @@ void BM_SignalPathStaticChain(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kSamplesPerRead));
 }
 BENCHMARK(BM_SignalPathStaticChain)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SignalPathStaticChainFused(benchmark::State& state) {
+    const FuseModeBenchGuard fuse(circ::FuseMode::simd);
+    const BatchSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+    core::StaticCantileverSystem sensor(core::StaticSensorConfig{}, Rng(7));
+    constexpr std::size_t kSamplesPerRead = 600;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sensor.read_channel(0, Time{1e-3}, Time{2e-3}));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kSamplesPerRead));
+}
+BENCHMARK(BM_SignalPathStaticChainFused)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_SignalPathChain16(benchmark::State& state) {
@@ -344,6 +381,35 @@ void BM_SignalPathChain16(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * buffer.size()));
 }
 BENCHMARK(BM_SignalPathChain16)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SignalPathChain16Fused(benchmark::State& state) {
+    const FuseModeBenchGuard fuse(circ::FuseMode::simd);
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    circ::Chain chain;
+    for (int group = 0; group < 4; ++group) {
+        chain.emplace<circ::GainBlock>(1.01);
+        chain.emplace<circ::OnePoleLowPass>(Frequency{20e3}, 200e3);
+        chain.emplace<circ::Biquad>(circ::Biquad::Type::lowpass, Frequency{40e3}, 0.707, 200e3);
+        chain.emplace<circ::WhiteNoise>(VoltageNoiseDensity{10e-9}, 200e3,
+                                        Rng(100 + static_cast<std::uint64_t>(group)));
+    }
+    std::vector<double> buffer(4096);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        buffer[i] = 1e-3 * std::sin(static_cast<double>(i) * 0.05);
+    }
+    std::vector<double> scratch(buffer.size());
+    for (auto _ : state) {
+        scratch = buffer;
+        const std::span<double> span(scratch);
+        for (std::size_t i = 0; i < scratch.size(); i += batch) {
+            chain.process_block(span.subspan(i, std::min(batch, scratch.size() - i)));
+        }
+        benchmark::DoNotOptimize(scratch.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * buffer.size()));
+}
+BENCHMARK(BM_SignalPathChain16Fused)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
 // --- Deterministic parallel execution ---------------------------------------

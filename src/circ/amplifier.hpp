@@ -55,6 +55,34 @@ public:
         return out_state_;
     }
 
+    /// Fused-path view of the amplifier's internals (CBS_FUSE): the loop
+    /// compiler folds the gain + pole into its state-space recurrence and
+    /// replays offset/noise/slew/saturation around it. Pointers alias the
+    /// live members, so replay through the view advances this amplifier's
+    /// real state (DESIGN.md §11).
+    struct FusedView {
+        double gain = 1.0;
+        double offset = 0.0;
+        double max_step = 0.0;  ///< slew limit per sample (rate * dt)
+        double saturation = 0.0;
+        WhiteNoise* white = nullptr;      // null when noiseless
+        FlickerNoise* flicker = nullptr;  // null when no 1/f
+        OnePoleLowPass* pole = nullptr;
+        double* out_state = nullptr;
+    };
+    [[nodiscard]] FusedView fused_view() {
+        FusedView v;
+        v.gain = cfg_.gain;
+        v.offset = offset_;
+        v.max_step = cfg_.slew_rate_v_per_s * dt_;
+        v.saturation = cfg_.saturation.value();
+        v.white = white_ ? &*white_ : nullptr;
+        v.flicker = flicker_ ? &*flicker_ : nullptr;
+        v.pole = &pole_;
+        v.out_state = &out_state_;
+        return v;
+    }
+
     /// The realized (systematic + sampled random) input offset of this
     /// instance — what an offset-compensation DAC has to cancel.
     [[nodiscard]] Voltage realized_offset() const { return Voltage{offset_}; }

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "circ/fuse.hpp"
+#include "circ/linear_spec.hpp"
 #include "obs/probe.hpp"
 #include "util/expect.hpp"
 
@@ -25,6 +27,17 @@ public:
 
     /// Processes one sample (volts in, volts out) at the block's sample rate.
     virtual double process(double in) = 0;
+
+    /// Fills `spec` with this block's exact linear kernel description and
+    /// returns true, or returns false for blocks that are not linear in
+    /// their input (or choose to stay opaque). The spec's coefficients
+    /// must reproduce process() bit for bit via replay_spec_sample(), and
+    /// its state pointers must alias the block's live state. Called once
+    /// per batch by the chain compiler (CBS_FUSE, DESIGN.md §11).
+    virtual bool linear_spec(LinearSpec& spec) {
+        (void)spec;
+        return false;
+    }
 
     /// Processes a batch of consecutive samples in place. Contract: the
     /// result is bit-identical to calling `process` on each element in
@@ -54,6 +67,7 @@ public:
         T& ref = *block;
         blocks_.push_back(std::move(block));
         if (!probe_prefix_.empty()) taps_.push_back(make_tap(blocks_.size() - 1));
+        fuse_plan_.reset();
         return ref;
     }
 
@@ -61,6 +75,7 @@ public:
         CBS_EXPECTS(block != nullptr);
         blocks_.push_back(std::move(block));
         if (!probe_prefix_.empty()) taps_.push_back(make_tap(blocks_.size() - 1));
+        fuse_plan_.reset();
     }
 
     [[nodiscard]] std::size_t size() const { return blocks_.size(); }
@@ -75,6 +90,7 @@ public:
         probe_prefix_ = std::string(prefix);
         taps_.clear();
         for (std::size_t i = 0; i < blocks_.size(); ++i) taps_.push_back(make_tap(i));
+        fuse_plan_.reset();
     }
 
     /// Drops the boundary taps (the registry keeps the probes and their
@@ -82,6 +98,7 @@ public:
     void detach_probes() {
         probe_prefix_.clear();
         taps_.clear();
+        fuse_plan_.reset();
     }
 
     [[nodiscard]] bool probes_attached() const { return !taps_.empty(); }
@@ -104,7 +121,16 @@ public:
     /// traversal produces the same bits as sample-by-sample traversal —
     /// while paying one virtual call per block per batch. Boundary taps
     /// see each block's completed batch (tap_block: one gate per batch).
+    /// Under CBS_FUSE (scalar: bit-identical kernel replay; on: dense
+    /// state-space recurrence, tolerance contract) runs of linear blocks
+    /// execute through the compiled form instead — armed probe boundaries
+    /// and nonlinear blocks split the fused segments (DESIGN.md §11).
     void process_block(std::span<double> inout) override {
+        const FuseMode mode = fuse_mode();
+        if (mode != FuseMode::off &&
+            fused_chain_process_block(blocks_, taps_, fuse_plan_, inout, mode)) {
+            return;
+        }
         if (taps_.empty()) {
             for (auto& b : blocks_) b->process_block(inout);
             return;
@@ -130,6 +156,9 @@ private:
     std::vector<std::unique_ptr<Block>> blocks_;
     std::string probe_prefix_;
     std::vector<obs::Probe*> taps_;  // parallel to blocks_ when attached
+    // Compiled-form cache (CBS_FUSE); rebuilt lazily after any structural
+    // or probe-attachment change.
+    std::shared_ptr<FusePlan> fuse_plan_;
 };
 
 /// Fixed multiplicative gain (ideal).
@@ -137,6 +166,12 @@ class GainBlock final : public Block {
 public:
     explicit GainBlock(double gain) : gain_(gain) {}
     double process(double in) override { return gain_ * in; }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::gain;
+        spec.c0 = gain_;
+        return true;
+    }
     void process_block(std::span<double> inout) override {
         const double g = gain_;
         for (double& v : inout) v = g * v;

@@ -67,6 +67,24 @@ public:
         const double v_minus = vb_ * r3 / (r2 + r3);
         return {Voltage{v_plus - v_minus}, Voltage{0.5 * (v_plus + v_minus)}};
     }
+    /// Hoisted arm constants for fused batch loops (CBS_FUSE): with
+    /// a = 1 + sense_delta and ts the temperature scale, the divider solves
+    /// as r0 = k0·ts, r1 = (k1·a)·ts, r2 = (k2·a)·ts, r3 = k3·ts and
+    /// v± = vb·r/(r+r) — evaluated in that association the values are
+    /// bit-identical to output_pair() (k_i is literally the partial product
+    /// r_nominal·(1+mismatch_i) that output_pair forms first).
+    struct FusedConstants {
+        double vb = 0.0, ts = 1.0, k0 = 0.0, k1 = 0.0, k2 = 0.0, k3 = 0.0;
+    };
+    [[nodiscard]] FusedConstants fused_constants() const {
+        return {vb_,
+                1.0 + tcr_ * temp_offset_k_,
+                r_nominal_ * (1.0 + mismatch_[0]),
+                r_nominal_ * (1.0 + mismatch_[1]),
+                r_nominal_ * (1.0 + mismatch_[2]),
+                r_nominal_ * (1.0 + mismatch_[3])};
+    }
+
     /// Output voltage computed through the MNA solver (cross-check path).
     [[nodiscard]] Voltage output_via_mna() const;
 

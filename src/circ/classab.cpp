@@ -8,7 +8,9 @@
 namespace cbs::circ {
 
 ClassAbBuffer::ClassAbBuffer(const ClassAbConfig& config, Resistance load)
-    : cfg_(config), load_(load.value()) {
+    : cfg_(config),
+      load_(load.value()),
+      inv_total_r_(1.0 / (config.output_resistance.value() + load.value())) {
     CBS_EXPECTS(config.supply.value() > 0.0);
     CBS_EXPECTS(config.output_resistance.value() >= 0.0);
     CBS_EXPECTS(config.current_limit.value() > 0.0);

@@ -47,8 +47,29 @@ public:
         return i * load_;
     }
 
+    /// Reassociated kernel for the fused SIMD tier (CBS_FUSE=on): the same
+    /// operations as process_sample except the output divide runs as a
+    /// precomputed reciprocal multiply — last-bit differences only, covered
+    /// by the tier's tolerance contract (DESIGN.md §11).
+    double process_sample_fast(double in) {
+        double v = in;
+        const double dz = cfg_.crossover_deadband.value();
+        if (std::fabs(v) < dz) {
+            v = 0.0;
+        } else {
+            v -= std::copysign(dz, v);
+        }
+        v = std::clamp(v, -cfg_.supply.value(), cfg_.supply.value());
+        double i = v * inv_total_r_;
+        i = std::clamp(i, -cfg_.current_limit.value(), cfg_.current_limit.value());
+        last_current_ = i;
+        return i * load_;
+    }
+
     [[nodiscard]] Current load_current() const { return Current{last_current_}; }
     [[nodiscard]] Resistance load() const { return Resistance{load_}; }
+    [[nodiscard]] const ClassAbConfig& config() const { return cfg_; }
+    [[nodiscard]] double inv_total_r() const { return inv_total_r_; }
 
     /// Static power drawn from the supply at the present drive level plus
     /// quiescent bias.
@@ -57,6 +78,7 @@ public:
 private:
     ClassAbConfig cfg_;
     double load_;
+    double inv_total_r_ = 0.0;  ///< 1 / (output_resistance + load), hoisted
     double last_current_ = 0.0;
 };
 

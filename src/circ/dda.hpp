@@ -52,6 +52,11 @@ public:
 
     [[nodiscard]] double common_mode_gain() const;
 
+    /// Fused-path accessors (CBS_FUSE): the hoisted CMRR denominator and
+    /// the core amplifier whose gain + pole join the loop's state space.
+    [[nodiscard]] double common_mode_denominator() const { return cm_denominator_; }
+    [[nodiscard]] BehavioralAmplifier& core() { return core_; }
+
 private:
     DdaConfig cfg_;
     double cm_denominator_;  ///< 10^(CMRR/20), hoisted out of the sample path

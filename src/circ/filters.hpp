@@ -22,6 +22,13 @@ public:
         state_ += alpha_ * (in - state_);
         return state_;
     }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::onepole_lp;
+        spec.c0 = alpha_;
+        spec.s0 = &state_;
+        return true;
+    }
     void process_block(std::span<double> inout) override;
     void reset() override { state_ = 0.0; }
 
@@ -42,6 +49,14 @@ public:
         state_ = alpha_ * (state_ + in - prev_in_);
         prev_in_ = in;
         return state_;
+    }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::onepole_hp;
+        spec.c0 = alpha_;
+        spec.s0 = &state_;
+        spec.s1 = &prev_in_;
+        return true;
     }
     void process_block(std::span<double> inout) override;
     void reset() override {
@@ -68,6 +83,18 @@ public:
         z1_ = b1_ * in - a1_ * out + z2_;
         z2_ = b2_ * in - a2_ * out;
         return out;
+    }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::biquad;
+        spec.c0 = b0_;
+        spec.c1 = b1_;
+        spec.c2 = b2_;
+        spec.c3 = a1_;
+        spec.c4 = a2_;
+        spec.s0 = &z1_;
+        spec.s1 = &z2_;
+        return true;
     }
     void process_block(std::span<double> inout) override;
     void reset() override { z1_ = z2_ = 0.0; }

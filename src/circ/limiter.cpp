@@ -51,6 +51,7 @@ double tanh_saturation_threshold() {
 NonlinearLimiter::NonlinearLimiter(double small_signal_gain, Voltage limit_level)
     : gain_(small_signal_gain),
       limit_(limit_level.value()),
+      inv_limit_(1.0 / limit_level.value()),
       sat_threshold_(detail::tanh_saturation_threshold()) {
     CBS_EXPECTS(small_signal_gain > 0.0);
     CBS_EXPECTS(limit_level.value() > 0.0);

@@ -39,8 +39,23 @@ public:
         return limit_ * std::tanh(x);
     }
 
+    /// Reassociated kernel for the fused SIMD tier (CBS_FUSE=on): the
+    /// normalizing divide runs as a precomputed reciprocal multiply;
+    /// everything else (threshold shortcut, tanh) matches
+    /// process_saturating. Tolerance contract in DESIGN.md §11.
+    [[nodiscard]] double process_saturating_fast(double in) {
+        const double x = gain_ * in * inv_limit_;
+        if (std::fabs(x) >= sat_threshold_) return std::copysign(limit_, x);
+        return limit_ * std::tanh(x);
+    }
+
     [[nodiscard]] double small_signal_gain() const { return gain_; }
     [[nodiscard]] Voltage limit_level() const { return Voltage{limit_}; }
+    /// Hoisted 1/limit and the runtime tanh saturation threshold, read by
+    /// the fused SIMD loop so it can replicate process_saturating_fast
+    /// with the gain/limit constants folded into its own chain.
+    [[nodiscard]] double inv_limit() const { return inv_limit_; }
+    [[nodiscard]] double saturation_threshold() const { return sat_threshold_; }
 
     /// Describing function: effective gain experienced by a sinusoid of the
     /// given input amplitude (first-harmonic balance). Monotonically falls
@@ -51,6 +66,7 @@ public:
 private:
     double gain_;
     double limit_;
+    double inv_limit_ = 0.0;  ///< 1 / limit_, hoisted for the SIMD tier
     double sat_threshold_;
 };
 

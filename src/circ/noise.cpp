@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "circ/fuse.hpp"
 #include "util/constants.hpp"
 #include "util/expect.hpp"
 
@@ -13,13 +14,33 @@ WhiteNoise::WhiteNoise(VoltageNoiseDensity density, double sample_rate_hz, Rng r
     CBS_EXPECTS(sample_rate_hz > 0.0);
 }
 
+namespace {
+// Refills draw well past the requested batch: the raw stream maps 1:1 onto
+// samples no matter when the words are generated (process() consumes the
+// buffer before touching the engine), so drawing ahead is bit-invisible and
+// the per-fill setup amortizes over many batches.
+constexpr std::size_t kRefillChunk = 4096;
+}  // namespace
+
 void WhiteNoise::prefetch(std::size_t n) {
+    if (buf_.size() - buf_pos_ >= n) return;
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_));
     buf_pos_ = 0;
-    if (buf_.size() >= n) return;
     const std::size_t have = buf_.size();
-    buf_.resize(n);
-    rng_.fill_raw_normal(std::span<double>(buf_).subspan(have));
+    buf_.resize(std::max(n, kRefillChunk));
+    const auto fill = std::span<double>(buf_).subspan(have);
+    // The SIMD fuse tier accepts the fast fill's tolerance-contract values
+    // (word consumption is still exact, so the seeded stream position is
+    // identical); every other mode keeps the bit-exact fill. Small fills
+    // stay exact too: the vector sweep's setup costs more than it saves
+    // below ~64 draws. A fuse-mode switch mid-buffer consumes the already
+    // drawn values under the new mode — only reachable from a run that was
+    // already on the tolerance tier.
+    if (fuse_mode() == FuseMode::simd && fill.size() >= 64) {
+        rng_.fill_raw_normal_fast(fill);
+    } else {
+        rng_.fill_raw_normal(fill);
+    }
 }
 
 void WhiteNoise::process_block(std::span<double> inout) {
@@ -85,13 +106,26 @@ double FlickerNoise::process(double in) {
 }
 
 void FlickerNoise::prefetch(std::size_t n) {
+    const std::size_t need = n * stage_params_.size();
+    if (buf_.size() - buf_pos_ >= need) return;
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_));
     buf_pos_ = 0;
-    const std::size_t need = n * stage_params_.size();
-    if (buf_.size() >= need) return;
     const std::size_t have = buf_.size();
-    buf_.resize(need);
-    rng_.fill_raw_normal(std::span<double>(buf_).subspan(have));
+    // Same chunked refill as WhiteNoise (bit-invisible drawing ahead), but
+    // rounded up to whole samples: per-sample consumption takes `stride`
+    // words at a time and falls back to direct engine draws when fewer
+    // remain, so a partial tail sample would strand its words and de-sync
+    // the raw stream from the per-sample sequence.
+    const std::size_t stride = stage_params_.size();
+    const std::size_t target = (std::max(need, kRefillChunk) + stride - 1) / stride * stride;
+    buf_.resize(target);
+    const auto fill = std::span<double>(buf_).subspan(have);
+    // Same mode split as WhiteNoise::prefetch.
+    if (fuse_mode() == FuseMode::simd && fill.size() >= 64) {
+        rng_.fill_raw_normal_fast(fill);
+    } else {
+        rng_.fill_raw_normal(fill);
+    }
 }
 
 void FlickerNoise::process_block(std::span<double> inout) {

@@ -38,6 +38,24 @@ public:
     /// Pre-draws at least n samples' worth of raw variates in bulk.
     void prefetch(std::size_t n);
 
+    /// Fused-path bulk access (CBS_FUSE): prefetches and returns the next
+    /// n raw variates *without* consuming them; the caller commits with
+    /// consume_raw once the batch is done. `raw[i] * sigma + 0.0` is the
+    /// exact value process() would add for the i-th sample.
+    [[nodiscard]] std::span<const double> peek_raw(std::size_t n) {
+        prefetch(n);
+        return std::span<const double>(buf_).subspan(buf_pos_, n);
+    }
+    void consume_raw(std::size_t n) {
+        CBS_EXPECTS(buf_pos_ + n <= buf_.size());
+        buf_pos_ += n;
+    }
+
+    /// True while a NaN fault injection is pending — fused paths that map
+    /// raw variates 1:1 onto samples must fall back to the per-sample
+    /// kernel until it fires.
+    [[nodiscard]] bool nan_injection_armed() const { return inject_countdown_ != 0; }
+
     [[nodiscard]] double sigma_per_sample() const { return sigma_; }
 
     /// Fault-injection test hook: the n-th sample from now (1-based)

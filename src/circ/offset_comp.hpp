@@ -17,6 +17,13 @@ public:
     OffsetCompensator(Voltage range, int bits);
 
     double process(double in) override { return in - dac_voltage(); }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::affine;
+        spec.c0 = 1.0;
+        spec.c1 = -dac_voltage();
+        return true;
+    }
     void process_block(std::span<double> inout) override {
         const double dac = dac_voltage();
         for (double& v : inout) v = v - dac;

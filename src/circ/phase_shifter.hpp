@@ -23,6 +23,13 @@ public:
         prev_ = in;
         return out;
     }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::differentiator;
+        spec.c0 = scale_;
+        spec.s0 = &prev_;
+        return true;
+    }
     void process_block(std::span<double> inout) override {
         const double scale = scale_;
         double prev = prev_;

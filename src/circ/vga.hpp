@@ -13,6 +13,12 @@ public:
     VariableGainAmplifier(double min_gain_db, double max_gain_db);
 
     double process(double in) override { return gain_linear_ * in; }
+    bool linear_spec(LinearSpec& spec) override {
+        spec = LinearSpec{};
+        spec.kind = LinearSpec::Kind::gain;
+        spec.c0 = gain_linear_;
+        return true;
+    }
     void process_block(std::span<double> inout) override {
         const double g = gain_linear_;
         for (double& v : inout) v = g * v;

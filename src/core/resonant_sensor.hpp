@@ -13,6 +13,7 @@
 // oscillation frequency (Figure 2); the counter tracks it.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "circ/classab.hpp"
 #include "circ/dda.hpp"
 #include "circ/filters.hpp"
+#include "circ/fuse.hpp"
 #include "circ/limiter.hpp"
 #include "circ/lorentz.hpp"
 #include "circ/noise.hpp"
@@ -132,6 +134,28 @@ private:
     /// the noise draws prefetched in bulk — bit-identical to n tick() calls
     /// (DESIGN.md §9). Completed counter gates are appended to `out`.
     void run_batch(std::size_t n, std::vector<daq::FrequencyMeasurement>& out);
+    /// Compiled-form serial loop (CBS_FUSE, DESIGN.md §11): scalar tier
+    /// replays the loop's linear run through exact LinearSpec kernels
+    /// (bit-identical to the legacy loop); simd tier steps the composed
+    /// dense recurrence with reassociated kernels (tolerance contract).
+    /// Returns false when the configuration is ineligible (1/f in the DDA,
+    /// armed fault injection, armed probes or insufficient slew margin in
+    /// simd mode) and the caller must run the legacy loop.
+    bool run_batch_fused(std::size_t n, circ::FuseMode mode);
+    /// Batch tail shared by the legacy and fused loops: probe taps, readout
+    /// filtering, counter feed and trace append.
+    void finish_batch(std::vector<daq::FrequencyMeasurement>& out);
+#if defined(__x86_64__) || defined(_M_X64)
+    /// Hand-fused AVX2 body of the SIMD tier (8-state loop cascade only):
+    /// the dense recurrence is inlined as intrinsics and every per-tick
+    /// constant (bridge arm products, reciprocals) is hoisted to a
+    /// register, leaving tanh as the loop's only out-of-line call.
+    /// Returns the batch's peak |DDA pole output| for the saturation guard.
+    __attribute__((target("avx2,fma"))) double run_fused_simd_loop_avx2(
+        std::size_t n, const circ::BehavioralAmplifier::FusedView& view,
+        const double* thermal_raw, double thermal_sigma, const double* dda_raw,
+        double dda_sigma, double half_bias, double inv_cm_den);
+#endif
 
     ResonantSensorConfig cfg_;
     mech::EulerBernoulliBeam beam_;
@@ -187,10 +211,50 @@ private:
     std::vector<daq::FrequencyMeasurement>* sink_ = nullptr;
 
     // Batched-path scratch (sized per batch, reused across batches).
+    // The thermomechanical force draws are chunk-prefetched like the noise
+    // blocks' buffers (raw words map 1:1 onto ticks, so drawing ahead is
+    // bit-invisible); force_batch_ points at this batch's n draws.
     std::vector<double> force_raw_;
+    std::size_t force_pos_ = 0;
+    const double* force_batch_ = nullptr;
     std::vector<double> t_scratch_;
     std::vector<double> x_scratch_;
     std::vector<double> readout_scratch_;
+
+    // Compiled loop (CBS_FUSE): the linear run DDA gain + pole -> loop
+    // band-pass -> hp1 -> hp2 -> phase shifter -> VGA as one dense
+    // state-space recurrence, rebuilt per batch (the VGA gain can move
+    // between batches). `fuse_latched_off_` latches the instance off the
+    // SIMD tier once the DDA saturation guard trips (DESIGN.md §11).
+    std::array<circ::LinearSpec, 7> loop_specs_{};
+    // Compiled-form cache: the dense matrices are rebuilt only when the
+    // specs' coefficients change (checked per batch by value).
+    std::array<circ::LinearSpec, 7> loop_specs_built_{};
+    bool loop_ss_valid_ = false;
+    circ::StateSpace loop_ss_;
+    std::vector<double> loop_x_;
+    std::vector<double> loop_xn_;
+    bool fuse_latched_off_ = false;
+#if defined(__x86_64__) || defined(_M_X64)
+    // Cached prologue constants of the hand-fused AVX2 loop (they cost
+    // divides and an atanh to derive): pure functions of the instance
+    // config, the compiled state space and the resonator propagator, so
+    // they are recomputed only when the state space is rebuilt or the
+    // propagator changes (retune), not per batch.
+    struct FusedLoopConsts {
+        bool valid = false;
+        double pr11 = 0.0, pr12 = 0.0, pr21 = 0.0, pr22 = 0.0;  // cache key
+        double h = 0.0, hb2 = 0.0, vbc1 = 0.0, vbc1d = 0.0, vbr3 = 0.0;
+        double c1d = 0.0, cr1 = 0.0, c2d = 0.0, cr2 = 0.0;
+        double g_lim = 0.0, limit = 0.0, gd = 0.0;
+        double isq = 0.0, isp = 0.0, lkq = 0.0, dzq = 0.0, lkp = 0.0, dzp = 0.0;
+        double targ_db = 0.0, d1k = 0.0, n1k = 0.0, d2k = 0.0;
+    };
+    FusedLoopConsts fused_consts_;
+#endif
+    // Set by the fused SIMD loop when it already ran the readout band-pass
+    // in its latency shadow; finish_batch() then skips the second pass.
+    bool readout_prefiltered_ = false;
 
     // Observability: metric pointers resolved once at construction so run()
     // never pays a registry lookup; the timing phase persists across run()

@@ -138,8 +138,19 @@ double StaticCantileverSystem::acquire(Time settle, Time integrate) {
             probe_bridge_->tap_block(chain_buf_);
             chopper_.process_block(chain_buf_);
             probe_chopper_->tap_block(chain_buf_);
-            post_filter_.process_block(chain_buf_);
-            offset_.process_block(chain_buf_);
+            // The chain's linear run — post-filter -> offset — executes
+            // through the compiled form under CBS_FUSE (scalar: exact
+            // kernel replay, bit-identical; on: dense recurrence with the
+            // §11 tolerance contract). The chopper, the PGAs' output
+            // saturation and the ADC stay exact breakpoints around it.
+            const circ::FuseMode fmode = circ::fuse_mode();
+            if (fmode != circ::FuseMode::off && post_filter_.linear_spec(fuse_specs_[0]) &&
+                offset_.linear_spec(fuse_specs_[1])) {
+                circ::fused_specs_process_block(fuse_specs_, fuse_cache_, chain_buf_, fmode);
+            } else {
+                post_filter_.process_block(chain_buf_);
+                offset_.process_block(chain_buf_);
+            }
             pga1_.process_block(chain_buf_);
             pga2_.process_block(chain_buf_);
             adc_.quantize_block(chain_buf_);

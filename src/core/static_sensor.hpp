@@ -20,6 +20,7 @@
 #include "circ/adc.hpp"
 #include "circ/bridge.hpp"
 #include "circ/chopper.hpp"
+#include "circ/fuse.hpp"
 #include "circ/mux.hpp"
 #include "circ/noise.hpp"
 #include "circ/offset_comp.hpp"
@@ -155,6 +156,11 @@ private:
     /// (the chain is feed-forward, so stage-major equals sample-major
     /// bit-for-bit — each stage sees exactly the same input sequence).
     std::vector<double> chain_buf_;
+    // Compiled form (CBS_FUSE) of the chain's linear run — post-filter ->
+    // offset compensation; the chopper, PGAs (output saturation) and ADC
+    // are nonlinear breakpoints around it (DESIGN.md §11).
+    std::array<circ::LinearSpec, 2> fuse_specs_{};
+    circ::SpecRunCache fuse_cache_;
 
     // Observability: metric pointers resolved once at construction; the
     // timing phase persists across acquire() calls so the 1-in-61

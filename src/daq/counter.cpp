@@ -1,5 +1,11 @@
 #include "daq/counter.hpp"
 
+#include <bit>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
 #include "util/expect.hpp"
 
 namespace cbs::daq {
@@ -32,6 +38,87 @@ std::optional<double> ZeroCrossingDetector::feed(double t, double v) {
     prev_v_ = v;
     return crossing;
 }
+
+void ZeroCrossingDetector::feed_block(std::span<const double> t, std::span<const double> v,
+                                      std::vector<double>& out) {
+    CBS_EXPECTS(t.size() == v.size());
+    const std::size_t n = t.size();
+    if (n == 0) return;
+    // The first sample goes through the scalar path: it may interpolate
+    // against the previous block's final sample (held in prev_t_/prev_v_)
+    // and resolves first_.
+    if (const auto c = feed(t[0], v[0])) out.push_back(*c);
+    std::size_t i = 1;
+#if defined(__x86_64__) || defined(_M_X64)
+    static const bool have_avx2 = __builtin_cpu_supports("avx2");
+    if (have_avx2 && n - i >= 16) {
+        i = feed_scan_avx2(t.data(), v.data(), i, n, out);
+        if (i > 1) {
+            prev_t_ = t[i - 1];
+            prev_v_ = v[i - 1];
+        }
+    }
+#endif
+    for (; i < n; ++i) {
+        if (const auto c = feed(t[i], v[i])) out.push_back(*c);
+    }
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+__attribute__((target("avx2"))) std::size_t ZeroCrossingDetector::feed_scan_avx2(
+    const double* t, const double* v, std::size_t i, std::size_t n, std::vector<double>& out) {
+    // Per 8-sample chunk, two hysteresis compares produce arm-candidate
+    // (v < -h) and fire-candidate (v >= h) bitmasks; the state machine
+    // consumes only the bits relevant to its current state with a
+    // find-first-set walk, so chunks without events cost a handful of
+    // vector ops. Every fired crossing interpolates with the same
+    // expressions as feed() -- bit-identical results. Monotonicity of t
+    // (asserted per sample by feed()) is spot-checked per chunk.
+    const __m256d nh = _mm256_set1_pd(-hysteresis_);
+    const __m256d ph = _mm256_set1_pd(hysteresis_);
+    bool armed = armed_;
+    while (i + 8 <= n) {
+        CBS_EXPECTS(t[i + 7] > t[i - 1]);
+        const __m256d v0 = _mm256_loadu_pd(v + i);
+        const __m256d v1 = _mm256_loadu_pd(v + i + 4);
+        const unsigned lo =
+            static_cast<unsigned>(_mm256_movemask_pd(_mm256_cmp_pd(v0, nh, _CMP_LT_OQ))) |
+            (static_cast<unsigned>(_mm256_movemask_pd(_mm256_cmp_pd(v1, nh, _CMP_LT_OQ))) << 4);
+        const unsigned hi =
+            static_cast<unsigned>(_mm256_movemask_pd(_mm256_cmp_pd(v0, ph, _CMP_GE_OQ))) |
+            (static_cast<unsigned>(_mm256_movemask_pd(_mm256_cmp_pd(v1, ph, _CMP_GE_OQ))) << 4);
+        unsigned rel = armed ? hi : lo;
+        while (rel != 0) {
+            const unsigned k = static_cast<unsigned>(std::countr_zero(rel));
+            // Bits at or below k are consumed; the state flip selects the
+            // other candidate mask for the remainder of the chunk (a
+            // sample never both arms and fires -- feed()'s else-if).
+            const unsigned above = ~((2u << k) - 1u);
+            if (armed) {
+                const std::size_t idx = i + k;
+                const double pv = v[idx - 1];
+                const double pt = t[idx - 1];
+                const double dv = v[idx] - pv;
+                const double frac = dv != 0.0 ? (0.0 - pv) / dv : 0.0;
+                double tc = pt + frac * (t[idx] - pt);
+                if (tc < pt) tc = pt;  // guard against hysteresis skew
+                if (tc > t[idx]) tc = t[idx];
+                out.push_back(tc);
+                armed = false;
+                rel = lo & above;
+            } else {
+                armed = true;
+                rel = hi & above;
+            }
+        }
+        i += 8;
+    }
+    armed_ = armed;
+    return i;
+}
+
+#endif
 
 void ZeroCrossingDetector::reset() {
     armed_ = false;
@@ -136,6 +223,23 @@ std::optional<FrequencyMeasurement> ReciprocalCounter::feed(double t, double v) 
 std::size_t ReciprocalCounter::feed_block(std::span<const double> t, std::span<const double> v,
                                           std::vector<FrequencyMeasurement>& out) {
     CBS_EXPECTS(t.size() == v.size());
+    // Fast path: t is monotone (asserted per sample by the detector) and
+    // x - gate_open_ is monotone in x, so if the final sample does not
+    // close the gate, no sample in the block does -- the per-sample gate
+    // checks vanish and the crossing scan runs vectorized. Edge
+    // bookkeeping over whole crossings is order-identical to the
+    // per-sample walk.
+    if (!t.empty() && started_ && !(t.back() - gate_open_ >= gate_)) {
+        crossings_.clear();
+        zcd_.feed_block(t, v, crossings_);
+        if (!crossings_.empty()) {
+            if (!first_edge_) first_edge_ = crossings_.front();
+            last_edge_ = crossings_.back();
+            edges_ += crossings_.size();
+            obs_edges_->add(crossings_.size());
+        }
+        return 0;
+    }
     std::size_t appended = 0;
     for (std::size_t i = 0; i < t.size(); ++i) {
         if (auto m = feed(t[i], v[i])) {

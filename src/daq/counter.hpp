@@ -29,9 +29,24 @@ public:
     /// zero crossing occurred within (t_prev, t].
     std::optional<double> feed(double t, double v);
 
+    /// Batched feed: appends every crossing time the per-sample feed()
+    /// would have returned over the span, in order, with bit-identical
+    /// interpolation. The arm/fire candidate scan vectorizes (most samples
+    /// are not candidates for the current state); only actual events run
+    /// the scalar event step.
+    void feed_block(std::span<const double> t, std::span<const double> v,
+                    std::vector<double>& out);
+
     void reset();
 
 private:
+#if defined(__x86_64__) || defined(_M_X64)
+    /// AVX2 candidate scan over [i, n): 8-wide hysteresis compares +
+    /// find-first-set walk; returns the first unprocessed index.
+    __attribute__((target("avx2"))) std::size_t feed_scan_avx2(const double* t, const double* v,
+                                                               std::size_t i, std::size_t n,
+                                                               std::vector<double>& out);
+#endif
     double hysteresis_;
     bool armed_ = false;   // below -hysteresis, waiting to cross +hysteresis
     bool first_ = true;
@@ -102,6 +117,7 @@ private:
     std::optional<double> first_edge_;
     double last_edge_ = 0.0;
     std::size_t edges_ = 0;
+    std::vector<double> crossings_;  ///< feed_block scratch (reused)
     obs::Counter* obs_edges_;
     obs::Counter* obs_gates_;
     obs::Gauge* obs_last_freq_;

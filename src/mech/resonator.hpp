@@ -62,6 +62,35 @@ public:
         v_ = nv;
     }
 
+    /// Reassociated variant of step_exact_inline for fused SIMD loops
+    /// (CBS_FUSE=on): the per-tick stiffness divide runs as a
+    /// caller-hoisted reciprocal multiply — last-bit differences only,
+    /// covered by the tier's tolerance contract (DESIGN.md §11). Pass
+    /// inv_stiff = 1 / params().modal_stiffness().
+    void step_exact_inline_fast(double f_newton, double dt_s, double inv_stiff) {
+        CBS_EXPECTS(dt_s > 0.0);
+        if (dt_s != cached_dt_) refresh_propagator(dt_s);
+        const double xp = f_newton * inv_stiff;
+        const double u = x_ - xp;
+        const double nu = p11_ * u + p12_ * v_;
+        const double nv = p21_ * u + p22_ * v_;
+        x_ = nu + xp;
+        v_ = nv;
+    }
+
+    /// Cached ZOH propagator for `dt_s` (refreshing the cache if dt or the
+    /// parameters changed since the last step): x' = p11*(x - f/k) + p12*v
+    /// + f/k, v' = p21*(x - f/k) + p22*v. The fused SIMD loop reads it once
+    /// per batch and evaluates the reassociated direct form.
+    struct Propagator {
+        double p11, p12, p21, p22;
+    };
+    [[nodiscard]] Propagator propagator(double dt_s) {
+        CBS_EXPECTS(dt_s > 0.0);
+        if (dt_s != cached_dt_) refresh_propagator(dt_s);
+        return {p11_, p12_, p21_, p22_};
+    }
+
     /// Advance one step with RK4 (for cross-checking the exact update).
     void step_rk4(Force f, Time dt);
 

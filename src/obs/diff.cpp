@@ -119,8 +119,15 @@ bool is_regression(const Metric& m, double rel_delta, double abs_delta, double t
 
 DiffResult diff_documents(const json::Value& baseline, const json::Value& current,
                           const DiffOptions& opts) {
-    const auto base_metrics = collect_metrics(baseline);
-    const auto cur_metrics = collect_metrics(current);
+    auto base_metrics = collect_metrics(baseline);
+    auto cur_metrics = collect_metrics(current);
+    if (!opts.only.empty()) {
+        const auto filtered_out = [&](const Metric& m) {
+            return m.name.find(opts.only) == std::string::npos;
+        };
+        std::erase_if(base_metrics, filtered_out);
+        std::erase_if(cur_metrics, filtered_out);
+    }
 
     std::map<std::string, const Metric*> cur_by_name;
     for (const auto& m : cur_metrics) cur_by_name.emplace(m.name, &m);

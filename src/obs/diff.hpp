@@ -22,6 +22,10 @@ struct DiffOptions {
     double threshold = 0.10;
     /// Report regressions but exit 0 (CI soft gate).
     bool warn_only = false;
+    /// When non-empty, only metrics whose name contains this substring are
+    /// compared — CI uses it to hard-gate a named row set (e.g. the
+    /// resonant-loop benchmarks) while the full diff stays warn-only.
+    std::string only;
 };
 
 struct DiffRow {

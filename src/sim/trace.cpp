@@ -28,6 +28,19 @@ void Trace::push_block(std::span<const double> t, std::span<const double> v) {
         count_ = 0;
         return;
     }
+    if (mode_ == Mode::subsample) {
+        // Strided gather: the kept indices are exactly those the per-sample
+        // walk would keep (count_ < decimation_ is an invariant), without
+        // touching the skipped samples. push_back keeps the geometric
+        // growth policy (an exact-fit reserve here would force a full
+        // copy every batch).
+        for (std::size_t i = decimation_ - 1 - count_; i < n; i += decimation_) {
+            times_.push_back(t[i]);
+            values_.push_back(v[i]);
+        }
+        count_ = (count_ + n) % decimation_;
+        return;
+    }
     for (std::size_t i = 0; i < n; ++i) push(t[i], v[i]);
 }
 

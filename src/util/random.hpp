@@ -130,6 +130,20 @@ public:
         return out_[pos_++];
     }
 
+    /// Contiguous view of the words remaining in the current regenerated
+    /// block (refills first when the block is spent). SIMD consumers read
+    /// words in bulk through this window and commit consumption with
+    /// advance(), which keeps the stream position word-exact — the whole
+    /// point of the fused fill paths is that they consume the identical
+    /// word sequence the per-call interface would.
+    std::span<const result_type> peek_block() {
+        if (pos_ == kN) refill();
+        return {out_.data() + pos_, kN - pos_};
+    }
+
+    /// Consumes k words previously observed through peek_block().
+    void advance(std::size_t k) noexcept { pos_ += std::min(k, kN - pos_); }
+
 private:
     static constexpr std::size_t kN = 312;
     static constexpr std::size_t kM = 156;
@@ -214,6 +228,19 @@ public:
         }
         for (double& d : out) d = detail::raw_normal_polar(bulk_engine_);
     }
+
+    /// Bulk raw unit normals on the reassociated fast path (the CBS_FUSE
+    /// SIMD tier): consumes the engine word-for-word like fill_raw_normal —
+    /// the polar method's candidate generation and rejection decisions are
+    /// replicated operation for operation, so seeded sequences and stream
+    /// positions are untouched — but the accepted pairs' log/sqrt transform
+    /// runs through a vectorized polynomial evaluator, so values may differ
+    /// from the exact fill in the last bits (|rel err| < 1e-12 per draw;
+    /// contract in DESIGN.md §11). Values are a pure function of the
+    /// consumed words, independent of how a sequence of fills is split into
+    /// calls. Falls back to the exact fill when the CPU lacks AVX2+FMA or
+    /// the fast polar path cannot replicate this standard library.
+    void fill_raw_normal_fast(std::span<double> out);
 
     /// One-way switch onto the block-regenerating fast engine (no-op when
     /// already switched, or when the standard library's normal_distribution

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "circ/filters.hpp"
+#include "circ/fuse.hpp"
 #include "util/expect.hpp"
 #include "util/units.hpp"
 
@@ -83,6 +84,12 @@ TEST(Chain, ResetPropagatesThroughNestedChains) {
 }
 
 TEST(Chain, NestedChainProcessBlockMatchesPerSample) {
+    // Legacy-path contract (bit-identity per-sample vs block): pin the
+    // fused tiers off; their tolerance contract is tested in tests/fuse/.
+    set_fuse_mode(FuseMode::off);
+    struct ClearFuse {
+        ~ClearFuse() { clear_fuse_mode(); }
+    } clear_fuse;
     auto make = [] {
         Chain outer;
         outer.emplace<GainBlock>(1.5);

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "circ/fuse.hpp"
 #include "core/resonant_sensor.hpp"
 #include "core/static_sensor.hpp"
 #include "daq/counter.hpp"
@@ -34,6 +35,15 @@ struct ResonantResult {
     double coverage = 0.0;
 };
 
+/// Legacy-path contract suite (DESIGN.md Â§9 bit-identity across batch
+/// sizes): pins the fused tiers off; the fused contracts are asserted in
+/// tests/fuse/.
+class SystemBatchEquivalence : public ::testing::Test {
+protected:
+    SystemBatchEquivalence() { circ::set_fuse_mode(circ::FuseMode::off); }
+    ~SystemBatchEquivalence() override { circ::clear_fuse_mode(); }
+};
+
 ResonantResult run_resonant(std::size_t batch) {
     BatchSizeGuard guard(batch);
     core::ResonantSensorConfig cfg;
@@ -47,7 +57,7 @@ ResonantResult run_resonant(std::size_t batch) {
     return r;
 }
 
-TEST(SystemBatchEquivalence, ResonantLoopBitIdenticalAcrossBatchSizes) {
+TEST_F(SystemBatchEquivalence, ResonantLoopBitIdenticalAcrossBatchSizes) {
     const ResonantResult reference = run_resonant(1);
     ASSERT_GE(reference.measurements.size(), 1u);
     for (const std::size_t batch : kBatchSizes) {
@@ -86,7 +96,7 @@ StaticResult run_static(std::size_t batch) {
     return r;
 }
 
-TEST(SystemBatchEquivalence, StaticChainBitIdenticalAcrossBatchSizes) {
+TEST_F(SystemBatchEquivalence, StaticChainBitIdenticalAcrossBatchSizes) {
     const StaticResult reference = run_static(1);
     for (const std::size_t batch : kBatchSizes) {
         const StaticResult r = run_static(batch);

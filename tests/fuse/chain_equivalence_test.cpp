@@ -1,0 +1,268 @@
+// Fused-vs-legacy equivalence for randomized all-linear chains
+// (DESIGN.md §11). Contract under test:
+//
+//  * CBS_FUSE=scalar replays every block's exact kernel through its
+//    LinearSpec — BIT-IDENTICAL to the legacy path, for every topology and
+//    every batch partition {1, 2, 7, 64, 1024};
+//  * CBS_FUSE=on steps the composed dense recurrence — per-signal
+//    tolerance contract: |fused − legacy| ≤ ε · max|legacy| over the
+//    stream, ε = 1e-9 (the measured composition error is orders of
+//    magnitude tighter; the assert leaves headroom for other FMA/ISA
+//    combinations).
+//
+// Chains are generated from seeded RNG sweeps over every linear block kind
+// the spec layer knows: gain, VGA (gain), offset compensator (affine),
+// one-pole low/high-pass, all three biquad types, phase shifter
+// (differentiator).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "circ/block.hpp"
+#include "circ/filters.hpp"
+#include "circ/fuse.hpp"
+#include "circ/offset_comp.hpp"
+#include "circ/phase_shifter.hpp"
+#include "circ/vga.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+constexpr std::size_t kBatchSizes[] = {1, 2, 7, 64, 1024};
+constexpr std::size_t kSamples = 4096;
+constexpr double kSimdEps = 1e-9;  ///< per-signal ε, relative to stream peak
+
+struct FuseModeGuard {
+    explicit FuseModeGuard(FuseMode m) { set_fuse_mode(m); }
+    ~FuseModeGuard() { clear_fuse_mode(); }
+};
+
+std::vector<double> test_signal(double amplitude, std::size_t n = kSamples) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ph = static_cast<double>(i) * 0.05;
+        x[i] = amplitude * (std::sin(ph) + 0.3 * std::sin(3.7 * ph)) +
+               amplitude * 1e-3 * static_cast<double>(i);
+    }
+    return x;
+}
+
+/// Appends one randomly parameterized linear block of the given kind.
+void append_linear_block(Chain& chain, int kind, std::mt19937_64& gen) {
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    const double fs = 100e3;
+    switch (kind) {
+        case 0:
+            chain.emplace<GainBlock>(0.25 + 4.0 * uni(gen));
+            break;
+        case 1: {
+            auto& vga = chain.emplace<VariableGainAmplifier>(-40.0, 26.0);
+            vga.set_control(uni(gen));
+            break;
+        }
+        case 2: {
+            auto& oc = chain.emplace<OffsetCompensator>(Voltage{1.2}, 12);
+            oc.set_code(static_cast<int>(uni(gen) * 4000.0) - 2000);
+            break;
+        }
+        case 3:
+            chain.emplace<OnePoleLowPass>(Frequency{200.0 + 20e3 * uni(gen)}, fs);
+            break;
+        case 4:
+            chain.emplace<OnePoleHighPass>(Frequency{10.0 + 2e3 * uni(gen)}, fs);
+            break;
+        case 5:
+            chain.emplace<Biquad>(Biquad::Type::lowpass, Frequency{1e3 + 20e3 * uni(gen)},
+                                  0.5 + 2.0 * uni(gen), fs);
+            break;
+        case 6:
+            chain.emplace<Biquad>(Biquad::Type::highpass, Frequency{50.0 + 2e3 * uni(gen)},
+                                  0.5 + 2.0 * uni(gen), fs);
+            break;
+        case 7:
+            chain.emplace<Biquad>(Biquad::Type::bandpass, Frequency{1e3 + 10e3 * uni(gen)},
+                                  0.7 + 4.0 * uni(gen), fs);
+            break;
+        default:
+            chain.emplace<PhaseShifter>(Frequency{1e3 + 10e3 * uni(gen)}, fs);
+            break;
+    }
+}
+
+/// Builds the same random all-linear chain every call for a given seed.
+std::unique_ptr<Chain> random_linear_chain(std::uint64_t seed) {
+    std::mt19937_64 gen(seed);
+    std::uniform_int_distribution<int> kind(0, 8);
+    std::uniform_int_distribution<int> depth(2, 8);
+    auto chain = std::make_unique<Chain>();
+    const int n = depth(gen);
+    for (int i = 0; i < n; ++i) append_linear_block(*chain, kind(gen), gen);
+    return chain;
+}
+
+std::vector<double> run_chain(Chain& chain, const std::vector<double>& input,
+                              std::size_t batch) {
+    std::vector<double> out = input;
+    const std::span<double> span(out);
+    for (std::size_t i = 0; i < out.size(); i += batch) {
+        chain.process_block(span.subspan(i, std::min(batch, out.size() - i)));
+    }
+    return out;
+}
+
+// Scalar tier: bit-identical to the legacy path for every seeded topology
+// and every batch partition.
+TEST(ChainEquivalence, ScalarTierBitIdenticalAcrossSeedsAndBatches) {
+    const auto input = test_signal(0.2);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        std::vector<double> reference;
+        {
+            FuseModeGuard guard(FuseMode::off);
+            auto chain = random_linear_chain(seed);
+            reference = run_chain(*chain, input, 64);
+        }
+        for (const std::size_t batch : kBatchSizes) {
+            FuseModeGuard guard(FuseMode::scalar);
+            auto chain = random_linear_chain(seed);
+            const auto out = run_chain(*chain, input, batch);
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                ASSERT_EQ(std::bit_cast<std::uint64_t>(reference[i]),
+                          std::bit_cast<std::uint64_t>(out[i]))
+                    << "seed " << seed << " batch " << batch << " sample " << i << ": "
+                    << reference[i] << " vs " << out[i];
+            }
+        }
+    }
+}
+
+// The legacy reference itself must not depend on the batch partition
+// (DESIGN.md §9) — anchors the scalar-tier comparison above.
+TEST(ChainEquivalence, LegacyReferenceIsPartitionInvariant) {
+    FuseModeGuard guard(FuseMode::off);
+    const auto input = test_signal(0.2);
+    auto ref_chain = random_linear_chain(3);
+    const auto reference = run_chain(*ref_chain, input, 1);
+    auto chain = random_linear_chain(3);
+    const auto out = run_chain(*chain, input, 1024);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(reference[i]),
+                  std::bit_cast<std::uint64_t>(out[i]))
+            << i;
+    }
+}
+
+// SIMD tier: per-signal tolerance relative to the stream's peak.
+TEST(ChainEquivalence, SimdTierWithinPerSignalTolerance) {
+    const auto input = test_signal(0.2);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        std::vector<double> reference;
+        {
+            FuseModeGuard guard(FuseMode::off);
+            auto chain = random_linear_chain(seed);
+            reference = run_chain(*chain, input, 64);
+        }
+        double peak = 0.0;
+        for (const double v : reference) peak = std::max(peak, std::fabs(v));
+        ASSERT_GT(peak, 0.0);
+        for (const std::size_t batch : kBatchSizes) {
+            FuseModeGuard guard(FuseMode::simd);
+            auto chain = random_linear_chain(seed);
+            const auto out = run_chain(*chain, input, batch);
+            for (std::size_t i = 0; i < out.size(); ++i) {
+                ASSERT_LE(std::fabs(out[i] - reference[i]), kSimdEps * peak)
+                    << "seed " << seed << " batch " << batch << " sample " << i << ": "
+                    << reference[i] << " vs " << out[i];
+            }
+        }
+    }
+}
+
+// Fused and legacy paths must interleave freely: states are stored back
+// through the live pointers, so switching modes mid-stream continues the
+// exact same trajectory (bit-identical for the scalar tier).
+TEST(ChainEquivalence, ScalarTierInterleavesWithLegacyMidStream) {
+    const auto input = test_signal(0.2);
+    std::vector<double> reference;
+    {
+        FuseModeGuard guard(FuseMode::off);
+        auto chain = random_linear_chain(7);
+        reference = run_chain(*chain, input, 64);
+    }
+    auto chain = random_linear_chain(7);
+    std::vector<double> out = input;
+    const std::span<double> span(out);
+    std::size_t i = 0;
+    for (std::size_t step = 0; i < out.size(); ++step) {
+        // Alternate fused and legacy batches.
+        FuseModeGuard guard(step % 2 == 0 ? FuseMode::scalar : FuseMode::off);
+        const std::size_t n = std::min<std::size_t>(97, out.size() - i);
+        chain->process_block(span.subspan(i, n));
+        i += n;
+    }
+    for (std::size_t j = 0; j < out.size(); ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(reference[j]),
+                  std::bit_cast<std::uint64_t>(out[j]))
+            << j;
+    }
+}
+
+// Parameter sweeps: the compiled plan must track coefficient changes made
+// between batches (the spec refill catches retuned blocks).
+TEST(ChainEquivalence, RetunedBlockBetweenBatchesTracksExactly) {
+    const auto input = test_signal(0.2, 1024);
+    auto run = [&](FuseMode mode) {
+        FuseModeGuard guard(mode);
+        auto chain = std::make_unique<Chain>();
+        auto& vga = chain->emplace<VariableGainAmplifier>(-40.0, 26.0);
+        vga.set_control(0.3);
+        chain->emplace<OnePoleLowPass>(Frequency{2e3}, 100e3);
+        chain->emplace<Biquad>(Biquad::Type::bandpass, Frequency{5e3}, 2.0, 100e3);
+        std::vector<double> out = input;
+        const std::span<double> span(out);
+        for (std::size_t i = 0; i < out.size(); i += 128) {
+            vga.set_control(0.3 + 0.05 * static_cast<double>(i / 128));
+            chain->process_block(span.subspan(i, 128));
+        }
+        return out;
+    };
+    const auto reference = run(FuseMode::off);
+    const auto fused = run(FuseMode::scalar);
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(reference[i]),
+                  std::bit_cast<std::uint64_t>(fused[i]))
+            << i;
+    }
+}
+
+// A chain with a single linear block has nothing to fuse (no run of 2+):
+// the fused entry point must decline and the legacy path must produce the
+// stream untouched by the plan machinery.
+TEST(ChainEquivalence, SingleBlockChainFallsBackBitIdentical) {
+    const auto input = test_signal(0.2, 512);
+    auto run = [&](FuseMode mode) {
+        FuseModeGuard guard(mode);
+        Chain chain;
+        chain.emplace<OnePoleLowPass>(Frequency{1e3}, 100e3);
+        return run_chain(chain, input, 64);
+    };
+    const auto reference = run(FuseMode::off);
+    for (const FuseMode mode : {FuseMode::scalar, FuseMode::simd}) {
+        const auto out = run(mode);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(reference[i]),
+                      std::bit_cast<std::uint64_t>(out[i]))
+                << i;
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Golden-pin tests for the chain-compilation state-space builder
+// (DESIGN.md §11): hand-computed A/B/C/D/e/f matrices for small cascades,
+// pinned entry by entry. The builder's output convention is
+//   x' = A·x + B·u + f,   y = C·x + D·u + e
+// with y expressed in the PRE-update state, states in cascade order, and
+// rows padded to a multiple of 4 (stride n4, A column-major).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "circ/block.hpp"
+#include "circ/filters.hpp"
+#include "circ/offset_comp.hpp"
+#include "circ/fuse.hpp"
+#include "circ/linear_spec.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::circ;
+
+// ------------------------------------------------------------ 2-block RC+gain
+
+// RC low-pass (alpha) followed by a gain k:
+//   s' = (1-α)·s + α·u,   y = k·((1-α)·s + α·u)
+// so A = [1-α], B = [α], f = [0], C = [k(1-α)], D = kα, e = 0.
+TEST(StateSpaceGolden, RcFilterPlusGainChain) {
+    OnePoleLowPass lp(Frequency{1e3}, 100e3);
+    GainBlock gain(3.5);
+    LinearSpec specs[2];
+    ASSERT_TRUE(lp.linear_spec(specs[0]));
+    ASSERT_TRUE(gain.linear_spec(specs[1]));
+    const double alpha = specs[0].c0;
+    ASSERT_GT(alpha, 0.0);
+    ASSERT_LT(alpha, 1.0);
+
+    StateSpace ss;
+    build_state_space(specs, ss);
+
+    ASSERT_EQ(ss.n, 1u);
+    ASSERT_EQ(ss.n4, 4u);  // one state, padded to a 4-lane panel
+    ASSERT_EQ(ss.a.size(), 4u);
+    ASSERT_EQ(ss.b.size(), 4u);
+    ASSERT_EQ(ss.c.size(), 4u);
+    ASSERT_EQ(ss.f.size(), 4u);
+
+    EXPECT_EQ(ss.a[0], 1.0 - alpha);
+    EXPECT_EQ(ss.b[0], alpha);
+    EXPECT_EQ(ss.f[0], 0.0);
+    EXPECT_EQ(ss.c[0], (1.0 - alpha) * 3.5);
+    EXPECT_EQ(ss.d, alpha * 3.5);
+    EXPECT_EQ(ss.e, 0.0);
+    // Padding lanes must be exactly zero (the SIMD step has no edge
+    // handling; non-zero padding would corrupt the C·x reduction).
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_EQ(ss.a[i], 0.0) << i;
+        EXPECT_EQ(ss.b[i], 0.0) << i;
+        EXPECT_EQ(ss.c[i], 0.0) << i;
+        EXPECT_EQ(ss.f[i], 0.0) << i;
+    }
+    // The single state slot aliases the filter's live state.
+    ASSERT_EQ(ss.state.size(), 1u);
+    lp.process(1.0);
+    double x[4];
+    load_states(ss, x);
+    EXPECT_EQ(x[0], alpha);  // s after one unit sample from rest
+}
+
+// ----------------------------------------------------- degenerate 1-block
+
+// A chain of exactly one low-pass: same matrices without the output gain.
+TEST(StateSpaceGolden, DegenerateSingleBlockChain) {
+    OnePoleLowPass lp(Frequency{2e3}, 250e3);
+    LinearSpec spec;
+    ASSERT_TRUE(lp.linear_spec(spec));
+    const double alpha = spec.c0;
+
+    StateSpace ss;
+    build_state_space(std::span<const LinearSpec>(&spec, 1), ss);
+
+    ASSERT_EQ(ss.n, 1u);
+    EXPECT_EQ(ss.a[0], 1.0 - alpha);
+    EXPECT_EQ(ss.b[0], alpha);
+    EXPECT_EQ(ss.c[0], 1.0 - alpha);
+    EXPECT_EQ(ss.d, alpha);
+    EXPECT_EQ(ss.e, 0.0);
+}
+
+// -------------------------------------------------------------- high-pass
+
+// One-pole high-pass (s' = α(s + u − p), p' = u, y = s'):
+//   states (s, p):  A = [[α, −α], [0, 0]],  B = [α, 1],
+//   C = [α, −α],  D = α.
+TEST(StateSpaceGolden, OnePoleHighPassMatrices) {
+    OnePoleHighPass hp(Frequency{500.0}, 100e3);
+    LinearSpec spec;
+    ASSERT_TRUE(hp.linear_spec(spec));
+    const double alpha = spec.c0;
+
+    StateSpace ss;
+    build_state_space(std::span<const LinearSpec>(&spec, 1), ss);
+
+    ASSERT_EQ(ss.n, 2u);
+    ASSERT_EQ(ss.n4, 4u);
+    auto A = [&](std::size_t i, std::size_t j) { return ss.a[j * ss.n4 + i]; };
+    EXPECT_EQ(A(0, 0), alpha);
+    EXPECT_EQ(A(0, 1), -alpha);
+    EXPECT_EQ(A(1, 0), 0.0);
+    EXPECT_EQ(A(1, 1), 0.0);
+    EXPECT_EQ(ss.b[0], alpha);
+    EXPECT_EQ(ss.b[1], 1.0);
+    EXPECT_EQ(ss.c[0], alpha);
+    EXPECT_EQ(ss.c[1], -alpha);
+    EXPECT_EQ(ss.d, alpha);
+    EXPECT_EQ(ss.e, 0.0);
+}
+
+// ------------------------------------------------------- stateless cascade
+
+// Gain · affine · gain composes into a single y = D·u + e with no states.
+TEST(StateSpaceGolden, StatelessGainAffineCascade) {
+    GainBlock g1(2.0);
+    OffsetCompensator oc(Voltage{1.2}, 12);
+    oc.set_code(137);
+    GainBlock g2(-0.5);
+    LinearSpec specs[3];
+    ASSERT_TRUE(g1.linear_spec(specs[0]));
+    ASSERT_TRUE(oc.linear_spec(specs[1]));
+    ASSERT_TRUE(g2.linear_spec(specs[2]));
+    ASSERT_EQ(specs[1].kind, LinearSpec::Kind::affine);
+    const double dac = -specs[1].c1;
+
+    StateSpace ss;
+    build_state_space(specs, ss);
+
+    EXPECT_EQ(ss.n, 0u);
+    EXPECT_EQ(ss.n4, 0u);
+    EXPECT_EQ(ss.d, 2.0 * 1.0 * -0.5);
+    EXPECT_EQ(ss.e, -dac * -0.5);
+}
+
+// --------------------------------------------------------------- step math
+
+// The dispatched step kernel must reproduce the hand-written recurrence.
+// The kernel may fuse multiply-adds, so the comparison is a tight relative
+// tolerance rather than bit equality.
+TEST(StateSpaceGolden, StepMatchesHandRecurrence) {
+    OnePoleLowPass lp(Frequency{1e3}, 100e3);
+    GainBlock gain(3.5);
+    LinearSpec specs[2];
+    ASSERT_TRUE(lp.linear_spec(specs[0]));
+    ASSERT_TRUE(gain.linear_spec(specs[1]));
+    const double alpha = specs[0].c0;
+
+    StateSpace ss;
+    build_state_space(specs, ss);
+    double x[4], xn[4];
+    load_states(ss, x);
+
+    double s = 0.0;  // hand-tracked filter state
+    const double inputs[] = {1.0, -0.25, 0.6, 0.0, 3.0};
+    for (const double u : inputs) {
+        const double y = state_space_step(ss, x, xn, u);
+        const double y_hand = 3.5 * ((1.0 - alpha) * s + alpha * u);
+        s = (1.0 - alpha) * s + alpha * u;
+        EXPECT_NEAR(y, y_hand, 1e-12 * std::fabs(y_hand) + 1e-300) << u;
+        EXPECT_NEAR(x[0], s, 1e-12 * std::fabs(s) + 1e-300) << u;
+    }
+
+    // store_states writes back through the live pointer: the block's own
+    // scalar kernel continues from the fused state.
+    store_states(ss, x);
+    const double next = lp.process(0.5);
+    EXPECT_NEAR(next, (1.0 - alpha) * s + alpha * 0.5,
+                1e-12 * std::fabs(next) + 1e-300);
+}
+
+// prepare/finish split the step around the late-arriving input u; the pair
+// must agree with the one-shot step to rounding.
+TEST(StateSpaceGolden, PrepareFinishMatchesStep) {
+    Biquad bq(Biquad::Type::bandpass, Frequency{5e3}, 2.0, 100e3);
+    LinearSpec spec;
+    ASSERT_TRUE(bq.linear_spec(spec));
+
+    StateSpace ss;
+    build_state_space(std::span<const LinearSpec>(&spec, 1), ss);
+    double xa[4], xb[4], xna[4], xnb[4];
+    load_states(ss, xa);
+    load_states(ss, xb);
+
+    const double inputs[] = {0.1, -0.9, 0.5, 0.5, -2.0, 0.0, 1.5};
+    for (const double u : inputs) {
+        const double ya = state_space_step(ss, xa, xna, u);
+        const double part = state_space_prepare(ss, xb, xnb);
+        const double yb = state_space_finish(ss, xb, xnb, u, part);
+        EXPECT_NEAR(ya, yb, 1e-12 * std::fabs(ya) + 1e-300);
+        for (std::size_t i = 0; i < ss.n; ++i) {
+            EXPECT_NEAR(xa[i], xb[i], 1e-12 * std::fabs(xa[i]) + 1e-300) << i;
+        }
+    }
+}
+
+}  // namespace

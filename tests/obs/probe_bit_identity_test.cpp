@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "circ/fuse.hpp"
 #include "circ/block.hpp"
 #include "circ/filters.hpp"
 #include "core/resonant_sensor.hpp"
@@ -110,7 +111,16 @@ std::vector<double> chain_input() {
     return input;
 }
 
-TEST(ObsBitIdentity, ChainOutputUnchangedByAttachedProbes) {
+/// Probe transparency is a legacy-path bit-identity contract; under the
+/// fused simd tier armed probes instead split segments (tolerance contract,
+/// tests/fuse/probe_fusion_test.cpp). Pin the mode off here.
+class ObsBitIdentity : public ::testing::Test {
+protected:
+    ObsBitIdentity() { circ::set_fuse_mode(circ::FuseMode::off); }
+    ~ObsBitIdentity() override { circ::clear_fuse_mode(); }
+};
+
+TEST_F(ObsBitIdentity, ChainOutputUnchangedByAttachedProbes) {
     const LevelGuard guard(obs::Level::summary);
     const auto input = chain_input();
 
@@ -134,7 +144,7 @@ TEST(ObsBitIdentity, ChainOutputUnchangedByAttachedProbes) {
     EXPECT_EQ(last->stats().max, *std::max_element(out.begin(), out.end()));
 }
 
-TEST(ObsBitIdentity, ChainProbeStreamsIdenticalAcrossBatchSizes) {
+TEST_F(ObsBitIdentity, ChainProbeStreamsIdenticalAcrossBatchSizes) {
     const LevelGuard guard(obs::Level::summary);
     const auto input = chain_input();
     for (const std::size_t batch : {std::size_t{64}, std::size_t{1024}}) {
@@ -161,7 +171,7 @@ TEST(ObsBitIdentity, ChainProbeStreamsIdenticalAcrossBatchSizes) {
     }
 }
 
-TEST(ObsBitIdentity, ChainDetachProbesStopsRecording) {
+TEST_F(ObsBitIdentity, ChainDetachProbesStopsRecording) {
     const LevelGuard guard(obs::Level::summary);
     circ::Chain chain = make_chain();
     chain.attach_probes("bi.chain.detach");
@@ -196,7 +206,7 @@ ResonantResult run_resonant(std::size_t batch, const std::string& scope) {
     return r;
 }
 
-TEST(ObsBitIdentity, ResonantRunUnchangedByArmedProbes) {
+TEST_F(ObsBitIdentity, ResonantRunUnchangedByArmedProbes) {
     const LevelGuard guard(obs::Level::summary);
     const OutDirGuard out_guard;
     for (const std::size_t batch : kBatchSizes) {
@@ -227,7 +237,7 @@ TEST(ObsBitIdentity, ResonantRunUnchangedByArmedProbes) {
     }
 }
 
-TEST(ObsBitIdentity, ResonantProbeStreamsIdenticalAcrossBatchSizes) {
+TEST_F(ObsBitIdentity, ResonantProbeStreamsIdenticalAcrossBatchSizes) {
     auto& reg = obs::ProbeRegistry::instance();
     // Runs in ResonantRunUnchangedByArmedProbes recorded scope bi.res.b<N>;
     // re-run here so this test stands alone even when filtered.
@@ -268,7 +278,7 @@ StaticResult run_static(std::size_t batch, const std::string& scope) {
     return r;
 }
 
-TEST(ObsBitIdentity, StaticAcquisitionUnchangedByArmedProbes) {
+TEST_F(ObsBitIdentity, StaticAcquisitionUnchangedByArmedProbes) {
     const LevelGuard guard(obs::Level::summary);
     const OutDirGuard out_guard;
     for (const std::size_t batch : kBatchSizes) {
@@ -289,7 +299,7 @@ TEST(ObsBitIdentity, StaticAcquisitionUnchangedByArmedProbes) {
     }
 }
 
-TEST(ObsBitIdentity, StaticProbeStreamsIdenticalAcrossBatchSizes) {
+TEST_F(ObsBitIdentity, StaticProbeStreamsIdenticalAcrossBatchSizes) {
     auto& reg = obs::ProbeRegistry::instance();
     const LevelGuard guard(obs::Level::summary);
     const OutDirGuard out_guard;

@@ -24,9 +24,11 @@ namespace {
 
 void usage(std::ostream& out) {
     out << "usage: cbs-obs-diff [--threshold <fraction>] [--warn-only] "
-           "<baseline.json> <current.json>\n"
+           "[--only <substring>] <baseline.json> <current.json>\n"
            "  --threshold f   relative change flagged as regression (default 0.10)\n"
-           "  --warn-only     report regressions but exit 0 (CI soft gate)\n";
+           "  --warn-only     report regressions but exit 0 (CI soft gate)\n"
+           "  --only s        compare only metrics whose name contains s\n"
+           "                  (CI hard-gates named row sets this way)\n";
 }
 
 }  // namespace
@@ -43,6 +45,14 @@ int main(int argc, char** argv) {
         }
         if (arg == "--warn-only") {
             opts.warn_only = true;
+            continue;
+        }
+        if (arg == "--only") {
+            if (i + 1 >= argc) {
+                std::cerr << "cbs-obs-diff: --only needs a value\n";
+                return 2;
+            }
+            opts.only = argv[++i];
             continue;
         }
         if (arg == "--threshold") {
