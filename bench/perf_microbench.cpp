@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "array/grid.hpp"
+#include "array/scan.hpp"
 #include "circ/block.hpp"
 #include "circ/chopper.hpp"
 #include "circ/filters.hpp"
@@ -411,6 +413,61 @@ void BM_SignalPathChain16Fused(benchmark::State& state) {
 }
 BENCHMARK(BM_SignalPathChain16Fused)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
+
+// --- Array scan --------------------------------------------------------------
+//
+// Shared-readout scan of an N-site ArrayGrid (DESIGN.md §12). Args are
+// {sites, pool threads}: threads == 0 is the serial in-thread reference,
+// threads == 4 shards the row scans over a ThreadPool. Results are
+// bit-identical across the pairs (asserted by tests/array); the paired
+// rows show what the row sharding buys at 64 / 1024 / 10000 sites.
+// items/s = sites/s. The fused rows run the same scan through the
+// CBS_FUSE=simd chain tier.
+
+void run_array_scan_bench(benchmark::State& state) {
+    const auto sites = static_cast<std::size_t>(state.range(0));
+    const auto threads = static_cast<std::size_t>(state.range(1));
+    const auto side = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(sites))));
+    const fab::ProcessMonteCarlo mc(mech::resonant_default(), fab::KohEtchConfig{},
+                                    fab::ProcessVariation{},
+                                    fab::EtchMode::electrochemical_stop);
+    array::ArrayConfig gcfg;
+    gcfg.rows = side;
+    gcfg.cols = side;
+    gcfg.seed = 17;
+    gcfg.reference_columns = {side - 1};
+    array::ArrayGrid grid(gcfg, mc, nullptr);
+    grid.set_concentration(MolarConcentration{1e-8});
+    grid.advance_binding(Time{60.0});
+    array::ScanConfig cfg;
+    cfg.noise_density = VoltageNoiseDensity{20e-9};
+    cfg.neighbor_coupling = 0.02;
+    cfg.log_scan = false;
+    const array::ScanController controller(grid, cfg);
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<exec::ThreadPool>(threads);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(controller.scan(pool.get()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * grid.site_count()));
+}
+
+void BM_ArrayScan(benchmark::State& state) { run_array_scan_bench(state); }
+BENCHMARK(BM_ArrayScan)
+    ->Args({64, 0})->Args({64, 4})
+    ->Args({1024, 0})->Args({1024, 4})
+    ->Args({10000, 0})->Args({10000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArrayScanFused(benchmark::State& state) {
+    const FuseModeBenchGuard fuse(circ::FuseMode::simd);
+    run_array_scan_bench(state);
+}
+BENCHMARK(BM_ArrayScanFused)
+    ->Args({64, 0})->Args({64, 4})
+    ->Args({1024, 0})->Args({1024, 4})
+    ->Args({10000, 0})->Args({10000, 4})
+    ->Unit(benchmark::kMillisecond);
 
 // --- Deterministic parallel execution ---------------------------------------
 //

@@ -1,0 +1,82 @@
+// core::ArraySweep, implemented as a thin wrapper over the array subsystem:
+// the legacy sweep is the 1×N degenerate grid (one row, elements columns)
+// characterized with element-style probe scopes. The wrapper lives in
+// cbs_array (not cbs_core) so the core library never depends upward on the
+// array layer; the public header stays core/array_sweep.hpp.
+#include "core/array_sweep.hpp"
+
+#include <cmath>
+
+#include "array/characterize.hpp"
+#include "array/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::core {
+
+ArraySweep::ArraySweep(const ResonantSensorConfig& base, const fab::ProcessMonteCarlo& process,
+                       const ArraySweepConfig& config)
+    : base_(base), process_(process), cfg_(config) {
+    CBS_EXPECTS(cfg_.elements > 0);
+    CBS_EXPECTS(cfg_.run_duration.value() > 0.0);
+    CBS_EXPECTS(cfg_.preset_coverage >= 0.0 && cfg_.preset_coverage <= 1.0);
+}
+
+std::vector<ArrayElementResult> ArraySweep::run(exec::ThreadPool* pool) const {
+    const obs::ScopedTimer span("array.sweep", "core");
+
+    // 1×N degenerate grid: element i is site (0, i), so the per-site
+    // fabrication streams Rng::for_stream(seed, i) — and therefore every
+    // drawn geometry and loop seed — are identical to the pre-refactor
+    // per-element loop, for any thread count.
+    array::ArrayConfig grid_cfg;
+    grid_cfg.rows = 1;
+    grid_cfg.cols = cfg_.elements;
+    grid_cfg.seed = cfg_.seed;
+    grid_cfg.base_coating = base_.coating;
+    const array::ArrayGrid grid(grid_cfg, process_, pool);
+
+    array::CharacterizeConfig ch;
+    ch.run_duration = cfg_.run_duration;
+    ch.preset_coverage = cfg_.preset_coverage;
+    ch.per_site_probes = cfg_.per_element_probes;
+    ch.probe_scope = cfg_.probe_scope;
+    ch.scope_style = array::CharacterizeConfig::ScopeStyle::element;
+    auto results = array::characterize(grid, base_, ch, pool);
+
+    auto& registry = obs::MetricsRegistry::instance();
+    const auto summary = summarize(results);
+    registry.counter("array.elements")->add(summary.elements);
+    registry.counter("array.functional")->add(summary.functional);
+    registry.counter("array.measured")->add(summary.measured);
+    registry.counter("array.faulted")->add(summary.faulted);
+    registry.gauge("array.measured_mean_hz")->set(summary.measured_mean_hz);
+    return results;
+}
+
+ArraySweepSummary ArraySweep::summarize(std::span<const ArrayElementResult> results) {
+    ArraySweepSummary s;
+    s.elements = results.size();
+    stats::RunningStats measured;
+    for (const auto& r : results) {
+        if (r.functional) ++s.functional;
+        if (r.fault_events > 0) ++s.faulted;
+        // A non-finite readout (a faulted loop poisoned by an injected NaN)
+        // must not contaminate the aggregate moments: such an element does
+        // not count as measured. With no measured elements every statistic
+        // stays at a well-defined 0 (RunningStats' empty state), never NaN.
+        if (!r.measured || !std::isfinite(r.measured_hz)) continue;
+        ++s.measured;
+        measured.add(r.measured_hz);
+        if (r.expected_hz > 0.0 && std::isfinite(r.expected_hz)) {
+            s.worst_rel_error = std::max(
+                s.worst_rel_error, std::abs(r.measured_hz - r.expected_hz) / r.expected_hz);
+        }
+    }
+    s.measured_mean_hz = measured.mean();
+    s.measured_sigma_hz = measured.stddev();
+    return s;
+}
+
+}  // namespace cbs::core

@@ -1,0 +1,56 @@
+#include "array/characterize.hpp"
+
+#include "obs/events.hpp"
+#include "util/expect.hpp"
+
+namespace cbs::array {
+
+std::vector<core::ArrayElementResult> characterize(const ArrayGrid& grid,
+                                                   const core::ResonantSensorConfig& base,
+                                                   const CharacterizeConfig& config,
+                                                   exec::ThreadPool* pool) {
+    CBS_EXPECTS(config.run_duration.value() > 0.0);
+    CBS_EXPECTS(config.preset_coverage >= 0.0 && config.preset_coverage <= 1.0);
+
+    auto site_fn = [&grid, &base, &config](std::size_t i) {
+        const Site& site = grid.site_at(i);
+        core::ArrayElementResult r;
+        r.index = i;
+        r.functional = site.functional;
+        if (!r.functional) return r;
+        r.fabricated_f0_hz = site.sample.resonance.value();
+
+        core::ResonantSensorConfig cfg = base;
+        std::string scope;
+        if (config.per_site_probes) {
+            scope = config.probe_scope;
+            if (config.scope_style == CharacterizeConfig::ScopeStyle::element) {
+                scope += ".e" + std::to_string(i);
+            } else {
+                scope += ".r" + std::to_string(site.row) + "c" + std::to_string(site.col);
+            }
+            cfg.probe_scope = scope;
+        }
+        // Rng(loop_seed) reproduces the fabrication stream's fork() at the
+        // point right after the geometry draw — the legacy ArraySweep
+        // element's loop-noise generator, bit for bit.
+        auto sensor = core::BiosensorChip::from_fabricated(cfg, site.sample, Rng(site.loop_seed));
+        CBS_EXPECTS(sensor.has_value());  // functional => constructible
+        if (config.preset_coverage > 0.0) sensor->set_coverage(config.preset_coverage);
+        r.expected_hz = sensor->expected_resonance().value();
+        r.vga_control = sensor->vga_control();
+        const auto gates = sensor->run(config.run_duration);
+        if (!gates.empty()) {
+            r.measured = true;
+            r.measured_hz = gates.back().frequency_hz;
+        }
+        if (config.per_site_probes) {
+            r.fault_events =
+                obs::EventLog::instance().count_for_prefix(scope, obs::Severity::fault);
+        }
+        return r;
+    };
+    return exec::parallel_map<core::ArrayElementResult>(pool, grid.site_count(), site_fn);
+}
+
+}  // namespace cbs::array

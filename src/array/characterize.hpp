@@ -1,0 +1,45 @@
+// Full closed-loop characterization of every grid site: each functional
+// site is brought up as a complete resonant sensor
+// (core::BiosensorChip::from_fabricated on the site's as-etched sample),
+// auto-gained and run until the frequency counter reports — the
+// production-test view of the array, as opposed to the fast voltage-mode
+// ScanController sweep. This is the engine behind the core::ArraySweep
+// compatibility wrapper: a 1×N grid characterized with ScopeStyle::element
+// reproduces the legacy sweep's results bit for bit (same fabrication
+// stream, same loop seed, same probe scopes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "array/grid.hpp"
+#include "core/array_sweep.hpp"
+#include "core/chip.hpp"
+#include "exec/threadpool.hpp"
+
+namespace cbs::array {
+
+struct CharacterizeConfig {
+    /// Closed-loop run per site; must exceed the counter gate.
+    Time run_duration{0.25};
+    /// Coverage preset applied before the run (incubated assay); 0 = bare.
+    double preset_coverage = 0.0;
+    /// Per-site obs probe scopes (`<probe_scope>.<site>`): taps, watchdogs
+    /// and fault events stay separable per site.
+    bool per_site_probes = false;
+    std::string probe_scope = "array";
+    /// Probe-scope naming: row_col = ".r<row>c<col>" (native array style),
+    /// element = ".e<index>" (legacy ArraySweep compatibility).
+    enum class ScopeStyle { row_col, element };
+    ScopeStyle scope_style = ScopeStyle::row_col;
+};
+
+/// Characterizes every site (row-major result order, indexed like the
+/// grid); shards over the pool with bit-identical results for any thread
+/// count (nullptr = serial). Emits no obs counters itself — callers
+/// aggregate with core::ArraySweep::summarize.
+[[nodiscard]] std::vector<core::ArrayElementResult> characterize(
+    const ArrayGrid& grid, const core::ResonantSensorConfig& base,
+    const CharacterizeConfig& config, exec::ThreadPool* pool = nullptr);
+
+}  // namespace cbs::array

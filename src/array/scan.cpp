@@ -1,0 +1,193 @@
+#include "array/scan.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "circ/adc.hpp"
+#include "circ/block.hpp"
+#include "circ/filters.hpp"
+#include "circ/mux.hpp"
+#include "circ/noise.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/scan_log.hpp"
+#include "obs/tracer.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::array {
+
+ScanController::ScanController(const ArrayGrid& grid, const ScanConfig& config)
+    : grid_(grid), cfg_(config) {
+    CBS_EXPECTS(cfg_.sample_rate_hz > 0.0);
+    CBS_EXPECTS(cfg_.settle_samples > 0 && cfg_.dwell_samples > 0);
+    CBS_EXPECTS(cfg_.neighbor_coupling >= 0.0 && cfg_.neighbor_coupling < 1.0);
+    CBS_EXPECTS(cfg_.amplifier_gain > 0.0);
+    CBS_EXPECTS(cfg_.adc_bits >= 0);
+    cfg_.mux.channels = grid.cols();
+}
+
+ScanController::RowScan ScanController::scan_row(std::size_t row) const {
+    const std::size_t cols = grid_.cols();
+    const std::size_t per_site = cfg_.settle_samples + cfg_.dwell_samples;
+
+    // Effective per-column inputs: the site's own bridge voltage plus the
+    // adjacent-site coupling (up/down/left/right neighbours leak a fixed
+    // fraction onto the site node before the select switch).
+    std::vector<double> inputs(cols);
+    grid_.row_source_voltages(row, inputs);
+    if (cfg_.neighbor_coupling > 0.0) {
+        std::vector<double> eff(cols);
+        for (std::size_t c = 0; c < cols; ++c) {
+            double coupled = 0.0;
+            if (c > 0) coupled += inputs[c - 1];
+            if (c + 1 < cols) coupled += inputs[c + 1];
+            if (row > 0) coupled += grid_.site_source_voltage(row - 1, c);
+            if (row + 1 < grid_.rows()) coupled += grid_.site_source_voltage(row + 1, c);
+            eff[c] = inputs[c] + cfg_.neighbor_coupling * coupled;
+        }
+        inputs = std::move(eff);
+    }
+
+    // Fresh shared-chain state per row: the determinism unit. The row's
+    // noise stream derives from (noise_seed, row), so results are a pure
+    // function of (grid state, config, row) — never of the pool schedule.
+    circ::AnalogMux mux(cfg_.mux, cfg_.sample_rate_hz);
+    circ::Chain chain;
+    if (cfg_.noise_density.value() > 0.0) {
+        chain.emplace<circ::WhiteNoise>(cfg_.noise_density, cfg_.sample_rate_hz,
+                                        Rng::for_stream(cfg_.noise_seed, row));
+    }
+    chain.emplace<circ::GainBlock>(cfg_.amplifier_gain);
+    if (cfg_.output_cutoff.value() > 0.0) {
+        chain.emplace<circ::OnePoleLowPass>(cfg_.output_cutoff, cfg_.sample_rate_hz);
+    }
+
+    // Column pass: each column held for settle+dwell samples through the
+    // batched scan kernel (one switch transient per column), then the
+    // common-mode drift and the shared amplifier chain over the whole row
+    // batch — where the CBS_FUSE compiled path engages.
+    std::vector<std::size_t> selects(cols * per_site);
+    for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t k = 0; k < per_site; ++k) selects[c * per_site + k] = c;
+    }
+    std::vector<double> buf(selects.size());
+    mux.scan_block(selects, inputs, buf);
+    if (cfg_.common_mode_v != 0.0) {
+        for (double& v : buf) v += cfg_.common_mode_v;
+    }
+    chain.process_block(buf);
+    if (cfg_.adc_bits > 0) {
+        const circ::SarAdc adc(cfg_.adc_bits, cfg_.adc_full_scale);
+        adc.quantize_block(buf);
+    }
+
+    RowScan out;
+    out.readings.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        const Site& site = grid_.site(row, c);
+        SiteReading& r = out.readings[c];
+        r.row = row;
+        r.col = c;
+        r.index = site.index;
+        r.functional = site.functional;
+        r.reference = site.reference;
+        r.theta = site.theta;
+        const std::size_t dwell_begin = c * per_site + cfg_.settle_samples;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < cfg_.dwell_samples; ++k) acc += buf[dwell_begin + k];
+        r.raw_v = acc / static_cast<double>(cfg_.dwell_samples);
+        if (cfg_.per_site_probes) {
+            obs::ProbeRegistry::instance()
+                .probe(cfg_.name + ".r" + std::to_string(row) + "c" + std::to_string(c) +
+                       ".adc")
+                ->tap_block({buf.data() + dwell_begin, cfg_.dwell_samples});
+        }
+    }
+
+    // Reference pass: one multi-select acquisition of the reference
+    // columns — their parallel average on the shared line, through the
+    // same chain — gives the row's common-mode level.
+    const auto& ref_cols = grid_.config().reference_columns;
+    if (!ref_cols.empty()) {
+        mux.select_many(ref_cols);
+        std::vector<double> ref_buf(per_site);
+        mux.process_block(inputs, ref_buf);
+        if (cfg_.common_mode_v != 0.0) {
+            for (double& v : ref_buf) v += cfg_.common_mode_v;
+        }
+        chain.process_block(ref_buf);
+        if (cfg_.adc_bits > 0) {
+            const circ::SarAdc adc(cfg_.adc_bits, cfg_.adc_full_scale);
+            adc.quantize_block(ref_buf);
+        }
+        double acc = 0.0;
+        for (std::size_t k = cfg_.settle_samples; k < per_site; ++k) acc += ref_buf[k];
+        out.reference_v = acc / static_cast<double>(cfg_.dwell_samples);
+    }
+    for (auto& r : out.readings) r.compensated_v = r.raw_v - out.reference_v;
+    return out;
+}
+
+ScanResult ScanController::scan(exec::ThreadPool* pool) const {
+    const obs::ScopedTimer span("array.scan", "array");
+    const std::size_t rows = grid_.rows();
+    auto row_scans = exec::parallel_map<RowScan>(
+        pool, rows, [this](std::size_t r) { return scan_row(r); });
+
+    ScanResult result;
+    result.readings.reserve(rows * grid_.cols());
+    result.row_reference_v.reserve(rows);
+    for (auto& rs : row_scans) {
+        for (auto& r : rs.readings) result.readings.push_back(std::move(r));
+        result.row_reference_v.push_back(rs.reference_v);
+    }
+
+    const auto summary = summarize(result);
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("array.scan.count")->add();
+    registry.counter("array.scan.sites")->add(summary.sites);
+    registry.counter("array.scan.functional")->add(summary.functional);
+    registry.gauge("array.scan.mean_compensated_v")->set(summary.mean_compensated_v);
+    if (cfg_.log_scan) {
+        obs::ScanRecord record;
+        record.name = cfg_.name;
+        record.rows = rows;
+        record.cols = grid_.cols();
+        record.sites = summary.sites;
+        record.functional = summary.functional;
+        record.reference_sites = summary.reference;
+        record.mean_raw_v = summary.mean_raw_v;
+        record.sigma_raw_v = summary.sigma_raw_v;
+        record.mean_compensated_v = summary.mean_compensated_v;
+        record.sigma_compensated_v = summary.sigma_compensated_v;
+        record.reference_level_v = summary.reference_level_v;
+        obs::ScanLog::instance().append(std::move(record));
+    }
+    return result;
+}
+
+ScanSummary ScanController::summarize(const ScanResult& result) {
+    ScanSummary s;
+    s.sites = result.readings.size();
+    stats::RunningStats raw;
+    stats::RunningStats comp;
+    for (const auto& r : result.readings) {
+        if (r.reference) ++s.reference;
+        if (!r.functional) continue;
+        ++s.functional;
+        raw.add(r.raw_v);
+        comp.add(r.compensated_v);
+    }
+    s.mean_raw_v = raw.mean();
+    s.sigma_raw_v = raw.stddev();
+    s.mean_compensated_v = comp.mean();
+    s.sigma_compensated_v = comp.stddev();
+    if (!result.row_reference_v.empty()) {
+        s.reference_level_v = stats::mean(result.row_reference_v);
+    }
+    return s;
+}
+
+}  // namespace cbs::array

@@ -1,0 +1,135 @@
+// Shared-readout scan path for an ArrayGrid: one amplifier/ADC chain,
+// row/column-addressed through circ::AnalogMux (Figure 4's topology scaled
+// to N×M). A scan visits every site in row-major order:
+//
+//   per row r (independent scan unit, shardable over exec::ThreadPool):
+//     inputs[c]  = site source voltage + neighbor_coupling * (adjacent sites)
+//     selects    = [0]*(settle+dwell) ++ [1]*(settle+dwell) ++ ... per column
+//     mux.scan_block(selects, inputs)  -> settling transient + charge
+//                                         injection on every column switch,
+//                                         electrical crosstalk from the
+//                                         unselected columns on the shared
+//                                         line
+//     (+ common-mode drift) -> [noise] -> gain -> [low-pass] -> [ADC]
+//                              (the linear run executes through the fused
+//                               CBS_FUSE path when enabled)
+//     reading[c] = mean of the post-settle dwell window
+//     row reference = one multi-select acquisition of the reference
+//                     columns (their parallel average on the shared line);
+//                     compensated[c] = raw[c] - reference level
+//
+// Determinism contract (DESIGN.md §12): every row scan uses a fresh mux /
+// chain / ADC whose noise streams from Rng::for_stream(noise_seed, row),
+// and rows land in index-keyed slots — results are bit-identical for any
+// pool thread count, including pool == nullptr serial.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/grid.hpp"
+#include "circ/mux.hpp"
+#include "exec/threadpool.hpp"
+#include "util/units.hpp"
+
+namespace cbs::array {
+
+struct ScanConfig {
+    /// Scan label used for obs (ScanRecord name, probe scope prefix).
+    std::string name = "scan";
+    double sample_rate_hz = 200e3;
+    /// Shared-line mux electrics (channels is overwritten with the grid's
+    /// column count). crosstalk = electrical coupling from unselected
+    /// columns; on_resistance * load_capacitance sets the settling tau;
+    /// charge_injection the switch glitch.
+    circ::MuxConfig mux{};
+    /// Capacitive/fluidic coupling from grid-adjacent sites (up/down/left/
+    /// right) added onto each site's source voltage before the mux.
+    double neighbor_coupling = 0.0;
+    /// Common-mode drift voltage injected on the shared line (temperature,
+    /// supply); the reference columns exist to cancel it.
+    double common_mode_v = 0.0;
+    /// Shared amplifier gain after the mux.
+    double amplifier_gain = 100.0;
+    /// Post-amplifier low-pass cutoff; 0 disables the filter stage.
+    Frequency output_cutoff{500.0};
+    /// Input-referred white noise of the shared chain; 0 disables the
+    /// noise stage (deterministic scans for goldens).
+    VoltageNoiseDensity noise_density{0.0};
+    /// Root seed for the per-row noise streams (row r uses
+    /// Rng::for_stream(noise_seed, r)).
+    std::uint64_t noise_seed = 0x5ca71;
+    /// Shared ADC; adc_bits == 0 bypasses quantization.
+    int adc_bits = 14;
+    Voltage adc_full_scale{2.5};
+    /// Samples discarded (settling) then averaged (dwell) per site.
+    std::size_t settle_samples = 32;
+    std::size_t dwell_samples = 64;
+    /// Tap each site's dwell window into obs probe
+    /// `<name>.r<row>c<col>.adc` (registry arming rules apply).
+    bool per_site_probes = false;
+    /// Append an obs::ScanRecord per scan (RunReport "array scans" table).
+    bool log_scan = true;
+};
+
+/// One site's acquired reading.
+struct SiteReading {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    std::size_t index = 0;
+    bool functional = false;
+    bool reference = false;
+    double raw_v = 0.0;          ///< dwell-window mean at the chain output
+    double compensated_v = 0.0;  ///< raw minus the row's reference level
+    double theta = 0.0;          ///< coverage at scan time
+};
+
+struct ScanResult {
+    std::vector<SiteReading> readings;    ///< row-major, one per site
+    std::vector<double> row_reference_v;  ///< per row (0 without ref columns)
+};
+
+struct ScanSummary {
+    std::size_t sites = 0;
+    std::size_t functional = 0;
+    std::size_t reference = 0;
+    double mean_raw_v = 0.0;  ///< moments over functional sites
+    double sigma_raw_v = 0.0;
+    double mean_compensated_v = 0.0;
+    double sigma_compensated_v = 0.0;
+    double reference_level_v = 0.0;  ///< mean row reference level
+};
+
+class ScanController {
+public:
+    ScanController(const ArrayGrid& grid, const ScanConfig& config);
+
+    /// Scans every site through the shared chain; rows shard over the pool
+    /// (nullptr = serial inline) with bit-identical results for any thread
+    /// count. Each call is an independent acquisition: chain state and
+    /// noise streams restart, so scan k of an assay equals scan k of any
+    /// other run with the same grid state.
+    [[nodiscard]] ScanResult scan(exec::ThreadPool* pool = nullptr) const;
+
+    /// Index-ordered moments of a result set (deterministic).
+    [[nodiscard]] static ScanSummary summarize(const ScanResult& result);
+
+    /// Small-signal gain of the shared chain (amplifier only; mux and
+    /// filter are unity at DC).
+    [[nodiscard]] double chain_gain() const { return cfg_.amplifier_gain; }
+
+    [[nodiscard]] const ScanConfig& config() const { return cfg_; }
+
+private:
+    struct RowScan {
+        std::vector<SiteReading> readings;
+        double reference_v = 0.0;
+    };
+    [[nodiscard]] RowScan scan_row(std::size_t row) const;
+
+    const ArrayGrid& grid_;
+    ScanConfig cfg_;
+};
+
+}  // namespace cbs::array

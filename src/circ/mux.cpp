@@ -1,5 +1,6 @@
 #include "circ/mux.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/expect.hpp"
@@ -18,22 +19,75 @@ AnalogMux::AnalogMux(const MuxConfig& config, double sample_rate_hz) : cfg_(conf
 
 void AnalogMux::select(std::size_t channel) {
     CBS_EXPECTS(channel < cfg_.channels);
-    if (channel != selected_) {
+    const bool changed =
+        multi_.empty() ? channel != selected_ : !(multi_.size() == 1 && multi_[0] == channel);
+    multi_.clear();
+    if (changed) {
         selected_ = channel;
         glitch_ = cfg_.charge_injection.value();
     }
+    selected_ = channel;
+}
+
+void AnalogMux::select_many(std::span<const std::size_t> channels) {
+    CBS_EXPECTS(!channels.empty());
+    std::vector<std::size_t> set(channels.begin(), channels.end());
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    CBS_EXPECTS(set.back() < cfg_.channels);
+    if (set.size() == 1) {
+        select(set.front());
+        return;
+    }
+    const bool changed = multi_.empty() ? true : set != multi_;
+    if (changed) glitch_ = cfg_.charge_injection.value();
+    selected_ = set.front();
+    multi_ = std::move(set);
+}
+
+const std::vector<std::size_t>& AnalogMux::selected_set() const {
+    if (!multi_.empty()) return multi_;
+    selected_view_.assign(1, selected_);
+    return selected_view_;
+}
+
+double AnalogMux::settle_target(std::span<const double> channel_inputs) const {
+    if (multi_.empty()) {
+        // Single-select path: kept arithmetically identical to the original
+        // mux (target = selected + crosstalk * sum of the others, others
+        // accumulated in channel order).
+        double target = channel_inputs[selected_];
+        if (cfg_.crosstalk > 0.0) {
+            double others = 0.0;
+            for (std::size_t i = 0; i < channel_inputs.size(); ++i) {
+                if (i != selected_) others += channel_inputs[i];
+            }
+            target += cfg_.crosstalk * others;
+        }
+        return target;
+    }
+    // Multi-select: parallel switches with equal on-resistance divide the
+    // line evenly, so it settles to the mean of the selected channels; the
+    // unselected channels couple through the same crosstalk fraction.
+    double sel_sum = 0.0;
+    double others = 0.0;
+    auto it = multi_.begin();
+    for (std::size_t i = 0; i < channel_inputs.size(); ++i) {
+        if (it != multi_.end() && *it == i) {
+            sel_sum += channel_inputs[i];
+            ++it;
+        } else {
+            others += channel_inputs[i];
+        }
+    }
+    double target = sel_sum / static_cast<double>(multi_.size());
+    if (cfg_.crosstalk > 0.0) target += cfg_.crosstalk * others;
+    return target;
 }
 
 double AnalogMux::process(std::span<const double> channel_inputs) {
     CBS_EXPECTS(channel_inputs.size() == cfg_.channels);
-    double target = channel_inputs[selected_];
-    if (cfg_.crosstalk > 0.0) {
-        double others = 0.0;
-        for (std::size_t i = 0; i < channel_inputs.size(); ++i) {
-            if (i != selected_) others += channel_inputs[i];
-        }
-        target += cfg_.crosstalk * others;
-    }
+    const double target = settle_target(channel_inputs);
     state_ += alpha_ * (target - state_);
     const double out = state_ + glitch_;
     glitch_ *= 0.5;  // glitch decays over a few samples
@@ -43,16 +97,9 @@ double AnalogMux::process(std::span<const double> channel_inputs) {
 void AnalogMux::process_block(std::span<const double> channel_inputs, std::span<double> out) {
     CBS_EXPECTS(channel_inputs.size() == cfg_.channels);
     // The target is a pure function of the (constant) inputs and the
-    // selected channel, so per-sample recomputation would produce the
-    // same value every time — hoist it.
-    double target = channel_inputs[selected_];
-    if (cfg_.crosstalk > 0.0) {
-        double others = 0.0;
-        for (std::size_t i = 0; i < channel_inputs.size(); ++i) {
-            if (i != selected_) others += channel_inputs[i];
-        }
-        target += cfg_.crosstalk * others;
-    }
+    // selected set, so per-sample recomputation would produce the same
+    // value every time — hoist it.
+    const double target = settle_target(channel_inputs);
     const double alpha = alpha_;
     double state = state_;
     double glitch = glitch_;
@@ -65,6 +112,42 @@ void AnalogMux::process_block(std::span<const double> channel_inputs, std::span<
     glitch_ = glitch;
 }
 
+void AnalogMux::scan_block(std::span<const std::size_t> selects,
+                           std::span<const double> channel_inputs, std::span<double> out) {
+    CBS_EXPECTS(channel_inputs.size() == cfg_.channels);
+    CBS_EXPECTS(selects.size() == out.size());
+    if (out.empty()) return;
+    // Apply the first selection through select() so a preceding
+    // multi-select collapses with exactly the per-sample semantics (one
+    // glitch if the effective set changes).
+    select(selects[0]);
+    const double q = cfg_.charge_injection.value();
+    const double alpha = alpha_;
+    double state = state_;
+    double glitch = glitch_;
+    std::size_t sel = selected_;
+    // settle_target() recomputes the same value every sample between
+    // switches (inputs are constant), so hoisting it per selection run is
+    // bit-identical to the per-sample pair.
+    double target = settle_target(channel_inputs);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+        const std::size_t s = selects[k];
+        if (s != sel) {
+            CBS_EXPECTS(s < cfg_.channels);
+            sel = s;
+            selected_ = s;
+            glitch = q;
+            target = settle_target(channel_inputs);
+        }
+        state += alpha * (target - state);
+        out[k] = state + glitch;
+        glitch *= 0.5;  // glitch decays over a few samples
+    }
+    state_ = state;
+    glitch_ = glitch;
+    selected_ = sel;
+}
+
 Time AnalogMux::settling_tau() const {
     return Time{cfg_.on_resistance.value() * cfg_.load_capacitance.value()};
 }
@@ -73,6 +156,7 @@ void AnalogMux::reset() {
     state_ = 0.0;
     glitch_ = 0.0;
     selected_ = 0;
+    multi_.clear();
 }
 
 }  // namespace cbs::circ

@@ -2,6 +2,18 @@
 // to the readout amplifiers by an analog multiplexer." Models switch
 // settling (RC into the amplifier input capacitance), inter-channel
 // crosstalk and charge-injection glitches at switch events.
+//
+// Array-scale readout (DESIGN.md §12) adds two capabilities on top of the
+// classic single-select mux:
+//  * multi-select addressing — several switches closed at once share the
+//    output line, which then settles to the mean of the selected channels
+//    (equal on-resistances divide the line evenly). The array scanner uses
+//    this to read all reference columns of a row in one acquisition.
+//  * a batched scan kernel (`scan_block`) — one call walks a per-sample
+//    selection sequence across a whole row of sites, bit-identical to the
+//    select()/process() pair per sample while keeping the settling state
+//    in registers and recomputing the crosstalk target only at switch
+//    boundaries.
 #pragma once
 
 #include <cstddef>
@@ -26,12 +38,23 @@ public:
 
     AnalogMux(const MuxConfig& config, double sample_rate_hz);
 
-    /// Selects a channel; injects a charge-injection glitch.
+    /// Selects a channel; injects a charge-injection glitch when the
+    /// effective selection (single channel or multi-select set) changes.
     void select(std::size_t channel);
     [[nodiscard]] std::size_t selected() const { return selected_; }
 
+    /// Multi-select addressing: closes every listed switch at once. The
+    /// output line settles to the mean of the selected channels plus the
+    /// configured crosstalk fraction of the unselected sum. Duplicates are
+    /// ignored; a single-entry set is exactly `select(channels[0])`.
+    /// A change of the selected set injects one charge-injection glitch.
+    void select_many(std::span<const std::size_t> channels);
+    /// Currently closed switches in ascending channel order (size 1 when
+    /// single-selected).
+    [[nodiscard]] const std::vector<std::size_t>& selected_set() const;
+
     /// Processes one sample given all channel input voltages; returns the
-    /// mux output (selected channel after settling + crosstalk).
+    /// mux output (selected channel(s) after settling + crosstalk).
     double process(std::span<const double> channel_inputs);
 
     /// Batched form for channel inputs held constant over the batch (the
@@ -40,15 +63,32 @@ public:
     /// to calling `process` once per output sample.
     void process_block(std::span<const double> channel_inputs, std::span<double> out);
 
+    /// Batched scan kernel: applies `selects[k]` then produces `out[k]` for
+    /// every sample, bit-identical to `select(selects[k]); out[k] =
+    /// process(channel_inputs)` per sample. The settling state stays in
+    /// registers and the crosstalk target is recomputed only where the
+    /// selection actually switches, so a whole row scan (sites × dwell
+    /// samples) costs one virtual-free loop (DESIGN.md §12).
+    void scan_block(std::span<const std::size_t> selects,
+                    std::span<const double> channel_inputs, std::span<double> out);
+
     /// Time constant of the switch RC; settling to 0.1% takes ~7 tau.
     [[nodiscard]] Time settling_tau() const;
 
     void reset();
 
 private:
+    /// Settling target of the current selection for the given (constant)
+    /// inputs — the exact expression process() evaluates per sample.
+    [[nodiscard]] double settle_target(std::span<const double> channel_inputs) const;
+
     MuxConfig cfg_;
     double alpha_;
     std::size_t selected_ = 0;
+    /// Multi-select set (ascending, unique); empty in single-select mode.
+    std::vector<std::size_t> multi_;
+    /// Lazily materialized view returned by selected_set().
+    mutable std::vector<std::size_t> selected_view_;
     double state_ = 0.0;
     double glitch_ = 0.0;
 };

@@ -6,6 +6,13 @@
 // closed-loop until the counter reports; elements shard across the exec
 // ThreadPool with results keyed by index, so a sweep is bit-identical for
 // any thread count.
+//
+// Since the array subsystem landed this is a thin compatibility wrapper:
+// run() builds the 1×N degenerate array::ArrayGrid and characterizes it
+// with legacy element-style probe scopes (src/array/array_sweep.cpp),
+// which reproduces the pre-refactor results bit for bit. New code that
+// wants 2-D grids, shared-readout scans or reference columns should use
+// array::ArrayGrid / array::ScanController / array::characterize directly.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +82,10 @@ public:
 
     /// Aggregates a result set (Welford over measured frequencies, merged
     /// in index order — deterministic for any producer thread count).
+    /// Elements whose measured_hz is non-finite (a NaN-poisoned loop) are
+    /// excluded from `measured` and the moments; with nothing measured,
+    /// measured_mean_hz / measured_sigma_hz / worst_rel_error are exact
+    /// zeros, never NaN.
     [[nodiscard]] static ArraySweepSummary summarize(
         std::span<const ArrayElementResult> results);
 

@@ -9,6 +9,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
+#include "obs/scan_log.hpp"
 #include "obs/tracer.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -118,6 +119,8 @@ RunReport RunReport::collect() {
         report.probes.push_back(std::move(row));
     }
 
+    report.scans = ScanLog::instance().snapshot();
+
     auto& log = EventLog::instance();
     report.events.info = log.count_exact(Severity::info);
     report.events.warning = log.count_exact(Severity::warning);
@@ -159,6 +162,19 @@ std::string RunReport::render(const std::string& title) const {
                        ConsoleTable::num(p.min, 6), ConsoleTable::num(p.max, 6)});
         }
         out += t.str("signal probes");
+        out += '\n';
+    }
+    if (!scans.empty()) {
+        ConsoleTable t({"scan", "grid", "sites", "functional", "refs", "mean raw [V]",
+                        "mean comp [V]", "ref level [V]"});
+        for (const auto& s : scans) {
+            t.add_row({s.name, std::to_string(s.rows) + "x" + std::to_string(s.cols),
+                       std::to_string(s.sites), std::to_string(s.functional),
+                       std::to_string(s.reference_sites), ConsoleTable::num(s.mean_raw_v, 6),
+                       ConsoleTable::num(s.mean_compensated_v, 6),
+                       ConsoleTable::num(s.reference_level_v, 6)});
+        }
+        out += t.str("array scans");
         out += '\n';
     }
     if (events.total() != 0) {
@@ -214,6 +230,30 @@ std::string RunReport::to_json() const {
         out += '}';
     }
     out += probes.empty() ? "]" : "\n  ]";
+
+    out += ",\n  \"scans\": [";
+    first = true;
+    for (const auto& s : scans) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    {\"name\": \"" + json::escape(s.name) + "\", \"rows\": " +
+               std::to_string(s.rows) + ", \"cols\": " + std::to_string(s.cols) +
+               ", \"sites\": " + std::to_string(s.sites) +
+               ", \"functional\": " + std::to_string(s.functional) +
+               ", \"reference_sites\": " + std::to_string(s.reference_sites) +
+               ", \"mean_raw_v\": ";
+        append_number(out, s.mean_raw_v);
+        out += ", \"sigma_raw_v\": ";
+        append_number(out, s.sigma_raw_v);
+        out += ", \"mean_compensated_v\": ";
+        append_number(out, s.mean_compensated_v);
+        out += ", \"sigma_compensated_v\": ";
+        append_number(out, s.sigma_compensated_v);
+        out += ", \"reference_level_v\": ";
+        append_number(out, s.reference_level_v);
+        out += '}';
+    }
+    out += scans.empty() ? "]" : "\n  ]";
 
     out += ",\n  \"events\": {\"info\": " + std::to_string(events.info) +
            ", \"warning\": " + std::to_string(events.warning) +

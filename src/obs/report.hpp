@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/scan_log.hpp"
+
 namespace cbs::obs {
 
 /// Snapshot of everything the registry learned during the run.
@@ -61,6 +63,10 @@ struct RunReport {
     std::vector<CounterRow> counters;
     std::vector<GaugeRow> gauges;
     std::vector<ProbeRow> probes;
+    /// One row per completed array scan (obs::ScanLog, filled by
+    /// array::ScanController) — site counts, reading moments and the
+    /// removed common-mode reference level.
+    std::vector<ScanRecord> scans;
     EventSummary events;
 
     /// Builds a report from the global MetricsRegistry + ProbeRegistry +
@@ -80,7 +86,7 @@ struct RunReport {
 
     [[nodiscard]] bool empty() const {
         return processes.empty() && spans.empty() && counters.empty() && gauges.empty() &&
-               probes.empty() && events.total() == 0;
+               probes.empty() && scans.empty() && events.total() == 0;
     }
 };
 

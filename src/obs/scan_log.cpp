@@ -1,0 +1,30 @@
+#include "obs/scan_log.hpp"
+
+namespace cbs::obs {
+
+ScanLog& ScanLog::instance() {
+    static ScanLog log;
+    return log;
+}
+
+void ScanLog::append(ScanRecord record) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(record));
+}
+
+std::vector<ScanRecord> ScanLog::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+}
+
+std::size_t ScanLog::size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+void ScanLog::clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+}
+
+}  // namespace cbs::obs

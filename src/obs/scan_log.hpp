@@ -1,0 +1,49 @@
+// Per-scan records for array-style acquisitions: every completed sweep over
+// a set of sensor sites (an array scan, see src/array) appends one record
+// summarizing what was read. RunReport::collect() snapshots the log into
+// its own "array scans" section, so a process that ran several scans shows
+// one row per scan — site counts, reading moments and the common-mode level
+// the reference columns removed — next to the usual counters and probes.
+//
+// The log is process-wide and thread-safe like the other obs registries;
+// appending is cheap (one mutex + a struct copy) and scans are rare events
+// (one per grid sweep), so there is no lock-free fast path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cbs::obs {
+
+/// Summary of one completed array scan.
+struct ScanRecord {
+    std::string name;                 ///< scan label (ScanConfig::name)
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    std::uint64_t sites = 0;          ///< rows * cols
+    std::uint64_t functional = 0;     ///< sites with a live (released) device
+    std::uint64_t reference_sites = 0;
+    double mean_raw_v = 0.0;          ///< over functional sites
+    double sigma_raw_v = 0.0;
+    double mean_compensated_v = 0.0;  ///< after reference-column subtraction
+    double sigma_compensated_v = 0.0;
+    double reference_level_v = 0.0;   ///< mean row-reference (common-mode) level
+};
+
+class ScanLog {
+public:
+    static ScanLog& instance();
+
+    void append(ScanRecord record);
+    [[nodiscard]] std::vector<ScanRecord> snapshot() const;
+    [[nodiscard]] std::size_t size() const;
+    void clear();
+
+private:
+    mutable std::mutex mu_;
+    std::vector<ScanRecord> records_;
+};
+
+}  // namespace cbs::obs

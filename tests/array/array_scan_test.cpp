@@ -1,0 +1,241 @@
+// ScanController: golden crosstalk pins for a hand-computed 2×2 grid,
+// reference-column common-mode compensation, and the scan determinism
+// contract (bit-identical for any pool thread count).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "array/grid.hpp"
+#include "array/scan.hpp"
+#include "circ/fuse.hpp"
+#include "exec/threadpool.hpp"
+#include "fab/montecarlo.hpp"
+#include "mech/geometry.hpp"
+#include "obs/scan_log.hpp"
+
+namespace {
+
+using namespace cbs;
+
+/// The golden and cancellation tests compare against exact per-sample
+/// references, so they pin the legacy (unfused) chain path for their
+/// duration; the fused tiers have their own tolerance contracts in
+/// tests/fuse.
+class ArrayScanExact : public ::testing::Test {
+protected:
+    ArrayScanExact() { circ::set_fuse_mode(circ::FuseMode::off); }
+    ~ArrayScanExact() override { circ::clear_fuse_mode(); }
+};
+
+fab::ProcessMonteCarlo make_mc() {
+    return fab::ProcessMonteCarlo(mech::resonant_default(), fab::KohEtchConfig{},
+                                  fab::ProcessVariation{}, fab::EtchMode::electrochemical_stop);
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// 2×2 grid with deterministic coverages; mismatch off so the site source
+/// voltages are purely stress-induced.
+array::ArrayGrid make_2x2(const fab::ProcessMonteCarlo& mc) {
+    array::ArrayConfig cfg;
+    cfg.rows = 2;
+    cfg.cols = 2;
+    cfg.seed = 3;  // all four sites functional for this seed
+    cfg.bridge_mismatch_sigma = 0.0;
+    array::ArrayGrid grid(cfg, mc, nullptr);
+    grid.set_coverage(0, 0, 0.2);
+    grid.set_coverage(0, 1, 0.4);
+    grid.set_coverage(1, 0, 0.6);
+    grid.set_coverage(1, 1, 0.8);
+    return grid;
+}
+
+/// Deterministic scan chain (no noise, no filter, no ADC): mux physics +
+/// neighbor coupling + gain only, so the expected readings are computable
+/// by hand from the documented model.
+array::ScanConfig golden_scan_config() {
+    array::ScanConfig cfg;
+    cfg.name = "golden";
+    cfg.noise_density = VoltageNoiseDensity{0.0};
+    cfg.output_cutoff = Frequency{0.0};
+    cfg.adc_bits = 0;
+    cfg.amplifier_gain = 2.0;
+    cfg.neighbor_coupling = 0.1;
+    cfg.mux.crosstalk = 0.01;
+    cfg.settle_samples = 16;
+    cfg.dwell_samples = 8;
+    cfg.log_scan = false;
+    return cfg;
+}
+
+TEST_F(ArrayScanExact, GoldenCrosstalk2x2) {
+    const auto mc = make_mc();
+    auto grid = make_2x2(mc);
+    ASSERT_EQ(grid.functional_count(), 4u);
+    const array::ScanConfig cfg = golden_scan_config();
+    const array::ScanController controller(grid, cfg);
+    const auto result = controller.scan(nullptr);
+    ASSERT_EQ(result.readings.size(), 4u);
+
+    // Hand-computed reference, replicating the documented model step by
+    // step: per row, effective inputs with adjacent-site coupling; per
+    // column, the mux RC recurrence with electrical crosstalk from the
+    // unselected column and a charge-injection glitch on every switch;
+    // then common-mode add (none here) and the amplifier gain; reading =
+    // mean of the post-settle dwell window.
+    const double tau = cfg.mux.on_resistance.value() * cfg.mux.load_capacitance.value();
+    const double alpha = 1.0 - std::exp(-1.0 / (cfg.sample_rate_hz * tau));
+    const double q = cfg.mux.charge_injection.value();
+    const std::size_t per_site = cfg.settle_samples + cfg.dwell_samples;
+    for (std::size_t r = 0; r < 2; ++r) {
+        // v[c] + coupling * (horizontal neighbor + vertical neighbor)
+        const double v0 = grid.site_source_voltage(r, 0);
+        const double v1 = grid.site_source_voltage(r, 1);
+        const double u0 = grid.site_source_voltage(1 - r, 0);
+        const double u1 = grid.site_source_voltage(1 - r, 1);
+        const double eff[2] = {v0 + cfg.neighbor_coupling * (v1 + u0),
+                               v1 + cfg.neighbor_coupling * (v0 + u1)};
+        double state = 0.0;
+        double glitch = 0.0;
+        std::size_t sel = 0;
+        double target = eff[0] + cfg.mux.crosstalk * eff[1];
+        for (std::size_t c = 0; c < 2; ++c) {
+            if (c != sel) {
+                sel = c;
+                glitch = q;
+                target = eff[1] + cfg.mux.crosstalk * eff[0];
+            }
+            double acc = 0.0;
+            for (std::size_t k = 0; k < per_site; ++k) {
+                state += alpha * (target - state);
+                const double out = state + glitch;
+                glitch *= 0.5;
+                if (k >= cfg.settle_samples) acc += cfg.amplifier_gain * out;
+            }
+            const double expected = acc / static_cast<double>(cfg.dwell_samples);
+            const auto& reading = result.readings[r * 2 + c];
+            EXPECT_EQ(bits(expected), bits(reading.raw_v))
+                << "site r" << r << "c" << c << ": " << expected << " vs " << reading.raw_v;
+        }
+    }
+
+    // Crosstalk pins: with no coupling at all, site (0,0) reads a strictly
+    // different (smaller-magnitude) value — both coupling paths inject
+    // signal from the higher-coverage neighbours.
+    array::ScanConfig clean = cfg;
+    clean.neighbor_coupling = 0.0;
+    clean.mux.crosstalk = 0.0;
+    const array::ScanController clean_controller(grid, clean);
+    const auto clean_result = clean_controller.scan(nullptr);
+    EXPECT_NE(bits(clean_result.readings[0].raw_v), bits(result.readings[0].raw_v));
+    EXPECT_LT(std::abs(clean_result.readings[0].raw_v), std::abs(result.readings[0].raw_v));
+}
+
+TEST_F(ArrayScanExact, ReferenceColumnCancelsCommonModeDrift) {
+    const auto mc = make_mc();
+    array::ArrayConfig gcfg;
+    gcfg.rows = 2;
+    gcfg.cols = 4;
+    gcfg.seed = 9;
+    gcfg.reference_columns = {3};
+    array::ArrayGrid grid(gcfg, mc, nullptr);
+    grid.set_concentration(MolarConcentration{1e-8});
+    grid.advance_binding(Time{60.0});
+
+    // Linear deterministic chain (no ADC quantization) so the subtraction
+    // cancels the injected drift to numerical precision.
+    array::ScanConfig cfg;
+    cfg.noise_density = VoltageNoiseDensity{0.0};
+    cfg.output_cutoff = Frequency{0.0};
+    cfg.adc_bits = 0;
+    cfg.log_scan = false;
+    const array::ScanController controller(grid, cfg);
+    const auto baseline = controller.scan(nullptr);
+
+    array::ScanConfig drifted = cfg;
+    drifted.common_mode_v = 50e-3;  // large vs the µV-scale signals
+    const array::ScanController drift_controller(grid, drifted);
+    const auto with_drift = drift_controller.scan(nullptr);
+
+    ASSERT_EQ(baseline.readings.size(), with_drift.readings.size());
+    for (std::size_t i = 0; i < baseline.readings.size(); ++i) {
+        // Raw readings shift by ~gain * drift...
+        EXPECT_NEAR(with_drift.readings[i].raw_v - baseline.readings[i].raw_v,
+                    cfg.amplifier_gain * drifted.common_mode_v, 1e-6)
+            << "site " << i;
+        // ...while the reference-compensated readings are drift-invariant.
+        EXPECT_NEAR(with_drift.readings[i].compensated_v, baseline.readings[i].compensated_v,
+                    1e-9)
+            << "site " << i;
+    }
+}
+
+TEST(ArrayScan, BitIdenticalAcrossThreadCounts) {
+    const auto mc = make_mc();
+    array::ArrayConfig gcfg;
+    gcfg.rows = 4;
+    gcfg.cols = 8;
+    gcfg.seed = 21;
+    gcfg.reference_columns = {7};
+    array::ArrayGrid grid(gcfg, mc, nullptr);
+    grid.set_concentration(MolarConcentration{5e-9});
+    grid.advance_binding(Time{120.0});
+
+    // Full chain: noise + filter + ADC, neighbor coupling on — the
+    // everything-enabled path must still be a pure function of (grid,
+    // config, row).
+    array::ScanConfig cfg;
+    cfg.noise_density = VoltageNoiseDensity{20e-9};
+    cfg.neighbor_coupling = 0.02;
+    cfg.log_scan = false;
+    const array::ScanController controller(grid, cfg);
+    const auto serial = controller.scan(nullptr);
+    ASSERT_EQ(serial.readings.size(), gcfg.rows * gcfg.cols);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        exec::ThreadPool pool(threads);
+        const auto parallel = controller.scan(&pool);
+        ASSERT_EQ(serial.readings.size(), parallel.readings.size());
+        for (std::size_t i = 0; i < serial.readings.size(); ++i) {
+            EXPECT_EQ(bits(serial.readings[i].raw_v), bits(parallel.readings[i].raw_v))
+                << "site " << i;
+            EXPECT_EQ(bits(serial.readings[i].compensated_v),
+                      bits(parallel.readings[i].compensated_v))
+                << "site " << i;
+        }
+        for (std::size_t r = 0; r < serial.row_reference_v.size(); ++r) {
+            EXPECT_EQ(bits(serial.row_reference_v[r]), bits(parallel.row_reference_v[r]))
+                << "row " << r;
+        }
+    }
+}
+
+TEST(ArrayScan, SummarizeAndScanLog) {
+    const auto mc = make_mc();
+    auto grid = make_2x2(mc);
+    array::ScanConfig cfg = golden_scan_config();
+    cfg.name = "logged";
+    cfg.log_scan = true;
+    const array::ScanController controller(grid, cfg);
+    const std::size_t before = obs::ScanLog::instance().size();
+    const auto result = controller.scan(nullptr);
+    ASSERT_EQ(obs::ScanLog::instance().size(), before + 1);
+    const auto records = obs::ScanLog::instance().snapshot();
+    const auto& rec = records.back();
+    EXPECT_EQ(rec.name, "logged");
+    EXPECT_EQ(rec.rows, 2u);
+    EXPECT_EQ(rec.cols, 2u);
+    EXPECT_EQ(rec.sites, 4u);
+
+    const auto summary = array::ScanController::summarize(result);
+    EXPECT_EQ(summary.sites, 4u);
+    EXPECT_EQ(summary.functional, 4u);
+    EXPECT_EQ(summary.reference, 0u);
+    EXPECT_DOUBLE_EQ(rec.mean_raw_v, summary.mean_raw_v);
+    EXPECT_TRUE(std::isfinite(summary.sigma_compensated_v));
+}
+
+}  // namespace

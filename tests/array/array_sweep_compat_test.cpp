@@ -1,0 +1,113 @@
+// core::ArraySweep as the 1×N degenerate case of the array subsystem, and
+// the summarize() zeros contract (regression for the NaN-poisoning case).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "array/characterize.hpp"
+#include "array/grid.hpp"
+#include "core/array_sweep.hpp"
+#include "fab/montecarlo.hpp"
+#include "mech/geometry.hpp"
+
+namespace {
+
+using namespace cbs;
+
+fab::ProcessMonteCarlo make_mc() {
+    return fab::ProcessMonteCarlo(mech::resonant_default(), fab::KohEtchConfig{},
+                                  fab::ProcessVariation{}, fab::EtchMode::electrochemical_stop);
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(ArraySweepCompat, WrapperMatchesDirectCharacterize) {
+    const auto mc = make_mc();
+    core::ResonantSensorConfig sensor;
+    sensor.oversample = 16.0;
+    sensor.counter_gate = Time{0.02};
+    core::ArraySweepConfig cfg;
+    cfg.elements = 3;
+    cfg.seed = 2026;
+    cfg.run_duration = Time{0.045};
+    const core::ArraySweep sweep(sensor, mc, cfg);
+    const auto legacy = sweep.run(nullptr);
+
+    array::ArrayConfig gcfg;
+    gcfg.rows = 1;
+    gcfg.cols = cfg.elements;
+    gcfg.seed = cfg.seed;
+    const array::ArrayGrid grid(gcfg, mc, nullptr);
+    array::CharacterizeConfig ch;
+    ch.run_duration = cfg.run_duration;
+    const auto direct = array::characterize(grid, sensor, ch, nullptr);
+
+    ASSERT_EQ(legacy.size(), direct.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(legacy[i].functional, direct[i].functional) << "element " << i;
+        EXPECT_EQ(legacy[i].measured, direct[i].measured) << "element " << i;
+        EXPECT_EQ(bits(legacy[i].fabricated_f0_hz), bits(direct[i].fabricated_f0_hz))
+            << "element " << i;
+        EXPECT_EQ(bits(legacy[i].measured_hz), bits(direct[i].measured_hz)) << "element " << i;
+        EXPECT_EQ(bits(legacy[i].vga_control), bits(direct[i].vga_control)) << "element " << i;
+    }
+}
+
+// Satellite regression: summarize() must produce well-defined zeros — not
+// NaN — when nothing measures, and a NaN-poisoned readout (fault-injected
+// loop) must not contaminate the aggregate moments.
+TEST(ArraySweepCompat, SummarizeZerosWhenNothingMeasures) {
+    const auto empty = core::ArraySweep::summarize({});
+    EXPECT_EQ(empty.elements, 0u);
+    EXPECT_EQ(empty.measured, 0u);
+    EXPECT_EQ(bits(empty.measured_mean_hz), bits(0.0));
+    EXPECT_EQ(bits(empty.measured_sigma_hz), bits(0.0));
+    EXPECT_EQ(bits(empty.worst_rel_error), bits(0.0));
+
+    // Functional elements that never completed a counter gate.
+    std::vector<core::ArrayElementResult> unmeasured(3);
+    for (std::size_t i = 0; i < unmeasured.size(); ++i) {
+        unmeasured[i].index = i;
+        unmeasured[i].functional = true;
+    }
+    const auto s = core::ArraySweep::summarize(unmeasured);
+    EXPECT_EQ(s.functional, 3u);
+    EXPECT_EQ(s.measured, 0u);
+    EXPECT_EQ(bits(s.measured_mean_hz), bits(0.0));
+    EXPECT_EQ(bits(s.measured_sigma_hz), bits(0.0));
+    EXPECT_EQ(bits(s.worst_rel_error), bits(0.0));
+}
+
+TEST(ArraySweepCompat, SummarizeExcludesNonFiniteReadouts) {
+    std::vector<core::ArrayElementResult> results(3);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        results[i].index = i;
+        results[i].functional = true;
+        results[i].measured = true;
+        results[i].expected_hz = 1e6;
+    }
+    results[0].measured_hz = 1.001e6;
+    results[1].measured_hz = std::numeric_limits<double>::quiet_NaN();
+    results[2].measured_hz = std::numeric_limits<double>::infinity();
+    const auto s = core::ArraySweep::summarize(results);
+    EXPECT_EQ(s.measured, 1u);  // only the finite readout counts
+    EXPECT_DOUBLE_EQ(s.measured_mean_hz, 1.001e6);
+    EXPECT_DOUBLE_EQ(s.measured_sigma_hz, 0.0);
+    EXPECT_TRUE(std::isfinite(s.worst_rel_error));
+    EXPECT_NEAR(s.worst_rel_error, 1e-3, 1e-12);
+
+    // All-NaN: back to the exact-zeros contract.
+    results[0].measured_hz = std::numeric_limits<double>::quiet_NaN();
+    results[2].measured_hz = std::numeric_limits<double>::quiet_NaN();
+    const auto all_nan = core::ArraySweep::summarize(results);
+    EXPECT_EQ(all_nan.measured, 0u);
+    EXPECT_EQ(bits(all_nan.measured_mean_hz), bits(0.0));
+    EXPECT_EQ(bits(all_nan.measured_sigma_hz), bits(0.0));
+    EXPECT_EQ(bits(all_nan.worst_rel_error), bits(0.0));
+}
+
+}  // namespace

@@ -328,6 +328,101 @@ TEST_F(BatchEquivalence, AnalogMuxProcessBlockWithGlitchDecay) {
     }
 }
 
+// Satellite coverage for the array scan kernel: select switching *inside*
+// a batch. scan_block(selects, inputs) must be bit-identical to the
+// per-sample select(s); process(inputs) pair for any partition of the
+// select stream — including partitions whose boundaries never align with
+// the per-channel hold windows (batch 7).
+TEST_F(BatchEquivalence, AnalogMuxScanBlockSelectSwitchingMidBatch) {
+    const std::vector<double> inputs{1e-3, -2e-3, 0.5e-3, 4e-3};
+    // Channel walk with uneven hold lengths (including length-1 holds and
+    // immediate re-selects), so switches land at every batch offset.
+    std::vector<std::size_t> selects;
+    const std::size_t holds[] = {5, 1, 37, 2, 11, 64, 3, 1, 1, 29};
+    std::size_t ch = 0;
+    while (selects.size() < kSamples) {
+        for (const std::size_t h : holds) {
+            for (std::size_t k = 0; k < h && selects.size() < kSamples; ++k) {
+                selects.push_back(ch % inputs.size());
+            }
+            ++ch;
+        }
+    }
+    AnalogMux ref_mux(MuxConfig{}, 200e3);
+    std::vector<double> reference(selects.size());
+    for (std::size_t i = 0; i < selects.size(); ++i) {
+        ref_mux.select(selects[i]);
+        reference[i] = ref_mux.process(inputs);
+    }
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                    std::size_t{1024}}) {
+        AnalogMux mux(MuxConfig{}, 200e3);
+        std::vector<double> out(selects.size());
+        for (std::size_t i = 0; i < out.size(); i += batch) {
+            const std::size_t n = std::min(batch, out.size() - i);
+            mux.scan_block(std::span<const std::size_t>(selects).subspan(i, n), inputs,
+                           std::span<double>(out).subspan(i, n));
+        }
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            expect_bits_equal(reference[i], out[i], i, batch);
+        }
+    }
+}
+
+// Multi-select addressing: the shared line settles to the mean of the
+// selected channels plus crosstalk from the unselected ones; a
+// single-channel select_many degenerates to select() exactly.
+TEST_F(BatchEquivalence, AnalogMuxMultiSelect) {
+    MuxConfig cfg;
+    cfg.crosstalk = 1e-3;
+    const std::vector<double> inputs{1e-3, -2e-3, 0.5e-3, 4e-3};
+
+    // Steady-state check: run long enough for the RC to settle, then
+    // compare against the analytic target.
+    AnalogMux mux(cfg, 200e3);
+    const std::vector<std::size_t> set{1, 3};
+    mux.select_many(set);
+    ASSERT_EQ(mux.selected_set(), set);
+    double v = 0.0;
+    for (int i = 0; i < 4096; ++i) v = mux.process(inputs);
+    const double expected =
+        0.5 * (inputs[1] + inputs[3]) + cfg.crosstalk * (inputs[0] + inputs[2]);
+    EXPECT_NEAR(v, expected, 1e-12);
+
+    // Degenerate single-channel set: bit-identical to select().
+    AnalogMux a(cfg, 200e3);
+    AnalogMux b(cfg, 200e3);
+    a.select(2);
+    const std::size_t two = 2;
+    b.select_many({&two, 1});
+    for (std::size_t i = 0; i < 256; ++i) {
+        expect_bits_equal(a.process(inputs), b.process(inputs), i, 1);
+    }
+
+    // Multi-select process_block == per-sample process, and a scan_block
+    // after a multi-select collapses the set with one glitch (same as a
+    // per-sample select would).
+    AnalogMux ref_mux(cfg, 200e3);
+    AnalogMux blk(cfg, 200e3);
+    ref_mux.select_many(set);
+    blk.select_many(set);
+    std::vector<double> reference(512);
+    for (double& r : reference) r = ref_mux.process(inputs);
+    std::vector<double> out(512);
+    blk.process_block(inputs, out);
+    for (std::size_t i = 0; i < out.size(); ++i) expect_bits_equal(reference[i], out[i], i, 512);
+
+    const std::vector<std::size_t> collapse(64, 0);
+    std::vector<double> ref2(collapse.size());
+    for (std::size_t i = 0; i < collapse.size(); ++i) {
+        ref_mux.select(collapse[i]);
+        ref2[i] = ref_mux.process(inputs);
+    }
+    std::vector<double> out2(collapse.size());
+    blk.scan_block(collapse, inputs, out2);
+    for (std::size_t i = 0; i < out2.size(); ++i) expect_bits_equal(ref2[i], out2[i], i, 64);
+}
+
 TEST_F(BatchEquivalence, BridgeOutputPairMatchesSeparateSolves) {
     MosBridge bridge;
     bridge.set_mismatch({1e-3, -2e-3, 0.5e-3, -1.5e-3});

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "array/grid.hpp"
+#include "array/scan.hpp"
 #include "core/array_sweep.hpp"
 #include "exec/threadpool.hpp"
 #include "fab/montecarlo.hpp"
@@ -78,6 +80,36 @@ TEST(ExecStress, ConcurrentSubmittersStayDeterministic) {
     for (auto& t : submitters) t.join();
 }
 
+TEST(ExecStress, RepeatedParallelArrayScanBitIdentical) {
+    const auto mc = make_mc();
+    array::ArrayConfig gcfg;
+    gcfg.rows = 8;
+    gcfg.cols = 8;
+    gcfg.seed = 33;
+    gcfg.reference_columns = {7};
+    array::ArrayGrid grid(gcfg, mc, nullptr);
+    grid.set_concentration(MolarConcentration{1e-8});
+    grid.advance_binding(Time{60.0});
+    array::ScanConfig cfg;
+    cfg.noise_density = VoltageNoiseDensity{20e-9};
+    cfg.neighbor_coupling = 0.02;
+    cfg.log_scan = false;
+    const array::ScanController controller(grid, cfg);
+    const auto serial = controller.scan(nullptr);
+    ThreadPool pool(8);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto again = controller.scan(&pool);
+        ASSERT_EQ(serial.readings.size(), again.readings.size());
+        for (std::size_t i = 0; i < serial.readings.size(); ++i) {
+            ASSERT_EQ(bits(serial.readings[i].raw_v), bits(again.readings[i].raw_v))
+                << "rep " << rep << " site " << i;
+            ASSERT_EQ(bits(serial.readings[i].compensated_v),
+                      bits(again.readings[i].compensated_v))
+                << "rep " << rep << " site " << i;
+        }
+    }
+}
+
 // Acceptance bar: >= 3x over serial at 10k trials on >= 4 cores. Skipped
 // on smaller machines, where there is nothing to measure.
 TEST(ExecStress, ParallelMonteCarloSpeedsUpOnMulticore) {
@@ -103,6 +135,46 @@ TEST(ExecStress, ParallelMonteCarloSpeedsUpOnMulticore) {
     const double serial_s = best([&] { (void)mc.run_seeded(kTrials, 3, 0.05, nullptr); });
     ThreadPool pool(4);
     const double parallel_s = best([&] { (void)mc.run_seeded(kTrials, 3, 0.05, &pool); });
+    EXPECT_GE(serial_s / parallel_s, 3.0)
+        << "serial " << serial_s << " s, parallel " << parallel_s << " s";
+}
+
+// Same bar for the array scan loop: rows shard over the pool, so a
+// 100x100 grid with a deep dwell should scale near-linearly on 4 cores.
+TEST(ExecStress, ParallelArrayScanSpeedsUpOnMulticore) {
+    if (std::thread::hardware_concurrency() < 4) {
+        GTEST_SKIP() << "needs >= 4 hardware threads, have "
+                     << std::thread::hardware_concurrency();
+    }
+    const auto mc = make_mc();
+    array::ArrayConfig gcfg;
+    gcfg.rows = 100;
+    gcfg.cols = 100;
+    gcfg.seed = 17;
+    gcfg.reference_columns = {99};
+    array::ArrayGrid grid(gcfg, mc, nullptr);
+    grid.set_concentration(MolarConcentration{1e-8});
+    grid.advance_binding(Time{60.0});
+    array::ScanConfig cfg;
+    cfg.noise_density = VoltageNoiseDensity{20e-9};
+    cfg.neighbor_coupling = 0.02;
+    cfg.log_scan = false;
+    const array::ScanController controller(grid, cfg);
+
+    using clock = std::chrono::steady_clock;
+    (void)controller.scan(nullptr);  // warm up
+    auto best = [&](auto&& fn) {
+        double best_s = 1e100;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = clock::now();
+            fn();
+            best_s = std::min(best_s, std::chrono::duration<double>(clock::now() - t0).count());
+        }
+        return best_s;
+    };
+    const double serial_s = best([&] { (void)controller.scan(nullptr); });
+    ThreadPool pool(4);
+    const double parallel_s = best([&] { (void)controller.scan(&pool); });
     EXPECT_GE(serial_s / parallel_s, 3.0)
         << "serial " << serial_s << " s, parallel " << parallel_s << " s";
 }
