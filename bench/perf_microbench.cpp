@@ -273,6 +273,66 @@ void BM_ProbeOverheadStaticChain_Recording(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeOverheadStaticChain_Recording)->Unit(benchmark::kMicrosecond);
 
+// --- Telemetry overhead ------------------------------------------------------
+//
+// Paired rows for the continuous-telemetry cost on the resonant loop, both
+// at CBS_OBS=summary so the delta isolates telemetry itself:
+//   Off      — CBS_OBS_TELEMETRY unset (the default): the freq-series push
+//              is one relaxed load per gated measurement, maybe_sample one
+//              relaxed load per batch.
+//   Sampling — a 10 ms cadence into a JSONL sink: windowed Welford + EWMA +
+//              streaming Allan per measurement, plus record emission.
+// Acceptance bar: Sampling within 5% of Off (measurements arrive per
+// 0.1 s gate, so even full telemetry touches ~1 sample per 100k ticks);
+// CI hard-gates both rows against BENCH_baseline.json via cbs-obs-diff
+// --only BM_TelemetryOverhead.
+
+/// Temporarily configures telemetry (interval + throwaway sink) for one
+/// benchmark; restores the disabled default and clears collected state.
+class TelemetryGuard {
+public:
+    explicit TelemetryGuard(double interval_s) {
+        auto& t = obs::Telemetry::instance();
+        t.configure(interval_s);
+        if (interval_s >= 0.0) {
+            t.set_sink(obs::out_dir() + "/bench_telemetry_scratch.jsonl");
+        }
+        t.reset();
+    }
+    ~TelemetryGuard() {
+        auto& t = obs::Telemetry::instance();
+        t.reset();
+        t.configure(-1.0);
+        t.set_sink("");  // next activation re-derives the default sink
+    }
+};
+
+void BM_TelemetryOverheadOff(benchmark::State& state) {
+    const ObsLevelGuard obs_guard(obs::Level::summary);
+    const TelemetryGuard telemetry(-1.0);
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    constexpr std::size_t kTicks = 4096;
+    const Time window{static_cast<double>(kTicks) / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(window);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTicks));
+}
+BENCHMARK(BM_TelemetryOverheadOff)->Unit(benchmark::kMicrosecond);
+
+void BM_TelemetryOverheadSampling(benchmark::State& state) {
+    const ObsLevelGuard obs_guard(obs::Level::summary);
+    const TelemetryGuard telemetry(0.01);
+    core::ResonantCantileverSystem sensor(core::ResonantSensorConfig{}, Rng(2));
+    constexpr std::size_t kTicks = 4096;
+    const Time window{static_cast<double>(kTicks) / sensor.sample_rate()};
+    for (auto _ : state) {
+        (void)sensor.run(window);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTicks));
+}
+BENCHMARK(BM_TelemetryOverheadSampling)->Unit(benchmark::kMicrosecond);
+
 // --- Batched signal path ----------------------------------------------------
 //
 // Paired per-sample vs batched timings for the three hot paths of the

@@ -1,0 +1,64 @@
+// Telemetry soak: a deterministic long-run stability acquisition that
+// exercises obs::Telemetry end to end — the CI trend gate runs this with
+//
+//   CBS_OBS=summary CBS_OBS_TELEMETRY=0 CBS_OBS_OUT=<dir> example_telemetry_soak
+//
+// and diffs the resulting telemetry_soak_telemetry.jsonl against the
+// committed BENCH_telemetry_baseline.jsonl via `cbs-telemetry diff`.
+// CBS_OBS_TELEMETRY=0 is manual-emission mode: one record per sample_now()
+// call below (plus the BenchSession's closing record), so the stream's
+// record count — and, because the simulation is seeded and serial, every
+// series statistic in it — is identical on every run and host.
+#include <iostream>
+
+#include "core/resonant_sensor.hpp"
+#include "obs/obs.hpp"
+#include "util/table.hpp"
+
+int main() {
+    const cbs::obs::BenchSession session("telemetry_soak");
+    using namespace cbs;
+    using namespace cbs::literals;
+
+    // A 1 ms counter gate yields one frequency reading per simulated ms:
+    // 1 s of loop time = 1000 samples into the "resonant.freq" series,
+    // enough for an Allan ladder out to tau = 256 ms.
+    core::ResonantSensorConfig cfg;
+    cfg.counter_gate = Time{1e-3};
+    core::ResonantCantileverSystem sensor(cfg, Rng(42));
+
+    std::cout << "telemetry soak: resonance "
+              << ConsoleTable::si(sensor.expected_resonance().value(), 4, "Hz")
+              << ", gate " << cfg.counter_gate.value() * 1e3 << " ms\n";
+
+    auto& telemetry = obs::Telemetry::instance();
+    constexpr int kSegments = 20;
+    std::size_t measurements = 0;
+    for (int s = 0; s < kSegments; ++s) {
+        measurements += sensor.run(Time{0.05}).size();
+        // One telemetry record per segment (no-op unless CBS_OBS_TELEMETRY
+        // is set): the stream shows the stability statistics *converging*,
+        // which is what the trend gate diffs.
+        telemetry.sample_now("telemetry_soak.segment");
+    }
+    std::cout << "1 s of loop time, " << measurements << " gated measurements\n";
+
+    if (const obs::TelemetrySeries* freq = telemetry.find("resonant.freq")) {
+        const obs::SeriesSnapshot snap = freq->snapshot();
+        if (snap.n > 0) {
+            std::cout << "freq series: n=" << snap.n << " mean="
+                      << ConsoleTable::si(snap.mean, 6, "Hz")
+                      << " stddev=" << ConsoleTable::si(snap.stddev, 3, "Hz")
+                      << " drift=" << snap.drift_per_s << " Hz/s\n";
+            std::cout << "allan ladder (" << snap.allan.size() << " levels):\n";
+            for (const AllanPoint& p : snap.allan) {
+                std::cout << "  tau=" << ConsoleTable::si(p.tau, 3, "s")
+                          << "  adev=" << ConsoleTable::si(p.adev, 4, "Hz")
+                          << "  pairs=" << p.pairs << "\n";
+            }
+            std::cout << "allan floor: " << ConsoleTable::si(snap.allan_floor, 4, "Hz")
+                      << "\n";
+        }
+    }
+    return 0;
+}

@@ -26,6 +26,10 @@ ScanController::ScanController(const ArrayGrid& grid, const ScanConfig& config)
     CBS_EXPECTS(cfg_.amplifier_gain > 0.0);
     CBS_EXPECTS(cfg_.adc_bits >= 0);
     cfg_.mux.channels = grid.cols();
+    auto& telemetry = obs::Telemetry::instance();
+    telemetry_mean_ =
+        telemetry.series(cfg_.name + ".mean_compensated_v", /*tau0=*/1.0, 32);
+    telemetry_ref_ = telemetry.series(cfg_.name + ".reference_v", /*tau0=*/1.0, 32);
 }
 
 ScanController::RowScan ScanController::scan_row(std::size_t row) const {
@@ -150,6 +154,9 @@ ScanResult ScanController::scan(exec::ThreadPool* pool) const {
     registry.counter("array.scan.sites")->add(summary.sites);
     registry.counter("array.scan.functional")->add(summary.functional);
     registry.gauge("array.scan.mean_compensated_v")->set(summary.mean_compensated_v);
+    telemetry_mean_->push(summary.mean_compensated_v);
+    telemetry_ref_->push(summary.reference_level_v);
+    obs::Telemetry::instance().maybe_sample("array.scan");
     if (cfg_.log_scan) {
         obs::ScanRecord record;
         record.name = cfg_.name;

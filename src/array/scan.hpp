@@ -31,6 +31,7 @@
 #include "array/grid.hpp"
 #include "circ/mux.hpp"
 #include "exec/threadpool.hpp"
+#include "obs/telemetry.hpp"
 #include "util/units.hpp"
 
 namespace cbs::array {
@@ -130,6 +131,12 @@ private:
 
     const ArrayGrid& grid_;
     ScanConfig cfg_;
+    // Telemetry: one sample per scan() into "<name>.mean_compensated_v" /
+    // "<name>.reference_v" (tau0 nominal 1 s per scan), so a repeated-scan
+    // assay exposes array-level drift trends while it runs. Resolved once
+    // here — scan() is const and must not take the registry lock.
+    obs::TelemetrySeries* telemetry_mean_;
+    obs::TelemetrySeries* telemetry_ref_;
 };
 
 }  // namespace cbs::array

@@ -74,7 +74,9 @@ ResonantCantileverSystem::ResonantCantileverSystem(const ResonantSensorConfig& c
       probe_bridge_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".bridge")),
       probe_loop_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".loop")),
       probe_displacement_(
-          obs::ProbeRegistry::instance().probe(config.probe_scope + ".displacement")) {
+          obs::ProbeRegistry::instance().probe(config.probe_scope + ".displacement")),
+      telemetry_freq_(obs::Telemetry::instance().series(
+          config.probe_scope + ".freq", config.counter_gate.value(), 256)) {
     CBS_EXPECTS(config.intrinsic_q > 0.0);
     CBS_EXPECTS(config.oversample >= 16.0);
     CBS_EXPECTS(config.loop_gain_target > 1.0);
@@ -801,6 +803,17 @@ std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time durati
     const bool timed = obs::enabled();
     constexpr std::size_t kTimingStride = 61;
     using clock = std::chrono::steady_clock;
+    // Telemetry: gated frequency readings stream into the freq series as
+    // they complete (they only appear every counter-gate ~0.1 s, so this
+    // never runs per tick); the sampler decides whether a record is due.
+    auto& telemetry = obs::Telemetry::instance();
+    std::size_t telemetered = 0;
+    const auto push_new_measurements = [&] {
+        for (; telemetered < out.size(); ++telemetered) {
+            telemetry_freq_->push(out[telemetered].frequency_hz);
+        }
+        telemetry.maybe_sample("resonant");
+    };
     // Binding advances in coarse sub-intervals; the loop retunes after each.
     const std::size_t bio_stride = std::max<std::size_t>(1, static_cast<std::size_t>(fs_ * 0.01));
     const std::size_t batch = sim::batch_size();
@@ -824,6 +837,7 @@ std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time durati
                 run_batch(n, out);
             }
             i += n;
+            push_new_measurements();
             if (i % bio_stride == 0) {
                 const double theta_next =
                     kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
@@ -844,6 +858,7 @@ std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time durati
                 tick(dt_);
             }
             if ((i + 1) % bio_stride == 0) {
+                push_new_measurements();
                 const double theta_next =
                     kinetics.step(theta_, concentration_, Time{bio_stride * dt_});
                 if (std::abs(theta_next - theta_) > 1e-9) {
@@ -853,6 +868,7 @@ std::vector<daq::FrequencyMeasurement> ResonantCantileverSystem::run(Time durati
             }
         }
     }
+    push_new_measurements();
     if (timed) {
         obs_ticks_->add(steps);
         obs_coverage_->set(theta_);

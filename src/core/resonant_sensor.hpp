@@ -38,6 +38,7 @@
 #include "mech/thermal_noise.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
+#include "obs/telemetry.hpp"
 #include "phys/fluid.hpp"
 #include "sim/trace.hpp"
 #include "util/random.hpp"
@@ -270,6 +271,11 @@ private:
     obs::Probe* probe_bridge_;
     obs::Probe* probe_loop_;
     obs::Probe* probe_displacement_;
+    // Telemetry: each gated frequency measurement feeds the
+    // "<probe_scope>.freq" series (tau0 = counter gate), whose streaming
+    // Allan ladder is the sensor's live stability floor. Inactive cost is
+    // one relaxed load per completed measurement, not per tick.
+    obs::TelemetrySeries* telemetry_freq_;
 };
 
 }  // namespace cbs::core

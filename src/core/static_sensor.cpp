@@ -50,7 +50,12 @@ StaticCantileverSystem::StaticCantileverSystem(const StaticSensorConfig& config,
       obs_readings_(obs::MetricsRegistry::instance().counter("static.readings")),
       probe_bridge_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".bridge")),
       probe_chopper_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".chopper")),
-      probe_adc_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".adc")) {
+      probe_adc_(obs::ProbeRegistry::instance().probe(config.probe_scope + ".adc")),
+      // tau0 is nominal: readings are paced by the caller (run_assay's
+      // reading_interval, or back-to-back in sweeps), so the series' Allan
+      // taus read "per 10 ms of acquisition", not wall time.
+      telemetry_read_(obs::Telemetry::instance().series(config.probe_scope + ".read",
+                                                        0.01, 64)) {
     CBS_EXPECTS(config.mux.channels == channel_count);
     CBS_EXPECTS(config.sample_rate_hz > 0.0);
     // Default health detectors (idempotent per (kind, probe) — repeated
@@ -238,6 +243,8 @@ ChannelReading StaticCantileverSystem::read_channel(std::size_t channel, Time se
     const double drr_per_stress =
         gauge_.relative_change_surface_stress(stoney_, SurfaceStress{1.0});
     r.stress = SurfaceStress{drr / drr_per_stress};
+    telemetry_read_->push(r.output.value());
+    obs::Telemetry::instance().maybe_sample("static");
     return r;
 }
 

@@ -29,6 +29,7 @@
 #include "mech/stoney.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
+#include "obs/telemetry.hpp"
 #include "util/random.hpp"
 
 namespace cbs::core {
@@ -174,6 +175,10 @@ private:
     obs::Probe* probe_bridge_;
     obs::Probe* probe_chopper_;
     obs::Probe* probe_adc_;
+    // Telemetry: every compensated channel reading feeds the
+    // "<probe_scope>.read" series (tau0 = nominal reading interval), so a
+    // long assay exposes its drift rate and Allan floor while running.
+    obs::TelemetrySeries* telemetry_read_;
 };
 
 }  // namespace cbs::core

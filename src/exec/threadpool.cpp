@@ -1,10 +1,16 @@
 #include "exec/threadpool.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <string>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include "obs/events.hpp"
+#include "obs/tracer.hpp"
 #include "util/expect.hpp"
 
 namespace cbs::exec {
@@ -14,6 +20,13 @@ namespace {
 // Reentrancy guard: parallel_for from inside a pool task runs inline
 // instead of deadlocking on the submit mutex.
 thread_local bool tl_in_pool_task = false;
+
+// Distinguishes workers of different pools in trace timelines (tests spawn
+// many short-lived pools besides shared()).
+std::size_t next_pool_id() {
+    static std::atomic<std::size_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 void run_inline(std::size_t n, const std::function<void(std::size_t)>& body) {
     for (std::size_t i = 0; i < n; ++i) body(i);
@@ -31,11 +44,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
     batches_ = registry.counter("exec.parallel_for");
     queue_high_water_ = registry.gauge("exec.queue.high_water");
     utilization_ = registry.gauge("exec.pool.utilization");
+    // One utilization sample per parallel_for; tau0 is nominal (samples are
+    // not uniformly spaced in wall time, trends read "per batch").
+    utilization_series_ =
+        obs::Telemetry::instance().series("exec.pool.utilization", 1.0, 64);
     registry.gauge("exec.pool.threads")->set(static_cast<double>(threads));
 
+    const std::size_t pool_id = next_pool_id();
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
-        workers_.emplace_back([this, i] { worker_main(i); });
+        workers_.emplace_back([this, pool_id, i] {
+            const std::string name =
+                "pool" + std::to_string(pool_id) + ".worker" + std::to_string(i);
+            obs::set_thread_name(name);
+#if defined(__linux__)
+            // Kernel-visible name too (htop, gdb); truncated to the 15-char
+            // pthread limit.
+            pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#endif
+            worker_main(i);
+        });
     }
 }
 
@@ -168,8 +196,11 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
             const double slots = static_cast<double>(workers_.size() + 1);
             const double busy =
                 static_cast<double>(batch.busy_ns.load(std::memory_order_relaxed));
-            utilization_->set(busy / (static_cast<double>(wall) * slots));
+            const double utilization = busy / (static_cast<double>(wall) * slots);
+            utilization_->set(utilization);
+            utilization_series_->push(utilization);
         }
+        obs::Telemetry::instance().maybe_sample("exec");
     }
 
     if (batch.error) std::rethrow_exception(batch.error);

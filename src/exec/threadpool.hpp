@@ -13,7 +13,11 @@
 // Observability (CBS_OBS=summary|trace): per-worker task counters
 // (`exec.worker.<i>.tasks`, `exec.caller.tasks`), pool size and queue
 // high-water gauges, and a pool-utilization gauge (busy fraction of the
-// last parallel_for) — all surfaced by the standard run report.
+// last parallel_for) — all surfaced by the standard run report. Workers
+// are named "pool<p>.worker<i>" (obs::set_thread_name + the OS thread
+// name), so chrome://tracing timelines group spans by worker, and each
+// parallel_for pushes the utilization sample into the
+// "exec.pool.utilization" telemetry series when CBS_OBS_TELEMETRY is on.
 #pragma once
 
 #include <atomic>
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cbs::exec {
 
@@ -90,6 +95,7 @@ private:
     obs::Counter* batches_;
     obs::Gauge* queue_high_water_;
     obs::Gauge* utilization_;
+    obs::TelemetrySeries* utilization_series_;
 };
 
 /// Deterministic chunked map-reduce. Splits [0, n) into fixed chunks of

@@ -102,6 +102,30 @@ std::vector<Metric> collect_metrics(const json::Value& doc) {
     return out;
 }
 
+/// parse_file with the path stitched into every diagnostic, plus a
+/// structure check: a file that parses but is not a RunReport/benchmark
+/// export (e.g. `{}` or a stray log) must fail loudly, not diff as an
+/// empty report.
+json::Value parse_diff_input(const std::string& path) {
+    json::Value doc;
+    try {
+        doc = json::Value::parse_file(path);
+    } catch (const json::ParseError& e) {
+        const std::string what = e.what();
+        // parse_file's unreadable-file message already names the path.
+        if (what.find(path) != std::string::npos) throw;
+        throw json::ParseError("'" + path + "': " + what);
+    }
+    if (!doc.is_object() ||
+        (doc.find("benchmarks") == nullptr && doc.find("processes") == nullptr &&
+         doc.find("spans") == nullptr && doc.find("counters") == nullptr &&
+         doc.find("gauges") == nullptr && doc.find("probes") == nullptr)) {
+        throw json::ParseError("'" + path +
+                               "': not a RunReport or google-benchmark JSON export");
+    }
+    return doc;
+}
+
 bool is_regression(const Metric& m, double rel_delta, double abs_delta, double threshold) {
     switch (m.dir) {
         case Direction::up:
@@ -170,8 +194,8 @@ DiffResult diff_documents(const json::Value& baseline, const json::Value& curren
 
 DiffResult diff_files(const std::string& baseline_path, const std::string& current_path,
                       const DiffOptions& opts) {
-    const auto baseline = json::Value::parse_file(baseline_path);
-    const auto current = json::Value::parse_file(current_path);
+    const auto baseline = parse_diff_input(baseline_path);
+    const auto current = parse_diff_input(current_path);
     return diff_documents(baseline, current, opts);
 }
 

@@ -63,7 +63,9 @@ struct DiffResult {
                                         const json::Value& current,
                                         const DiffOptions& opts);
 
-/// parse_file + diff_documents.
+/// parse_file + diff_documents. Throws cbs::json::ParseError — naming the
+/// offending path — when a file is unreadable, empty, malformed, or parses
+/// to something that is not a RunReport / google-benchmark export.
 [[nodiscard]] DiffResult diff_files(const std::string& baseline_path,
                                     const std::string& current_path,
                                     const DiffOptions& opts);

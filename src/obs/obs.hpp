@@ -7,13 +7,17 @@
 //   obs/flight_recorder.hpp — ring dumps to CSV on trigger
 //   obs/report.hpp          — RunReport + BenchSession (end-of-run summary/JSON)
 //   obs/diff.hpp            — run-comparison engine (tools/cbs-obs-diff)
+//   obs/telemetry.hpp       — continuous JSONL sampler (CBS_OBS_TELEMETRY)
+//   obs/telemetry_summary.hpp — telemetry stream summary/diff (cbs-telemetry)
 #pragma once
 
-#include "obs/diff.hpp"             // IWYU pragma: export
-#include "obs/events.hpp"           // IWYU pragma: export
-#include "obs/flight_recorder.hpp"  // IWYU pragma: export
-#include "obs/metrics.hpp"          // IWYU pragma: export
-#include "obs/probe.hpp"            // IWYU pragma: export
-#include "obs/report.hpp"           // IWYU pragma: export
-#include "obs/tracer.hpp"           // IWYU pragma: export
-#include "obs/watchdog.hpp"         // IWYU pragma: export
+#include "obs/diff.hpp"               // IWYU pragma: export
+#include "obs/events.hpp"             // IWYU pragma: export
+#include "obs/flight_recorder.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"            // IWYU pragma: export
+#include "obs/probe.hpp"              // IWYU pragma: export
+#include "obs/report.hpp"             // IWYU pragma: export
+#include "obs/telemetry.hpp"          // IWYU pragma: export
+#include "obs/telemetry_summary.hpp"  // IWYU pragma: export
+#include "obs/tracer.hpp"             // IWYU pragma: export
+#include "obs/watchdog.hpp"           // IWYU pragma: export

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/scan_log.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -275,10 +276,25 @@ BenchSession::BenchSession(std::string name) : name_(std::move(name)) {
         // relative to the bench run.
         (void)SpanTracer::now_us();
     }
+    if (Telemetry::instance().active() && enabled()) {
+        // Session-named stream so parallel benches don't clobber each other
+        // and CI can pick the file up by name.
+        std::error_code ec;
+        std::filesystem::create_directories(out_dir(), ec);
+        Telemetry::instance().set_sink(out_dir() + "/" + name_ + "_telemetry.jsonl");
+    }
 }
 
 BenchSession::~BenchSession() {
     if (!enabled()) return;
+    auto& telemetry = Telemetry::instance();
+    if (telemetry.active()) {
+        // Close the stream with a final record so even a bench that never
+        // crossed the cadence emits at least one sample.
+        telemetry.sample_now("bench." + name_);
+        std::cout << "telemetry: " << telemetry.sink_path() << " ("
+                  << telemetry.records_emitted() << " records, cbs-telemetry input)\n";
+    }
     const auto report = RunReport::collect();
     std::cout << '\n' << report.render("obs run report — " + name_);
     if (!tracing()) return;

@@ -1,0 +1,370 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/events.hpp"
+#include "obs/probe.hpp"
+#include "util/expect.hpp"
+#include "util/json.hpp"
+
+namespace cbs::obs {
+
+namespace {
+
+/// Tumbling-window drift is an EWMA-free first difference; the EWMA level
+/// uses this smoothing weight (~100-sample memory).
+constexpr double kEwmaAlpha = 0.01;
+
+std::int64_t steady_now_us() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Same contract as report.cpp: non-finite doubles serialize as null so the
+/// stream always round-trips through the strict json::Value parser.
+void append_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    std::ostringstream s;
+    s.precision(17);
+    s << v;
+    out += s.str();
+}
+
+/// CBS_OBS_TELEMETRY: unset/unparsable/negative -> -1 (disabled), else
+/// seconds (0 = manual emission).
+double interval_from_env() {
+    const char* env = std::getenv("CBS_OBS_TELEMETRY");
+    if (env == nullptr || *env == '\0') return -1.0;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0') return -1.0;
+    if (!std::isfinite(v) || v < 0.0) return -1.0;
+    return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TelemetrySeries
+
+TelemetrySeries::TelemetrySeries(std::string name, double tau0, std::size_t window,
+                                 const std::atomic<bool>* active)
+    : name_(std::move(name)),
+      tau0_(tau0),
+      window_(window),
+      active_(active),
+      allan_(tau0) {
+    CBS_EXPECTS(tau0 > 0.0);
+    CBS_EXPECTS(window >= 2);
+}
+
+void TelemetrySeries::record(std::span<const double> values) noexcept {
+    std::lock_guard lock(mu_);
+    for (double v : values) {
+        if (!std::isfinite(v)) {
+            ++non_finite_;
+            continue;
+        }
+        overall_.add(v);
+        allan_.add(v);
+        if (ewma_primed_) {
+            ewma_ += kEwmaAlpha * (v - ewma_);
+        } else {
+            ewma_ = v;
+            ewma_primed_ = true;
+        }
+        win_.add(v);
+        if (win_.count() == window_) {
+            // Window complete: roll it over and update the drift rate from
+            // the difference of consecutive window means. The elapsed
+            // series time between window centres is window * tau0.
+            const double mean = win_.mean();
+            if (win_completed_ >= 1) {
+                drift_per_s_ =
+                    (mean - last_win_mean_) / (static_cast<double>(window_) * tau0_);
+            }
+            last_win_mean_ = mean;
+            last_win_stddev_ = win_.stddev();
+            ++win_completed_;
+            win_ = stats::RunningStats{};
+        }
+    }
+}
+
+SeriesSnapshot TelemetrySeries::snapshot() const {
+    std::lock_guard lock(mu_);
+    SeriesSnapshot s;
+    s.name = name_;
+    s.n = overall_.count();
+    s.non_finite = non_finite_;
+    s.mean = overall_.mean();
+    s.stddev = overall_.stddev();
+    s.min = overall_.min();
+    s.max = overall_.max();
+    if (win_completed_ > 0) {
+        s.win_n = window_;
+        s.win_mean = last_win_mean_;
+        s.win_stddev = last_win_stddev_;
+    }
+    s.drift_per_s = drift_per_s_;
+    s.ewma = ewma_;
+    s.tau0 = tau0_;
+    s.allan = allan_.ladder();
+    s.allan_floor = allan_.floor_adev();
+    return s;
+}
+
+std::uint64_t TelemetrySeries::count() const {
+    std::lock_guard lock(mu_);
+    return overall_.count();
+}
+
+void TelemetrySeries::reset() {
+    std::lock_guard lock(mu_);
+    overall_ = stats::RunningStats{};
+    non_finite_ = 0;
+    win_ = stats::RunningStats{};
+    win_completed_ = 0;
+    last_win_mean_ = 0.0;
+    last_win_stddev_ = 0.0;
+    drift_per_s_ = 0.0;
+    ewma_ = 0.0;
+    ewma_primed_ = false;
+    allan_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+Telemetry::Telemetry() {
+    configure(interval_from_env());
+    epoch_us_ = steady_now_us();
+    records_counter_ = MetricsRegistry::instance().counter("obs.telemetry.records");
+}
+
+Telemetry::~Telemetry() = default;
+
+Telemetry& Telemetry::instance() {
+    static Telemetry t;
+    return t;
+}
+
+TelemetrySeries* Telemetry::series(std::string_view name, double tau0,
+                                   std::size_t window) {
+    std::lock_guard lock(mu_);
+    for (auto& [key, s] : series_) {
+        if (key == name) return s.get();
+    }
+    auto s = std::unique_ptr<TelemetrySeries>(
+        new TelemetrySeries(std::string(name), tau0, window, &active_));
+    TelemetrySeries* raw = s.get();
+    series_.emplace_back(std::string(name), std::move(s));
+    return raw;
+}
+
+TelemetrySeries* Telemetry::find(std::string_view name) const {
+    std::lock_guard lock(mu_);
+    for (const auto& [key, s] : series_) {
+        if (key == name) return s.get();
+    }
+    return nullptr;
+}
+
+std::vector<TelemetrySeries*> Telemetry::all_series() const {
+    std::lock_guard lock(mu_);
+    std::vector<TelemetrySeries*> out;
+    out.reserve(series_.size());
+    for (const auto& [key, s] : series_) out.push_back(s.get());
+    std::sort(out.begin(), out.end(), [](const TelemetrySeries* a, const TelemetrySeries* b) {
+        return a->name() < b->name();
+    });
+    return out;
+}
+
+double Telemetry::interval() const noexcept {
+    const std::int64_t us = interval_us_.load(std::memory_order_relaxed);
+    if (us < 0) return -1.0;
+    return static_cast<double>(us) / 1e6;
+}
+
+void Telemetry::configure(double interval_s) {
+    if (!std::isfinite(interval_s) || interval_s < 0.0) {
+        interval_us_.store(-1, std::memory_order_relaxed);
+        active_.store(false, std::memory_order_relaxed);
+        return;
+    }
+    interval_us_.store(static_cast<std::int64_t>(interval_s * 1e6),
+                       std::memory_order_relaxed);
+    last_emit_us_.store(steady_now_us(), std::memory_order_relaxed);
+    active_.store(true, std::memory_order_relaxed);
+}
+
+void Telemetry::maybe_sample(std::string_view source) {
+    if (!active_.load(std::memory_order_relaxed)) return;
+    const std::int64_t interval = interval_us_.load(std::memory_order_relaxed);
+    if (interval <= 0) return;  // manual-emission mode or disabled
+    if (!enabled()) return;
+    const std::int64_t now = steady_now_us();
+    std::int64_t last = last_emit_us_.load(std::memory_order_relaxed);
+    if (now - last < interval) return;
+    // One winner per elapsed interval; losers saw another thread emit.
+    if (!last_emit_us_.compare_exchange_strong(last, now, std::memory_order_relaxed))
+        return;
+    std::lock_guard lock(emit_mu_);
+    emit_locked(source);
+}
+
+std::uint64_t Telemetry::sample_now(std::string_view source) {
+    if (!active_.load(std::memory_order_relaxed)) return 0;
+    if (!enabled()) return 0;
+    std::lock_guard lock(emit_mu_);
+    last_emit_us_.store(steady_now_us(), std::memory_order_relaxed);
+    return emit_locked(source);
+}
+
+std::uint64_t Telemetry::emit_locked(std::string_view source) {
+    if (!sink_) {
+        if (sink_path_.empty()) sink_path_ = out_dir() + "/telemetry.jsonl";
+        sink_ = std::make_unique<std::ofstream>(sink_path_, std::ios::trunc);
+        if (!*sink_) {
+            sink_.reset();
+            return 0;
+        }
+    }
+
+    const std::uint64_t seq = ++seq_;
+    std::string line;
+    line.reserve(1024);
+    line += "{\"seq\": " + std::to_string(seq);
+    line += ", \"t_us\": " + std::to_string(steady_now_us() - epoch_us_);
+    line += ", \"source\": \"" + json::escape(source) + "\"";
+
+    line += ", \"series\": [";
+    bool first = true;
+    for (const TelemetrySeries* ts : all_series()) {
+        const SeriesSnapshot s = ts->snapshot();
+        if (!first) line += ", ";
+        first = false;
+        line += "{\"name\": \"" + json::escape(s.name) + "\"";
+        line += ", \"n\": " + std::to_string(s.n);
+        line += ", \"non_finite\": " + std::to_string(s.non_finite);
+        line += ", \"mean\": ";
+        append_number(line, s.mean);
+        line += ", \"stddev\": ";
+        append_number(line, s.stddev);
+        line += ", \"min\": ";
+        append_number(line, s.min);
+        line += ", \"max\": ";
+        append_number(line, s.max);
+        line += ", \"win_n\": " + std::to_string(s.win_n);
+        line += ", \"win_mean\": ";
+        append_number(line, s.win_mean);
+        line += ", \"win_stddev\": ";
+        append_number(line, s.win_stddev);
+        line += ", \"drift_per_s\": ";
+        append_number(line, s.drift_per_s);
+        line += ", \"ewma\": ";
+        append_number(line, s.ewma);
+        line += ", \"tau0\": ";
+        append_number(line, s.tau0);
+        line += ", \"allan\": [";
+        for (std::size_t i = 0; i < s.allan.size(); ++i) {
+            if (i > 0) line += ", ";
+            line += "{\"tau\": ";
+            append_number(line, s.allan[i].tau);
+            line += ", \"adev\": ";
+            append_number(line, s.allan[i].adev);
+            line += ", \"pairs\": " + std::to_string(s.allan[i].pairs) + "}";
+        }
+        line += "], \"allan_floor\": ";
+        append_number(line, s.allan_floor);
+        line += "}";
+    }
+    line += "]";
+
+    const MetricsRegistry::Snapshot snap = MetricsRegistry::instance().snapshot();
+    line += ", \"counters\": {";
+    first = true;
+    for (const auto& c : snap.counters) {
+        if (!first) line += ", ";
+        first = false;
+        line += "\"" + json::escape(c.name) + "\": " + std::to_string(c.value);
+    }
+    line += "}, \"gauges\": {";
+    first = true;
+    for (const auto& g : snap.gauges) {
+        if (!first) line += ", ";
+        first = false;
+        line += "\"" + json::escape(g.name) + "\": ";
+        append_number(line, g.value);
+    }
+    line += "}";
+
+    line += ", \"probes\": [";
+    first = true;
+    for (const Probe* p : ProbeRegistry::instance().probes()) {
+        if (!p->armed()) continue;
+        const ProbeStats ps = p->stats();
+        if (!first) line += ", ";
+        first = false;
+        line += "{\"name\": \"" + json::escape(p->name()) + "\"";
+        line += ", \"n\": " + std::to_string(ps.n);
+        line += ", \"non_finite\": " + std::to_string(ps.non_finite);
+        line += ", \"mean\": ";
+        append_number(line, ps.mean);
+        line += ", \"stddev\": ";
+        append_number(line, ps.stddev);
+        line += ", \"min\": ";
+        append_number(line, ps.min);
+        line += ", \"max\": ";
+        append_number(line, ps.max);
+        line += "}";
+    }
+    line += "]";
+
+    EventLog& log = EventLog::instance();
+    line += ", \"events\": {\"info\": " + std::to_string(log.count_exact(Severity::info));
+    line += ", \"warning\": " + std::to_string(log.count_exact(Severity::warning));
+    line += ", \"fault\": " + std::to_string(log.count_exact(Severity::fault));
+    line += "}}";
+
+    *sink_ << line << '\n';
+    sink_->flush();
+    if (records_counter_ != nullptr) records_counter_->add(1);
+    return seq;
+}
+
+void Telemetry::set_sink(std::string path) {
+    std::lock_guard lock(emit_mu_);
+    sink_path_ = std::move(path);
+    sink_.reset();  // next record reopens (truncating) at the new path
+}
+
+std::string Telemetry::sink_path() const {
+    std::lock_guard lock(emit_mu_);
+    return sink_path_;
+}
+
+std::uint64_t Telemetry::records_emitted() const {
+    std::lock_guard lock(emit_mu_);
+    return seq_;
+}
+
+void Telemetry::reset() {
+    for (TelemetrySeries* s : all_series()) s->reset();
+    std::lock_guard lock(emit_mu_);
+    seq_ = 0;
+    sink_.reset();
+    last_emit_us_.store(steady_now_us(), std::memory_order_relaxed);
+}
+
+}  // namespace cbs::obs

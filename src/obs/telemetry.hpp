@@ -1,0 +1,213 @@
+// Continuous telemetry: periodic, O(1)-memory time-series sampling for
+// long-running workloads.
+//
+// The paper's figure of merit is *stability over time* — drift, 1/f noise
+// and the Allan-deviation floor set the detection limit — but RunReport
+// (obs/report.hpp) only aggregates at end of run. obs::Telemetry is the
+// time-resolved complement: signal paths push samples into named
+// TelemetrySeries, each of which maintains
+//   * overall streaming Welford statistics (stats::RunningStats),
+//   * tumbling-window Welford statistics (window size fixed per series) and
+//     the drift rate between consecutive completed windows,
+//   * an EWMA level estimate,
+//   * a streaming overlapping Allan-deviation ladder (util::StreamingAllan,
+//     bit-identical to the batch util::allan_deviation on the same series),
+// all in memory bounded by the window and ladder sizes — never by run
+// length. On a configurable cadence the sampler snapshots every series, the
+// MetricsRegistry, armed probes and the EventLog severity totals, and
+// appends one JSON object per sample to a JSONL sink (one line per record;
+// parse each line with json::Value::parse). tools/cbs-telemetry summarizes
+// and diffs such streams for CI trend gating.
+//
+// Cadence — CBS_OBS_TELEMETRY:
+//   unset / invalid / negative   telemetry disabled (the default)
+//   0                            series collect, but records are emitted
+//                                only by explicit sample_now() calls —
+//                                deterministic record counts for CI
+//   > 0                          wall-clock emission interval in seconds;
+//                                maybe_sample() emits when it has elapsed
+//
+// Cost contract (same as obs/metrics.hpp and obs/probe.hpp):
+//   * disabled (the default): TelemetrySeries::push() is one relaxed atomic
+//     load and a predictable branch; maybe_sample() likewise,
+//   * CBS_OBS=off: pushes stay no-ops regardless of CBS_OBS_TELEMETRY —
+//     off means off,
+//   * enabled: a push takes the series' own mutex; emission takes the
+//     sampler mutex. Series pointers are stable — look up once, cache.
+// Telemetry only *reads* the signal path: the PR 4 bit-identity suite pins
+// that enabling it never changes a single output bit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/allan.hpp"
+#include "util/stats.hpp"
+
+namespace cbs::obs {
+
+/// Point-in-time view of one series, as serialized into each JSONL record.
+struct SeriesSnapshot {
+    std::string name;
+    // Whole-run statistics (finite samples only).
+    std::uint64_t n = 0;
+    std::uint64_t non_finite = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    // Last *completed* tumbling window (win_n == 0 until one completes).
+    std::uint64_t win_n = 0;
+    double win_mean = 0.0;
+    double win_stddev = 0.0;
+    /// Drift rate between the last two completed windows,
+    /// (mean_k - mean_{k-1}) / (window * tau0) — per second of series time.
+    /// 0 until two windows have completed.
+    double drift_per_s = 0.0;
+    double ewma = 0.0;  ///< exponentially weighted level (alpha = 0.01)
+    double tau0 = 0.0;  ///< series sampling interval [s]
+    std::vector<AllanPoint> allan;  ///< streaming octave ladder (may be empty)
+    double allan_floor = 0.0;       ///< min adev over the ladder, 0 if empty
+};
+
+/// One named, bounded-memory time series. Created via Telemetry::series();
+/// pointers are stable for the process lifetime.
+class TelemetrySeries {
+public:
+    /// Records one sample. Near-zero cost unless telemetry is active and
+    /// CBS_OBS is not off. Non-finite samples are counted, not folded in.
+    void push(double v) noexcept {
+        if (!active_->load(std::memory_order_relaxed)) return;
+        if (!enabled()) return;
+        record(std::span<const double>(&v, 1));
+    }
+
+    /// Records a whole batch under one lock; equivalent to push(v) per
+    /// element in order.
+    void push_block(std::span<const double> values) noexcept {
+        if (!active_->load(std::memory_order_relaxed)) return;
+        if (!enabled()) return;
+        if (values.empty()) return;
+        record(values);
+    }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] double tau0() const noexcept { return tau0_; }
+    [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+    [[nodiscard]] SeriesSnapshot snapshot() const;
+    /// Finite samples recorded so far.
+    [[nodiscard]] std::uint64_t count() const;
+
+    /// Forgets every sample; keeps name/tau0/window and registration.
+    void reset();
+
+private:
+    friend class Telemetry;
+
+    TelemetrySeries(std::string name, double tau0, std::size_t window,
+                    const std::atomic<bool>* active);
+
+    void record(std::span<const double> values) noexcept;
+
+    std::string name_;
+    double tau0_;
+    std::size_t window_;
+    const std::atomic<bool>* active_;  ///< Telemetry's master switch
+
+    mutable std::mutex mu_;
+    stats::RunningStats overall_;
+    std::uint64_t non_finite_ = 0;
+    stats::RunningStats win_;  ///< currently-filling window
+    std::uint64_t win_completed_ = 0;
+    double last_win_mean_ = 0.0;
+    double last_win_stddev_ = 0.0;
+    double drift_per_s_ = 0.0;
+    double ewma_ = 0.0;
+    bool ewma_primed_ = false;
+    StreamingAllan allan_;
+};
+
+/// Process-global sampler and series registry.
+class Telemetry {
+public:
+    static Telemetry& instance();
+
+    /// Returns the series named `name`, creating it on first use with the
+    /// given sampling interval `tau0` (seconds between pushes, feeds the
+    /// Allan tau axis and drift rates) and tumbling-window size. Requesting
+    /// an existing series ignores `tau0`/`window` and returns the
+    /// registered one (same rule as MetricsRegistry::histogram).
+    TelemetrySeries* series(std::string_view name, double tau0,
+                            std::size_t window = 256);
+    /// Lookup without creation; nullptr when absent.
+    [[nodiscard]] TelemetrySeries* find(std::string_view name) const;
+    /// All registered series, sorted by name.
+    [[nodiscard]] std::vector<TelemetrySeries*> all_series() const;
+
+    /// True when CBS_OBS_TELEMETRY configured collection on (interval >= 0).
+    [[nodiscard]] bool active() const noexcept {
+        return active_.load(std::memory_order_relaxed);
+    }
+    /// Configured cadence in seconds; 0 = manual emission, < 0 = disabled.
+    [[nodiscard]] double interval() const noexcept;
+
+    /// Emits a record if active, the cadence is time-based (interval > 0)
+    /// and the interval has elapsed since the last record. Safe to call
+    /// from hot loops: inactive cost is one relaxed load and a branch.
+    void maybe_sample(std::string_view source);
+
+    /// Unconditionally emits one record now (when active and CBS_OBS is not
+    /// off) and returns its sequence number; 0 when nothing was emitted.
+    /// This is the deterministic emission path (CBS_OBS_TELEMETRY=0).
+    std::uint64_t sample_now(std::string_view source);
+
+    /// Programmatic override of CBS_OBS_TELEMETRY: < 0 disables, 0 enables
+    /// manual-emission mode, > 0 enables a wall-clock cadence in seconds.
+    void configure(double interval_s);
+
+    /// Replaces the JSONL sink path. The default sink, chosen at first
+    /// emission, is "<out_dir()>/telemetry.jsonl". Takes effect on the next
+    /// emitted record (the previous stream, if open, is closed).
+    void set_sink(std::string path);
+    [[nodiscard]] std::string sink_path() const;
+
+    /// Records emitted since construction/reset.
+    [[nodiscard]] std::uint64_t records_emitted() const;
+
+    /// Clears every series and the emission state (sequence numbers restart
+    /// at 1; the sink reopens — truncating — on the next record). Keeps the
+    /// configured interval, sink path and series registrations.
+    void reset();
+
+private:
+    Telemetry();
+    ~Telemetry();  // out of line: sink_ holds an incomplete std::ofstream
+
+    std::uint64_t emit_locked(std::string_view source);
+
+    std::atomic<bool> active_{false};
+    std::atomic<std::int64_t> interval_us_{-1};  ///< <0 off, 0 manual, >0 us
+    std::atomic<std::int64_t> last_emit_us_{0};
+    std::int64_t epoch_us_ = 0;  ///< steady-clock origin for record t_us
+
+    mutable std::mutex mu_;  ///< series registry
+    std::vector<std::pair<std::string, std::unique_ptr<TelemetrySeries>>> series_;
+
+    mutable std::mutex emit_mu_;  ///< sink + sequence state
+    std::string sink_path_;       ///< empty -> default chosen at first emit
+    std::unique_ptr<std::ofstream> sink_;
+    std::uint64_t seq_ = 0;
+
+    Counter* records_counter_ = nullptr;  ///< obs.telemetry.records
+};
+
+}  // namespace cbs::obs

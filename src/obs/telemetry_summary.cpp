@@ -1,0 +1,239 @@
+#include "obs/telemetry_summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace cbs::obs {
+
+namespace {
+
+/// Per-series accumulation state while walking the stream.
+struct TrendAccum {
+    SeriesTrend trend;
+    bool have_first_window = false;
+    std::uint64_t n_at_first_window = 0;
+    std::uint64_t n_at_last_window = 0;
+};
+
+double number_or_zero(const json::Value& obj, std::string_view key) {
+    const json::Value* v = obj.find(key);
+    if (v == nullptr || !v->is_number()) return 0.0;
+    return v->as_number();
+}
+
+void fold_series(const json::Value& s, std::map<std::string, TrendAccum>& acc) {
+    const std::string& name = s.at("name").as_string();
+    TrendAccum& a = acc[name];
+    SeriesTrend& t = a.trend;
+    t.name = name;
+    ++t.records;
+    t.samples = static_cast<std::uint64_t>(number_or_zero(s, "n"));
+    t.non_finite = static_cast<std::uint64_t>(number_or_zero(s, "non_finite"));
+    t.tau0 = number_or_zero(s, "tau0");
+    t.final_mean = number_or_zero(s, "mean");
+    t.final_stddev = number_or_zero(s, "stddev");
+    t.max_abs_drift_per_s =
+        std::max(t.max_abs_drift_per_s, std::abs(number_or_zero(s, "drift_per_s")));
+    t.allan_floor = number_or_zero(s, "allan_floor");
+
+    const auto win_n = static_cast<std::uint64_t>(number_or_zero(s, "win_n"));
+    if (win_n == 0) return;  // no completed window at this record yet
+    const double win_mean = number_or_zero(s, "win_mean");
+    if (!a.have_first_window) {
+        a.have_first_window = true;
+        t.have_window = true;
+        t.first_win_mean = win_mean;
+        a.n_at_first_window = t.samples;
+    }
+    t.last_win_mean = win_mean;
+    t.last_win_stddev = number_or_zero(s, "win_stddev");
+    a.n_at_last_window = t.samples;
+}
+
+}  // namespace
+
+StreamSummary summarize_text(std::string_view text, const std::string& origin) {
+    StreamSummary out;
+    out.origin = origin;
+    std::map<std::string, TrendAccum> acc;
+
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string_view line =
+            text.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                          : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+        json::Value record;
+        try {
+            record = json::Value::parse(line);
+        } catch (const json::ParseError& e) {
+            throw json::ParseError("'" + origin + "' line " + std::to_string(line_no) +
+                                   ": " + e.what());
+        }
+        if (!record.is_object() || record.find("seq") == nullptr ||
+            record.find("series") == nullptr) {
+            throw json::ParseError("'" + origin + "' line " + std::to_string(line_no) +
+                                   ": not a telemetry record (expected an object "
+                                   "with \"seq\" and \"series\")");
+        }
+        ++out.records;
+
+        const json::Value& series = record.at("series");
+        for (std::size_t i = 0; i < series.size(); ++i) fold_series(series.at(i), acc);
+
+        if (const json::Value* ev = record.find("events"); ev != nullptr && ev->is_object()) {
+            out.events_info = static_cast<std::uint64_t>(number_or_zero(*ev, "info"));
+            out.events_warning = static_cast<std::uint64_t>(number_or_zero(*ev, "warning"));
+            out.events_fault = static_cast<std::uint64_t>(number_or_zero(*ev, "fault"));
+        }
+    }
+
+    if (out.records == 0) {
+        throw json::ParseError("'" + origin + "': empty telemetry stream (no records)");
+    }
+
+    for (auto& [name, a] : acc) {
+        SeriesTrend& t = a.trend;
+        if (t.have_window && a.n_at_last_window > a.n_at_first_window && t.tau0 > 0.0) {
+            const double elapsed_s =
+                static_cast<double>(a.n_at_last_window - a.n_at_first_window) * t.tau0;
+            t.trend_per_s = (t.last_win_mean - t.first_win_mean) / elapsed_s;
+        }
+        out.series.push_back(std::move(t));
+    }
+    // std::map iteration is already name-sorted; keep the contract explicit.
+    std::sort(out.series.begin(), out.series.end(),
+              [](const SeriesTrend& x, const SeriesTrend& y) { return x.name < y.name; });
+    return out;
+}
+
+StreamSummary summarize_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw json::ParseError("cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return summarize_text(buf.str(), path);
+}
+
+std::string StreamSummary::render() const {
+    std::string out = "telemetry stream: " + origin + "\n";
+    out += std::to_string(records) + " record(s), " + std::to_string(series.size()) +
+           " series; events info=" + std::to_string(events_info) +
+           " warning=" + std::to_string(events_warning) +
+           " fault=" + std::to_string(events_fault) + "\n";
+    if (series.empty()) return out;
+    ConsoleTable t({"series", "n", "mean", "win stddev", "trend [/s]", "max |drift| [/s]",
+                    "allan floor", "nonfin"});
+    for (const SeriesTrend& s : series) {
+        t.add_row({s.name, std::to_string(s.samples), ConsoleTable::num(s.final_mean, 6),
+                   s.have_window ? ConsoleTable::num(s.last_win_stddev, 6) : "-",
+                   s.have_window ? ConsoleTable::num(s.trend_per_s, 6) : "-",
+                   ConsoleTable::num(s.max_abs_drift_per_s, 6),
+                   s.allan_floor > 0.0 ? ConsoleTable::num(s.allan_floor, 6) : "-",
+                   std::to_string(s.non_finite)});
+    }
+    out += t.str("per-series trends");
+    return out;
+}
+
+namespace {
+
+// Same shape as diff.cpp's internal metric list, specialised to stream
+// summaries: value + harmful direction + zero-tolerance flag per name.
+struct StreamMetric {
+    std::string name;
+    double value = 0.0;
+    int dir = 0;               // +1 regress up, -1 regress down, 0 informational
+    bool zero_tolerance = false;
+};
+
+std::vector<StreamMetric> stream_metrics(const StreamSummary& s) {
+    std::vector<StreamMetric> out;
+    for (const SeriesTrend& t : s.series) {
+        const std::string p = "series " + t.name;
+        out.push_back({p + " |trend_per_s|", std::abs(t.trend_per_s), +1, false});
+        out.push_back({p + " max|drift_per_s|", t.max_abs_drift_per_s, +1, false});
+        out.push_back({p + " allan_floor", t.allan_floor, +1, false});
+        if (t.have_window) {
+            out.push_back({p + " win_stddev", t.last_win_stddev, +1, false});
+        }
+        out.push_back({p + " non_finite", static_cast<double>(t.non_finite), +1, true});
+        out.push_back({p + " mean", t.final_mean, 0, false});
+        out.push_back({p + " samples", static_cast<double>(t.samples), 0, false});
+    }
+    out.push_back({"stream records", static_cast<double>(s.records), 0, false});
+    out.push_back({"stream events fault", static_cast<double>(s.events_fault), +1, true});
+    out.push_back(
+        {"stream events warning", static_cast<double>(s.events_warning), 0, false});
+    return out;
+}
+
+}  // namespace
+
+DiffResult diff_streams(const StreamSummary& baseline, const StreamSummary& current,
+                        const DiffOptions& opts) {
+    auto base_metrics = stream_metrics(baseline);
+    auto cur_metrics = stream_metrics(current);
+    if (!opts.only.empty()) {
+        const auto filtered_out = [&](const StreamMetric& m) {
+            return m.name.find(opts.only) == std::string::npos;
+        };
+        std::erase_if(base_metrics, filtered_out);
+        std::erase_if(cur_metrics, filtered_out);
+    }
+
+    std::map<std::string, const StreamMetric*> cur_by_name;
+    for (const auto& m : cur_metrics) cur_by_name.emplace(m.name, &m);
+
+    DiffResult result;
+    constexpr double kEps = 1e-12;
+    for (const auto& base : base_metrics) {
+        DiffRow row;
+        row.name = base.name;
+        row.baseline = base.value;
+        row.in_baseline = true;
+        const auto it = cur_by_name.find(base.name);
+        if (it == cur_by_name.end()) {
+            ++result.missing;
+            result.rows.push_back(std::move(row));
+            continue;
+        }
+        const StreamMetric& cur = *it->second;
+        cur_by_name.erase(it);
+        row.in_current = true;
+        row.current = cur.value;
+        const double abs_delta = cur.value - base.value;
+        row.rel_delta = abs_delta / std::max(std::abs(base.value), kEps);
+        if (base.dir > 0) {
+            row.regression = base.zero_tolerance ? abs_delta > 0.0
+                                                 : row.rel_delta > opts.threshold;
+        } else if (base.dir < 0) {
+            row.regression = row.rel_delta < -opts.threshold;
+        }
+        if (row.regression) ++result.regressions;
+        result.rows.push_back(std::move(row));
+    }
+    for (const auto& m : cur_metrics) {
+        if (cur_by_name.find(m.name) == cur_by_name.end()) continue;
+        DiffRow row;
+        row.name = m.name;
+        row.current = m.value;
+        row.in_current = true;
+        ++result.missing;
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+}  // namespace cbs::obs

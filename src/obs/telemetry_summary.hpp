@@ -1,0 +1,81 @@
+// Telemetry stream analysis behind tools/cbs-telemetry: reads a JSONL
+// stream written by obs::Telemetry, reduces each series to its trend
+// (first->last completed-window mean over elapsed series time), worst drift
+// rate and Allan floor, and diffs two streams with direction-aware
+// thresholds so CI can gate on *trends* — a run whose endpoint aggregates
+// look fine but whose drift rate doubled fails here.
+//
+// Trend rates are computed from sample counts and tau0 (series time), never
+// from record wall-clock timestamps, so the gate is deterministic: the same
+// simulated run produces the same trends regardless of host speed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/diff.hpp"
+
+namespace cbs::obs {
+
+/// Per-series reduction over a whole stream.
+struct SeriesTrend {
+    std::string name;
+    std::uint64_t records = 0;  ///< records containing this series
+    std::uint64_t samples = 0;  ///< finite samples at the last record
+    std::uint64_t non_finite = 0;
+    double tau0 = 0.0;
+    double final_mean = 0.0;
+    double final_stddev = 0.0;
+    /// Completed-window level at the first/last record that had one.
+    bool have_window = false;
+    double first_win_mean = 0.0;
+    double last_win_mean = 0.0;
+    double last_win_stddev = 0.0;
+    /// (last_win_mean - first_win_mean) / ((n_last - n_first) * tau0):
+    /// mean level change per second of series time across the stream.
+    /// 0 unless two records with completed windows exist.
+    double trend_per_s = 0.0;
+    /// Largest |drift_per_s| any record reported.
+    double max_abs_drift_per_s = 0.0;
+    /// Allan floor at the last record (0 while the ladder was empty).
+    double allan_floor = 0.0;
+};
+
+/// Whole-stream reduction.
+struct StreamSummary {
+    std::string origin;          ///< file path or label (diagnostics)
+    std::uint64_t records = 0;
+    std::vector<SeriesTrend> series;  ///< sorted by name
+    // Event severity totals at the last record.
+    std::uint64_t events_info = 0;
+    std::uint64_t events_warning = 0;
+    std::uint64_t events_fault = 0;
+
+    /// Console rendering: stream header + one table row per series.
+    [[nodiscard]] std::string render() const;
+};
+
+/// Parses a JSONL telemetry stream. `origin` names the source in
+/// diagnostics. Throws cbs::json::ParseError — naming the origin and the
+/// offending line — on an empty stream, a malformed line, or a line that is
+/// not a telemetry record.
+[[nodiscard]] StreamSummary summarize_text(std::string_view text,
+                                           const std::string& origin);
+
+/// Reads and summarizes the stream at `path`. Throws cbs::json::ParseError
+/// (naming the path) when the file is unreadable, empty or malformed.
+[[nodiscard]] StreamSummary summarize_file(const std::string& path);
+
+/// Compares two stream summaries series-by-series with direction-aware
+/// thresholds: |trend_per_s|, max |drift_per_s|, the Allan floor and the
+/// window stddev regress upward; series non_finite counts and stream fault
+/// totals regress on ANY increase; means and sample counts are
+/// informational. Reuses the DiffOptions/DiffResult machinery (threshold,
+/// warn_only, only-filter, rendering, exit codes) from obs/diff.hpp.
+[[nodiscard]] DiffResult diff_streams(const StreamSummary& baseline,
+                                      const StreamSummary& current,
+                                      const DiffOptions& opts);
+
+}  // namespace cbs::obs

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <functional>
+#include <map>
 #include <thread>
 
 #include "util/expect.hpp"
@@ -35,7 +36,13 @@ std::string json_escape(const std::string& s) {
     return out;
 }
 
+thread_local std::string tl_thread_name;
+
 }  // namespace
+
+void set_thread_name(std::string_view name) { tl_thread_name.assign(name); }
+
+const std::string& thread_name() noexcept { return tl_thread_name; }
 
 SpanTracer& SpanTracer::instance() {
     static SpanTracer tracer;
@@ -47,7 +54,7 @@ void SpanTracer::record(std::string name, std::string category, double start_us,
                         double duration_us) {
     const std::lock_guard lock(mu_);
     events_.push_back({std::move(name), std::move(category), start_us, duration_us,
-                       this_thread_id()});
+                       this_thread_id(), tl_thread_name});
 }
 
 std::vector<SpanEvent> SpanTracer::events() const {
@@ -71,6 +78,18 @@ void SpanTracer::write_chrome_json(const std::string& path) const {
     CBS_EXPECTS(out.good());
     out << "{\"traceEvents\":[";
     bool first = true;
+    // One thread_name metadata event per named tid, so chrome://tracing and
+    // Perfetto label worker rows instead of showing anonymous tids.
+    std::map<std::uint64_t, std::string> names;
+    for (const auto& e : evts) {
+        if (!e.thread_name.empty()) names.emplace(e.thread_id, e.thread_name);
+    }
+    for (const auto& [tid, tname] : names) {
+        if (!first) out << ',';
+        first = false;
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+            << ",\"args\":{\"name\":\"" << json_escape(tname) << "\"}}";
+    }
     for (const auto& e : evts) {
         if (!first) out << ',';
         first = false;
@@ -85,10 +104,10 @@ void SpanTracer::write_csv(const std::string& path) const {
     const auto evts = events();
     std::ofstream out(path);
     CBS_EXPECTS(out.good());
-    out << "name,category,start_us,duration_us,thread\n";
+    out << "name,category,start_us,duration_us,thread,thread_name\n";
     for (const auto& e : evts) {
         out << e.name << ',' << e.category << ',' << e.start_us << ',' << e.duration_us
-            << ',' << e.thread_id << '\n';
+            << ',' << e.thread_id << ',' << e.thread_name << '\n';
     }
 }
 

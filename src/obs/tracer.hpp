@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -20,7 +21,17 @@ struct SpanEvent {
     double start_us = 0.0;  ///< relative to the tracer's epoch
     double duration_us = 0.0;
     std::uint64_t thread_id = 0;
+    std::string thread_name;  ///< obs::thread_name() at record time ("" if unset)
 };
+
+/// Names the calling thread for span attribution: every span recorded on
+/// this thread from now on carries the name, and the chrome://tracing
+/// export emits thread_name metadata so timelines group by worker (e.g.
+/// "pool0.worker2") instead of anonymous tids. exec::ThreadPool names its
+/// workers automatically; name the main thread from main() if desired.
+void set_thread_name(std::string_view name);
+/// The calling thread's name ("" when never set).
+[[nodiscard]] const std::string& thread_name() noexcept;
 
 /// Process-global buffer of completed spans.
 class SpanTracer {

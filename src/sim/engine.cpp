@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/probe.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/batch.hpp"
 #include "util/expect.hpp"
 
@@ -61,6 +62,7 @@ void Simulation::run_steps(std::size_t steps) {
     }
     using clock = std::chrono::steady_clock;
     const bool timed = obs::enabled();
+    auto& telemetry = obs::Telemetry::instance();  // hoisted: one lookup per run
     for (std::size_t i = 0; i < steps; ++i) {
         if (timed) {
             for (auto& p : processes_) {
@@ -78,12 +80,14 @@ void Simulation::run_steps(std::size_t steps) {
         }
         ++steps_;
         t_ = static_cast<double>(steps_) * dt_;  // avoids drift from summation
+        telemetry.maybe_sample("sim");
     }
 }
 
 void Simulation::run_steps_batched(std::size_t steps, std::size_t batch) {
     using clock = std::chrono::steady_clock;
     const bool timed = obs::enabled();
+    auto& telemetry = obs::Telemetry::instance();
     std::size_t done = 0;
     while (done < steps) {
         const std::size_t n = std::min(batch, steps - done);
@@ -108,6 +112,7 @@ void Simulation::run_steps_batched(std::size_t steps, std::size_t batch) {
         done += n;
         steps_ += n;
         t_ = static_cast<double>(steps_) * dt_;  // same anti-drift formula
+        telemetry.maybe_sample("sim");
     }
 }
 

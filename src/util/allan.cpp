@@ -39,4 +39,79 @@ std::vector<AllanPoint> allan_deviation(std::span<const double> y, double tau0,
     return out;
 }
 
+StreamingAllan::StreamingAllan(double tau0, std::size_t max_levels, std::size_t min_pairs)
+    : tau0_(tau0), min_pairs_(min_pairs) {
+    CBS_EXPECTS(tau0 > 0.0);
+    CBS_EXPECTS(max_levels >= 1 && max_levels <= 24);
+    CBS_EXPECTS(min_pairs >= 1);
+    levels_.reserve(max_levels);
+    std::size_t m = 1;
+    for (std::size_t k = 0; k < max_levels; ++k, m *= 2) levels_.push_back({m, 0.0, 0});
+    // Prefix ring: computing the pair starting at i for the deepest level
+    // needs S[i], S[i+m], S[i+2m] with i = n - 2m, so the last 2*m_max + 1
+    // prefix values are always enough.
+    ring_.assign(2 * levels_.back().m + 1, 0.0);  // ring_[0] = S[0] = 0
+}
+
+void StreamingAllan::add(double y) noexcept {
+    // Identical accumulation order to the batch estimator's prefix array:
+    // S[n] = S[n-1] + y[n-1], left to right from zero.
+    prefix_ += y;
+    ++n_;
+    const std::size_t rs = ring_.size();
+    ring_[n_ % rs] = prefix_;
+    for (Level& lvl : levels_) {
+        const std::size_t m = lvl.m;
+        if (n_ < 2 * m) continue;
+        // Pair starting at i = n - 2m is complete exactly now. Replaying
+        // block_mean(i + m) - block_mean(i) with the batch call's operation
+        // order keeps the ladder bit-identical to allan_deviation().
+        const std::size_t i = n_ - 2 * m;
+        const double s0 = ring_[i % rs];
+        const double s1 = ring_[(i + m) % rs];
+        const double s2 = ring_[(i + 2 * m) % rs];
+        const double d = (s2 - s1) / static_cast<double>(m) -
+                         (s1 - s0) / static_cast<double>(m);
+        lvl.acc += d * d;
+        ++lvl.pairs;
+    }
+}
+
+std::vector<AllanPoint> StreamingAllan::ladder() const {
+    std::vector<AllanPoint> out;
+    for (const Level& lvl : levels_) {
+        // Same sweep cut-off as the batch loop condition
+        // (2m + min_pairs <= n), so both report exactly the same levels.
+        if (2 * lvl.m + min_pairs_ > n_) break;
+        AllanPoint p;
+        p.tau = static_cast<double>(lvl.m) * tau0_;
+        p.adev = std::sqrt(lvl.acc / (2.0 * static_cast<double>(lvl.pairs)));
+        p.pairs = lvl.pairs;
+        out.push_back(p);
+    }
+    return out;
+}
+
+double StreamingAllan::floor_adev() const {
+    double best = 0.0;
+    bool have = false;
+    for (const AllanPoint& p : ladder()) {
+        if (!have || p.adev < best) {
+            best = p.adev;
+            have = true;
+        }
+    }
+    return best;
+}
+
+void StreamingAllan::reset() noexcept {
+    for (Level& lvl : levels_) {
+        lvl.acc = 0.0;
+        lvl.pairs = 0;
+    }
+    std::fill(ring_.begin(), ring_.end(), 0.0);
+    prefix_ = 0.0;
+    n_ = 0;
+}
+
 }  // namespace cbs

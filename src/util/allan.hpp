@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -20,5 +21,57 @@ struct AllanPoint {
 /// octaves while at least `min_pairs` pairs remain.
 std::vector<AllanPoint> allan_deviation(std::span<const double> y, double tau0,
                                         std::size_t min_pairs = 4);
+
+/// Streaming form of the overlapping estimator above: samples are fed one
+/// at a time and the octave ladder tau = m*tau0, m = 1, 2, 4, ... 2^(L-1)
+/// is maintained incrementally in memory bounded by the largest averaging
+/// factor (one shared ring of prefix sums plus one accumulator per level),
+/// independent of how many samples ever stream through — the shape a
+/// multi-hour soak run needs.
+///
+/// The arithmetic replays allan_deviation() exactly: the same left-to-right
+/// prefix summation, the same block-mean differences in the same order, the
+/// same pair accumulation. ladder() over n streamed samples is therefore
+/// bit-identical to the batch call on the same n-sample series for every
+/// level both report (pinned by tests/util/allan_test.cpp).
+class StreamingAllan {
+public:
+    /// `max_levels` octave levels (m up to 2^(max_levels-1)); the prefix
+    /// ring holds 2*2^(max_levels-1) + 1 doubles, the whole-run memory cap.
+    explicit StreamingAllan(double tau0, std::size_t max_levels = 13,
+                            std::size_t min_pairs = 4);
+
+    /// Feeds one sample. Never allocates (the ring is sized up front).
+    void add(double y) noexcept;
+
+    /// Ladder points whose level satisfies the batch sweep condition
+    /// (2m + min_pairs <= count()), smallest tau first.
+    [[nodiscard]] std::vector<AllanPoint> ladder() const;
+
+    /// Smallest deviation across the ladder — the stability floor the
+    /// detection-limit analysis reads off the Allan plot. 0 while the
+    /// ladder is empty.
+    [[nodiscard]] double floor_adev() const;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+    [[nodiscard]] double tau0() const noexcept { return tau0_; }
+
+    /// Forgets every sample; keeps tau0/levels/ring capacity.
+    void reset() noexcept;
+
+private:
+    struct Level {
+        std::size_t m = 1;       ///< averaging factor (tau = m * tau0)
+        double acc = 0.0;        ///< sum of squared block-mean differences
+        std::uint64_t pairs = 0; ///< overlapping pairs folded into acc
+    };
+
+    double tau0_;
+    std::size_t min_pairs_;
+    std::vector<Level> levels_;
+    std::vector<double> ring_;  ///< prefix sums S[k], k ∈ [n-ring+1, n]
+    double prefix_ = 0.0;       ///< running S[n]
+    std::uint64_t n_ = 0;       ///< samples streamed
+};
 
 }  // namespace cbs

@@ -159,4 +159,50 @@ TEST(ObsDiff, NonObjectInputThrows) {
     EXPECT_THROW(diff_strings("[1, 2]", "{}"), json::ParseError);
 }
 
+// diff_files diagnostics must name the offending file so a CI log makes the
+// failure actionable without re-running anything locally.
+
+TEST(ObsDiff, EmptyFileDiagnosticNamesTheFile) {
+    const std::string empty_path = ::testing::TempDir() + "cbs_diff_empty.json";
+    const std::string ok_path = ::testing::TempDir() + "cbs_diff_ok.json";
+    std::ofstream(empty_path).flush();
+    std::ofstream(ok_path) << R"({"benchmarks": [{"name": "bm", "real_time": 1.0}]})";
+    try {
+        (void)obs::diff_files(empty_path, ok_path, {});
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find(empty_path), std::string::npos) << e.what();
+    }
+    std::remove(empty_path.c_str());
+    std::remove(ok_path.c_str());
+}
+
+TEST(ObsDiff, MalformedFileDiagnosticNamesTheFile) {
+    const std::string bad_path = ::testing::TempDir() + "cbs_diff_bad.json";
+    std::ofstream(bad_path) << "{\"benchmarks\": [oops";
+    try {
+        (void)obs::diff_files(bad_path, bad_path, {});
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find(bad_path), std::string::npos) << e.what();
+    }
+    std::remove(bad_path.c_str());
+}
+
+TEST(ObsDiff, ValidJsonOfWrongShapeNamesFileAndShape) {
+    const std::string wrong_path = ::testing::TempDir() + "cbs_diff_wrong.json";
+    std::ofstream(wrong_path) << R"({"version": 3, "results": []})";
+    try {
+        (void)obs::diff_files(wrong_path, wrong_path, {});
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(wrong_path), std::string::npos) << what;
+        EXPECT_NE(what.find("not a RunReport or google-benchmark JSON export"),
+                  std::string::npos)
+            << what;
+    }
+    std::remove(wrong_path.c_str());
+}
+
 }  // namespace

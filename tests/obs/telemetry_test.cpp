@@ -1,0 +1,484 @@
+// obs::Telemetry: O(1)-memory windowed series statistics, the JSONL
+// emission path, cadence semantics, and the extension of the DESIGN.md §10
+// bit-identity contract — enabling telemetry must never change a single
+// output bit of the observed run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/resonant_sensor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/telemetry_summary.hpp"
+#include "util/allan.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+/// Activates telemetry for one test and restores the disabled default
+/// (interval < 0, empty sink, cleared series/sequence state) afterwards, so
+/// tests sharing the process-global Telemetry singleton stay independent.
+class TelemetryGuard {
+public:
+    explicit TelemetryGuard(double interval_s, std::string sink = {}) {
+        auto& t = obs::Telemetry::instance();
+        t.configure(interval_s);
+        t.set_sink(std::move(sink));
+        t.reset();
+    }
+    ~TelemetryGuard() {
+        auto& t = obs::Telemetry::instance();
+        t.reset();
+        t.configure(-1.0);
+        t.set_sink("");
+    }
+};
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+}
+
+// --- series statistics ------------------------------------------------------
+
+TEST(TelemetrySeries, InactivePushIsANoOp) {
+    const LevelGuard level(obs::Level::summary);
+    auto& t = obs::Telemetry::instance();
+    ASSERT_FALSE(t.active()) << "telemetry must default to disabled in tests";
+    obs::TelemetrySeries* s = t.series("tel.inactive", 1.0, 4);
+    s->push(1.0);
+    s->push(2.0);
+    EXPECT_EQ(s->count(), 0u);
+    EXPECT_EQ(t.sample_now("tel.inactive"), 0u);
+}
+
+TEST(TelemetrySeries, ObsOffMeansOffEvenWhenTelemetryConfigured) {
+    const LevelGuard level(obs::Level::off);
+    const TelemetryGuard guard(0.0, temp_path("tel_off.jsonl"));
+    auto& t = obs::Telemetry::instance();
+    ASSERT_TRUE(t.active());
+    obs::TelemetrySeries* s = t.series("tel.off", 1.0, 4);
+    s->push(1.0);
+    EXPECT_EQ(s->count(), 0u);
+    EXPECT_EQ(t.sample_now("tel.off"), 0u);
+    EXPECT_EQ(t.records_emitted(), 0u);
+}
+
+TEST(TelemetrySeries, WindowStatsDriftAndEwmaMatchHandComputation) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(0.0);
+    obs::TelemetrySeries* s =
+        obs::Telemetry::instance().series("tel.window", /*tau0=*/0.5, /*window=*/4);
+
+    // First window: constant 1.0. Completes with zero stddev, no drift yet.
+    for (int i = 0; i < 4; ++i) s->push(1.0);
+    obs::SeriesSnapshot snap = s->snapshot();
+    EXPECT_EQ(snap.n, 4u);
+    EXPECT_EQ(snap.win_n, 4u);
+    EXPECT_DOUBLE_EQ(snap.win_mean, 1.0);
+    EXPECT_DOUBLE_EQ(snap.win_stddev, 0.0);
+    EXPECT_DOUBLE_EQ(snap.drift_per_s, 0.0);
+
+    // Second window: constant 2.0. Drift = (2 - 1) / (window * tau0).
+    for (int i = 0; i < 4; ++i) s->push(2.0);
+    snap = s->snapshot();
+    EXPECT_EQ(snap.n, 8u);
+    EXPECT_DOUBLE_EQ(snap.win_mean, 2.0);
+    EXPECT_DOUBLE_EQ(snap.drift_per_s, (2.0 - 1.0) / (4.0 * 0.5));
+    EXPECT_DOUBLE_EQ(snap.mean, 1.5);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 2.0);
+
+    // EWMA replays the exact recurrence: primed by the first sample, then
+    // ewma += alpha * (v - ewma) with alpha = 0.01.
+    double ewma = 1.0;
+    for (int i = 1; i < 4; ++i) ewma += 0.01 * (1.0 - ewma);
+    for (int i = 0; i < 4; ++i) ewma += 0.01 * (2.0 - ewma);
+    EXPECT_DOUBLE_EQ(snap.ewma, ewma);
+    EXPECT_DOUBLE_EQ(snap.tau0, 0.5);
+}
+
+TEST(TelemetrySeries, NonFiniteSamplesAreCountedNotFolded) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(0.0);
+    obs::TelemetrySeries* s = obs::Telemetry::instance().series("tel.nonfinite", 1.0, 4);
+    s->push(1.0);
+    s->push(std::numeric_limits<double>::quiet_NaN());
+    s->push(std::numeric_limits<double>::infinity());
+    s->push(3.0);
+    const obs::SeriesSnapshot snap = s->snapshot();
+    EXPECT_EQ(snap.n, 2u);
+    EXPECT_EQ(snap.non_finite, 2u);
+    EXPECT_DOUBLE_EQ(snap.mean, 2.0);
+}
+
+TEST(TelemetrySeries, PushBlockEquivalentToPerSamplePushes) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(0.0);
+    auto& t = obs::Telemetry::instance();
+    obs::TelemetrySeries* scalar = t.series("tel.eq.scalar", 1.0, 8);
+    obs::TelemetrySeries* block = t.series("tel.eq.block", 1.0, 8);
+
+    std::vector<double> values(100);
+    Rng rng(11);
+    for (double& v : values) v = rng.normal(2.0, 0.3);
+
+    for (double v : values) scalar->push(v);
+    block->push_block(values);
+
+    const obs::SeriesSnapshot a = scalar->snapshot();
+    const obs::SeriesSnapshot b = block->snapshot();
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.mean, b.mean);  // identical fold order -> bitwise equal
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.win_mean, b.win_mean);
+    EXPECT_EQ(a.drift_per_s, b.drift_per_s);
+    EXPECT_EQ(a.ewma, b.ewma);
+}
+
+TEST(TelemetrySeries, StreamingAllanLadderMatchesBatchBitForBit) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(0.0);
+    obs::TelemetrySeries* s = obs::Telemetry::instance().series("tel.allan", 0.25, 64);
+
+    std::vector<double> values(2000);
+    Rng rng(5);
+    for (double& v : values) v = rng.normal(0.0, 1.0);
+    for (double v : values) s->push(v);
+
+    const auto batch = allan_deviation(values, 0.25);
+    const obs::SeriesSnapshot snap = s->snapshot();
+    ASSERT_EQ(snap.allan.size(), batch.size());
+    double floor = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(snap.allan[i].tau, batch[i].tau) << "level " << i;
+        EXPECT_EQ(snap.allan[i].adev, batch[i].adev) << "level " << i;
+        EXPECT_EQ(snap.allan[i].pairs, batch[i].pairs) << "level " << i;
+        floor = std::min(floor, batch[i].adev);
+    }
+    EXPECT_EQ(snap.allan_floor, floor);
+}
+
+TEST(TelemetrySeries, ResetForgetsSamplesKeepsRegistration) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(0.0);
+    auto& t = obs::Telemetry::instance();
+    obs::TelemetrySeries* s = t.series("tel.reset", 1.0, 4);
+    for (int i = 0; i < 10; ++i) s->push(static_cast<double>(i));
+    ASSERT_EQ(s->count(), 10u);
+    s->reset();
+    EXPECT_EQ(s->count(), 0u);
+    const obs::SeriesSnapshot snap = s->snapshot();
+    EXPECT_EQ(snap.win_n, 0u);
+    EXPECT_DOUBLE_EQ(snap.drift_per_s, 0.0);
+    EXPECT_TRUE(snap.allan.empty());
+    EXPECT_EQ(t.series("tel.reset", 99.0, 16), s) << "re-request returns same series";
+    EXPECT_DOUBLE_EQ(s->tau0(), 1.0) << "original tau0/window stick";
+}
+
+// --- registry and cadence ---------------------------------------------------
+
+TEST(Telemetry, SeriesPointersAreStableAndFindWorks) {
+    auto& t = obs::Telemetry::instance();
+    obs::TelemetrySeries* a = t.series("tel.stable", 1.0, 4);
+    EXPECT_EQ(t.series("tel.stable", 2.0, 8), a);
+    EXPECT_EQ(t.find("tel.stable"), a);
+    EXPECT_EQ(t.find("tel.definitely-absent"), nullptr);
+}
+
+TEST(Telemetry, ConfigureIntervalSemantics) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(-1.0);
+    auto& t = obs::Telemetry::instance();
+
+    t.configure(-1.0);
+    EXPECT_FALSE(t.active());
+    EXPECT_LT(t.interval(), 0.0);
+
+    t.configure(0.0);
+    EXPECT_TRUE(t.active());
+    EXPECT_DOUBLE_EQ(t.interval(), 0.0);
+    // Manual-emission mode: maybe_sample never emits, sample_now does.
+    const std::uint64_t before = t.records_emitted();
+    t.maybe_sample("tel.cadence");
+    EXPECT_EQ(t.records_emitted(), before);
+
+    t.configure(2.5);
+    EXPECT_TRUE(t.active());
+    EXPECT_DOUBLE_EQ(t.interval(), 2.5);
+    // The interval just restarted; a fresh maybe_sample must not emit.
+    t.maybe_sample("tel.cadence");
+    EXPECT_EQ(t.records_emitted(), before);
+
+    t.configure(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_FALSE(t.active());
+}
+
+// --- JSONL emission ---------------------------------------------------------
+
+TEST(Telemetry, EmittedRecordRoundTripsThroughJsonParser) {
+    const LevelGuard level(obs::Level::summary);
+    const std::string path = temp_path("tel_roundtrip.jsonl");
+    const TelemetryGuard guard(0.0, path);
+    auto& t = obs::Telemetry::instance();
+
+    obs::TelemetrySeries* s = t.series("tel.emit", 0.5, 4);
+    for (int i = 0; i < 6; ++i) s->push(1.0 + 0.1 * static_cast<double>(i));
+    s->push(std::numeric_limits<double>::quiet_NaN());
+
+    const std::uint64_t seq = t.sample_now("tel.unit");
+    ASSERT_GE(seq, 1u);
+    EXPECT_EQ(t.records_emitted(), seq);
+    EXPECT_EQ(t.sink_path(), path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::string last;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty()) {
+            last = line;
+            ++lines;
+        }
+    }
+    ASSERT_EQ(lines, seq) << "one JSONL line per emitted record";
+
+    const json::Value record = json::Value::parse(last);
+    EXPECT_EQ(record.at("seq").as_number(), static_cast<double>(seq));
+    EXPECT_EQ(record.at("source").as_string(), "tel.unit");
+    ASSERT_TRUE(record.at("series").is_array());
+    const json::Value* found = nullptr;
+    for (std::size_t i = 0; i < record.at("series").size(); ++i) {
+        const json::Value& entry = record.at("series").at(i);
+        if (entry.at("name").as_string() == "tel.emit") found = &entry;
+    }
+    ASSERT_NE(found, nullptr) << "record lists the registered series";
+    EXPECT_EQ(found->at("n").as_number(), 6.0);
+    EXPECT_EQ(found->at("non_finite").as_number(), 1.0);
+    EXPECT_EQ(found->at("win_n").as_number(), 4.0);
+    EXPECT_DOUBLE_EQ(found->at("tau0").as_number(), 0.5);
+    EXPECT_TRUE(found->at("allan").is_array());
+    EXPECT_TRUE(record.at("counters").is_object());
+    EXPECT_TRUE(record.at("gauges").is_object());
+    EXPECT_TRUE(record.at("probes").is_array());
+    EXPECT_TRUE(record.at("events").is_object());
+}
+
+TEST(Telemetry, ResetRestartsSequenceAndTruncatesSink) {
+    const LevelGuard level(obs::Level::summary);
+    const std::string path = temp_path("tel_reset_sink.jsonl");
+    const TelemetryGuard guard(0.0, path);
+    auto& t = obs::Telemetry::instance();
+    EXPECT_EQ(t.sample_now("a"), 1u);
+    EXPECT_EQ(t.sample_now("b"), 2u);
+    t.reset();
+    EXPECT_EQ(t.records_emitted(), 0u);
+    EXPECT_EQ(t.sample_now("c"), 1u) << "sequence restarts after reset";
+
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        if (!line.empty()) ++lines;
+    }
+    EXPECT_EQ(lines, 1u) << "reset truncates the stream on next emission";
+}
+
+// --- bit identity (DESIGN.md §10, extended to telemetry) --------------------
+
+std::vector<daq::FrequencyMeasurement> run_resonant_for_identity() {
+    core::ResonantSensorConfig cfg;
+    cfg.counter_gate = Time{0.02};
+    core::ResonantCantileverSystem system(cfg, Rng(2026));
+    system.set_concentration(MolarConcentration{1e-9});
+    return system.run(Time{0.05});
+}
+
+TEST(Telemetry, ResonantRunBitIdenticalWithTelemetryOnOrOff) {
+    const LevelGuard level(obs::Level::summary);
+
+    std::vector<daq::FrequencyMeasurement> reference;
+    {
+        const TelemetryGuard off(-1.0);
+        reference = run_resonant_for_identity();
+    }
+    ASSERT_GE(reference.size(), 1u);
+
+    std::vector<daq::FrequencyMeasurement> observed;
+    {
+        const TelemetryGuard on(0.0, temp_path("tel_identity.jsonl"));
+        observed = run_resonant_for_identity();
+        const obs::TelemetrySeries* freq = obs::Telemetry::instance().find("resonant.freq");
+        ASSERT_NE(freq, nullptr);
+        EXPECT_EQ(freq->count(), observed.size()) << "telemetry recorded every reading";
+    }
+
+    ASSERT_EQ(observed.size(), reference.size());
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        EXPECT_EQ(observed[i].frequency_hz, reference[i].frequency_hz) << "measurement " << i;
+        EXPECT_EQ(observed[i].edges, reference[i].edges);
+    }
+}
+
+// --- stream summarization and trend diffing ---------------------------------
+
+/// Minimal synthetic record builder (one series) matching the emitted shape.
+std::string record_line(std::uint64_t seq, std::uint64_t n, double win_mean,
+                        double drift, double floor, std::uint64_t non_finite = 0,
+                        std::uint64_t faults = 0) {
+    std::ostringstream s;
+    s.precision(17);
+    s << "{\"seq\": " << seq << ", \"t_us\": " << seq * 1000
+      << ", \"source\": \"unit\", \"series\": [{\"name\": \"syn.freq\", \"n\": " << n
+      << ", \"non_finite\": " << non_finite
+      << ", \"mean\": 1.0, \"stddev\": 0.1, \"min\": 0.5, \"max\": 1.5, \"win_n\": 8"
+      << ", \"win_mean\": " << win_mean << ", \"win_stddev\": 0.05"
+      << ", \"drift_per_s\": " << drift << ", \"ewma\": 1.0, \"tau0\": 0.5"
+      << ", \"allan\": [{\"tau\": 0.5, \"adev\": " << floor
+      << ", \"pairs\": 10}], \"allan_floor\": " << floor << "}]"
+      << ", \"counters\": {}, \"gauges\": {}, \"probes\": []"
+      << ", \"events\": {\"info\": 0, \"warning\": 0, \"fault\": " << faults << "}}";
+    return s.str();
+}
+
+TEST(TelemetrySummary, TrendComputedFromSampleCountsAndTau0) {
+    // Window mean moves 1.0 -> 1.2 across 80 samples of tau0 = 0.5 s:
+    // trend = 0.2 / (80 * 0.5) = 5e-3 per second of series time.
+    const std::string text = record_line(1, 20, 1.0, 0.0, 0.01) + "\n" +
+                             record_line(2, 60, 1.1, 2e-3, 0.008) + "\n" +
+                             record_line(3, 100, 1.2, 1e-3, 0.006) + "\n";
+    const obs::StreamSummary summary = obs::summarize_text(text, "unit");
+    EXPECT_EQ(summary.records, 3u);
+    ASSERT_EQ(summary.series.size(), 1u);
+    const obs::SeriesTrend& trend = summary.series[0];
+    EXPECT_EQ(trend.name, "syn.freq");
+    EXPECT_EQ(trend.records, 3u);
+    EXPECT_EQ(trend.samples, 100u);
+    EXPECT_TRUE(trend.have_window);
+    EXPECT_DOUBLE_EQ(trend.first_win_mean, 1.0);
+    EXPECT_DOUBLE_EQ(trend.last_win_mean, 1.2);
+    EXPECT_NEAR(trend.trend_per_s, (1.2 - 1.0) / (80.0 * 0.5), 1e-12);
+    EXPECT_DOUBLE_EQ(trend.max_abs_drift_per_s, 2e-3);
+    EXPECT_DOUBLE_EQ(trend.allan_floor, 0.006);
+    EXPECT_FALSE(summary.render().empty());
+}
+
+TEST(TelemetrySummary, EmptyStreamThrowsNamingOrigin) {
+    try {
+        (void)obs::summarize_text("", "empty-stream.jsonl");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("empty-stream.jsonl"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
+    }
+}
+
+TEST(TelemetrySummary, MalformedLineThrowsNamingOriginAndLine) {
+    const std::string text = record_line(1, 20, 1.0, 0.0, 0.01) + "\nnot json\n";
+    try {
+        (void)obs::summarize_text(text, "bad.jsonl");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad.jsonl"), std::string::npos);
+        EXPECT_NE(what.find("line 2"), std::string::npos);
+    }
+}
+
+TEST(TelemetrySummary, NonRecordLineThrows) {
+    EXPECT_THROW((void)obs::summarize_text("{\"benchmarks\": []}\n", "report.json"),
+                 json::ParseError);
+}
+
+TEST(TelemetrySummary, MissingFileThrowsNamingPath) {
+    try {
+        (void)obs::summarize_file("/nonexistent/telemetry.jsonl");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("/nonexistent/telemetry.jsonl"),
+                  std::string::npos);
+    }
+}
+
+TEST(TelemetrySummary, DiffFlagsUpwardDriftNotImprovement) {
+    const auto base = obs::summarize_text(
+        record_line(1, 20, 1.0, 1e-3, 0.01) + "\n" + record_line(2, 60, 1.0, 1e-3, 0.01) +
+            "\n",
+        "base");
+    // Regression: drift magnitude and Allan floor both double.
+    const auto worse = obs::summarize_text(
+        record_line(1, 20, 1.0, 2e-3, 0.02) + "\n" + record_line(2, 60, 1.0, 2e-3, 0.02) +
+            "\n",
+        "worse");
+    // Improvement: both halve.
+    const auto better = obs::summarize_text(
+        record_line(1, 20, 1.0, 5e-4, 0.005) + "\n" + record_line(2, 60, 1.0, 5e-4, 0.005) +
+            "\n",
+        "better");
+
+    obs::DiffOptions opts;
+    opts.threshold = 0.10;
+    const obs::DiffResult regressed = obs::diff_streams(base, worse, opts);
+    EXPECT_GT(regressed.regressions, 0u);
+    EXPECT_NE(regressed.exit_code(opts), 0);
+
+    const obs::DiffResult improved = obs::diff_streams(base, better, opts);
+    EXPECT_EQ(improved.regressions, 0u) << "downward drift is an improvement, not a fault";
+    EXPECT_EQ(improved.exit_code(opts), 0);
+}
+
+TEST(TelemetrySummary, DiffZeroToleranceForNonFiniteAndFaults) {
+    const auto base =
+        obs::summarize_text(record_line(1, 20, 1.0, 1e-3, 0.01) + "\n", "base");
+    const auto nf = obs::summarize_text(
+        record_line(1, 20, 1.0, 1e-3, 0.01, /*non_finite=*/1) + "\n", "nf");
+    const auto faulted = obs::summarize_text(
+        record_line(1, 20, 1.0, 1e-3, 0.01, 0, /*faults=*/1) + "\n", "faulted");
+
+    obs::DiffOptions opts;
+    opts.threshold = 1e9;  // would forgive any relative change...
+    EXPECT_GT(obs::diff_streams(base, nf, opts).regressions, 0u)
+        << "...but non-finite counts regress on ANY increase";
+    EXPECT_GT(obs::diff_streams(base, faulted, opts).regressions, 0u)
+        << "...and so do fault totals";
+}
+
+TEST(TelemetrySummary, DiffWarnOnlyAndOnlyFilter) {
+    const auto base =
+        obs::summarize_text(record_line(1, 20, 1.0, 1e-3, 0.01) + "\n", "base");
+    const auto worse =
+        obs::summarize_text(record_line(1, 20, 1.0, 9e-3, 0.01) + "\n", "worse");
+
+    obs::DiffOptions warn;
+    warn.threshold = 0.10;
+    warn.warn_only = true;
+    const obs::DiffResult r = obs::diff_streams(base, worse, warn);
+    EXPECT_GT(r.regressions, 0u);
+    EXPECT_EQ(r.exit_code(warn), 0) << "--warn-only reports but exits clean";
+
+    obs::DiffOptions filtered;
+    filtered.threshold = 0.10;
+    filtered.only = "allan_floor";  // drift regressed, floor did not
+    EXPECT_EQ(obs::diff_streams(base, worse, filtered).regressions, 0u);
+}
+
+}  // namespace

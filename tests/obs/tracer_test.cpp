@@ -94,8 +94,45 @@ TEST(SpanTracer, WritesFlatCsv) {
     const std::string path = ::testing::TempDir() + "cbs_obs_tracer_test.csv";
     tracer.write_csv(path);
     const auto text = slurp(path);
-    EXPECT_NE(text.find("name,category,start_us,duration_us,thread"), std::string::npos);
+    EXPECT_NE(text.find("name,category,start_us,duration_us,thread,thread_name"),
+              std::string::npos);
     EXPECT_NE(text.find("span_one,cat,1,2,"), std::string::npos);
+    std::remove(path.c_str());
+    tracer.clear();
+}
+
+TEST(SpanTracer, ThreadNameRoundTripsIntoSpanEvents) {
+    const LevelGuard guard(obs::Level::trace);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    const std::string prev = obs::thread_name();
+    obs::set_thread_name("unit.worker0");
+    EXPECT_EQ(obs::thread_name(), "unit.worker0");
+    tracer.record("named_span", "cat", 1.0, 1.0);
+    obs::set_thread_name(prev);
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].thread_name, "unit.worker0");
+    tracer.clear();
+}
+
+TEST(SpanTracer, ChromeJsonEmitsThreadNameMetadata) {
+    const LevelGuard guard(obs::Level::trace);
+    auto& tracer = obs::SpanTracer::instance();
+    tracer.clear();
+    const std::string prev = obs::thread_name();
+    obs::set_thread_name("unit.worker1");
+    tracer.record("named_span", "cat", 1.0, 1.0);
+    obs::set_thread_name(prev);
+
+    const std::string path = ::testing::TempDir() + "cbs_obs_tracer_named.json";
+    tracer.write_chrome_json(path);
+    const auto text = slurp(path);
+    // chrome://tracing groups rows by the "M"-phase thread_name metadata.
+    EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"thread_name\""), std::string::npos);
+    EXPECT_NE(text.find("unit.worker1"), std::string::npos);
     std::remove(path.c_str());
     tracer.clear();
 }

@@ -1,0 +1,128 @@
+// Telemetry soak: the O(1)-memory claim under real load. A TelemetrySeries
+// absorbs millions of samples while we watch the process RSS — the windowed
+// Welford state, EWMA and streaming Allan ladder must stay bounded by the
+// window and ladder sizes, never by run length — and the streaming ladder
+// must still match the batch estimator bit for bit at soak scale. Runs
+// under `ctest -C stress`, not in the default tier-1 suite.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "util/allan.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cbs;
+
+class LevelGuard {
+public:
+    explicit LevelGuard(obs::Level l) : prev_(obs::level()) { obs::set_level(l); }
+    ~LevelGuard() { obs::set_level(prev_); }
+
+private:
+    obs::Level prev_;
+};
+
+class TelemetryGuard {
+public:
+    explicit TelemetryGuard(double interval_s, std::string sink = {}) {
+        auto& t = obs::Telemetry::instance();
+        t.configure(interval_s);
+        t.set_sink(std::move(sink));
+        t.reset();
+    }
+    ~TelemetryGuard() {
+        auto& t = obs::Telemetry::instance();
+        t.reset();
+        t.configure(-1.0);
+        t.set_sink("");
+    }
+};
+
+/// Resident set size in bytes via /proc/self/statm (Linux); 0 elsewhere,
+/// which skips the memory assertion but still runs the arithmetic soak.
+std::size_t resident_bytes() {
+    std::ifstream statm("/proc/self/statm");
+    if (!statm.good()) return 0;
+    std::size_t total_pages = 0;
+    std::size_t resident_pages = 0;
+    statm >> total_pages >> resident_pages;
+#if defined(_SC_PAGESIZE)
+    const long page = sysconf(_SC_PAGESIZE);
+    return resident_pages * static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+    return resident_pages * 4096;
+#endif
+}
+
+TEST(TelemetryStress, MillionsOfSamplesHoldO1Memory) {
+    const LevelGuard level(obs::Level::summary);
+    const TelemetryGuard guard(0.0, ::testing::TempDir() + "tel_stress.jsonl");
+    obs::TelemetrySeries* s =
+        obs::Telemetry::instance().series("stress.soak", /*tau0=*/1e-3, /*window=*/256);
+
+    constexpr std::size_t kSamples = 2'000'000;
+    Rng rng(123);
+
+    // Warm up: let the ring, window state and any allocator pools settle
+    // before taking the RSS reference.
+    for (std::size_t i = 0; i < 10'000; ++i) s->push(rng.normal(1e3, 2.0));
+    const std::size_t rss_before = resident_bytes();
+
+    for (std::size_t i = 10'000; i < kSamples; ++i) s->push(rng.normal(1e3, 2.0));
+    const std::size_t rss_after = resident_bytes();
+
+    EXPECT_EQ(s->count(), kSamples);
+    const obs::SeriesSnapshot snap = s->snapshot();
+    EXPECT_GE(snap.allan.size(), 10u) << "ladder should reach deep taus at soak scale";
+    EXPECT_GT(snap.allan_floor, 0.0);
+    EXPECT_NEAR(snap.mean, 1e3, 0.1);
+
+    if (rss_before != 0 && rss_after != 0) {
+        // 2M doubles would be 16 MB if anything buffered the stream; allow
+        // 4 MB of slack for allocator noise and the emitted JSONL line.
+        const std::size_t growth =
+            rss_after > rss_before ? rss_after - rss_before : 0;
+        EXPECT_LT(growth, 4u * 1024 * 1024)
+            << "series memory must not scale with sample count";
+    }
+
+    // Emission still works after the soak and the record is one line.
+    EXPECT_GE(obs::Telemetry::instance().sample_now("stress"), 1u);
+}
+
+TEST(TelemetryStress, StreamingAllanMatchesBatchAtSoakScale) {
+    // 1M samples: the streaming ladder must replay the batch arithmetic
+    // exactly even when the prefix-sum ring has wrapped thousands of times.
+    constexpr std::size_t kSamples = 1'000'000;
+    Rng rng(77);
+    std::vector<double> y(kSamples);
+    // 19 octave levels (m up to 2^18) so the streaming ladder spans the full
+    // batch sweep at this n; the prefix ring is ~4 MB — still O(1) in n.
+    StreamingAllan s(1e-3, /*max_levels=*/19);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+        y[i] = rng.normal(0.0, 1.0);
+        s.add(y[i]);
+    }
+    const auto batch = allan_deviation(y, 1e-3);
+    const auto streamed = s.ladder();
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(streamed[i].tau, batch[i].tau) << "level " << i;
+        EXPECT_EQ(streamed[i].adev, batch[i].adev) << "level " << i;
+        EXPECT_EQ(streamed[i].pairs, batch[i].pairs) << "level " << i;
+    }
+}
+
+}  // namespace

@@ -65,9 +65,103 @@ TEST(Allan, TooFewSamplesReturnsEmpty) {
     EXPECT_TRUE(allan_deviation(y, 1.0, 4).empty());
 }
 
+TEST(Allan, EmptySeriesReturnsEmpty) {
+    EXPECT_TRUE(allan_deviation({}, 1.0).empty());
+}
+
 TEST(Allan, InvalidTauThrows) {
     std::vector<double> y(16, 0.0);
     EXPECT_THROW(allan_deviation(y, 0.0), ContractViolation);
+}
+
+// --- StreamingAllan ---------------------------------------------------------
+
+TEST(StreamingAllan, EmptyAndShortSeriesYieldEmptyLadder) {
+    StreamingAllan s(1.0);
+    EXPECT_TRUE(s.ladder().empty());
+    EXPECT_DOUBLE_EQ(s.floor_adev(), 0.0);
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_TRUE(s.ladder().empty()) << "2 samples < 2m + min_pairs for every level";
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(StreamingAllan, ConstantSeriesHasZeroDeviation) {
+    StreamingAllan s(1.0);
+    for (int i = 0; i < 256; ++i) s.add(5.0);
+    const auto pts = s.ladder();
+    ASSERT_FALSE(pts.empty());
+    for (const auto& p : pts) EXPECT_DOUBLE_EQ(p.adev, 0.0);
+    EXPECT_DOUBLE_EQ(s.floor_adev(), 0.0);
+}
+
+TEST(StreamingAllan, WhiteNoiseFallsAsInverseSqrtTau) {
+    Rng rng(42);
+    StreamingAllan s(1.0);
+    for (int i = 0; i < (1 << 14); ++i) s.add(rng.normal(0.0, 1.0));
+    const auto pts = s.ladder();
+    ASSERT_GE(pts.size(), 4u);
+    const double slope = std::log(pts[3].adev / pts[0].adev) / std::log(pts[3].tau / pts[0].tau);
+    EXPECT_NEAR(slope, -0.5, 0.1);
+}
+
+TEST(StreamingAllan, LadderBitIdenticalToBatchEstimator) {
+    // The streaming form replays the batch arithmetic exactly, so every
+    // level both report must match bit for bit — not within tolerance.
+    Rng rng(7);
+    std::vector<double> y;
+    StreamingAllan s(0.125);
+    // Check at several prefix lengths, including odd (non power-of-two) ones.
+    for (const std::size_t stop : {13u, 100u, 1000u, 4096u, 5000u}) {
+        while (y.size() < stop) {
+            const double v = rng.normal(1e3, 2.5);
+            y.push_back(v);
+            s.add(v);
+        }
+        const auto batch = allan_deviation(y, 0.125);
+        const auto streamed = s.ladder();
+        ASSERT_EQ(streamed.size(), batch.size()) << "n = " << stop;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_EQ(streamed[i].tau, batch[i].tau) << "n = " << stop << " level " << i;
+            EXPECT_EQ(streamed[i].adev, batch[i].adev) << "n = " << stop << " level " << i;
+            EXPECT_EQ(streamed[i].pairs, batch[i].pairs) << "n = " << stop << " level " << i;
+        }
+    }
+}
+
+TEST(StreamingAllan, MaxLevelsCapsTheLadder) {
+    StreamingAllan s(1.0, /*max_levels=*/3);  // m = 1, 2, 4 only
+    for (int i = 0; i < 1024; ++i) s.add(static_cast<double>(i % 5));
+    const auto pts = s.ladder();
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts.back().tau, 4.0);
+}
+
+TEST(StreamingAllan, ResetForgetsSamples) {
+    StreamingAllan s(1.0);
+    for (int i = 0; i < 64; ++i) s.add(static_cast<double>(i));
+    ASSERT_FALSE(s.ladder().empty());
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.ladder().empty());
+    // Usable again after reset, with the same arithmetic.
+    std::vector<double> y(128);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        y[i] = std::sin(0.1 * static_cast<double>(i));
+        s.add(y[i]);
+    }
+    const auto batch = allan_deviation(y, 1.0);
+    const auto streamed = s.ladder();
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(streamed[i].adev, batch[i].adev);
+    }
+}
+
+TEST(StreamingAllan, InvalidConstructionThrows) {
+    EXPECT_THROW(StreamingAllan(0.0), ContractViolation);
+    EXPECT_THROW(StreamingAllan(1.0, 0), ContractViolation);
+    EXPECT_THROW(StreamingAllan(1.0, 13, 0), ContractViolation);
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// cbs-telemetry: summarize and diff JSONL telemetry streams.
+//
+//   cbs-telemetry summarize <stream.jsonl>
+//   cbs-telemetry diff [options] <baseline.jsonl> <current.jsonl>
+//
+// Streams are written by obs::Telemetry (CBS_OBS_TELEMETRY; BenchSession
+// names them <bench>_telemetry.jsonl). `summarize` reduces each series to
+// its trend (first->last completed-window mean per second of series time),
+// worst drift rate and Allan floor. `diff` compares two streams with
+// direction-aware thresholds — drift magnitudes, Allan floors and window
+// stddevs regress upward; non-finite and fault counts regress on any
+// increase — so CI gates on stability *trends*, not endpoint aggregates.
+//
+// Exit status: 0 clean (or --warn-only), 1 regressions found, 2 usage /
+// parse errors (empty or malformed streams fail loudly, naming the file).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/telemetry_summary.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+    out << "usage: cbs-telemetry summarize <stream.jsonl>\n"
+           "       cbs-telemetry diff [--threshold <fraction>] [--warn-only] "
+           "[--only <substring>] <baseline.jsonl> <current.jsonl>\n"
+           "  --threshold f   relative change flagged as regression (default 0.10)\n"
+           "  --warn-only     report regressions but exit 0 (CI soft gate)\n"
+           "  --only s        compare only metrics whose name contains s\n";
+}
+
+int run_summarize(const std::string& path) {
+    const auto summary = cbs::obs::summarize_file(path);
+    std::cout << summary.render();
+    return 0;
+}
+
+int run_diff(const cbs::obs::DiffOptions& opts, const std::string& baseline,
+             const std::string& current) {
+    const auto base = cbs::obs::summarize_file(baseline);
+    const auto cur = cbs::obs::summarize_file(current);
+    const auto result = cbs::obs::diff_streams(base, cur, opts);
+    const std::string rendered = result.render(opts);
+    if (rendered.empty()) {
+        std::cout << "cbs-telemetry: no comparable series found\n";
+        return 0;
+    }
+    std::cout << rendered;
+    return result.exit_code(opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage(std::cerr);
+        return 2;
+    }
+    const std::string mode = argv[1];
+    if (mode == "--help" || mode == "-h") {
+        usage(std::cout);
+        return 0;
+    }
+    if (mode != "summarize" && mode != "diff") {
+        std::cerr << "cbs-telemetry: unknown mode '" << mode << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    cbs::obs::DiffOptions opts;
+    std::string first;
+    std::string second;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+        if (arg == "--warn-only") {
+            opts.warn_only = true;
+            continue;
+        }
+        if (arg == "--only") {
+            if (i + 1 >= argc) {
+                std::cerr << "cbs-telemetry: --only needs a value\n";
+                return 2;
+            }
+            opts.only = argv[++i];
+            continue;
+        }
+        if (arg == "--threshold") {
+            if (i + 1 >= argc) {
+                std::cerr << "cbs-telemetry: --threshold needs a value\n";
+                return 2;
+            }
+            char* end = nullptr;
+            opts.threshold = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || opts.threshold < 0.0) {
+                std::cerr << "cbs-telemetry: bad threshold '" << argv[i] << "'\n";
+                return 2;
+            }
+            continue;
+        }
+        if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "cbs-telemetry: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+        if (first.empty()) {
+            first = arg;
+        } else if (second.empty()) {
+            second = arg;
+        } else {
+            std::cerr << "cbs-telemetry: too many arguments\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    try {
+        if (mode == "summarize") {
+            if (first.empty() || !second.empty()) {
+                usage(std::cerr);
+                return 2;
+            }
+            return run_summarize(first);
+        }
+        if (first.empty() || second.empty()) {
+            usage(std::cerr);
+            return 2;
+        }
+        return run_diff(opts, first, second);
+    } catch (const cbs::json::ParseError& e) {
+        std::cerr << "cbs-telemetry: " << e.what() << "\n";
+        return 2;
+    }
+}
