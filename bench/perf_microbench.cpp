@@ -27,6 +27,7 @@
 #include "mech/resonator.hpp"
 #include "obs/obs.hpp"
 #include "sim/integrator.hpp"
+#include "surrogate/tier.hpp"
 #include "util/dft.hpp"
 #include "util/random.hpp"
 
@@ -550,6 +551,31 @@ void BM_MonteCarloRun(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTrials));
 }
 BENCHMARK(BM_MonteCarloRun)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Paired row: the same study through the CBS_SURROGATE fast path. The fit
+// is primed once before the timing loop (the cache amortizes it across a
+// real study's millions of trials), so the row measures steady-state
+// surrogate evaluation; compare against BM_MonteCarloRun at equal Arg.
+void BM_MonteCarloSurrogate(benchmark::State& state) {
+    struct SurrogateTierGuard {
+        SurrogateTierGuard() { surrogate::set_tier(surrogate::Tier::on); }
+        ~SurrogateTierGuard() { surrogate::clear_tier(); }
+    } guard;
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    const fab::ProcessMonteCarlo mc(mech::resonant_default(), fab::KohEtchConfig{},
+                                    fab::ProcessVariation{},
+                                    fab::EtchMode::electrochemical_stop);
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<exec::ThreadPool>(threads);
+    constexpr std::size_t kTrials = 4096;
+    benchmark::DoNotOptimize(mc.run_seeded(kTrials, 42, 0.05, pool.get()));  // warm fit
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mc.run_seeded(kTrials, 42, 0.05, pool.get()));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kTrials));
+}
+BENCHMARK(BM_MonteCarloSurrogate)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

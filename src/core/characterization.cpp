@@ -5,6 +5,7 @@
 #include "mech/piezoresistance.hpp"
 #include "util/constants.hpp"
 #include "util/expect.hpp"
+#include "util/rootfind.hpp"
 
 namespace cbs::core {
 
@@ -129,6 +130,81 @@ ResonanceFit OpenLoopAnalyzer::characterize(std::size_t points) {
     const auto pts = sweep(Frequency{f0 - 4.0 * half_width}, Frequency{f0 + 4.0 * half_width},
                            points);
     return fit(pts);
+}
+
+ResonanceFit OpenLoopAnalyzer::track_resonance() const {
+    const double q = expected_q();
+    const auto params = mech::make_resonator_params(beam_, loading_.resonance, q,
+                                                    loading_.added_modal_mass);
+    const double omega0 = params.omega0.value();
+    const double m = params.effective_mass.value();
+    const double f_force = actuator_.force_per_current().value() * cfg_.drive_amplitude.value();
+
+    // Small-signal bridge gain at the operating point (volts per unit
+    // relative resistance change), probed symmetrically on a local copy.
+    circ::MosBridge bridge = bridge_;
+    constexpr double kDelta = 1e-6;
+    bridge.set_sense_delta(kDelta);
+    const double v_plus = bridge.output().value();
+    bridge.set_sense_delta(-kDelta);
+    const double v_minus = bridge.output().value();
+    const double bridge_gain = (v_plus - v_minus) / (2.0 * kDelta);
+
+    // Closed-form steady-state amplitude of the driven damped oscillator
+    // seen through gauge + bridge — what the lock-in converges to after the
+    // settling transient measure() has to wait out.
+    auto amplitude_v = [&](double f_hz) {
+        const double w = 2.0 * constants::pi * f_hz;
+        const double re = omega0 * omega0 - w * w;
+        const double im = omega0 * w / q;
+        const double x = f_force / m / std::sqrt(re * re + im * im);
+        return std::abs(bridge_gain) * drr_per_metre_ * x;
+    };
+
+    const double f0 = loading_.resonance.value();
+    const auto peak = util::maximize(amplitude_v, 0.5 * f0, 1.5 * f0, 1e-9 * f0);
+
+    ResonanceFit out;
+    out.resonance = Frequency{peak.x};
+    out.peak_amplitude_v = peak.f;
+
+    // Half-power frequencies bracketed on either skirt of the peak.
+    const double target = peak.f / std::sqrt(2.0);
+    auto above_target = [&](double f_hz) { return amplitude_v(f_hz) - target; };
+    const auto left = util::find_root(above_target, 0.25 * f0, peak.x, 1e-9 * f0);
+    const auto right = util::find_root(above_target, peak.x, 4.0 * f0, 1e-9 * f0);
+    if (left.converged && right.converged && right.x > left.x) {
+        out.quality_factor = peak.x / (right.x - left.x);
+    }
+    return out;
+}
+
+surrogate::StaticChainSurrogate fit_static_chain_gain(const StaticSensorConfig& base,
+                                                      double t_lo, double t_hi,
+                                                      std::size_t degree, double budget) {
+    CBS_EXPECTS(t_lo > 0.0);
+    CBS_EXPECTS(t_hi > t_lo);
+    auto full = [&base](double t) {
+        StaticSensorConfig cfg = base;
+        cfg.geometry.thickness = Length{t};
+        // The chain is deterministic; the Rng only seeds the noise sources,
+        // which chain_gain does not touch.
+        return StaticCantileverSystem(cfg, Rng(0)).chain_gain();
+    };
+    return surrogate::StaticChainSurrogate(t_lo, t_hi, degree, full, budget);
+}
+
+surrogate::StaticChainSurrogate fit_static_responsivity(const StaticSensorConfig& base,
+                                                        double t_lo, double t_hi,
+                                                        std::size_t degree, double budget) {
+    CBS_EXPECTS(t_lo > 0.0);
+    CBS_EXPECTS(t_hi > t_lo);
+    auto full = [&base](double t) {
+        StaticSensorConfig cfg = base;
+        cfg.geometry.thickness = Length{t};
+        return StaticCantileverSystem(cfg, Rng(0)).stress_responsivity().value();
+    };
+    return surrogate::StaticChainSurrogate(t_lo, t_hi, degree, full, budget);
 }
 
 }  // namespace cbs::core

@@ -10,10 +10,12 @@
 
 #include "circ/bridge.hpp"
 #include "circ/lorentz.hpp"
+#include "core/static_sensor.hpp"
 #include "daq/lockin.hpp"
 #include "mech/hydrodynamics.hpp"
 #include "mech/resonator.hpp"
 #include "phys/fluid.hpp"
+#include "surrogate/model.hpp"
 #include "util/random.hpp"
 #include "util/units.hpp"
 
@@ -61,6 +63,16 @@ public:
     /// Convenience: sweep around the expected resonance and fit.
     [[nodiscard]] ResonanceFit characterize(std::size_t points = 41);
 
+    /// Fast resonance tracking on the closed-form steady-state response:
+    /// golden-section peak search plus Brent half-power roots on the
+    /// analytic driven-oscillator amplitude seen through the same
+    /// gauge-and-bridge small-signal gain — no settling transients to
+    /// integrate through, so it costs microseconds where characterize()
+    /// costs seconds. Agrees with characterize() to within the sweep's
+    /// grid resolution (see tests); use characterize() when the bridge
+    /// nonlinearity or lock-in filtering themselves are under test.
+    [[nodiscard]] ResonanceFit track_resonance() const;
+
     [[nodiscard]] Frequency expected_resonance() const { return loading_.resonance; }
     [[nodiscard]] double expected_q() const;
 
@@ -73,5 +85,21 @@ private:
     circ::LorentzActuator actuator_;
     Rng rng_;
 };
+
+/// Fits a budget-validated Chebyshev surrogate of the static chain gain
+/// (bridge output per relative resistance change, StaticCantileverSystem::
+/// chain_gain) versus cantilever thickness over [t_lo, t_hi]. The chain is
+/// rebuilt at every fit node, so process-sweep studies evaluate the
+/// polynomial instead of reconstructing the chain per trial. A fit whose
+/// validation misses `budget` reports accepted() == false.
+[[nodiscard]] surrogate::StaticChainSurrogate fit_static_chain_gain(
+    const StaticSensorConfig& base, double t_lo, double t_hi, std::size_t degree = 12,
+    double budget = 1e-9);
+
+/// Same contract for the stress responsivity (output volts per unit surface
+/// stress, StaticCantileverSystem::stress_responsivity) versus thickness.
+[[nodiscard]] surrogate::StaticChainSurrogate fit_static_responsivity(
+    const StaticSensorConfig& base, double t_lo, double t_hi, std::size_t degree = 12,
+    double budget = 1e-9);
 
 }  // namespace cbs::core

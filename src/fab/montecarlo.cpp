@@ -1,9 +1,14 @@
 #include "fab/montecarlo.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/tracer.hpp"
+#include "surrogate/cache.hpp"
+#include "surrogate/sampler.hpp"
+#include "surrogate/tier.hpp"
 #include "util/expect.hpp"
 #include "util/stats.hpp"
 
@@ -51,14 +56,64 @@ MonteCarloStats ProcessMonteCarlo::run(std::size_t n, Rng& rng, double f0_tolera
     return run_seeded(n, rng.raw_word(), f0_tolerance, &exec::ThreadPool::shared());
 }
 
+surrogate::ProcessBox ProcessMonteCarlo::surrogate_box() const {
+    surrogate::ProcessBox box;
+    box.junction_mean_m = etcher_.config().stack.nwell_junction_depth.value();
+    box.junction_sigma_m = etcher_.config().junction_depth_sigma.value();
+    box.litho_sigma_m = variation_.litho_bias_sigma.value();
+    box.youngs_nominal_pa = nominal_.material.youngs_modulus.value();
+    box.youngs_rel_sigma = variation_.youngs_rel_sigma;
+    box.length_m = nominal_.length.value();
+    box.width_m = nominal_.width.value();
+    box.density_kg_m3 = nominal_.material.density.value();
+    return box;
+}
+
 namespace {
 
 /// Mergeable per-chunk accumulator: Welford stats (stable and exact to
-/// merge, unlike sum-of-squares) plus the in-band counter.
+/// merge, unlike sum-of-squares) plus the in-band counter. The surrogate
+/// path extends it with eval-mix counters; they stay zero on the full path.
 struct TrialAccumulator {
     stats::RunningStats f0;
     stats::RunningStats thickness;
     std::size_t in_band = 0;
+    std::size_t surrogate_evals = 0;
+    std::size_t fallback_evals = 0;
+    std::size_t spot_checks = 0;
+    double max_spot_rel_err = 0.0;
+};
+
+TrialAccumulator merge_accumulators(TrialAccumulator a, const TrialAccumulator& b) {
+    a.f0.merge(b.f0);
+    a.thickness.merge(b.thickness);
+    a.in_band += b.in_band;
+    a.surrogate_evals += b.surrogate_evals;
+    a.fallback_evals += b.fallback_evals;
+    a.spot_checks += b.spot_checks;
+    a.max_spot_rel_err = std::max(a.max_spot_rel_err, b.max_spot_rel_err);
+    return a;
+}
+
+/// The mc.trials / mc.yield progress series (trials completed and
+/// yield-so-far). Pushed from the chunk-order merge fold — the caller's
+/// thread, ascending chunk order — so the stream itself is deterministic
+/// for any thread count.
+struct ProgressSeries {
+    obs::TelemetrySeries* trials;
+    obs::TelemetrySeries* yield;
+    ProgressSeries() {
+        auto& telemetry = obs::Telemetry::instance();
+        trials = telemetry.series("mc.trials", /*tau0=*/1.0, 64);
+        yield = telemetry.series("mc.yield", /*tau0=*/1.0, 64);
+    }
+    void push(const TrialAccumulator& acc) const {
+        const auto done = acc.thickness.count();
+        trials->push(static_cast<double>(done));
+        yield->push(done > 0
+                        ? static_cast<double>(acc.in_band) / static_cast<double>(done)
+                        : 0.0);
+    }
 };
 
 }  // namespace
@@ -69,7 +124,27 @@ MonteCarloStats ProcessMonteCarlo::run_seeded(std::size_t n, std::uint64_t root_
     CBS_EXPECTS(n >= 2);
     CBS_EXPECTS(f0_tolerance > 0.0);
     const obs::ScopedTimer span("mc.run", "fab");
+    if (surrogate::tier() != surrogate::Tier::off &&
+        mode_ == EtchMode::electrochemical_stop) {
+        // Fit once per parameter box (process-wide cache), evaluate every
+        // trial through the polynomial. Timed etches keep the legacy path:
+        // their thickness physics (rate x time, breakthrough) is not in the
+        // surrogate's parameterization.
+        const auto model = surrogate::SurrogateCache::instance().resonance(surrogate_box(), pool);
+        if (model->accepted()) {
+            return run_surrogate(*model, n, root_seed, f0_tolerance, pool);
+        }
+        // Fit missed its error budget: never use a surrogate that failed
+        // validation — run the full simulation instead.
+        obs::MetricsRegistry::instance().counter("mc.surrogate.fallback_full")->add(n);
+    }
+    return run_full(n, root_seed, f0_tolerance, pool);
+}
+
+MonteCarloStats ProcessMonteCarlo::run_full(std::size_t n, std::uint64_t root_seed,
+                                            double f0_tolerance, exec::ThreadPool* pool) const {
     const double f0_nom = nominal_resonance().value();
+    const ProgressSeries progress;
 
     auto eval_chunk = [&](std::size_t begin, std::size_t end) {
         TrialAccumulator acc;
@@ -83,19 +158,131 @@ MonteCarloStats ProcessMonteCarlo::run_seeded(std::size_t n, std::uint64_t root_
         }
         return acc;
     };
-    auto merge = [](TrialAccumulator a, const TrialAccumulator& b) {
-        a.f0.merge(b.f0);
-        a.thickness.merge(b.thickness);
-        a.in_band += b.in_band;
+    auto merge = [&](TrialAccumulator a, const TrialAccumulator& b) {
+        a = merge_accumulators(std::move(a), b);
+        progress.push(a);
         return a;
     };
     const auto acc =
         exec::chunked_reduce<TrialAccumulator>(pool, n, kTrialChunk, eval_chunk, merge);
+    if (n <= kTrialChunk) progress.push(acc);  // single chunk: merge never ran
+    obs::Telemetry::instance().maybe_sample("fab.mc");
 
     auto& registry = obs::MetricsRegistry::instance();
     registry.counter("mc.trials")->add(n);
     registry.counter("mc.functional")->add(acc.f0.count());
     registry.counter("mc.in_band")->add(acc.in_band);
+
+    MonteCarloStats out;
+    out.samples = n;
+    out.f0_mean_hz = acc.f0.mean();
+    out.f0_sigma_hz = acc.f0.stddev();
+    out.thickness_mean_m = acc.thickness.mean();
+    out.thickness_sigma_m = acc.thickness.stddev();
+    out.yield = static_cast<double>(acc.in_band) / static_cast<double>(n);
+    registry.gauge("mc.yield")->set(out.yield);
+    return out;
+}
+
+MonteCarloStats ProcessMonteCarlo::run_surrogate(const surrogate::ResonanceSurrogate& model,
+                                                 std::size_t n, std::uint64_t root_seed,
+                                                 double f0_tolerance,
+                                                 exec::ThreadPool* pool) const {
+    const double f0_nom = nominal_resonance().value();
+    const double t_nom = nominal_.thickness.value();
+    const bool spot_check = surrogate::tier() == surrogate::Tier::check;
+    const std::size_t stride = surrogate::check_stride();
+    const double budget = surrogate::error_budget();
+    const auto& zig = surrogate::detail::ziggurat_tables();
+    const ProgressSeries progress;
+
+    auto eval_chunk = [&](std::size_t begin, std::size_t end) {
+        TrialAccumulator acc;
+        const std::size_t m = end - begin;
+        std::array<double, kTrialChunk> z1{}, z2{}, z3{}, f0{}, tc{};
+        std::array<bool, kTrialChunk> functional{}, in_box{};
+        for (std::size_t j = 0; j < m; ++j) {
+            auto rng = surrogate::CounterRng::for_trial(root_seed, begin + j);
+            z1[j] = surrogate::ziggurat_normal(rng, zig);
+            z2[j] = surrogate::ziggurat_normal(rng, zig);
+            z3[j] = surrogate::ziggurat_normal(rng, zig);
+            // Same clamp and functional predicate as sample().
+            tc[j] = std::max(model.thickness_of(z1[j]), 0.0);
+            const double len = model.length_of(z2[j]);
+            functional[j] = tc[j] > 0.5e-6 && tc[j] < 3.0 * t_nom && len >= 10.0 * tc[j];
+            in_box[j] = model.box().contains(z1[j], z2[j], z3[j]);
+        }
+        // One vectorized sweep over the chunk; out-of-box lanes are
+        // recomputed with the full model below (a ~1e-9 fraction of trials
+        // at z_max = 6).
+        model.eval_many(z1.data(), z2.data(), z3.data(), f0.data(), m);
+        for (std::size_t j = 0; j < m; ++j) {
+            acc.thickness.add(tc[j]);
+            if (!functional[j]) continue;
+            double f;
+            if (in_box[j]) {
+                f = f0[j];
+                ++acc.surrogate_evals;
+                if (spot_check && (begin + j) % stride == 0) {
+                    const double full = model.full_eval(z1[j], z2[j], z3[j]);
+                    const double rel =
+                        std::abs(f - full) / std::max(std::abs(full), 1e-300);
+                    ++acc.spot_checks;
+                    acc.max_spot_rel_err = std::max(acc.max_spot_rel_err, rel);
+                    if (rel > budget) {
+                        throw surrogate::SurrogateError(
+                            "surrogate spot check failed: trial " +
+                            std::to_string(begin + j) + " rel err " + std::to_string(rel) +
+                            " exceeds budget " + std::to_string(budget));
+                    }
+                }
+            } else {
+                f = model.full_eval(z1[j], z2[j], z3[j]);
+                ++acc.fallback_evals;
+            }
+            acc.f0.add(f);
+            if (std::abs(f - f0_nom) <= f0_tolerance * f0_nom) ++acc.in_band;
+        }
+        return acc;
+    };
+    // Hand-rolled chunked reduce: identical chunk boundaries and the same
+    // ascending caller-side merge as exec::chunked_reduce (results stay
+    // bit-equal to it for any thread count), but pool tasks each own a
+    // *strided group* of chunks instead of one chunk apiece — at ~4 us of
+    // surrogate work per 64-trial chunk, per-task dispatch overhead would
+    // otherwise eat a noticeable slice of the speedup on pooled runs.
+    const std::size_t chunks = (n + kTrialChunk - 1) / kTrialChunk;
+    std::vector<TrialAccumulator> partial(chunks);
+    auto eval = [&](std::size_t c) {
+        const std::size_t begin = c * kTrialChunk;
+        partial[c] = eval_chunk(begin, std::min(begin + kTrialChunk, n));
+    };
+    if (pool != nullptr && chunks > 1) {
+        const std::size_t groups = std::min(chunks, 2 * pool->thread_count());
+        pool->parallel_for(groups, [&](std::size_t g) {
+            for (std::size_t c = g; c < chunks; c += groups) eval(c);
+        });
+    } else {
+        for (std::size_t c = 0; c < chunks; ++c) eval(c);
+    }
+    TrialAccumulator acc = std::move(partial.front());
+    for (std::size_t c = 1; c < chunks; ++c) {
+        acc = merge_accumulators(std::move(acc), partial[c]);
+        progress.push(acc);
+    }
+    if (chunks == 1) progress.push(acc);
+    obs::Telemetry::instance().maybe_sample("fab.mc");
+
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("mc.trials")->add(n);
+    registry.counter("mc.functional")->add(acc.f0.count());
+    registry.counter("mc.in_band")->add(acc.in_band);
+    registry.counter("mc.surrogate.eval")->add(acc.surrogate_evals);
+    registry.counter("mc.surrogate.fallback_full")->add(acc.fallback_evals);
+    registry.counter("mc.surrogate.spot_checks")->add(acc.spot_checks);
+    if (acc.spot_checks > 0) {
+        registry.gauge("mc.surrogate.max_rel_err")->set(acc.max_spot_rel_err);
+    }
 
     MonteCarloStats out;
     out.samples = n;

@@ -10,6 +10,7 @@
 #include "exec/threadpool.hpp"
 #include "fab/etch.hpp"
 #include "mech/beam.hpp"
+#include "surrogate/model.hpp"
 #include "util/random.hpp"
 
 namespace cbs::fab {
@@ -68,13 +69,35 @@ public:
     /// chunk order, so the result depends only on (n, root_seed,
     /// f0_tolerance) — never on the pool's thread count or scheduling.
     /// pool == nullptr runs serially on the calling thread.
+    ///
+    /// CBS_SURROGATE != off routes electrochemical-stop runs through the
+    /// cached Chebyshev resonance surrogate (DESIGN.md §14): trial i then
+    /// draws its z from surrogate::CounterRng::for_trial(root_seed, i) —
+    /// still bit-deterministic in (n, root_seed, f0_tolerance) and thread
+    /// count, but a *different* stream than the legacy path, so the two
+    /// tiers agree statistically, not bitwise. A fit that misses its error
+    /// budget, or a timed-etch run, falls back to the legacy path. In
+    /// Tier::check, trials whose index is a multiple of check_stride() are
+    /// re-evaluated with the full model; disagreement beyond the budget
+    /// throws surrogate::SurrogateError.
     [[nodiscard]] MonteCarloStats run_seeded(std::size_t n, std::uint64_t root_seed,
                                              double f0_tolerance = 0.05,
                                              exec::ThreadPool* pool = nullptr) const;
 
+    /// The z-space parameter box this configuration fits its surrogate over
+    /// (exposed so tests and tools can fit/inspect the same model).
+    [[nodiscard]] surrogate::ProcessBox surrogate_box() const;
+
     [[nodiscard]] Frequency nominal_resonance() const;
 
 private:
+    [[nodiscard]] MonteCarloStats run_full(std::size_t n, std::uint64_t root_seed,
+                                           double f0_tolerance, exec::ThreadPool* pool) const;
+    [[nodiscard]] MonteCarloStats run_surrogate(const surrogate::ResonanceSurrogate& model,
+                                                std::size_t n, std::uint64_t root_seed,
+                                                double f0_tolerance,
+                                                exec::ThreadPool* pool) const;
+
     mech::CantileverGeometry nominal_;
     KohEtchSimulator etcher_;
     ProcessVariation variation_;

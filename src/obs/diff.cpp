@@ -126,6 +126,52 @@ json::Value parse_diff_input(const std::string& path) {
     return doc;
 }
 
+/// Environment facts from a google-benchmark export's "context" block that
+/// decide whether two runs are comparable at all.
+struct RunContext {
+    std::string build_type;  // context.library_build_type ("debug"/"release")
+    double num_cpus = -1.0;
+    bool has_build_type = false;
+    bool has_num_cpus = false;
+};
+
+RunContext collect_context(const json::Value& doc) {
+    RunContext c;
+    const json::Value* ctx = doc.is_object() ? doc.find("context") : nullptr;
+    if (ctx == nullptr || !ctx->is_object()) return c;
+    if (const json::Value* v = ctx->find("library_build_type");
+        v != nullptr && v->is_string()) {
+        c.build_type = v->as_string();
+        c.has_build_type = true;
+    }
+    if (const json::Value* v = ctx->find("num_cpus"); v != nullptr && v->is_number()) {
+        c.num_cpus = v->as_number();
+        c.has_num_cpus = true;
+    }
+    return c;
+}
+
+void compare_contexts(const json::Value& baseline, const json::Value& current,
+                      DiffResult& result) {
+    const RunContext base = collect_context(baseline);
+    const RunContext cur = collect_context(current);
+    if (base.has_build_type && cur.has_build_type && base.build_type != cur.build_type) {
+        // Debug-vs-release timings differ by integer factors: comparing
+        // them silently would make every gate meaningless.
+        result.context_mismatch = true;
+        result.context_notes.push_back("context: library_build_type mismatch ('" +
+                                       base.build_type + "' baseline vs '" +
+                                       cur.build_type + "' current)");
+    }
+    if (base.has_num_cpus && cur.has_num_cpus && base.num_cpus != cur.num_cpus) {
+        // Different core counts skew threaded rows; warn but keep comparing.
+        result.context_notes.push_back(
+            "context: num_cpus differ (" +
+            std::to_string(static_cast<long long>(base.num_cpus)) + " baseline vs " +
+            std::to_string(static_cast<long long>(cur.num_cpus)) + " current)");
+    }
+}
+
 bool is_regression(const Metric& m, double rel_delta, double abs_delta, double threshold) {
     switch (m.dir) {
         case Direction::up:
@@ -157,6 +203,7 @@ DiffResult diff_documents(const json::Value& baseline, const json::Value& curren
     for (const auto& m : cur_metrics) cur_by_name.emplace(m.name, &m);
 
     DiffResult result;
+    compare_contexts(baseline, current, result);
     constexpr double kEps = 1e-12;
     for (const auto& base : base_metrics) {
         DiffRow row;
@@ -200,7 +247,19 @@ DiffResult diff_files(const std::string& baseline_path, const std::string& curre
 }
 
 std::string DiffResult::render(const DiffOptions& opts) const {
-    if (rows.empty()) return {};
+    if (rows.empty() && context_notes.empty()) return {};
+    std::string header;
+    for (const auto& note : context_notes) {
+        header += note;
+        header += '\n';
+    }
+    if (context_mismatch) {
+        header += opts.allow_context_mismatch
+                      ? "context mismatch overridden by --allow-context-mismatch\n"
+                      : "CONTEXT MISMATCH: runs are not comparable "
+                        "(--allow-context-mismatch to compare anyway)\n";
+    }
+    if (rows.empty()) return header;
     ConsoleTable t({"metric", "baseline", "current", "delta [%]", "status"});
     for (const auto& r : rows) {
         std::string status = "ok";
@@ -213,8 +272,8 @@ std::string DiffResult::render(const DiffOptions& opts) const {
                    r.in_current ? ConsoleTable::num(r.current, 6) : "-",
                    r.missing() ? "-" : ConsoleTable::num(100.0 * r.rel_delta, 2), status});
     }
-    std::string out = t.str("run comparison (threshold " +
-                            ConsoleTable::num(100.0 * opts.threshold, 4) + "%)");
+    std::string out = header + t.str("run comparison (threshold " +
+                                     ConsoleTable::num(100.0 * opts.threshold, 4) + "%)");
     out += '\n';
     out += std::to_string(rows.size() - missing) + " compared, " +
            std::to_string(regressions) + " regression(s), " + std::to_string(missing) +
@@ -226,6 +285,9 @@ std::string DiffResult::render(const DiffOptions& opts) const {
 }
 
 int DiffResult::exit_code(const DiffOptions& opts) const {
+    // A build-type mismatch invalidates the comparison itself, so it stays
+    // fatal even under warn-only — only the explicit override clears it.
+    if (context_mismatch && !opts.allow_context_mismatch) return 2;
     if (opts.warn_only) return 0;
     return regressions == 0 ? 0 : 1;
 }

@@ -26,6 +26,11 @@ struct DiffOptions {
     /// compared — CI uses it to hard-gate a named row set (e.g. the
     /// resonant-loop benchmarks) while the full diff stays warn-only.
     std::string only;
+    /// Benchmark-context guard override: a `library_build_type` mismatch
+    /// between the two inputs (debug baseline vs release run, say) normally
+    /// makes the whole comparison meaningless and fatal even under
+    /// --warn-only; set this to compare anyway (mismatch still reported).
+    bool allow_context_mismatch = false;
 };
 
 struct DiffRow {
@@ -44,11 +49,19 @@ struct DiffResult {
     std::vector<DiffRow> rows;
     std::size_t regressions = 0;  ///< rows with regression == true
     std::size_t missing = 0;      ///< rows present in only one input
+    /// True when both inputs carry a benchmark `context.library_build_type`
+    /// and they disagree: the numbers are not comparable. Fatal (exit 2)
+    /// unless DiffOptions::allow_context_mismatch is set.
+    bool context_mismatch = false;
+    /// Human-readable context observations (build-type mismatch, differing
+    /// num_cpus), prepended to render() output.
+    std::vector<std::string> context_notes;
 
     /// Console table; regression rows are marked. Empty string when no
     /// comparable metrics were found at all.
     [[nodiscard]] std::string render(const DiffOptions& opts) const;
-    /// Process exit code under `opts`: 0 clean / warn-only, 1 regressions.
+    /// Process exit code under `opts`: 0 clean / warn-only, 1 regressions,
+    /// 2 non-overridden context mismatch (even under warn_only).
     [[nodiscard]] int exit_code(const DiffOptions& opts) const;
 };
 

@@ -1,0 +1,70 @@
+#include "surrogate/cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cbs::surrogate {
+
+struct SurrogateCache::Impl {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<const ResonanceSurrogate>> models;
+    std::size_t fit_serial = 0;
+    obs::Counter* hits;
+    obs::Counter* misses;
+};
+
+SurrogateCache::SurrogateCache() : impl_(std::make_unique<Impl>()) {
+    auto& registry = obs::MetricsRegistry::instance();
+    impl_->hits = registry.counter("surrogate.cache.hit");
+    impl_->misses = registry.counter("surrogate.cache.miss");
+}
+
+SurrogateCache& SurrogateCache::instance() {
+    static SurrogateCache cache;
+    return cache;
+}
+
+std::shared_ptr<const ResonanceSurrogate> SurrogateCache::resonance(const ProcessBox& box,
+                                                                    exec::ThreadPool* pool) {
+    const std::string key = box.key();
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        if (auto it = impl_->models.find(key); it != impl_->models.end()) {
+            impl_->hits->add(1);
+            return it->second;
+        }
+    }
+    // Fit outside the lock: a fit fans out on the pool and can take
+    // milliseconds; concurrent first-callers may race to fit the same box,
+    // in which case the first insert wins and the loser's fit is dropped
+    // (identical content either way — the fit is deterministic).
+    auto model = std::make_shared<const ResonanceSurrogate>(box, pool);
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto [it, inserted] = impl_->models.emplace(key, std::move(model));
+    if (inserted) {
+        impl_->misses->add(1);
+        ++impl_->fit_serial;
+        // Persist the fit report next to the other observability artifacts
+        // so CI uploads it on failure (matches the **/*_report.json glob).
+        it->second->report().write(obs::out_dir() + "/surrogate_fit_" +
+                                   std::to_string(impl_->fit_serial) + "_report.json");
+    } else {
+        impl_->hits->add(1);
+    }
+    return it->second;
+}
+
+void SurrogateCache::clear() {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->models.clear();
+}
+
+std::size_t SurrogateCache::size() const {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->models.size();
+}
+
+}  // namespace cbs::surrogate

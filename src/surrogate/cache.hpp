@@ -1,0 +1,42 @@
+// Process-wide surrogate cache: fit once per parameter box, share across
+// every Monte-Carlo run, benchmark iteration and array element that asks
+// for the same box. The fit costs a few hundred full-model evaluations
+// (amortized over the pool); a hit costs one map lookup.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "surrogate/model.hpp"
+
+namespace cbs::exec {
+class ThreadPool;
+}
+
+namespace cbs::surrogate {
+
+class SurrogateCache {
+public:
+    static SurrogateCache& instance();
+
+    /// The resonance surrogate for `box`, fitting (on `pool` when given) on
+    /// first use. The returned model may have report().accepted == false —
+    /// callers fall back to the full simulation then. Never returns null.
+    /// Bumps obs counters surrogate.cache.hit / surrogate.cache.miss.
+    std::shared_ptr<const ResonanceSurrogate> resonance(const ProcessBox& box,
+                                                        exec::ThreadPool* pool = nullptr);
+
+    /// Drops every cached model (tests that change budgets mid-process).
+    void clear();
+    [[nodiscard]] std::size_t size() const;
+
+    SurrogateCache(const SurrogateCache&) = delete;
+    SurrogateCache& operator=(const SurrogateCache&) = delete;
+
+private:
+    SurrogateCache();
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cbs::surrogate

@@ -1,0 +1,35 @@
+#include "surrogate/sampler.hpp"
+
+#include <cmath>
+
+namespace cbs::surrogate {
+
+namespace {
+
+constexpr double kV = 9.91256303526217e-3;      // area per layer
+
+double f(double z) { return std::exp(-0.5 * z * z); }
+
+}  // namespace
+
+namespace detail {
+
+const ZigguratTables& ziggurat_tables() {
+    static const ZigguratTables tables = [] {
+        ZigguratTables t;
+        t.x[0] = kV / f(kZigguratR);  // base-layer width: x[0] * f(R) = V
+        t.x[1] = kZigguratR;
+        for (int i = 2; i < 128; ++i) {
+            // x[i] f(x[i]) step: each layer's area is V by construction.
+            t.x[i] = std::sqrt(-2.0 * std::log(kV / t.x[i - 1] + f(t.x[i - 1])));
+        }
+        t.x[128] = 0.0;
+        for (int i = 0; i <= 128; ++i) t.y[i] = f(t.x[i]);
+        return t;
+    }();
+    return tables;
+}
+
+}  // namespace detail
+
+}  // namespace cbs::surrogate

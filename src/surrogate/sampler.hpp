@@ -1,0 +1,111 @@
+// Stateless per-trial random sampling for the surrogate fast path.
+//
+// The legacy Monte-Carlo path pays ~1 microsecond per trial just seeding a
+// fresh MT19937-64 (Rng::for_stream) before drawing five distribution
+// values. The surrogate tier replaces that with
+//   * CounterRng — a counter-mode SplitMix64 stream: word k of trial i is
+//     mix64(base_i + golden * k), a pure function of (root seed, trial,
+//     k) with no state to initialize. Same determinism contract as
+//     Rng::for_stream (DESIGN.md §8): thread count and scheduling can
+//     never change what a trial draws.
+//   * ZigguratNormal — the 128-layer ziggurat of Marsaglia & Tsang (tables
+//     in double precision): one word, one table row and one compare per
+//     standard normal on the ~98% fast path; wedge and tail layers draw
+//     extra words. ~6x faster than the polar method with rejection.
+//
+// These are NOT word-compatible with Rng — the surrogate tier has a
+// statistical contract (same distributions, different streams), never a
+// bit contract with the legacy path; `CBS_SURROGATE=off` keeps the legacy
+// draws untouched.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace cbs::surrogate {
+
+/// Counter-mode SplitMix64: stateless, seekable, no warm-up.
+class CounterRng {
+public:
+    explicit CounterRng(std::uint64_t base) : base_(base) {}
+
+    /// Stream for Monte-Carlo trial i under `root_seed`; decorrelated from
+    /// Rng::for_stream(root_seed, i) by construction (different mixing).
+    static CounterRng for_trial(std::uint64_t root_seed, std::uint64_t trial) {
+        return CounterRng(
+            cbs::detail::mix64(root_seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1))));
+    }
+
+    std::uint64_t next() noexcept {
+        return cbs::detail::mix64(base_ + 0x9e3779b97f4a7c15ULL * (++k_));
+    }
+
+    /// Uniform in [0, 1) from the word's top 53 bits.
+    double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1p-53; }
+
+private:
+    std::uint64_t base_;
+    std::uint64_t k_ = 0;
+};
+
+namespace detail {
+
+struct ZigguratTables {
+    // Layer edges x[0] (base width) > x[1] = R > ... > x[128] = 0 and their
+    // heights y[i] = exp(-x[i]^2 / 2).
+    double x[129];
+    double y[129];
+};
+
+inline constexpr double kZigguratR = 3.442619855899;  // tail radius, n = 128
+
+/// Built once; layer areas are all V = 9.91256303526217e-3 with tail radius
+/// R = kZigguratR (the standard 128-layer constants).
+const ZigguratTables& ziggurat_tables();
+
+}  // namespace detail
+
+/// One standard normal from the counter stream, tables passed in. Inline so
+/// hot loops (the Monte-Carlo chunk kernel draws three per trial) hoist the
+/// table reference once and the per-draw cost is a mix, a row and a compare
+/// — out-of-line this is ~3x slower, dominated by call + static-guard
+/// overhead rather than arithmetic.
+inline double ziggurat_normal(CounterRng& rng, const detail::ZigguratTables& t) noexcept {
+    for (;;) {
+        const std::uint64_t w = rng.next();
+        const std::uint64_t i = w & 127;            // layer (bits 0-6)
+        const bool negative = (w >> 7) & 1;         // sign (bit 7)
+        const double u = static_cast<double>(w >> 11) * 0x1p-53;
+        const double z = u * t.x[i];
+        if (z < t.x[i + 1]) {                       // wholly under the curve
+            return negative ? -z : z;
+        }
+        if (i == 0) {
+            // Tail beyond R (Marsaglia's exponential wrap). (0,1] uniforms
+            // keep the logs finite.
+            double a, b;
+            do {
+                a = -std::log(static_cast<double>((rng.next() >> 11) + 1) * 0x1p-53) /
+                    detail::kZigguratR;
+                b = -std::log(static_cast<double>((rng.next() >> 11) + 1) * 0x1p-53);
+            } while (b + b < a * a);
+            const double zt = detail::kZigguratR + a;
+            return negative ? -zt : zt;
+        }
+        // Wedge: uniform height between the layer's bounding heights,
+        // accepted under the density.
+        const double u2 = rng.uniform();
+        if (std::fma(u2, t.y[i + 1] - t.y[i], t.y[i]) < std::exp(-0.5 * z * z)) {
+            return negative ? -z : z;
+        }
+    }
+}
+
+/// Convenience overload: fetches the shared tables per call.
+inline double ziggurat_normal(CounterRng& rng) noexcept {
+    return ziggurat_normal(rng, detail::ziggurat_tables());
+}
+
+}  // namespace cbs::surrogate

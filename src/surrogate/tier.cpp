@@ -1,0 +1,92 @@
+#include "surrogate/tier.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cbs::surrogate {
+
+namespace {
+
+struct EnvConfig {
+    Tier tier = Tier::off;
+    std::size_t stride = 32;
+    double eps = 1e-9;
+};
+
+const EnvConfig& env_config() {
+    static const EnvConfig parsed = [] {
+        EnvConfig cfg;
+        if (const char* raw = std::getenv("CBS_SURROGATE"); raw != nullptr && raw[0] != '\0') {
+            if (std::strcmp(raw, "on") == 0 || std::strcmp(raw, "1") == 0) {
+                cfg.tier = Tier::on;
+            } else if (std::strncmp(raw, "check", 5) == 0) {
+                cfg.tier = Tier::check;
+                if (raw[5] == ':') {
+                    char* end = nullptr;
+                    const long n = std::strtol(raw + 6, &end, 10);
+                    if (end != raw + 6 && *end == '\0' && n >= 1) {
+                        cfg.stride = static_cast<std::size_t>(n);
+                    }
+                }
+            }
+        }
+        if (const char* raw = std::getenv("CBS_SURROGATE_EPS");
+            raw != nullptr && raw[0] != '\0') {
+            char* end = nullptr;
+            const double eps = std::strtod(raw, &end);
+            if (end != raw && *end == '\0' && eps > 0.0) cfg.eps = eps;
+        }
+        return cfg;
+    }();
+    return parsed;
+}
+
+// 0 = no override; otherwise Tier value + 1 (same slot idiom as circ::fuse).
+std::atomic<int>& tier_override_slot() {
+    static std::atomic<int> slot{0};
+    return slot;
+}
+
+std::atomic<std::size_t>& stride_override_slot() {
+    static std::atomic<std::size_t> slot{0};
+    return slot;
+}
+
+std::atomic<double>& eps_override_slot() {
+    static std::atomic<double> slot{0.0};
+    return slot;
+}
+
+}  // namespace
+
+Tier tier() {
+    const int forced = tier_override_slot().load(std::memory_order_relaxed);
+    return forced != 0 ? static_cast<Tier>(forced - 1) : env_config().tier;
+}
+
+void set_tier(Tier t) {
+    tier_override_slot().store(static_cast<int>(t) + 1, std::memory_order_relaxed);
+}
+
+void clear_tier() { tier_override_slot().store(0, std::memory_order_relaxed); }
+
+std::size_t check_stride() {
+    const std::size_t forced = stride_override_slot().load(std::memory_order_relaxed);
+    return forced != 0 ? forced : env_config().stride;
+}
+
+void set_check_stride(std::size_t n) {
+    stride_override_slot().store(n, std::memory_order_relaxed);
+}
+
+double error_budget() {
+    const double forced = eps_override_slot().load(std::memory_order_relaxed);
+    return forced > 0.0 ? forced : env_config().eps;
+}
+
+void set_error_budget(double eps) {
+    eps_override_slot().store(eps > 0.0 ? eps : 0.0, std::memory_order_relaxed);
+}
+
+}  // namespace cbs::surrogate

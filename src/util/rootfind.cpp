@@ -1,0 +1,115 @@
+#include "util/rootfind.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace cbs::util {
+
+namespace {
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+}
+
+RootResult find_root(const std::function<double(double)>& f, double a, double b,
+                     double xtol, int max_iter) {
+    CBS_EXPECTS(static_cast<bool>(f));
+    CBS_EXPECTS(b > a);
+    CBS_EXPECTS(xtol >= 0.0);
+    RootResult r;
+    double fa = f(a), fb = f(b);
+    if (fa == 0.0) return {a, fa, 0, true};
+    if (fb == 0.0) return {b, fb, 0, true};
+    if ((fa > 0.0) == (fb > 0.0)) {
+        r.x = std::abs(fa) < std::abs(fb) ? a : b;
+        r.f = std::abs(fa) < std::abs(fb) ? fa : fb;
+        return r;  // not a bracket
+    }
+    // Brent: b is the best iterate, a the previous, c the counterpoint.
+    double c = a, fc = fa;
+    double d = b - a, e = d;
+    for (int it = 1; it <= max_iter; ++it) {
+        if ((fb > 0.0) == (fc > 0.0)) {
+            c = a;
+            fc = fa;
+            d = e = b - a;
+        }
+        if (std::abs(fc) < std::abs(fb)) {
+            a = b; b = c; c = a;
+            fa = fb; fb = fc; fc = fa;
+        }
+        const double tol = 2.0 * kEps * std::abs(b) + 0.5 * xtol;
+        const double m = 0.5 * (c - b);
+        if (std::abs(m) <= tol || fb == 0.0) {
+            return {b, fb, it, true};
+        }
+        if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+            // Inverse quadratic interpolation (secant when a == c).
+            const double s = fb / fa;
+            double p, q;
+            if (a == c) {
+                p = 2.0 * m * s;
+                q = 1.0 - s;
+            } else {
+                const double qq = fa / fc, rr = fb / fc;
+                p = s * (2.0 * m * qq * (qq - rr) - (b - a) * (rr - 1.0));
+                q = (qq - 1.0) * (rr - 1.0) * (s - 1.0);
+            }
+            if (p > 0.0) q = -q;
+            p = std::abs(p);
+            if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+                e = d;
+                d = p / q;
+            } else {
+                d = m;
+                e = m;
+            }
+        } else {
+            d = m;
+            e = m;
+        }
+        a = b;
+        fa = fb;
+        b += std::abs(d) > tol ? d : (m > 0.0 ? tol : -tol);
+        fb = f(b);
+    }
+    return {b, fb, max_iter, false};
+}
+
+RootResult maximize(const std::function<double(double)>& f, double a, double b,
+                    double xtol, int max_iter) {
+    CBS_EXPECTS(static_cast<bool>(f));
+    CBS_EXPECTS(b > a);
+    CBS_EXPECTS(xtol >= 0.0);
+    constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+    double x1 = b - kInvPhi * (b - a);
+    double x2 = a + kInvPhi * (b - a);
+    double f1 = f(x1), f2 = f(x2);
+    int it = 0;
+    while (it < max_iter) {
+        ++it;
+        if (b - a <= xtol + 4.0 * kEps * (std::abs(a) + std::abs(b))) break;
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kInvPhi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - kInvPhi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    RootResult r;
+    r.x = f1 > f2 ? x1 : x2;
+    r.f = f1 > f2 ? f1 : f2;
+    r.iterations = it;
+    r.converged = true;
+    return r;
+}
+
+}  // namespace cbs::util

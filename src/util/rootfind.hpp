@@ -1,0 +1,31 @@
+// Bracketing 1D solvers for resonance tracking: a Brent-style root-finder
+// and a golden-section maximizer. Both are derivative-free, never leave the
+// caller's bracket, and converge on any continuous function — which is what
+// replaces "settle the time-domain loop and watch the counter" with "solve
+// the steady-state model directly" (DESIGN.md §14).
+#pragma once
+
+#include <functional>
+
+namespace cbs::util {
+
+struct RootResult {
+    double x = 0.0;       ///< abscissa of the root / maximum
+    double f = 0.0;       ///< f(x)
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Finds x in [a, b] with f(x) = 0 by Brent's method (inverse quadratic
+/// interpolation guarded by bisection). Requires f(a) and f(b) to have
+/// opposite signs (a genuine bracket); converged == false otherwise.
+/// Terminates when the bracket is narrower than xtol + 4 eps |x|.
+RootResult find_root(const std::function<double(double)>& f, double a, double b,
+                     double xtol = 1e-12, int max_iter = 128);
+
+/// Finds the maximum of a unimodal f on [a, b] by golden-section search;
+/// terminates when the bracket is narrower than xtol + 4 eps |x|.
+RootResult maximize(const std::function<double(double)>& f, double a, double b,
+                    double xtol = 1e-12, int max_iter = 256);
+
+}  // namespace cbs::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/expect.hpp"
 
 namespace {
@@ -66,6 +68,89 @@ TEST(OpenLoop, InvalidConfigRejected) {
     auto cfg = base();
     cfg.drive_amplitude = Current{0.0};
     EXPECT_THROW(OpenLoopAnalyzer(cfg, Rng(1)), ContractViolation);
+}
+
+TEST(OpenLoop, TrackResonanceAgreesWithCharacterize) {
+    // The closed-form tracker and the full swept bring-up must land on the
+    // same peak within the sweep's grid resolution (41 points over 8 half
+    // widths ~ 0.2 half-widths per point).
+    OpenLoopAnalyzer an(base(), Rng(6));
+    const auto swept = an.characterize(41);
+    const auto tracked = an.track_resonance();
+    const double half_width = an.expected_resonance().value() / an.expected_q() / 2.0;
+    EXPECT_NEAR(tracked.resonance.value(), swept.resonance.value(), half_width);
+    EXPECT_NEAR(tracked.quality_factor, swept.quality_factor,
+                0.25 * swept.quality_factor);
+    EXPECT_NEAR(tracked.peak_amplitude_v, swept.peak_amplitude_v,
+                0.15 * swept.peak_amplitude_v);
+}
+
+TEST(OpenLoop, TrackResonanceMatchesTheoryExactly) {
+    // Against the analytic driven-oscillator formulas the tracker is a pure
+    // numeric root/peak search — tolerances are solver tolerances, not
+    // simulation tolerances.
+    OpenLoopAnalyzer an(base(), Rng(7));
+    const auto fit = an.track_resonance();
+    const double q = an.expected_q();
+    const double f0 = an.expected_resonance().value();
+    // Amplitude peak of a damped driven oscillator: f0 sqrt(1 - 1/(2 Q^2)).
+    const double f_peak = f0 * std::sqrt(1.0 - 0.5 / (q * q));
+    EXPECT_NEAR(fit.resonance.value(), f_peak, 1e-6 * f0);
+    EXPECT_NEAR(fit.quality_factor, q, 0.01 * q);
+    EXPECT_GT(fit.peak_amplitude_v, 0.0);
+}
+
+TEST(OpenLoop, TrackResonanceInWater) {
+    auto cfg = base();
+    cfg.fluid = phys::fluids::water();
+    OpenLoopAnalyzer an(cfg, Rng(8));
+    const auto tracked = an.track_resonance();
+    const auto swept = an.characterize(31);
+    EXPECT_LT(tracked.quality_factor, 30.0);
+    EXPECT_GT(tracked.quality_factor, 3.0);
+    EXPECT_NEAR(tracked.resonance.value(), swept.resonance.value(),
+                0.05 * swept.resonance.value());
+}
+
+TEST(StaticChain, GainSurrogateMatchesDirectChain) {
+    const StaticSensorConfig cfg;
+    const double t_nom = cfg.geometry.thickness.value();
+    const auto model = fit_static_chain_gain(cfg, 0.5 * t_nom, 2.0 * t_nom);
+    ASSERT_TRUE(model.accepted());
+    EXPECT_LE(model.report().max_rel_err, model.report().error_budget);
+    // Off-node thicknesses across the band, evaluated against the real chain.
+    for (const double scale : {0.55, 0.8, 1.0, 1.3, 1.9}) {
+        StaticSensorConfig probe = cfg;
+        probe.geometry.thickness = Length{scale * t_nom};
+        const double direct = StaticCantileverSystem(probe, Rng(0)).chain_gain();
+        EXPECT_NEAR(model.eval(scale * t_nom), direct, 1e-8 * std::abs(direct))
+            << "scale " << scale;
+    }
+}
+
+TEST(StaticChain, ResponsivitySurrogateMatchesDirectChain) {
+    const StaticSensorConfig cfg;
+    const double t_nom = cfg.geometry.thickness.value();
+    // Responsivity ~ 1/t^2: the pole at t = 0 maps to x = -5/3 on [-1,1],
+    // so coefficients shrink like 3^-k and 1e-9 needs degree ~20.
+    const auto model = fit_static_responsivity(cfg, 0.5 * t_nom, 2.0 * t_nom, 24);
+    ASSERT_TRUE(model.accepted());
+    for (const double scale : {0.6, 1.0, 1.7}) {
+        StaticSensorConfig probe = cfg;
+        probe.geometry.thickness = Length{scale * t_nom};
+        const double direct =
+            StaticCantileverSystem(probe, Rng(0)).stress_responsivity().value();
+        EXPECT_NEAR(model.eval(scale * t_nom), direct, 1e-8 * std::abs(direct))
+            << "scale " << scale;
+    }
+    // Responsivity falls with thickness (stiffer beam, less stress-to-deflection).
+    EXPECT_GT(std::abs(model.eval(0.6 * t_nom)), std::abs(model.eval(1.7 * t_nom)));
+}
+
+TEST(StaticChain, SurrogateRejectsBadBounds) {
+    const StaticSensorConfig cfg;
+    EXPECT_THROW((void)fit_static_chain_gain(cfg, 0.0, 1e-6), ContractViolation);
+    EXPECT_THROW((void)fit_static_chain_gain(cfg, 2e-6, 1e-6), ContractViolation);
 }
 
 }  // namespace

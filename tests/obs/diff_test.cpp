@@ -159,6 +159,74 @@ TEST(ObsDiff, NonObjectInputThrows) {
     EXPECT_THROW(diff_strings("[1, 2]", "{}"), json::ParseError);
 }
 
+// Benchmark-context guard: a debug baseline compared against a release run
+// (or vice versa) is not a perf comparison at all and must fail loudly.
+
+TEST(ObsDiff, BuildTypeMismatchIsFatalEvenWarnOnly) {
+    const std::string base = R"({
+        "context": {"library_build_type": "release", "num_cpus": 4},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const std::string cur = R"({
+        "context": {"library_build_type": "debug", "num_cpus": 4},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const auto r = diff_strings(base, cur);
+    EXPECT_TRUE(r.context_mismatch);
+    ASSERT_FALSE(r.context_notes.empty());
+    EXPECT_NE(r.context_notes[0].find("library_build_type"), std::string::npos);
+    EXPECT_NE(r.context_notes[0].find("release"), std::string::npos);
+    EXPECT_NE(r.context_notes[0].find("debug"), std::string::npos);
+    // Fatal regardless of warn-only; only the explicit override clears it.
+    EXPECT_EQ(r.exit_code({.warn_only = false}), 2);
+    EXPECT_EQ(r.exit_code({.warn_only = true}), 2);
+    EXPECT_EQ(r.exit_code({.warn_only = true, .allow_context_mismatch = true}), 0);
+}
+
+TEST(ObsDiff, BuildTypeMismatchRendered) {
+    const std::string base = R"({
+        "context": {"library_build_type": "release"},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const std::string cur = R"({
+        "context": {"library_build_type": "debug"},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const auto r = diff_strings(base, cur);
+    EXPECT_NE(r.render({}).find("CONTEXT MISMATCH"), std::string::npos);
+    EXPECT_NE(r.render({.allow_context_mismatch = true}).find("overridden"),
+              std::string::npos);
+}
+
+TEST(ObsDiff, NumCpusMismatchWarnsButNeverFails) {
+    const std::string base = R"({
+        "context": {"library_build_type": "release", "num_cpus": 1},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const std::string cur = R"({
+        "context": {"library_build_type": "release", "num_cpus": 8},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const auto r = diff_strings(base, cur);
+    EXPECT_FALSE(r.context_mismatch);
+    ASSERT_EQ(r.context_notes.size(), 1u);
+    EXPECT_NE(r.context_notes[0].find("num_cpus"), std::string::npos);
+    EXPECT_EQ(r.exit_code({}), 0);
+    EXPECT_NE(r.render({}).find("num_cpus"), std::string::npos);
+}
+
+TEST(ObsDiff, MatchingOrAbsentContextIsClean) {
+    const std::string with_ctx = R"({
+        "context": {"library_build_type": "release", "num_cpus": 4},
+        "benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    const std::string without_ctx =
+        R"({"benchmarks": [{"name": "bm", "real_time": 10.0}]})";
+    // Identical contexts: clean. One side missing context (RunReport JSON,
+    // older exports): nothing to compare, also clean.
+    for (const auto& [a, b] : {std::pair{with_ctx, with_ctx},
+                               std::pair{with_ctx, without_ctx},
+                               std::pair{without_ctx, with_ctx}}) {
+        const auto r = diff_strings(a, b);
+        EXPECT_FALSE(r.context_mismatch);
+        EXPECT_TRUE(r.context_notes.empty());
+        EXPECT_EQ(r.exit_code({}), 0);
+    }
+}
+
 // diff_files diagnostics must name the offending file so a CI log makes the
 // failure actionable without re-running anything locally.
 

@@ -1,0 +1,151 @@
+#include "surrogate/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fab/montecarlo.hpp"
+#include "surrogate/cache.hpp"
+#include "surrogate/sampler.hpp"
+#include "surrogate/tier.hpp"
+
+namespace {
+
+using namespace cbs;
+using surrogate::CounterRng;
+using surrogate::ProcessBox;
+using surrogate::ResonanceSurrogate;
+
+/// The default resonant device's box, exactly as fab derives it.
+ProcessBox default_box() {
+    const fab::ProcessMonteCarlo mc(mech::resonant_default(), fab::KohEtchConfig{},
+                                    fab::ProcessVariation{},
+                                    fab::EtchMode::electrochemical_stop);
+    return mc.surrogate_box();
+}
+
+TEST(ResonanceSurrogate, FitAcceptedWithinBudget) {
+    const ResonanceSurrogate model(default_box());
+    ASSERT_TRUE(model.accepted());
+    EXPECT_LE(model.report().max_rel_err, model.report().error_budget);
+    EXPECT_EQ(model.report().degree[0], 1u);
+    EXPECT_EQ(model.report().degree[1], 4u);
+    EXPECT_EQ(model.report().degree[2], 4u);
+    EXPECT_EQ(model.report().node_count, 50u);
+    EXPECT_GT(model.report().validation_points, 300u);
+}
+
+TEST(ResonanceSurrogate, ErrorBoundedAtBoxCornersAndRandomPoints) {
+    const ResonanceSurrogate model(default_box());
+    ASSERT_TRUE(model.accepted());
+    const double budget = surrogate::error_budget();
+    // All 27 corner/edge/center combinations...
+    for (const double z1 : {-6.0, 0.0, 6.0}) {
+        for (const double z2 : {-6.0, 0.0, 6.0}) {
+            for (const double z3 : {-6.0, 0.0, 6.0}) {
+                const double full = model.full_eval(z1, z2, z3);
+                const double rel = std::abs(model.eval(z1, z2, z3) - full) / full;
+                EXPECT_LE(rel, budget) << "z = (" << z1 << "," << z2 << "," << z3 << ")";
+            }
+        }
+    }
+    // ...and 500 deterministic pseudo-random in-box points.
+    CounterRng rng(0xc0ffee);
+    for (int i = 0; i < 500; ++i) {
+        const double z1 = 12.0 * rng.uniform() - 6.0;
+        const double z2 = 12.0 * rng.uniform() - 6.0;
+        const double z3 = 12.0 * rng.uniform() - 6.0;
+        const double full = model.full_eval(z1, z2, z3);
+        const double rel = std::abs(model.eval(z1, z2, z3) - full) / full;
+        EXPECT_LE(rel, budget) << "z = (" << z1 << "," << z2 << "," << z3 << ")";
+    }
+}
+
+TEST(ResonanceSurrogate, NominalCenterMatchesBeamModel) {
+    const auto box = default_box();
+    const ResonanceSurrogate model(box);
+    mech::CantileverGeometry geom = mech::resonant_default();
+    const double f0_beam = mech::EulerBernoulliBeam(geom).resonance_frequency().value();
+    // z = 0: thickness = junction mean = nominal thickness, nominal length,
+    // E = median of the lognormal (mean-preserving shift, not E0).
+    const double s2 = std::log1p(box.youngs_rel_sigma * box.youngs_rel_sigma);
+    const double e_median_scale = std::exp(-0.5 * s2);
+    EXPECT_NEAR(model.eval(0.0, 0.0, 0.0),
+                f0_beam * std::sqrt(e_median_scale), 1e-6 * f0_beam);
+}
+
+TEST(ResonanceSurrogate, ParameterMapsAreAnalytic) {
+    const auto box = default_box();
+    const ResonanceSurrogate model(box);
+    EXPECT_DOUBLE_EQ(model.thickness_of(0.0), box.junction_mean_m);
+    EXPECT_DOUBLE_EQ(model.thickness_of(2.0),
+                     box.junction_mean_m + 2.0 * box.junction_sigma_m);
+    EXPECT_DOUBLE_EQ(model.length_of(-1.5), box.length_m - 1.5 * box.litho_sigma_m);
+    // lognormal_rel is mean-preserving: E[exp(s z - s^2/2)] = 1, so z = 0
+    // lands on the median, a factor exp(-s^2/2) below the mean.
+    const double s2 = std::log1p(box.youngs_rel_sigma * box.youngs_rel_sigma);
+    EXPECT_DOUBLE_EQ(model.youngs_of(0.0), box.youngs_nominal_pa * std::exp(-0.5 * s2));
+    EXPECT_GT(model.youngs_of(3.0), model.youngs_of(0.0));
+}
+
+TEST(ResonanceSurrogate, EvalManyBitIdenticalToEval) {
+    const ResonanceSurrogate model(default_box());
+    const std::size_t n = 1003;  // non-multiple of 4: exercises the tail
+    std::vector<double> z1(n), z2(n), z3(n), out(n);
+    CounterRng rng(31337);
+    for (std::size_t i = 0; i < n; ++i) {
+        z1[i] = 12.0 * rng.uniform() - 6.0;
+        z2[i] = 12.0 * rng.uniform() - 6.0;
+        z3[i] = 12.0 * rng.uniform() - 6.0;
+    }
+    model.eval_many(z1.data(), z2.data(), z3.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], model.eval(z1[i], z2[i], z3[i])) << "lane " << i;
+    }
+}
+
+TEST(ResonanceSurrogate, HopelessResponseIsRejectedNotMisused) {
+    // A 50% modulus spread makes f0 ~ exp(0.24 z3) over +-6: far outside
+    // what the escalated (3,6,6) fit can hit at 1e-9. The model must report
+    // a rejected fit so callers fall back to the full simulation.
+    auto box = default_box();
+    box.youngs_rel_sigma = 0.5;
+    const ResonanceSurrogate model(box);
+    EXPECT_FALSE(model.accepted());
+    EXPECT_GT(model.report().max_rel_err, model.report().error_budget);
+    // The escalation was attempted before giving up.
+    EXPECT_EQ(model.report().degree[0], 3u);
+}
+
+TEST(ResonanceSurrogate, FitReportSerializesToJson) {
+    const ResonanceSurrogate model(default_box());
+    const std::string json = model.report().to_json();
+    EXPECT_NE(json.find("\"degree\":[1,4,4]"), std::string::npos);
+    EXPECT_NE(json.find("\"accepted\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"max_rel_err\":"), std::string::npos);
+    EXPECT_NE(json.find("\"error_budget\":"), std::string::npos);
+}
+
+TEST(SurrogateCache, SameBoxIsFittedOnce) {
+    auto& cache = surrogate::SurrogateCache::instance();
+    auto box = default_box();
+    box.junction_mean_m = 5.3e-6;  // unique box for this test
+    const auto a = cache.resonance(box);
+    const auto b = cache.resonance(box);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(SurrogateCache, DistinctBoxesGetDistinctModels) {
+    auto& cache = surrogate::SurrogateCache::instance();
+    auto box1 = default_box();
+    box1.junction_mean_m = 5.4e-6;
+    auto box2 = box1;
+    box2.litho_sigma_m = 0.3e-6;
+    const auto a = cache.resonance(box1);
+    const auto b = cache.resonance(box2);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(box1.key(), box2.key());
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "surrogate/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using cbs::surrogate::CounterRng;
+using cbs::surrogate::ziggurat_normal;
+
+TEST(CounterRng, DeterministicPerTrial) {
+    auto a = CounterRng::for_trial(42, 7);
+    auto b = CounterRng::for_trial(42, 7);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CounterRng, TrialsAndSeedsDecorrelate) {
+    auto a = CounterRng::for_trial(42, 7);
+    auto b = CounterRng::for_trial(42, 8);
+    auto c = CounterRng::for_trial(43, 7);
+    EXPECT_NE(a.next(), b.next());
+    auto a2 = CounterRng::for_trial(42, 7);
+    EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+    auto rng = CounterRng::for_trial(1, 0);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Ziggurat, MomentsMatchStandardNormal) {
+    // 2M draws: SE(mean) ~ 7e-4, SE(sd) ~ 5e-4, SE(kurtosis) ~ 3.5e-3.
+    // Bounds at ~5 sigma of the estimator so the test is deterministic in
+    // practice but still catches any distributional defect (a wedge or tail
+    // bug shifts kurtosis by far more than the tolerance).
+    const std::size_t n = 2'000'000;
+    double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+    std::size_t beyond3 = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto rng = CounterRng::for_trial(0x5eed2026ULL, i);
+        const double z = ziggurat_normal(rng);
+        sum += z;
+        sum2 += z * z;
+        sum3 += z * z * z;
+        sum4 += z * z * z * z;
+        if (std::abs(z) > 3.0) ++beyond3;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    const double sd = std::sqrt(var);
+    EXPECT_NEAR(mean, 0.0, 4e-3);
+    EXPECT_NEAR(sd, 1.0, 3e-3);
+    EXPECT_NEAR(sum3 / n, 0.0, 1.5e-2);              // skewness * sd^3
+    EXPECT_NEAR(sum4 / n / (var * var), 3.0, 2e-2);  // kurtosis
+    // P(|z| > 3) = 0.0026998
+    EXPECT_NEAR(static_cast<double>(beyond3) / n, 0.0026998, 4e-4);
+}
+
+TEST(Ziggurat, TailSamplesBeyondR) {
+    // The tail layer must produce values beyond R = 3.4426; a broken tail
+    // would truncate the distribution there.
+    const std::size_t n = 4'000'000;
+    std::size_t beyond_r = 0;
+    double max_z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto rng = CounterRng::for_trial(99, i);
+        const double z = std::abs(ziggurat_normal(rng));
+        if (z > 3.442619855899) ++beyond_r;
+        max_z = std::max(max_z, z);
+    }
+    // P(|z| > R) ~ 5.77e-4 -> expect ~2300 of 4M.
+    EXPECT_GT(beyond_r, 1500u);
+    EXPECT_LT(beyond_r, 3500u);
+    EXPECT_GT(max_z, 4.0);  // 4M draws reach past 4 sigma w.h.p.
+}
+
+TEST(Ziggurat, SignSymmetric) {
+    const std::size_t n = 1'000'000;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto rng = CounterRng::for_trial(7, i);
+        if (ziggurat_normal(rng) > 0.0) ++pos;
+    }
+    EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 2e-3);
+}
+
+}  // namespace

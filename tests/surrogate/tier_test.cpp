@@ -1,0 +1,45 @@
+#include "surrogate/tier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cbs::surrogate;
+
+// Tests must not assume what CBS_SURROGATE is in the environment (CI runs
+// the whole suite under CBS_SURROGATE=check): everything here exercises the
+// programmatic overrides and restores them.
+
+TEST(SurrogateTier, SetTierOverridesEnvironment) {
+    set_tier(Tier::on);
+    EXPECT_EQ(tier(), Tier::on);
+    set_tier(Tier::check);
+    EXPECT_EQ(tier(), Tier::check);
+    set_tier(Tier::off);
+    EXPECT_EQ(tier(), Tier::off);
+    clear_tier();
+}
+
+TEST(SurrogateTier, StrideOverrideAndRestore) {
+    set_check_stride(7);
+    EXPECT_EQ(check_stride(), 7u);
+    set_check_stride(0);         // back to environment/default
+    EXPECT_GE(check_stride(), 1u);
+}
+
+TEST(SurrogateTier, BudgetOverrideAndRestore) {
+    set_error_budget(1e-6);
+    EXPECT_DOUBLE_EQ(error_budget(), 1e-6);
+    set_error_budget(0.0);       // back to environment/default
+    EXPECT_GT(error_budget(), 0.0);
+}
+
+TEST(SurrogateTier, SurrogateErrorIsRuntimeError) {
+    try {
+        throw SurrogateError("spot check failed");
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "spot check failed");
+    }
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+#include "util/chebyshev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using cbs::util::ChebyshevSeries;
+using cbs::util::ChebyshevTensor3;
+
+TEST(ChebyshevSeries, ReproducesPolynomialExactly) {
+    // A degree-3 polynomial is represented exactly by a degree-3 fit.
+    auto f = [](double x) { return 2.0 + x - 3.0 * x * x + 0.5 * x * x * x; };
+    const auto s = ChebyshevSeries::fit(-2.0, 5.0, 3, f);
+    for (double x = -2.0; x <= 5.0; x += 0.173) {
+        EXPECT_NEAR(s.eval(x), f(x), 1e-12 * std::max(1.0, std::abs(f(x))));
+    }
+}
+
+TEST(ChebyshevSeries, ConvergesGeometricallyOnAnalyticFunction) {
+    auto f = [](double x) { return std::exp(std::sin(3.0 * x)); };
+    double prev_err = 1e300;
+    for (std::size_t degree : {8u, 16u, 32u, 64u}) {
+        const auto s = ChebyshevSeries::fit(-1.0, 2.0, degree, f);
+        double err = 0.0;
+        for (double x = -1.0; x <= 2.0; x += 0.01) {
+            err = std::max(err, std::abs(s.eval(x) - f(x)));
+        }
+        EXPECT_LT(err, prev_err);
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-12);  // degree 64 is ample for this function
+}
+
+TEST(ChebyshevSeries, NodesLieInsideInterval) {
+    const std::size_t n = 9;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double x = ChebyshevSeries::node(k, n, 2.0, 3.0);
+        EXPECT_GT(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+    // Gauss nodes are interior and symmetric about the midpoint.
+    EXPECT_NEAR(ChebyshevSeries::node(0, n, -1.0, 1.0),
+                -ChebyshevSeries::node(n - 1, n, -1.0, 1.0), 1e-15);
+}
+
+TEST(ChebyshevSeries, DerivativeMatchesAnalytic) {
+    auto f = [](double x) { return std::sin(2.0 * x) + 0.25 * x * x; };
+    auto df = [](double x) { return 2.0 * std::cos(2.0 * x) + 0.5 * x; };
+    const auto s = ChebyshevSeries::fit(-1.5, 1.5, 24, f);
+    for (double x = -1.4; x <= 1.4; x += 0.05) {
+        EXPECT_NEAR(s.derivative(x), df(x), 1e-9) << "x = " << x;
+    }
+}
+
+TEST(ChebyshevSeries, DerivativeOfKnownPolynomial) {
+    // d/dx (x^3) = 3 x^2 — exact for a degree-3 fit, pinning the derivative
+    // recurrence convention (the c0 half-weight).
+    const auto s = ChebyshevSeries::fit(-1.0, 1.0, 3, [](double x) { return x * x * x; });
+    for (double x : {-1.0, -0.3, 0.0, 0.4, 1.0}) {
+        EXPECT_NEAR(s.derivative(x), 3.0 * x * x, 1e-12);
+    }
+}
+
+TEST(ChebyshevSeries, EvalClampsOutsideInterval) {
+    const auto s = ChebyshevSeries::fit(0.0, 1.0, 5, [](double x) { return x * x; });
+    EXPECT_DOUBLE_EQ(s.eval(-3.0), s.eval(0.0));
+    EXPECT_DOUBLE_EQ(s.eval(7.0), s.eval(1.0));
+}
+
+TEST(ChebyshevSeries, TruncationEstimateTracksConvergence) {
+    auto f = [](double x) { return std::exp(x); };
+    const auto coarse = ChebyshevSeries::fit(-1.0, 1.0, 4, f);
+    const auto fine = ChebyshevSeries::fit(-1.0, 1.0, 16, f);
+    EXPECT_GT(coarse.truncation_estimate(), fine.truncation_estimate());
+    EXPECT_LT(fine.truncation_estimate(), 1e-14);
+}
+
+TEST(ChebyshevSeries, FitRejectsBadArguments) {
+    auto f = [](double x) { return x; };
+    EXPECT_THROW(ChebyshevSeries::fit(1.0, 1.0, 3, f), cbs::ContractViolation);
+    EXPECT_THROW(ChebyshevSeries::fit(2.0, 1.0, 3, f), cbs::ContractViolation);
+}
+
+TEST(ChebyshevTensor3, ReproducesSeparablePolynomial) {
+    const ChebyshevTensor3::Box box{{-1.0, 0.0, 2.0}, {1.0, 4.0, 3.0}};
+    auto f = [](double x, double y, double z) {
+        return (1.0 + 2.0 * x) * (y * y - y) * (3.0 - z);
+    };
+    const auto t = ChebyshevTensor3::fit(box, {1, 2, 1}, f);
+    for (double x = -1.0; x <= 1.0; x += 0.37) {
+        for (double y = 0.0; y <= 4.0; y += 0.81) {
+            for (double z = 2.0; z <= 3.0; z += 0.23) {
+                EXPECT_NEAR(t.eval(x, y, z), f(x, y, z),
+                            1e-11 * std::max(1.0, std::abs(f(x, y, z))));
+            }
+        }
+    }
+}
+
+TEST(ChebyshevTensor3, FitsSmoothNonSeparableFunction) {
+    const ChebyshevTensor3::Box box{{-1.0, -1.0, -1.0}, {1.0, 1.0, 1.0}};
+    auto f = [](double x, double y, double z) { return std::exp(0.3 * x * y - 0.2 * z); };
+    const auto t = ChebyshevTensor3::fit(box, {8, 8, 8}, f);
+    double err = 0.0;
+    for (double x = -1.0; x <= 1.0; x += 0.25) {
+        for (double y = -1.0; y <= 1.0; y += 0.25) {
+            for (double z = -1.0; z <= 1.0; z += 0.25) {
+                err = std::max(err, std::abs(t.eval(x, y, z) - f(x, y, z)));
+            }
+        }
+    }
+    EXPECT_LT(err, 1e-10);
+}
+
+TEST(ChebyshevTensor3, EvalManyBitIdenticalToScalarEval) {
+    // The determinism contract: the batch kernel (AVX2 when the CPU has it)
+    // must produce bit-identical results to the scalar reference, for every
+    // lane position and for non-multiple-of-4 tails.
+    const ChebyshevTensor3::Box box{{-6.0, -6.0, -6.0}, {6.0, 6.0, 6.0}};
+    auto f = [](double x, double y, double z) {
+        return 3.0e5 + 1.0e4 * x - 70.0 * y * y + 3.0 * z * x - 0.5 * z * z * y;
+    };
+    const auto t = ChebyshevTensor3::fit(box, {3, 4, 4}, f);
+    const std::size_t n = 257;  // odd: exercises the scalar tail
+    std::vector<double> x(n), y(n), z(n), out(n);
+    std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+    auto next_u = [&s] {
+        s += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t v = s;
+        v ^= v >> 30;
+        v *= 0xbf58476d1ce4e5b9ULL;
+        v ^= v >> 27;
+        return static_cast<double>(v >> 11) * 0x1p-53;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = 12.0 * next_u() - 6.0;
+        y[i] = 12.0 * next_u() - 6.0;
+        z[i] = 12.0 * next_u() - 6.0;
+    }
+    t.eval_many(x.data(), y.data(), z.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double ref = t.eval(x[i], y[i], z[i]);
+        EXPECT_EQ(out[i], ref) << "lane " << i;  // bitwise, not NEAR
+    }
+}
+
+TEST(ChebyshevTensor3, NodesMatchFitFromNodeValues) {
+    const ChebyshevTensor3::Box box{{0.0, -2.0, 1.0}, {1.0, 2.0, 4.0}};
+    const std::array<std::size_t, 3> degree{2, 3, 2};
+    auto f = [](double x, double y, double z) { return x * y + z * z - 0.1 * x * y * z; };
+    const auto direct = ChebyshevTensor3::fit(box, degree, f);
+    const auto nodes = ChebyshevTensor3::nodes(box, degree);
+    std::vector<double> values(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        values[i] = f(nodes[i][0], nodes[i][1], nodes[i][2]);
+    }
+    const auto rebuilt = ChebyshevTensor3::fit_from_node_values(box, degree, values);
+    ASSERT_EQ(direct.coefficients().size(), rebuilt.coefficients().size());
+    for (std::size_t i = 0; i < direct.coefficients().size(); ++i) {
+        EXPECT_EQ(direct.coefficients()[i], rebuilt.coefficients()[i]);
+    }
+}
+
+TEST(ChebyshevTensor3, BoxContains) {
+    const ChebyshevTensor3::Box box{{-1.0, 0.0, 5.0}, {1.0, 2.0, 6.0}};
+    EXPECT_TRUE(box.contains(0.0, 1.0, 5.5));
+    EXPECT_TRUE(box.contains(-1.0, 0.0, 5.0));  // boundary inclusive
+    EXPECT_FALSE(box.contains(1.1, 1.0, 5.5));
+    EXPECT_FALSE(box.contains(0.0, -0.1, 5.5));
+    EXPECT_FALSE(box.contains(0.0, 1.0, 6.1));
+}
+
+}  // namespace

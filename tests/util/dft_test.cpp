@@ -50,6 +50,61 @@ TEST(Fft, SingleToneLandsInCorrectBin) {
     EXPECT_NEAR(std::abs(x[k + 3]), 0.0, 1e-9);
 }
 
+TEST(Fft, SingleToneAmplitudeAndPhaseAnalytic) {
+    // x[i] = A cos(2 pi k i / n + phi) must transform to
+    // X[k] = (n/2) A e^{i phi} exactly (bin-centered tone, no leakage).
+    const std::size_t n = 256;
+    const std::size_t k = 37;
+    const double amplitude = 2.5;
+    const double phase = 0.6;
+    std::vector<std::complex<double>> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = {amplitude * std::cos(2.0 * constants::pi * static_cast<double>(k * i) / n +
+                                     phase),
+                0.0};
+    }
+    fft(x);
+    EXPECT_NEAR(std::abs(x[k]), n / 2.0 * amplitude, 1e-9);
+    EXPECT_NEAR(std::arg(x[k]), phase, 1e-12);
+    EXPECT_NEAR(std::abs(x[n - k]), n / 2.0 * amplitude, 1e-9);
+    EXPECT_NEAR(std::arg(x[n - k]), -phase, 1e-12);
+    // Every other bin is analytically zero.
+    for (std::size_t b = 0; b < n; ++b) {
+        if (b == k || b == n - k) continue;
+        EXPECT_NEAR(std::abs(x[b]), 0.0, 1e-9) << "bin " << b;
+    }
+}
+
+TEST(Fft, DcOnlySignalLandsInBinZero) {
+    const std::size_t n = 64;
+    const double level = 1.75;
+    std::vector<std::complex<double>> x(n, {level, 0.0});
+    fft(x);
+    // X[0] = n * level; DC has no mirror bin.
+    EXPECT_NEAR(x[0].real(), n * level, 1e-9);
+    EXPECT_NEAR(x[0].imag(), 0.0, 1e-12);
+    for (std::size_t b = 1; b < n; ++b) {
+        EXPECT_NEAR(std::abs(x[b]), 0.0, 1e-9) << "bin " << b;
+    }
+}
+
+TEST(Fft, NyquistToneLandsInBinNOver2) {
+    // x[i] = A (-1)^i is the Nyquist tone: X[n/2] = n A, its own mirror.
+    const std::size_t n = 64;
+    const double amplitude = 0.8;
+    std::vector<std::complex<double>> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = {(i % 2 == 0 ? amplitude : -amplitude), 0.0};
+    }
+    fft(x);
+    EXPECT_NEAR(x[n / 2].real(), n * amplitude, 1e-9);
+    EXPECT_NEAR(x[n / 2].imag(), 0.0, 1e-12);
+    for (std::size_t b = 0; b < n; ++b) {
+        if (b == n / 2) continue;
+        EXPECT_NEAR(std::abs(x[b]), 0.0, 1e-9) << "bin " << b;
+    }
+}
+
 TEST(Fft, NonPowerOfTwoThrows) {
     std::vector<std::complex<double>> x(12);
     EXPECT_THROW(fft(x), ContractViolation);
@@ -84,6 +139,48 @@ TEST(WelchPsd, ToneAppearsAtItsFrequency) {
     // Tone power (integrate near the tone) ~ A^2/2 = 0.5.
     const double p = band_power(psd, f_tone - 5.0, f_tone + 5.0);
     EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(WelchPsd, BinExactToneFrequencyAndEdgeBins) {
+    // A tone exactly on a Welch bin: the peak bin index is analytic
+    // (k = f_tone * nfft / fs), and the DC / Nyquist edge bins stay at the
+    // noise floor.
+    const double fs = 4096.0;
+    const std::size_t nfft = 1024;
+    const double f_tone = 512.0;  // bin 128 exactly
+    std::vector<double> x(1 << 14);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::cos(2.0 * constants::pi * f_tone * static_cast<double>(i) / fs);
+    }
+    const auto psd = welch_psd(x, fs, nfft);
+    std::size_t imax = 0;
+    for (std::size_t i = 1; i < psd.power.size(); ++i) {
+        if (psd.power[i] > psd.power[imax]) imax = i;
+    }
+    EXPECT_EQ(imax, static_cast<std::size_t>(f_tone * nfft / fs));
+    EXPECT_DOUBLE_EQ(psd.frequency[imax], f_tone);
+    // Total tone power A^2/2 within 5% despite the Hann window (the
+    // integral over the 3-bin main lobe recovers it).
+    EXPECT_NEAR(band_power(psd, f_tone - 3.0 * fs / nfft, f_tone + 3.0 * fs / nfft), 0.5,
+                0.025);
+    // Edge bins: > 60 dB below the peak for a mid-band tone.
+    EXPECT_LT(psd.power.front(), 1e-6 * psd.power[imax]);
+    EXPECT_LT(psd.power.back(), 1e-6 * psd.power[imax]);
+}
+
+TEST(WelchPsd, DcOffsetConcentratesInBinZero) {
+    const double fs = 1000.0;
+    std::vector<double> x(1 << 13, 4.0);  // pure DC
+    const auto psd = welch_psd(x, fs, 512);
+    std::size_t imax = 0;
+    for (std::size_t i = 1; i < psd.power.size(); ++i) {
+        if (psd.power[i] > psd.power[imax]) imax = i;
+    }
+    EXPECT_EQ(imax, 0u);
+    // Beyond the Hann main lobe (2 bins) the spectrum is numerically zero.
+    for (std::size_t i = 3; i < psd.power.size(); ++i) {
+        EXPECT_LT(psd.power[i], 1e-12 * psd.power[0]) << "bin " << i;
+    }
 }
 
 TEST(WelchPsd, FrequencyAxis) {

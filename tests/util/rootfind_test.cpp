@@ -1,0 +1,81 @@
+#include "util/rootfind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace {
+
+using cbs::util::find_root;
+using cbs::util::maximize;
+
+TEST(FindRoot, LinearFunction) {
+    const auto r = find_root([](double x) { return 2.0 * x - 3.0; }, 0.0, 5.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 1.5, 1e-12);
+}
+
+TEST(FindRoot, TranscendentalCosX) {
+    const auto r = find_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 0.7390851332151607, 1e-12);  // the Dottie number
+    EXPECT_LT(r.iterations, 20);
+}
+
+TEST(FindRoot, SteepFunctionNearBracketEdge) {
+    // Root crammed against the right edge; bisection fallback must save the
+    // interpolation steps.
+    const auto r = find_root([](double x) { return std::exp(10.0 * x) - 1e4; }, -1.0, 1.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, std::log(1e4) / 10.0, 1e-10);
+}
+
+TEST(FindRoot, EndpointRootReturnsImmediately) {
+    const auto r = find_root([](double x) { return x; }, 0.0, 1.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.x, 0.0);
+    EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(FindRoot, NonBracketReportsNotConverged) {
+    const auto r = find_root([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+    EXPECT_FALSE(r.converged);
+}
+
+TEST(FindRoot, RejectsBadArguments) {
+    auto f = [](double x) { return x; };
+    EXPECT_THROW(find_root(f, 1.0, 0.0), cbs::ContractViolation);
+    EXPECT_THROW(find_root(f, 0.0, 1.0, -1.0), cbs::ContractViolation);
+}
+
+TEST(Maximize, QuadraticPeak) {
+    const auto r = maximize([](double x) { return -(x - 2.5) * (x - 2.5); }, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 2.5, 1e-7);  // golden section: sqrt(eps)-limited at a peak
+    EXPECT_NEAR(r.f, 0.0, 1e-13);
+}
+
+TEST(Maximize, ResonancePeakShape) {
+    // A Lorentzian amplitude response |H| peaks at the damped resonance:
+    // analytic check for the track_resonance use case.
+    const double f0 = 318000.0;
+    const double q = 500.0;
+    auto amplitude = [&](double f) {
+        const double r = f / f0;
+        const double re = 1.0 - r * r;
+        const double im = r / q;
+        return 1.0 / std::sqrt(re * re + im * im);
+    };
+    const double f_peak_analytic = f0 * std::sqrt(1.0 - 0.5 / (q * q));
+    const auto r = maximize(amplitude, 0.9 * f0, 1.1 * f0, 1e-6);
+    EXPECT_NEAR(r.x, f_peak_analytic, 1e-2);
+}
+
+TEST(Maximize, MonotonicFunctionPicksEdge) {
+    const auto r = maximize([](double x) { return x; }, 0.0, 1.0);
+    EXPECT_GT(r.x, 1.0 - 1e-6);
+}
+
+}  // namespace

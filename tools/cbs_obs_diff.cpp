@@ -10,8 +10,11 @@
 // (time up, throughput down, probe non-finite counts up at all).
 //
 // Exit status: 0 clean (or --warn-only), 1 regressions found, 2 usage /
-// parse errors. CI runs the warn-only form against a checked-in baseline as
-// a soft perf gate.
+// parse errors or a benchmark-context mismatch (library_build_type differs
+// and --allow-context-mismatch was not given — warn-only does NOT soften
+// this, because the comparison itself is invalid). CI runs the warn-only
+// form against a checked-in baseline as a soft perf gate plus a hard
+// --only gate on the Monte-Carlo rows.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -24,11 +27,17 @@ namespace {
 
 void usage(std::ostream& out) {
     out << "usage: cbs-obs-diff [--threshold <fraction>] [--warn-only] "
-           "[--only <substring>] <baseline.json> <current.json>\n"
+           "[--only <substring>] [--allow-context-mismatch] "
+           "<baseline.json> <current.json>\n"
            "  --threshold f   relative change flagged as regression (default 0.10)\n"
            "  --warn-only     report regressions but exit 0 (CI soft gate)\n"
            "  --only s        compare only metrics whose name contains s\n"
-           "                  (CI hard-gates named row sets this way)\n";
+           "                  (CI hard-gates named row sets this way)\n"
+           "  --allow-context-mismatch\n"
+           "                  compare even when the benchmark contexts'\n"
+           "                  library_build_type disagree (normally fatal, exit 2,\n"
+           "                  since debug-vs-release timings are not comparable;\n"
+           "                  differing num_cpus always warns but never fails)\n";
 }
 
 }  // namespace
@@ -45,6 +54,10 @@ int main(int argc, char** argv) {
         }
         if (arg == "--warn-only") {
             opts.warn_only = true;
+            continue;
+        }
+        if (arg == "--allow-context-mismatch") {
+            opts.allow_context_mismatch = true;
             continue;
         }
         if (arg == "--only") {
